@@ -1,0 +1,258 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each bench runs the corresponding experiment
+// end to end (data generation, training, evaluation) at the tiny scale so
+// `go test -bench=. -benchmem` completes in minutes; the reported ns/op is
+// the wall-clock cost of regenerating that artifact. Use cmd/seqfm-bench
+// with -scale small|medium|full for the results recorded in EXPERIMENTS.md.
+//
+// Micro-benchmarks for the substrate (forward pass, forward+backward, plain
+// FM scoring) sit at the bottom; they are the per-sample costs that §III-I's
+// complexity analysis speaks to.
+package seqfm_test
+
+import (
+	"io"
+	"testing"
+
+	"seqfm"
+	"seqfm/internal/ag"
+	"seqfm/internal/core"
+	"seqfm/internal/data"
+	"seqfm/internal/experiments"
+	"seqfm/internal/train"
+)
+
+func tinyParams(b *testing.B) experiments.Params {
+	b.Helper()
+	p := experiments.ParamsFor(experiments.ScaleTiny)
+	p.Epochs = 5 // benches measure harness cost, not final accuracy
+	return p
+}
+
+// BenchmarkTable1DatasetStats regenerates Table I (dataset statistics).
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	p := tinyParams(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRankingDataset trains and evaluates the full Table II model zoo on
+// one POI stand-in.
+func benchRankingDataset(b *testing.B, gowalla bool) {
+	p := tinyParams(b)
+	g, f, err := p.RankingDatasets()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := g
+	if !gowalla {
+		ds = f
+	}
+	for i := 0; i < b.N; i++ {
+		split := data.NewSplit(ds)
+		models, err := p.RankingModels(ds.Space())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, nm := range models {
+			if _, err := train.Ranking(nm.Model, split, p.TrainConfig()); err != nil {
+				b.Fatal(err)
+			}
+			train.EvalRanking(nm.Model, split, p.EvalConfig())
+		}
+	}
+}
+
+// BenchmarkTable2RankingGowalla regenerates the Gowalla half of Table II.
+func BenchmarkTable2RankingGowalla(b *testing.B) { benchRankingDataset(b, true) }
+
+// BenchmarkTable2RankingFoursquare regenerates the Foursquare half of Table II.
+func BenchmarkTable2RankingFoursquare(b *testing.B) { benchRankingDataset(b, false) }
+
+func benchCTRDataset(b *testing.B, trivago bool) {
+	p := tinyParams(b)
+	tv, tb, err := p.CTRDatasets()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := tv
+	if !trivago {
+		ds = tb
+	}
+	for i := 0; i < b.N; i++ {
+		split := data.NewSplit(ds)
+		models, err := p.ClassificationModels(ds.Space())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, nm := range models {
+			if _, err := train.Classification(nm.Model, split, p.TrainConfig()); err != nil {
+				b.Fatal(err)
+			}
+			train.EvalClassification(nm.Model, split, p.EvalConfig())
+		}
+	}
+}
+
+// BenchmarkTable3CTRTrivago regenerates the Trivago half of Table III.
+func BenchmarkTable3CTRTrivago(b *testing.B) { benchCTRDataset(b, true) }
+
+// BenchmarkTable3CTRTaobao regenerates the Taobao half of Table III.
+func BenchmarkTable3CTRTaobao(b *testing.B) { benchCTRDataset(b, false) }
+
+func benchRatingDataset(b *testing.B, beauty bool) {
+	p := tinyParams(b)
+	be, to, err := p.RatingDatasets()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := be
+	if !beauty {
+		ds = to
+	}
+	for i := 0; i < b.N; i++ {
+		split := data.NewSplit(ds)
+		models, err := p.RegressionModels(ds.Space())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, nm := range models {
+			if _, err := train.Regression(nm.Model, split, p.TrainConfig()); err != nil {
+				b.Fatal(err)
+			}
+			train.EvalRegression(nm.Model, split, p.EvalConfig())
+		}
+	}
+}
+
+// BenchmarkTable4RatingBeauty regenerates the Beauty half of Table IV.
+func BenchmarkTable4RatingBeauty(b *testing.B) { benchRatingDataset(b, true) }
+
+// BenchmarkTable4RatingToys regenerates the Toys half of Table IV.
+func BenchmarkTable4RatingToys(b *testing.B) { benchRatingDataset(b, false) }
+
+// BenchmarkTable5Ablation regenerates the ablation study (six SeqFM
+// variants across all six datasets).
+func BenchmarkTable5Ablation(b *testing.B) {
+	p := tinyParams(b)
+	p.Epochs = 3
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Sensitivity regenerates the hyperparameter sweep with the
+// tiny grids.
+func BenchmarkFigure3Sensitivity(b *testing.B) {
+	p := tinyParams(b)
+	p.Epochs = 3
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(io.Discard, p, experiments.Figure3Values{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Scalability regenerates the training-time-vs-data curve.
+func BenchmarkFigure4Scalability(b *testing.B) {
+	p := tinyParams(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks -----------------------------------------
+
+func benchModelAndInstance(b *testing.B) (*core.Model, seqfm.Instance) {
+	b.Helper()
+	space := seqfm.Space{NumUsers: 1000, NumObjects: 2000}
+	cfg := core.DefaultConfig(space) // the paper's {d=64, l=1, n.=20}
+	m, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist := make([]int, 20)
+	for i := range hist {
+		hist[i] = (i * 37) % 2000
+	}
+	return m, seqfm.Instance{User: 7, Target: 42, Hist: hist, UserAttr: -1, TargetAttr: -1}
+}
+
+// BenchmarkSeqFMForward measures one inference-mode forward pass at the
+// paper's default configuration — the per-candidate scoring cost of §III-I.
+func BenchmarkSeqFMForward(b *testing.B) {
+	m, inst := benchModelAndInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ag.NewTape()
+		_ = m.Score(t, inst).Value.ScalarValue()
+	}
+}
+
+// BenchmarkSeqFMForwardBackward measures one training step's compute
+// (forward + reverse pass + gradient flush) for a single instance.
+func BenchmarkSeqFMForwardBackward(b *testing.B) {
+	m, inst := benchModelAndInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ag.NewTape()
+		loss := t.Square(m.Score(t, inst))
+		t.Backward(loss)
+		t.FlushGrads(nil)
+		ag.ZeroGrads(m.Params())
+	}
+}
+
+// BenchmarkSeqFMSequenceLengths reports forward cost across n. ∈ {10..50},
+// the empirical counterpart of the O((n°+n.)²d) term in §III-I.
+func BenchmarkSeqFMSequenceLengths(b *testing.B) {
+	for _, n := range []int{10, 20, 30, 40, 50} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			space := seqfm.Space{NumUsers: 1000, NumObjects: 2000}
+			cfg := core.DefaultConfig(space)
+			cfg.MaxSeqLen = n
+			m, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hist := make([]int, n)
+			for i := range hist {
+				hist[i] = (i * 13) % 2000
+			}
+			inst := seqfm.Instance{User: 1, Target: 2, Hist: hist, UserAttr: -1, TargetAttr: -1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := ag.NewTape()
+				_ = m.Score(t, inst).Value.ScalarValue()
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,75 @@
+// Click-through-rate prediction (paper §IV-B): train SeqFM as a binary
+// classifier over (user, link) pairs with sampled negatives, evaluate AUC,
+// and inspect how the predicted click probability for the same candidate
+// changes as the user's click sequence evolves — the sequence-awareness the
+// paper's title promises.
+//
+//	go run ./examples/ctr
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"seqfm"
+)
+
+func main() {
+	ds, err := seqfm.GenerateCTR(seqfm.TaobaoConfig(0.0015, 23))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(seqfm.ComputeStats(ds))
+
+	split := seqfm.NewSplit(ds)
+	cfg := seqfm.DefaultConfig(ds.Space())
+	cfg.Dim = 16
+	cfg.MaxSeqLen = 10
+	model, err := seqfm.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := seqfm.TrainClassification(model, split, seqfm.TrainConfig{
+		Epochs: 10, BatchSize: 64, LR: 3e-3, Negatives: 3,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	r := seqfm.EvalClassification(model, split, seqfm.EvalConfig{})
+	fmt.Printf("CTR evaluation: AUC=%.3f RMSE=%.3f\n", r.AUC, r.RMSE)
+
+	// Sequence-awareness in action: the same (user, link) pair scored
+	// against growing history prefixes. A set-category model would produce
+	// the same probability for any permutation of the history; SeqFM's
+	// causal dynamic view makes the estimate evolve with the sequence.
+	inst := split.Test[0]
+	fmt.Printf("user %d, candidate link %d — click probability vs history length:\n",
+		inst.User, inst.Target)
+	for _, n := range []int{0, 2, 4, 8, len(inst.Hist)} {
+		if n > len(inst.Hist) {
+			continue
+		}
+		prefix := inst
+		prefix.Hist = inst.Hist[:n]
+		p := sigmoid(seqfm.Score(model, prefix))
+		fmt.Printf("  |history|=%2d → p(click)=%.3f\n", n, p)
+	}
+
+	// And order sensitivity: reverse the history. Set-category baselines
+	// cannot distinguish these two inputs.
+	rev := inst
+	rev.Hist = reversed(inst.Hist)
+	fmt.Printf("p(click) chronological=%.4f reversed=%.4f (difference = sequence signal)\n",
+		sigmoid(seqfm.Score(model, inst)), sigmoid(seqfm.Score(model, rev)))
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func reversed(xs []int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
+}

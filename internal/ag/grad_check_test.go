@@ -1,0 +1,248 @@
+package ag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqfm/internal/tensor"
+)
+
+// checkGrads verifies analytic gradients of params under loss fn against
+// central finite differences. fn must rebuild the graph from scratch on each
+// call (it receives a fresh tape) and return a 1×1 loss node.
+func checkGrads(t *testing.T, params []*Param, fn func(tp *Tape) *Node) {
+	t.Helper()
+	const (
+		eps = 1e-6
+		tol = 1e-4
+	)
+	// Analytic pass.
+	ZeroGrads(params)
+	tp := NewTape()
+	loss := fn(tp)
+	tp.Backward(loss)
+	tp.FlushGrads(nil)
+
+	for _, p := range params {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			up := fn(NewTape()).Value.ScalarValue()
+			p.Value.Data[i] = orig - eps
+			down := fn(NewTape()).Value.ScalarValue()
+			p.Value.Data[i] = orig
+
+			numeric := (up - down) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			diff := math.Abs(numeric - analytic)
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if diff/scale > tol {
+				t.Errorf("%s[%d]: analytic %.8f vs numeric %.8f", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func randParam(name string, r, c int, rng *rand.Rand) *Param {
+	return NewParam(name, r, c, tensor.Uniform(-1, 1), rng)
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randParam("a", 3, 4, rng)
+	b := randParam("b", 4, 2, rng)
+	checkGrads(t, []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.MatMul(tp.Var(a), tp.Var(b)))
+	})
+}
+
+func TestGradMatMulT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randParam("a", 3, 4, rng)
+	b := randParam("b", 5, 4, rng)
+	checkGrads(t, []*Param{a, b}, func(tp *Tape) *Node {
+		// Square the product so the gradient is input-dependent.
+		return tp.Sum(tp.Square(tp.MatMulT(tp.Var(a), tp.Var(b))))
+	})
+}
+
+func TestGradAddSubMulScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randParam("a", 2, 3, rng)
+	b := randParam("b", 2, 3, rng)
+	checkGrads(t, []*Param{a, b}, func(tp *Tape) *Node {
+		x := tp.Add(tp.Var(a), tp.Var(b))
+		y := tp.Sub(x, tp.Mul(tp.Var(a), tp.Var(b)))
+		return tp.Sum(tp.Scale(1.7, y))
+	})
+}
+
+func TestGradAddN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randParam("a", 2, 2, rng)
+	b := randParam("b", 2, 2, rng)
+	c := randParam("c", 2, 2, rng)
+	checkGrads(t, []*Param{a, b, c}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.AddN(tp.Var(a), tp.Var(b), tp.Var(c))))
+	})
+}
+
+func TestGradAddRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randParam("a", 4, 3, rng)
+	row := randParam("row", 1, 3, rng)
+	checkGrads(t, []*Param{a, row}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.AddRow(tp.Var(a), tp.Var(row))))
+	})
+}
+
+func TestGradUnaryOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := []struct {
+		name string
+		op   func(tp *Tape, x *Node) *Node
+	}{
+		{"sigmoid", func(tp *Tape, x *Node) *Node { return tp.Sigmoid(x) }},
+		{"tanh", func(tp *Tape, x *Node) *Node { return tp.Tanh(x) }},
+		{"square", func(tp *Tape, x *Node) *Node { return tp.Square(x) }},
+		{"softplus", func(tp *Tape, x *Node) *Node { return tp.Softplus(x) }},
+		{"neg", func(tp *Tape, x *Node) *Node { return tp.Neg(x) }},
+		{"addconst", func(tp *Tape, x *Node) *Node { return tp.AddConst(x, 0.37) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := randParam("a", 3, 3, rng)
+			checkGrads(t, []*Param{a}, func(tp *Tape) *Node {
+				return tp.Sum(tc.op(tp, tp.Var(a)))
+			})
+		})
+	}
+}
+
+func TestGradReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Keep values away from the kink at 0 where finite differences lie.
+	a := NewParam("a", 3, 3, tensor.Uniform(0.1, 1), rng)
+	b := NewParam("b", 3, 3, tensor.Uniform(-1, -0.1), rng)
+	checkGrads(t, []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.ReLU(tp.Mul(tp.Var(a), tp.Var(b))))
+	})
+}
+
+func TestGradDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randParam("a", 1, 6, rng)
+	b := randParam("b", 1, 6, rng)
+	checkGrads(t, []*Param{a, b}, func(tp *Tape) *Node {
+		return tp.Square(tp.Dot(tp.Var(a), tp.Var(b)))
+	})
+}
+
+func TestGradReductions(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randParam("a", 4, 3, rng)
+	t.Run("mean", func(t *testing.T) {
+		checkGrads(t, []*Param{a}, func(tp *Tape) *Node {
+			return tp.Mean(tp.Square(tp.Var(a)))
+		})
+	})
+	t.Run("meanRows", func(t *testing.T) {
+		checkGrads(t, []*Param{a}, func(tp *Tape) *Node {
+			return tp.Sum(tp.Square(tp.MeanRows(tp.Var(a))))
+		})
+	})
+	t.Run("sumRows", func(t *testing.T) {
+		checkGrads(t, []*Param{a}, func(tp *Tape) *Node {
+			return tp.Sum(tp.Square(tp.SumRows(tp.Var(a))))
+		})
+	})
+	t.Run("row", func(t *testing.T) {
+		checkGrads(t, []*Param{a}, func(tp *Tape) *Node {
+			return tp.Sum(tp.Square(tp.Row(tp.Var(a), 2)))
+		})
+	})
+}
+
+func TestGradConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randParam("a", 2, 3, rng)
+	b := randParam("b", 2, 2, rng)
+	c := randParam("c", 3, 3, rng)
+	t.Run("cols", func(t *testing.T) {
+		checkGrads(t, []*Param{a, b}, func(tp *Tape) *Node {
+			return tp.Sum(tp.Square(tp.ConcatCols(tp.Var(a), tp.Var(b))))
+		})
+	})
+	t.Run("rows", func(t *testing.T) {
+		checkGrads(t, []*Param{a, c}, func(tp *Tape) *Node {
+			return tp.Sum(tp.Square(tp.ConcatRows(tp.Var(a), tp.Var(c))))
+		})
+	})
+}
+
+func TestGradSoftmaxRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randParam("a", 4, 4, rng)
+	t.Run("unmasked", func(t *testing.T) {
+		checkGrads(t, []*Param{a}, func(tp *Tape) *Node {
+			return tp.Sum(tp.Square(tp.SoftmaxRows(tp.Var(a), nil)))
+		})
+	})
+	t.Run("causalMask", func(t *testing.T) {
+		mask := tensor.New(4, 4)
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				mask.Set(i, j, math.Inf(-1))
+			}
+		}
+		checkGrads(t, []*Param{a}, func(tp *Tape) *Node {
+			return tp.Sum(tp.Square(tp.SoftmaxRows(tp.Var(a), mask)))
+		})
+	})
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randParam("a", 3, 5, rng)
+	s := NewParam("s", 1, 5, tensor.Uniform(0.5, 1.5), rng)
+	b := randParam("b", 1, 5, rng)
+	checkGrads(t, []*Param{a, s, b}, func(tp *Tape) *Node {
+		return tp.Sum(tp.Square(tp.LayerNorm(tp.Var(a), tp.Var(s), tp.Var(b), 1e-6)))
+	})
+}
+
+func TestGradGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	table := randParam("emb", 6, 4, rng)
+	idx := []int{2, 0, 2, -1, 5} // repeated row and a padding entry
+	t.Run("gather", func(t *testing.T) {
+		checkGrads(t, []*Param{table}, func(tp *Tape) *Node {
+			return tp.Sum(tp.Square(tp.Gather(table, idx)))
+		})
+	})
+	t.Run("gatherSum", func(t *testing.T) {
+		checkGrads(t, []*Param{table}, func(tp *Tape) *Node {
+			return tp.Square(tp.Sum(tp.GatherSum(table, idx)))
+		})
+	})
+}
+
+func TestGradComposite(t *testing.T) {
+	// A miniature attention block: the shape of computation SeqFM performs.
+	rng := rand.New(rand.NewSource(14))
+	e := randParam("e", 4, 3, rng)
+	wq := randParam("wq", 3, 3, rng)
+	wk := randParam("wk", 3, 3, rng)
+	wv := randParam("wv", 3, 3, rng)
+	p := randParam("p", 1, 3, rng)
+	checkGrads(t, []*Param{e, wq, wk, wv, p}, func(tp *Tape) *Node {
+		ev := tp.Var(e)
+		q := tp.MatMul(ev, tp.Var(wq))
+		k := tp.MatMul(ev, tp.Var(wk))
+		v := tp.MatMul(ev, tp.Var(wv))
+		attn := tp.SoftmaxRows(tp.Scale(1/math.Sqrt(3), tp.MatMulT(q, k)), nil)
+		h := tp.MeanRows(tp.MatMul(attn, v))
+		return tp.Dot(tp.Var(p), h)
+	})
+}

@@ -1,0 +1,447 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"seqfm/internal/tensor"
+)
+
+// MatMul records c = a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	v := tensor.MatMul(a.Value, b.Value)
+	if !anyNeedsGrad(a, b) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		if a.needsGrad {
+			a.accumulate(tensor.MatMulT(out.grad, b.Value)) // dA = dC·Bᵀ
+		}
+		if b.needsGrad {
+			b.accumulate(tensor.TMatMul(a.Value, out.grad)) // dB = Aᵀ·dC
+		}
+	})
+	return out
+}
+
+// MatMulT records c = a·bᵀ without materialising the transpose.
+func (t *Tape) MatMulT(a, b *Node) *Node {
+	v := tensor.MatMulT(a.Value, b.Value)
+	if !anyNeedsGrad(a, b) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		if a.needsGrad {
+			a.accumulate(tensor.MatMul(out.grad, b.Value)) // dA = dC·B
+		}
+		if b.needsGrad {
+			b.accumulate(tensor.TMatMul(out.grad, a.Value)) // dB = dCᵀ·A
+		}
+	})
+	return out
+}
+
+// Add records c = a + b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	v := tensor.Add(a.Value, b.Value)
+	if !anyNeedsGrad(a, b) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		a.accumulate(out.grad)
+		b.accumulate(out.grad)
+	})
+	return out
+}
+
+// AddN records the element-wise sum of one or more same-shaped nodes.
+func (t *Tape) AddN(ns ...*Node) *Node {
+	if len(ns) == 0 {
+		panic("ag: AddN of no nodes")
+	}
+	v := ns[0].Value.Clone()
+	for _, n := range ns[1:] {
+		v.AddInPlace(n.Value)
+	}
+	if !anyNeedsGrad(ns...) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		for _, n := range ns {
+			n.accumulate(out.grad)
+		}
+	})
+	return out
+}
+
+// Sub records c = a − b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	v := tensor.Sub(a.Value, b.Value)
+	if !anyNeedsGrad(a, b) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		a.accumulate(out.grad)
+		if b.needsGrad {
+			b.ensureGrad().AddScaledInPlace(-1, out.grad)
+		}
+	})
+	return out
+}
+
+// Mul records the element-wise (Hadamard) product c = a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	v := tensor.Hadamard(a.Value, b.Value)
+	if !anyNeedsGrad(a, b) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		if a.needsGrad {
+			a.accumulate(tensor.Hadamard(out.grad, b.Value))
+		}
+		if b.needsGrad {
+			b.accumulate(tensor.Hadamard(out.grad, a.Value))
+		}
+	})
+	return out
+}
+
+// Scale records c = k·a for a compile-time constant k.
+func (t *Tape) Scale(k float64, a *Node) *Node {
+	v := tensor.Scale(k, a.Value)
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		a.ensureGrad().AddScaledInPlace(k, out.grad)
+	})
+	return out
+}
+
+// Neg records c = −a.
+func (t *Tape) Neg(a *Node) *Node { return t.Scale(-1, a) }
+
+// AddConst records c = a + k element-wise.
+func (t *Tape) AddConst(a *Node, k float64) *Node {
+	v := tensor.Apply(a.Value, func(x float64) float64 { return x + k })
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() { a.accumulate(out.grad) })
+	return out
+}
+
+// AddRow records c = a + broadcast(row), adding the 1×c row vector to every
+// row of a. This is the bias-add of a fully connected layer.
+func (t *Tape) AddRow(a, row *Node) *Node {
+	v := tensor.AddRowBroadcast(a.Value, row.Value)
+	if !anyNeedsGrad(a, row) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		a.accumulate(out.grad)
+		if row.needsGrad {
+			g := row.ensureGrad()
+			for i := 0; i < out.grad.Rows; i++ {
+				r := out.grad.Row(i)
+				for j, gv := range r {
+					g.Data[j] += gv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// unary records an element-wise op with derivative df(x, y) where y = f(x).
+func (t *Tape) unary(a *Node, f func(float64) float64, df func(x, y float64) float64) *Node {
+	v := tensor.Apply(a.Value, f)
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		g := a.ensureGrad()
+		for i, gv := range out.grad.Data {
+			g.Data[i] += gv * df(a.Value.Data[i], out.Value.Data[i])
+		}
+	})
+	return out
+}
+
+// ReLU records the rectified linear unit max(x, 0).
+func (t *Tape) ReLU(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Sigmoid records the logistic function 1/(1+e^{−x}).
+func (t *Tape) Sigmoid(a *Node) *Node {
+	return t.unary(a, sigmoid, func(_, y float64) float64 { return y * (1 - y) })
+}
+
+// Tanh records the hyperbolic tangent.
+func (t *Tape) Tanh(a *Node) *Node {
+	return t.unary(a, math.Tanh, func(_, y float64) float64 { return 1 - y*y })
+}
+
+// Square records x² element-wise.
+func (t *Tape) Square(a *Node) *Node {
+	return t.unary(a, func(x float64) float64 { return x * x },
+		func(x, _ float64) float64 { return 2 * x })
+}
+
+// Softplus records log(1+e^x) element-wise using the overflow-safe form
+// max(x,0) + log1p(e^{−|x|}). Its derivative is the sigmoid. The BPR loss
+// −log σ(Δ) of Eq. (21) is Softplus(−Δ), and the binary cross-entropy with
+// logits of Eq. (24) is Softplus(x) − x·y.
+func (t *Tape) Softplus(a *Node) *Node {
+	return t.unary(a, softplus, func(x, _ float64) float64 { return sigmoid(x) })
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+func softplus(x float64) float64 {
+	if x > 0 {
+		return x + math.Log1p(math.Exp(-x))
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// Dot records the scalar inner product of two 1×n row vectors.
+func (t *Tape) Dot(a, b *Node) *Node {
+	v := tensor.Scalar(tensor.Dot(a.Value, b.Value))
+	if !anyNeedsGrad(a, b) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		g := out.grad.Data[0]
+		if a.needsGrad {
+			a.ensureGrad().AddScaledInPlace(g, b.Value)
+		}
+		if b.needsGrad {
+			b.ensureGrad().AddScaledInPlace(g, a.Value)
+		}
+	})
+	return out
+}
+
+// Sum records the 1×1 sum of all elements of a.
+func (t *Tape) Sum(a *Node) *Node {
+	v := tensor.Scalar(tensor.Sum(a.Value))
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		g := out.grad.Data[0]
+		ag := a.ensureGrad()
+		for i := range ag.Data {
+			ag.Data[i] += g
+		}
+	})
+	return out
+}
+
+// Mean records the 1×1 arithmetic mean of all elements of a.
+func (t *Tape) Mean(a *Node) *Node {
+	n := len(a.Value.Data)
+	if n == 0 {
+		panic("ag: Mean of empty node")
+	}
+	return t.Scale(1/float64(n), t.Sum(a))
+}
+
+// MeanScalars averages a slice of 1×1 nodes into one 1×1 node — the
+// minibatch loss reduction.
+func (t *Tape) MeanScalars(ns []*Node) *Node {
+	if len(ns) == 0 {
+		panic("ag: MeanScalars of no nodes")
+	}
+	return t.Scale(1/float64(len(ns)), t.AddN(ns...))
+}
+
+// MeanRows records the 1×c column-wise mean of an r×c node — the paper's
+// intra-view pooling, Eq. (14).
+func (t *Tape) MeanRows(a *Node) *Node {
+	if a.Rows() == 0 {
+		panic("ag: MeanRows of empty node")
+	}
+	v := tensor.MeanRows(a.Value)
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		inv := 1 / float64(a.Rows())
+		g := a.ensureGrad()
+		for i := 0; i < g.Rows; i++ {
+			row := g.Row(i)
+			for j, gv := range out.grad.Data {
+				row[j] += gv * inv
+			}
+		}
+	})
+	return out
+}
+
+// SumRows records the 1×c column-wise sum of an r×c node.
+func (t *Tape) SumRows(a *Node) *Node {
+	v := tensor.SumRows(a.Value)
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		g := a.ensureGrad()
+		for i := 0; i < g.Rows; i++ {
+			row := g.Row(i)
+			for j, gv := range out.grad.Data {
+				row[j] += gv
+			}
+		}
+	})
+	return out
+}
+
+// Row records a 1×c copy of row i of a.
+func (t *Tape) Row(a *Node, i int) *Node {
+	if i < 0 || i >= a.Rows() {
+		panic(fmt.Sprintf("ag: Row %d of %dx%d node", i, a.Rows(), a.Cols()))
+	}
+	v := tensor.SliceRows(a.Value, i, i+1)
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		row := a.ensureGrad().Row(i)
+		for j, gv := range out.grad.Data {
+			row[j] += gv
+		}
+	})
+	return out
+}
+
+// Transpose records aᵀ.
+func (t *Tape) Transpose(a *Node) *Node {
+	v := a.Value.T()
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		a.accumulate(out.grad.T())
+	})
+	return out
+}
+
+// BroadcastRow records an n-row matrix whose every row is the 1×c input —
+// used to compare one candidate embedding against every history position.
+func (t *Tape) BroadcastRow(a *Node, n int) *Node {
+	if a.Rows() != 1 {
+		panic(fmt.Sprintf("ag: BroadcastRow of %dx%d node", a.Rows(), a.Cols()))
+	}
+	v := tensor.New(n, a.Cols())
+	for i := 0; i < n; i++ {
+		copy(v.Row(i), a.Value.Data)
+	}
+	if !a.needsGrad {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		g := a.ensureGrad()
+		for i := 0; i < n; i++ {
+			row := out.grad.Row(i)
+			for j, gv := range row {
+				g.Data[j] += gv
+			}
+		}
+	})
+	return out
+}
+
+// ConcatCols records the horizontal concatenation of equal-row nodes —
+// the paper's view-wise aggregation, Eq. (17).
+func (t *Tape) ConcatCols(ns ...*Node) *Node {
+	vals := make([]*tensor.Matrix, len(ns))
+	for i, n := range ns {
+		vals[i] = n.Value
+	}
+	v := tensor.ConcatCols(vals...)
+	if !anyNeedsGrad(ns...) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		off := 0
+		for _, n := range ns {
+			c := n.Cols()
+			if n.needsGrad {
+				g := n.ensureGrad()
+				for i := 0; i < g.Rows; i++ {
+					src := out.grad.Row(i)[off : off+c]
+					dst := g.Row(i)
+					for j, gv := range src {
+						dst[j] += gv
+					}
+				}
+			}
+			off += c
+		}
+	})
+	return out
+}
+
+// ConcatRows records the vertical concatenation of equal-column nodes —
+// used to build the cross-view feature matrix E* of Eq. (12).
+func (t *Tape) ConcatRows(ns ...*Node) *Node {
+	vals := make([]*tensor.Matrix, len(ns))
+	for i, n := range ns {
+		vals[i] = n.Value
+	}
+	v := tensor.ConcatRows(vals...)
+	if !anyNeedsGrad(ns...) {
+		return t.node(v, false, nil)
+	}
+	var out *Node
+	out = t.node(v, true, func() {
+		off := 0
+		for _, n := range ns {
+			r := n.Rows()
+			if n.needsGrad {
+				n.accumulate(tensor.SliceRows(out.grad, off, off+r))
+			}
+			off += r
+		}
+	})
+	return out
+}

@@ -1,0 +1,86 @@
+// Package ag implements reverse-mode automatic differentiation over
+// tensor.Matrix values.
+//
+// The design is a classic Wengert tape: every operation appends a Node
+// holding its forward value and a closure that propagates the node's
+// gradient to its parents. Calling Tape.Backward walks the tape in reverse,
+// which visits nodes in a valid reverse-topological order because operands
+// are always recorded before the operations that consume them.
+//
+// Model parameters live outside any single tape in Param values so that one
+// set of weights can be shared by many concurrent forward passes. A tape
+// never writes into Param.Grad during Backward; gradients accumulate into
+// tape-local buffers and are transferred by FlushGrads, which the training
+// loop serialises (see train.Minibatch). This keeps the forward/backward
+// passes lock-free and makes data-parallel training a composition of
+// independent tapes.
+package ag
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seqfm/internal/tensor"
+)
+
+// Param is a trainable weight matrix with its accumulated gradient.
+// Value is read concurrently by forward passes; Grad is written only through
+// Tape.FlushGrads and read/cleared by optimizers.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a rows×cols parameter initialised by init.
+func NewParam(name string, rows, cols int, init tensor.Initializer, rng *rand.Rand) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.NewRandom(rows, cols, init, rng),
+		Grad:  tensor.New(rows, cols),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// String identifies the parameter and its shape.
+func (p *Param) String() string {
+	return fmt.Sprintf("%s(%dx%d)", p.Name, p.Value.Rows, p.Value.Cols)
+}
+
+// ZeroGrads clears the gradients of all given parameters.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar weights across params,
+// the paper's "parameter size" measure.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// ClipGrads scales all gradients down so their global L2 norm is at most c.
+// It returns the pre-clip norm. c <= 0 disables clipping.
+func ClipGrads(params []*Param, c float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		n := p.Grad.Norm()
+		total += n * n
+	}
+	norm := math.Sqrt(total)
+	if c > 0 && norm > c {
+		s := c / norm
+		for _, p := range params {
+			p.Grad.ScaleInPlace(s)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,82 @@
+package ag
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the gob wire form of one parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes the parameter values (not gradients or optimizer state)
+// to w in a stable, versioned gob stream. Use with LoadParams to checkpoint
+// and restore any model in this repository.
+func SaveParams(w io.Writer, params []*Param) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode("seqfm-params-v1"); err != nil {
+		return fmt.Errorf("ag: save header: %w", err)
+	}
+	if err := enc.Encode(len(params)); err != nil {
+		return fmt.Errorf("ag: save count: %w", err)
+	}
+	for _, p := range params {
+		blob := paramBlob{Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data}
+		if err := enc.Encode(blob); err != nil {
+			return fmt.Errorf("ag: save %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// LoadParams restores parameter values saved by SaveParams into params,
+// matching by name. Every stored parameter must exist in params with the
+// same shape, and every parameter in params must be present in the stream —
+// a checkpoint from a differently-configured model is rejected rather than
+// silently partially applied.
+func LoadParams(r io.Reader, params []*Param) error {
+	dec := gob.NewDecoder(r)
+	var header string
+	if err := dec.Decode(&header); err != nil {
+		return fmt.Errorf("ag: load header: %w", err)
+	}
+	if header != "seqfm-params-v1" {
+		return fmt.Errorf("ag: unknown checkpoint format %q", header)
+	}
+	var count int
+	if err := dec.Decode(&count); err != nil {
+		return fmt.Errorf("ag: load count: %w", err)
+	}
+	byName := make(map[string]*Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	if count != len(params) {
+		return fmt.Errorf("ag: checkpoint has %d params, model has %d", count, len(params))
+	}
+	seen := make(map[string]bool, count)
+	for i := 0; i < count; i++ {
+		var blob paramBlob
+		if err := dec.Decode(&blob); err != nil {
+			return fmt.Errorf("ag: load param %d: %w", i, err)
+		}
+		p, ok := byName[blob.Name]
+		if !ok {
+			return fmt.Errorf("ag: checkpoint param %q not in model", blob.Name)
+		}
+		if seen[blob.Name] {
+			return fmt.Errorf("ag: duplicate checkpoint param %q", blob.Name)
+		}
+		seen[blob.Name] = true
+		if p.Value.Rows != blob.Rows || p.Value.Cols != blob.Cols {
+			return fmt.Errorf("ag: param %q shape %dx%d in checkpoint, %dx%d in model",
+				blob.Name, blob.Rows, blob.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, blob.Data)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package ag
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"seqfm/internal/tensor"
+)
+
+// Node is one value in the computation graph: the forward result of an
+// operation plus the machinery to push its gradient back to its operands.
+type Node struct {
+	// Value is the forward result. Treat it as read-only after creation.
+	Value *tensor.Matrix
+
+	grad      *tensor.Matrix // lazily allocated, same shape as Value
+	needsGrad bool           // false for constants: backward skips them
+	back      func()         // propagates n.grad to parents; nil for leaves
+}
+
+// Rows returns the number of rows of the node's value.
+func (n *Node) Rows() int { return n.Value.Rows }
+
+// Cols returns the number of columns of the node's value.
+func (n *Node) Cols() int { return n.Value.Cols }
+
+// Grad returns the accumulated gradient of the node, or nil if backward has
+// not reached it. The returned matrix is owned by the tape.
+func (n *Node) Grad() *tensor.Matrix { return n.grad }
+
+// ensureGrad allocates the gradient buffer on first touch.
+func (n *Node) ensureGrad() *tensor.Matrix {
+	if n.grad == nil {
+		n.grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.grad
+}
+
+// Tape records a single forward pass. Tapes are cheap; build a fresh one per
+// training example (or per minibatch) and discard it after FlushGrads.
+// A Tape must not be shared between goroutines.
+type Tape struct {
+	nodes    []*Node
+	flushes  []func()
+	training bool
+	rng      *rand.Rand
+	ran      bool
+}
+
+// NewTape returns an inference-mode tape (dropout disabled).
+func NewTape() *Tape { return &Tape{} }
+
+// NewTrainingTape returns a tape with dropout enabled, drawing dropout masks
+// from rng. rng must not be shared with other tapes.
+func NewTrainingTape(rng *rand.Rand) *Tape {
+	return &Tape{training: true, rng: rng}
+}
+
+// Training reports whether the tape runs in training mode.
+func (t *Tape) Training() bool { return t.training }
+
+// NumNodes returns how many nodes the tape has recorded, a cheap proxy for
+// graph size used by tests and memory diagnostics.
+func (t *Tape) NumNodes() int { return len(t.nodes) }
+
+// node appends a freshly built node to the tape and returns it.
+func (t *Tape) node(value *tensor.Matrix, needsGrad bool, back func()) *Node {
+	n := &Node{Value: value, needsGrad: needsGrad, back: back}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Constant records a non-differentiable leaf. The matrix is not copied.
+func (t *Tape) Constant(m *tensor.Matrix) *Node {
+	return t.node(m, false, nil)
+}
+
+// ConstantScalar records a 1×1 non-differentiable leaf holding v.
+func (t *Tape) ConstantScalar(v float64) *Node {
+	return t.Constant(tensor.Scalar(v))
+}
+
+// Var records a differentiable leaf backed by parameter p. The node reads
+// p.Value directly (no copy); its gradient is transferred to p.Grad by
+// FlushGrads.
+func (t *Tape) Var(p *Param) *Node {
+	n := t.node(p.Value, true, nil)
+	t.flushes = append(t.flushes, func() {
+		if n.grad != nil {
+			p.Grad.AddInPlace(n.grad)
+		}
+	})
+	return n
+}
+
+// Backward seeds the gradient of loss (which must be 1×1) with 1 and runs the
+// reverse pass over the whole tape. It may be called once per tape.
+func (t *Tape) Backward(loss *Node) {
+	if !loss.Value.IsScalar() {
+		panic(fmt.Sprintf("ag: Backward on %dx%d node; loss must be 1x1", loss.Rows(), loss.Cols()))
+	}
+	if t.ran {
+		panic("ag: Backward called twice on one tape")
+	}
+	t.ran = true
+	loss.ensureGrad().Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.grad == nil || n.back == nil {
+			continue
+		}
+		n.back()
+	}
+}
+
+// FlushGrads transfers every Var/Gather gradient recorded on this tape into
+// the backing parameters' Grad fields. If mu is non-nil the transfer happens
+// under the lock, which lets data-parallel workers share one parameter set.
+func (t *Tape) FlushGrads(mu *sync.Mutex) {
+	if mu != nil {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	for _, f := range t.flushes {
+		f()
+	}
+}
+
+// accumulate adds g into the node's gradient buffer, used by backward
+// closures of consumers.
+func (n *Node) accumulate(g *tensor.Matrix) {
+	if !n.needsGrad {
+		return
+	}
+	n.ensureGrad().AddInPlace(g)
+}
+
+// anyNeedsGrad reports whether gradient tracking must continue through an op
+// with the given operands.
+func anyNeedsGrad(ns ...*Node) bool {
+	for _, n := range ns {
+		if n.needsGrad {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+// Package afm implements the Attentional Factorization Machine (Xiao et
+// al., IJCAI 2017): every pairwise element-wise product v_i ⊙ v_j is scored
+// by a small attention network, the products are combined with softmax
+// attention weights, and a final projection produces the interaction term.
+package afm
+
+import (
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises AFM.
+type Config struct {
+	Space feature.Space
+	// Dim is the embedding size; AttnDim the attention network width t.
+	Dim       int
+	AttnDim   int
+	MaxSeqLen int
+	Seed      int64
+}
+
+// Model is an AFM.
+type Model struct {
+	cfg  Config
+	w0   *ag.Param
+	w    *ag.Param
+	v    *nn.Embedding
+	attW *ag.Param // d×t attention projection
+	attB *ag.Param // 1×t attention bias
+	attH *ag.Param // 1×t attention scorer h
+	p    *ag.Param // 1×d final projection
+}
+
+// New builds the AFM for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := cfg.Space.TotalDim()
+	return &Model{
+		cfg:  cfg,
+		w0:   ag.NewParam("afm.w0", 1, 1, tensor.Zeros(), rng),
+		w:    ag.NewParam("afm.w", m, 1, tensor.Zeros(), rng),
+		v:    nn.NewEmbedding("afm.v", m, cfg.Dim, rng),
+		attW: ag.NewParam("afm.attW", cfg.Dim, cfg.AttnDim, tensor.XavierUniform(), rng),
+		attB: ag.NewParam("afm.attB", 1, cfg.AttnDim, tensor.Zeros(), rng),
+		attH: ag.NewParam("afm.attH", 1, cfg.AttnDim, tensor.XavierUniform(), rng),
+		p:    ag.NewParam("afm.p", 1, cfg.Dim, tensor.XavierUniform(), rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	ps := []*ag.Param{m.w0, m.w, m.attW, m.attB, m.attH, m.p}
+	return append(ps, m.v.Params()...)
+}
+
+func (m *Model) indices(inst feature.Instance) []int {
+	trimmed := inst
+	if n := len(inst.Hist); n > m.cfg.MaxSeqLen {
+		trimmed.Hist = inst.Hist[n-m.cfg.MaxSeqLen:]
+	}
+	return m.cfg.Space.AllIndices(trimmed)
+}
+
+// Score records w0 + linear + pᵀ Σ_ij a_ij (v_i ⊙ v_j).
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	idx := m.indices(inst)
+	linear := t.Add(t.Var(m.w0), t.GatherSum(m.w, idx))
+	n := len(idx)
+	if n < 2 {
+		return linear
+	}
+
+	rows := m.v.Gather(t, idx) // n×d
+	// Stack all pairwise element-wise products into an nPairs×d matrix.
+	pairs := make([]*ag.Node, 0, n*(n-1)/2)
+	rowNodes := make([]*ag.Node, n)
+	for i := 0; i < n; i++ {
+		rowNodes[i] = t.Row(rows, i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, t.Mul(rowNodes[i], rowNodes[j]))
+		}
+	}
+	pm := t.ConcatRows(pairs...) // nPairs×d
+
+	// Attention net: scores = ReLU(P·W + b)·hᵀ, softmax over pairs.
+	hidden := t.ReLU(t.AddRow(t.MatMul(pm, t.Var(m.attW)), t.Var(m.attB)))
+	scores := t.MatMulT(hidden, t.Var(m.attH))      // nPairs×1
+	attn := t.SoftmaxRows(t.Transpose(scores), nil) // 1×nPairs
+	pooled := t.MatMul(attn, pm)                    // 1×d
+	interaction := t.Dot(t.Var(m.p), pooled)
+
+	return t.Add(linear, interaction)
+}

@@ -1,0 +1,71 @@
+package afm
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, AttnDim: 3, MaxSeqLen: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+func TestSingleFeatureFallsBackToLinear(t *testing.T) {
+	// With fewer than two active features there are no pairs; the model
+	// must degrade to its linear part instead of panicking. This cannot
+	// happen through Space (user+target always present) so call the pair
+	// path boundary via an instance with empty history: n=2 → 1 pair, fine;
+	// the guard is for hypothetical single-field spaces, exercised directly.
+	m := tinyModel(3)
+	inst := btest.TestInstance(tinySpace())
+	inst.Hist = nil
+	s := btest.Score(m, inst)
+	_ = s // CheckFinite already asserts finiteness; this asserts no panic
+}
+
+// TestAttentionDistinguishesPairs: AFM differs from plain FM by weighting
+// pairs non-uniformly, so zeroing the attention scorer must change scores.
+func TestAttentionDistinguishesPairs(t *testing.T) {
+	m := tinyModel(4)
+	inst := btest.TestInstance(tinySpace())
+	before := btest.Score(m, inst)
+	for i := range m.attH.Value.Data {
+		m.attH.Value.Data[i] = 0 // uniform attention
+	}
+	if btest.Score(m, inst) == before {
+		t.Fatal("attention head has no effect on the score")
+	}
+}
+
+func TestOrderInsensitive(t *testing.T) {
+	// AFM attends over unordered pairs: permuting history permutes pairs
+	// but the softmax-weighted sum is permutation invariant.
+	m := tinyModel(5)
+	a := btest.TestInstance(tinySpace())
+	a.Hist = []int{1, 2, 3}
+	b := a
+	b.Hist = []int{3, 1, 2}
+	diff := btest.Score(m, a) - btest.Score(m, b)
+	if diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("AFM should be order-insensitive, diff=%g", diff)
+	}
+}
+
+func TestTrainsOnRanking(t *testing.T) {
+	ds, split := btest.TinyRanking(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, AttnDim: 8, MaxSeqLen: 5, Seed: 6})
+	btest.CheckRankingTrains(t, m, split)
+}

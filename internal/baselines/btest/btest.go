@@ -1,0 +1,168 @@
+// Package btest provides the shared test harness for baseline models: every
+// baseline must produce finite scores on edge-case inputs, pass a
+// finite-difference gradient check of its full forward pass, and drive its
+// task loss down on a tiny synthetic dataset.
+package btest
+
+import (
+	"math"
+	"testing"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/data"
+	"seqfm/internal/feature"
+	"seqfm/internal/train"
+)
+
+// TinyRanking builds a small POI dataset and split.
+func TinyRanking(t *testing.T) (*data.Dataset, *data.Split) {
+	t.Helper()
+	cfg := data.GowallaConfig(0.001, 17)
+	cfg.MinLen, cfg.MaxLen = 6, 12
+	d, err := data.GeneratePOI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, data.NewSplit(d)
+}
+
+// TinyCTR builds a small click dataset and split.
+func TinyCTR(t *testing.T) (*data.Dataset, *data.Split) {
+	t.Helper()
+	cfg := data.TaobaoConfig(0.0008, 18)
+	cfg.MinLen, cfg.MaxLen = 6, 12
+	d, err := data.GenerateCTR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, data.NewSplit(d)
+}
+
+// TinyRating builds a small rating dataset and split.
+func TinyRating(t *testing.T) (*data.Dataset, *data.Split) {
+	t.Helper()
+	cfg := data.BeautyConfig(0.0015, 19)
+	d, err := data.GenerateRating(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, data.NewSplit(d)
+}
+
+// Score runs one inference forward pass.
+func Score(m train.Model, inst feature.Instance) float64 {
+	tp := ag.NewTape()
+	return m.Score(tp, inst).Value.ScalarValue()
+}
+
+// CheckFinite scores normal, empty-history and over-long-history instances
+// and fails on NaN/Inf.
+func CheckFinite(t *testing.T, m train.Model, space feature.Space) {
+	t.Helper()
+	base := feature.Instance{
+		User: 0, Target: 1, Hist: []int{0, 2, 1},
+		UserAttr: feature.Pad, TargetAttr: feature.Pad,
+	}
+	long := base
+	long.Hist = make([]int, 200)
+	for i := range long.Hist {
+		long.Hist[i] = i % space.NumObjects
+	}
+	empty := base
+	empty.Hist = nil
+	for name, inst := range map[string]feature.Instance{
+		"normal": base, "long": long, "empty": empty,
+	} {
+		s := Score(m, inst)
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Errorf("%s history: score %v", name, s)
+		}
+	}
+}
+
+// CheckGradient validates the model's full Score against central finite
+// differences, sampling at most maxPerParam coordinates per parameter.
+func CheckGradient(t *testing.T, m train.Model, inst feature.Instance, maxPerParam int) {
+	t.Helper()
+	loss := func(tp *ag.Tape) *ag.Node { return tp.Square(m.Score(tp, inst)) }
+	params := m.Params()
+	ag.ZeroGrads(params)
+	tp := ag.NewTape()
+	l := loss(tp)
+	tp.Backward(l)
+	tp.FlushGrads(nil)
+
+	const eps, tol = 1e-6, 5e-4
+	for _, p := range params {
+		n := len(p.Value.Data)
+		stride := 1
+		if maxPerParam > 0 && n > maxPerParam {
+			stride = n / maxPerParam
+		}
+		for i := 0; i < n; i += stride {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			up := loss(ag.NewTape()).Value.ScalarValue()
+			p.Value.Data[i] = orig - eps
+			down := loss(ag.NewTape()).Value.ScalarValue()
+			p.Value.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if math.Abs(numeric-analytic)/scale > tol {
+				t.Fatalf("%s[%d]: analytic %.8f vs numeric %.8f", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+// trainCfg is a fast configuration for loss-decrease checks.
+func trainCfg() train.Config {
+	return train.Config{Epochs: 4, BatchSize: 32, LR: 3e-3, Negatives: 2, Seed: 5}
+}
+
+// CheckRankingTrains asserts the BPR loss decreases for m.
+func CheckRankingTrains(t *testing.T, m train.Model, split *data.Split) {
+	t.Helper()
+	hist, err := train.Ranking(m, split, trainCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDecreased(t, hist)
+}
+
+// CheckClassificationTrains asserts the log loss decreases for m.
+func CheckClassificationTrains(t *testing.T, m train.Model, split *data.Split) {
+	t.Helper()
+	hist, err := train.Classification(m, split, trainCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDecreased(t, hist)
+}
+
+// CheckRegressionTrains asserts the squared loss decreases for m.
+func CheckRegressionTrains(t *testing.T, m train.Model, split *data.Split) {
+	t.Helper()
+	hist, err := train.Regression(m, split, trainCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDecreased(t, hist)
+}
+
+func assertDecreased(t *testing.T, hist *train.History) {
+	t.Helper()
+	first, last := hist.Epochs[0].Loss, hist.FinalLoss()
+	if math.IsNaN(last) || last >= first {
+		t.Fatalf("loss did not decrease: %.5f -> %.5f", first, last)
+	}
+}
+
+// TestInstance returns a representative instance for gradient checks.
+func TestInstance(space feature.Space) feature.Instance {
+	return feature.Instance{
+		User: 1, Target: 2, Hist: []int{0, 3, 1},
+		UserAttr: feature.Pad, TargetAttr: feature.Pad, Label: 4,
+	}
+}

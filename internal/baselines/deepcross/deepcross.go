@@ -1,0 +1,96 @@
+// Package deepcross implements Deep Crossing (Shan et al., SIGKDD 2016):
+// field embeddings are concatenated and pushed through a stack of residual
+// units, y = ReLU(x + W₂·ReLU(W₁x + b₁) + b₂), followed by a linear scorer —
+// "multiple residual network blocks upon the concatenation layer" (§V-B).
+package deepcross
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+)
+
+// Config parameterises Deep Crossing.
+type Config struct {
+	Space feature.Space
+	Dim   int
+	// Blocks is the number of stacked residual units.
+	Blocks int
+	// HiddenDim is the inner width of each residual unit.
+	HiddenDim int
+	MaxSeqLen int
+	Dropout   float64
+	Seed      int64
+}
+
+// residualUnit is one Deep Crossing block.
+type residualUnit struct {
+	fc1, fc2 *nn.Linear
+}
+
+// Model is a Deep Crossing network.
+type Model struct {
+	cfg    Config
+	embS   *nn.Embedding
+	embD   *nn.Embedding
+	blocks []*residualUnit
+	out    *nn.Linear
+}
+
+// New builds the model for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fields := cfg.Space.NumStaticFields() + 1
+	width := fields * cfg.Dim
+	m := &Model{
+		cfg:  cfg,
+		embS: nn.NewEmbedding("dc.embS", cfg.Space.StaticDim(), cfg.Dim, rng),
+		embD: nn.NewEmbedding("dc.embD", cfg.Space.DynamicDim(), cfg.Dim, rng),
+		out:  nn.NewLinear("dc.out", width, 1, rng),
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		m.blocks = append(m.blocks, &residualUnit{
+			fc1: nn.NewLinear(fmt.Sprintf("dc.block%d.fc1", b), width, cfg.HiddenDim, rng),
+			fc2: nn.NewLinear(fmt.Sprintf("dc.block%d.fc2", b), cfg.HiddenDim, width, rng),
+		})
+	}
+	return m
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	var ps []*ag.Param
+	ps = append(ps, m.embS.Params()...)
+	ps = append(ps, m.embD.Params()...)
+	for _, b := range m.blocks {
+		ps = append(ps, b.fc1.Params()...)
+		ps = append(ps, b.fc2.Params()...)
+	}
+	ps = append(ps, m.out.Params()...)
+	return ps
+}
+
+// Score records the stacked residual network output.
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	trimmed := inst
+	if n := len(inst.Hist); n > m.cfg.MaxSeqLen {
+		trimmed.Hist = inst.Hist[n-m.cfg.MaxSeqLen:]
+	}
+	sp := m.cfg.Space
+	fields := make([]*ag.Node, 0, sp.NumStaticFields()+1)
+	for _, ix := range sp.StaticIndices(trimmed) {
+		fields = append(fields, m.embS.Gather(t, []int{ix}))
+	}
+	fields = append(fields, m.embD.GatherMean(t, trimmed.Hist))
+	h := t.ConcatCols(fields...)
+
+	for _, b := range m.blocks {
+		inner := t.ReLU(b.fc1.Forward(t, h))
+		h = t.ReLU(t.Add(h, b.fc2.Forward(t, inner)))
+		h = t.Dropout(h, m.cfg.Dropout)
+	}
+	return m.out.Forward(t, h)
+}

@@ -1,0 +1,59 @@
+package deepcross
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, Blocks: 2, HiddenDim: 6, MaxSeqLen: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+func TestBlockCountMatchesConfig(t *testing.T) {
+	m := tinyModel(3)
+	if len(m.blocks) != 2 {
+		t.Fatalf("blocks=%d", len(m.blocks))
+	}
+	// 2 embeddings + 2 blocks × 2 linears × 2 params + out layer (2).
+	if got := len(m.Params()); got != 2+8+2 {
+		t.Fatalf("params=%d", got)
+	}
+}
+
+func TestResidualBlocksContribute(t *testing.T) {
+	m := tinyModel(4)
+	inst := btest.TestInstance(tinySpace())
+	before := btest.Score(m, inst)
+	// A large positive bias shift guarantees the block's outer ReLU opens
+	// for that coordinate, so the perturbation must reach the output.
+	m.blocks[1].fc2.B.Value.Data[0] += 10
+	if btest.Score(m, inst) == before {
+		t.Fatal("second residual block inert")
+	}
+}
+
+func TestTrainsOnClassification(t *testing.T) {
+	ds, split := btest.TinyCTR(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, Blocks: 2, HiddenDim: 12, MaxSeqLen: 5, Seed: 5})
+	btest.CheckClassificationTrains(t, m, split)
+}
+
+func TestTrainsOnRegression(t *testing.T) {
+	ds, split := btest.TinyRating(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, Blocks: 2, HiddenDim: 12, MaxSeqLen: 5, Seed: 6})
+	btest.CheckRegressionTrains(t, m, split)
+}

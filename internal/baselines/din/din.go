@@ -1,0 +1,95 @@
+// Package din implements the Deep Interest Network (Zhou et al., SIGKDD
+// 2018), the paper's additional CTR baseline: for each candidate link, an
+// activation unit scores every history position from the concatenation
+// [h_i, candidate, h_i ⊙ candidate]; the activation-weighted sum of history
+// embeddings is the user's candidate-specific interest, which an MLP
+// combines with the static fields to produce the click logit.
+//
+// Per the original paper the activation weights are used as-is (no softmax
+// normalisation), "to reserve the intensity of user interests".
+package din
+
+import (
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises DIN.
+type Config struct {
+	Space feature.Space
+	Dim   int
+	// ActHidden is the activation unit's hidden width; Hidden the top MLP.
+	ActHidden int
+	Hidden    []int
+	MaxSeqLen int
+	Dropout   float64
+	Seed      int64
+}
+
+// Model is a DIN.
+type Model struct {
+	cfg     Config
+	embS    *nn.Embedding
+	embD    *nn.Embedding
+	actUnit *nn.MLP
+	top     *nn.MLP
+}
+
+// New builds the DIN for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// user emb + interest + candidate + interest⊙candidate (+ attrs)
+	topIn := (cfg.Space.NumStaticFields() + 2) * cfg.Dim
+	dims := append([]int{topIn}, cfg.Hidden...)
+	dims = append(dims, 1)
+	return &Model{
+		cfg:     cfg,
+		embS:    nn.NewEmbedding("din.embS", cfg.Space.StaticDim(), cfg.Dim, rng),
+		embD:    nn.NewEmbedding("din.embD", cfg.Space.DynamicDim(), cfg.Dim, rng),
+		actUnit: nn.NewMLP("din.act", []int{3 * cfg.Dim, cfg.ActHidden, 1}, 0, rng),
+		top:     nn.NewMLP("din.top", dims, cfg.Dropout, rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	var ps []*ag.Param
+	ps = append(ps, m.embS.Params()...)
+	ps = append(ps, m.embD.Params()...)
+	ps = append(ps, m.actUnit.Params()...)
+	ps = append(ps, m.top.Params()...)
+	return ps
+}
+
+// Score records the DIN click logit for inst.
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	trimmed := inst
+	if n := len(inst.Hist); n > m.cfg.MaxSeqLen {
+		trimmed.Hist = inst.Hist[n-m.cfg.MaxSeqLen:]
+	}
+	sp := m.cfg.Space
+	staticIdx := sp.StaticIndices(trimmed)
+	cand := m.embD.Gather(t, []int{trimmed.Target}) // 1×d candidate in item space
+
+	var interest *ag.Node
+	if len(trimmed.Hist) > 0 {
+		hist := m.embD.Gather(t, trimmed.Hist) // n×d
+		candRep := t.BroadcastRow(cand, len(trimmed.Hist))
+		actIn := t.ConcatCols(hist, candRep, t.Mul(hist, candRep)) // n×3d
+		weights := m.actUnit.Forward(t, actIn)                     // n×1 activations
+		interest = t.MatMul(t.Transpose(weights), hist)            // 1×d weighted sum
+	} else {
+		interest = t.Constant(tensor.New(1, m.cfg.Dim))
+	}
+
+	fields := make([]*ag.Node, 0, len(staticIdx)+2)
+	for _, ix := range staticIdx {
+		fields = append(fields, m.embS.Gather(t, []int{ix}))
+	}
+	fields = append(fields, interest, t.Mul(interest, cand))
+	return m.top.Forward(t, t.Dropout(t.ConcatCols(fields...), m.cfg.Dropout))
+}

@@ -1,0 +1,62 @@
+package din
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, ActHidden: 4,
+		Hidden: []int{6}, MaxSeqLen: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+// TestCandidateSpecificInterest: DIN's defining property — the interest
+// vector depends on the candidate, so two candidates see different
+// weightings of the same history.
+func TestCandidateSpecificInterest(t *testing.T) {
+	m := tinyModel(3)
+	inst := btest.TestInstance(tinySpace())
+	before := btest.Score(m, inst)
+	m.actUnit.Layers[0].W.Value.Data[0] += 1
+	if btest.Score(m, inst) == before {
+		t.Fatal("activation unit inert")
+	}
+}
+
+func TestEmptyHistoryZeroInterest(t *testing.T) {
+	m := tinyModel(4)
+	inst := btest.TestInstance(tinySpace())
+	inst.Hist = nil
+	_ = btest.Score(m, inst) // must not panic
+}
+
+func TestHistoryInfluences(t *testing.T) {
+	m := tinyModel(5)
+	a := btest.TestInstance(tinySpace())
+	b := a
+	b.Hist = []int{4, 4, 4}
+	if btest.Score(m, a) == btest.Score(m, b) {
+		t.Fatal("history has no influence on DIN")
+	}
+}
+
+func TestTrainsOnClassification(t *testing.T) {
+	ds, split := btest.TinyCTR(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, ActHidden: 8,
+		Hidden: []int{8}, MaxSeqLen: 5, Seed: 6})
+	btest.CheckClassificationTrains(t, m, split)
+}

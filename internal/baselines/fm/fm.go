@@ -1,0 +1,95 @@
+// Package fm implements the plain Factorization Machine (Rendle, ICDM 2010),
+// the paper's first common baseline: Eq. (2) with the O(nd) pairwise
+// identity Σ_{i<j}⟨v_i,v_j⟩ = ½ Σ_d ((Σ_i v_id)² − Σ_i v_id²).
+//
+// Like every FM-based baseline in the paper's protocol (§V-C), it consumes
+// the flat set-category encoding: all static features plus the user's past
+// objects as order-free one-hots (Figure 1, upper part).
+package fm
+
+import (
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises the FM baseline.
+type Config struct {
+	Space feature.Space
+	// Dim is the factorization rank d.
+	Dim int
+	// MaxSeqLen bounds how many past objects enter the set-category block,
+	// matching the history window the sequence-aware models see.
+	MaxSeqLen int
+	Seed      int64
+}
+
+// Model is a plain second-order factorization machine.
+type Model struct {
+	cfg Config
+	w0  *ag.Param
+	w   *ag.Param // m×1 linear weights over the full feature space
+	v   *nn.Embedding
+}
+
+// New builds the FM for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := cfg.Space.TotalDim()
+	return &Model{
+		cfg: cfg,
+		w0:  ag.NewParam("fm.w0", 1, 1, tensor.Zeros(), rng),
+		w:   ag.NewParam("fm.w", m, 1, tensor.Zeros(), rng),
+		v:   nn.NewEmbedding("fm.v", m, cfg.Dim, rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	return append([]*ag.Param{m.w0, m.w}, m.v.Params()...)
+}
+
+// indices returns the active global feature indices for inst with the
+// history truncated to the configured window.
+func (m *Model) indices(inst feature.Instance) []int {
+	trimmed := inst
+	if n := len(inst.Hist); n > m.cfg.MaxSeqLen {
+		trimmed.Hist = inst.Hist[n-m.cfg.MaxSeqLen:]
+	}
+	return m.cfg.Space.AllIndices(trimmed)
+}
+
+// Score records Eq. (2): global bias + linear + pairwise interactions.
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	idx := m.indices(inst)
+	linear := t.Add(t.Var(m.w0), t.GatherSum(m.w, idx))
+
+	// ½((Σv)² − Σv²) summed over latent dimensions.
+	sum := m.v.GatherSum(t, idx)                 // 1×d
+	sumSq := t.Sum(t.Square(sum))                // (Σv)² summed over dims
+	sqSum := t.Sum(t.Square(m.v.Gather(t, idx))) // Σv² summed over rows+dims
+	pairwise := t.Scale(0.5, t.Sub(sumSq, sqSum))
+
+	return t.Add(linear, pairwise)
+}
+
+// PairwiseBrute recomputes the interaction term by the O(n²d) double sum of
+// Eq. (2) directly from the embedding table — used by tests to prove the
+// O(nd) identity.
+func (m *Model) PairwiseBrute(inst feature.Instance) float64 {
+	idx := m.indices(inst)
+	total := 0.0
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			va := m.v.Table.Value.Row(idx[a])
+			vb := m.v.Table.Value.Row(idx[b])
+			for k := range va {
+				total += va[k] * vb[k]
+			}
+		}
+	}
+	return total
+}

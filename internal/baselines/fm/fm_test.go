@@ -1,0 +1,102 @@
+package fm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 5, NumObjects: 7}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, MaxSeqLen: 5, Seed: seed})
+}
+
+// TestPairwiseIdentity is the classic FM correctness proof: the O(nd)
+// reformulation must equal the brute-force O(n²d) double sum of Eq. (2).
+func TestPairwiseIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := tinyModel(seed)
+		inst := feature.Instance{
+			User:     rng.Intn(5),
+			Target:   rng.Intn(7),
+			Hist:     []int{rng.Intn(7), rng.Intn(7), rng.Intn(7)},
+			UserAttr: feature.Pad, TargetAttr: feature.Pad,
+		}
+		tp := ag.NewTape()
+		full := m.Score(tp, inst).Value.ScalarValue()
+		// Subtract the linear part to isolate the pairwise term.
+		linear := m.w0.Value.ScalarValue()
+		for _, ix := range m.indices(inst) {
+			linear += m.w.Value.At(ix, 0)
+		}
+		pairwise := full - linear
+		brute := m.PairwiseBrute(inst)
+		return math.Abs(pairwise-brute) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	m := tinyModel(2)
+	btest.CheckGradient(t, m, btest.TestInstance(tinySpace()), 0)
+}
+
+func TestHistoryWindow(t *testing.T) {
+	m := tinyModel(3) // MaxSeqLen 5
+	inst := btest.TestInstance(tinySpace())
+	inst.Hist = []int{6, 6, 6, 0, 1, 2, 3, 4} // 8 items, window keeps last 5
+	with := btest.Score(m, inst)
+	inst.Hist = []int{0, 0, 0, 0, 1, 2, 3, 4} // differs only outside window
+	if btest.Score(m, inst) != with {
+		t.Fatal("items beyond MaxSeqLen affected the FM score")
+	}
+}
+
+// TestOrderInsensitive documents the paper's core criticism of set-category
+// FMs (Figure 1): permuting the history must NOT change the FM score.
+func TestOrderInsensitive(t *testing.T) {
+	m := tinyModel(4)
+	a := btest.TestInstance(tinySpace())
+	a.Hist = []int{1, 2, 3}
+	b := a
+	b.Hist = []int{3, 1, 2}
+	if btest.Score(m, a) != btest.Score(m, b) {
+		t.Fatal("plain FM should be order-insensitive over set-category features")
+	}
+}
+
+func TestTrainsOnRanking(t *testing.T) {
+	ds, split := btest.TinyRanking(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, MaxSeqLen: 5, Seed: 5})
+	btest.CheckRankingTrains(t, m, split)
+}
+
+func TestTrainsOnRegression(t *testing.T) {
+	ds, split := btest.TinyRating(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, MaxSeqLen: 5, Seed: 6})
+	btest.CheckRegressionTrains(t, m, split)
+}
+
+func TestParamCount(t *testing.T) {
+	m := tinyModel(7)
+	// w0 (1) + w (m) + V (m×d), m = 5+7+7 = 19, d = 4.
+	want := 1 + 19 + 19*4
+	if got := ag.NumParams(m.Params()); got != want {
+		t.Fatalf("params %d, want %d", got, want)
+	}
+}

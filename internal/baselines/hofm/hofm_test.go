@@ -1,0 +1,70 @@
+package hofm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 3, MaxSeqLen: 4, Seed: seed})
+}
+
+// TestOrder3Identity proves the ANOVA-kernel DP against the brute-force
+// O(n³d) triple sum — the correctness core of HOFM.
+func TestOrder3Identity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := tinyModel(seed)
+		inst := feature.Instance{
+			User:     rng.Intn(4),
+			Target:   rng.Intn(6),
+			Hist:     []int{rng.Intn(6), rng.Intn(6), rng.Intn(6)},
+			UserAttr: feature.Pad, TargetAttr: feature.Pad,
+		}
+		tp := ag.NewTape()
+		dp := m.order3(tp, m.indices(inst)).Value.ScalarValue()
+		brute := m.Order3Brute(inst)
+		return math.Abs(dp-brute) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+func TestTrainsOnRegression(t *testing.T) {
+	ds, split := btest.TinyRating(t)
+	m := New(Config{Space: ds.Space(), Dim: 6, MaxSeqLen: 5, Seed: 3})
+	btest.CheckRegressionTrains(t, m, split)
+}
+
+func TestSeparateOrderTables(t *testing.T) {
+	m := tinyModel(4)
+	if m.v2.Table == m.v3.Table {
+		t.Fatal("orders must have separate embedding tables")
+	}
+	// Perturbing an ACTIVE row of the order-3 table must change the score.
+	inst := btest.TestInstance(tinySpace()) // user 1 → static index 1
+	before := btest.Score(m, inst)
+	m.v3.Table.Value.Row(1)[0] += 1
+	if btest.Score(m, inst) == before {
+		t.Fatal("order-3 table does not influence the score")
+	}
+}

@@ -1,0 +1,79 @@
+// Package nfm implements the Neural Factorization Machine (He & Chua,
+// SIGIR 2017): the bi-interaction pooling vector ½((Σv)² − Σv²) — the
+// element-wise analogue of FM's pairwise term — fed through a multi-layer
+// perceptron, keeping the global bias and linear terms of Eq. (2).
+package nfm
+
+import (
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises NFM.
+type Config struct {
+	Space feature.Space
+	// Dim is the embedding size; Hidden the MLP widths above the
+	// bi-interaction layer.
+	Dim       int
+	Hidden    []int
+	MaxSeqLen int
+	Dropout   float64
+	Seed      int64
+}
+
+// Model is an NFM.
+type Model struct {
+	cfg Config
+	w0  *ag.Param
+	w   *ag.Param
+	v   *nn.Embedding
+	mlp *nn.MLP
+}
+
+// New builds the NFM for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := cfg.Space.TotalDim()
+	dims := append([]int{cfg.Dim}, cfg.Hidden...)
+	dims = append(dims, 1)
+	return &Model{
+		cfg: cfg,
+		w0:  ag.NewParam("nfm.w0", 1, 1, tensor.Zeros(), rng),
+		w:   ag.NewParam("nfm.w", m, 1, tensor.Zeros(), rng),
+		v:   nn.NewEmbedding("nfm.v", m, cfg.Dim, rng),
+		mlp: nn.NewMLP("nfm.mlp", dims, cfg.Dropout, rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	ps := []*ag.Param{m.w0, m.w}
+	ps = append(ps, m.v.Params()...)
+	ps = append(ps, m.mlp.Params()...)
+	return ps
+}
+
+func (m *Model) indices(inst feature.Instance) []int {
+	trimmed := inst
+	if n := len(inst.Hist); n > m.cfg.MaxSeqLen {
+		trimmed.Hist = inst.Hist[n-m.cfg.MaxSeqLen:]
+	}
+	return m.cfg.Space.AllIndices(trimmed)
+}
+
+// Score records w0 + linear + MLP(biInteraction).
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	idx := m.indices(inst)
+	linear := t.Add(t.Var(m.w0), t.GatherSum(m.w, idx))
+
+	rows := m.v.Gather(t, idx)
+	sum := t.SumRows(rows)
+	bi := t.Scale(0.5, t.Sub(t.Square(sum), t.SumRows(t.Square(rows)))) // 1×d
+	deep := m.mlp.Forward(t, t.Dropout(bi, m.cfg.Dropout))
+
+	return t.Add(linear, deep)
+}

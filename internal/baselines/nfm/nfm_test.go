@@ -1,0 +1,67 @@
+package nfm
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, Hidden: []int{4}, MaxSeqLen: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+func TestTrainsOnAllTasks(t *testing.T) {
+	t.Run("ranking", func(t *testing.T) {
+		ds, split := btest.TinyRanking(t)
+		btest.CheckRankingTrains(t, New(Config{Space: ds.Space(), Dim: 8,
+			Hidden: []int{8}, MaxSeqLen: 5, Seed: 3}), split)
+	})
+	t.Run("classification", func(t *testing.T) {
+		ds, split := btest.TinyCTR(t)
+		btest.CheckClassificationTrains(t, New(Config{Space: ds.Space(), Dim: 8,
+			Hidden: []int{8}, MaxSeqLen: 5, Seed: 4}), split)
+	})
+	t.Run("regression", func(t *testing.T) {
+		ds, split := btest.TinyRating(t)
+		btest.CheckRegressionTrains(t, New(Config{Space: ds.Space(), Dim: 8,
+			Hidden: []int{8}, MaxSeqLen: 5, Seed: 5}), split)
+	})
+}
+
+// TestOrderInsensitive: NFM's bi-interaction pooling is a sum over features,
+// so like plain FM it cannot distinguish history orderings.
+func TestOrderInsensitive(t *testing.T) {
+	m := tinyModel(6)
+	a := btest.TestInstance(tinySpace())
+	a.Hist = []int{1, 2, 3}
+	b := a
+	b.Hist = []int{2, 3, 1}
+	// Tolerance admits float summation-order differences only.
+	diff := btest.Score(m, a) - btest.Score(m, b)
+	if diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("NFM should be order-insensitive, diff=%g", diff)
+	}
+}
+
+func TestDeepMLPUsed(t *testing.T) {
+	m := tinyModel(7)
+	inst := btest.TestInstance(tinySpace())
+	before := btest.Score(m, inst)
+	m.mlp.Layers[0].W.Value.Data[0] += 1
+	if btest.Score(m, inst) == before {
+		t.Fatal("MLP weights do not influence the score")
+	}
+}

@@ -1,0 +1,85 @@
+// Package rrn implements the Recurrent Recommender Network (Wu et al.,
+// WSDM 2017), the paper's additional regression baseline: a recurrent
+// (GRU) state summarises the user's rating sequence, and the predicted
+// rating combines the autoregressive state with stationary user/item
+// factors and biases:
+//
+//	ŷ = μ + b_u + b_i + ⟨proj(h_T), e_i⟩ + ⟨u, e_i⟩
+//
+// where h_T is the GRU state after consuming the (windowed) history.
+package rrn
+
+import (
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises RRN.
+type Config struct {
+	Space feature.Space
+	Dim   int
+	// Hidden is the GRU state width.
+	Hidden    int
+	MaxSeqLen int
+	Seed      int64
+}
+
+// Model is an RRN rating predictor.
+type Model struct {
+	cfg      Config
+	mu       *ag.Param
+	userBias *ag.Param
+	itemBias *ag.Param
+	userEmb  *nn.Embedding
+	itemEmb  *nn.Embedding
+	gru      *nn.GRUCell
+	proj     *nn.Linear
+}
+
+// New builds the RRN for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Model{
+		cfg:      cfg,
+		mu:       ag.NewParam("rrn.mu", 1, 1, tensor.Zeros(), rng),
+		userBias: ag.NewParam("rrn.bu", cfg.Space.NumUsers, 1, tensor.Zeros(), rng),
+		itemBias: ag.NewParam("rrn.bi", cfg.Space.DynamicDim(), 1, tensor.Zeros(), rng),
+		userEmb:  nn.NewEmbedding("rrn.user", cfg.Space.NumUsers, cfg.Dim, rng),
+		itemEmb:  nn.NewEmbedding("rrn.item", cfg.Space.DynamicDim(), cfg.Dim, rng),
+		gru:      nn.NewGRUCell("rrn.gru", cfg.Dim, cfg.Hidden, rng),
+		proj:     nn.NewLinear("rrn.proj", cfg.Hidden, cfg.Dim, rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	ps := []*ag.Param{m.mu, m.userBias, m.itemBias}
+	ps = append(ps, m.userEmb.Params()...)
+	ps = append(ps, m.itemEmb.Params()...)
+	ps = append(ps, m.gru.Params()...)
+	ps = append(ps, m.proj.Params()...)
+	return ps
+}
+
+// Score records the RRN rating prediction.
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	hist := inst.Hist
+	if n := len(hist); n > m.cfg.MaxSeqLen {
+		hist = hist[n-m.cfg.MaxSeqLen:]
+	}
+	state := m.gru.InitState(t)
+	for _, item := range hist {
+		state = m.gru.Step(t, state, m.itemEmb.Gather(t, []int{item}))
+	}
+	cand := m.itemEmb.Gather(t, []int{inst.Target})
+	u := m.userEmb.Gather(t, []int{inst.User})
+
+	out := t.Add(t.Var(m.mu), t.GatherSum(m.userBias, []int{inst.User}))
+	out = t.Add(out, t.GatherSum(m.itemBias, []int{inst.Target}))
+	out = t.Add(out, t.Dot(m.proj.Forward(t, state), cand))
+	return t.Add(out, t.Dot(u, cand))
+}

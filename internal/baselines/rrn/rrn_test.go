@@ -1,0 +1,75 @@
+package rrn
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, Hidden: 5, MaxSeqLen: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+// TestOrderSensitive: the recurrent state is order dependent by design.
+func TestOrderSensitive(t *testing.T) {
+	m := tinyModel(3)
+	a := btest.TestInstance(tinySpace())
+	a.Hist = []int{1, 2, 3}
+	b := a
+	b.Hist = []int{3, 2, 1}
+	if btest.Score(m, a) == btest.Score(m, b) {
+		t.Fatal("RRN should be order-sensitive")
+	}
+}
+
+func TestBiasesContribute(t *testing.T) {
+	m := tinyModel(4)
+	inst := btest.TestInstance(tinySpace())
+	ref := btest.Score(m, inst)
+	m.mu.Value.Data[0] += 1
+	s := btest.Score(m, inst)
+	if s != ref+1 {
+		t.Fatalf("global mean should shift score by exactly 1: %v -> %v", ref, s)
+	}
+	m.userBias.Value.Row(inst.User)[0] += 0.5
+	if got := btest.Score(m, inst); got != s+0.5 {
+		t.Fatalf("user bias should shift score by 0.5: %v -> %v", s, got)
+	}
+}
+
+func TestEmptyHistoryUsesInitState(t *testing.T) {
+	m := tinyModel(5)
+	inst := btest.TestInstance(tinySpace())
+	inst.Hist = nil
+	_ = btest.Score(m, inst) // must not panic
+}
+
+func TestWindowTruncation(t *testing.T) {
+	m := tinyModel(6) // MaxSeqLen 4
+	inst := btest.TestInstance(tinySpace())
+	inst.Hist = []int{5, 1, 2, 3, 4}
+	a := btest.Score(m, inst)
+	inst.Hist = []int{0, 1, 2, 3, 4}
+	if btest.Score(m, inst) != a {
+		t.Fatal("items beyond the GRU window affected the score")
+	}
+}
+
+func TestTrainsOnRegression(t *testing.T) {
+	ds, split := btest.TinyRating(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, Hidden: 8, MaxSeqLen: 5, Seed: 7})
+	btest.CheckRegressionTrains(t, m, split)
+}

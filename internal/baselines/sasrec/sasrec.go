@@ -1,0 +1,109 @@
+// Package sasrec implements the Self-Attentive Sequential Recommendation
+// model (Kang & McAuley, ICDM 2018), the paper's additional ranking
+// baseline: learned positional embeddings added to the item sequence,
+// stacked blocks of causally-masked self-attention plus a point-wise
+// feed-forward network with residual connections and layer normalisation,
+// and scoring by the inner product between the last position's
+// representation and the candidate item embedding.
+package sasrec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises SASRec.
+type Config struct {
+	Space feature.Space
+	Dim   int
+	// Blocks is the number of attention+FFN blocks (the paper's SASRec
+	// default is 2).
+	Blocks    int
+	MaxSeqLen int
+	Dropout   float64
+	Seed      int64
+}
+
+// block is one self-attention + point-wise FFN stage.
+type block struct {
+	attn     *nn.SelfAttention
+	ln1, ln2 *nn.LayerNorm
+	fc1, fc2 *nn.Linear
+}
+
+// Model is a SASRec recommender.
+type Model struct {
+	cfg      Config
+	itemEmb  *nn.Embedding
+	posEmb   *ag.Param // MaxSeqLen×d learned positional embeddings
+	itemBias *ag.Param // per-item score bias
+	blocks   []*block
+	lnFinal  *nn.LayerNorm
+	mask     *tensor.Matrix
+	posIdx   []int
+}
+
+// New builds the SASRec model for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		cfg:      cfg,
+		itemEmb:  nn.NewEmbedding("sasrec.item", cfg.Space.DynamicDim(), cfg.Dim, rng),
+		posEmb:   ag.NewParam("sasrec.pos", cfg.MaxSeqLen, cfg.Dim, tensor.Normal(0, 0.01), rng),
+		itemBias: ag.NewParam("sasrec.bias", cfg.Space.DynamicDim(), 1, tensor.Zeros(), rng),
+		lnFinal:  nn.NewLayerNorm("sasrec.lnFinal", cfg.Dim, rng),
+		mask:     nn.CausalMask(cfg.MaxSeqLen),
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		m.blocks = append(m.blocks, &block{
+			attn: nn.NewSelfAttention(fmt.Sprintf("sasrec.b%d.attn", b), cfg.Dim, rng),
+			ln1:  nn.NewLayerNorm(fmt.Sprintf("sasrec.b%d.ln1", b), cfg.Dim, rng),
+			ln2:  nn.NewLayerNorm(fmt.Sprintf("sasrec.b%d.ln2", b), cfg.Dim, rng),
+			fc1:  nn.NewLinear(fmt.Sprintf("sasrec.b%d.fc1", b), cfg.Dim, cfg.Dim, rng),
+			fc2:  nn.NewLinear(fmt.Sprintf("sasrec.b%d.fc2", b), cfg.Dim, cfg.Dim, rng),
+		})
+	}
+	m.posIdx = make([]int, cfg.MaxSeqLen)
+	for i := range m.posIdx {
+		m.posIdx[i] = i
+	}
+	return m
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	ps := []*ag.Param{m.posEmb, m.itemBias}
+	ps = append(ps, m.itemEmb.Params()...)
+	for _, b := range m.blocks {
+		ps = append(ps, b.attn.Params()...)
+		ps = append(ps, b.ln1.Params()...)
+		ps = append(ps, b.ln2.Params()...)
+		ps = append(ps, b.fc1.Params()...)
+		ps = append(ps, b.fc2.Params()...)
+	}
+	ps = append(ps, m.lnFinal.Params()...)
+	return ps
+}
+
+// Score records ⟨h_last, e_candidate⟩ + b_candidate where h_last is the
+// final-block representation at the most recent sequence position.
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	seq := m.cfg.Space.PadHist(inst.Hist, m.cfg.MaxSeqLen)
+	h := t.Add(m.itemEmb.Gather(t, seq), t.Gather(m.posEmb, m.posIdx))
+	h = t.Dropout(h, m.cfg.Dropout)
+	for _, b := range m.blocks {
+		// Pre-norm residual attention, then pre-norm residual FFN.
+		a := b.attn.Forward(t, b.ln1.Forward(t, h), m.mask)
+		h = t.Add(h, t.Dropout(a, m.cfg.Dropout))
+		f := b.fc2.Forward(t, t.ReLU(b.fc1.Forward(t, b.ln2.Forward(t, h))))
+		h = t.Add(h, t.Dropout(f, m.cfg.Dropout))
+	}
+	last := m.lnFinal.Forward(t, t.Row(h, m.cfg.MaxSeqLen-1))
+	cand := m.itemEmb.Gather(t, []int{inst.Target})
+	return t.Add(t.Dot(last, cand), t.GatherSum(m.itemBias, []int{inst.Target}))
+}

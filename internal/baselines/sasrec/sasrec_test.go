@@ -1,0 +1,79 @@
+package sasrec
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, Blocks: 2, MaxSeqLen: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+// TestOrderSensitive: SASRec is a sequential model — permuting the history
+// must change the score (unlike the set-category FMs).
+func TestOrderSensitive(t *testing.T) {
+	m := tinyModel(3)
+	a := btest.TestInstance(tinySpace())
+	a.Hist = []int{1, 2, 3}
+	b := a
+	b.Hist = []int{3, 1, 2}
+	if btest.Score(m, a) == btest.Score(m, b) {
+		t.Fatal("SASRec should be order-sensitive")
+	}
+}
+
+// TestPositionalEmbeddingsUsed: zeroing positional embeddings must change
+// the output, confirming they enter the computation.
+func TestPositionalEmbeddingsUsed(t *testing.T) {
+	m := tinyModel(4)
+	inst := btest.TestInstance(tinySpace())
+	before := btest.Score(m, inst)
+	m.posEmb.Value.Zero()
+	if btest.Score(m, inst) == before {
+		t.Fatal("positional embeddings inert")
+	}
+}
+
+// TestRecencyWindow: only the most recent MaxSeqLen items can influence the
+// score (older ones are truncated by PadHist).
+func TestRecencyWindow(t *testing.T) {
+	m := tinyModel(5) // MaxSeqLen 4
+	inst := btest.TestInstance(tinySpace())
+	inst.Hist = []int{5, 5, 1, 2, 3, 4}
+	a := btest.Score(m, inst)
+	inst.Hist = []int{0, 0, 1, 2, 3, 4}
+	if btest.Score(m, inst) != a {
+		t.Fatal("items beyond the window affected SASRec")
+	}
+}
+
+func TestUserIndependence(t *testing.T) {
+	// SASRec conditions only on the item sequence, not the user id.
+	m := tinyModel(6)
+	a := btest.TestInstance(tinySpace())
+	b := a
+	b.User = (a.User + 1) % 4
+	if btest.Score(m, a) != btest.Score(m, b) {
+		t.Fatal("SASRec should ignore the user id")
+	}
+}
+
+func TestTrainsOnRanking(t *testing.T) {
+	ds, split := btest.TinyRanking(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, Blocks: 2, MaxSeqLen: 5, Seed: 7})
+	btest.CheckRankingTrains(t, m, split)
+}

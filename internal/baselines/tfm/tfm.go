@@ -1,0 +1,82 @@
+// Package tfm implements the Translation-based Factorization Machine
+// (Pasricha & McAuley, RecSys 2018) in the simplified sequential form the
+// paper describes (§I, §VI-A): every feature has an embedding and a
+// translation vector, interaction strength is the negative squared Euclidean
+// distance between the translated source and the target, and — crucially —
+// the dynamic signal comes from "only the last item" of the sequence, which
+// is exactly the limitation SeqFM's full-sequence attention removes.
+//
+// The score is
+//
+//	ŷ = w0 + Σwᵢ + ⟨e_user, e_cand⟩ − ‖e_last + τ_last − e_cand‖²
+//
+// where τ is the per-item translation table. With an empty history the
+// translation term vanishes.
+package tfm
+
+import (
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises TFM.
+type Config struct {
+	Space feature.Space
+	Dim   int
+	Seed  int64
+}
+
+// Model is a translation-based FM.
+type Model struct {
+	cfg     Config
+	w0      *ag.Param
+	w       *ag.Param // static linear weights
+	userEmb *nn.Embedding
+	itemEmb *nn.Embedding
+	trans   *nn.Embedding // per-item translation vectors τ
+}
+
+// New builds the TFM for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Model{
+		cfg:     cfg,
+		w0:      ag.NewParam("tfm.w0", 1, 1, tensor.Zeros(), rng),
+		w:       ag.NewParam("tfm.w", cfg.Space.StaticDim(), 1, tensor.Zeros(), rng),
+		userEmb: nn.NewEmbedding("tfm.user", cfg.Space.NumUsers, cfg.Dim, rng),
+		itemEmb: nn.NewEmbedding("tfm.item", cfg.Space.DynamicDim(), cfg.Dim, rng),
+		trans:   nn.NewEmbedding("tfm.trans", cfg.Space.DynamicDim(), cfg.Dim, rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	ps := []*ag.Param{m.w0, m.w}
+	ps = append(ps, m.userEmb.Params()...)
+	ps = append(ps, m.itemEmb.Params()...)
+	ps = append(ps, m.trans.Params()...)
+	return ps
+}
+
+// Score records the translated-distance score.
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	sp := m.cfg.Space
+	linear := t.Add(t.Var(m.w0), t.GatherSum(m.w, sp.StaticIndices(inst)))
+
+	u := m.userEmb.Gather(t, []int{inst.User})
+	cand := m.itemEmb.Gather(t, []int{inst.Target})
+	out := t.Add(linear, t.Dot(u, cand))
+
+	if len(inst.Hist) > 0 {
+		last := inst.Hist[len(inst.Hist)-1]
+		eLast := m.itemEmb.Gather(t, []int{last})
+		tau := m.trans.Gather(t, []int{last})
+		diff := t.Sub(t.Add(eLast, tau), cand)
+		out = t.Sub(out, t.Sum(t.Square(diff)))
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package tfm
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+// TestLastItemOnly encodes the paper's critique of TFM (§I, §VI-A): "TFM is
+// designed to only consider the most recently visited object in the dynamic
+// feature sequence". Changing anything but the last history item must not
+// change the score.
+func TestLastItemOnly(t *testing.T) {
+	m := tinyModel(3)
+	a := btest.TestInstance(tinySpace())
+	a.Hist = []int{1, 2, 3}
+	b := a
+	b.Hist = []int{5, 0, 3} // same last item
+	if btest.Score(m, a) != btest.Score(m, b) {
+		t.Fatal("TFM looked beyond the last item")
+	}
+	c := a
+	c.Hist = []int{1, 2, 4} // different last item
+	if btest.Score(m, a) == btest.Score(m, c) {
+		t.Fatal("TFM ignored the last item")
+	}
+}
+
+func TestTranslationUsed(t *testing.T) {
+	m := tinyModel(4)
+	inst := btest.TestInstance(tinySpace())
+	before := btest.Score(m, inst)
+	last := inst.Hist[len(inst.Hist)-1]
+	m.trans.Table.Value.Row(last)[0] += 1
+	if btest.Score(m, inst) == before {
+		t.Fatal("translation vector inert")
+	}
+}
+
+func TestDistancePenalty(t *testing.T) {
+	// Make the candidate coincide exactly with (last + τ): the distance term
+	// becomes 0, so it must score at least as high as a far-away candidate
+	// with identical other parameters.
+	m := tinyModel(5)
+	inst := btest.TestInstance(tinySpace())
+	last := inst.Hist[len(inst.Hist)-1]
+	// Zero the user/linear contributions so only geometry differs.
+	m.w.Value.Zero()
+	m.w0.Value.Zero()
+	m.userEmb.Table.Value.Zero()
+	near := m.itemEmb.Table.Value.Row(last)
+	tau := m.trans.Table.Value.Row(last)
+	target := m.itemEmb.Table.Value.Row(inst.Target)
+	for i := range target {
+		target[i] = near[i] + tau[i]
+	}
+	far := inst
+	far.Target = (inst.Target + 1) % 6
+	farRow := m.itemEmb.Table.Value.Row(far.Target)
+	for i := range farRow {
+		farRow[i] = near[i] + tau[i] + 3
+	}
+	if btest.Score(m, inst) <= btest.Score(m, far) {
+		t.Fatal("translated-distance scoring inverted")
+	}
+}
+
+func TestEmptyHistorySkipsTranslation(t *testing.T) {
+	m := tinyModel(6)
+	inst := btest.TestInstance(tinySpace())
+	inst.Hist = nil
+	_ = btest.Score(m, inst) // must not panic; finiteness checked elsewhere
+}
+
+func TestTrainsOnRanking(t *testing.T) {
+	ds, split := btest.TinyRanking(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, Seed: 7})
+	btest.CheckRankingTrains(t, m, split)
+}

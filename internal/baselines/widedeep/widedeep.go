@@ -1,0 +1,82 @@
+// Package widedeep implements the Wide&Deep model (Cheng et al., DLRS
+// 2016): a wide linear component over the raw sparse features joined with a
+// deep MLP over concatenated field embeddings. The dynamic history enters
+// the deep part as a mean-pooled set-category field — order-free, exactly
+// the limitation the paper's Figure 1 illustrates.
+package widedeep
+
+import (
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises Wide&Deep.
+type Config struct {
+	Space     feature.Space
+	Dim       int
+	Hidden    []int
+	MaxSeqLen int
+	Dropout   float64
+	Seed      int64
+}
+
+// Model is a Wide&Deep network.
+type Model struct {
+	cfg  Config
+	w0   *ag.Param
+	w    *ag.Param
+	embS *nn.Embedding // static field embeddings
+	embD *nn.Embedding // history embeddings (pooled)
+	mlp  *nn.MLP
+}
+
+// New builds the Wide&Deep model for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fields := cfg.Space.NumStaticFields() + 1 // + pooled history field
+	dims := append([]int{fields * cfg.Dim}, cfg.Hidden...)
+	dims = append(dims, 1)
+	return &Model{
+		cfg:  cfg,
+		w0:   ag.NewParam("wd.w0", 1, 1, tensor.Zeros(), rng),
+		w:    ag.NewParam("wd.w", cfg.Space.TotalDim(), 1, tensor.Zeros(), rng),
+		embS: nn.NewEmbedding("wd.embS", cfg.Space.StaticDim(), cfg.Dim, rng),
+		embD: nn.NewEmbedding("wd.embD", cfg.Space.DynamicDim(), cfg.Dim, rng),
+		mlp:  nn.NewMLP("wd.mlp", dims, cfg.Dropout, rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	ps := []*ag.Param{m.w0, m.w}
+	ps = append(ps, m.embS.Params()...)
+	ps = append(ps, m.embD.Params()...)
+	ps = append(ps, m.mlp.Params()...)
+	return ps
+}
+
+// Score records wide(x) + deep(embeddings).
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	trimmed := inst
+	if n := len(inst.Hist); n > m.cfg.MaxSeqLen {
+		trimmed.Hist = inst.Hist[n-m.cfg.MaxSeqLen:]
+	}
+	sp := m.cfg.Space
+	staticIdx := sp.StaticIndices(trimmed)
+
+	wide := t.Add(t.Var(m.w0), t.GatherSum(m.w, sp.AllIndices(trimmed)))
+
+	fields := make([]*ag.Node, 0, len(staticIdx)+1)
+	for _, ix := range staticIdx {
+		fields = append(fields, m.embS.Gather(t, []int{ix}))
+	}
+	fields = append(fields, m.embD.GatherMean(t, trimmed.Hist))
+	deepIn := t.ConcatCols(fields...)
+	deep := m.mlp.Forward(t, t.Dropout(deepIn, m.cfg.Dropout))
+
+	return t.Add(wide, deep)
+}

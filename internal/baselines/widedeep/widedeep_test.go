@@ -1,0 +1,63 @@
+package widedeep
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, Hidden: []int{6}, MaxSeqLen: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+func TestWideAndDeepBothContribute(t *testing.T) {
+	m := tinyModel(3)
+	inst := btest.TestInstance(tinySpace())
+	before := btest.Score(m, inst)
+	// Wide: the linear weight of the active user feature.
+	m.w.Value.Row(inst.User)[0] += 1
+	afterWide := btest.Score(m, inst)
+	if afterWide == before {
+		t.Fatal("wide component inert")
+	}
+	// Deep: the output layer bias is never ReLU-gated, so it must shift the
+	// score by exactly its perturbation.
+	last := m.mlp.Layers[len(m.mlp.Layers)-1]
+	last.B.Value.Data[0] += 1
+	if got := btest.Score(m, inst); got < afterWide+1-1e-9 || got > afterWide+1+1e-9 {
+		t.Fatalf("deep component inert: %v -> %v", afterWide, got)
+	}
+}
+
+func TestOrderInsensitive(t *testing.T) {
+	// Mean-pooled history ⇒ order cannot matter (the paper's set-category
+	// criticism applies to Wide&Deep too).
+	m := tinyModel(4)
+	a := btest.TestInstance(tinySpace())
+	a.Hist = []int{1, 2, 3}
+	b := a
+	b.Hist = []int{3, 1, 2}
+	diff := btest.Score(m, a) - btest.Score(m, b)
+	if diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Wide&Deep should be order-insensitive, diff=%g", diff)
+	}
+}
+
+func TestTrainsOnClassification(t *testing.T) {
+	ds, split := btest.TinyCTR(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, Hidden: []int{8}, MaxSeqLen: 5, Seed: 5})
+	btest.CheckClassificationTrains(t, m, split)
+}

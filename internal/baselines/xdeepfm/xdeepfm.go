@@ -1,0 +1,124 @@
+// Package xdeepfm implements the eXtreme Deep Factorization Machine (Lian
+// et al., SIGKDD 2018): a linear component, a plain DNN over concatenated
+// field embeddings, and the Compressed Interaction Network (CIN) that forms
+// explicit vector-wise high-order interactions:
+//
+//	X^k_{h,*} = Σ_{i,j} W^{k,h}_{i,j} · (X^{k-1}_{i,*} ⊙ X^0_{j,*})
+//
+// Each CIN layer's feature maps are sum-pooled over the embedding dimension
+// and the pooled values from all layers feed the output unit together with
+// the DNN and linear parts.
+package xdeepfm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Config parameterises xDeepFM.
+type Config struct {
+	Space feature.Space
+	Dim   int
+	// CINMaps is the number of feature maps per CIN layer; CINDepth the
+	// number of layers.
+	CINMaps   int
+	CINDepth  int
+	Hidden    []int
+	MaxSeqLen int
+	Dropout   float64
+	Seed      int64
+}
+
+// Model is an xDeepFM.
+type Model struct {
+	cfg    Config
+	w0     *ag.Param
+	w      *ag.Param
+	embS   *nn.Embedding
+	embD   *nn.Embedding
+	cinW   []*ag.Param // layer k: maps×(prevMaps·fields) mixing weights
+	cinOut *nn.Linear  // over concatenated pooled maps
+	dnn    *nn.MLP
+}
+
+// New builds the xDeepFM for cfg.
+func New(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fields := cfg.Space.NumStaticFields() + 1
+	m := &Model{
+		cfg:  cfg,
+		w0:   ag.NewParam("xdfm.w0", 1, 1, tensor.Zeros(), rng),
+		w:    ag.NewParam("xdfm.w", cfg.Space.TotalDim(), 1, tensor.Zeros(), rng),
+		embS: nn.NewEmbedding("xdfm.embS", cfg.Space.StaticDim(), cfg.Dim, rng),
+		embD: nn.NewEmbedding("xdfm.embD", cfg.Space.DynamicDim(), cfg.Dim, rng),
+	}
+	prev := fields
+	for k := 0; k < cfg.CINDepth; k++ {
+		m.cinW = append(m.cinW, ag.NewParam(fmt.Sprintf("xdfm.cin%d", k),
+			cfg.CINMaps, prev*fields, tensor.XavierUniform(), rng))
+		prev = cfg.CINMaps
+	}
+	m.cinOut = nn.NewLinear("xdfm.cinOut", cfg.CINDepth*cfg.CINMaps, 1, rng)
+	dims := append([]int{fields * cfg.Dim}, cfg.Hidden...)
+	dims = append(dims, 1)
+	m.dnn = nn.NewMLP("xdfm.dnn", dims, cfg.Dropout, rng)
+	return m
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*ag.Param {
+	ps := []*ag.Param{m.w0, m.w}
+	ps = append(ps, m.embS.Params()...)
+	ps = append(ps, m.embD.Params()...)
+	ps = append(ps, m.cinW...)
+	ps = append(ps, m.cinOut.Params()...)
+	ps = append(ps, m.dnn.Params()...)
+	return ps
+}
+
+// Score records linear + CIN + DNN.
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	trimmed := inst
+	if n := len(inst.Hist); n > m.cfg.MaxSeqLen {
+		trimmed.Hist = inst.Hist[n-m.cfg.MaxSeqLen:]
+	}
+	sp := m.cfg.Space
+	linear := t.Add(t.Var(m.w0), t.GatherSum(m.w, sp.AllIndices(trimmed)))
+
+	fields := make([]*ag.Node, 0, sp.NumStaticFields()+1)
+	for _, ix := range sp.StaticIndices(trimmed) {
+		fields = append(fields, m.embS.Gather(t, []int{ix}))
+	}
+	fields = append(fields, m.embD.GatherMean(t, trimmed.Hist))
+	x0 := t.ConcatRows(fields...) // fields×d
+
+	// CIN: build each layer's feature maps from outer products with X⁰.
+	var pooled []*ag.Node
+	xk := x0
+	for _, wk := range m.cinW {
+		// All pairwise Hadamards between xk rows and x0 rows: (prev·fields)×d.
+		var prods []*ag.Node
+		for i := 0; i < xk.Rows(); i++ {
+			xi := t.Row(xk, i)
+			for j := 0; j < x0.Rows(); j++ {
+				prods = append(prods, t.Mul(xi, t.Row(x0, j)))
+			}
+		}
+		z := t.ConcatRows(prods...)                           // (prev·fields)×d
+		next := t.MatMul(t.Var(wk), z)                        // maps×d
+		pooled = append(pooled, t.SumRows(t.Transpose(next))) // 1×maps row-sums of the layer
+		xk = next
+	}
+	cin := m.cinOut.Forward(t, t.ConcatCols(pooled...))
+
+	dnnIn := make([]*ag.Node, len(fields))
+	copy(dnnIn, fields)
+	deep := m.dnn.Forward(t, t.Dropout(t.ConcatCols(dnnIn...), m.cfg.Dropout))
+
+	return t.Add(linear, t.Add(cin, deep))
+}

@@ -1,0 +1,65 @@
+package xdeepfm
+
+import (
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/feature"
+)
+
+func tinySpace() feature.Space {
+	return feature.Space{NumUsers: 4, NumObjects: 6}
+}
+
+func tinyModel(seed int64) *Model {
+	return New(Config{Space: tinySpace(), Dim: 4, CINMaps: 3, CINDepth: 2,
+		Hidden: []int{6}, MaxSeqLen: 4, Seed: seed})
+}
+
+func TestScoreFinite(t *testing.T) {
+	btest.CheckFinite(t, tinyModel(1), tinySpace())
+}
+
+func TestGradient(t *testing.T) {
+	btest.CheckGradient(t, tinyModel(2), btest.TestInstance(tinySpace()), 0)
+}
+
+func TestCINLayersContribute(t *testing.T) {
+	m := tinyModel(3)
+	inst := btest.TestInstance(tinySpace())
+	before := btest.Score(m, inst)
+	m.cinW[1].Value.Data[0] += 1 // second CIN layer
+	if btest.Score(m, inst) == before {
+		t.Fatal("deep CIN layer inert")
+	}
+	m.cinOut.W.Value.Data[0] += 1
+	if btest.Score(m, inst) == before {
+		t.Fatal("CIN output unit inert")
+	}
+}
+
+func TestThreeComponentsPresent(t *testing.T) {
+	m := tinyModel(4)
+	inst := btest.TestInstance(tinySpace())
+	ref := btest.Score(m, inst)
+	// Linear component.
+	m.w0.Value.Data[0] += 1
+	if s := btest.Score(m, inst); s == ref {
+		t.Fatal("linear component inert")
+	} else {
+		ref = s
+	}
+	// DNN component: the output bias is never ReLU-gated.
+	last := m.dnn.Layers[len(m.dnn.Layers)-1]
+	last.B.Value.Data[0] += 1
+	if got := btest.Score(m, inst); got < ref+1-1e-9 || got > ref+1+1e-9 {
+		t.Fatalf("DNN component inert: %v -> %v", ref, got)
+	}
+}
+
+func TestTrainsOnClassification(t *testing.T) {
+	ds, split := btest.TinyCTR(t)
+	m := New(Config{Space: ds.Space(), Dim: 8, CINMaps: 4, CINDepth: 2,
+		Hidden: []int{8}, MaxSeqLen: 5, Seed: 5})
+	btest.CheckClassificationTrains(t, m, split)
+}

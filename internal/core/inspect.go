@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/tensor"
+)
+
+// AttentionWeights holds the softmax-normalised attention matrices of the
+// three views for one instance — the quantity the paper's Eq. (9) and (11)
+// call softmax(QKᵀ/√d + M). Row i gives the distribution of feature i's
+// attention over all features of that view.
+//
+// Static is n°×n°; Dynamic is n.×n. (strictly lower-triangular-plus-diagonal
+// by the causal mask); Cross is (n°+n.)×(n°+n.) with the within-category
+// block zeroed by the cross mask. Removed views are nil.
+type AttentionWeights struct {
+	Static  *tensor.Matrix
+	Dynamic *tensor.Matrix
+	Cross   *tensor.Matrix
+	// DynamicIndices are the padded history indices the Dynamic/Cross rows
+	// beyond n° correspond to (feature.Pad for padding rows).
+	DynamicIndices []int
+}
+
+// Inspect recomputes the attention distributions for inst without touching
+// gradients — an interpretability hook for examples, debugging and the
+// attention-pattern tests. It mirrors the forward pass of Score exactly.
+func (m *Model) Inspect(inst feature.Instance) AttentionWeights {
+	t := ag.NewTape()
+	sp := m.cfg.Space
+	staticIdx := sp.StaticIndices(inst)
+	dynIdx := sp.PadHist(inst.Hist, m.cfg.MaxSeqLen)
+	padCount := 0
+	for _, ix := range dynIdx {
+		if ix < 0 {
+			padCount++
+		}
+	}
+	eS := m.embS.Gather(t, staticIdx)
+	eD := m.embD.Gather(t, dynIdx)
+	causal, cross := m.causalMask, m.crossMask
+	if m.cfg.MaskPadding {
+		causal, cross = m.causalPad[padCount], m.crossPad[padCount]
+	}
+
+	out := AttentionWeights{DynamicIndices: dynIdx}
+	if !m.cfg.Ablation.NoStaticView {
+		out.Static = attentionMatrix(t, eS, m.attnS.WQ, m.attnS.WK, nil, m.cfg.Dim)
+	}
+	if !m.cfg.Ablation.NoDynamicView {
+		out.Dynamic = attentionMatrix(t, eD, m.attnD.WQ, m.attnD.WK, causal, m.cfg.Dim)
+	}
+	if !m.cfg.Ablation.NoCrossView {
+		eX := t.ConcatRows(eS, eD)
+		out.Cross = attentionMatrix(t, eX, m.attnX.WQ, m.attnX.WK, cross, m.cfg.Dim)
+	}
+	return out
+}
+
+// attentionMatrix computes softmax(E·WQ·(E·WK)ᵀ/√d + mask) as plain values.
+func attentionMatrix(t *ag.Tape, e *ag.Node, wq, wk *ag.Param, mask *tensor.Matrix, d int) *tensor.Matrix {
+	q := t.MatMul(e, t.Var(wq))
+	k := t.MatMul(e, t.Var(wk))
+	scores := t.Scale(1/math.Sqrt(float64(d)), t.MatMulT(q, k))
+	return t.SoftmaxRows(scores, mask).Value.Clone()
+}

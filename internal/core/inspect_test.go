@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/tensor"
+)
+
+func TestInspectShapesAndMasks(t *testing.T) {
+	m, err := New(testConfig()) // nStatic=2, MaxSeqLen=4
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := testInstance() // 3 history items → 1 padding row
+	w := m.Inspect(inst)
+
+	if w.Static == nil || w.Static.Rows != 2 || w.Static.Cols != 2 {
+		t.Fatalf("static attention shape: %+v", w.Static)
+	}
+	if w.Dynamic == nil || w.Dynamic.Rows != 4 || w.Dynamic.Cols != 4 {
+		t.Fatalf("dynamic attention shape: %+v", w.Dynamic)
+	}
+	if w.Cross == nil || w.Cross.Rows != 6 || w.Cross.Cols != 6 {
+		t.Fatalf("cross attention shape: %+v", w.Cross)
+	}
+	if len(w.DynamicIndices) != 4 || w.DynamicIndices[0] != -1 {
+		t.Fatalf("dynamic indices: %v", w.DynamicIndices)
+	}
+
+	// Causality: dynamic attention must be zero above the diagonal.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if w.Dynamic.At(i, j) != 0 {
+				t.Fatalf("dynamic attention (%d,%d)=%v violates causality", i, j, w.Dynamic.At(i, j))
+			}
+		}
+	}
+	// Cross mask: within-category blocks must be zero.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			sameBlock := (i < 2) == (j < 2)
+			if sameBlock && w.Cross.At(i, j) != 0 {
+				t.Fatalf("cross attention (%d,%d)=%v inside a blocked category", i, j, w.Cross.At(i, j))
+			}
+		}
+	}
+	// Every unmasked row is a probability distribution.
+	for name, mat := range map[string]*tensor.Matrix{"static": w.Static, "dynamic": w.Dynamic, "cross": w.Cross} {
+		for i := 0; i < mat.Rows; i++ {
+			sum := 0.0
+			for _, v := range mat.Row(i) {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s attention row %d sums to %v", name, i, sum)
+			}
+		}
+	}
+}
+
+func TestInspectRespectsAblation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ablation = Ablation{NoCrossView: true}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Inspect(testInstance())
+	if w.Cross != nil {
+		t.Fatal("removed view still inspected")
+	}
+	if w.Static == nil || w.Dynamic == nil {
+		t.Fatal("active views missing")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m1, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig()
+	cfg.Seed = 999 // different init; Load must overwrite it
+	m2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := testInstance()
+	if scoreOnce(m1, inst) == scoreOnce(m2, inst) {
+		t.Fatal("models coincidentally equal before load; test has no power")
+	}
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if scoreOnce(m1, inst) != scoreOnce(m2, inst) {
+		t.Fatal("scores differ after checkpoint restore")
+	}
+}
+
+func TestLoadRejectsMismatchedConfig(t *testing.T) {
+	m1, _ := New(testConfig())
+	var buf bytes.Buffer
+	if err := m1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Dim = 8 // different shapes
+	m2, _ := New(cfg)
+	if err := m2.Load(&buf); err == nil {
+		t.Fatal("checkpoint with wrong shapes accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	m, _ := New(testConfig())
+	if err := m.Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted as checkpoint")
+	}
+}
+
+func TestSaveLoadParamsSubset(t *testing.T) {
+	// A checkpoint from an ablated model must not load into the full model
+	// (different parameter sets).
+	cfg := testConfig()
+	cfg.Ablation = Ablation{NoDynamicView: true}
+	small, _ := New(cfg)
+	var buf bytes.Buffer
+	if err := small.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full, _ := New(testConfig())
+	if err := full.Load(&buf); err == nil {
+		t.Fatal("ablated checkpoint accepted by full model")
+	}
+	_ = ag.NumParams(full.Params())
+}

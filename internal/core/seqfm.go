@@ -1,0 +1,264 @@
+// Package core implements SeqFM, the paper's primary contribution: a
+// factorization machine whose high-order interaction component is a
+// multi-view self-attention scheme (static view, causally-masked dynamic
+// view, cross view), intra-view mean pooling, a residual feed-forward
+// network shared across views, and a final projection — Eq. (3)–(19).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/nn"
+	"seqfm/internal/tensor"
+)
+
+// Ablation switches off individual SeqFM components, reproducing the
+// degraded variants of Table V. The zero value is the full model.
+type Ablation struct {
+	NoStaticView  bool // "Remove SV"
+	NoDynamicView bool // "Remove DV"
+	NoCrossView   bool // "Remove CV"
+	NoResidual    bool // "Remove RC"
+	NoLayerNorm   bool // "Remove LN"
+}
+
+// String names the ablation the way Table V does.
+func (a Ablation) String() string {
+	switch {
+	case a.NoStaticView:
+		return "Remove SV"
+	case a.NoDynamicView:
+		return "Remove DV"
+	case a.NoCrossView:
+		return "Remove CV"
+	case a.NoResidual:
+		return "Remove RC"
+	case a.NoLayerNorm:
+		return "Remove LN"
+	default:
+		return "Default"
+	}
+}
+
+// Config parameterises SeqFM. The zero value is not usable; start from
+// DefaultConfig, which carries the paper's unified evaluation setting
+// {d=64, l=1, n.=20, ρ=0.6} (§V-D).
+type Config struct {
+	// Space is the sparse feature space (static and dynamic vocabularies).
+	Space feature.Space
+	// Dim is the latent dimension d, searched in {8,16,32,64,128} (§IV-D).
+	Dim int
+	// Layers is the shared residual FFN depth l, searched in {1..5}.
+	Layers int
+	// MaxSeqLen is the dynamic-sequence threshold n., searched in {10..50}.
+	MaxSeqLen int
+	// KeepProb is the paper's dropout ratio ρ ∈ (0,1): the probability a
+	// neuron is kept (§VI-B discusses underfitting when too many neurons
+	// are blocked, i.e. small ρ). The applied drop rate is 1−ρ.
+	KeepProb float64
+	// Seed initialises the weight RNG.
+	Seed int64
+	// Ablation removes components for Table V.
+	Ablation Ablation
+	// MaskPadding is an extension beyond the paper: when set, padding
+	// positions are additionally blocked as attention keys, instead of
+	// participating as zero vectors. Off by default for paper fidelity.
+	MaskPadding bool
+}
+
+// DefaultConfig returns the paper's unified hyperparameter set for space.
+func DefaultConfig(space feature.Space) Config {
+	return Config{
+		Space:     space,
+		Dim:       64,
+		Layers:    1,
+		MaxSeqLen: 20,
+		KeepProb:  0.6,
+		Seed:      1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Space.NumUsers < 1 || c.Space.NumObjects < 1:
+		return fmt.Errorf("core: config: empty feature space %+v", c.Space)
+	case c.Dim < 1:
+		return fmt.Errorf("core: config: dim %d", c.Dim)
+	case c.Layers < 1:
+		return fmt.Errorf("core: config: layers %d", c.Layers)
+	case c.MaxSeqLen < 1:
+		return fmt.Errorf("core: config: max sequence length %d", c.MaxSeqLen)
+	case c.KeepProb <= 0 || c.KeepProb > 1:
+		return fmt.Errorf("core: config: keep probability %v outside (0,1]", c.KeepProb)
+	case c.Ablation.NoStaticView && c.Ablation.NoDynamicView && c.Ablation.NoCrossView:
+		return fmt.Errorf("core: config: all three views removed")
+	}
+	return nil
+}
+
+// Model is a SeqFM instance. A Model's parameters may be read by many
+// concurrent forward passes; updates must be serialised by the caller (the
+// train package does this).
+type Model struct {
+	cfg      Config
+	nStatic  int // n°: static one-hot rows per instance
+	w0       *ag.Param
+	wStatic  *ag.Param // m°×1 linear weights w°
+	wDynamic *ag.Param // m.×1 linear weights w.
+	embS     *nn.Embedding
+	embD     *nn.Embedding
+	attnS    *nn.SelfAttention
+	attnD    *nn.SelfAttention
+	attnX    *nn.SelfAttention
+	ffn      *nn.ResidualFFN
+	proj     *ag.Param // p ∈ R^{1×kd}, k = number of active views
+
+	causalMask *tensor.Matrix
+	crossMask  *tensor.Matrix
+	// per-pad-count masks when MaskPadding is on; index = #padding rows.
+	causalPad []*tensor.Matrix
+	crossPad  []*tensor.Matrix
+}
+
+// New builds a SeqFM model for cfg.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.Dim
+	sp := cfg.Space
+	m := &Model{
+		cfg:     cfg,
+		nStatic: sp.NumStaticFields(),
+		w0:      ag.NewParam("seqfm.w0", 1, 1, tensor.Zeros(), rng),
+		wStatic: ag.NewParam("seqfm.wStatic", sp.StaticDim(), 1, tensor.Zeros(), rng),
+		wDynamic: ag.NewParam("seqfm.wDynamic", sp.DynamicDim(), 1,
+			tensor.Zeros(), rng),
+		embS:  nn.NewEmbedding("seqfm.embStatic", sp.StaticDim(), d, rng),
+		embD:  nn.NewEmbedding("seqfm.embDynamic", sp.DynamicDim(), d, rng),
+		attnS: nn.NewSelfAttention("seqfm.attnStatic", d, rng),
+		attnD: nn.NewSelfAttention("seqfm.attnDynamic", d, rng),
+		attnX: nn.NewSelfAttention("seqfm.attnCross", d, rng),
+		ffn:   nn.NewResidualFFN("seqfm.ffn", d, cfg.Layers, 1-cfg.KeepProb, rng),
+	}
+	m.ffn.UseResidual = !cfg.Ablation.NoResidual
+	m.ffn.UseLayerNorm = !cfg.Ablation.NoLayerNorm
+	m.proj = ag.NewParam("seqfm.p", 1, m.numViews()*d, tensor.XavierUniform(), rng)
+
+	m.causalMask = nn.CausalMask(cfg.MaxSeqLen)
+	m.crossMask = nn.CrossMask(m.nStatic, cfg.MaxSeqLen)
+	if cfg.MaskPadding {
+		m.causalPad = make([]*tensor.Matrix, cfg.MaxSeqLen+1)
+		m.crossPad = make([]*tensor.Matrix, cfg.MaxSeqLen+1)
+		for k := 0; k <= cfg.MaxSeqLen; k++ {
+			cols := make([]int, k)
+			xcols := make([]int, k)
+			for i := 0; i < k; i++ {
+				cols[i] = i
+				xcols[i] = m.nStatic + i
+			}
+			m.causalPad[k] = nn.PaddingColumnMask(m.causalMask, cols)
+			m.crossPad[k] = nn.PaddingColumnMask(m.crossMask, xcols)
+		}
+	}
+	return m, nil
+}
+
+// numViews counts the attention views left active by the ablation.
+func (m *Model) numViews() int {
+	n := 0
+	if !m.cfg.Ablation.NoStaticView {
+		n++
+	}
+	if !m.cfg.Ablation.NoDynamicView {
+		n++
+	}
+	if !m.cfg.Ablation.NoCrossView {
+		n++
+	}
+	return n
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Params returns every trainable parameter of the model.
+func (m *Model) Params() []*ag.Param {
+	ps := []*ag.Param{m.w0, m.wStatic, m.wDynamic}
+	ps = append(ps, m.embS.Params()...)
+	ps = append(ps, m.embD.Params()...)
+	if !m.cfg.Ablation.NoStaticView {
+		ps = append(ps, m.attnS.Params()...)
+	}
+	if !m.cfg.Ablation.NoDynamicView {
+		ps = append(ps, m.attnD.Params()...)
+	}
+	if !m.cfg.Ablation.NoCrossView {
+		ps = append(ps, m.attnX.Params()...)
+	}
+	ps = append(ps, m.ffn.Params()...)
+	ps = append(ps, m.proj)
+	return ps
+}
+
+// Score records the raw SeqFM output ŷ of Eq. (19) for one instance on the
+// given tape. Task-specific squashing (the sigmoid of Eq. 23) is the
+// caller's responsibility, keeping the model flexible across ranking,
+// classification and regression exactly as §IV prescribes.
+func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	sp := m.cfg.Space
+	staticIdx := sp.StaticIndices(inst)
+	dynIdx := sp.PadHist(inst.Hist, m.cfg.MaxSeqLen)
+	padCount := 0
+	for _, ix := range dynIdx {
+		if ix < 0 {
+			padCount++
+		}
+	}
+
+	// Linear component: w0 + Σ w°_i + Σ w._j over active features (Eq. 4).
+	linear := t.Add(t.Var(m.w0),
+		t.Add(t.GatherSum(m.wStatic, staticIdx), t.GatherSum(m.wDynamic, dynIdx)))
+
+	// Embedding layer (Eq. 5).
+	eS := m.embS.Gather(t, staticIdx)
+	eD := m.embD.Gather(t, dynIdx)
+
+	causal, cross := m.causalMask, m.crossMask
+	if m.cfg.MaskPadding {
+		causal, cross = m.causalPad[padCount], m.crossPad[padCount]
+	}
+
+	// Multi-view self-attention, intra-view pooling, shared residual FFN.
+	var views []*ag.Node
+	if !m.cfg.Ablation.NoStaticView {
+		h := m.attnS.Forward(t, eS, nil) // Eq. (8)
+		views = append(views, m.ffn.Forward(t, t.MeanRows(h)))
+	}
+	if !m.cfg.Ablation.NoDynamicView {
+		h := m.attnD.Forward(t, eD, causal) // Eq. (9)
+		views = append(views, m.ffn.Forward(t, t.MeanRows(h)))
+	}
+	if !m.cfg.Ablation.NoCrossView {
+		eX := t.ConcatRows(eS, eD) // Eq. (12)
+		h := m.attnX.Forward(t, eX, cross)
+		views = append(views, m.ffn.Forward(t, t.MeanRows(h)))
+	}
+
+	// View-wise aggregation (Eq. 17) and output layer (Eq. 18).
+	hagg := views[0]
+	if len(views) > 1 {
+		hagg = t.ConcatCols(views...)
+	}
+	f := t.Dot(t.Var(m.proj), hagg)
+	return t.Add(linear, f)
+}
+
+// NumParams returns the scalar parameter count — the paper's "light-weight
+// parameter size" claim can be checked against it.
+func (m *Model) NumParams() int { return ag.NumParams(m.Params()) }

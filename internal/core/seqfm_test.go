@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+)
+
+func testSpace() feature.Space {
+	return feature.Space{NumUsers: 6, NumObjects: 9}
+}
+
+func testConfig() Config {
+	return Config{
+		Space:     testSpace(),
+		Dim:       6,
+		Layers:    2,
+		MaxSeqLen: 4,
+		KeepProb:  1, // deterministic forward for most tests
+		Seed:      3,
+	}
+}
+
+func testInstance() feature.Instance {
+	return feature.Instance{
+		User: 2, Target: 5, Hist: []int{1, 7, 3},
+		UserAttr: feature.Pad, TargetAttr: feature.Pad, Label: 1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(c Config) Config{
+		func(c Config) Config { c.Space = feature.Space{}; return c },
+		func(c Config) Config { c.Dim = 0; return c },
+		func(c Config) Config { c.Layers = 0; return c },
+		func(c Config) Config { c.MaxSeqLen = 0; return c },
+		func(c Config) Config { c.KeepProb = 0; return c },
+		func(c Config) Config { c.KeepProb = 1.5; return c },
+		func(c Config) Config {
+			c.Ablation = Ablation{NoStaticView: true, NoDynamicView: true, NoCrossView: true}
+			return c
+		},
+	}
+	for i, mutate := range bad {
+		if _, err := New(mutate(testConfig())); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(testConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig(testSpace())
+	if c.Dim != 64 || c.Layers != 1 || c.MaxSeqLen != 20 || c.KeepProb != 0.6 {
+		t.Fatalf("default config %+v does not match §V-D", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreDeterministicInference(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := testInstance()
+	s1 := scoreOnce(m, inst)
+	s2 := scoreOnce(m, inst)
+	if s1 != s2 {
+		t.Fatalf("inference not deterministic: %v vs %v", s1, s2)
+	}
+	if math.IsNaN(s1) || math.IsInf(s1, 0) {
+		t.Fatalf("score %v", s1)
+	}
+}
+
+func scoreOnce(m *Model, inst feature.Instance) float64 {
+	t := ag.NewTape()
+	return m.Score(t, inst).Value.ScalarValue()
+}
+
+func TestScoreEmptyHistory(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := testInstance()
+	inst.Hist = nil
+	s := scoreOnce(m, inst)
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("empty-history score %v", s)
+	}
+}
+
+func TestScoreLongHistoryTruncates(t *testing.T) {
+	m, err := New(testConfig()) // MaxSeqLen 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := testInstance()
+	inst.Hist = []int{0, 1, 2, 3, 4, 5, 6} // longer than n.
+	long := scoreOnce(m, inst)
+	inst.Hist = []int{3, 4, 5, 6} // only the most recent 4 should matter
+	if got := scoreOnce(m, inst); got != long {
+		t.Fatalf("truncation mismatch: %v vs %v", got, long)
+	}
+	// Changing an item OUTSIDE the window must not change the score.
+	inst.Hist = []int{8, 8, 8, 3, 4, 5, 6}
+	if got := scoreOnce(m, inst); got != long {
+		t.Fatal("items beyond the n. window affected the score")
+	}
+}
+
+func TestAblationsChangeScore(t *testing.T) {
+	inst := testInstance()
+	base, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := scoreOnce(base, inst)
+	for _, ab := range []Ablation{
+		{NoStaticView: true}, {NoDynamicView: true}, {NoCrossView: true},
+		{NoResidual: true}, {NoLayerNorm: true},
+	} {
+		cfg := testConfig()
+		cfg.Ablation = ab
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", ab, err)
+		}
+		if got := scoreOnce(m, inst); got == ref {
+			t.Errorf("%v produced identical score to default", ab)
+		}
+	}
+}
+
+func TestAblationStringNames(t *testing.T) {
+	cases := map[string]Ablation{
+		"Default":   {},
+		"Remove SV": {NoStaticView: true},
+		"Remove DV": {NoDynamicView: true},
+		"Remove CV": {NoCrossView: true},
+		"Remove RC": {NoResidual: true},
+		"Remove LN": {NoLayerNorm: true},
+	}
+	for want, ab := range cases {
+		if got := ab.String(); got != want {
+			t.Errorf("%+v.String()=%q, want %q", ab, got, want)
+		}
+	}
+}
+
+func TestViewRemovalShrinksProjection(t *testing.T) {
+	cfg := testConfig()
+	full, _ := New(cfg)
+	cfg.Ablation = Ablation{NoCrossView: true}
+	reduced, _ := New(cfg)
+	if reduced.NumParams() >= full.NumParams() {
+		t.Fatalf("removing a view should shrink params: %d vs %d",
+			reduced.NumParams(), full.NumParams())
+	}
+}
+
+// TestScoreGradientCheck validates the entire SeqFM forward pass (all three
+// attention views, pooling, shared FFN, projection, linear terms) against
+// central finite differences — the end-to-end correctness proof.
+func TestScoreGradientCheck(t *testing.T) {
+	cfg := testConfig()
+	cfg.Dim = 4
+	cfg.Layers = 1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := testInstance()
+	loss := func(tp *ag.Tape) *ag.Node {
+		return tp.Square(m.Score(tp, inst))
+	}
+	params := m.Params()
+	ag.ZeroGrads(params)
+	tp := ag.NewTape()
+	l := loss(tp)
+	tp.Backward(l)
+	tp.FlushGrads(nil)
+
+	const eps, tol = 1e-6, 2e-4
+	for _, p := range params {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			up := loss(ag.NewTape()).Value.ScalarValue()
+			p.Value.Data[i] = orig - eps
+			down := loss(ag.NewTape()).Value.ScalarValue()
+			p.Value.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if math.Abs(numeric-analytic)/scale > tol {
+				t.Fatalf("%s[%d]: analytic %.8f vs numeric %.8f", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+// TestDynamicOrderSensitivity: SeqFM must produce different scores for
+// different orderings of the same history items — the capability that
+// separates it from set-category FMs (Figure 1).
+func TestDynamicOrderSensitivity(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testInstance()
+	a.Hist = []int{1, 7, 3}
+	b := testInstance()
+	b.Hist = []int{3, 7, 1}
+	if scoreOnce(m, a) == scoreOnce(m, b) {
+		t.Fatal("SeqFM is order-insensitive; the dynamic view is broken")
+	}
+}
+
+func TestMaskPaddingExtension(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaskPadding = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := testInstance()
+	inst.Hist = []int{1} // 3 of 4 positions padded
+	s := scoreOnce(m, inst)
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("masked-padding score %v", s)
+	}
+	// All-padding dynamic sequence must still be finite (fully masked rows).
+	inst.Hist = nil
+	s = scoreOnce(m, inst)
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("all-padding score %v", s)
+	}
+	// The extension must actually change the computation vs the default.
+	cfg.MaskPadding = false
+	plain, _ := New(cfg)
+	inst.Hist = []int{1}
+	if scoreOnce(plain, inst) == scoreOnce(m, inst) {
+		t.Fatal("MaskPadding had no effect")
+	}
+}
+
+func TestParamsCoverAllViews(t *testing.T) {
+	m, _ := New(testConfig())
+	names := map[string]bool{}
+	for _, p := range m.Params() {
+		names[p.Name] = true
+	}
+	for _, want := range []string{
+		"seqfm.w0", "seqfm.wStatic", "seqfm.wDynamic",
+		"seqfm.embStatic", "seqfm.embDynamic",
+		"seqfm.attnStatic.WQ", "seqfm.attnDynamic.WK", "seqfm.attnCross.WV",
+		"seqfm.ffn.fc0.W", "seqfm.ffn.ln1.s", "seqfm.p",
+	} {
+		if !names[want] {
+			t.Errorf("missing parameter %s", want)
+		}
+	}
+	// Removed views must not leak their attention params to the optimizer.
+	cfg := testConfig()
+	cfg.Ablation = Ablation{NoDynamicView: true}
+	m2, _ := New(cfg)
+	for _, p := range m2.Params() {
+		if p.Name == "seqfm.attnDynamic.WQ" {
+			t.Error("removed view still exposes parameters")
+		}
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	cfg := testConfig()
+	m, _ := New(cfg)
+	if m.Config().Dim != cfg.Dim {
+		t.Fatal("Config accessor")
+	}
+	if m.NumParams() <= 0 {
+		t.Fatal("NumParams")
+	}
+}
+
+// TestTrainingModeDiffersWithDropout: with KeepProb<1 a training tape must
+// produce stochastic outputs while inference stays deterministic.
+func TestTrainingModeDiffersWithDropout(t *testing.T) {
+	cfg := testConfig()
+	cfg.KeepProb = 0.5
+	m, _ := New(cfg)
+	inst := testInstance()
+	inf1, inf2 := scoreOnce(m, inst), scoreOnce(m, inst)
+	if inf1 != inf2 {
+		t.Fatal("inference affected by dropout")
+	}
+	rngTape := func(seed int64) float64 {
+		tp := ag.NewTrainingTape(newRand(seed))
+		return m.Score(tp, inst).Value.ScalarValue()
+	}
+	if rngTape(1) == rngTape(2) {
+		t.Fatal("training dropout produced identical scores for different rngs")
+	}
+}

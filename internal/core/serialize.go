@@ -1,0 +1,19 @@
+package core
+
+import (
+	"io"
+
+	"seqfm/internal/ag"
+)
+
+// Save writes the model's weights to w as a versioned checkpoint. The
+// configuration is not stored; Load requires a model built with the same
+// Config (shape mismatches are rejected).
+func (m *Model) Save(w io.Writer) error {
+	return ag.SaveParams(w, m.Params())
+}
+
+// Load restores weights saved by Save into m.
+func (m *Model) Load(r io.Reader) error {
+	return ag.LoadParams(r, m.Params())
+}

@@ -1,0 +1,272 @@
+// Package data provides the dataset substrate: chronologically ordered
+// interaction logs, the leave-one-out evaluation split of §V-C, negative
+// sampling, dataset statistics (Table I), and synthetic generators standing
+// in for the paper's six public datasets (Gowalla, Foursquare, Trivago,
+// Taobao, Amazon Beauty, Amazon Toys) — see DESIGN.md §1 for why each
+// generator preserves the behaviour the paper measures.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"seqfm/internal/feature"
+)
+
+// Task identifies which of the paper's three application scenarios a dataset
+// serves (§IV).
+type Task int
+
+// The three temporal predictive analytics tasks of the paper.
+const (
+	Ranking        Task = iota // next-POI recommendation, §IV-A
+	Classification             // click-through rate prediction, §IV-B
+	Regression                 // rating prediction, §IV-C
+)
+
+// String names the task.
+func (t Task) String() string {
+	switch t {
+	case Ranking:
+		return "ranking"
+	case Classification:
+		return "classification"
+	case Regression:
+		return "regression"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Interaction is one timestamped (implicit or explicit) user-object event.
+type Interaction struct {
+	Object int
+	Rating float64 // 1 for implicit feedback; 1..5 for ratings
+	Time   int64
+}
+
+// Dataset is a per-user chronologically sorted interaction log plus optional
+// static side information.
+type Dataset struct {
+	Name string
+	Task Task
+
+	NumUsers   int
+	NumObjects int
+
+	// Users[u] lists user u's interactions in non-decreasing Time order.
+	Users [][]Interaction
+
+	// Optional static side features ("other static features" of Eq. 20/22/25).
+	NumUserAttrs int
+	NumItemAttrs int
+	UserAttr     []int // len NumUsers when NumUserAttrs > 0
+	ItemAttr     []int // len NumObjects when NumItemAttrs > 0
+}
+
+// Space returns the sparse feature space induced by the dataset.
+func (d *Dataset) Space() feature.Space {
+	return feature.Space{
+		NumUsers:     d.NumUsers,
+		NumObjects:   d.NumObjects,
+		NumUserAttrs: d.NumUserAttrs,
+		NumItemAttrs: d.NumItemAttrs,
+	}
+}
+
+// NumInstances returns the total interaction count (Table I "#Instance").
+func (d *Dataset) NumInstances() int {
+	n := 0
+	for _, u := range d.Users {
+		n += len(u)
+	}
+	return n
+}
+
+// Validate checks internal consistency: chronological ordering, index
+// ranges, and attribute table sizes. Generators call it before returning.
+func (d *Dataset) Validate() error {
+	if len(d.Users) != d.NumUsers {
+		return fmt.Errorf("data: %s: %d user logs for %d users", d.Name, len(d.Users), d.NumUsers)
+	}
+	for u, log := range d.Users {
+		for i, it := range log {
+			if it.Object < 0 || it.Object >= d.NumObjects {
+				return fmt.Errorf("data: %s: user %d object %d outside [0,%d)", d.Name, u, it.Object, d.NumObjects)
+			}
+			if i > 0 && it.Time < log[i-1].Time {
+				return fmt.Errorf("data: %s: user %d interactions out of order at %d", d.Name, u, i)
+			}
+		}
+	}
+	if d.NumUserAttrs > 0 && len(d.UserAttr) != d.NumUsers {
+		return fmt.Errorf("data: %s: %d user attrs for %d users", d.Name, len(d.UserAttr), d.NumUsers)
+	}
+	if d.NumItemAttrs > 0 && len(d.ItemAttr) != d.NumObjects {
+		return fmt.Errorf("data: %s: %d item attrs for %d objects", d.Name, len(d.ItemAttr), d.NumObjects)
+	}
+	return nil
+}
+
+// instance builds the feature.Instance for predicting position pos of user
+// u's log from everything before it.
+func (d *Dataset) instance(u, pos int) feature.Instance {
+	log := d.Users[u]
+	hist := make([]int, pos)
+	for i := 0; i < pos; i++ {
+		hist[i] = log[i].Object
+	}
+	inst := feature.Instance{
+		User:       u,
+		Target:     log[pos].Object,
+		Hist:       hist,
+		Label:      log[pos].Rating,
+		UserAttr:   feature.Pad,
+		TargetAttr: feature.Pad,
+	}
+	if d.NumUserAttrs > 0 {
+		inst.UserAttr = d.UserAttr[u]
+	}
+	if d.NumItemAttrs > 0 {
+		inst.TargetAttr = d.ItemAttr[log[pos].Object]
+	}
+	return inst
+}
+
+// WithTargetObject returns a copy of inst re-targeted at object (used to
+// score ranking candidates and sampled negatives against the same history).
+func (d *Dataset) WithTargetObject(inst feature.Instance, object int) feature.Instance {
+	out := inst
+	out.Target = object
+	if d.NumItemAttrs > 0 {
+		out.TargetAttr = d.ItemAttr[object]
+	}
+	return out
+}
+
+// Split is the leave-one-out protocol of §V-C: within each user's
+// transaction the last record is the test ground truth, the second-last the
+// validation record, and the rest train the models. Users with fewer than
+// three interactions contribute only training positions.
+type Split struct {
+	ds    *Dataset
+	Train []feature.Instance
+	Val   []feature.Instance
+	Test  []feature.Instance
+}
+
+// NewSplit materialises the leave-one-out split. Training instances are
+// built from every in-log position (each object predicted from its prefix),
+// skipping position 0, which has no history to condition on.
+func NewSplit(d *Dataset) *Split {
+	s := &Split{ds: d}
+	for u, log := range d.Users {
+		n := len(log)
+		if n == 0 {
+			continue
+		}
+		trainEnd := n
+		if n >= 3 {
+			trainEnd = n - 2
+			s.Val = append(s.Val, d.instance(u, n-2))
+			s.Test = append(s.Test, d.instance(u, n-1))
+		}
+		for pos := 1; pos < trainEnd; pos++ {
+			s.Train = append(s.Train, d.instance(u, pos))
+		}
+	}
+	return s
+}
+
+// Dataset returns the dataset the split was built from.
+func (s *Split) Dataset() *Dataset { return s.ds }
+
+// SubsetTrain returns a copy of the split with only the first fraction of
+// training instances retained (per Figure 4's scalability protocol of
+// varying the training data proportion). frac must be in (0, 1].
+func (s *Split) SubsetTrain(frac float64) *Split {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("data: SubsetTrain fraction %v", frac))
+	}
+	n := int(float64(len(s.Train)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	return &Split{ds: s.ds, Train: s.Train[:n], Val: s.Val, Test: s.Test}
+}
+
+// NegativeSampler draws objects a given user has never interacted with,
+// uniformly — used both to build BPR triples (§IV-A), to sample unobserved
+// negatives for classification training (§IV-B), and to assemble the J
+// ranking candidates of the evaluation protocol (§V-C).
+type NegativeSampler struct {
+	numObjects int
+	seen       []map[int]bool
+	rng        *rand.Rand
+}
+
+// NewNegativeSampler indexes the dataset's interactions for rejection
+// sampling.
+func NewNegativeSampler(d *Dataset, rng *rand.Rand) *NegativeSampler {
+	ns := &NegativeSampler{numObjects: d.NumObjects, rng: rng}
+	ns.seen = make([]map[int]bool, d.NumUsers)
+	for u, log := range d.Users {
+		m := make(map[int]bool, len(log))
+		for _, it := range log {
+			m[it.Object] = true
+		}
+		ns.seen[u] = m
+	}
+	return ns
+}
+
+// Sample returns one object user u has never interacted with. It falls back
+// to a uniform object if the user has seen (nearly) everything.
+func (ns *NegativeSampler) Sample(u int) int {
+	for tries := 0; tries < 64; tries++ {
+		o := ns.rng.Intn(ns.numObjects)
+		if !ns.seen[u][o] {
+			return o
+		}
+	}
+	return ns.rng.Intn(ns.numObjects)
+}
+
+// SampleN returns n negatives for user u, distinct from each other and
+// unseen by the user when possible. When n exceeds the number of objects
+// the vocabulary can supply, duplicates are admitted rather than looping
+// forever — small synthetic datasets can have fewer objects than the J
+// candidates the ranking protocol asks for.
+func (ns *NegativeSampler) SampleN(u, n int) []int {
+	// The user's unvisited objects bound how many distinct negatives exist.
+	avail := ns.numObjects - len(ns.seen[u])
+	if avail < 1 {
+		avail = 1
+	}
+	out := make([]int, 0, n)
+	used := make(map[int]bool, n)
+	for len(out) < n {
+		o := ns.Sample(u)
+		if used[o] && len(used) < avail {
+			continue
+		}
+		used[o] = true
+		out = append(out, o)
+	}
+	return out
+}
+
+// Seen reports whether user u has interacted with object o.
+func (ns *NegativeSampler) Seen(u, o int) bool { return ns.seen[u][o] }
+
+// SortUsersByLength orders user ids by descending log length; useful for
+// inspection tooling.
+func SortUsersByLength(d *Dataset) []int {
+	ids := make([]int, d.NumUsers)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool { return len(d.Users[ids[a]]) > len(d.Users[ids[b]]) })
+	return ids
+}

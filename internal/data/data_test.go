@@ -1,0 +1,216 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"seqfm/internal/feature"
+)
+
+// tinyDataset builds a hand-written 3-user dataset for split tests.
+func tinyDataset() *Dataset {
+	return &Dataset{
+		Name:       "tiny",
+		Task:       Ranking,
+		NumUsers:   3,
+		NumObjects: 6,
+		Users: [][]Interaction{
+			{{Object: 0, Rating: 1, Time: 0}, {Object: 1, Rating: 1, Time: 1},
+				{Object: 2, Rating: 1, Time: 2}, {Object: 3, Rating: 1, Time: 3}},
+			{{Object: 4, Rating: 1, Time: 0}, {Object: 5, Rating: 1, Time: 1}},
+			{},
+		},
+	}
+}
+
+func TestSplitLeaveOneOut(t *testing.T) {
+	d := tinyDataset()
+	s := NewSplit(d)
+	// User 0 (4 interactions): positions 1..(n−2) train ⇒ {1}, val=pos 2, test=pos 3.
+	if len(s.Val) != 1 || len(s.Test) != 1 {
+		t.Fatalf("val=%d test=%d, want 1/1", len(s.Val), len(s.Test))
+	}
+	if s.Test[0].Target != 3 || s.Val[0].Target != 2 {
+		t.Fatalf("test target %d, val target %d", s.Test[0].Target, s.Val[0].Target)
+	}
+	// Test history must be everything before the last interaction.
+	if got := s.Test[0].Hist; len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("test hist %v", got)
+	}
+	// User 1 has only 2 interactions: train-only (position 1).
+	foundUser1 := false
+	for _, inst := range s.Train {
+		if inst.User == 1 {
+			foundUser1 = true
+			if inst.Target != 5 || len(inst.Hist) != 1 || inst.Hist[0] != 4 {
+				t.Fatalf("user-1 train instance %+v", inst)
+			}
+		}
+		if inst.User == 0 && inst.Target == 3 {
+			t.Fatal("test interaction leaked into training")
+		}
+	}
+	if !foundUser1 {
+		t.Fatal("short user contributed no training data")
+	}
+}
+
+func TestSplitChronology(t *testing.T) {
+	// Every training instance's history must precede its target in time.
+	d, err := GeneratePOI(GowallaConfig(0.001, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSplit(d)
+	for _, inst := range s.Train {
+		log := d.Users[inst.User]
+		pos := len(inst.Hist)
+		if log[pos].Object != inst.Target {
+			t.Fatalf("instance target %d not at position %d of the log", inst.Target, pos)
+		}
+		for i, h := range inst.Hist {
+			if log[i].Object != h {
+				t.Fatal("history does not match the chronological prefix")
+			}
+		}
+	}
+}
+
+func TestSubsetTrain(t *testing.T) {
+	d := tinyDataset()
+	s := NewSplit(d)
+	sub := s.SubsetTrain(0.5)
+	if len(sub.Train) != 1 {
+		t.Fatalf("subset train=%d", len(sub.Train))
+	}
+	if len(sub.Test) != len(s.Test) {
+		t.Fatal("subset changed the test split")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for frac>1")
+			}
+		}()
+		s.SubsetTrain(1.5)
+	}()
+}
+
+func TestNegativeSamplerAvoidsSeen(t *testing.T) {
+	d := tinyDataset()
+	ns := NewNegativeSampler(d, rand.New(rand.NewSource(1)))
+	for i := 0; i < 200; i++ {
+		o := ns.Sample(0) // user 0 saw {0,1,2,3}
+		if o == 0 || o == 1 || o == 2 || o == 3 {
+			t.Fatalf("sampled seen object %d", o)
+		}
+	}
+	negs := ns.SampleN(0, 2)
+	if len(negs) != 2 || negs[0] == negs[1] {
+		t.Fatalf("SampleN: %v", negs)
+	}
+	if !ns.Seen(0, 2) || ns.Seen(0, 4) {
+		t.Fatal("Seen bookkeeping wrong")
+	}
+}
+
+// TestSampleNExceedingVocabulary pins the regression where asking for more
+// distinct negatives than the object vocabulary holds looped forever: the
+// sampler must fall back to duplicates and terminate.
+func TestSampleNExceedingVocabulary(t *testing.T) {
+	d := tinyDataset() // 6 objects
+	ns := NewNegativeSampler(d, rand.New(rand.NewSource(2)))
+	done := make(chan []int, 1)
+	go func() { done <- ns.SampleN(0, 50) }()
+	select {
+	case negs := <-done:
+		if len(negs) != 50 {
+			t.Fatalf("SampleN returned %d of 50", len(negs))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SampleN hung when n exceeds the vocabulary")
+	}
+}
+
+func TestWithTargetObject(t *testing.T) {
+	d := tinyDataset()
+	d.NumItemAttrs = 2
+	d.ItemAttr = []int{0, 1, 0, 1, 0, 1}
+	s := NewSplit(d)
+	inst := s.Test[0]
+	re := d.WithTargetObject(inst, 4)
+	if re.Target != 4 || re.TargetAttr != 0 {
+		t.Fatalf("retarget: %+v", re)
+	}
+	if re.User != inst.User || len(re.Hist) != len(inst.Hist) {
+		t.Fatal("retarget disturbed other fields")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := tinyDataset()
+	d.Users[0][0].Object = 99
+	if err := d.Validate(); err == nil {
+		t.Fatal("out-of-range object not caught")
+	}
+	d = tinyDataset()
+	d.Users[0][0].Time = 5 // out of order vs Time=1 next
+	if err := d.Validate(); err == nil {
+		t.Fatal("time disorder not caught")
+	}
+	d = tinyDataset()
+	d.NumUserAttrs = 1
+	if err := d.Validate(); err == nil {
+		t.Fatal("missing attr table not caught")
+	}
+}
+
+func TestSpaceFromDataset(t *testing.T) {
+	d := tinyDataset()
+	sp := d.Space()
+	if sp.NumUsers != 3 || sp.NumObjects != 6 {
+		t.Fatalf("space: %+v", sp)
+	}
+	if sp.StaticDim() != 9 || sp.DynamicDim() != 6 {
+		t.Fatal("space dims")
+	}
+}
+
+func TestInstanceAttrs(t *testing.T) {
+	d := tinyDataset()
+	d.NumUserAttrs = 2
+	d.UserAttr = []int{1, 0, 1}
+	d.NumItemAttrs = 3
+	d.ItemAttr = []int{0, 1, 2, 0, 1, 2}
+	s := NewSplit(d)
+	inst := s.Test[0] // user 0, target 3
+	if inst.UserAttr != 1 || inst.TargetAttr != 0 {
+		t.Fatalf("attrs: %+v", inst)
+	}
+}
+
+func TestInstanceWithoutAttrsUsesPad(t *testing.T) {
+	s := NewSplit(tinyDataset())
+	if s.Test[0].UserAttr != feature.Pad || s.Test[0].TargetAttr != feature.Pad {
+		t.Fatal("absent attrs should be Pad")
+	}
+}
+
+func TestSortUsersByLength(t *testing.T) {
+	d := tinyDataset()
+	ids := SortUsersByLength(d)
+	if ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("order: %v", ids)
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if Ranking.String() != "ranking" || Classification.String() != "classification" ||
+		Regression.String() != "regression" {
+		t.Fatal("task names")
+	}
+	if Task(9).String() == "" {
+		t.Fatal("unknown task name empty")
+	}
+}

@@ -1,0 +1,301 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratePOIDeterministic(t *testing.T) {
+	cfg := GowallaConfig(0.001, 42)
+	a, err := GeneratePOI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePOI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumUsers != b.NumUsers {
+		t.Fatal("nondeterministic user count")
+	}
+	for u := range a.Users {
+		if len(a.Users[u]) != len(b.Users[u]) {
+			t.Fatalf("user %d length differs", u)
+		}
+		for i := range a.Users[u] {
+			if a.Users[u][i] != b.Users[u][i] {
+				t.Fatalf("user %d interaction %d differs", u, i)
+			}
+		}
+	}
+	// A different seed must actually change the data.
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c, err := GeneratePOI(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for u := range a.Users {
+		for i := range a.Users[u] {
+			if i < len(c.Users[u]) && a.Users[u][i] != c.Users[u][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// TestPOISequentialSignal verifies the generator encodes the short-range
+// dependency the paper attributes to POI data: consecutive check-ins land in
+// the same or adjacent clusters far more often than chance.
+func TestPOISequentialSignal(t *testing.T) {
+	cfg := GowallaConfig(0.002, 1)
+	d, err := GeneratePOI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearCount, total := 0, 0
+	for p := 0; p < cfg.NumPOIs; p++ {
+		_ = p
+	}
+	clusterOf := func(poi int) int { return poi % cfg.NumClusters }
+	for _, log := range d.Users {
+		for i := 1; i < len(log); i++ {
+			a, b := clusterOf(log[i-1].Object), clusterOf(log[i].Object)
+			diff := (a - b + cfg.NumClusters) % cfg.NumClusters
+			if diff <= 1 || diff == cfg.NumClusters-1 {
+				nearCount++
+			}
+			total++
+		}
+	}
+	frac := float64(nearCount) / float64(total)
+	chance := 3.0 / float64(cfg.NumClusters)
+	if frac < 3*chance {
+		t.Fatalf("sequential signal too weak: near-fraction %.3f vs chance %.3f", frac, chance)
+	}
+}
+
+func TestPOIConfigValidation(t *testing.T) {
+	base := GowallaConfig(0.001, 1)
+	bad := []func(c POIConfig) POIConfig{
+		func(c POIConfig) POIConfig { c.NumUsers = 0; return c },
+		func(c POIConfig) POIConfig { c.NumClusters = 1; return c },
+		func(c POIConfig) POIConfig { c.NumClusters = c.NumPOIs + 1; return c },
+		func(c POIConfig) POIConfig { c.MinLen = 2; return c },
+		func(c POIConfig) POIConfig { c.MaxLen = c.MinLen - 1; return c },
+		func(c POIConfig) POIConfig { c.PSeq = 0.9; c.PPref = 0.2; return c },
+		func(c POIConfig) POIConfig { c.PrefClusters = 0; return c },
+	}
+	for i, mutate := range bad {
+		if _, err := GeneratePOI(mutate(base)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateCTRLongMemory(t *testing.T) {
+	// Taobao's intent decay is higher than Trivago's; verify the configs
+	// encode the paper's observation and that both generate valid data.
+	tv := TrivagoConfig(0.002, 1)
+	tb := TaobaoConfig(0.002, 1)
+	if tb.IntentDecay <= tv.IntentDecay {
+		t.Fatalf("taobao decay %v should exceed trivago %v", tb.IntentDecay, tv.IntentDecay)
+	}
+	for _, cfg := range []CTRConfig{tv, tb} {
+		d, err := GenerateCTR(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if d.Task != Classification {
+			t.Fatal("task")
+		}
+	}
+}
+
+// TestCTRCategoryConcentration: a user's clicks concentrate on few
+// categories (their long-term interests) rather than spreading uniformly.
+func TestCTRCategoryConcentration(t *testing.T) {
+	cfg := TaobaoConfig(0.002, 5)
+	d, err := GenerateCTR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := 0
+	for _, log := range d.Users {
+		seen := map[int]int{}
+		for _, it := range log {
+			seen[it.Object%cfg.NumCategories]++
+		}
+		// Top category share.
+		top, total := 0, 0
+		for _, c := range seen {
+			if c > top {
+				top = c
+			}
+			total += c
+		}
+		if float64(top)/float64(total) > 2.0/float64(cfg.NumCategories) {
+			over++
+		}
+	}
+	if frac := float64(over) / float64(d.NumUsers); frac < 0.9 {
+		t.Fatalf("only %.2f of users show concentrated interests", frac)
+	}
+}
+
+func TestCTRConfigValidation(t *testing.T) {
+	base := TrivagoConfig(0.002, 1)
+	bad := []func(c CTRConfig) CTRConfig{
+		func(c CTRConfig) CTRConfig { c.NumLinks = 1; return c },
+		func(c CTRConfig) CTRConfig { c.NumCategories = 1; return c },
+		func(c CTRConfig) CTRConfig { c.MinLen = 0; return c },
+		func(c CTRConfig) CTRConfig { c.IntentDecay = 1; return c },
+		func(c CTRConfig) CTRConfig { c.Noise = 2; return c },
+		func(c CTRConfig) CTRConfig { c.PrefCategories = 0; return c },
+	}
+	for i, mutate := range bad {
+		if _, err := GenerateCTR(mutate(base)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateRatingRangeAndRounding(t *testing.T) {
+	cfg := BeautyConfig(0.002, 9)
+	d, err := GenerateRating(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Task != Regression {
+		t.Fatal("task")
+	}
+	for _, log := range d.Users {
+		for _, it := range log {
+			if it.Rating < 1 || it.Rating > 5 {
+				t.Fatalf("rating %v outside [1,5]", it.Rating)
+			}
+			if it.Rating != math.Round(it.Rating) {
+				t.Fatalf("rating %v not integer despite RoundRatings", it.Rating)
+			}
+		}
+	}
+}
+
+// TestRatingVarianceOrdering: Beauty's noise exceeds Toys', matching the
+// paper's harder-MAE-on-Beauty outcome.
+func TestRatingVarianceOrdering(t *testing.T) {
+	be := BeautyConfig(1, 1)
+	to := ToysConfig(1, 1)
+	if be.NoiseStd <= to.NoiseStd {
+		t.Fatalf("beauty noise %v should exceed toys %v", be.NoiseStd, to.NoiseStd)
+	}
+}
+
+func TestRatingConfigValidation(t *testing.T) {
+	base := BeautyConfig(0.002, 1)
+	bad := []func(c RatingConfig) RatingConfig{
+		func(c RatingConfig) RatingConfig { c.NumItems = 1; return c },
+		func(c RatingConfig) RatingConfig { c.LatentDim = 0; return c },
+		func(c RatingConfig) RatingConfig { c.MinLen = 2; return c },
+		func(c RatingConfig) RatingConfig { c.DriftWindow = 0; return c },
+		func(c RatingConfig) RatingConfig { c.NoiseStd = -1; return c },
+	}
+	for i, mutate := range bad {
+		if _, err := GenerateRating(mutate(base)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestComputeStatsMatchesPaperFormula(t *testing.T) {
+	d, err := GeneratePOI(FoursquareConfig(0.001, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(d)
+	if s.SparseFeatures != d.NumUsers+2*d.NumObjects {
+		t.Fatalf("sparse features %d != users+2*objects", s.SparseFeatures)
+	}
+	if s.Instances != d.NumInstances() {
+		t.Fatal("instance count")
+	}
+	if s.AvgSeqLen <= 0 || s.MinSeqLen <= 0 || s.MaxSeqLen < s.MinSeqLen {
+		t.Fatalf("length stats: %+v", s)
+	}
+	if s.String() == "" || FormatStatsTable([]Stats{s}) == "" {
+		t.Fatal("formatting empty")
+	}
+}
+
+func TestScaledTableISizes(t *testing.T) {
+	// scale=1 must reproduce the paper's Table I user/object counts exactly.
+	cases := []struct {
+		users, objects int
+		gotU, gotO     int
+	}{
+		{34796, 57445, GowallaConfig(1, 1).NumUsers, GowallaConfig(1, 1).NumPOIs},
+		{24941, 28593, FoursquareConfig(1, 1).NumUsers, FoursquareConfig(1, 1).NumPOIs},
+		{12790, 45195, TrivagoConfig(1, 1).NumUsers, TrivagoConfig(1, 1).NumLinks},
+		{37398, 65474, TaobaoConfig(1, 1).NumUsers, TaobaoConfig(1, 1).NumLinks},
+		{22363, 12101, BeautyConfig(1, 1).NumUsers, BeautyConfig(1, 1).NumItems},
+		{19412, 11924, ToysConfig(1, 1).NumUsers, ToysConfig(1, 1).NumItems},
+	}
+	for i, c := range cases {
+		if c.gotU != c.users || c.gotO != c.objects {
+			t.Errorf("case %d: got %d/%d users/objects, want %d/%d", i, c.gotU, c.gotO, c.users, c.objects)
+		}
+	}
+}
+
+func TestFilterInactive(t *testing.T) {
+	d := &Dataset{
+		Name: "f", Task: Ranking, NumUsers: 3, NumObjects: 4,
+		Users: [][]Interaction{
+			{{Object: 0}, {Object: 1}, {Object: 0}, {Object: 1}},
+			{{Object: 0}, {Object: 1}, {Object: 0}},
+			{{Object: 2}}, // object 2 and this user both inactive
+		},
+	}
+	out := FilterInactive(d, 2, 3)
+	if out.NumUsers != 2 {
+		t.Fatalf("users after filter: %d", out.NumUsers)
+	}
+	if out.NumObjects != 2 {
+		t.Fatalf("objects after filter: %d", out.NumObjects)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Filtering must re-index objects densely.
+	for _, log := range out.Users {
+		for _, it := range log {
+			if it.Object >= out.NumObjects {
+				t.Fatalf("stale object id %d", it.Object)
+			}
+		}
+	}
+}
+
+func TestFilterInactiveFixedPoint(t *testing.T) {
+	// Removing object 2 drops user 2 below threshold, which in turn drops
+	// object 3 below its threshold — the filter must cascade.
+	d := &Dataset{
+		Name: "cascade", Task: Ranking, NumUsers: 3, NumObjects: 4,
+		Users: [][]Interaction{
+			{{Object: 0}, {Object: 1}, {Object: 0}, {Object: 1}},
+			{{Object: 0}, {Object: 1}, {Object: 1}},
+			{{Object: 2}, {Object: 3}, {Object: 3}},
+		},
+	}
+	out := FilterInactive(d, 3, 3)
+	if out.NumUsers != 2 || out.NumObjects != 2 {
+		t.Fatalf("cascade: users=%d objects=%d", out.NumUsers, out.NumObjects)
+	}
+}

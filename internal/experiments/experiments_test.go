@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"seqfm/internal/core"
+)
+
+func TestParamsForAllScales(t *testing.T) {
+	for _, s := range []Scale{ScaleTiny, ScaleSmall, ScaleMedium, ScaleFull} {
+		p := ParamsFor(s)
+		if p.Scale != s || p.Dim < 1 || p.Epochs < 1 || p.DataFrac <= 0 {
+			t.Errorf("%s: bad params %+v", s, p)
+		}
+	}
+	// Full scale must carry the paper's unified setting (§V-D).
+	full := ParamsFor(ScaleFull)
+	if full.Dim != 64 || full.Layers != 1 || full.SeqLen != 20 || full.KeepProb != 0.6 {
+		t.Errorf("full-scale hyperparameters %+v do not match the paper", full)
+	}
+	if full.J != 1000 || full.Negatives != 5 || full.BatchSize != 512 || full.LR != 1e-4 {
+		t.Errorf("full-scale protocol %+v does not match §IV-D/§V-C", full)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown scale accepted")
+			}
+		}()
+		ParamsFor(Scale("bogus"))
+	}()
+}
+
+func TestCapLen(t *testing.T) {
+	p := Params{LenCap: 20}
+	minL, maxL := p.capLen(15, 50)
+	if maxL != 20 || minL > maxL {
+		t.Fatalf("capLen: %d..%d", minL, maxL)
+	}
+	// No cap configured: unchanged.
+	p.LenCap = 0
+	minL, maxL = p.capLen(15, 50)
+	if minL != 15 || maxL != 50 {
+		t.Fatalf("uncapped: %d..%d", minL, maxL)
+	}
+	// Cap above range: unchanged.
+	p.LenCap = 100
+	if _, maxL = p.capLen(15, 50); maxL != 50 {
+		t.Fatalf("high cap changed max to %d", maxL)
+	}
+}
+
+func TestAblationsCoverTableV(t *testing.T) {
+	abs := Ablations()
+	if len(abs) != 6 {
+		t.Fatalf("ablations: %d", len(abs))
+	}
+	names := map[string]bool{}
+	for _, ab := range abs {
+		names[ab.String()] = true
+	}
+	for _, want := range []string{"Default", "Remove SV", "Remove DV", "Remove CV", "Remove RC", "Remove LN"} {
+		if !names[want] {
+			t.Errorf("missing ablation %q", want)
+		}
+	}
+}
+
+func TestModelZoosMatchPaperColumns(t *testing.T) {
+	p := ParamsFor(ScaleTiny)
+	g, _, err := p.RankingDatasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := g.Space()
+
+	rank, err := p.RankingModels(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNames(t, rank, []string{"FM", "Wide&Deep", "DeepCross", "NFM", "AFM", "SASRec", "TFM", "SeqFM"})
+
+	cls, err := p.ClassificationModels(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNames(t, cls, []string{"FM", "Wide&Deep", "DeepCross", "NFM", "AFM", "DIN", "xDeepFM", "SeqFM"})
+
+	reg, err := p.RegressionModels(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNames(t, reg, []string{"FM", "Wide&Deep", "DeepCross", "NFM", "AFM", "RRN", "HOFM", "SeqFM"})
+}
+
+func assertNames(t *testing.T, ms []NamedModel, want []string) {
+	t.Helper()
+	if len(ms) != len(want) {
+		t.Fatalf("got %d models, want %d", len(ms), len(want))
+	}
+	for i, nm := range ms {
+		if nm.Name != want[i] {
+			t.Errorf("model %d = %q, want %q", i, nm.Name, want[i])
+		}
+		if nm.Model == nil {
+			t.Errorf("model %q is nil", nm.Name)
+		}
+	}
+}
+
+func TestRegressionTrainConfigBoost(t *testing.T) {
+	p := ParamsFor(ScaleTiny)
+	if got := p.RegressionTrainConfig().Epochs; got != 4*p.Epochs {
+		t.Fatalf("regression epochs %d, want %d", got, 4*p.Epochs)
+	}
+}
+
+func TestResultLookups(t *testing.T) {
+	t2 := &Table2Result{Rows: map[string][]RankingRow{
+		"ds": {{Model: "FM", HR: map[int]float64{10: 0.5}}},
+	}}
+	if _, ok := t2.FindRanking("ds", "FM"); !ok {
+		t.Error("FindRanking missed present row")
+	}
+	if _, ok := t2.FindRanking("ds", "SeqFM"); ok {
+		t.Error("FindRanking found absent row")
+	}
+	pr := &PairResult{Rows: map[string][]MetricRow{
+		"ds": {{Model: "DIN", A: 0.9, B: 0.3}},
+	}}
+	if row, ok := pr.FindRow("ds", "DIN"); !ok || row.A != 0.9 {
+		t.Error("FindRow broken")
+	}
+	if _, ok := pr.FindRow("nope", "DIN"); ok {
+		t.Error("FindRow found row in absent dataset")
+	}
+}
+
+func TestFigure3GridDefaults(t *testing.T) {
+	v := Figure3Values{}.withDefaults(ScaleSmall)
+	if len(v.D) != 5 || len(v.L) != 5 || len(v.N) != 5 || len(v.Rho) != 5 {
+		t.Fatalf("paper grids: %+v", v)
+	}
+	if v.D[0] != 8 || v.D[4] != 128 || v.N[0] != 10 || v.N[4] != 50 {
+		t.Fatalf("grid values: %+v", v)
+	}
+	tiny := Figure3Values{}.withDefaults(ScaleTiny)
+	if len(tiny.D) >= len(v.D) {
+		t.Fatal("tiny grid not reduced")
+	}
+	// Explicit values are preserved.
+	custom := Figure3Values{D: []int{16}}.withDefaults(ScaleSmall)
+	if len(custom.D) != 1 || custom.D[0] != 16 {
+		t.Fatalf("custom grid overridden: %+v", custom)
+	}
+}
+
+// TestFigure4LinearityTiny runs the scalability experiment at tiny scale
+// and checks the paper's claim: time grows roughly linearly, so the full
+// run costs no more than ~8× the 0.2-fraction run (5× ideal + slack).
+func TestFigure4LinearityTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	p := ParamsFor(ScaleTiny)
+	p.Epochs = 4
+	points, err := Figure4(io.Discard, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points: %d", len(points))
+	}
+	if points[0].Fraction != 0.2 || points[4].Fraction != 1.0 {
+		t.Fatalf("fractions: %+v", points)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Train <= points[i-1].Train {
+			t.Fatal("train sizes not increasing")
+		}
+	}
+	if points[4].Seconds > 8*points[0].Seconds+0.5 {
+		t.Errorf("scaling superlinear: %.2fs at 0.2 vs %.2fs at 1.0",
+			points[0].Seconds, points[4].Seconds)
+	}
+}
+
+// TestTable5AblationRunsTiny smoke-tests the ablation harness end to end at
+// a drastically reduced setting (ranking datasets only would still be slow;
+// use minimal epochs).
+func TestTable5AblationRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation sweep")
+	}
+	p := ParamsFor(ScaleTiny)
+	p.Epochs = 1
+	rows, err := Table5(io.Discard, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0].Architecture != "Default" {
+		t.Fatalf("first row %q", rows[0].Architecture)
+	}
+	for _, r := range rows {
+		if len(r.Metrics) != 6 {
+			t.Fatalf("%s covers %d datasets", r.Architecture, len(r.Metrics))
+		}
+	}
+}
+
+func TestLogfTo(t *testing.T) {
+	if logfTo(nil, "x") != nil {
+		t.Fatal("nil writer should give nil Logf")
+	}
+	var sb strings.Builder
+	logfTo(&sb, "lbl")("%d", 42)
+	if !strings.Contains(sb.String(), "[lbl] 42") {
+		t.Fatalf("log line: %q", sb.String())
+	}
+	_ = core.Ablation{} // keep import
+}

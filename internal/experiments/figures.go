@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"seqfm/internal/core"
+	"seqfm/internal/data"
+	"seqfm/internal/train"
+)
+
+// SweepPoint is one point of a Figure 3 sensitivity curve.
+type SweepPoint struct {
+	Value  float64 // the hyperparameter value
+	Metric float64 // HR@10 / AUC / MAE depending on the task
+}
+
+// SweepCurve is one dataset's curve for one hyperparameter.
+type SweepCurve struct {
+	Dataset    string
+	Hyperparam string // "d", "l", "n", "rho"
+	Metric     string // "HR@10", "AUC", "MAE"
+	Points     []SweepPoint
+}
+
+// Figure3Values lists the sweep grids; nil fields default to the paper's
+// grids d∈{8..128}, l∈{1..5}, n.∈{10..50}, ρ∈{0.5..0.9} (§IV-D). Tiny-scale
+// runs shrink the grids to keep runtime bounded.
+type Figure3Values struct {
+	D   []int
+	L   []int
+	N   []int
+	Rho []float64
+}
+
+func (v Figure3Values) withDefaults(scale Scale) Figure3Values {
+	if scale == ScaleTiny {
+		if v.D == nil {
+			v.D = []int{8, 32}
+		}
+		if v.L == nil {
+			v.L = []int{1, 2}
+		}
+		if v.N == nil {
+			v.N = []int{4, 8}
+		}
+		if v.Rho == nil {
+			v.Rho = []float64{0.6, 0.9}
+		}
+		return v
+	}
+	if v.D == nil {
+		v.D = []int{8, 16, 32, 64, 128}
+	}
+	if v.L == nil {
+		v.L = []int{1, 2, 3, 4, 5}
+	}
+	if v.N == nil {
+		v.N = []int{10, 20, 30, 40, 50}
+	}
+	if v.Rho == nil {
+		v.Rho = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	return v
+}
+
+// Figure3 regenerates the hyperparameter sensitivity analysis: starting
+// from the standard setting, one hyperparameter is varied at a time and the
+// headline metric recorded — HR@10 for the ranking datasets, AUC for the
+// classification datasets, MAE for the regression datasets.
+func Figure3(w io.Writer, p Params, values Figure3Values) ([]SweepCurve, error) {
+	values = values.withDefaults(p.Scale)
+	fmt.Fprintf(w, "FIGURE 3 — PARAMETER SENSITIVITY ANALYSIS, scale=%s\n", p.Scale)
+
+	g, f, err := p.RankingDatasets()
+	if err != nil {
+		return nil, err
+	}
+	tv, tb, err := p.CTRDatasets()
+	if err != nil {
+		return nil, err
+	}
+	be, to, err := p.RatingDatasets()
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		ds     *data.Dataset
+		metric string
+	}
+	jobs := []job{
+		{g, "HR@10"}, {f, "HR@10"},
+		{tv, "AUC"}, {tb, "AUC"},
+		{be, "MAE"}, {to, "MAE"},
+	}
+
+	runOne := func(ds *data.Dataset, metric string, q Params) (float64, error) {
+		m, err := q.SeqFM(ds.Space(), core.Ablation{})
+		if err != nil {
+			return 0, err
+		}
+		split := data.NewSplit(ds)
+		switch metric {
+		case "HR@10":
+			if _, err := train.Ranking(m, split, q.TrainConfig()); err != nil {
+				return 0, err
+			}
+			return train.EvalRanking(m, split, q.EvalConfig()).HR[10], nil
+		case "AUC":
+			if _, err := train.Classification(m, split, q.TrainConfig()); err != nil {
+				return 0, err
+			}
+			return train.EvalClassification(m, split, q.EvalConfig()).AUC, nil
+		default:
+			if _, err := train.Regression(m, split, q.RegressionTrainConfig()); err != nil {
+				return 0, err
+			}
+			return train.EvalRegression(m, split, q.EvalConfig()).MAE, nil
+		}
+	}
+
+	type sweep struct {
+		name   string
+		values []float64
+		apply  func(Params, float64) Params
+	}
+	sweeps := []sweep{
+		{"d", toF(values.D), func(q Params, v float64) Params { q.Dim = int(v); return q }},
+		{"l", toF(values.L), func(q Params, v float64) Params { q.Layers = int(v); return q }},
+		{"n", toF(values.N), func(q Params, v float64) Params { q.SeqLen = int(v); return q }},
+		{"rho", values.Rho, func(q Params, v float64) Params { q.KeepProb = v; return q }},
+	}
+
+	var curves []SweepCurve
+	for _, sw := range sweeps {
+		for _, j := range jobs {
+			curve := SweepCurve{Dataset: j.ds.Name, Hyperparam: sw.name, Metric: j.metric}
+			for _, v := range sw.values {
+				metric, err := runOne(j.ds, j.metric, sw.apply(p, v))
+				if err != nil {
+					return nil, fmt.Errorf("figure3: %s=%v on %s: %w", sw.name, v, j.ds.Name, err)
+				}
+				curve.Points = append(curve.Points, SweepPoint{Value: v, Metric: metric})
+				fmt.Fprintf(w, "  %-18s %s %s=%-5g %s=%.3f\n", j.ds.Name, j.metric, sw.name, v, j.metric, metric)
+			}
+			curves = append(curves, curve)
+		}
+	}
+	return curves, nil
+}
+
+// ScalePoint is one point of the Figure 4 training-time curve.
+type ScalePoint struct {
+	Fraction float64
+	Seconds  float64
+	Train    int
+}
+
+// Figure4 regenerates the training efficiency and scalability test: SeqFM
+// trained on {0.2, 0.4, 0.6, 0.8, 1.0} of the Trivago stand-in's training
+// instances, reporting wall-clock training time. The paper's claim is the
+// approximately linear dependence of time on data size (§VI-D).
+func Figure4(w io.Writer, p Params) ([]ScalePoint, error) {
+	tv, _, err := p.CTRDatasets()
+	if err != nil {
+		return nil, err
+	}
+	split := data.NewSplit(tv)
+	fmt.Fprintf(w, "FIGURE 4 — TRAINING TIME OF SEQFM W.R.T VARIED DATA PROPORTIONS, scale=%s dataset=%s\n", p.Scale, tv.Name)
+	fractions := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	var points []ScalePoint
+	for _, frac := range fractions {
+		sub := split.SubsetTrain(frac)
+		m, err := p.SeqFM(tv.Space(), core.Ablation{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := train.Classification(m, sub, p.TrainConfig()); err != nil {
+			return nil, err
+		}
+		sec := time.Since(start).Seconds()
+		points = append(points, ScalePoint{Fraction: frac, Seconds: sec, Train: len(sub.Train)})
+		fmt.Fprintf(w, "  proportion=%.1f train=%d time=%.2fs\n", frac, len(sub.Train), sec)
+	}
+	return points, nil
+}
+
+func toF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

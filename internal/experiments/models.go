@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seqfm/internal/baselines/afm"
+	"seqfm/internal/baselines/deepcross"
+	"seqfm/internal/baselines/din"
+	"seqfm/internal/baselines/fm"
+	"seqfm/internal/baselines/hofm"
+	"seqfm/internal/baselines/nfm"
+	"seqfm/internal/baselines/rrn"
+	"seqfm/internal/baselines/sasrec"
+	"seqfm/internal/baselines/tfm"
+	"seqfm/internal/baselines/widedeep"
+	"seqfm/internal/baselines/xdeepfm"
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+	"seqfm/internal/train"
+)
+
+// NamedModel pairs a model with the label the paper's tables use.
+type NamedModel struct {
+	Name  string
+	Model train.Model
+}
+
+// commonBaselines builds the five FM-based models every task compares
+// against (§V-B): FM, Wide&Deep, DeepCross, NFM and AFM.
+func (p Params) commonBaselines(space feature.Space) []NamedModel {
+	d := p.Dim
+	return []NamedModel{
+		{"FM", fm.New(fm.Config{Space: space, Dim: d, MaxSeqLen: p.SeqLen, Seed: p.Seed + 11})},
+		{"Wide&Deep", widedeep.New(widedeep.Config{Space: space, Dim: d,
+			Hidden: []int{2 * d, d}, MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 12})},
+		{"DeepCross", deepcross.New(deepcross.Config{Space: space, Dim: d,
+			Blocks: 2, HiddenDim: 2 * d, MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 13})},
+		{"NFM", nfm.New(nfm.Config{Space: space, Dim: d,
+			Hidden: []int{d}, MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 14})},
+		{"AFM", afm.New(afm.Config{Space: space, Dim: d, AttnDim: d, MaxSeqLen: p.SeqLen, Seed: p.Seed + 15})},
+	}
+}
+
+// RankingModels returns Table II's model column: the common baselines, the
+// two ranking-specific competitors (SASRec, TFM) and SeqFM.
+func (p Params) RankingModels(space feature.Space) ([]NamedModel, error) {
+	ms := p.commonBaselines(space)
+	ms = append(ms,
+		NamedModel{"SASRec", sasrec.New(sasrec.Config{Space: space, Dim: p.Dim,
+			Blocks: 2, MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 16})},
+		NamedModel{"TFM", tfm.New(tfm.Config{Space: space, Dim: p.Dim, Seed: p.Seed + 17})},
+	)
+	sq, err := p.SeqFM(space, core.Ablation{})
+	if err != nil {
+		return nil, err
+	}
+	return append(ms, NamedModel{"SeqFM", sq}), nil
+}
+
+// ClassificationModels returns Table III's model column: the common
+// baselines, DIN and xDeepFM, and SeqFM.
+func (p Params) ClassificationModels(space feature.Space) ([]NamedModel, error) {
+	ms := p.commonBaselines(space)
+	ms = append(ms,
+		NamedModel{"DIN", din.New(din.Config{Space: space, Dim: p.Dim,
+			ActHidden: p.Dim, Hidden: []int{2 * p.Dim, p.Dim},
+			MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 18})},
+		NamedModel{"xDeepFM", xdeepfm.New(xdeepfm.Config{Space: space, Dim: p.Dim,
+			CINMaps: 4, CINDepth: 2, Hidden: []int{2 * p.Dim, p.Dim},
+			MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 19})},
+	)
+	sq, err := p.SeqFM(space, core.Ablation{})
+	if err != nil {
+		return nil, err
+	}
+	return append(ms, NamedModel{"SeqFM", sq}), nil
+}
+
+// RegressionModels returns Table IV's model column: the common baselines,
+// RRN and HOFM, and SeqFM.
+func (p Params) RegressionModels(space feature.Space) ([]NamedModel, error) {
+	ms := p.commonBaselines(space)
+	ms = append(ms,
+		NamedModel{"RRN", rrn.New(rrn.Config{Space: space, Dim: p.Dim,
+			Hidden: p.Dim, MaxSeqLen: p.SeqLen, Seed: p.Seed + 20})},
+		NamedModel{"HOFM", hofm.New(hofm.Config{Space: space, Dim: p.Dim,
+			MaxSeqLen: p.SeqLen, Seed: p.Seed + 21})},
+	)
+	sq, err := p.SeqFM(space, core.Ablation{})
+	if err != nil {
+		return nil, err
+	}
+	return append(ms, NamedModel{"SeqFM", sq}), nil
+}
+
+// Ablations returns the Table V architecture column.
+func Ablations() []core.Ablation {
+	return []core.Ablation{
+		{},                    // Default
+		{NoStaticView: true},  // Remove SV
+		{NoDynamicView: true}, // Remove DV
+		{NoCrossView: true},   // Remove CV
+		{NoResidual: true},    // Remove RC
+		{NoLayerNorm: true},   // Remove LN
+	}
+}
+
+// modelNames formats the zoo for log lines.
+func modelNames(ms []NamedModel) string {
+	s := ""
+	for i, m := range ms {
+		if i > 0 {
+			s += ", "
+		}
+		s += m.Name
+	}
+	return fmt.Sprintf("[%s]", s)
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"seqfm/internal/core"
+	"seqfm/internal/data"
+	"seqfm/internal/train"
+)
+
+// RankingRow is one model's Table II row for one dataset.
+type RankingRow struct {
+	Model string
+	HR    map[int]float64
+	NDCG  map[int]float64
+}
+
+// Table2Result holds the ranking experiment output per dataset.
+type Table2Result struct {
+	Datasets []string
+	Rows     map[string][]RankingRow // dataset → rows in model order
+}
+
+// Table2 regenerates the next-POI recommendation experiment: every ranking
+// model trained with BPR on the two POI stand-ins and evaluated with
+// HR@{5,10,20} and NDCG@{5,10,20} under the leave-one-out protocol.
+func Table2(w io.Writer, p Params) (*Table2Result, error) {
+	g, f, err := p.RankingDatasets()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{Rows: map[string][]RankingRow{}}
+	fmt.Fprintf(w, "TABLE II — RANKING TASK (NEXT-POI RECOMMENDATION), scale=%s\n", p.Scale)
+	for _, ds := range []*data.Dataset{g, f} {
+		res.Datasets = append(res.Datasets, ds.Name)
+		split := data.NewSplit(ds)
+		models, err := p.RankingModels(ds.Space())
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "  dataset=%s train=%d test=%d models=%s\n",
+			ds.Name, len(split.Train), len(split.Test), modelNames(models))
+		for _, nm := range models {
+			if _, err := train.Ranking(nm.Model, split, p.TrainConfig()); err != nil {
+				return nil, fmt.Errorf("table2: %s on %s: %w", nm.Name, ds.Name, err)
+			}
+			r := train.EvalRanking(nm.Model, split, p.EvalConfig())
+			row := RankingRow{Model: nm.Name, HR: r.HR, NDCG: r.NDCG}
+			res.Rows[ds.Name] = append(res.Rows[ds.Name], row)
+			fmt.Fprintf(w, "  %-10s HR@5=%.3f HR@10=%.3f HR@20=%.3f NDCG@5=%.3f NDCG@10=%.3f NDCG@20=%.3f\n",
+				nm.Name, r.HR[5], r.HR[10], r.HR[20], r.NDCG[5], r.NDCG[10], r.NDCG[20])
+		}
+	}
+	return res, nil
+}
+
+// MetricRow is one model's row holding a pair of scalar metrics.
+type MetricRow struct {
+	Model string
+	A, B  float64 // AUC/RMSE for Table III, MAE/RRSE for Table IV
+}
+
+// PairResult holds a two-metric experiment output per dataset.
+type PairResult struct {
+	Datasets []string
+	Rows     map[string][]MetricRow
+}
+
+// Table3 regenerates the CTR prediction experiment: classification models
+// trained with negative-sampled log loss on the two click-log stand-ins,
+// reported as AUC (higher better) and RMSE (lower better).
+func Table3(w io.Writer, p Params) (*PairResult, error) {
+	tv, tb, err := p.CTRDatasets()
+	if err != nil {
+		return nil, err
+	}
+	res := &PairResult{Rows: map[string][]MetricRow{}}
+	fmt.Fprintf(w, "TABLE III — CLASSIFICATION TASK (CTR PREDICTION), scale=%s\n", p.Scale)
+	for _, ds := range []*data.Dataset{tv, tb} {
+		res.Datasets = append(res.Datasets, ds.Name)
+		split := data.NewSplit(ds)
+		models, err := p.ClassificationModels(ds.Space())
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "  dataset=%s train=%d test=%d models=%s\n",
+			ds.Name, len(split.Train), len(split.Test), modelNames(models))
+		for _, nm := range models {
+			if _, err := train.Classification(nm.Model, split, p.TrainConfig()); err != nil {
+				return nil, fmt.Errorf("table3: %s on %s: %w", nm.Name, ds.Name, err)
+			}
+			r := train.EvalClassification(nm.Model, split, p.EvalConfig())
+			res.Rows[ds.Name] = append(res.Rows[ds.Name], MetricRow{nm.Name, r.AUC, r.RMSE})
+			fmt.Fprintf(w, "  %-10s AUC=%.3f RMSE=%.3f\n", nm.Name, r.AUC, r.RMSE)
+		}
+	}
+	return res, nil
+}
+
+// Table4 regenerates the rating prediction experiment: regression models
+// trained with squared loss on the two Amazon stand-ins, reported as MAE
+// and RRSE (both lower better).
+func Table4(w io.Writer, p Params) (*PairResult, error) {
+	be, to, err := p.RatingDatasets()
+	if err != nil {
+		return nil, err
+	}
+	res := &PairResult{Rows: map[string][]MetricRow{}}
+	fmt.Fprintf(w, "TABLE IV — REGRESSION TASK (RATING PREDICTION), scale=%s\n", p.Scale)
+	for _, ds := range []*data.Dataset{be, to} {
+		res.Datasets = append(res.Datasets, ds.Name)
+		split := data.NewSplit(ds)
+		models, err := p.RegressionModels(ds.Space())
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "  dataset=%s train=%d test=%d models=%s\n",
+			ds.Name, len(split.Train), len(split.Test), modelNames(models))
+		for _, nm := range models {
+			if _, err := train.Regression(nm.Model, split, p.RegressionTrainConfig()); err != nil {
+				return nil, fmt.Errorf("table4: %s on %s: %w", nm.Name, ds.Name, err)
+			}
+			r := train.EvalRegression(nm.Model, split, p.EvalConfig())
+			res.Rows[ds.Name] = append(res.Rows[ds.Name], MetricRow{nm.Name, r.MAE, r.RRSE})
+			fmt.Fprintf(w, "  %-10s MAE=%.3f RRSE=%.3f\n", nm.Name, r.MAE, r.RRSE)
+		}
+	}
+	return res, nil
+}
+
+// AblationRow is one Table V row: the headline metric of every dataset for
+// one architecture variant.
+type AblationRow struct {
+	Architecture string
+	// Metrics maps dataset name → headline metric (HR@10, AUC or MAE).
+	Metrics map[string]float64
+}
+
+// Table5 regenerates the ablation study: SeqFM variants with one component
+// removed, measured by HR@10 on the POI datasets, AUC on the click
+// datasets and MAE on the rating datasets.
+func Table5(w io.Writer, p Params) ([]AblationRow, error) {
+	g, f, err := p.RankingDatasets()
+	if err != nil {
+		return nil, err
+	}
+	tv, tb, err := p.CTRDatasets()
+	if err != nil {
+		return nil, err
+	}
+	be, to, err := p.RatingDatasets()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "TABLE V — ABLATION TEST WITH DIFFERENT MODEL ARCHITECTURES, scale=%s\n", p.Scale)
+
+	var rows []AblationRow
+	for _, ab := range Ablations() {
+		row := AblationRow{Architecture: ab.String(), Metrics: map[string]float64{}}
+		for _, ds := range []*data.Dataset{g, f} {
+			m, err := p.SeqFM(ds.Space(), ab)
+			if err != nil {
+				return nil, err
+			}
+			split := data.NewSplit(ds)
+			if _, err := train.Ranking(m, split, p.TrainConfig()); err != nil {
+				return nil, err
+			}
+			row.Metrics[ds.Name] = train.EvalRanking(m, split, p.EvalConfig()).HR[10]
+		}
+		for _, ds := range []*data.Dataset{tv, tb} {
+			m, err := p.SeqFM(ds.Space(), ab)
+			if err != nil {
+				return nil, err
+			}
+			split := data.NewSplit(ds)
+			if _, err := train.Classification(m, split, p.TrainConfig()); err != nil {
+				return nil, err
+			}
+			row.Metrics[ds.Name] = train.EvalClassification(m, split, p.EvalConfig()).AUC
+		}
+		for _, ds := range []*data.Dataset{be, to} {
+			m, err := p.SeqFM(ds.Space(), ab)
+			if err != nil {
+				return nil, err
+			}
+			split := data.NewSplit(ds)
+			if _, err := train.Regression(m, split, p.RegressionTrainConfig()); err != nil {
+				return nil, err
+			}
+			row.Metrics[ds.Name] = train.EvalRegression(m, split, p.EvalConfig()).MAE
+		}
+		rows = append(rows, row)
+		names := sortedKeys(row.Metrics)
+		fmt.Fprintf(w, "  %-10s", row.Architecture)
+		for _, n := range names {
+			fmt.Fprintf(w, " %s=%.3f", n, row.Metrics[n])
+		}
+		fmt.Fprintln(w)
+	}
+	return rows, nil
+}
+
+// FindRow returns the named model's row from a PairResult dataset block.
+func (r *PairResult) FindRow(dataset, model string) (MetricRow, bool) {
+	for _, row := range r.Rows[dataset] {
+		if row.Model == model {
+			return row, true
+		}
+	}
+	return MetricRow{}, false
+}
+
+// FindRanking returns the named model's row from a Table2Result block.
+func (r *Table2Result) FindRanking(dataset, model string) (RankingRow, bool) {
+	for _, row := range r.Rows[dataset] {
+		if row.Model == model {
+			return row, true
+		}
+	}
+	return RankingRow{}, false
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ensure core import stays referenced even if Ablations moves.
+var _ = core.Ablation{}

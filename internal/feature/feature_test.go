@@ -1,0 +1,174 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func space() Space {
+	return Space{NumUsers: 10, NumObjects: 20, NumUserAttrs: 3, NumItemAttrs: 4}
+}
+
+func TestDims(t *testing.T) {
+	s := space()
+	if s.StaticDim() != 37 {
+		t.Errorf("StaticDim=%d", s.StaticDim())
+	}
+	if s.DynamicDim() != 20 {
+		t.Errorf("DynamicDim=%d", s.DynamicDim())
+	}
+	if s.TotalDim() != 57 {
+		t.Errorf("TotalDim=%d", s.TotalDim())
+	}
+	if s.NumStaticFields() != 4 {
+		t.Errorf("NumStaticFields=%d", s.NumStaticFields())
+	}
+	bare := Space{NumUsers: 5, NumObjects: 5}
+	if bare.NumStaticFields() != 2 {
+		t.Errorf("bare NumStaticFields=%d", bare.NumStaticFields())
+	}
+}
+
+func TestStaticIndicesLayout(t *testing.T) {
+	s := space()
+	inst := Instance{User: 3, Target: 7, UserAttr: 1, TargetAttr: 2}
+	got := s.StaticIndices(inst)
+	want := []int{3, 10 + 7, 30 + 1, 33 + 2}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("idx[%d]=%d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStaticIndicesWithoutAttrs(t *testing.T) {
+	s := Space{NumUsers: 4, NumObjects: 6}
+	got := s.StaticIndices(Instance{User: 1, Target: 5, UserAttr: Pad, TargetAttr: Pad})
+	if len(got) != 2 || got[0] != 1 || got[1] != 9 {
+		t.Fatalf("indices: %v", got)
+	}
+}
+
+func TestStaticIndicesPanics(t *testing.T) {
+	s := space()
+	bad := []Instance{
+		{User: -1, Target: 0, UserAttr: 0, TargetAttr: 0},
+		{User: 10, Target: 0, UserAttr: 0, TargetAttr: 0},
+		{User: 0, Target: 20, UserAttr: 0, TargetAttr: 0},
+		{User: 0, Target: 0, UserAttr: 3, TargetAttr: 0},
+		{User: 0, Target: 0, UserAttr: 0, TargetAttr: -1},
+	}
+	for i, inst := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			s.StaticIndices(inst)
+		}()
+	}
+}
+
+func TestPadHist(t *testing.T) {
+	s := space()
+	// Shorter than n: left-padded ("add padding to the top", §III).
+	got := s.PadHist([]int{4, 5}, 5)
+	want := []int{Pad, Pad, Pad, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PadHist short: %v", got)
+		}
+	}
+	// Longer than n: keep the most recent n.
+	got = s.PadHist([]int{1, 2, 3, 4, 5}, 3)
+	want = []int{3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PadHist long: %v", got)
+		}
+	}
+	// Empty history: all padding.
+	got = s.PadHist(nil, 3)
+	for _, v := range got {
+		if v != Pad {
+			t.Fatalf("PadHist empty: %v", got)
+		}
+	}
+}
+
+func TestPadHistPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	space().PadHist([]int{1}, 0)
+}
+
+// Property: PadHist output always has length n, ends with the most recent
+// items, and padding only appears as a prefix.
+func TestPadHistProperties(t *testing.T) {
+	s := space()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		histLen := rng.Intn(30)
+		hist := make([]int, histLen)
+		for i := range hist {
+			hist[i] = rng.Intn(20)
+		}
+		n := 1 + rng.Intn(15)
+		out := s.PadHist(hist, n)
+		if len(out) != n {
+			return false
+		}
+		seenReal := false
+		for _, v := range out {
+			if v == Pad && seenReal {
+				return false // padding after a real item
+			}
+			if v != Pad {
+				seenReal = true
+			}
+		}
+		// Tail must equal the most recent min(n, histLen) items.
+		k := histLen
+		if k > n {
+			k = n
+		}
+		for i := 0; i < k; i++ {
+			if out[n-1-i] != hist[histLen-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllIndices(t *testing.T) {
+	s := Space{NumUsers: 4, NumObjects: 6}
+	inst := Instance{User: 2, Target: 1, Hist: []int{0, 5, Pad, 3}, UserAttr: Pad, TargetAttr: Pad}
+	got := s.AllIndices(inst)
+	// static: [2, 4+1]; dynamic offset = 10: [10+0, 10+5, 10+3] (Pad skipped)
+	want := []int{2, 5, 10, 15, 13}
+	if len(got) != len(want) {
+		t.Fatalf("AllIndices len=%d: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AllIndices: %v, want %v", got, want)
+		}
+	}
+	for _, ix := range got {
+		if ix < 0 || ix >= s.TotalDim() {
+			t.Fatalf("index %d outside total dim %d", ix, s.TotalDim())
+		}
+	}
+}

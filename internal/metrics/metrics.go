@@ -1,0 +1,186 @@
+// Package metrics implements the evaluation measures of §V-C: HR@K and
+// NDCG@K for ranking, AUC and RMSE for classification, and MAE and RRSE for
+// regression, plus log-loss as a training diagnostic.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RankOf returns the 0-based rank of the positive score among the negatives:
+// the number of negative scores strictly greater than pos, with ties broken
+// pessimistically (a tie counts against the model). Rank 0 means the ground
+// truth is the top-1 item of the J+1 candidate list (§V-C).
+func RankOf(pos float64, negs []float64) int {
+	rank := 0
+	for _, n := range negs {
+		if n >= pos {
+			rank++
+		}
+	}
+	return rank
+}
+
+// HRAtK returns the hit ratio at K over per-test-case ground truth ranks
+// (Eq. 27): the fraction of cases whose rank is within the top K.
+func HRAtK(ranks []int, k int) float64 {
+	if len(ranks) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, r := range ranks {
+		if r < k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(ranks))
+}
+
+// NDCGAtK returns the normalised discounted cumulative gain at K over
+// ground-truth ranks (Eq. 27). With a single relevant item per case, the
+// per-case DCG is 1/log2(rank+2) when the item is in the top K and 0
+// otherwise, and the ideal DCG is 1.
+func NDCGAtK(ranks []int, k int) float64 {
+	if len(ranks) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range ranks {
+		if r < k {
+			s += 1 / math.Log2(float64(r)+2)
+		}
+	}
+	return s / float64(len(ranks))
+}
+
+// AUC returns the area under the ROC curve for scored binary labels,
+// computed with the rank-sum (Mann-Whitney) estimator; ties contribute ½.
+func AUC(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("metrics: AUC: %d scores vs %d labels", len(scores), len(labels)))
+	}
+	type sl struct {
+		s   float64
+		pos bool
+	}
+	all := make([]sl, len(scores))
+	nPos, nNeg := 0, 0
+	for i, s := range scores {
+		all[i] = sl{s, labels[i]}
+		if labels[i] {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].s < all[b].s })
+	// Assign average ranks to ties, then apply the Mann-Whitney formula.
+	rankSumPos := 0.0
+	i := 0
+	for i < len(all) {
+		j := i
+		for j < len(all) && all[j].s == all[i].s {
+			j++
+		}
+		avgRank := float64(i+j-1)/2 + 1 // 1-based average rank of the tie group
+		for k := i; k < j; k++ {
+			if all[k].pos {
+				rankSumPos += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// RMSE returns the root mean squared error between predictions and truths.
+func RMSE(pred, truth []float64) float64 {
+	checkLens("RMSE", pred, truth)
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		d := p - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// MAE returns the mean absolute error (Eq. 28).
+func MAE(pred, truth []float64) float64 {
+	checkLens("MAE", pred, truth)
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		s += math.Abs(p - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// RRSE returns the root relative squared error (Eq. 28): the RMSE normalised
+// by the standard deviation of the ground truth, so a constant mean
+// predictor scores 1.
+func RRSE(pred, truth []float64) float64 {
+	checkLens("RRSE", pred, truth)
+	n := len(truth)
+	if n == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, t := range truth {
+		mean += t
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, t := range truth {
+		d := t - mean
+		variance += d * d
+	}
+	if variance == 0 {
+		return 0
+	}
+	sq := 0.0
+	for i, p := range pred {
+		d := p - truth[i]
+		sq += d * d
+	}
+	return math.Sqrt(sq / variance)
+}
+
+// LogLoss returns the mean binary cross-entropy of probabilistic predictions
+// in (0,1) against boolean labels, clamping probabilities to avoid infinite
+// loss on confident mistakes.
+func LogLoss(prob []float64, labels []bool) float64 {
+	if len(prob) != len(labels) {
+		panic(fmt.Sprintf("metrics: LogLoss: %d probs vs %d labels", len(prob), len(labels)))
+	}
+	if len(prob) == 0 {
+		return 0
+	}
+	const eps = 1e-12
+	s := 0.0
+	for i, p := range prob {
+		p = math.Min(math.Max(p, eps), 1-eps)
+		if labels[i] {
+			s -= math.Log(p)
+		} else {
+			s -= math.Log(1 - p)
+		}
+	}
+	return s / float64(len(prob))
+}
+
+func checkLens(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: %s: %d predictions vs %d truths", op, len(a), len(b)))
+	}
+}

@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankOf(t *testing.T) {
+	cases := []struct {
+		pos  float64
+		negs []float64
+		want int
+	}{
+		{5, []float64{1, 2, 3}, 0},
+		{2, []float64{1, 3, 5}, 2},
+		{0, []float64{}, 0},
+		{2, []float64{2, 2}, 2}, // ties count against the model
+		{1, []float64{9, 9, 9}, 3},
+	}
+	for i, c := range cases {
+		if got := RankOf(c.pos, c.negs); got != c.want {
+			t.Errorf("case %d: RankOf=%d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestHRAtK(t *testing.T) {
+	ranks := []int{0, 4, 9, 10, 50}
+	if got := HRAtK(ranks, 5); got != 0.4 {
+		t.Errorf("HR@5=%v", got)
+	}
+	if got := HRAtK(ranks, 10); got != 0.6 {
+		t.Errorf("HR@10=%v", got)
+	}
+	if got := HRAtK(nil, 5); got != 0 {
+		t.Errorf("HR of empty=%v", got)
+	}
+}
+
+func TestNDCGAtK(t *testing.T) {
+	// Rank 0 contributes 1/log2(2)=1, rank 1 contributes 1/log2(3).
+	got := NDCGAtK([]int{0, 1}, 5)
+	want := (1 + 1/math.Log2(3)) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NDCG=%v, want %v", got, want)
+	}
+	if NDCGAtK([]int{7}, 5) != 0 {
+		t.Error("out-of-K rank should contribute 0")
+	}
+}
+
+// Property: NDCG@K ≤ HR@K ≤ 1 and both are monotone in K.
+func TestRankingMetricBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		ranks := make([]int, n)
+		for i := range ranks {
+			ranks[i] = rng.Intn(30)
+		}
+		prevHR, prevNDCG := 0.0, 0.0
+		for _, k := range []int{1, 5, 10, 20} {
+			hr, ndcg := HRAtK(ranks, k), NDCGAtK(ranks, k)
+			if ndcg > hr+1e-12 || hr > 1 || ndcg < prevNDCG-1e-12 || hr < prevHR-1e-12 {
+				return false
+			}
+			prevHR, prevNDCG = hr, ndcg
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUCPerfectAndChance(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if got := AUC(scores, labels); got != 1 {
+		t.Errorf("perfect AUC=%v", got)
+	}
+	inverted := []bool{false, false, true, true}
+	if got := AUC(scores, inverted); got != 0 {
+		t.Errorf("inverted AUC=%v", got)
+	}
+	if got := AUC([]float64{1, 2}, []bool{true, true}); got != 0.5 {
+		t.Errorf("degenerate AUC=%v", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 by the tie convention.
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("tied AUC=%v", got)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// pos scores {3,1}, neg scores {2,0}: pairs (3>2),(3>0),(1<2),(1>0) → 3/4.
+	scores := []float64{3, 1, 2, 0}
+	labels := []bool{true, true, false, false}
+	if got := AUC(scores, labels); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AUC=%v, want 0.75", got)
+	}
+}
+
+// Property: AUC is invariant under any strictly monotone transform of scores.
+func TestAUCMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Intn(2) == 0
+		}
+		a := AUC(scores, labels)
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = math.Exp(2*s) + 1
+		}
+		return math.Abs(AUC(transformed, labels)-a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 4, 3}
+	if got := MAE(pred, truth); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("MAE=%v", got)
+	}
+	if got := RMSE(pred, truth); math.Abs(got-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Errorf("RMSE=%v", got)
+	}
+	if RMSE(nil, nil) != 0 || MAE(nil, nil) != 0 {
+		t.Error("empty metrics not 0")
+	}
+}
+
+func TestRRSEConstantPredictorIsOne(t *testing.T) {
+	truth := []float64{1, 2, 3, 4, 5}
+	mean := 3.0
+	pred := []float64{mean, mean, mean, mean, mean}
+	if got := RRSE(pred, truth); math.Abs(got-1) > 1e-12 {
+		t.Errorf("constant-mean RRSE=%v, want 1", got)
+	}
+	if got := RRSE(truth, truth); got != 0 {
+		t.Errorf("perfect RRSE=%v", got)
+	}
+	if got := RRSE([]float64{1, 2}, []float64{3, 3}); got != 0 {
+		t.Errorf("zero-variance truth RRSE=%v", got)
+	}
+}
+
+// Property: MAE ≤ RMSE (Jensen) for any inputs.
+func TestMAELeqRMSE(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		pred := make([]float64, n)
+		truth := make([]float64, n)
+		for i := range pred {
+			pred[i] = rng.NormFloat64() * 3
+			truth[i] = rng.NormFloat64() * 3
+		}
+		return MAE(pred, truth) <= RMSE(pred, truth)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	// Perfectly confident correct predictions have ≈0 loss.
+	if got := LogLoss([]float64{1, 0}, []bool{true, false}); got > 1e-9 {
+		t.Errorf("perfect log loss=%v", got)
+	}
+	// p=0.5 everywhere gives ln 2.
+	if got := LogLoss([]float64{0.5, 0.5}, []bool{true, false}); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("uninformed log loss=%v", got)
+	}
+	// Confident mistakes are clamped, not infinite.
+	if got := LogLoss([]float64{0}, []bool{true}); math.IsInf(got, 0) {
+		t.Error("log loss overflowed on confident mistake")
+	}
+	if LogLoss(nil, nil) != 0 {
+		t.Error("empty log loss")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { RMSE([]float64{1}, []float64{1, 2}) },
+		func() { MAE([]float64{1}, nil) },
+		func() { RRSE([]float64{1}, nil) },
+		func() { AUC([]float64{1}, nil) },
+		func() { LogLoss([]float64{1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/tensor"
+)
+
+// SelfAttention is one scaled dot-product self-attention head with its own
+// query/key/value projections — the unit instantiated three times by SeqFM
+// (static, dynamic and cross view; Eq. 6–13) and stacked by SASRec.
+type SelfAttention struct {
+	WQ, WK, WV *ag.Param
+	dim        int
+}
+
+// NewSelfAttention returns a head over d-dimensional features with
+// Xavier-uniform projections.
+func NewSelfAttention(name string, d int, rng *rand.Rand) *SelfAttention {
+	return &SelfAttention{
+		WQ:  ag.NewParam(name+".WQ", d, d, tensor.XavierUniform(), rng),
+		WK:  ag.NewParam(name+".WK", d, d, tensor.XavierUniform(), rng),
+		WV:  ag.NewParam(name+".WV", d, d, tensor.XavierUniform(), rng),
+		dim: d,
+	}
+}
+
+// Forward records H = softmax(E·WQ·(E·WK)ᵀ/√d + mask)·E·WV.
+// mask may be nil (the static view) or an n×n additive {0, −Inf} matrix.
+func (sa *SelfAttention) Forward(t *ag.Tape, e *ag.Node, mask *tensor.Matrix) *ag.Node {
+	if e.Cols() != sa.dim {
+		panic(fmt.Sprintf("nn: attention dim %d, input %dx%d", sa.dim, e.Rows(), e.Cols()))
+	}
+	if mask != nil && (mask.Rows != e.Rows() || mask.Cols != e.Rows()) {
+		panic(fmt.Sprintf("nn: attention mask %dx%d for %d features", mask.Rows, mask.Cols, e.Rows()))
+	}
+	q := t.MatMul(e, t.Var(sa.WQ))
+	k := t.MatMul(e, t.Var(sa.WK))
+	v := t.MatMul(e, t.Var(sa.WV))
+	scores := t.Scale(1/math.Sqrt(float64(sa.dim)), t.MatMulT(q, k))
+	attn := t.SoftmaxRows(scores, mask)
+	return t.MatMul(attn, v)
+}
+
+// Params returns the three projection matrices.
+func (sa *SelfAttention) Params() []*ag.Param { return []*ag.Param{sa.WQ, sa.WK, sa.WV} }
+
+// NegInf is the masking value used for blocked attention entries.
+var NegInf = math.Inf(-1)
+
+// CausalMask returns the n×n dynamic-view mask of Eq. (10): entry (i,j) is 0
+// when j ≤ i (feature i may attend to earlier-or-equal positions) and −Inf
+// otherwise, preserving the directional property of the feature sequence.
+func CausalMask(n int) *tensor.Matrix {
+	m := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < n; j++ {
+			row[j] = NegInf
+		}
+	}
+	return m
+}
+
+// CrossMask returns the (nStatic+nDyn)×(nStatic+nDyn) cross-view mask of
+// Eq. (13): only entries linking a static feature to a dynamic feature (in
+// either direction) are open; within-category interactions are blocked.
+func CrossMask(nStatic, nDyn int) *tensor.Matrix {
+	n := nStatic + nDyn
+	m := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := 0; j < n; j++ {
+			iStatic := i < nStatic
+			jStatic := j < nStatic
+			if iStatic == jStatic {
+				row[j] = NegInf
+			}
+		}
+	}
+	return m
+}
+
+// PaddingColumnMask adds −Inf to every entry of the columns listed in padCols
+// of an existing mask (cloned, not mutated), so attention cannot flow from
+// padding positions. This is an extension beyond the paper, which lets
+// padding rows participate with zero embeddings; see core.Config.MaskPadding.
+func PaddingColumnMask(base *tensor.Matrix, padCols []int) *tensor.Matrix {
+	m := base.Clone()
+	for _, c := range padCols {
+		for i := 0; i < m.Rows; i++ {
+			m.Set(i, c, NegInf)
+		}
+	}
+	return m
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqfm/internal/ag"
+)
+
+// ResidualFFN is the paper's shared l-layer residual feed-forward network of
+// Eq. (15): each layer computes h_{k} = h_{k-1} + ReLU(LN(h_{k-1})·W_k + b_k)
+// with dropout on the layer output. One instance is shared by all three views
+// (§III-F "the three views share the same feed-forward network").
+//
+// The ablation switches UseResidual and UseLayerNorm implement the paper's
+// "Remove RC" and "Remove LN" variants of Table V.
+type ResidualFFN struct {
+	Layers       []*Linear
+	Norms        []*LayerNorm
+	Dropout      float64
+	UseResidual  bool
+	UseLayerNorm bool
+}
+
+// NewResidualFFN builds an l-layer residual FFN over 1×d vectors with the
+// given dropout rate (drop probability, i.e. 1−ρ in the paper's notation).
+func NewResidualFFN(name string, d, l int, dropout float64, rng *rand.Rand) *ResidualFFN {
+	if l < 1 {
+		panic(fmt.Sprintf("nn: ResidualFFN depth %d < 1", l))
+	}
+	f := &ResidualFFN{Dropout: dropout, UseResidual: true, UseLayerNorm: true}
+	for k := 0; k < l; k++ {
+		f.Layers = append(f.Layers, NewLinear(fmt.Sprintf("%s.fc%d", name, k), d, d, rng))
+		f.Norms = append(f.Norms, NewLayerNorm(fmt.Sprintf("%s.ln%d", name, k), d, rng))
+	}
+	return f
+}
+
+// Forward records the l stacked residual layers applied to the 1×d input.
+func (f *ResidualFFN) Forward(t *ag.Tape, h *ag.Node) *ag.Node {
+	for k, fc := range f.Layers {
+		in := h
+		if f.UseLayerNorm {
+			in = f.Norms[k].Forward(t, in)
+		}
+		out := t.Dropout(t.ReLU(fc.Forward(t, in)), f.Dropout)
+		if f.UseResidual {
+			h = t.Add(h, out)
+		} else {
+			h = out
+		}
+	}
+	return h
+}
+
+// Depth returns the number of layers l.
+func (f *ResidualFFN) Depth() int { return len(f.Layers) }
+
+// Params returns all layer and norm parameters (norms included even when
+// UseLayerNorm is off, so optimizer state stays aligned across ablations).
+func (f *ResidualFFN) Params() []*ag.Param {
+	var ps []*ag.Param
+	for k := range f.Layers {
+		ps = append(ps, f.Layers[k].Params()...)
+		if f.UseLayerNorm {
+			ps = append(ps, f.Norms[k].Params()...)
+		}
+	}
+	return ps
+}

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/tensor"
+)
+
+// GRUCell is a gated recurrent unit used by the RRN baseline (Wu et al.,
+// WSDM 2017 model a user's rating sequence with a recurrent state).
+//
+//	z_t = σ(x_t·Wz + h_{t-1}·Uz + bz)
+//	r_t = σ(x_t·Wr + h_{t-1}·Ur + br)
+//	ĥ_t = tanh(x_t·Wh + (r_t ⊙ h_{t-1})·Uh + bh)
+//	h_t = (1−z_t) ⊙ h_{t-1} + z_t ⊙ ĥ_t
+type GRUCell struct {
+	Wz, Uz, Bz *ag.Param
+	Wr, Ur, Br *ag.Param
+	Wh, Uh, Bh *ag.Param
+	hidden     int
+}
+
+// NewGRUCell returns a GRU cell mapping 1×in inputs to a 1×hidden state.
+func NewGRUCell(name string, in, hidden int, rng *rand.Rand) *GRUCell {
+	p := func(suffix string, r, c int) *ag.Param {
+		return ag.NewParam(name+suffix, r, c, tensor.XavierUniform(), rng)
+	}
+	z := func(suffix string, c int) *ag.Param {
+		return ag.NewParam(name+suffix, 1, c, tensor.Zeros(), rng)
+	}
+	return &GRUCell{
+		Wz: p(".Wz", in, hidden), Uz: p(".Uz", hidden, hidden), Bz: z(".bz", hidden),
+		Wr: p(".Wr", in, hidden), Ur: p(".Ur", hidden, hidden), Br: z(".br", hidden),
+		Wh: p(".Wh", in, hidden), Uh: p(".Uh", hidden, hidden), Bh: z(".bh", hidden),
+		hidden: hidden,
+	}
+}
+
+// Hidden returns the state dimensionality.
+func (g *GRUCell) Hidden() int { return g.hidden }
+
+// InitState records a zero 1×hidden initial state on the tape.
+func (g *GRUCell) InitState(t *ag.Tape) *ag.Node {
+	return t.Constant(tensor.New(1, g.hidden))
+}
+
+// Step records one GRU transition from state h with input x.
+func (g *GRUCell) Step(t *ag.Tape, h, x *ag.Node) *ag.Node {
+	z := t.Sigmoid(t.AddRow(t.Add(t.MatMul(x, t.Var(g.Wz)), t.MatMul(h, t.Var(g.Uz))), t.Var(g.Bz)))
+	r := t.Sigmoid(t.AddRow(t.Add(t.MatMul(x, t.Var(g.Wr)), t.MatMul(h, t.Var(g.Ur))), t.Var(g.Br)))
+	hh := t.Tanh(t.AddRow(t.Add(t.MatMul(x, t.Var(g.Wh)), t.MatMul(t.Mul(r, h), t.Var(g.Uh))), t.Var(g.Bh)))
+	// h_t = h + z ⊙ (ĥ − h) ≡ (1−z)⊙h + z⊙ĥ, one fewer op.
+	return t.Add(h, t.Mul(z, t.Sub(hh, h)))
+}
+
+// Params returns all nine weight matrices and biases.
+func (g *GRUCell) Params() []*ag.Param {
+	return []*ag.Param{g.Wz, g.Uz, g.Bz, g.Wr, g.Ur, g.Br, g.Wh, g.Uh, g.Bh}
+}

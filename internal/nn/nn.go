@@ -1,0 +1,153 @@
+// Package nn provides the neural-network building blocks shared by SeqFM and
+// every baseline model: fully connected layers, embedding tables, layer
+// normalisation, the masked self-attention unit of the paper's Eq. (6)–(13),
+// the shared residual feed-forward network of Eq. (15), multi-layer
+// perceptrons, and a GRU cell (for the RRN baseline).
+//
+// Every layer exposes Params() so models can hand a flat parameter list to an
+// optimizer, and Forward methods that record onto a caller-provided ag.Tape.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·W + b with W ∈ R^{in×out}.
+type Linear struct {
+	W *ag.Param
+	B *ag.Param
+}
+
+// NewLinear returns a Linear layer with Xavier-uniform weights and zero bias.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		W: ag.NewParam(name+".W", in, out, tensor.XavierUniform(), rng),
+		B: ag.NewParam(name+".b", 1, out, tensor.Zeros(), rng),
+	}
+}
+
+// Forward records y = x·W + b.
+func (l *Linear) Forward(t *ag.Tape, x *ag.Node) *ag.Node {
+	return t.AddRow(t.MatMul(x, t.Var(l.W)), t.Var(l.B))
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*ag.Param { return []*ag.Param{l.W, l.B} }
+
+// Embedding is a lookup table mapping feature indices to d-dimensional dense
+// rows — the paper's M° and M. matrices of Eq. (5).
+type Embedding struct {
+	Table *ag.Param
+}
+
+// NewEmbedding returns a vocab×dim embedding initialised from N(0, 0.01²),
+// the small-variance normal conventional for FM embeddings.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	return &Embedding{Table: ag.NewParam(name, vocab, dim, tensor.Normal(0, 0.01), rng)}
+}
+
+// Gather records the n×d matrix of rows at idx; negative indices are zero
+// padding rows.
+func (e *Embedding) Gather(t *ag.Tape, idx []int) *ag.Node {
+	return t.Gather(e.Table, idx)
+}
+
+// GatherSum records the 1×d sum of rows at idx, skipping negative indices.
+func (e *Embedding) GatherSum(t *ag.Tape, idx []int) *ag.Node {
+	return t.GatherSum(e.Table, idx)
+}
+
+// GatherMean records the 1×d mean of the non-padding rows at idx; if every
+// index is padding it records a zero vector.
+func (e *Embedding) GatherMean(t *ag.Tape, idx []int) *ag.Node {
+	n := 0
+	for _, ix := range idx {
+		if ix >= 0 {
+			n++
+		}
+	}
+	s := e.GatherSum(t, idx)
+	if n == 0 {
+		return s
+	}
+	return t.Scale(1/float64(n), s)
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embedding) Dim() int { return e.Table.Value.Cols }
+
+// Vocab returns the number of rows in the table.
+func (e *Embedding) Vocab() int { return e.Table.Value.Rows }
+
+// Params returns the table as the layer's single parameter.
+func (e *Embedding) Params() []*ag.Param { return []*ag.Param{e.Table} }
+
+// LayerNorm is the learnable row-wise normalisation of Eq. (16).
+type LayerNorm struct {
+	S   *ag.Param
+	B   *ag.Param
+	Eps float64
+}
+
+// NewLayerNorm returns a LayerNorm over 1×dim rows with scale 1 and shift 0.
+func NewLayerNorm(name string, dim int, rng *rand.Rand) *LayerNorm {
+	return &LayerNorm{
+		S:   ag.NewParam(name+".s", 1, dim, tensor.Constant(1), rng),
+		B:   ag.NewParam(name+".b", 1, dim, tensor.Zeros(), rng),
+		Eps: 1e-8,
+	}
+}
+
+// Forward records the normalised output.
+func (ln *LayerNorm) Forward(t *ag.Tape, x *ag.Node) *ag.Node {
+	return t.LayerNorm(x, t.Var(ln.S), t.Var(ln.B), ln.Eps)
+}
+
+// Params returns the scale and shift parameters.
+func (ln *LayerNorm) Params() []*ag.Param { return []*ag.Param{ln.S, ln.B} }
+
+// MLP is a stack of Linear layers with ReLU activations between them (no
+// activation after the last layer), used by the NFM/Wide&Deep/DIN baselines.
+type MLP struct {
+	Layers  []*Linear
+	Dropout float64
+}
+
+// NewMLP builds an MLP with the given layer widths; dims must contain the
+// input width followed by at least one output width.
+func NewMLP(name string, dims []int, dropout float64, rng *rand.Rand) *MLP {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("nn: MLP needs >=2 dims, got %v", dims))
+	}
+	m := &MLP{Dropout: dropout}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewLinear(fmt.Sprintf("%s.%d", name, i), dims[i], dims[i+1], rng))
+	}
+	return m
+}
+
+// Forward records the MLP applied to x.
+func (m *MLP) Forward(t *ag.Tape, x *ag.Node) *ag.Node {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Forward(t, h)
+		if i+1 < len(m.Layers) {
+			h = t.ReLU(h)
+			h = t.Dropout(h, m.Dropout)
+		}
+	}
+	return h
+}
+
+// Params returns all layer parameters.
+func (m *MLP) Params() []*ag.Param {
+	var ps []*ag.Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

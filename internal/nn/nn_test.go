@@ -1,0 +1,318 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/tensor"
+)
+
+func TestLinearForwardKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("l", 2, 2, rng)
+	l.W.Value.CopyFrom(tensor.FromRows([][]float64{{1, 0}, {0, 1}}))
+	l.B.Value.CopyFrom(tensor.RowVector(1, 2))
+	tp := ag.NewTape()
+	y := l.Forward(tp, tp.Constant(tensor.RowVector(3, 4)))
+	if !y.Value.Equal(tensor.RowVector(4, 6), 1e-12) {
+		t.Fatalf("Linear: %v", y.Value)
+	}
+	if got := len(l.Params()); got != 2 {
+		t.Fatalf("Linear params: %d", got)
+	}
+}
+
+func TestEmbeddingGatherShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEmbedding("e", 10, 4, rng)
+	if e.Dim() != 4 || e.Vocab() != 10 {
+		t.Fatal("embedding dims")
+	}
+	tp := ag.NewTape()
+	g := e.Gather(tp, []int{1, -1, 3})
+	if g.Rows() != 3 || g.Cols() != 4 {
+		t.Fatalf("Gather shape %dx%d", g.Rows(), g.Cols())
+	}
+	mean := e.GatherMean(tp, []int{1, -1, 3})
+	sum := e.GatherSum(tp, []int{1, 3})
+	for j := 0; j < 4; j++ {
+		if math.Abs(mean.Value.At(0, j)-sum.Value.At(0, j)/2) > 1e-12 {
+			t.Fatal("GatherMean does not average non-padding rows")
+		}
+	}
+	allPad := e.GatherMean(tp, []int{-1, -1})
+	if tensor.Sum(allPad.Value) != 0 {
+		t.Fatal("all-padding GatherMean not zero")
+	}
+}
+
+func TestLayerNormStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ln := NewLayerNorm("ln", 6, rng)
+	tp := ag.NewTape()
+	x := tp.Constant(tensor.FromRows([][]float64{{5, 1, -2, 0.5, 9, -4}, {100, 200, 300, 400, 500, 600}}))
+	y := ln.Forward(tp, x)
+	for i := 0; i < y.Rows(); i++ {
+		row := y.Value.Row(i)
+		mean, variance := 0.0, 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= 6
+		for _, v := range row {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= 6
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("row %d mean %v", i, mean)
+		}
+		if math.Abs(variance-1) > 1e-6 {
+			t.Fatalf("row %d variance %v", i, variance)
+		}
+	}
+}
+
+func TestCausalMask(t *testing.T) {
+	m := CausalMask(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			open := m.At(i, j) == 0
+			if (j <= i) != open {
+				t.Fatalf("causal mask (%d,%d) open=%v", i, j, open)
+			}
+		}
+	}
+}
+
+func TestCrossMask(t *testing.T) {
+	m := CrossMask(2, 3)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			iStatic, jStatic := i < 2, j < 2
+			open := m.At(i, j) == 0
+			if (iStatic != jStatic) != open {
+				t.Fatalf("cross mask (%d,%d) open=%v", i, j, open)
+			}
+		}
+	}
+}
+
+// TestAttentionCausality is the paper's directional-property claim (§III-C):
+// with the causal mask, perturbing a later feature must not change earlier
+// rows of the attention output.
+func TestAttentionCausality(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, d = 5, 4
+	sa := NewSelfAttention("sa", d, rng)
+	mask := CausalMask(n)
+	base := tensor.NewRandom(n, d, tensor.Uniform(-1, 1), rand.New(rand.NewSource(5)))
+
+	forward := func(e *tensor.Matrix) *tensor.Matrix {
+		tp := ag.NewTape()
+		return sa.Forward(tp, tp.Constant(e), mask).Value
+	}
+	h0 := forward(base)
+	perturbed := base.Clone()
+	perturbed.Set(n-1, 0, perturbed.At(n-1, 0)+10) // change the LAST feature
+	h1 := forward(perturbed)
+	for i := 0; i < n-1; i++ {
+		for j := 0; j < d; j++ {
+			if math.Abs(h0.At(i, j)-h1.At(i, j)) > 1e-12 {
+				t.Fatalf("row %d changed after perturbing a future feature", i)
+			}
+		}
+	}
+	// The last row must change (sanity that the test has power).
+	same := true
+	for j := 0; j < d; j++ {
+		if math.Abs(h0.At(n-1, j)-h1.At(n-1, j)) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("perturbation had no effect at all")
+	}
+}
+
+// TestCrossAttentionBlocksWithinCategory verifies Eq. (13): with the cross
+// mask, a static row's output only depends on dynamic rows and vice versa.
+func TestCrossAttentionBlocksWithinCategory(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const nS, nD, d = 2, 3, 4
+	sa := NewSelfAttention("sa", d, rng)
+	mask := CrossMask(nS, nD)
+	base := tensor.NewRandom(nS+nD, d, tensor.Uniform(-1, 1), rand.New(rand.NewSource(7)))
+
+	forward := func(e *tensor.Matrix) *tensor.Matrix {
+		tp := ag.NewTape()
+		return sa.Forward(tp, tp.Constant(e), mask).Value
+	}
+	h0 := forward(base)
+	// Perturb static row 1: static row 0's output must not change (no
+	// static→static attention) apart from... nothing: row 0's output is a
+	// weighted sum of dynamic VALUES with weights from row 0's query only.
+	p := base.Clone()
+	p.Set(1, 2, p.At(1, 2)+5)
+	h1 := forward(p)
+	for j := 0; j < d; j++ {
+		if math.Abs(h0.At(0, j)-h1.At(0, j)) > 1e-12 {
+			t.Fatal("static row attended to a static row under cross mask")
+		}
+	}
+	// Perturb dynamic row nS+1: dynamic row nS's output must not change.
+	p2 := base.Clone()
+	p2.Set(nS+1, 0, p2.At(nS+1, 0)+5)
+	h2 := forward(p2)
+	for j := 0; j < d; j++ {
+		if math.Abs(h0.At(nS, j)-h2.At(nS, j)) > 1e-12 {
+			t.Fatal("dynamic row attended to a dynamic row under cross mask")
+		}
+	}
+}
+
+func TestPaddingColumnMask(t *testing.T) {
+	base := CausalMask(3)
+	m := PaddingColumnMask(base, []int{0})
+	for i := 0; i < 3; i++ {
+		if !math.IsInf(m.At(i, 0), -1) {
+			t.Fatalf("padding column open at row %d", i)
+		}
+	}
+	if base.At(1, 0) != 0 {
+		t.Fatal("PaddingColumnMask mutated the base mask")
+	}
+}
+
+func TestAttentionShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sa := NewSelfAttention("sa", 4, rng)
+	tp := ag.NewTape()
+	bad := tp.Constant(tensor.New(3, 5)) // wrong dim
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong input width")
+		}
+	}()
+	sa.Forward(tp, bad, nil)
+}
+
+func TestResidualFFNFlags(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.RowVector(0.5, -1, 2, 0.1)
+
+	f := NewResidualFFN("f", 4, 2, 0, rng)
+	if f.Depth() != 2 {
+		t.Fatal("depth")
+	}
+	tp := ag.NewTape()
+	full := f.Forward(tp, tp.Constant(x)).Value.Clone()
+
+	f.UseResidual = false
+	tp = ag.NewTape()
+	noRes := f.Forward(tp, tp.Constant(x)).Value
+	if full.Equal(noRes, 1e-12) {
+		t.Fatal("disabling residual changed nothing")
+	}
+	// Without residuals the output is the last ReLU layer: non-negative.
+	for _, v := range noRes.Data {
+		if v < 0 {
+			t.Fatal("no-residual output should be post-ReLU (non-negative)")
+		}
+	}
+
+	f.UseResidual = true
+	f.UseLayerNorm = false
+	tp = ag.NewTape()
+	noLN := f.Forward(tp, tp.Constant(x)).Value
+	if full.Equal(noLN, 1e-12) {
+		t.Fatal("disabling layernorm changed nothing")
+	}
+
+	// Params shrink when LN is off (its scale/shift drop out).
+	f.UseLayerNorm = true
+	withLN := len(f.Params())
+	f.UseLayerNorm = false
+	if len(f.Params()) >= withLN {
+		t.Fatal("params not reduced without layernorm")
+	}
+}
+
+func TestMLPShapesAndPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := NewMLP("m", []int{4, 8, 1}, 0, rng)
+	tp := ag.NewTape()
+	y := m.Forward(tp, tp.Constant(tensor.New(3, 4)))
+	if y.Rows() != 3 || y.Cols() != 1 {
+		t.Fatalf("MLP output %dx%d", y.Rows(), y.Cols())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 1-dim MLP")
+		}
+	}()
+	NewMLP("bad", []int{4}, 0, rng)
+}
+
+func TestGRUCellStateEvolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGRUCell("g", 3, 5, rng)
+	if g.Hidden() != 5 {
+		t.Fatal("hidden size")
+	}
+	if got := len(g.Params()); got != 9 {
+		t.Fatalf("GRU params: %d", got)
+	}
+	tp := ag.NewTape()
+	h := g.InitState(tp)
+	if tensor.Sum(h.Value) != 0 {
+		t.Fatal("initial state not zero")
+	}
+	x := tp.Constant(tensor.RowVector(1, -0.5, 2))
+	h1 := g.Step(tp, h, x)
+	h2 := g.Step(tp, h1, x)
+	if h1.Value.Equal(h2.Value, 1e-12) {
+		t.Fatal("GRU state did not evolve")
+	}
+	for _, v := range h2.Value.Data {
+		if math.Abs(v) >= 1 {
+			t.Fatalf("GRU state out of (−1,1): %v", v)
+		}
+	}
+}
+
+// TestGRUGradient checks the full unrolled GRU against finite differences.
+func TestGRUGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := NewGRUCell("g", 2, 3, rng)
+	x1 := tensor.RowVector(0.3, -0.7)
+	x2 := tensor.RowVector(-0.2, 0.9)
+	loss := func(tp *ag.Tape) *ag.Node {
+		h := g.InitState(tp)
+		h = g.Step(tp, h, tp.Constant(x1))
+		h = g.Step(tp, h, tp.Constant(x2))
+		return tp.Sum(tp.Square(h))
+	}
+	params := g.Params()
+	ag.ZeroGrads(params)
+	tp := ag.NewTape()
+	l := loss(tp)
+	tp.Backward(l)
+	tp.FlushGrads(nil)
+	const eps, tol = 1e-6, 1e-4
+	for _, p := range params {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			up := loss(ag.NewTape()).Value.ScalarValue()
+			p.Value.Data[i] = orig - eps
+			down := loss(ag.NewTape()).Value.ScalarValue()
+			p.Value.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-p.Grad.Data[i]) > tol {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, p.Grad.Data[i], numeric)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package optim implements the stochastic gradient optimizers used to train
+// every model in this repository: Adam (the paper's optimizer, §IV-D), plain
+// SGD with optional momentum, and AdaGrad. All optimizers step over
+// ag.Param values whose gradients were accumulated by tape backward passes,
+// and clear the gradients after each step.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"seqfm/internal/ag"
+)
+
+// An Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored in the
+	// parameters, then zeroes the gradients.
+	Step()
+	// Params returns the parameter set being optimised.
+	Params() []*ag.Param
+}
+
+// Adam implements Kingma & Ba's Adam with bias correction — the paper trains
+// every task with Adam at learning rate 1e-4 (§IV-D).
+type Adam struct {
+	params []*ag.Param
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	t      int
+	m, v   []*gradState
+}
+
+type gradState struct{ data []float64 }
+
+// NewAdam returns an Adam optimizer with the conventional defaults
+// β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(params []*ag.Param, lr float64) *Adam {
+	return NewAdamWithBetas(params, lr, 0.9, 0.999, 1e-8)
+}
+
+// NewAdamWithBetas returns an Adam optimizer with explicit moment decay
+// rates and numerical floor.
+func NewAdamWithBetas(params []*ag.Param, lr, beta1, beta2, eps float64) *Adam {
+	if lr <= 0 {
+		panic(fmt.Sprintf("optim: Adam learning rate %v", lr))
+	}
+	a := &Adam{params: params, lr: lr, beta1: beta1, beta2: beta2, eps: eps}
+	a.m = make([]*gradState, len(params))
+	a.v = make([]*gradState, len(params))
+	for i, p := range params {
+		a.m[i] = &gradState{data: make([]float64, len(p.Value.Data))}
+		a.v[i] = &gradState{data: make([]float64, len(p.Value.Data))}
+	}
+	return a
+}
+
+// Params returns the optimised parameter set.
+func (a *Adam) Params() []*ag.Param { return a.params }
+
+// SetLR changes the learning rate for subsequent steps.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR returns the current learning rate.
+func (a *Adam) LR() float64 { return a.lr }
+
+// Step applies one Adam update and clears the gradients.
+func (a *Adam) Step() {
+	a.t++
+	// Fold both bias corrections into a single step size, the standard
+	// efficient formulation.
+	stepSize := a.lr * math.Sqrt(1-math.Pow(a.beta2, float64(a.t))) /
+		(1 - math.Pow(a.beta1, float64(a.t)))
+	for i, p := range a.params {
+		m := a.m[i].data
+		v := a.v[i].data
+		w := p.Value.Data
+		g := p.Grad.Data
+		for j, gj := range g {
+			m[j] = a.beta1*m[j] + (1-a.beta1)*gj
+			v[j] = a.beta2*v[j] + (1-a.beta2)*gj*gj
+			w[j] -= stepSize * m[j] / (math.Sqrt(v[j]) + a.eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SGD implements stochastic gradient descent with optional classical
+// momentum and L2 weight decay.
+type SGD struct {
+	params   []*ag.Param
+	lr       float64
+	momentum float64
+	decay    float64
+	vel      []*gradState
+}
+
+// NewSGD returns a plain SGD optimizer.
+func NewSGD(params []*ag.Param, lr float64) *SGD {
+	return NewSGDWithMomentum(params, lr, 0, 0)
+}
+
+// NewSGDWithMomentum returns SGD with momentum µ and L2 weight decay λ.
+func NewSGDWithMomentum(params []*ag.Param, lr, momentum, decay float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("optim: SGD learning rate %v", lr))
+	}
+	s := &SGD{params: params, lr: lr, momentum: momentum, decay: decay}
+	if momentum > 0 {
+		s.vel = make([]*gradState, len(params))
+		for i, p := range params {
+			s.vel[i] = &gradState{data: make([]float64, len(p.Value.Data))}
+		}
+	}
+	return s
+}
+
+// Params returns the optimised parameter set.
+func (s *SGD) Params() []*ag.Param { return s.params }
+
+// SetLR changes the learning rate for subsequent steps.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// Step applies one SGD update and clears the gradients.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		w := p.Value.Data
+		g := p.Grad.Data
+		if s.vel != nil {
+			v := s.vel[i].data
+			for j, gj := range g {
+				if s.decay > 0 {
+					gj += s.decay * w[j]
+				}
+				v[j] = s.momentum*v[j] + gj
+				w[j] -= s.lr * v[j]
+			}
+		} else {
+			for j, gj := range g {
+				if s.decay > 0 {
+					gj += s.decay * w[j]
+				}
+				w[j] -= s.lr * gj
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// AdaGrad implements Duchi et al.'s adaptive gradient method, included for
+// ablation benches comparing optimizer choices.
+type AdaGrad struct {
+	params []*ag.Param
+	lr     float64
+	eps    float64
+	acc    []*gradState
+}
+
+// NewAdaGrad returns an AdaGrad optimizer.
+func NewAdaGrad(params []*ag.Param, lr float64) *AdaGrad {
+	if lr <= 0 {
+		panic(fmt.Sprintf("optim: AdaGrad learning rate %v", lr))
+	}
+	a := &AdaGrad{params: params, lr: lr, eps: 1e-10}
+	a.acc = make([]*gradState, len(params))
+	for i, p := range params {
+		a.acc[i] = &gradState{data: make([]float64, len(p.Value.Data))}
+	}
+	return a
+}
+
+// Params returns the optimised parameter set.
+func (a *AdaGrad) Params() []*ag.Param { return a.params }
+
+// Step applies one AdaGrad update and clears the gradients.
+func (a *AdaGrad) Step() {
+	for i, p := range a.params {
+		acc := a.acc[i].data
+		w := p.Value.Data
+		g := p.Grad.Data
+		for j, gj := range g {
+			acc[j] += gj * gj
+			w[j] -= a.lr * gj / (math.Sqrt(acc[j]) + a.eps)
+		}
+		p.ZeroGrad()
+	}
+}

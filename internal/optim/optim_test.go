@@ -1,0 +1,181 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/tensor"
+)
+
+// quadraticStep accumulates the gradient of f(w) = Σ (w−target)² by hand.
+func quadraticStep(p *ag.Param, target float64) float64 {
+	loss := 0.0
+	for i, w := range p.Value.Data {
+		d := w - target
+		p.Grad.Data[i] += 2 * d
+		loss += d * d
+	}
+	return loss
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := ag.NewParam("w", 1, 4, tensor.Uniform(-2, 2), rng)
+	opt := NewAdam([]*ag.Param{p}, 0.05)
+	var loss float64
+	for i := 0; i < 500; i++ {
+		loss = quadraticStep(p, 3)
+		opt.Step()
+	}
+	if loss > 1e-4 {
+		t.Fatalf("Adam did not converge: loss %v, w %v", loss, p.Value)
+	}
+}
+
+// TestAdamReferenceStep pins the first update against the closed form:
+// with g constant, m̂ = g, v̂ = g², so Δw = −lr·g/(|g|+ε) ≈ −lr·sign(g).
+func TestAdamReferenceStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := ag.NewParam("w", 1, 2, tensor.Zeros(), rng)
+	opt := NewAdam([]*ag.Param{p}, 0.1)
+	p.Grad.Data[0] = 4
+	p.Grad.Data[1] = -0.25
+	opt.Step()
+	if math.Abs(p.Value.Data[0]-(-0.1)) > 1e-6 {
+		t.Fatalf("first Adam step %v, want ≈ −0.1", p.Value.Data[0])
+	}
+	if math.Abs(p.Value.Data[1]-0.1) > 1e-6 {
+		t.Fatalf("first Adam step %v, want ≈ +0.1", p.Value.Data[1])
+	}
+	// Gradients must be cleared after the step.
+	if p.Grad.Data[0] != 0 || p.Grad.Data[1] != 0 {
+		t.Fatal("Step did not clear gradients")
+	}
+}
+
+func TestSGDMatchesHandComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := ag.NewParam("w", 1, 1, tensor.Constant(1), rng)
+	opt := NewSGD([]*ag.Param{p}, 0.5)
+	p.Grad.Data[0] = 2
+	opt.Step()
+	if p.Value.Data[0] != 0 { // 1 − 0.5·2
+		t.Fatalf("SGD step: %v", p.Value.Data[0])
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	plain := ag.NewParam("a", 1, 1, tensor.Constant(0), rng)
+	mom := ag.NewParam("b", 1, 1, tensor.Constant(0), rng)
+	optPlain := NewSGD([]*ag.Param{plain}, 0.01)
+	optMom := NewSGDWithMomentum([]*ag.Param{mom}, 0.01, 0.9, 0)
+	for i := 0; i < 10; i++ {
+		plain.Grad.Data[0] = -1 // constant downhill gradient
+		mom.Grad.Data[0] = -1
+		optPlain.Step()
+		optMom.Step()
+	}
+	if mom.Value.Data[0] <= plain.Value.Data[0] {
+		t.Fatalf("momentum %v not ahead of plain %v", mom.Value.Data[0], plain.Value.Data[0])
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := ag.NewParam("w", 1, 1, tensor.Constant(10), rng)
+	opt := NewSGDWithMomentum([]*ag.Param{p}, 0.1, 0, 0.5)
+	opt.Step() // zero gradient, decay only: w ← w − lr·λ·w
+	want := 10 - 0.1*0.5*10
+	if math.Abs(p.Value.Data[0]-want) > 1e-12 {
+		t.Fatalf("decay step %v, want %v", p.Value.Data[0], want)
+	}
+}
+
+func TestAdaGradConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := ag.NewParam("w", 1, 3, tensor.Uniform(-1, 1), rng)
+	opt := NewAdaGrad([]*ag.Param{p}, 0.5)
+	var loss float64
+	for i := 0; i < 800; i++ {
+		loss = quadraticStep(p, -1)
+		opt.Step()
+	}
+	if loss > 1e-3 {
+		t.Fatalf("AdaGrad did not converge: %v", loss)
+	}
+}
+
+func TestOptimizerAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := []*ag.Param{ag.NewParam("w", 1, 1, tensor.Zeros(), rng)}
+	a := NewAdam(ps, 0.1)
+	if a.LR() != 0.1 || len(a.Params()) != 1 {
+		t.Fatal("Adam accessors")
+	}
+	a.SetLR(0.2)
+	if a.LR() != 0.2 {
+		t.Fatal("SetLR")
+	}
+	s := NewSGD(ps, 0.1)
+	s.SetLR(0.3)
+	if len(s.Params()) != 1 {
+		t.Fatal("SGD accessors")
+	}
+	g := NewAdaGrad(ps, 0.1)
+	if len(g.Params()) != 1 {
+		t.Fatal("AdaGrad accessors")
+	}
+}
+
+func TestBadLearningRatePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ps := []*ag.Param{ag.NewParam("w", 1, 1, tensor.Zeros(), rng)}
+	for i, f := range []func(){
+		func() { NewAdam(ps, 0) },
+		func() { NewSGD(ps, -1) },
+		func() { NewAdaGrad(ps, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestAdamBeatsSGDOnIllConditioned exercises why the paper uses Adam: on a
+// badly scaled quadratic Adam's per-coordinate step sizes dominate plain SGD
+// at the same learning rate.
+func TestAdamBeatsSGDOnIllConditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	scales := []float64{100, 1, 0.01}
+	grad := func(p *ag.Param) float64 {
+		loss := 0.0
+		for i, w := range p.Value.Data {
+			d := w - 1
+			p.Grad.Data[i] += 2 * scales[i] * d
+			loss += scales[i] * d * d
+		}
+		return loss
+	}
+	a := ag.NewParam("a", 1, 3, tensor.Zeros(), rng)
+	s := ag.NewParam("s", 1, 3, tensor.Zeros(), rng)
+	optA := NewAdam([]*ag.Param{a}, 0.01)
+	optS := NewSGD([]*ag.Param{s}, 0.01) // stable but slow on the 0.01-scale axis
+	var lossA, lossS float64
+	for i := 0; i < 400; i++ {
+		lossA = grad(a)
+		optA.Step()
+		lossS = grad(s)
+		optS.Step()
+	}
+	if lossA >= lossS {
+		t.Fatalf("Adam %v not better than SGD %v on ill-conditioned quadratic", lossA, lossS)
+	}
+}

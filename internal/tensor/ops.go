@@ -1,0 +1,357 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a·b. a is r×k, b is k×c, the result is r×c.
+//
+// The kernel iterates the inner dimension in the middle loop so the innermost
+// loop walks both the output row and the b row contiguously — the standard
+// cache-friendly ikj ordering.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b without allocating. dst must be a.Rows×b.Cols
+// and is overwritten.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto: dst %dx%d = %dx%d · %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a·bᵀ. a is r×k, b is c×k, the result is r×c.
+// This variant avoids materialising bᵀ — each output element is a dot
+// product of two contiguous rows.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT: %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ·b. a is k×r, b is k×c, the result is r×c.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul: (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-length row vectors.
+func Dot(a, b *Matrix) float64 {
+	if a.Rows != 1 || b.Rows != 1 || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Dot: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	return dot(a.Data, b.Data)
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Matrix) *Matrix {
+	a.sameShape(b, "Add")
+	out := a.Clone()
+	out.AddInPlace(b)
+	return out
+}
+
+// AddInPlace accumulates o into m element-wise and returns m.
+func (m *Matrix) AddInPlace(o *Matrix) *Matrix {
+	m.sameShape(o, "AddInPlace")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// AddScaledInPlace accumulates k·o into m and returns m (axpy).
+func (m *Matrix) AddScaledInPlace(k float64, o *Matrix) *Matrix {
+	m.sameShape(o, "AddScaledInPlace")
+	for i, v := range o.Data {
+		m.Data[i] += k * v
+	}
+	return m
+}
+
+// Sub returns a − b element-wise.
+func Sub(a, b *Matrix) *Matrix {
+	a.sameShape(b, "Sub")
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a ⊙ b.
+func Hadamard(a, b *Matrix) *Matrix {
+	a.sameShape(b, "Hadamard")
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// Scale returns k·m.
+func Scale(k float64, m *Matrix) *Matrix {
+	out := m.Clone()
+	out.ScaleInPlace(k)
+	return out
+}
+
+// ScaleInPlace multiplies every element by k and returns m.
+func (m *Matrix) ScaleInPlace(k float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= k
+	}
+	return m
+}
+
+// AddRowBroadcast returns m with the 1×c row vector added to every row.
+func AddRowBroadcast(m, row *Matrix) *Matrix {
+	if row.Rows != 1 || row.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowBroadcast: %dx%d + %dx%d", m.Rows, m.Cols, row.Rows, row.Cols))
+	}
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		r := out.Row(i)
+		for j, v := range row.Data {
+			r[j] += v
+		}
+	}
+	return out
+}
+
+// Apply returns a new matrix with f applied to every element.
+func Apply(m *Matrix, f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func Sum(m *Matrix) float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty matrices).
+func Mean(m *Matrix) float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return Sum(m) / float64(len(m.Data))
+}
+
+// MeanRows returns the 1×c column-wise mean of an r×c matrix.
+func MeanRows(m *Matrix) *Matrix {
+	out := New(1, m.Cols)
+	if m.Rows == 0 {
+		return out
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	inv := 1.0 / float64(m.Rows)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	return out
+}
+
+// SumRows returns the 1×c column-wise sum of an r×c matrix.
+func SumRows(m *Matrix) *Matrix {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// SoftmaxRowsInto writes the row-wise softmax of src (plus the optional
+// additive mask) into dst. mask may be nil; otherwise it must have src's
+// shape and typically holds 0 or −Inf entries (the paper's Eq. 10 and 13).
+//
+// Rows whose entries are all −Inf (fully masked) produce all-zero output
+// rather than NaN, which makes fully-padded sequences safe.
+func SoftmaxRowsInto(dst, src, mask *Matrix) {
+	dst.sameShape(src, "SoftmaxRowsInto")
+	if mask != nil {
+		src.sameShape(mask, "SoftmaxRowsInto mask")
+	}
+	for i := 0; i < src.Rows; i++ {
+		srow := src.Row(i)
+		drow := dst.Row(i)
+		var mrow []float64
+		if mask != nil {
+			mrow = mask.Row(i)
+		}
+		max := math.Inf(-1)
+		for j, v := range srow {
+			if mrow != nil {
+				v += mrow[j]
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if math.IsInf(max, -1) {
+			for j := range drow {
+				drow[j] = 0
+			}
+			continue
+		}
+		sum := 0.0
+		for j, v := range srow {
+			if mrow != nil {
+				v += mrow[j]
+			}
+			e := math.Exp(v - max)
+			drow[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range drow {
+			drow[j] *= inv
+		}
+	}
+}
+
+// SoftmaxRows returns the row-wise softmax of m with an optional additive mask.
+func SoftmaxRows(m, mask *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	SoftmaxRowsInto(out, m, mask)
+	return out
+}
+
+// ConcatRows stacks the given matrices vertically. All must share Cols.
+func ConcatRows(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows: %d cols vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:off+len(m.Data)], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// ConcatCols concatenates the given matrices horizontally. All must share Rows.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols: %d rows vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		off := 0
+		orow := out.Row(i)
+		for _, m := range ms {
+			copy(orow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [from, to) of m.
+func SliceRows(m *Matrix, from, to int) *Matrix {
+	if from < 0 || to > m.Rows || from > to {
+		panic(fmt.Sprintf("tensor: SliceRows[%d:%d] of %d rows", from, to, m.Rows))
+	}
+	out := New(to-from, m.Cols)
+	copy(out.Data, m.Data[from*m.Cols:to*m.Cols])
+	return out
+}
+
+// SliceCols returns a copy of columns [from, to) of m.
+func SliceCols(m *Matrix, from, to int) *Matrix {
+	if from < 0 || to > m.Cols || from > to {
+		panic(fmt.Sprintf("tensor: SliceCols[%d:%d] of %d cols", from, to, m.Cols))
+	}
+	out := New(m.Rows, to-from)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[from:to])
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// An Initializer fills a freshly allocated matrix with starting values.
+type Initializer func(m *Matrix, rng *rand.Rand)
+
+// Zeros leaves the matrix at its zero value.
+func Zeros() Initializer {
+	return func(m *Matrix, rng *rand.Rand) {}
+}
+
+// Constant fills every element with v.
+func Constant(v float64) Initializer {
+	return func(m *Matrix, rng *rand.Rand) { m.Fill(v) }
+}
+
+// Normal fills with N(mean, std²) samples. The paper initialises embeddings
+// from a small-variance normal, matching common FM practice.
+func Normal(mean, std float64) Initializer {
+	return func(m *Matrix, rng *rand.Rand) {
+		for i := range m.Data {
+			m.Data[i] = mean + std*rng.NormFloat64()
+		}
+	}
+}
+
+// Uniform fills with U(lo, hi) samples.
+func Uniform(lo, hi float64) Initializer {
+	return func(m *Matrix, rng *rand.Rand) {
+		for i := range m.Data {
+			m.Data[i] = lo + (hi-lo)*rng.Float64()
+		}
+	}
+}
+
+// XavierUniform implements Glorot & Bengio's uniform initialisation,
+// U(−a, a) with a = sqrt(6/(fanIn+fanOut)), the default for the projection
+// matrices of the self-attention heads and the feed-forward layers.
+func XavierUniform() Initializer {
+	return func(m *Matrix, rng *rand.Rand) {
+		a := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+		for i := range m.Data {
+			m.Data[i] = a * (2*rng.Float64() - 1)
+		}
+	}
+}
+
+// NewRandom allocates a rows×cols matrix and fills it with init.
+func NewRandom(rows, cols int, init Initializer, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	init(m, rng)
+	return m
+}

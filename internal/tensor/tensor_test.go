@@ -1,0 +1,368 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New not zeroed")
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatalf("At(1,2)=%v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	row[0] = 7 // Row is a view
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	m := New(2, 2)
+	cases := []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+		func() { FromSlice(2, 2, []float64{1}) },
+		func() { New(-1, 2) },
+		func() { m.ScalarValue() },
+		func() { SliceRows(m, 0, 3) },
+		func() { SliceCols(m, 2, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := RowVector(1, 2, 3)
+	c := m.Clone()
+	c.Data[0] = 9
+	if m.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("FromRows: %v", m)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ragged FromRows did not panic")
+			}
+		}()
+		FromRows([][]float64{{1, 2}, {3}})
+	}()
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("T: %v", tr)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !c.Equal(want, 1e-12) {
+		t.Fatalf("MatMul: %v", c)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func randomMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// Property: MatMulT(a,b) == MatMul(a, b.T()) and TMatMul(a,b) == MatMul(a.T(), b).
+func TestMatMulVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		r, k, c := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := randomMat(rng, r, k)
+		b := randomMat(rng, c, k)
+		if !MatMulT(a, b).Equal(MatMul(a, b.T()), 1e-10) {
+			t.Fatal("MatMulT disagrees with explicit transpose")
+		}
+		a2 := randomMat(rng, k, r)
+		b2 := randomMat(rng, k, c)
+		if !TMatMul(a2, b2).Equal(MatMul(a2.T(), b2), 1e-10) {
+			t.Fatal("TMatMul disagrees with explicit transpose")
+		}
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMat(r, 1+r.Intn(5), 1+r.Intn(5))
+		b := randomMat(r, a.Cols, 1+r.Intn(5))
+		return MatMul(a, b).T().Equal(MatMul(b.T(), a.T()), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := RowVector(1, 2, 3)
+	b := RowVector(4, 5, 6)
+	if got := Add(a, b); !got.Equal(RowVector(5, 7, 9), 0) {
+		t.Errorf("Add: %v", got)
+	}
+	if got := Sub(b, a); !got.Equal(RowVector(3, 3, 3), 0) {
+		t.Errorf("Sub: %v", got)
+	}
+	if got := Hadamard(a, b); !got.Equal(RowVector(4, 10, 18), 0) {
+		t.Errorf("Hadamard: %v", got)
+	}
+	if got := Scale(2, a); !got.Equal(RowVector(2, 4, 6), 0) {
+		t.Errorf("Scale: %v", got)
+	}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot: %v", got)
+	}
+}
+
+func TestAddScaledInPlace(t *testing.T) {
+	a := RowVector(1, 1)
+	a.AddScaledInPlace(3, RowVector(2, 4))
+	if !a.Equal(RowVector(7, 13), 0) {
+		t.Fatalf("AddScaledInPlace: %v", a)
+	}
+}
+
+func TestAddRowBroadcast(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := AddRowBroadcast(m, RowVector(10, 20))
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !got.Equal(want, 0) {
+		t.Fatalf("AddRowBroadcast: %v", got)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if Sum(m) != 10 {
+		t.Errorf("Sum: %v", Sum(m))
+	}
+	if Mean(m) != 2.5 {
+		t.Errorf("Mean: %v", Mean(m))
+	}
+	if got := MeanRows(m); !got.Equal(RowVector(2, 3), 0) {
+		t.Errorf("MeanRows: %v", got)
+	}
+	if got := SumRows(m); !got.Equal(RowVector(4, 6), 0) {
+		t.Errorf("SumRows: %v", got)
+	}
+	if Mean(New(0, 0)) != 0 {
+		t.Error("Mean of empty not 0")
+	}
+}
+
+// Property: softmax rows are probability distributions and invariant to
+// per-row additive shifts.
+func TestSoftmaxRowsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		m := randomMat(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		s := SoftmaxRows(m, nil)
+		for r := 0; r < s.Rows; r++ {
+			sum := 0.0
+			for _, v := range s.Row(r) {
+				if v < 0 || v > 1 {
+					t.Fatalf("softmax value %v outside [0,1]", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("softmax row sums to %v", sum)
+			}
+		}
+		shifted := m.Clone()
+		for r := 0; r < shifted.Rows; r++ {
+			row := shifted.Row(r)
+			for j := range row {
+				row[j] += 7.5
+			}
+		}
+		if !SoftmaxRows(shifted, nil).Equal(s, 1e-10) {
+			t.Fatal("softmax not shift invariant")
+		}
+	}
+}
+
+func TestSoftmaxMask(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}})
+	mask := FromRows([][]float64{{0, math.Inf(-1), 0}})
+	s := SoftmaxRows(m, mask)
+	if s.At(0, 1) != 0 {
+		t.Fatalf("masked entry got weight %v", s.At(0, 1))
+	}
+	if math.Abs(s.At(0, 0)+s.At(0, 2)-1) > 1e-12 {
+		t.Fatal("unmasked entries do not renormalise")
+	}
+}
+
+func TestSoftmaxFullyMaskedRow(t *testing.T) {
+	m := RowVector(1, 2)
+	mask := RowVector(math.Inf(-1), math.Inf(-1))
+	s := SoftmaxRows(m, mask)
+	if s.At(0, 0) != 0 || s.At(0, 1) != 0 {
+		t.Fatalf("fully masked row produced %v", s)
+	}
+	if s.HasNaN() {
+		t.Fatal("fully masked row produced NaN")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	rows := ConcatRows(a, b)
+	if rows.Rows != 3 || rows.At(2, 1) != 6 {
+		t.Fatalf("ConcatRows: %v", rows)
+	}
+	c := FromRows([][]float64{{7}, {8}})
+	cols := ConcatCols(b, c)
+	if cols.Cols != 3 || cols.At(1, 2) != 8 {
+		t.Fatalf("ConcatCols: %v", cols)
+	}
+	if got := ConcatRows(); got.Rows != 0 {
+		t.Fatal("empty ConcatRows")
+	}
+}
+
+func TestSlices(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	if got := SliceRows(m, 1, 3); got.Rows != 2 || got.At(0, 0) != 4 {
+		t.Fatalf("SliceRows: %v", got)
+	}
+	if got := SliceCols(m, 1, 2); got.Cols != 1 || got.At(2, 0) != 8 {
+		t.Fatalf("SliceCols: %v", got)
+	}
+}
+
+func TestNaNAndNorms(t *testing.T) {
+	m := RowVector(3, 4)
+	if m.Norm() != 5 {
+		t.Errorf("Norm: %v", m.Norm())
+	}
+	if m.MaxAbs() != 4 {
+		t.Errorf("MaxAbs: %v", m.MaxAbs())
+	}
+	if m.HasNaN() {
+		t.Error("false NaN")
+	}
+	m.Data[0] = math.NaN()
+	if !m.HasNaN() {
+		t.Error("missed NaN")
+	}
+	m.Data[0] = math.Inf(1)
+	if !m.HasNaN() {
+		t.Error("missed Inf")
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := RowVector(1, -2)
+	got := Apply(m, math.Abs)
+	if !got.Equal(RowVector(1, 2), 0) {
+		t.Fatalf("Apply: %v", got)
+	}
+	if m.Data[1] != -2 {
+		t.Fatal("Apply mutated input")
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	z := NewRandom(3, 3, Zeros(), rng)
+	if Sum(z) != 0 {
+		t.Error("Zeros initializer")
+	}
+	c := NewRandom(2, 2, Constant(3), rng)
+	if Sum(c) != 12 {
+		t.Error("Constant initializer")
+	}
+	u := NewRandom(50, 50, Uniform(-1, 1), rng)
+	if u.MaxAbs() > 1 {
+		t.Error("Uniform out of range")
+	}
+	n := NewRandom(200, 200, Normal(0, 0.01), rng)
+	if mean := Mean(n); math.Abs(mean) > 0.001 {
+		t.Errorf("Normal mean %v", mean)
+	}
+	x := NewRandom(30, 30, XavierUniform(), rng)
+	bound := math.Sqrt(6.0 / 60.0)
+	if x.MaxAbs() > bound {
+		t.Errorf("Xavier out of bound: %v > %v", x.MaxAbs(), bound)
+	}
+}
+
+func TestMatMulIntoReuse(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3}, {4}})
+	dst := New(1, 1)
+	MatMulInto(dst, a, b)
+	MatMulInto(dst, a, b) // must overwrite, not accumulate
+	if dst.ScalarValue() != 11 {
+		t.Fatalf("MatMulInto reuse: %v", dst.ScalarValue())
+	}
+}
+
+func TestStringElision(t *testing.T) {
+	small := RowVector(1, 2)
+	if small.String() == "" {
+		t.Fatal("empty String")
+	}
+	big := New(20, 20)
+	s := big.String()
+	if len(s) > 600 {
+		t.Fatalf("String of large matrix too long: %d bytes", len(s))
+	}
+}

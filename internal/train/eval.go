@@ -1,0 +1,175 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/data"
+	"seqfm/internal/feature"
+	"seqfm/internal/metrics"
+)
+
+// RankingResult holds HR@K and NDCG@K for the requested cutoffs.
+type RankingResult struct {
+	HR   map[int]float64
+	NDCG map[int]float64
+}
+
+// EvalConfig controls evaluation.
+type EvalConfig struct {
+	// J is the number of sampled unvisited negatives each ground-truth item
+	// is ranked against; the paper uses 1000 (§V-C).
+	J int
+	// Ks are the ranking cutoffs; the paper reports {5, 10, 20}.
+	Ks []int
+	// Seed drives candidate sampling.
+	Seed int64
+	// Workers parallelises scoring; 0 means GOMAXPROCS.
+	Workers int
+	// UseVal evaluates on the validation split instead of test.
+	UseVal bool
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	if c.J == 0 {
+		c.J = 100
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{5, 10, 20}
+	}
+	if c.Seed == 0 {
+		c.Seed = 99
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+func (c EvalConfig) instances(split *data.Split) []feature.Instance {
+	if c.UseVal {
+		return split.Val
+	}
+	return split.Test
+}
+
+// score runs one inference-mode forward pass.
+func score(m Model, inst feature.Instance) float64 {
+	t := ag.NewTape()
+	return m.Score(t, inst).Value.ScalarValue()
+}
+
+// parallelEach fans f over n indexed jobs.
+func parallelEach(n, workers int, f func(i int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				f(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// EvalRanking implements the leave-one-out ranking protocol of §V-C: each
+// held-out positive is ranked against J never-visited negatives and HR@K /
+// NDCG@K are averaged over test cases (Eq. 27).
+func EvalRanking(m Model, split *data.Split, cfg EvalConfig) RankingResult {
+	cfg = cfg.withDefaults()
+	insts := cfg.instances(split)
+	ranks := make([]int, len(insts))
+	samplers := make([]*data.NegativeSampler, cfg.Workers)
+	for i := range samplers {
+		samplers[i] = data.NewNegativeSampler(split.Dataset(),
+			rand.New(rand.NewSource(cfg.Seed+int64(31*(i+1)))))
+	}
+	parallelEach(len(insts), cfg.Workers, func(i int) {
+		w := i % cfg.Workers
+		inst := insts[i]
+		pos := score(m, inst)
+		negScores := make([]float64, cfg.J)
+		for j, o := range samplers[w].SampleN(inst.User, cfg.J) {
+			negScores[j] = score(m, split.Dataset().WithTargetObject(inst, o))
+		}
+		ranks[i] = metrics.RankOf(pos, negScores)
+	})
+	res := RankingResult{HR: map[int]float64{}, NDCG: map[int]float64{}}
+	for _, k := range cfg.Ks {
+		res.HR[k] = metrics.HRAtK(ranks, k)
+		res.NDCG[k] = metrics.NDCGAtK(ranks, k)
+	}
+	return res
+}
+
+// ClassificationResult holds the CTR metrics of Table III.
+type ClassificationResult struct {
+	AUC  float64
+	RMSE float64
+}
+
+// EvalClassification implements §V-C's CTR protocol: for each held-out
+// positive a random never-clicked link is drawn, both are scored as
+// probabilities via the sigmoid of Eq. (23), and AUC plus RMSE-to-label are
+// computed over the pooled predictions.
+func EvalClassification(m Model, split *data.Split, cfg EvalConfig) ClassificationResult {
+	cfg = cfg.withDefaults()
+	insts := cfg.instances(split)
+	probs := make([]float64, 2*len(insts))
+	labels := make([]bool, 2*len(insts))
+	truth := make([]float64, 2*len(insts))
+	samplers := make([]*data.NegativeSampler, cfg.Workers)
+	for i := range samplers {
+		samplers[i] = data.NewNegativeSampler(split.Dataset(),
+			rand.New(rand.NewSource(cfg.Seed+int64(37*(i+1)))))
+	}
+	parallelEach(len(insts), cfg.Workers, func(i int) {
+		w := i % cfg.Workers
+		inst := insts[i]
+		neg := split.Dataset().WithTargetObject(inst, samplers[w].Sample(inst.User))
+		probs[2*i] = sigmoid(score(m, inst))
+		labels[2*i] = true
+		truth[2*i] = 1
+		probs[2*i+1] = sigmoid(score(m, neg))
+		labels[2*i+1] = false
+	})
+	return ClassificationResult{
+		AUC:  metrics.AUC(probs, labels),
+		RMSE: metrics.RMSE(probs, truth),
+	}
+}
+
+// RegressionResult holds the rating-prediction metrics of Table IV.
+type RegressionResult struct {
+	MAE  float64
+	RRSE float64
+}
+
+// EvalRegression scores each held-out rating directly (Eq. 28).
+func EvalRegression(m Model, split *data.Split, cfg EvalConfig) RegressionResult {
+	cfg = cfg.withDefaults()
+	insts := cfg.instances(split)
+	pred := make([]float64, len(insts))
+	truth := make([]float64, len(insts))
+	parallelEach(len(insts), cfg.Workers, func(i int) {
+		pred[i] = score(m, insts[i])
+		truth[i] = insts[i].Label
+	})
+	return RegressionResult{
+		MAE:  metrics.MAE(pred, truth),
+		RRSE: metrics.RRSE(pred, truth),
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

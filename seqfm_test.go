@@ -1,0 +1,117 @@
+package seqfm_test
+
+import (
+	"math"
+	"testing"
+
+	"seqfm"
+)
+
+// TestPublicAPIEndToEnd exercises the exact workflow documented in the
+// package comment, through the public facade only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := seqfm.GeneratePOI(seqfm.GowallaConfig(0.001, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Task != seqfm.Ranking {
+		t.Fatal("task")
+	}
+	stats := seqfm.ComputeStats(ds)
+	if stats.Instances == 0 {
+		t.Fatal("empty dataset")
+	}
+	split := seqfm.NewSplit(ds)
+	cfg := seqfm.DefaultConfig(ds.Space())
+	cfg.Dim = 8
+	cfg.MaxSeqLen = 6
+	model, err := seqfm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := seqfm.TrainRanking(model, split, seqfm.TrainConfig{
+		Epochs: 3, BatchSize: 32, LR: 3e-3, Negatives: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalLoss() >= hist.Epochs[0].Loss {
+		t.Fatalf("loss %.4f -> %.4f", hist.Epochs[0].Loss, hist.FinalLoss())
+	}
+	r := seqfm.EvalRanking(model, split, seqfm.EvalConfig{J: 20, Ks: []int{5}})
+	if r.HR[5] < 0 || r.HR[5] > 1 {
+		t.Fatalf("HR@5=%v", r.HR[5])
+	}
+	s := seqfm.Score(model, split.Test[0])
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("score %v", s)
+	}
+}
+
+func TestPublicAPIClassificationAndRegression(t *testing.T) {
+	ctr, err := seqfm.GenerateCTR(seqfm.TaobaoConfig(0.0008, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csplit := seqfm.NewSplit(ctr)
+	cm, err := seqfm.New(seqfm.Config{Space: ctr.Space(), Dim: 8, Layers: 1,
+		MaxSeqLen: 6, KeepProb: 0.9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seqfm.TrainClassification(cm, csplit, seqfm.TrainConfig{
+		Epochs: 2, BatchSize: 32, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cres := seqfm.EvalClassification(cm, csplit, seqfm.EvalConfig{})
+	if cres.AUC < 0 || cres.AUC > 1 {
+		t.Fatalf("AUC=%v", cres.AUC)
+	}
+
+	rat, err := seqfm.GenerateRating(seqfm.BeautyConfig(0.001, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsplit := seqfm.NewSplit(rat)
+	rm, err := seqfm.New(seqfm.Config{Space: rat.Space(), Dim: 8, Layers: 1,
+		MaxSeqLen: 6, KeepProb: 0.9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seqfm.TrainRegression(rm, rsplit, seqfm.TrainConfig{
+		Epochs: 4, BatchSize: 32, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rres := seqfm.EvalRegression(rm, rsplit, seqfm.EvalConfig{})
+	if rres.MAE < 0 || math.IsNaN(rres.RRSE) {
+		t.Fatalf("regression result %+v", rres)
+	}
+}
+
+func TestPublicAblation(t *testing.T) {
+	ds, err := seqfm.GeneratePOI(seqfm.FoursquareConfig(0.001, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := seqfm.DefaultConfig(ds.Space())
+	cfg.Dim = 8
+	cfg.Ablation = seqfm.Ablation{NoDynamicView: true}
+	m, err := seqfm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() <= 0 {
+		t.Fatal("params")
+	}
+}
+
+func TestPublicFilterInactive(t *testing.T) {
+	ds, err := seqfm.GeneratePOI(seqfm.GowallaConfig(0.001, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := seqfm.FilterInactive(ds, 10, 1)
+	if filtered.NumUsers > ds.NumUsers {
+		t.Fatal("filter grew the dataset")
+	}
+}

@@ -1,0 +1,7 @@
+package seqfm
+
+import "seqfm/internal/ag"
+
+// newInferenceTape builds a dropout-disabled autodiff tape for one-off
+// scoring from the public API.
+func newInferenceTape() *ag.Tape { return ag.NewTape() }
