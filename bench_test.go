@@ -239,6 +239,128 @@ func BenchmarkSeqFMSequenceLengths(b *testing.B) {
 	}
 }
 
+// --- serving-path benchmarks --------------------------------------------
+//
+// The serving scenario: rank J=100 candidate objects against one user's
+// history, repeatedly. The naive baseline is what EvalRanking does per test
+// case — one fresh tape and one full forward pass per candidate. The engine
+// amortises the dynamic view across candidates, reuses pooled tapes, serves
+// repeated (user, candidate) pairs from the static-view cache, and fans out
+// over workers. Compare:
+//
+//	go test -bench='BenchmarkServe' -benchmem
+//
+// The acceptance bar for the engine is ≥2× over the naive loop at J=100
+// (single-worker, cold cache); the cached and parallel variants stack well
+// beyond that. EXPERIMENTS.md records reference numbers.
+
+const benchJ = 100 // candidates per top-K request, the paper's eval J
+
+func benchServingSetup(b *testing.B) (*core.Model, seqfm.Instance, []int) {
+	b.Helper()
+	m, inst := benchModelAndInstance(b)
+	candidates := make([]int, benchJ)
+	for i := range candidates {
+		candidates[i] = (i * 19) % 2000
+	}
+	return m, inst, candidates
+}
+
+// BenchmarkServeNaivePerInstance is the baseline a serving engine must
+// beat: J full forward passes, each on a fresh tape, sequentially.
+func BenchmarkServeNaivePerInstance(b *testing.B) {
+	m, inst, candidates := benchServingSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range candidates {
+			ci := inst
+			ci.Target = c
+			_ = seqfm.Score(m, ci)
+		}
+	}
+}
+
+// BenchmarkServeTopKColdSingleWorker isolates the algorithmic win (shared
+// dynamic view + tape reuse) from parallelism and cache warmth: one worker,
+// caches disabled.
+func BenchmarkServeTopKColdSingleWorker(b *testing.B) {
+	m, inst, candidates := benchServingSetup(b)
+	eng := seqfm.NewEngine(m, seqfm.EngineConfig{Workers: 1, StaticCacheSize: -1, DynCacheSize: -1})
+	defer eng.Close()
+	req := seqfm.TopKRequest{Base: inst, Candidates: candidates, K: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.TopK(req)
+	}
+}
+
+// BenchmarkServeTopKCold measures a cold engine at full parallelism: every
+// iteration builds a fresh engine, so nothing is served from warm caches.
+func BenchmarkServeTopKCold(b *testing.B) {
+	m, inst, candidates := benchServingSetup(b)
+	req := seqfm.TopKRequest{Base: inst, Candidates: candidates, K: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := seqfm.NewEngine(m, seqfm.EngineConfig{})
+		_ = eng.TopK(req)
+		eng.Close()
+	}
+}
+
+// BenchmarkServeTopKCached is the steady-state serving path: one engine,
+// warm static-view and dynamic-state caches, so each iteration pays only
+// for the cross view of each candidate.
+func BenchmarkServeTopKCached(b *testing.B) {
+	m, inst, candidates := benchServingSetup(b)
+	eng := seqfm.NewEngine(m, seqfm.EngineConfig{})
+	defer eng.Close()
+	req := seqfm.TopKRequest{Base: inst, Candidates: candidates, K: 10}
+	_ = eng.TopK(req) // warm the caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.TopK(req)
+	}
+}
+
+// BenchmarkServeTopKCachedSingleWorker is the warm path without
+// parallelism — the per-request floor on one core.
+func BenchmarkServeTopKCachedSingleWorker(b *testing.B) {
+	m, inst, candidates := benchServingSetup(b)
+	eng := seqfm.NewEngine(m, seqfm.EngineConfig{Workers: 1})
+	defer eng.Close()
+	req := seqfm.TopKRequest{Base: inst, Candidates: candidates, K: 10}
+	_ = eng.TopK(req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.TopK(req)
+	}
+}
+
+// BenchmarkServeScoreBatch scores a mixed batch (distinct histories) — the
+// /v1/score path rather than top-K.
+func BenchmarkServeScoreBatch(b *testing.B) {
+	m, inst, candidates := benchServingSetup(b)
+	eng := seqfm.NewEngine(m, seqfm.EngineConfig{})
+	defer eng.Close()
+	insts := make([]seqfm.Instance, benchJ)
+	for i, c := range candidates {
+		ci := inst
+		ci.Target = c
+		ci.Hist = append(append([]int{}, inst.Hist...), c) // distinct history per instance
+		insts[i] = ci
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.ScoreBatch(insts)
+	}
+}
+
 func benchName(prefix string, v int) string {
 	return prefix + "=" + itoa(v)
 }

@@ -1,0 +1,360 @@
+// Command seqfm-serve exposes a trained SeqFM model as a low-latency HTTP
+// scoring service backed by the batched inference engine: JSON endpoints
+// for raw scoring and top-K candidate ranking over a user's interaction
+// history — the deployment shape of a sequence-aware recommender.
+//
+// On startup it materialises a stand-in dataset, then either loads a
+// checkpoint written by -save (or core.Model.Save) or trains in-process,
+// and serves:
+//
+//	GET  /healthz  — liveness plus engine statistics
+//	POST /v1/score — {"instances":[{"user":u,"target":o,"hist":[...]}]}
+//	                 → {"scores":[...]}
+//	POST /v1/topk  — {"user":u,"hist":[...],"candidates":[...],"k":10}
+//	                 → {"items":[{"object":o,"score":s}, ...]}
+//
+// In /v1/topk, "hist" defaults to the user's full interaction log from the
+// dataset and "candidates" defaults to every object; item attributes are
+// filled from the dataset's side-information tables automatically.
+//
+// Usage:
+//
+//	seqfm-serve -dataset gowalla -scale tiny -addr :8080
+//	seqfm-serve -dataset beauty -scale small -epochs 8 -save beauty.ckpt
+//	seqfm-serve -dataset beauty -scale small -checkpoint beauty.ckpt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"seqfm/internal/core"
+	"seqfm/internal/data"
+	"seqfm/internal/experiments"
+	"seqfm/internal/feature"
+	"seqfm/internal/serve"
+	"seqfm/internal/train"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		dataset     = flag.String("dataset", "gowalla", "gowalla|foursquare|trivago|taobao|beauty|toys")
+		scale       = flag.String("scale", "tiny", "tiny|small|medium|full")
+		epochs      = flag.Int("epochs", 0, "override training epochs (0 = scale default)")
+		seed        = flag.Int64("seed", 7, "master seed")
+		checkpoint  = flag.String("checkpoint", "", "load model weights from this file instead of training")
+		save        = flag.String("save", "", "write trained model weights to this file")
+		workers     = flag.Int("workers", 0, "engine scoring goroutines (0 = GOMAXPROCS)")
+		batchSize   = flag.Int("batch-size", 0, "micro-batch flush threshold for single-score requests (0 = default, 1 = off)")
+		maxDelay    = flag.Duration("max-delay", 0, "micro-batch flush deadline (0 = default)")
+		staticCache = flag.Int("static-cache", 0, "static-view cache entries (0 = default, <0 = off)")
+		dynCache    = flag.Int("dyn-cache", 0, "dynamic-state cache entries (0 = default, <0 = off)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dataset, *scale, *epochs, *seed, *checkpoint, *save, serve.Config{
+		Workers:         *workers,
+		BatchSize:       *batchSize,
+		MaxDelay:        *maxDelay,
+		StaticCacheSize: *staticCache,
+		DynCacheSize:    *dynCache,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "seqfm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset, scale string, epochs int, seed int64, checkpoint, save string, ecfg serve.Config) error {
+	p := experiments.ParamsFor(experiments.Scale(scale))
+	p.Seed = seed
+	if epochs > 0 {
+		p.Epochs = epochs
+	}
+	ds, err := buildDataset(p, dataset)
+	if err != nil {
+		return err
+	}
+	model, err := p.SeqFM(ds.Space(), core.Ablation{})
+	if err != nil {
+		return err
+	}
+
+	if checkpoint != "" {
+		f, err := os.Open(checkpoint)
+		if err != nil {
+			return err
+		}
+		err = model.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load %s: %w", checkpoint, err)
+		}
+		log.Printf("loaded checkpoint %s", checkpoint)
+	} else {
+		split := data.NewSplit(ds)
+		cfg := p.TrainConfig()
+		if ds.Task == data.Regression {
+			cfg = p.RegressionTrainConfig()
+		}
+		cfg.Logf = log.Printf
+		log.Printf("training seqfm on %s (%d train instances)", ds.Name, len(split.Train))
+		hist, err := trainFor(model, split, cfg, ds.Task)
+		if err != nil {
+			return err
+		}
+		log.Printf("trained in %.1fs (final loss %.4f)", hist.Total.Seconds(), hist.FinalLoss())
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		err = model.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("save %s: %w", save, err)
+		}
+		log.Printf("saved checkpoint %s", save)
+	}
+
+	eng := serve.NewEngine(model, ecfg)
+	defer eng.Close()
+	srv := newServer(eng, ds)
+	log.Printf("serving %s (%d users, %d objects) on %s", ds.Name, ds.NumUsers, ds.NumObjects, addr)
+	return http.ListenAndServe(addr, srv.routes())
+}
+
+func trainFor(m train.Model, split *data.Split, cfg train.Config, task data.Task) (*train.History, error) {
+	switch task {
+	case data.Ranking:
+		return train.Ranking(m, split, cfg)
+	case data.Classification:
+		return train.Classification(m, split, cfg)
+	default:
+		return train.Regression(m, split, cfg)
+	}
+}
+
+func buildDataset(p experiments.Params, name string) (*data.Dataset, error) {
+	switch name {
+	case "gowalla":
+		g, _, err := p.RankingDatasets()
+		return g, err
+	case "foursquare":
+		_, f, err := p.RankingDatasets()
+		return f, err
+	case "trivago":
+		tv, _, err := p.CTRDatasets()
+		return tv, err
+	case "taobao":
+		_, tb, err := p.CTRDatasets()
+		return tb, err
+	case "beauty":
+		be, _, err := p.RatingDatasets()
+		return be, err
+	case "toys":
+		_, to, err := p.RatingDatasets()
+		return to, err
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+// server holds the request handlers' shared state.
+type server struct {
+	eng   *serve.Engine
+	ds    *data.Dataset
+	start time.Time
+}
+
+func newServer(eng *serve.Engine, ds *data.Dataset) *server {
+	return &server{eng: eng, ds: ds, start: time.Now()}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/score", s.handleScore)
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	return mux
+}
+
+// jsonInstance is the wire form of feature.Instance. Attr fields are
+// pointers so "absent" is distinguishable from attribute 0; absent attrs
+// fall back to the dataset's side-information tables.
+type jsonInstance struct {
+	User       int   `json:"user"`
+	Target     int   `json:"target"`
+	Hist       []int `json:"hist"`
+	UserAttr   *int  `json:"user_attr,omitempty"`
+	TargetAttr *int  `json:"target_attr,omitempty"`
+}
+
+func (s *server) toInstance(j jsonInstance) (feature.Instance, error) {
+	if j.User < 0 || j.User >= s.ds.NumUsers {
+		return feature.Instance{}, fmt.Errorf("user %d outside [0,%d)", j.User, s.ds.NumUsers)
+	}
+	if j.Target < 0 || j.Target >= s.ds.NumObjects {
+		return feature.Instance{}, fmt.Errorf("target %d outside [0,%d)", j.Target, s.ds.NumObjects)
+	}
+	for _, h := range j.Hist {
+		if h < 0 || h >= s.ds.NumObjects {
+			return feature.Instance{}, fmt.Errorf("hist object %d outside [0,%d)", h, s.ds.NumObjects)
+		}
+	}
+	inst := feature.Instance{
+		User: j.User, Target: j.Target, Hist: j.Hist,
+		UserAttr: feature.Pad, TargetAttr: feature.Pad,
+	}
+	if s.ds.NumUserAttrs > 0 {
+		inst.UserAttr = s.ds.UserAttr[j.User]
+	}
+	if j.UserAttr != nil {
+		if *j.UserAttr < 0 || *j.UserAttr >= s.ds.NumUserAttrs {
+			return feature.Instance{}, fmt.Errorf("user_attr %d outside [0,%d)", *j.UserAttr, s.ds.NumUserAttrs)
+		}
+		inst.UserAttr = *j.UserAttr
+	}
+	if s.ds.NumItemAttrs > 0 {
+		inst.TargetAttr = s.ds.ItemAttr[j.Target]
+	}
+	if j.TargetAttr != nil {
+		if *j.TargetAttr < 0 || *j.TargetAttr >= s.ds.NumItemAttrs {
+			return feature.Instance{}, fmt.Errorf("target_attr %d outside [0,%d)", *j.TargetAttr, s.ds.NumItemAttrs)
+		}
+		inst.TargetAttr = *j.TargetAttr
+	}
+	return inst, nil
+}
+
+func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Instances []jsonInstance `json:"instances"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	insts := make([]feature.Instance, len(req.Instances))
+	for i, j := range req.Instances {
+		inst, err := s.toInstance(j)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("instance %d: %w", i, err))
+			return
+		}
+		insts[i] = inst
+	}
+	started := time.Now()
+	scores := s.eng.ScoreBatch(insts)
+	writeJSON(w, map[string]any{
+		"scores":     scores,
+		"elapsed_ms": float64(time.Since(started).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User       int   `json:"user"`
+		Hist       []int `json:"hist"`
+		Candidates []int `json:"candidates"`
+		K          int   `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.User < 0 || req.User >= s.ds.NumUsers {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("user %d outside [0,%d)", req.User, s.ds.NumUsers))
+		return
+	}
+	hist := req.Hist
+	if hist == nil {
+		for _, it := range s.ds.Users[req.User] {
+			hist = append(hist, it.Object)
+		}
+	}
+	for _, h := range hist {
+		if h < 0 || h >= s.ds.NumObjects {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("hist object %d outside [0,%d)", h, s.ds.NumObjects))
+			return
+		}
+	}
+	candidates := req.Candidates
+	if candidates == nil {
+		candidates = make([]int, s.ds.NumObjects)
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	for _, c := range candidates {
+		if c < 0 || c >= s.ds.NumObjects {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("candidate %d outside [0,%d)", c, s.ds.NumObjects))
+			return
+		}
+	}
+	base := feature.Instance{User: req.User, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	if s.ds.NumUserAttrs > 0 {
+		base.UserAttr = s.ds.UserAttr[req.User]
+	}
+	tkr := serve.TopKRequest{Base: base, Candidates: candidates, K: req.K}
+	if s.ds.NumItemAttrs > 0 {
+		tkr.AttrOf = func(o int) int { return s.ds.ItemAttr[o] }
+	}
+	started := time.Now()
+	items := s.eng.TopK(tkr)
+	type jsonItem struct {
+		Object int     `json:"object"`
+		Score  float64 `json:"score"`
+	}
+	out := make([]jsonItem, len(items))
+	for i, it := range items {
+		out[i] = jsonItem{Object: it.Object, Score: it.Score}
+	}
+	writeJSON(w, map[string]any{
+		"items":      out,
+		"elapsed_ms": float64(time.Since(started).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"dataset":  s.ds.Name,
+		"task":     s.ds.Task.String(),
+		"users":    s.ds.NumUsers,
+		"objects":  s.ds.NumObjects,
+		"uptime_s": time.Since(s.start).Seconds(),
+		"engine": map[string]any{
+			"instances":      st.Instances,
+			"flushes":        st.Flushes,
+			"static_hits":    st.StaticHits,
+			"static_misses":  st.StaticMisses,
+			"dyn_hits":       st.DynHits,
+			"dyn_misses":     st.DynMisses,
+			"static_entries": st.StaticEntries,
+			"dyn_entries":    st.DynEntries,
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,41 @@
+package seqfm
+
+import "seqfm/internal/serve"
+
+// Engine is the batched inference engine (internal/serve): a serving-side
+// counterpart to the trainers that pools pre-sized autodiff tapes across
+// requests, caches the candidate-independent dynamic view per history and
+// the static view per (user, candidate, attrs), fans batches out over a
+// worker pool, and micro-batches concurrent single-instance requests. All
+// engine paths return scores bit-for-bit identical to per-instance Score.
+//
+// Typical top-K serving:
+//
+//	eng := seqfm.NewEngine(model, seqfm.EngineConfig{})
+//	defer eng.Close()
+//	items := eng.TopK(seqfm.TopKRequest{
+//		Base:       seqfm.Instance{User: u, Hist: hist},
+//		Candidates: candidates,
+//		K:          10,
+//	})
+type Engine = serve.Engine
+
+// EngineConfig parameterises NewEngine; the zero value takes every default
+// (GOMAXPROCS workers, bounded caches, 64-instance micro-batches).
+type EngineConfig = serve.Config
+
+// EngineStats is a snapshot of an Engine's traffic and cache counters.
+type EngineStats = serve.Stats
+
+// TopKRequest asks an Engine for the K best candidates for one user context.
+type TopKRequest = serve.TopKRequest
+
+// Item is one scored candidate returned by (*Engine).TopK.
+type Item = serve.Item
+
+// NewEngine builds an inference engine over a frozen model. SeqFM models
+// get the fully cached scoring path; baseline models (any Scorer) still get
+// tape reuse and parallel fan-out. The model's weights must not change
+// while the engine serves them — after further training, call
+// (*Engine).InvalidateCaches.
+func NewEngine(m Scorer, cfg EngineConfig) *Engine { return serve.NewEngine(m, cfg) }

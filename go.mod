@@ -1,0 +1,3 @@
+module seqfm
+
+go 1.24

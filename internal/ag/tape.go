@@ -38,7 +38,9 @@ func (n *Node) ensureGrad() *tensor.Matrix {
 }
 
 // Tape records a single forward pass. Tapes are cheap; build a fresh one per
-// training example (or per minibatch) and discard it after FlushGrads.
+// training example (or per minibatch) and discard it after FlushGrads — or,
+// on a hot serving path, keep one per worker and call Reset between passes so
+// the node arena and bookkeeping slices are reused instead of reallocated.
 // A Tape must not be shared between goroutines.
 type Tape struct {
 	nodes    []*Node
@@ -46,6 +48,12 @@ type Tape struct {
 	training bool
 	rng      *rand.Rand
 	ran      bool
+
+	// arena backs the Node structs handed out by node(); used counts how
+	// many entries of it the current pass has consumed. Reset rewinds used
+	// to zero so a subsequent pass overwrites the same storage.
+	arena []Node
+	used  int
 }
 
 // NewTape returns an inference-mode tape (dropout disabled).
@@ -64,11 +72,55 @@ func (t *Tape) Training() bool { return t.training }
 // graph size used by tests and memory diagnostics.
 func (t *Tape) NumNodes() int { return len(t.nodes) }
 
-// node appends a freshly built node to the tape and returns it.
+// node appends a freshly built node to the tape and returns it. Nodes are
+// drawn from the tape's arena so a Reset-and-reuse cycle performs no Node
+// allocations once the arena has grown to the size of one forward pass.
 func (t *Tape) node(value *tensor.Matrix, needsGrad bool, back func()) *Node {
-	n := &Node{Value: value, needsGrad: needsGrad, back: back}
+	if t.used == len(t.arena) {
+		t.arena = append(t.arena, Node{})
+	}
+	n := &t.arena[t.used]
+	t.used++
+	*n = Node{Value: value, needsGrad: needsGrad, back: back}
 	t.nodes = append(t.nodes, n)
 	return n
+}
+
+// Reset rewinds the tape for reuse: recorded nodes, pending gradient flushes
+// and the backward-ran flag are dropped while the arena and slice capacities
+// are kept, so the next forward pass allocates (almost) nothing. Values and
+// gradients recorded by earlier passes become invalid; callers must copy any
+// matrix they want to keep before resetting. Training mode and the dropout
+// RNG are preserved.
+func (t *Tape) Reset() {
+	for i := 0; i < t.used; i++ {
+		t.arena[i] = Node{} // release Value/grad/back references
+	}
+	t.used = 0
+	for i := range t.nodes {
+		t.nodes[i] = nil
+	}
+	t.nodes = t.nodes[:0]
+	for i := range t.flushes {
+		t.flushes[i] = nil
+	}
+	t.flushes = t.flushes[:0]
+	t.ran = false
+}
+
+// Grow pre-sizes the tape's arena and bookkeeping slices for a forward pass
+// of about n nodes, avoiding growth reallocations on the first reuse cycle.
+func (t *Tape) Grow(n int) {
+	if cap(t.arena) < n {
+		arena := make([]Node, len(t.arena), n)
+		copy(arena, t.arena)
+		t.arena = arena
+	}
+	if cap(t.nodes) < n {
+		nodes := make([]*Node, len(t.nodes), n)
+		copy(nodes, t.nodes)
+		t.nodes = nodes
+	}
 }
 
 // Constant records a non-differentiable leaf. The matrix is not copied.

@@ -252,6 +252,81 @@ func TestTrainingFlagAndNodeCount(t *testing.T) {
 	}
 }
 
+func TestTapeResetReusesArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	p := NewParam("p", 1, 1, tensor.Constant(3), rng)
+	tp := NewTape()
+	record := func() float64 {
+		return tp.Square(tp.Var(p)).Value.ScalarValue()
+	}
+	first := record()
+	nodes := tp.NumNodes()
+	for i := 0; i < 5; i++ {
+		tp.Reset()
+		if tp.NumNodes() != 0 {
+			t.Fatal("Reset left nodes on the tape")
+		}
+		if got := record(); got != first {
+			t.Fatalf("pass %d after Reset: %v, want %v", i, got, first)
+		}
+		if tp.NumNodes() != nodes {
+			t.Fatalf("node count changed across reuse: %d vs %d", tp.NumNodes(), nodes)
+		}
+	}
+}
+
+func TestTapeResetClearsFlushesAndBackwardFlag(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := NewParam("p", 1, 1, tensor.Constant(2), rng)
+	tp := NewTape()
+	loss := tp.Square(tp.Var(p))
+	tp.Backward(loss)
+	tp.FlushGrads(nil)
+	if got := p.Grad.ScalarValue(); got != 4 {
+		t.Fatalf("grad %v, want 4", got)
+	}
+	p.ZeroGrad()
+
+	// After Reset the tape must accept a fresh Backward, and flushes from
+	// the first pass must not fire again.
+	tp.Reset()
+	loss = tp.Square(tp.Var(p))
+	tp.Backward(loss)
+	tp.FlushGrads(nil)
+	if got := p.Grad.ScalarValue(); got != 4 {
+		t.Fatalf("grad after reuse %v, want 4 (stale flush?)", got)
+	}
+}
+
+func TestTapeResetPreservesTrainingMode(t *testing.T) {
+	tp := NewTrainingTape(rand.New(rand.NewSource(22)))
+	tp.Reset()
+	if !tp.Training() {
+		t.Fatal("Reset dropped training mode")
+	}
+	// Dropout still works after Reset (rng preserved).
+	x := tp.Constant(tensor.New(1, 100).Fill(1))
+	y := tp.Dropout(x, 0.5)
+	if y == x {
+		t.Fatal("training dropout after Reset was the identity")
+	}
+}
+
+func TestTapeGrow(t *testing.T) {
+	tp := NewTape()
+	tp.Grow(64)
+	for i := 0; i < 32; i++ {
+		tp.ConstantScalar(float64(i))
+	}
+	if tp.NumNodes() != 32 {
+		t.Fatalf("NumNodes=%d, want 32", tp.NumNodes())
+	}
+	tp.Reset()
+	if tp.NumNodes() != 0 {
+		t.Fatal("Reset after Grow left nodes")
+	}
+}
+
 func TestGradTranspose(t *testing.T) {
 	rng := rand.New(rand.NewSource(16))
 	a := randParam("a", 2, 4, rng)

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+	"seqfm/internal/tensor"
+)
+
+// This file is the serving-path hook into SeqFM: it splits the forward pass
+// of Score into a candidate-independent part (everything derived from the
+// user's dynamic history) and a candidate-dependent remainder, so a top-K
+// scorer can pay for the dynamic view once per user instead of once per
+// candidate. The split follows directly from the view structure of §III:
+// the dynamic view (Eq. 9) and the dynamic halves of the linear term and
+// embedding layer depend only on the history, while the static view (Eq. 8)
+// and the cross view (Eq. 12–13) also see the candidate.
+//
+// Every cached quantity is produced by exactly the same ops, in exactly the
+// same order, as the monolithic Score, so ScoreFast is bit-for-bit identical
+// to Score — the property internal/serve's parity tests pin down.
+
+// DynState caches the candidate-independent part of a SeqFM forward pass for
+// one user history: the padded dynamic indices, the dynamic linear sum
+// Σ_j w·_j, the gathered dynamic embedding rows G· of Eq. (5), and — unless
+// the dynamic view is ablated — the pooled, FFN-refined dynamic-view vector
+// of Eq. (14)/(15).
+//
+// A DynState holds plain value matrices (no tape nodes), so it stays valid
+// after the tape that produced it is Reset — but it snapshots the weights:
+// any parameter update invalidates it.
+type DynState struct {
+	dynIdx   []int
+	padCount int
+	linD     float64        // Σ_j w·_j over the padded history (dynamic half of Eq. 4)
+	eD       *tensor.Matrix // n.×d dynamic embedding rows (Eq. 5)
+	hD       *tensor.Matrix // 1×d dynamic-view output vector; nil under "Remove DV"
+	// qD/kD/vD are the dynamic row-blocks of the cross view's query/key/
+	// value projections. Because the matmul kernel computes each output row
+	// from its own input row alone, E*·W row-splits into [E°·W ; G.·W]
+	// bit-exactly, letting ScoreFast project only the n° static rows per
+	// candidate. nil under "Remove CV".
+	qD, kD, vD *tensor.Matrix
+}
+
+// PadCount returns how many leading padding positions the cached history
+// carries (0 for histories of length ≥ n.).
+func (s *DynState) PadCount() int { return s.padCount }
+
+// PrecomputeDynamic runs the candidate-independent part of the forward pass
+// for hist on t (which must be an inference tape — dropout would make the
+// cached vectors irreproducible) and returns it as a reusable DynState.
+// The caller may Reset t afterwards; the returned state owns its matrices.
+func (m *Model) PrecomputeDynamic(t *ag.Tape, hist []int) *DynState {
+	if t.Training() {
+		panic("core: PrecomputeDynamic on a training tape")
+	}
+	sp := m.cfg.Space
+	dynIdx := sp.PadHist(hist, m.cfg.MaxSeqLen)
+	padCount := 0
+	for _, ix := range dynIdx {
+		if ix < 0 {
+			padCount++
+		}
+	}
+	s := &DynState{dynIdx: dynIdx, padCount: padCount}
+	s.linD = t.GatherSum(m.wDynamic, dynIdx).Value.ScalarValue()
+	// Cached matrices are cloned off the tape so the state honours
+	// Tape.Reset's contract (values from earlier passes must be copied
+	// before the tape is reused) — cloning happens once per history, not
+	// per candidate, so the cost is amortised away.
+	eD := m.embD.Gather(t, dynIdx)
+	s.eD = eD.Value.Clone()
+	if !m.cfg.Ablation.NoDynamicView {
+		causal := m.causalMask
+		if m.cfg.MaskPadding {
+			causal = m.causalPad[padCount]
+		}
+		h := m.attnD.Forward(t, eD, causal) // Eq. (9)
+		s.hD = m.ffn.Forward(t, t.MeanRows(h)).Value.Clone()
+	}
+	if !m.cfg.Ablation.NoCrossView {
+		s.qD = t.MatMul(eD, t.Var(m.attnX.WQ)).Value.Clone()
+		s.kD = t.MatMul(eD, t.Var(m.attnX.WK)).Value.Clone()
+		s.vD = t.MatMul(eD, t.Var(m.attnX.WV)).Value.Clone()
+	}
+	return s
+}
+
+// ScoreFast scores inst against the cached dynamic state dyn, recording the
+// candidate-dependent ops on t. inst must carry the same history dyn was
+// built from (only the static fields of inst are read). hS, when non-nil,
+// must be a static-view vector previously returned by ScoreFast for the
+// same static fields (user, target, attrs); pass nil to compute it fresh.
+//
+// It returns the raw score of Eq. (19) — bit-for-bit identical to Score on
+// the full instance — and the static-view vector for the caller to cache
+// (nil under "Remove SV").
+func (m *Model) ScoreFast(t *ag.Tape, dyn *DynState, inst feature.Instance, hS *tensor.Matrix) (float64, *tensor.Matrix) {
+	if t.Training() {
+		panic("core: ScoreFast on a training tape")
+	}
+	sp := m.cfg.Space
+	staticIdx := sp.StaticIndices(inst)
+
+	// Linear component, associated exactly as Score's w0 + (Σw° + Σw·).
+	linear := m.w0.Value.ScalarValue() +
+		(t.GatherSum(m.wStatic, staticIdx).Value.ScalarValue() + dyn.linD)
+
+	// The static embedding rows are needed by the static view (on a cache
+	// miss) and by the cross view; gather them at most once.
+	var eS *ag.Node
+	gatherS := func() *ag.Node {
+		if eS == nil {
+			eS = m.embS.Gather(t, staticIdx)
+		}
+		return eS
+	}
+
+	views := make([]*tensor.Matrix, 0, 3)
+	if !m.cfg.Ablation.NoStaticView {
+		if hS == nil {
+			h := m.attnS.Forward(t, gatherS(), nil) // Eq. (8)
+			// Cloned off the tape so the returned vector stays valid for
+			// the caller's cache after t is Reset.
+			hS = m.ffn.Forward(t, t.MeanRows(h)).Value.Clone()
+		}
+		views = append(views, hS)
+	}
+	if !m.cfg.Ablation.NoDynamicView {
+		views = append(views, dyn.hD)
+	}
+	if !m.cfg.Ablation.NoCrossView {
+		cross := m.crossMask
+		if m.cfg.MaskPadding {
+			cross = m.crossPad[dyn.padCount]
+		}
+		// Cross-view attention (Eq. 12–13) with the dynamic row-blocks of
+		// Q/K/V taken from the cache: only the n° static rows are projected
+		// here. The reassembled matrices equal attnX.Forward's bit for bit
+		// (the matmul kernel is row-independent), and every op from the
+		// score matrix on is the same one Score records.
+		eSn := gatherS()
+		q := t.ConcatRows(t.MatMul(eSn, t.Var(m.attnX.WQ)), t.Constant(dyn.qD))
+		k := t.ConcatRows(t.MatMul(eSn, t.Var(m.attnX.WK)), t.Constant(dyn.kD))
+		v := t.ConcatRows(t.MatMul(eSn, t.Var(m.attnX.WV)), t.Constant(dyn.vD))
+		scores := t.Scale(1/math.Sqrt(float64(m.cfg.Dim)), t.MatMulT(q, k))
+		h := t.MatMul(t.SoftmaxRows(scores, cross), v)
+		views = append(views, m.ffn.Forward(t, t.MeanRows(h)).Value)
+	}
+
+	// View-wise aggregation (Eq. 17) and output layer (Eq. 18): same
+	// element order as Score's ConcatCols + Dot, hence the same bits.
+	hagg := views[0]
+	if len(views) > 1 {
+		hagg = tensor.ConcatCols(views...)
+	}
+	return linear + tensor.Dot(m.proj.Value, hagg), hS
+}

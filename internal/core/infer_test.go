@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/feature"
+)
+
+// scoreRef is the monolithic reference: one fresh inference tape per call.
+func scoreRef(m *Model, inst feature.Instance) float64 {
+	t := ag.NewTape()
+	return m.Score(t, inst).Value.ScalarValue()
+}
+
+// parityConfigs enumerates the model variants whose cached path must match
+// the monolithic Score bit for bit: the full model, every single-component
+// ablation, and the padding-mask extension.
+func parityConfigs() map[string]Config {
+	cfgs := map[string]Config{"default": testConfig()}
+	for name, ab := range map[string]Ablation{
+		"noStatic":   {NoStaticView: true},
+		"noDynamic":  {NoDynamicView: true},
+		"noCross":    {NoCrossView: true},
+		"noResidual": {NoResidual: true},
+		"noLN":       {NoLayerNorm: true},
+	} {
+		c := testConfig()
+		c.Ablation = ab
+		cfgs[name] = c
+	}
+	mp := testConfig()
+	mp.MaskPadding = true
+	cfgs["maskPadding"] = mp
+	return cfgs
+}
+
+func TestScoreFastMatchesScoreBitForBit(t *testing.T) {
+	insts := []feature.Instance{
+		testInstance(),
+		{User: 0, Target: 0, Hist: nil, UserAttr: feature.Pad, TargetAttr: feature.Pad},                        // empty history
+		{User: 5, Target: 8, Hist: []int{0, 1, 2, 3, 4, 5, 6}, UserAttr: feature.Pad, TargetAttr: feature.Pad}, // truncated
+		{User: 3, Target: 2, Hist: []int{8}, UserAttr: feature.Pad, TargetAttr: feature.Pad},                   // padded
+	}
+	for name, cfg := range parityConfigs() {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tape := ag.NewTape()
+		for _, inst := range insts {
+			want := scoreRef(m, inst)
+			tape.Reset()
+			dyn := m.PrecomputeDynamic(tape, inst.Hist)
+
+			// Cold static view on a reused tape.
+			tape.Reset()
+			got, hS := m.ScoreFast(tape, dyn, inst, nil)
+			if got != want {
+				t.Errorf("%s: cold ScoreFast=%v, Score=%v (not bit-identical)", name, got, want)
+			}
+
+			// Warm static view: feed the returned vector back in.
+			tape.Reset()
+			warm, _ := m.ScoreFast(tape, dyn, inst, hS)
+			if warm != want {
+				t.Errorf("%s: warm ScoreFast=%v, Score=%v", name, warm, want)
+			}
+		}
+	}
+}
+
+func TestScoreFastSharedDynAcrossCandidates(t *testing.T) {
+	// One history, many candidates — the top-K serving pattern. The dynamic
+	// state is computed once and must reproduce Score for every candidate.
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testInstance()
+	tape := ag.NewTape()
+	dyn := m.PrecomputeDynamic(tape, base.Hist)
+	for target := 0; target < testSpace().NumObjects; target++ {
+		inst := base
+		inst.Target = target
+		want := scoreRef(m, inst)
+		tape.Reset()
+		got, _ := m.ScoreFast(tape, dyn, inst, nil)
+		if got != want {
+			t.Fatalf("candidate %d: ScoreFast=%v, Score=%v", target, got, want)
+		}
+	}
+}
+
+func TestScoreFastWithAttributes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Space.NumUserAttrs = 3
+	cfg.Space.NumItemAttrs = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := feature.Instance{User: 1, Target: 4, Hist: []int{2, 6}, UserAttr: 2, TargetAttr: 1}
+	want := scoreRef(m, inst)
+	tape := ag.NewTape()
+	dyn := m.PrecomputeDynamic(tape, inst.Hist)
+	tape.Reset()
+	got, _ := m.ScoreFast(tape, dyn, inst, nil)
+	if got != want {
+		t.Fatalf("ScoreFast=%v, Score=%v", got, want)
+	}
+}
+
+func TestPrecomputeDynamicPadCount(t *testing.T) {
+	m, err := New(testConfig()) // MaxSeqLen 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := ag.NewTape()
+	for _, tc := range []struct {
+		hist []int
+		want int
+	}{
+		{nil, 4},
+		{[]int{1}, 3},
+		{[]int{1, 2, 3, 4}, 0},
+		{[]int{1, 2, 3, 4, 5, 6}, 0},
+	} {
+		tape.Reset()
+		if got := m.PrecomputeDynamic(tape, tc.hist).PadCount(); got != tc.want {
+			t.Errorf("hist %v: PadCount=%d, want %d", tc.hist, got, tc.want)
+		}
+	}
+}
+
+func TestInferenceHooksRejectTrainingTape(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := ag.NewTrainingTape(newRand(9))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PrecomputeDynamic accepted a training tape")
+			}
+		}()
+		m.PrecomputeDynamic(tt, []int{1})
+	}()
+	it := ag.NewTape()
+	dyn := m.PrecomputeDynamic(it, []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("ScoreFast accepted a training tape")
+		}
+	}()
+	m.ScoreFast(tt, dyn, testInstance(), nil)
+}

@@ -1,0 +1,82 @@
+package serve
+
+import "sync"
+
+// fifoCache is a bounded concurrent map with first-in-first-out eviction.
+// FIFO (rather than LRU) keeps Get lock-free of writes — a read takes only
+// the shared lock — which matters when every candidate of every top-K
+// request probes the cache. A nil *fifoCache is a valid, always-missing
+// cache, so callers never branch on "caching disabled".
+type fifoCache[K comparable, V any] struct {
+	mu    sync.RWMutex
+	max   int
+	items map[K]V
+	ring  []K // insertion order; ring[head] is the oldest entry once full
+	head  int
+}
+
+// newFifoCache returns a cache holding at most max entries, or nil (the
+// always-missing cache) when max <= 0.
+func newFifoCache[K comparable, V any](max int) *fifoCache[K, V] {
+	if max <= 0 {
+		return nil
+	}
+	return &fifoCache[K, V]{max: max, items: make(map[K]V)}
+}
+
+// get returns the cached value for k, if any.
+func (c *fifoCache[K, V]) get(k K) (V, bool) {
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	c.mu.RLock()
+	v, ok := c.items[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// put inserts k→v, evicting the oldest entry when the cache is full.
+// Re-inserting an existing key replaces its value without touching the
+// eviction order.
+func (c *fifoCache[K, V]) put(k K, v V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[k]; ok {
+		c.items[k] = v
+		return
+	}
+	if len(c.items) >= c.max {
+		delete(c.items, c.ring[c.head])
+		c.ring[c.head] = k
+		c.head = (c.head + 1) % c.max
+	} else {
+		c.ring = append(c.ring, k)
+	}
+	c.items[k] = v
+}
+
+// len returns the number of cached entries.
+func (c *fifoCache[K, V]) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.items)
+}
+
+// clear drops every entry, keeping the configured capacity.
+func (c *fifoCache[K, V]) clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[K]V)
+	c.ring = c.ring[:0]
+	c.head = 0
+}

@@ -1,0 +1,481 @@
+// Package serve is the batched inference engine: the serving-side
+// counterpart of internal/train. Where training runs one tape per example
+// and throws it away, the engine keeps a pool of pre-sized tapes that are
+// Reset between forward passes, shares the candidate-independent dynamic
+// view of SeqFM across every candidate scored against the same history, and
+// memoises static-view vectors per (user, candidate, attrs) so repeated
+// top-K traffic only pays for the cross view — the deployment shape of
+// sequence-aware recommenders, where a model scores a few hundred candidate
+// objects per request under a latency budget.
+//
+// The engine is model-agnostic: any Scorer (SeqFM or the baseline zoo) gets
+// tape reuse and the worker pool; a FastScorer (SeqFM) additionally gets the
+// dynamic-state and static-view caches. All scoring paths are bit-for-bit
+// identical to a per-instance Score on a fresh tape — the caches only
+// memoise values the monolithic pass would recompute, never approximate
+// them.
+//
+// Concurrency model: an Engine is safe for concurrent use. Batches fan out
+// over train.ParallelEach workers, each with its own tape; the caches are
+// guarded internally. The model's weights must be frozen while an Engine
+// serves them — call InvalidateCaches after any parameter update.
+package serve
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+	"seqfm/internal/tensor"
+	"seqfm/internal/train"
+)
+
+// Scorer is the minimal model contract the engine serves: one raw score per
+// instance, recorded on a caller-provided tape. Every model in this
+// repository (SeqFM and the eleven baselines) satisfies it.
+type Scorer interface {
+	Score(t *ag.Tape, inst feature.Instance) *ag.Node
+}
+
+// FastScorer is the cached serving contract implemented by *core.Model: the
+// forward pass split into a candidate-independent dynamic state and a
+// candidate-dependent remainder, with an externally cacheable static view.
+type FastScorer interface {
+	Scorer
+	PrecomputeDynamic(t *ag.Tape, hist []int) *core.DynState
+	ScoreFast(t *ag.Tape, dyn *core.DynState, inst feature.Instance, hS *tensor.Matrix) (float64, *tensor.Matrix)
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultStaticCacheSize = 1 << 16
+	DefaultDynCacheSize    = 4096
+	DefaultBatchSize       = 64
+)
+
+// DefaultMaxDelay bounds how long a single Score request waits for batch
+// companions before the accumulator flushes.
+const DefaultMaxDelay = 2 * time.Millisecond
+
+// Config parameterises an Engine. The zero value takes every default.
+type Config struct {
+	// Workers is the number of scoring goroutines a batch fans out over;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// StaticCacheSize bounds the static-view memo (entries keyed by user,
+	// candidate and attrs). 0 means DefaultStaticCacheSize; negative
+	// disables the cache.
+	StaticCacheSize int
+	// DynCacheSize bounds the dynamic-state memo (entries keyed by
+	// history). 0 means DefaultDynCacheSize; negative disables the cache.
+	DynCacheSize int
+	// BatchSize is the accumulator flush threshold for single-instance
+	// Score requests. 0 means DefaultBatchSize; 1 disables accumulation
+	// (every Score runs immediately).
+	BatchSize int
+	// MaxDelay is the accumulator flush deadline; 0 means DefaultMaxDelay.
+	MaxDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.StaticCacheSize == 0 {
+		c.StaticCacheSize = DefaultStaticCacheSize
+	}
+	if c.DynCacheSize == 0 {
+		c.DynCacheSize = DefaultDynCacheSize
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = DefaultMaxDelay
+	}
+	return c
+}
+
+// staticKey identifies a static-view vector: StaticIndices is a pure
+// function of exactly these four instance fields.
+type staticKey struct {
+	user, target, userAttr, targetAttr int
+}
+
+// Stats is a snapshot of the engine's served-traffic counters.
+type Stats struct {
+	// Instances is the total number of instances scored.
+	Instances int64
+	// Flushes is how many accumulated micro-batches the Score path ran.
+	Flushes int64
+	// StaticHits/StaticMisses count static-view cache probes.
+	StaticHits, StaticMisses int64
+	// DynHits/DynMisses count dynamic-state cache probes (one per distinct
+	// history per batch).
+	DynHits, DynMisses int64
+	// StaticEntries/DynEntries are the current cache populations.
+	StaticEntries, DynEntries int
+}
+
+// Engine scores instances against a frozen model with pooled tapes, cached
+// partial forwards and data-parallel fan-out. Create one with NewEngine and
+// share it between goroutines; Close releases the accumulator timer.
+type Engine struct {
+	model Scorer
+	fast  FastScorer // nil when model is not a FastScorer
+	cfg   Config
+
+	tapes    sync.Pool
+	tapeHint atomic.Int64 // max NumNodes seen; pre-sizes fresh tapes
+
+	statics *fifoCache[staticKey, *tensor.Matrix]
+	dyns    *fifoCache[string, *core.DynState]
+
+	mu      sync.Mutex
+	pending []pendingScore
+	timer   *time.Timer
+	closed  bool
+
+	instances    atomic.Int64
+	flushes      atomic.Int64
+	staticHits   atomic.Int64
+	staticMisses atomic.Int64
+	dynHits      atomic.Int64
+	dynMisses    atomic.Int64
+}
+
+type pendingScore struct {
+	inst feature.Instance
+	ch   chan float64
+}
+
+// NewEngine builds an engine serving m. If m implements FastScorer (SeqFM
+// does), the cached dynamic/static path is used; otherwise the engine still
+// provides tape reuse and parallel fan-out.
+func NewEngine(m Scorer, cfg Config) *Engine {
+	e := &Engine{model: m, cfg: cfg.withDefaults()}
+	if f, ok := m.(FastScorer); ok {
+		e.fast = f
+	}
+	e.statics = newFifoCache[staticKey, *tensor.Matrix](e.cfg.StaticCacheSize)
+	e.dyns = newFifoCache[string, *core.DynState](e.cfg.DynCacheSize)
+	return e
+}
+
+// getTape takes a pooled tape (pre-sized to the largest pass seen so far).
+func (e *Engine) getTape() *ag.Tape {
+	if t, ok := e.tapes.Get().(*ag.Tape); ok {
+		return t
+	}
+	t := ag.NewTape()
+	if hint := e.tapeHint.Load(); hint > 0 {
+		t.Grow(int(hint))
+	}
+	return t
+}
+
+// putTape records the pass size and returns the tape to the pool, reset so
+// no matrices stay pinned while it idles.
+func (e *Engine) putTape(t *ag.Tape) {
+	if n := int64(t.NumNodes()); n > e.tapeHint.Load() {
+		e.tapeHint.Store(n)
+	}
+	t.Reset()
+	e.tapes.Put(t)
+}
+
+// eachWithTape fans f over n jobs across the engine's workers, handing each
+// worker goroutine one pooled tape. f must Reset the tape before recording.
+func (e *Engine) eachWithTape(n int, f func(t *ag.Tape, i int)) {
+	if n == 0 {
+		return
+	}
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	tapes := make([]*ag.Tape, workers)
+	for w := range tapes {
+		tapes[w] = e.getTape()
+	}
+	train.ParallelEach(n, workers, func(w, i int) { f(tapes[w], i) })
+	for _, t := range tapes {
+		e.putTape(t)
+	}
+}
+
+// histKey encodes a history as a collision-free cache key (a concatenation
+// of varints decodes to exactly one int sequence).
+func histKey(hist []int) string {
+	b := make([]byte, 0, 2*len(hist))
+	for _, h := range hist {
+		b = binary.AppendVarint(b, int64(h))
+	}
+	return string(b)
+}
+
+// histID identifies a history slice by backing-array identity — the cheap
+// first-level dedup for the common top-K shape where every instance in the
+// batch aliases one Base.Hist. Distinct slices with equal contents still
+// collapse at the second level via histKey.
+type histID struct {
+	ptr *int
+	n   int
+}
+
+func idOf(hist []int) histID {
+	if len(hist) == 0 {
+		return histID{}
+	}
+	return histID{ptr: &hist[0], n: len(hist)}
+}
+
+// dynStates resolves one DynState per instance, deduplicating equal
+// histories within the batch (first by slice identity, then by content),
+// probing the engine-wide cache, and computing the misses in parallel.
+func (e *Engine) dynStates(insts []feature.Instance) []*core.DynState {
+	type slot struct {
+		key   string
+		hist  []int
+		state *core.DynState
+	}
+	slots := make([]int, len(insts)) // instance → index into distinct
+	byID := make(map[histID]int)
+	index := make(map[string]int)
+	var distinct []*slot
+	for i, inst := range insts {
+		id := idOf(inst.Hist)
+		if si, ok := byID[id]; ok {
+			slots[i] = si
+			continue
+		}
+		k := histKey(inst.Hist)
+		si, ok := index[k]
+		if !ok {
+			si = len(distinct)
+			index[k] = si
+			distinct = append(distinct, &slot{key: k, hist: inst.Hist})
+		}
+		byID[id] = si
+		slots[i] = si
+	}
+	var missing []*slot
+	for _, s := range distinct {
+		if st, ok := e.dyns.get(s.key); ok {
+			s.state = st
+			e.dynHits.Add(1)
+		} else {
+			missing = append(missing, s)
+			e.dynMisses.Add(1)
+		}
+	}
+	e.eachWithTape(len(missing), func(t *ag.Tape, i int) {
+		t.Reset()
+		missing[i].state = e.fast.PrecomputeDynamic(t, missing[i].hist)
+	})
+	for _, s := range missing {
+		e.dyns.put(s.key, s.state)
+	}
+	out := make([]*core.DynState, len(insts))
+	for i := range insts {
+		out[i] = distinct[slots[i]].state
+	}
+	return out
+}
+
+// scoreFastCached runs the candidate-dependent part of one forward pass,
+// consulting and feeding the static-view cache.
+func (e *Engine) scoreFastCached(t *ag.Tape, dyn *core.DynState, inst feature.Instance) float64 {
+	key := staticKey{inst.User, inst.Target, inst.UserAttr, inst.TargetAttr}
+	hS, ok := e.statics.get(key)
+	if ok {
+		e.staticHits.Add(1)
+	} else {
+		e.staticMisses.Add(1)
+	}
+	score, hSout := e.fast.ScoreFast(t, dyn, inst, hS)
+	if !ok && hSout != nil {
+		e.statics.put(key, hSout)
+	}
+	return score
+}
+
+// ScoreBatch scores every instance and returns the raw outputs of Eq. (19),
+// in order. Results are bit-for-bit identical to calling Score on each
+// instance with a fresh tape. Equal histories within the batch share one
+// dynamic-state computation; across batches the engine's caches amortise
+// repeated users and candidates.
+func (e *Engine) ScoreBatch(insts []feature.Instance) []float64 {
+	out := make([]float64, len(insts))
+	if len(insts) == 0 {
+		return out
+	}
+	e.instances.Add(int64(len(insts)))
+	if e.fast == nil {
+		e.eachWithTape(len(insts), func(t *ag.Tape, i int) {
+			t.Reset()
+			out[i] = e.model.Score(t, insts[i]).Value.ScalarValue()
+		})
+		return out
+	}
+	dyns := e.dynStates(insts)
+	e.eachWithTape(len(insts), func(t *ag.Tape, i int) {
+		t.Reset()
+		out[i] = e.scoreFastCached(t, dyns[i], insts[i])
+	})
+	return out
+}
+
+// Item is one scored candidate, as returned by TopK.
+type Item struct {
+	Object int
+	Score  float64
+}
+
+// TopKRequest asks for the K highest-scoring candidate objects for one user
+// context.
+type TopKRequest struct {
+	// Base carries the user, history and static side features; its Target
+	// (and, when AttrOf is set, TargetAttr) is overridden per candidate.
+	Base feature.Instance
+	// Candidates are the object ids to rank.
+	Candidates []int
+	// K bounds the returned list; K <= 0 returns every candidate, ranked.
+	K int
+	// AttrOf maps a candidate object to its TargetAttr one-hot (e.g. a
+	// data.Dataset's ItemAttr table). nil keeps Base.TargetAttr as-is.
+	AttrOf func(object int) int
+}
+
+// TopK scores every candidate against the request's user context and
+// returns the K best, sorted by descending score (ties broken by ascending
+// object id, so results are deterministic).
+func (e *Engine) TopK(req TopKRequest) []Item {
+	insts := make([]feature.Instance, len(req.Candidates))
+	for i, o := range req.Candidates {
+		inst := req.Base
+		inst.Target = o
+		if req.AttrOf != nil {
+			inst.TargetAttr = req.AttrOf(o)
+		}
+		insts[i] = inst
+	}
+	scores := e.ScoreBatch(insts)
+	items := make([]Item, len(scores))
+	for i, s := range scores {
+		items[i] = Item{Object: req.Candidates[i], Score: s}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Score != items[j].Score {
+			return items[i].Score > items[j].Score
+		}
+		return items[i].Object < items[j].Object
+	})
+	if req.K > 0 && req.K < len(items) {
+		items = items[:req.K]
+	}
+	return items
+}
+
+// Score scores one instance. Unless accumulation is disabled (BatchSize 1),
+// the request parks in the engine's batch accumulator until BatchSize
+// companions arrive or MaxDelay elapses, then the whole micro-batch is
+// scored in one parallel pass — the classic dynamic-batching trade of a
+// bounded latency hit for throughput under concurrent load.
+func (e *Engine) Score(inst feature.Instance) float64 {
+	if e.cfg.BatchSize <= 1 {
+		return e.ScoreBatch([]feature.Instance{inst})[0]
+	}
+	ch := make(chan float64, 1)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return e.ScoreBatch([]feature.Instance{inst})[0]
+	}
+	e.pending = append(e.pending, pendingScore{inst: inst, ch: ch})
+	if len(e.pending) >= e.cfg.BatchSize {
+		batch := e.takePendingLocked()
+		e.mu.Unlock()
+		e.runPending(batch)
+	} else {
+		if len(e.pending) == 1 {
+			e.timer = time.AfterFunc(e.cfg.MaxDelay, e.flushPending)
+		}
+		e.mu.Unlock()
+	}
+	return <-ch
+}
+
+// takePendingLocked detaches the accumulated batch; e.mu must be held.
+func (e *Engine) takePendingLocked() []pendingScore {
+	batch := e.pending
+	e.pending = nil
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+	return batch
+}
+
+// flushPending is the accumulator's deadline path.
+func (e *Engine) flushPending() {
+	e.mu.Lock()
+	batch := e.takePendingLocked()
+	e.mu.Unlock()
+	e.runPending(batch)
+}
+
+// runPending scores an accumulated micro-batch and delivers the results.
+func (e *Engine) runPending(batch []pendingScore) {
+	if len(batch) == 0 {
+		return
+	}
+	e.flushes.Add(1)
+	insts := make([]feature.Instance, len(batch))
+	for i, p := range batch {
+		insts[i] = p.inst
+	}
+	scores := e.ScoreBatch(insts)
+	for i, p := range batch {
+		p.ch <- scores[i]
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Instances:     e.instances.Load(),
+		Flushes:       e.flushes.Load(),
+		StaticHits:    e.staticHits.Load(),
+		StaticMisses:  e.staticMisses.Load(),
+		DynHits:       e.dynHits.Load(),
+		DynMisses:     e.dynMisses.Load(),
+		StaticEntries: e.statics.len(),
+		DynEntries:    e.dyns.len(),
+	}
+}
+
+// InvalidateCaches drops every memoised partial forward. Call it after any
+// update to the served model's parameters; the engine never detects weight
+// changes on its own.
+func (e *Engine) InvalidateCaches() {
+	e.statics.clear()
+	e.dyns.clear()
+}
+
+// Close flushes any accumulated Score requests and stops the deadline
+// timer. The engine remains usable afterwards — subsequent Score calls
+// bypass the accumulator.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	batch := e.takePendingLocked()
+	e.mu.Unlock()
+	e.runPending(batch)
+}

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+)
+
+func testModel(t testing.TB) *core.Model {
+	t.Helper()
+	cfg := core.Config{
+		Space:     feature.Space{NumUsers: 12, NumObjects: 30},
+		Dim:       8,
+		Layers:    1,
+		MaxSeqLen: 6,
+		KeepProb:  1,
+		Seed:      5,
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// refScore is the ground truth: a fresh inference tape per instance.
+func refScore(m Scorer, inst feature.Instance) float64 {
+	return m.Score(ag.NewTape(), inst).Value.ScalarValue()
+}
+
+func testInstances(n int, seed int64) []feature.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	insts := make([]feature.Instance, n)
+	for i := range insts {
+		hist := make([]int, rng.Intn(9))
+		for j := range hist {
+			hist[j] = rng.Intn(30)
+		}
+		insts[i] = feature.Instance{
+			User:       rng.Intn(12),
+			Target:     rng.Intn(30),
+			Hist:       hist,
+			UserAttr:   feature.Pad,
+			TargetAttr: feature.Pad,
+		}
+	}
+	return insts
+}
+
+func TestScoreBatchMatchesScoreBitForBit(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{Workers: 3})
+	defer e.Close()
+	insts := testInstances(64, 1)
+	// Run twice: the second pass is served from warm caches and must not
+	// drift by a single bit.
+	for pass := 0; pass < 2; pass++ {
+		got := e.ScoreBatch(insts)
+		for i, inst := range insts {
+			if want := refScore(m, inst); got[i] != want {
+				t.Fatalf("pass %d inst %d: ScoreBatch=%v, Score=%v", pass, i, got[i], want)
+			}
+		}
+	}
+	if s := e.Stats(); s.StaticHits == 0 || s.DynHits == 0 {
+		t.Errorf("warm pass produced no cache hits: %+v", s)
+	}
+}
+
+// plainScorer hides core.Model's FastScorer methods so the engine exercises
+// its generic (cache-less) path — the one every baseline model takes.
+type plainScorer struct{ m *core.Model }
+
+func (p plainScorer) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	return p.m.Score(t, inst)
+}
+
+func TestScoreBatchGenericScorerPath(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(plainScorer{m}, Config{Workers: 2})
+	defer e.Close()
+	insts := testInstances(16, 2)
+	got := e.ScoreBatch(insts)
+	for i, inst := range insts {
+		if want := refScore(m, inst); got[i] != want {
+			t.Fatalf("inst %d: generic ScoreBatch=%v, Score=%v", i, got[i], want)
+		}
+	}
+	if s := e.Stats(); s.DynMisses != 0 || s.StaticMisses != 0 {
+		t.Errorf("generic path touched the fast caches: %+v", s)
+	}
+}
+
+func TestTopKOrderingAndTruncation(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{})
+	defer e.Close()
+	base := feature.Instance{User: 3, Hist: []int{1, 2, 3}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	candidates := make([]int, 30)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	all := e.TopK(TopKRequest{Base: base, Candidates: candidates})
+	if len(all) != len(candidates) {
+		t.Fatalf("K<=0 returned %d items, want %d", len(all), len(candidates))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Score < all[i].Score {
+			t.Fatalf("items out of order at %d: %v then %v", i, all[i-1], all[i])
+		}
+	}
+	top5 := e.TopK(TopKRequest{Base: base, Candidates: candidates, K: 5})
+	if len(top5) != 5 {
+		t.Fatalf("K=5 returned %d items", len(top5))
+	}
+	for i, it := range top5 {
+		if it != all[i] {
+			t.Fatalf("top5[%d]=%v, want %v", i, it, all[i])
+		}
+	}
+	// Every score must match the per-instance reference.
+	for _, it := range all {
+		inst := base
+		inst.Target = it.Object
+		if want := refScore(m, inst); it.Score != want {
+			t.Fatalf("object %d: TopK score=%v, Score=%v", it.Object, it.Score, want)
+		}
+	}
+}
+
+func TestTopKAttrOf(t *testing.T) {
+	cfg := core.Config{
+		Space:     feature.Space{NumUsers: 4, NumObjects: 10, NumItemAttrs: 3},
+		Dim:       6,
+		Layers:    1,
+		MaxSeqLen: 4,
+		KeepProb:  1,
+		Seed:      6,
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := func(o int) int { return o % 3 }
+	e := NewEngine(m, Config{})
+	defer e.Close()
+	base := feature.Instance{User: 1, Hist: []int{4, 5}, UserAttr: feature.Pad}
+	items := e.TopK(TopKRequest{Base: base, Candidates: []int{0, 1, 2, 7}, AttrOf: attr})
+	for _, it := range items {
+		inst := base
+		inst.Target = it.Object
+		inst.TargetAttr = attr(it.Object)
+		if want := refScore(m, inst); it.Score != want {
+			t.Fatalf("object %d: score=%v, want %v (AttrOf ignored?)", it.Object, it.Score, want)
+		}
+	}
+}
+
+func TestScoreAccumulatorBatchesConcurrentRequests(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{BatchSize: 8, MaxDelay: 50 * time.Millisecond})
+	defer e.Close()
+	insts := testInstances(32, 3)
+	got := make([]float64, len(insts))
+	var wg sync.WaitGroup
+	for i := range insts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = e.Score(insts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, inst := range insts {
+		if want := refScore(m, inst); got[i] != want {
+			t.Fatalf("inst %d: accumulated Score=%v, want %v", i, got[i], want)
+		}
+	}
+	s := e.Stats()
+	if s.Flushes == 0 {
+		t.Error("no accumulator flushes recorded")
+	}
+	if s.Flushes >= int64(len(insts)) {
+		t.Errorf("accumulator never batched: %d flushes for %d requests", s.Flushes, len(insts))
+	}
+}
+
+func TestScoreDeadlineFlush(t *testing.T) {
+	m := testModel(t)
+	// BatchSize far above the request count: only the MaxDelay timer can
+	// release the single request.
+	e := NewEngine(m, Config{BatchSize: 1024, MaxDelay: 5 * time.Millisecond})
+	defer e.Close()
+	inst := testInstances(1, 4)[0]
+	done := make(chan float64, 1)
+	go func() { done <- e.Score(inst) }()
+	select {
+	case got := <-done:
+		if want := refScore(m, inst); got != want {
+			t.Fatalf("Score=%v, want %v", got, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline flush never fired")
+	}
+}
+
+func TestScoreUnbatchedMode(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{BatchSize: 1})
+	defer e.Close()
+	inst := testInstances(1, 5)[0]
+	if got, want := e.Score(inst), refScore(m, inst); got != want {
+		t.Fatalf("unbatched Score=%v, want %v", got, want)
+	}
+	if s := e.Stats(); s.Flushes != 0 {
+		t.Errorf("unbatched mode used the accumulator: %+v", s)
+	}
+}
+
+func TestConcurrentMixedTraffic(t *testing.T) {
+	// Race-detector workout: batches, top-K and singles in flight at once,
+	// all hitting the shared caches and tape pool.
+	m := testModel(t)
+	e := NewEngine(m, Config{Workers: 4, BatchSize: 4, MaxDelay: time.Millisecond})
+	defer e.Close()
+	insts := testInstances(24, 6)
+	want := make([]float64, len(insts))
+	for i, inst := range insts {
+		want[i] = refScore(m, inst)
+	}
+	candidates := []int{0, 3, 7, 11, 19}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				switch (g + r) % 3 {
+				case 0:
+					got := e.ScoreBatch(insts)
+					for i := range insts {
+						if got[i] != want[i] {
+							t.Errorf("batch inst %d: %v != %v", i, got[i], want[i])
+							return
+						}
+					}
+				case 1:
+					base := insts[(g+r)%len(insts)]
+					e.TopK(TopKRequest{Base: base, Candidates: candidates, K: 3})
+				default:
+					i := (g * 5) % len(insts)
+					if got := e.Score(insts[i]); got != want[i] {
+						t.Errorf("single inst %d: %v != %v", i, got, want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestInvalidateCachesAfterWeightUpdate(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{})
+	defer e.Close()
+	insts := testInstances(8, 7)
+	e.ScoreBatch(insts)
+	if s := e.Stats(); s.StaticEntries == 0 || s.DynEntries == 0 {
+		t.Fatalf("caches empty after a batch: %+v", s)
+	}
+	// Perturb a weight: cached vectors are now stale.
+	m.Params()[0].Value.Data[0] += 0.5
+	e.InvalidateCaches()
+	if s := e.Stats(); s.StaticEntries != 0 || s.DynEntries != 0 {
+		t.Fatalf("InvalidateCaches left entries: %+v", s)
+	}
+	got := e.ScoreBatch(insts)
+	for i, inst := range insts {
+		if want := refScore(m, inst); got[i] != want {
+			t.Fatalf("inst %d after invalidate: %v != %v", i, got[i], want)
+		}
+	}
+}
+
+func TestCachesDisabled(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{StaticCacheSize: -1, DynCacheSize: -1})
+	defer e.Close()
+	insts := testInstances(8, 8)
+	for pass := 0; pass < 2; pass++ {
+		got := e.ScoreBatch(insts)
+		for i, inst := range insts {
+			if want := refScore(m, inst); got[i] != want {
+				t.Fatalf("pass %d inst %d: %v != %v", pass, i, got[i], want)
+			}
+		}
+	}
+	if s := e.Stats(); s.StaticEntries != 0 || s.DynEntries != 0 || s.StaticHits != 0 {
+		t.Errorf("disabled caches stored entries: %+v", s)
+	}
+}
+
+func TestCloseFlushesAndStaysUsable(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{BatchSize: 1024, MaxDelay: time.Hour})
+	inst := testInstances(1, 9)[0]
+	done := make(chan float64, 1)
+	go func() { done <- e.Score(inst) }()
+	// Wait until the request is parked in the accumulator.
+	for i := 0; ; i++ {
+		e.mu.Lock()
+		n := len(e.pending)
+		e.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("request never reached the accumulator")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Close()
+	if got, want := <-done, refScore(m, inst); got != want {
+		t.Fatalf("flushed-on-close Score=%v, want %v", got, want)
+	}
+	// Post-Close traffic bypasses the accumulator but still works.
+	if got, want := e.Score(inst), refScore(m, inst); got != want {
+		t.Fatalf("post-Close Score=%v, want %v", got, want)
+	}
+}
+
+func TestFifoCacheEviction(t *testing.T) {
+	c := newFifoCache[int, int](2)
+	c.put(1, 10)
+	c.put(2, 20)
+	c.put(3, 30) // evicts 1
+	if _, ok := c.get(1); ok {
+		t.Error("oldest entry not evicted")
+	}
+	if v, ok := c.get(2); !ok || v != 20 {
+		t.Error("entry 2 lost")
+	}
+	if v, ok := c.get(3); !ok || v != 30 {
+		t.Error("entry 3 missing")
+	}
+	c.put(4, 40) // evicts 2
+	if _, ok := c.get(2); ok {
+		t.Error("entry 2 should be evicted second")
+	}
+	if c.len() != 2 {
+		t.Errorf("len=%d, want 2", c.len())
+	}
+	c.clear()
+	if c.len() != 0 {
+		t.Error("clear left entries")
+	}
+	// Refill after clear to check the ring reset.
+	c.put(5, 50)
+	c.put(6, 60)
+	c.put(7, 70)
+	if _, ok := c.get(5); ok {
+		t.Error("post-clear eviction broken")
+	}
+}
+
+func TestFifoCacheNilIsMissing(t *testing.T) {
+	var c *fifoCache[int, int]
+	if _, ok := c.get(1); ok {
+		t.Error("nil cache returned a hit")
+	}
+	c.put(1, 1) // must not panic
+	if c.len() != 0 {
+		t.Error("nil cache has entries")
+	}
+	c.clear() // must not panic
+}
+
+func TestHistKeyUnambiguous(t *testing.T) {
+	keys := map[string][]int{}
+	for _, h := range [][]int{
+		{}, {0}, {1}, {0, 0}, {1, 2}, {12}, {1, 2, 3}, {-1}, {128}, {16384},
+	} {
+		k := histKey(h)
+		if prev, ok := keys[k]; ok {
+			t.Fatalf("collision: %v and %v share key %q", prev, h, k)
+		}
+		keys[k] = h
+	}
+}

@@ -62,15 +62,23 @@ func score(m Model, inst feature.Instance) float64 {
 	return m.Score(t, inst).Value.ScalarValue()
 }
 
-// parallelEach fans f over n indexed jobs.
-func parallelEach(n, workers int, f func(i int)) {
+// ParallelEach fans f over n indexed jobs across the given number of worker
+// goroutines: worker w handles indices w, w+workers, w+2·workers, … — the
+// strided data-parallel pattern shared by training, evaluation and the
+// serving engine (internal/serve). f receives the worker id alongside the
+// job index so callers can keep per-worker state (tapes, samplers) without
+// locking.
+func ParallelEach(n, workers int, f func(w, i int)) {
+	if workers < 1 {
+		workers = 1
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
-				f(i)
+				f(w, i)
 			}
 		}(w)
 	}
@@ -89,8 +97,7 @@ func EvalRanking(m Model, split *data.Split, cfg EvalConfig) RankingResult {
 		samplers[i] = data.NewNegativeSampler(split.Dataset(),
 			rand.New(rand.NewSource(cfg.Seed+int64(31*(i+1)))))
 	}
-	parallelEach(len(insts), cfg.Workers, func(i int) {
-		w := i % cfg.Workers
+	ParallelEach(len(insts), cfg.Workers, func(w, i int) {
 		inst := insts[i]
 		pos := score(m, inst)
 		negScores := make([]float64, cfg.J)
@@ -128,8 +135,7 @@ func EvalClassification(m Model, split *data.Split, cfg EvalConfig) Classificati
 		samplers[i] = data.NewNegativeSampler(split.Dataset(),
 			rand.New(rand.NewSource(cfg.Seed+int64(37*(i+1)))))
 	}
-	parallelEach(len(insts), cfg.Workers, func(i int) {
-		w := i % cfg.Workers
+	ParallelEach(len(insts), cfg.Workers, func(w, i int) {
 		inst := insts[i]
 		neg := split.Dataset().WithTargetObject(inst, samplers[w].Sample(inst.User))
 		probs[2*i] = sigmoid(score(m, inst))
@@ -156,7 +162,7 @@ func EvalRegression(m Model, split *data.Split, cfg EvalConfig) RegressionResult
 	insts := cfg.instances(split)
 	pred := make([]float64, len(insts))
 	truth := make([]float64, len(insts))
-	parallelEach(len(insts), cfg.Workers, func(i int) {
+	ParallelEach(len(insts), cfg.Workers, func(_, i int) {
 		pred[i] = score(m, insts[i])
 		truth[i] = insts[i].Label
 	})
