@@ -378,3 +378,111 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// --- training-path benchmarks -------------------------------------------
+//
+// The training scenario behind the paper's Figure 4 efficiency claim: one
+// BPR epoch draws 1+N candidates per positive, and the candidate-independent
+// dynamic subgraph (dynamic view, dynamic linear/embedding halves, dynamic
+// Q/K/V row-blocks of the cross view) is identical across those candidates.
+// The pre-refactor engine (train.LegacyRanking: fresh tape per instance, one
+// full Score per candidate, per-instance mutex flush) pays for it 1+N times;
+// the sharded engine (train.Ranking) records it once per instance and
+// backpropagates through it once, with per-worker tapes and gradient shards.
+// Compare:
+//
+//	go test -bench='BenchmarkTrain' -benchmem
+//
+// The acceptance bar is ≥2× over the legacy path for a ranking epoch at
+// Negatives=5 on one core; EXPERIMENTS.md records reference numbers and
+// seqfm-bench -mode train emits the machine-readable BENCH_train.json.
+
+// benchTrainSetup builds the standard training-benchmark workload — a small
+// synthetic check-in dataset and a SeqFM at the paper's default
+// configuration {d=64, l=1, n.=20} — shared with seqfm-bench -mode train via
+// train.BenchWorkload so BENCH_train.json stays comparable to these numbers.
+func benchTrainSetup(b *testing.B) (*core.Model, *seqfm.Split) {
+	b.Helper()
+	m, split, err := train.BenchWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, split
+}
+
+func benchTrainConfig(negatives, workers int) seqfm.TrainConfig {
+	return train.BenchConfig(negatives, workers)
+}
+
+// BenchmarkTrainRankingLegacy is the pre-refactor reference: per-candidate
+// monolithic forwards, fresh per-instance tapes, mutex gradient flushes.
+func BenchmarkTrainRankingLegacy(b *testing.B) {
+	for _, n := range []int{1, 5, 10} {
+		b.Run(benchName("neg", n), func(b *testing.B) {
+			m, split := benchTrainSetup(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := train.LegacyRanking(m, split, benchTrainConfig(n, 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainRankingEngine is the sharded candidate-sharing engine on one
+// core — the apples-to-apples comparison against the legacy path.
+func BenchmarkTrainRankingEngine(b *testing.B) {
+	for _, n := range []int{1, 5, 10} {
+		b.Run(benchName("neg", n), func(b *testing.B) {
+			m, split := benchTrainSetup(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := train.Ranking(m, split, benchTrainConfig(n, 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainRankingEngineParallel adds worker fan-out on top of
+// candidate sharing — the full training engine at GOMAXPROCS.
+func BenchmarkTrainRankingEngineParallel(b *testing.B) {
+	m, split := benchTrainSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := train.Ranking(m, split, benchTrainConfig(5, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainClassificationEngine covers the log-loss task (same
+// candidate-sharing structure as ranking).
+func BenchmarkTrainClassificationEngine(b *testing.B) {
+	m, split := benchTrainSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := train.Classification(m, split, benchTrainConfig(5, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainRegressionEngine covers the squared-loss task (one candidate
+// per instance: measures tape reuse and sharding alone).
+func BenchmarkTrainRegressionEngine(b *testing.B) {
+	m, split := benchTrainSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := train.Regression(m, split, benchTrainConfig(0, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

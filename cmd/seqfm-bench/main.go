@@ -1,37 +1,72 @@
 // Command seqfm-bench regenerates the paper's evaluation tables and figures
-// on the synthetic stand-in datasets.
+// on the synthetic stand-in datasets, and benchmarks the training engine.
 //
 // Usage:
 //
 //	seqfm-bench -exp table2 -scale small
 //	seqfm-bench -exp all   -scale tiny
+//	seqfm-bench -mode train -out BENCH_train.json
 //
-// Experiments: table1 (dataset statistics), table2 (ranking), table3
-// (classification), table4 (regression), table5 (ablations), figure3
-// (hyperparameter sensitivity), figure4 (scalability), all.
-//
-// Scales: tiny (seconds), small (minutes, default), medium, full (paper
+// In the default -mode paper, experiments are: table1 (dataset statistics),
+// table2 (ranking), table3 (classification), table4 (regression), table5
+// (ablations), figure3 (hyperparameter sensitivity), figure4 (scalability),
+// all. Scales: tiny (seconds), small (minutes, default), medium, full (paper
 // sizes; hours of CPU).
+//
+// -mode train benchmarks one training epoch per task — the legacy
+// per-candidate engine against the candidate-sharing sharded engine at
+// Negatives ∈ {1, 5, 10}, plus classification and regression — and writes
+// the ns/op and allocs/op per task to a JSON file (default BENCH_train.json)
+// so successive PRs leave a comparable perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"seqfm/internal/data"
 	"seqfm/internal/experiments"
+	"seqfm/internal/train"
 )
 
 func main() {
 	var (
+		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train (training-engine benchmarks)")
 		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|figure3|figure4|all")
 		scale   = flag.String("scale", "small", "scale: tiny|small|medium|full")
 		seed    = flag.Int64("seed", 7, "master random seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		out     = flag.String("out", "BENCH_train.json", "output path for -mode train results")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "train":
+		// The training benchmark measures a fixed workload (see
+		// train.BenchWorkload/BenchConfig) so successive BENCH_train.json
+		// files stay diffable; tell the user if they tried to vary it.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" || f.Name == "workers" || f.Name == "scale" || f.Name == "exp" {
+				fmt.Fprintf(os.Stderr,
+					"seqfm-bench: -%s is ignored in -mode train (fixed benchmark workload: seed 17, 1 worker)\n", f.Name)
+			}
+		})
+		if err := runTrainBench(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "seqfm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "paper":
+	default:
+		fmt.Fprintf(os.Stderr, "seqfm-bench: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
 
 	p := experiments.ParamsFor(experiments.Scale(*scale))
 	p.Seed = *seed
@@ -42,25 +77,25 @@ func main() {
 		runs = []string{"table1", "table2", "table3", "table4", "table5", "figure3", "figure4"}
 	}
 
-	out := os.Stdout
+	outW := os.Stdout
 	for _, r := range runs {
 		start := time.Now()
 		var err error
 		switch strings.TrimSpace(r) {
 		case "table1":
-			_, err = experiments.Table1(out, p)
+			_, err = experiments.Table1(outW, p)
 		case "table2":
-			_, err = experiments.Table2(out, p)
+			_, err = experiments.Table2(outW, p)
 		case "table3":
-			_, err = experiments.Table3(out, p)
+			_, err = experiments.Table3(outW, p)
 		case "table4":
-			_, err = experiments.Table4(out, p)
+			_, err = experiments.Table4(outW, p)
 		case "table5":
-			_, err = experiments.Table5(out, p)
+			_, err = experiments.Table5(outW, p)
 		case "figure3":
-			_, err = experiments.Figure3(out, p, experiments.Figure3Values{})
+			_, err = experiments.Figure3(outW, p, experiments.Figure3Values{})
 		case "figure4":
-			_, err = experiments.Figure4(out, p)
+			_, err = experiments.Figure4(outW, p)
 		default:
 			err = fmt.Errorf("unknown experiment %q", r)
 		}
@@ -68,6 +103,122 @@ func main() {
 			fmt.Fprintf(os.Stderr, "seqfm-bench: %s: %v\n", r, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(out, "  (%s completed in %.1fs)\n\n", r, time.Since(start).Seconds())
+		fmt.Fprintf(outW, "  (%s completed in %.1fs)\n\n", r, time.Since(start).Seconds())
 	}
+}
+
+// trainBenchEntry is one measured configuration of a one-epoch training run.
+type trainBenchEntry struct {
+	Task        string  `json:"task"`
+	Engine      string  `json:"engine"` // "engine" (sharded, candidate-sharing) or "legacy"
+	Negatives   int     `json:"negatives"`
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SecPerEpoch float64 `json:"sec_per_epoch"`
+}
+
+// trainBenchReport is the BENCH_train.json schema.
+type trainBenchReport struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Dataset     string            `json:"dataset"`
+	Model       string            `json:"model"`
+	Entries     []trainBenchEntry `json:"entries"`
+}
+
+// runTrainBench measures the exact workload of bench_test.go's
+// BenchmarkTrain* suite (train.BenchWorkload/BenchConfig): one epoch per op,
+// single worker, so the emitted numbers isolate the per-instance algorithmic
+// cost from parallel fan-out and stay comparable to the go-test output.
+func runTrainBench(outPath string) error {
+	cfg := func(negatives int) train.Config {
+		return train.BenchConfig(negatives, 1)
+	}
+
+	// Each job gets a freshly initialised model (like bench_test.go's
+	// sub-benchmarks): testing.Benchmark auto-calibrates its iteration
+	// count, so a shared model would enter later jobs with a
+	// machine-dependent number of absorbed epochs and the emitted numbers
+	// would not be a reproducible function of the declared workload.
+	type trainFn func(train.Model, *data.Split, train.Config) (*train.History, error)
+	type job struct {
+		task, engine string
+		negatives    int
+		fn           trainFn
+	}
+	var jobs []job
+	for _, n := range []int{1, 5, 10} {
+		jobs = append(jobs,
+			job{"ranking", "legacy", n, train.LegacyRanking},
+			job{"ranking", "engine", n, train.Ranking},
+		)
+	}
+	jobs = append(jobs,
+		job{"classification", "engine", 5, train.Classification},
+		job{"regression", "engine", 0, train.Regression},
+	)
+
+	report := trainBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Dataset:     "poi-synth users=16 pois=300 len∈[12,24]",
+		Model:       "seqfm d=64 l=1 n.=20",
+	}
+	for _, j := range jobs {
+		m, split, err := train.BenchWorkload()
+		if err != nil {
+			return err
+		}
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := j.fn(m, split, cfg(j.negatives)); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return fmt.Errorf("%s/%s neg=%d: %w", j.task, j.engine, j.negatives, benchErr)
+		}
+		e := trainBenchEntry{
+			Task:        j.task,
+			Engine:      j.engine,
+			Negatives:   j.negatives,
+			Workers:     1,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			SecPerEpoch: float64(res.NsPerOp()) / 1e9,
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("%-14s %-6s neg=%-2d  %.3fs/epoch  %d allocs/op\n",
+			j.task, j.engine, j.negatives, e.SecPerEpoch, e.AllocsPerOp)
+	}
+
+	// Speedup summary: legacy vs engine per negatives count.
+	byKey := map[string]trainBenchEntry{}
+	for _, e := range report.Entries {
+		byKey[fmt.Sprintf("%s/%s/%d", e.Task, e.Engine, e.Negatives)] = e
+	}
+	for _, n := range []int{1, 5, 10} {
+		l, okL := byKey[fmt.Sprintf("ranking/legacy/%d", n)]
+		g, okG := byKey[fmt.Sprintf("ranking/engine/%d", n)]
+		if okL && okG && g.NsPerOp > 0 {
+			fmt.Printf("ranking neg=%-2d speedup: %.2fx\n", n, float64(l.NsPerOp)/float64(g.NsPerOp))
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }

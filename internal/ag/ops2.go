@@ -187,15 +187,16 @@ func (t *Tape) Gather(table *Param, idx []int) *Node {
 	// Copy idx: callers may reuse their slice.
 	owned := make([]int, len(idx))
 	copy(owned, idx)
-	t.flushes = append(t.flushes, func() {
+	t.flushes = append(t.flushes, func(sink GradSink) {
 		if n.grad == nil {
 			return
 		}
+		grad := sink(table)
 		for i, ix := range owned {
 			if ix < 0 {
 				continue
 			}
-			dst := table.Grad.Row(ix)
+			dst := grad.Row(ix)
 			src := n.grad.Row(i)
 			for j, gv := range src {
 				dst[j] += gv
@@ -226,15 +227,16 @@ func (t *Tape) GatherSum(table *Param, idx []int) *Node {
 	n := t.node(v, true, nil)
 	owned := make([]int, len(idx))
 	copy(owned, idx)
-	t.flushes = append(t.flushes, func() {
+	t.flushes = append(t.flushes, func(sink GradSink) {
 		if n.grad == nil {
 			return
 		}
+		grad := sink(table)
 		for _, ix := range owned {
 			if ix < 0 {
 				continue
 			}
-			dst := table.Grad.Row(ix)
+			dst := grad.Row(ix)
 			for j, gv := range n.grad.Data {
 				dst[j] += gv
 			}

@@ -1,0 +1,56 @@
+package ag
+
+import "seqfm/internal/tensor"
+
+// GradShard is a private gradient accumulator for one data-parallel worker:
+// one buffer per parameter, same shapes as the parameters' Grad fields. A
+// worker flushes every tape's gradients into its own shard lock-free
+// (Tape.FlushGradsTo) and the training loop merges all shards into the shared
+// Param.Grad buffers once per minibatch — replacing a per-instance mutex with
+// one merge per shard per batch.
+//
+// Merging in a fixed shard order makes the accumulated minibatch gradient a
+// deterministic function of the per-worker contributions, which is what lets
+// the training engine promise bit-identical runs for a fixed {Seed, Workers}
+// pair (see train.Config).
+type GradShard struct {
+	params []*Param
+	grads  []*tensor.Matrix
+	index  map[*Param]int
+}
+
+// NewGradShard allocates a zeroed shard covering params.
+func NewGradShard(params []*Param) *GradShard {
+	s := &GradShard{
+		params: params,
+		grads:  make([]*tensor.Matrix, len(params)),
+		index:  make(map[*Param]int, len(params)),
+	}
+	for i, p := range params {
+		s.grads[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+		s.index[p] = i
+	}
+	return s
+}
+
+// Grad returns the shard's private buffer for p. It is a GradSink: pass it to
+// Tape.FlushGradsTo (which does exactly that) to redirect a tape's gradient
+// flush into the shard. Panics if p is not covered by the shard.
+func (s *GradShard) Grad(p *Param) *tensor.Matrix {
+	i, ok := s.index[p]
+	if !ok {
+		panic("ag: GradShard.Grad of uncovered param " + p.Name)
+	}
+	return s.grads[i]
+}
+
+// MergeInto adds the shard's accumulated gradients into the parameters'
+// shared Grad fields and zeroes the shard for the next minibatch. The caller
+// must serialise MergeInto calls across shards (the training loop runs them
+// sequentially, in worker order, after the batch barrier).
+func (s *GradShard) MergeInto() {
+	for i, p := range s.params {
+		p.Grad.AddInPlace(s.grads[i])
+		s.grads[i].Zero()
+	}
+}

@@ -1,0 +1,77 @@
+package ag
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqfm/internal/tensor"
+)
+
+// TestFlushGradsToShardMatchesDirectFlush pins the sharded flush path against
+// the classic FlushGrads: the same forward/backward flushed into a shard and
+// merged must produce exactly the gradients a direct flush produces.
+func TestFlushGradsToShardMatchesDirectFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	w := randParam("w", 3, 3, rng)
+	emb := randParam("emb", 5, 3, rng)
+	params := []*Param{w, emb}
+
+	build := func(tp *Tape) *Node {
+		x := tp.Gather(emb, []int{0, 2, 2, -1})
+		return tp.Sum(tp.Square(tp.MatMul(x, tp.Var(w))))
+	}
+
+	// Reference: direct flush into Param.Grad.
+	ZeroGrads(params)
+	tp := NewTape()
+	tp.Backward(build(tp))
+	tp.FlushGrads(nil)
+	want := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		want[i] = p.Grad.Clone()
+	}
+
+	// Sharded: flush into a private shard, then merge.
+	ZeroGrads(params)
+	shard := NewGradShard(params)
+	tp2 := NewTape()
+	tp2.Backward(build(tp2))
+	tp2.FlushGradsTo(shard)
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				t.Fatal("sharded flush leaked into Param.Grad before merge")
+			}
+		}
+	}
+	shard.MergeInto()
+	for i, p := range params {
+		for j, g := range p.Grad.Data {
+			if g != want[i].Data[j] {
+				t.Fatalf("%s[%d]: sharded %v != direct %v", p.Name, j, g, want[i].Data[j])
+			}
+		}
+	}
+	// MergeInto must leave the shard zeroed for the next batch.
+	for _, p := range params {
+		for _, g := range shard.Grad(p).Data {
+			if g != 0 {
+				t.Fatal("shard not zeroed after merge")
+			}
+		}
+	}
+}
+
+// TestGradShardUncoveredParamPanics pins the misuse guard.
+func TestGradShardUncoveredParamPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	covered := randParam("covered", 2, 2, rng)
+	outside := randParam("outside", 2, 2, rng)
+	shard := NewGradShard([]*Param{covered})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grad of uncovered param did not panic")
+		}
+	}()
+	shard.Grad(outside)
+}

@@ -37,14 +37,21 @@ func (n *Node) ensureGrad() *tensor.Matrix {
 	return n.grad
 }
 
+// GradSink resolves the gradient buffer a parameter's tape-local gradient is
+// transferred into at flush time. The default sink (FlushGrads) returns
+// p.Grad, the globally shared accumulator; FlushGradsTo substitutes a
+// per-worker GradShard so data-parallel workers accumulate without locking.
+type GradSink func(p *Param) *tensor.Matrix
+
 // Tape records a single forward pass. Tapes are cheap; build a fresh one per
 // training example (or per minibatch) and discard it after FlushGrads — or,
-// on a hot serving path, keep one per worker and call Reset between passes so
-// the node arena and bookkeeping slices are reused instead of reallocated.
+// on a hot path (the serving engine, the training engine's workers), keep one
+// per worker and call Reset between passes so the node arena and bookkeeping
+// slices are reused instead of reallocated.
 // A Tape must not be shared between goroutines.
 type Tape struct {
 	nodes    []*Node
-	flushes  []func()
+	flushes  []func(sink GradSink)
 	training bool
 	rng      *rand.Rand
 	ran      bool
@@ -138,9 +145,9 @@ func (t *Tape) ConstantScalar(v float64) *Node {
 // FlushGrads.
 func (t *Tape) Var(p *Param) *Node {
 	n := t.node(p.Value, true, nil)
-	t.flushes = append(t.flushes, func() {
+	t.flushes = append(t.flushes, func(sink GradSink) {
 		if n.grad != nil {
-			p.Grad.AddInPlace(n.grad)
+			sink(p).AddInPlace(n.grad)
 		}
 	})
 	return n
@@ -166,16 +173,30 @@ func (t *Tape) Backward(loss *Node) {
 	}
 }
 
+// defaultSink routes flushed gradients into the shared Param.Grad buffers.
+func defaultSink(p *Param) *tensor.Matrix { return p.Grad }
+
 // FlushGrads transfers every Var/Gather gradient recorded on this tape into
 // the backing parameters' Grad fields. If mu is non-nil the transfer happens
 // under the lock, which lets data-parallel workers share one parameter set.
+// Lock-free data-parallel training should prefer FlushGradsTo with a
+// per-worker GradShard, merged once per minibatch.
 func (t *Tape) FlushGrads(mu *sync.Mutex) {
 	if mu != nil {
 		mu.Lock()
 		defer mu.Unlock()
 	}
 	for _, f := range t.flushes {
-		f()
+		f(defaultSink)
+	}
+}
+
+// FlushGradsTo transfers every Var/Gather gradient recorded on this tape into
+// the given shard's private buffers instead of the shared Param.Grad fields.
+// No locking is performed: the shard must be owned by the calling goroutine.
+func (t *Tape) FlushGradsTo(s *GradShard) {
+	for _, f := range t.flushes {
+		f(s.Grad)
 	}
 }
 

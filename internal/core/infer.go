@@ -1,31 +1,22 @@
 package core
 
 import (
-	"math"
-
 	"seqfm/internal/ag"
 	"seqfm/internal/feature"
 	"seqfm/internal/tensor"
 )
 
-// This file is the serving-path hook into SeqFM: it splits the forward pass
-// of Score into a candidate-independent part (everything derived from the
-// user's dynamic history) and a candidate-dependent remainder, so a top-K
-// scorer can pay for the dynamic view once per user instead of once per
-// candidate. The split follows directly from the view structure of §III:
-// the dynamic view (Eq. 9) and the dynamic halves of the linear term and
-// embedding layer depend only on the history, while the static view (Eq. 8)
-// and the cross view (Eq. 12–13) also see the candidate.
-//
-// Every cached quantity is produced by exactly the same ops, in exactly the
-// same order, as the monolithic Score, so ScoreFast is bit-for-bit identical
-// to Score — the property internal/serve's parity tests pin down.
+// This file is the serving-path view of the two-phase forward (forward.go):
+// it snapshots the candidate-independent subgraph off-tape so a top-K scorer
+// can pay for the dynamic view once per user history instead of once per
+// candidate, across requests and tape resets. There is no scoring logic here
+// — PrecomputeDynamic runs ForwardDynamic and clones its values, ScoreFast
+// replays them as constants through the same forwardCandidate the trainers
+// use — so serving is bit-for-bit identical to Score by construction, the
+// property internal/serve's parity tests pin down.
 
 // DynState caches the candidate-independent part of a SeqFM forward pass for
-// one user history: the padded dynamic indices, the dynamic linear sum
-// Σ_j w·_j, the gathered dynamic embedding rows G· of Eq. (5), and — unless
-// the dynamic view is ablated — the pooled, FFN-refined dynamic-view vector
-// of Eq. (14)/(15).
+// one user history: the value snapshot of a Dyn (see forward.go).
 //
 // A DynState holds plain value matrices (no tape nodes), so it stays valid
 // after the tape that produced it is Reset — but it snapshots the weights:
@@ -34,13 +25,10 @@ type DynState struct {
 	dynIdx   []int
 	padCount int
 	linD     float64        // Σ_j w·_j over the padded history (dynamic half of Eq. 4)
-	eD       *tensor.Matrix // n.×d dynamic embedding rows (Eq. 5)
 	hD       *tensor.Matrix // 1×d dynamic-view output vector; nil under "Remove DV"
-	// qD/kD/vD are the dynamic row-blocks of the cross view's query/key/
-	// value projections. Because the matmul kernel computes each output row
-	// from its own input row alone, E*·W row-splits into [E°·W ; G.·W]
-	// bit-exactly, letting ScoreFast project only the n° static rows per
-	// candidate. nil under "Remove CV".
+	// qD/kD/vD are the dynamic row-blocks of the cross view's Q/K/V
+	// projections; nil under "Remove CV". The raw embedding rows G· are not
+	// snapshotted: forwardCandidate consumes only these derived blocks.
 	qD, kD, vD *tensor.Matrix
 }
 
@@ -56,36 +44,43 @@ func (m *Model) PrecomputeDynamic(t *ag.Tape, hist []int) *DynState {
 	if t.Training() {
 		panic("core: PrecomputeDynamic on a training tape")
 	}
-	sp := m.cfg.Space
-	dynIdx := sp.PadHist(hist, m.cfg.MaxSeqLen)
-	padCount := 0
-	for _, ix := range dynIdx {
-		if ix < 0 {
-			padCount++
-		}
-	}
-	s := &DynState{dynIdx: dynIdx, padCount: padCount}
-	s.linD = t.GatherSum(m.wDynamic, dynIdx).Value.ScalarValue()
+	dyn := m.ForwardDynamic(t, hist)
+	s := &DynState{dynIdx: dyn.DynIdx, padCount: dyn.PadCount}
 	// Cached matrices are cloned off the tape so the state honours
 	// Tape.Reset's contract (values from earlier passes must be copied
 	// before the tape is reused) — cloning happens once per history, not
 	// per candidate, so the cost is amortised away.
-	eD := m.embD.Gather(t, dynIdx)
-	s.eD = eD.Value.Clone()
-	if !m.cfg.Ablation.NoDynamicView {
-		causal := m.causalMask
-		if m.cfg.MaskPadding {
-			causal = m.causalPad[padCount]
-		}
-		h := m.attnD.Forward(t, eD, causal) // Eq. (9)
-		s.hD = m.ffn.Forward(t, t.MeanRows(h)).Value.Clone()
+	s.linD = dyn.linD.Value.ScalarValue()
+	if dyn.hD != nil {
+		s.hD = dyn.hD.Value.Clone()
 	}
-	if !m.cfg.Ablation.NoCrossView {
-		s.qD = t.MatMul(eD, t.Var(m.attnX.WQ)).Value.Clone()
-		s.kD = t.MatMul(eD, t.Var(m.attnX.WK)).Value.Clone()
-		s.vD = t.MatMul(eD, t.Var(m.attnX.WV)).Value.Clone()
+	if dyn.qD != nil {
+		s.qD = dyn.qD.Value.Clone()
+		s.kD = dyn.kD.Value.Clone()
+		s.vD = dyn.vD.Value.Clone()
 	}
 	return s
+}
+
+// onTape replays the snapshot as constant nodes, rebuilding a Dyn that
+// forwardCandidate can consume (eD stays nil: it is only needed while
+// ForwardDynamic derives the blocks). Constants record no gradients, so the
+// replay is inference-only by construction.
+func (s *DynState) onTape(t *ag.Tape) *Dyn {
+	dyn := &Dyn{
+		DynIdx:   s.dynIdx,
+		PadCount: s.padCount,
+		linD:     t.ConstantScalar(s.linD),
+	}
+	if s.hD != nil {
+		dyn.hD = t.Constant(s.hD)
+	}
+	if s.qD != nil {
+		dyn.qD = t.Constant(s.qD)
+		dyn.kD = t.Constant(s.kD)
+		dyn.vD = t.Constant(s.vD)
+	}
+	return dyn
 }
 
 // ScoreFast scores inst against the cached dynamic state dyn, recording the
@@ -101,60 +96,15 @@ func (m *Model) ScoreFast(t *ag.Tape, dyn *DynState, inst feature.Instance, hS *
 	if t.Training() {
 		panic("core: ScoreFast on a training tape")
 	}
-	sp := m.cfg.Space
-	staticIdx := sp.StaticIndices(inst)
-
-	// Linear component, associated exactly as Score's w0 + (Σw° + Σw·).
-	linear := m.w0.Value.ScalarValue() +
-		(t.GatherSum(m.wStatic, staticIdx).Value.ScalarValue() + dyn.linD)
-
-	// The static embedding rows are needed by the static view (on a cache
-	// miss) and by the cross view; gather them at most once.
-	var eS *ag.Node
-	gatherS := func() *ag.Node {
-		if eS == nil {
-			eS = m.embS.Gather(t, staticIdx)
-		}
-		return eS
+	var hSNode *ag.Node
+	if hS != nil {
+		hSNode = t.Constant(hS)
 	}
-
-	views := make([]*tensor.Matrix, 0, 3)
-	if !m.cfg.Ablation.NoStaticView {
-		if hS == nil {
-			h := m.attnS.Forward(t, gatherS(), nil) // Eq. (8)
-			// Cloned off the tape so the returned vector stays valid for
-			// the caller's cache after t is Reset.
-			hS = m.ffn.Forward(t, t.MeanRows(h)).Value.Clone()
-		}
-		views = append(views, hS)
+	score, hSOut := m.forwardCandidate(t, dyn.onTape(t), inst, hSNode)
+	if hS == nil && hSOut != nil {
+		// Cloned off the tape so the returned vector stays valid for the
+		// caller's cache after t is Reset.
+		hS = hSOut.Value.Clone()
 	}
-	if !m.cfg.Ablation.NoDynamicView {
-		views = append(views, dyn.hD)
-	}
-	if !m.cfg.Ablation.NoCrossView {
-		cross := m.crossMask
-		if m.cfg.MaskPadding {
-			cross = m.crossPad[dyn.padCount]
-		}
-		// Cross-view attention (Eq. 12–13) with the dynamic row-blocks of
-		// Q/K/V taken from the cache: only the n° static rows are projected
-		// here. The reassembled matrices equal attnX.Forward's bit for bit
-		// (the matmul kernel is row-independent), and every op from the
-		// score matrix on is the same one Score records.
-		eSn := gatherS()
-		q := t.ConcatRows(t.MatMul(eSn, t.Var(m.attnX.WQ)), t.Constant(dyn.qD))
-		k := t.ConcatRows(t.MatMul(eSn, t.Var(m.attnX.WK)), t.Constant(dyn.kD))
-		v := t.ConcatRows(t.MatMul(eSn, t.Var(m.attnX.WV)), t.Constant(dyn.vD))
-		scores := t.Scale(1/math.Sqrt(float64(m.cfg.Dim)), t.MatMulT(q, k))
-		h := t.MatMul(t.SoftmaxRows(scores, cross), v)
-		views = append(views, m.ffn.Forward(t, t.MeanRows(h)).Value)
-	}
-
-	// View-wise aggregation (Eq. 17) and output layer (Eq. 18): same
-	// element order as Score's ConcatCols + Dot, hence the same bits.
-	hagg := views[0]
-	if len(views) > 1 {
-		hagg = tensor.ConcatCols(views...)
-	}
-	return linear + tensor.Dot(m.proj.Value, hagg), hS
+	return score.Value.ScalarValue(), hS
 }

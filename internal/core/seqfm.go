@@ -206,59 +206,6 @@ func (m *Model) Params() []*ag.Param {
 	return ps
 }
 
-// Score records the raw SeqFM output ŷ of Eq. (19) for one instance on the
-// given tape. Task-specific squashing (the sigmoid of Eq. 23) is the
-// caller's responsibility, keeping the model flexible across ranking,
-// classification and regression exactly as §IV prescribes.
-func (m *Model) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
-	sp := m.cfg.Space
-	staticIdx := sp.StaticIndices(inst)
-	dynIdx := sp.PadHist(inst.Hist, m.cfg.MaxSeqLen)
-	padCount := 0
-	for _, ix := range dynIdx {
-		if ix < 0 {
-			padCount++
-		}
-	}
-
-	// Linear component: w0 + Σ w°_i + Σ w._j over active features (Eq. 4).
-	linear := t.Add(t.Var(m.w0),
-		t.Add(t.GatherSum(m.wStatic, staticIdx), t.GatherSum(m.wDynamic, dynIdx)))
-
-	// Embedding layer (Eq. 5).
-	eS := m.embS.Gather(t, staticIdx)
-	eD := m.embD.Gather(t, dynIdx)
-
-	causal, cross := m.causalMask, m.crossMask
-	if m.cfg.MaskPadding {
-		causal, cross = m.causalPad[padCount], m.crossPad[padCount]
-	}
-
-	// Multi-view self-attention, intra-view pooling, shared residual FFN.
-	var views []*ag.Node
-	if !m.cfg.Ablation.NoStaticView {
-		h := m.attnS.Forward(t, eS, nil) // Eq. (8)
-		views = append(views, m.ffn.Forward(t, t.MeanRows(h)))
-	}
-	if !m.cfg.Ablation.NoDynamicView {
-		h := m.attnD.Forward(t, eD, causal) // Eq. (9)
-		views = append(views, m.ffn.Forward(t, t.MeanRows(h)))
-	}
-	if !m.cfg.Ablation.NoCrossView {
-		eX := t.ConcatRows(eS, eD) // Eq. (12)
-		h := m.attnX.Forward(t, eX, cross)
-		views = append(views, m.ffn.Forward(t, t.MeanRows(h)))
-	}
-
-	// View-wise aggregation (Eq. 17) and output layer (Eq. 18).
-	hagg := views[0]
-	if len(views) > 1 {
-		hagg = t.ConcatCols(views...)
-	}
-	f := t.Dot(t.Var(m.proj), hagg)
-	return t.Add(linear, f)
-}
-
 // NumParams returns the scalar parameter count — the paper's "light-weight
 // parameter size" claim can be checked against it.
 func (m *Model) NumParams() int { return ag.NumParams(m.Params()) }

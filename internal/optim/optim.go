@@ -21,6 +21,26 @@ type Optimizer interface {
 	Params() []*ag.Param
 }
 
+// StepShards is the accumulation hook for sharded data-parallel training:
+// it merges every worker's private gradient shard into the shared Param.Grad
+// buffers — sequentially, in shard order, so the minibatch gradient is a
+// deterministic function of the per-worker contributions — optionally clips
+// the merged global norm, and applies one optimizer step. Shards come back
+// zeroed, ready for the next minibatch. When clip > 0 it returns the
+// pre-clip gradient norm; clip <= 0 disables clipping and skips the norm
+// pass entirely (returning 0), so unclipped training pays nothing extra.
+func StepShards(o Optimizer, shards []*ag.GradShard, clip float64) float64 {
+	for _, s := range shards {
+		s.MergeInto()
+	}
+	norm := 0.0
+	if clip > 0 {
+		norm = ag.ClipGrads(o.Params(), clip)
+	}
+	o.Step()
+	return norm
+}
+
 // Adam implements Kingma & Ba's Adam with bias correction — the paper trains
 // every task with Adam at learning rate 1e-4 (§IV-D).
 type Adam struct {

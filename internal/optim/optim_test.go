@@ -179,3 +179,71 @@ func TestAdamBeatsSGDOnIllConditioned(t *testing.T) {
 		t.Fatalf("Adam %v not better than SGD %v on ill-conditioned quadratic", lossA, lossS)
 	}
 }
+
+// TestStepShardsMatchesMergedStep pins the sharded accumulation hook: merging
+// worker shards through StepShards must equal accumulating the same gradients
+// directly into Param.Grad and stepping, and must leave the shards zeroed.
+func TestStepShardsMatchesMergedStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	build := func() *ag.Param { return ag.NewParam("w", 2, 3, tensor.Zeros(), rng) }
+
+	// Reference: direct accumulation (shard grads summed in shard order).
+	direct := build()
+	grads := [][]float64{
+		{1, -2, 0.5, 3, 0, -1},
+		{0.25, 0.25, -4, 1, 1, 1},
+	}
+	for _, g := range grads {
+		for i, v := range g {
+			direct.Grad.Data[i] += v
+		}
+	}
+	refOpt := NewAdam([]*ag.Param{direct}, 0.1)
+	refOpt.Step()
+
+	// Sharded: same per-worker gradients via StepShards.
+	p := build()
+	shards := []*ag.GradShard{
+		ag.NewGradShard([]*ag.Param{p}),
+		ag.NewGradShard([]*ag.Param{p}),
+	}
+	for s, g := range grads {
+		copy(shards[s].Grad(p).Data, g)
+	}
+	opt := NewAdam([]*ag.Param{p}, 0.1)
+	if norm := StepShards(opt, shards, 0); norm != 0 {
+		t.Fatalf("clip disabled: norm pass should be skipped, got %v", norm)
+	}
+	for i, w := range p.Value.Data {
+		if w != direct.Value.Data[i] {
+			t.Fatalf("w[%d]: sharded %v != direct %v", i, w, direct.Value.Data[i])
+		}
+	}
+	for _, s := range shards {
+		for _, g := range s.Grad(p).Data {
+			if g != 0 {
+				t.Fatal("shard not zeroed after StepShards")
+			}
+		}
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("Param.Grad not cleared after step")
+	}
+}
+
+// TestStepShardsClips verifies the merged-gradient clip path: with an
+// aggressive clip the applied update must be smaller than without.
+func TestStepShardsClips(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := ag.NewParam("w", 1, 1, tensor.Zeros(), rng)
+	shard := ag.NewGradShard([]*ag.Param{p})
+	shard.Grad(p).Data[0] = 100
+	opt := NewSGD([]*ag.Param{p}, 0.1)
+	norm := StepShards(opt, []*ag.GradShard{shard}, 0.5)
+	if norm != 100 {
+		t.Fatalf("pre-clip norm %v, want 100", norm)
+	}
+	if got := p.Value.Data[0]; math.Abs(got-(-0.05)) > 1e-12 {
+		t.Fatalf("clipped SGD step %v, want −0.05", got)
+	}
+}

@@ -10,7 +10,11 @@
 //
 // The engine is model-agnostic: any Scorer (SeqFM or the baseline zoo) gets
 // tape reuse and the worker pool; a FastScorer (SeqFM) additionally gets the
-// dynamic-state and static-view caches. All scoring paths are bit-for-bit
+// dynamic-state and static-view caches. Since the candidate-sharing
+// refactor, serving and training consume the same two-phase forward
+// (core.ForwardDynamic/ForwardCandidate): a DynState is a value snapshot of
+// the very subgraph the trainers differentiate through, so there is no
+// serving-only scoring logic to drift. All scoring paths are bit-for-bit
 // identical to a per-instance Score on a fresh tape — the caches only
 // memoise values the monolithic pass would recompute, never approximate
 // them.

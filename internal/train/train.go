@@ -3,10 +3,20 @@
 // classification (§IV-B) and squared-loss regression (§IV-C), all with the
 // mini-batch Adam procedure of §IV-D.
 //
-// Training is data-parallel: each worker runs forward/backward passes on its
-// own ag.Tape against the shared read-only parameter values, then flushes
-// its gradients under a mutex. The optimizer steps once per minibatch on the
-// accumulated gradients.
+// The training engine mirrors the serving engine (internal/serve): each
+// data-parallel worker owns one reusable autodiff tape (Reset between
+// instances, so the node arena is allocated once) and one private gradient
+// shard (ag.GradShard) it flushes into lock-free. Shards are merged into the
+// shared parameters once per minibatch, in worker order, and the optimizer
+// steps on the merged gradients (optim.StepShards) — there is no per-instance
+// mutex anywhere on the training path.
+//
+// Models whose forward pass decomposes into a candidate-independent dynamic
+// subgraph (SharedScorer — SeqFM does) get the candidate-sharing forward: the
+// ranking and classification losses score the positive and all sampled
+// negatives against one core.ForwardDynamic subgraph, so the tape carries one
+// dynamic view per instance instead of 1+N copies and the reverse pass
+// backpropagates through it once.
 package train
 
 import (
@@ -14,9 +24,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seqfm/internal/ag"
+	"seqfm/internal/core"
 	"seqfm/internal/data"
 	"seqfm/internal/feature"
 	"seqfm/internal/optim"
@@ -30,8 +42,33 @@ type Model interface {
 	Params() []*ag.Param
 }
 
+// SharedScorer is the candidate-sharing training contract implemented by
+// *core.Model: the forward pass split into a differentiable
+// candidate-independent dynamic subgraph, built once per training instance,
+// and a per-candidate remainder attached to it. Losses that score several
+// candidates against one history (BPR ranking, negative-sampled log loss)
+// use it automatically; models without it fall back to one full Score per
+// candidate.
+type SharedScorer interface {
+	Model
+	ForwardDynamic(t *ag.Tape, hist []int) *core.Dyn
+	ForwardCandidate(t *ag.Tape, dyn *core.Dyn, inst feature.Instance) *ag.Node
+}
+
 // Config controls the optimisation loop. Zero fields take the paper's
 // defaults via withDefaults.
+//
+// Determinism contract: for a fixed {Seed, Workers} pair, training is
+// bit-for-bit reproducible — identical History and identical final
+// parameters — regardless of goroutine scheduling. Every random stream
+// (shuffling, negative sampling, dropout) is derived from Seed and a worker
+// index; each worker accumulates gradients into a private shard in its own
+// strided instance order; and shards are merged into the shared parameters
+// in worker order at the minibatch barrier, so no floating-point sum ever
+// depends on scheduling. Changing Workers changes which per-worker sampling
+// and dropout streams exist and how instances stride across them, so runs
+// with different Workers values differ — each is an equally valid sample of
+// the same stochastic procedure, not a bug.
 type Config struct {
 	// Epochs is the number of passes over the training instances.
 	Epochs int
@@ -101,30 +138,76 @@ func (h *History) FinalLoss() float64 {
 // lossFn scores one training instance and returns its scalar loss node.
 type lossFn func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node
 
-// worker carries the per-goroutine state of the data-parallel loop.
+// worker carries the per-goroutine state of the data-parallel loop: its
+// random streams (the dropout rng lives inside the tape), its reusable tape,
+// its private gradient shard, and scratch slices reused across instances so
+// the steady-state loop performs no per-instance bookkeeping allocations.
 type worker struct {
-	rng     *rand.Rand
 	sampler *data.NegativeSampler
 	ds      *data.Dataset
+	tape    *ag.Tape
+	shard   *ag.GradShard
+	// negatives is Config.Negatives resolved once by run — loss closures
+	// must not re-derive defaults per instance.
+	negatives int
+	insts     []feature.Instance // scratch: positive + sampled negatives
+	scores    []*ag.Node         // scratch: their score nodes
+	terms     []*ag.Node         // scratch: per-candidate loss terms
 }
 
-// run is the shared minibatch engine: shuffle, split batches, fan out
-// samples to workers, flush gradients, step Adam.
+// scoreWithNegatives scores inst plus w.negatives sampled corruptions of it,
+// positive first, sharing the candidate-independent dynamic subgraph when m
+// supports it. The returned slice is worker scratch, valid until the next
+// call.
+func (w *worker) scoreWithNegatives(t *ag.Tape, m Model, inst feature.Instance) []*ag.Node {
+	w.insts = append(w.insts[:0], inst)
+	for k := 0; k < w.negatives; k++ {
+		w.insts = append(w.insts, w.ds.WithTargetObject(inst, w.sampler.Sample(inst.User)))
+	}
+	w.scores = w.scores[:0]
+	if ss, ok := m.(SharedScorer); ok {
+		dyn := ss.ForwardDynamic(t, inst.Hist)
+		for _, ci := range w.insts {
+			w.scores = append(w.scores, ss.ForwardCandidate(t, dyn, ci))
+		}
+	} else {
+		for _, ci := range w.insts {
+			w.scores = append(w.scores, m.Score(t, ci))
+		}
+	}
+	return w.scores
+}
+
+// run is the shared minibatch engine: shuffle, split batches, fan instances
+// out to workers (each with a reusable tape and a private gradient shard),
+// merge shards once per batch, step Adam.
 func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) {
 	cfg = cfg.withDefaults()
 	if len(split.Train) == 0 {
 		return nil, fmt.Errorf("train: empty training split")
 	}
-	opt := optim.NewAdam(m.Params(), cfg.LR)
+	params := m.Params()
+	opt := optim.NewAdam(params, cfg.LR)
 	shuffleRng := rand.New(rand.NewSource(cfg.Seed))
 
 	workers := make([]*worker, cfg.Workers)
+	shards := make([]*ag.GradShard, cfg.Workers)
 	for i := range workers {
+		// Stream seeds must be pairwise distinct across all workers AND
+		// across stream kinds: odd offsets feed dropout, even offsets feed
+		// sampling, offset 0 is the shuffle — so no two rand sources can
+		// coincide for any worker count (the legacy k*(i+1) scheme collided,
+		// e.g. dropout of worker 6 with the sampler of worker 0).
+		dropoutRng := rand.New(rand.NewSource(cfg.Seed + 2*int64(i) + 1))
+		samplerRng := rand.New(rand.NewSource(cfg.Seed + 2*int64(i) + 2))
 		workers[i] = &worker{
-			rng:     rand.New(rand.NewSource(cfg.Seed + int64(1000*(i+1)))),
-			sampler: data.NewNegativeSampler(split.Dataset(), rand.New(rand.NewSource(cfg.Seed+int64(7000*(i+1))))),
-			ds:      split.Dataset(),
+			sampler:   data.NewNegativeSampler(split.Dataset(), samplerRng),
+			ds:        split.Dataset(),
+			tape:      ag.NewTrainingTape(dropoutRng),
+			shard:     ag.NewGradShard(params),
+			negatives: cfg.Negatives,
 		}
+		shards[i] = workers[i].shard
 	}
 
 	order := make([]int, len(split.Train))
@@ -132,9 +215,14 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 		order[i] = i
 	}
 
+	// tapeHint tracks the largest pass recorded so far; workers Grow their
+	// tape to it before each pass, so late starters pre-size their arena in
+	// one step instead of via append growth.
+	var tapeHint atomic.Int64
+
 	hist := &History{}
 	start := time.Now()
-	var mu sync.Mutex
+	losses := make([]float64, cfg.Workers)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
 		shuffleRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -148,19 +236,30 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 			invBatch := 1 / float64(len(batch))
 
 			var wg sync.WaitGroup
-			losses := make([]float64, cfg.Workers)
 			for w := 0; w < cfg.Workers; w++ {
+				losses[w] = 0
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
 					wk := workers[w]
+					t := wk.tape
 					for s := w; s < len(batch); s += cfg.Workers {
 						inst := split.Train[batch[s]]
-						t := ag.NewTrainingTape(wk.rng)
+						t.Reset()
+						t.Grow(int(tapeHint.Load()))
 						l := t.Scale(invBatch, loss(t, wk, inst))
 						t.Backward(l)
-						t.FlushGrads(&mu)
+						t.FlushGradsTo(wk.shard)
 						losses[w] += l.Value.ScalarValue()
+						// Raise the hint monotonically: a plain
+						// check-then-store could let a smaller pass overwrite
+						// a larger one and shrink later Grow calls.
+						for n := int64(t.NumNodes()); ; {
+							cur := tapeHint.Load()
+							if n <= cur || tapeHint.CompareAndSwap(cur, n) {
+								break
+							}
+						}
 					}
 				}(w)
 			}
@@ -168,10 +267,7 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 			for _, l := range losses {
 				epochLoss += l
 			}
-			if cfg.GradClip > 0 {
-				ag.ClipGrads(m.Params(), cfg.GradClip)
-			}
-			opt.Step()
+			optim.StepShards(opt, shards, cfg.GradClip)
 		}
 		nBatches := (len(order) + cfg.BatchSize - 1) / cfg.BatchSize
 		stat := EpochStat{
@@ -190,18 +286,18 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 
 // Ranking trains m with the BPR loss of Eq. (21): for each positive
 // instance it draws cfg.Negatives corrupted candidates and minimises
-// −log σ(ŷ⁺ − ŷ⁻) averaged over the triples.
+// −log σ(ŷ⁺ − ŷ⁻) averaged over the triples. All candidates of one instance
+// share the dynamic subgraph when m is a SharedScorer.
 func Ranking(m Model, split *data.Split, cfg Config) (*History, error) {
 	return run(m, split, cfg, func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node {
-		cfgNeg := cfg.withDefaults().Negatives
-		pos := m.Score(t, inst)
-		terms := make([]*ag.Node, 0, cfgNeg)
-		for k := 0; k < cfgNeg; k++ {
-			negInst := w.ds.WithTargetObject(inst, w.sampler.Sample(inst.User))
-			neg := m.Score(t, negInst)
+		scores := w.scoreWithNegatives(t, m, inst)
+		pos := scores[0]
+		terms := w.terms[:0]
+		for _, neg := range scores[1:] {
 			// −log σ(pos−neg) = softplus(neg−pos)
 			terms = append(terms, t.Softplus(t.Sub(neg, pos)))
 		}
+		w.terms = terms
 		return t.MeanScalars(terms)
 	})
 }
@@ -209,16 +305,19 @@ func Ranking(m Model, split *data.Split, cfg Config) (*History, error) {
 // Classification trains m with the log loss of Eq. (24) over the observed
 // positives and cfg.Negatives uniformly sampled unobserved negatives per
 // positive. BCE-with-logits keeps the loss finite for confident mistakes.
+// All candidates of one instance share the dynamic subgraph when m is a
+// SharedScorer.
 func Classification(m Model, split *data.Split, cfg Config) (*History, error) {
 	return run(m, split, cfg, func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node {
-		cfgNeg := cfg.withDefaults().Negatives
+		scores := w.scoreWithNegatives(t, m, inst)
+		terms := w.terms[:0]
 		// BCE(x, y=1) = softplus(−x)
-		terms := []*ag.Node{t.Softplus(t.Neg(m.Score(t, inst)))}
-		for k := 0; k < cfgNeg; k++ {
-			negInst := w.ds.WithTargetObject(inst, w.sampler.Sample(inst.User))
+		terms = append(terms, t.Softplus(t.Neg(scores[0])))
+		for _, neg := range scores[1:] {
 			// BCE(x, y=0) = softplus(x)
-			terms = append(terms, t.Softplus(m.Score(t, negInst)))
+			terms = append(terms, t.Softplus(neg))
 		}
+		w.terms = terms
 		return t.MeanScalars(terms)
 	})
 }

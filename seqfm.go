@@ -133,8 +133,22 @@ var (
 // score for one instance recorded on an autodiff tape.
 type Scorer = train.Model
 
+// SharedScorer is the candidate-sharing training contract implemented by
+// *Model: the forward pass decomposed into a differentiable
+// candidate-independent dynamic subgraph (ForwardDynamic, built once per
+// instance) and a per-candidate remainder (ForwardCandidate). The ranking
+// and classification trainers detect it automatically and score the
+// positive plus all sampled negatives against one shared subgraph; the
+// serving engine snapshots the same decomposition. See DESIGN.md §4–5.
+type SharedScorer = train.SharedScorer
+
+// Dyn is the on-tape candidate-independent subgraph returned by
+// (*Model).ForwardDynamic and consumed by (*Model).ForwardCandidate.
+type Dyn = core.Dyn
+
 // TrainConfig controls optimisation (epochs, batch size, Adam LR, negative
-// samples, worker parallelism).
+// samples, worker parallelism). Training is bit-for-bit reproducible for a
+// fixed {Seed, Workers} pair; see train.Config's determinism contract.
 type TrainConfig = train.Config
 
 // TrainHistory records per-epoch losses and total wall-clock time.
