@@ -13,12 +13,14 @@ package seqfm_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"seqfm"
 	"seqfm/internal/ag"
 	"seqfm/internal/core"
 	"seqfm/internal/data"
 	"seqfm/internal/experiments"
+	"seqfm/internal/serve"
 	"seqfm/internal/train"
 )
 
@@ -254,14 +256,16 @@ func BenchmarkSeqFMSequenceLengths(b *testing.B) {
 // (single-worker, cold cache); the cached and parallel variants stack well
 // beyond that. EXPERIMENTS.md records reference numbers.
 
-const benchJ = 100 // candidates per top-K request, the paper's eval J
+const benchJ = serve.BenchJ // candidates per top-K request, the paper's eval J
 
+// benchServingSetup is the standard serving workload, shared with
+// seqfm-bench -mode serve (serve.BenchWorkload) so BENCH_serve.json stays
+// comparable with these numbers.
 func benchServingSetup(b *testing.B) (*core.Model, seqfm.Instance, []int) {
 	b.Helper()
-	m, inst := benchModelAndInstance(b)
-	candidates := make([]int, benchJ)
-	for i := range candidates {
-		candidates[i] = (i * 19) % 2000
+	m, inst, candidates, err := serve.BenchWorkload()
+	if err != nil {
+		b.Fatal(err)
 	}
 	return m, inst, candidates
 }
@@ -359,6 +363,94 @@ func BenchmarkServeScoreBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = eng.ScoreBatch(insts)
 	}
+}
+
+// BenchmarkServeCachePolicy pins the LRU-upgrade satellite: skewed top-K
+// traffic (a few hot users, a marching tail) over a static cache smaller
+// than the working set. FIFO ages the hot users' rows out on schedule; LRU's
+// touch-on-hit keeps them resident. The benchmark reports the realised
+// static-cache hit rate alongside ns/op.
+func BenchmarkServeCachePolicy(b *testing.B) {
+	for _, pc := range []struct {
+		name   string
+		policy seqfm.CachePolicy
+	}{{"fifo", seqfm.CacheFIFO}, {"lru", seqfm.CacheLRU}} {
+		b.Run(pc.name, func(b *testing.B) {
+			m, inst, candidates := benchServingSetup(b)
+			// Cache capacity: the hot request's J rows fit comfortably, but
+			// two rounds of marching cold rows overflow it. LRU's
+			// touch-on-hit keeps the hot rows (re-touched every other
+			// request) resident and evicts the dead cold rows; FIFO evicts
+			// strictly by insertion age, so the cold stream flushes the hot
+			// rows out on schedule.
+			eng := seqfm.NewEngine(m, seqfm.EngineConfig{
+				Workers:         1,
+				CachePolicy:     pc.policy,
+				StaticCacheSize: 2*benchJ + benchJ/2,
+			})
+			defer eng.Close()
+			hot := seqfm.TopKRequest{Base: inst, Candidates: candidates, K: 10}
+			coldBase := inst
+			coldBase.User = 999
+			cold := make([]int, benchJ) // marching one-shot candidates
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = eng.TopK(hot)
+				for j := range cold {
+					cold[j] = (i*benchJ + j) % 2000
+				}
+				_ = eng.TopK(seqfm.TopKRequest{Base: coldBase, Candidates: cold, K: 10})
+			}
+			b.StopTimer()
+			s := eng.Stats()
+			if probes := s.StaticHits + s.StaticMisses; probes > 0 {
+				b.ReportMetric(float64(s.StaticHits)/float64(probes), "hit-rate")
+			}
+		})
+	}
+}
+
+// BenchmarkServeHotSwapUnderLoad measures steady-state top-K latency while a
+// background publisher hot-swaps model clones at a fixed cadence — the
+// serving-side cost of the online-learning loop. Compare against
+// BenchmarkServeTopKCached (the no-swap steady state): the acceptance bar is
+// < 2× regression during swaps.
+func BenchmarkServeHotSwapUnderLoad(b *testing.B) {
+	m, inst, candidates := benchServingSetup(b)
+	eng := seqfm.NewEngine(m, seqfm.EngineConfig{})
+	defer eng.Close()
+	req := seqfm.TopKRequest{Base: inst, Candidates: candidates, K: 10}
+	_ = eng.TopK(req)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cur := m
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			next := cur.Clone()
+			next.Params()[0].Value.Data[0] += 1e-6
+			eng.Swap(next)
+			cur = next
+		}
+	}()
+	b.Cleanup(func() {
+		close(stop)
+		<-done
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.TopK(req)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Stats().Swaps), "swaps")
 }
 
 func benchName(prefix string, v int) string {

@@ -1,11 +1,13 @@
 // Command seqfm-bench regenerates the paper's evaluation tables and figures
-// on the synthetic stand-in datasets, and benchmarks the training engine.
+// on the synthetic stand-in datasets, and benchmarks the training and
+// serving engines.
 //
 // Usage:
 //
 //	seqfm-bench -exp table2 -scale small
 //	seqfm-bench -exp all   -scale tiny
 //	seqfm-bench -mode train -out BENCH_train.json
+//	seqfm-bench -mode serve -out BENCH_serve.json
 //
 // In the default -mode paper, experiments are: table1 (dataset statistics),
 // table2 (ranking), table3 (classification), table4 (regression), table5
@@ -18,6 +20,12 @@
 // Negatives ∈ {1, 5, 10}, plus classification and regression — and writes
 // the ns/op and allocs/op per task to a JSON file (default BENCH_train.json)
 // so successive PRs leave a comparable perf trajectory.
+//
+// -mode serve benchmarks the inference engine on the fixed serving workload
+// (serve.BenchWorkload, identical to bench_test.go's BenchmarkServe* suite):
+// cold and warm top-K at J=100, the mixed batch-score path, and the
+// hot-swap-under-load scenario — top-K latency percentiles while a
+// background publisher swaps model generations — writing BENCH_serve.json.
 package main
 
 import (
@@ -47,17 +55,30 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
-	case "train":
-		// The training benchmark measures a fixed workload (see
-		// train.BenchWorkload/BenchConfig) so successive BENCH_train.json
-		// files stay diffable; tell the user if they tried to vary it.
+	case "train", "serve":
+		// The engine benchmarks measure fixed workloads (see
+		// train.BenchWorkload and serve.BenchWorkload) so successive
+		// BENCH_*.json files stay diffable; tell the user if they tried to
+		// vary them.
+		outSet := false
 		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
 			if f.Name == "seed" || f.Name == "workers" || f.Name == "scale" || f.Name == "exp" {
 				fmt.Fprintf(os.Stderr,
-					"seqfm-bench: -%s is ignored in -mode train (fixed benchmark workload: seed 17, 1 worker)\n", f.Name)
+					"seqfm-bench: -%s is ignored in -mode %s (fixed benchmark workload)\n", f.Name, *mode)
 			}
 		})
-		if err := runTrainBench(*out); err != nil {
+		outPath := *out
+		bench := runTrainBench
+		if *mode == "serve" {
+			bench = runServeBench
+			if !outSet { // redirect only the train-oriented default, never an explicit -out
+				outPath = "BENCH_serve.json"
+			}
+		}
+		if err := bench(outPath); err != nil {
 			fmt.Fprintf(os.Stderr, "seqfm-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,30 +1,43 @@
-// Command seqfm-serve exposes a trained SeqFM model as a low-latency HTTP
-// scoring service backed by the batched inference engine: JSON endpoints
-// for raw scoring and top-K candidate ranking over a user's interaction
-// history — the deployment shape of a sequence-aware recommender.
+// Command seqfm-serve exposes a SeqFM model as a low-latency HTTP scoring
+// service backed by the batched inference engine — and, with -online, as a
+// live system: interaction feedback streams in over HTTP, a background
+// trainer fine-tunes a shadow model, and fresh weights are hot-swapped into
+// the serving path with zero downtime.
 //
 // On startup it materialises a stand-in dataset, then either loads a
-// checkpoint written by -save (or core.Model.Save) or trains in-process,
-// and serves:
+// checkpoint or trains in-process, and serves:
 //
-//	GET  /healthz  — liveness plus engine statistics
-//	POST /v1/score — {"instances":[{"user":u,"target":o,"hist":[...]}]}
-//	                 → {"scores":[...]}
-//	POST /v1/topk  — {"user":u,"hist":[...],"candidates":[...],"k":10}
-//	                 → {"items":[{"object":o,"score":s}, ...]}
+//	GET  /healthz     — liveness plus engine statistics
+//	POST /v1/score    — {"instances":[{"user":u,"target":o,"hist":[...]}]}
+//	                    → {"scores":[...]}
+//	POST /v1/topk     — {"user":u,"hist":[...],"candidates":[...],"k":10}
+//	                    → {"items":[{"object":o,"score":s}, ...]}
+//	POST /v1/feedback — {"user":u,"object":o,"label":1} or {"events":[...]}
+//	                    → {"accepted":n,"pending":p}   (requires -online)
+//	GET  /v1/model    — serving generation, config, online-trainer counters
 //
-// In /v1/topk, "hist" defaults to the user's full interaction log from the
-// dataset and "candidates" defaults to every object; item attributes are
-// filled from the dataset's side-information tables automatically.
+// In /v1/topk, "hist" defaults to the user's live history (dataset log plus
+// every ingested event) and "candidates" defaults to every object; item
+// attributes are filled from the dataset's side-information tables.
+//
+// Checkpoints: -save writes the self-describing ckpt v2 format (config +
+// weights), which -checkpoint loads with no matching flags needed. Legacy v1
+// checkpoints (weights only) require -config-from-flags, acknowledging that
+// the model shape comes from -dataset/-scale rather than the file. With
+// -online and -snapshot, the fine-tuned model (with optimizer state) is
+// written atomically every -snapshot-every, and a v2 -checkpoint warm-starts
+// the online trainer from the embedded optimizer state.
 //
 // Usage:
 //
 //	seqfm-serve -dataset gowalla -scale tiny -addr :8080
 //	seqfm-serve -dataset beauty -scale small -epochs 8 -save beauty.ckpt
 //	seqfm-serve -dataset beauty -scale small -checkpoint beauty.ckpt
+//	seqfm-serve -dataset gowalla -online -snapshot live.ckpt -snapshot-every 30s
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,10 +46,12 @@ import (
 	"os"
 	"time"
 
+	"seqfm/internal/ckpt"
 	"seqfm/internal/core"
 	"seqfm/internal/data"
 	"seqfm/internal/experiments"
 	"seqfm/internal/feature"
+	"seqfm/internal/online"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
 )
@@ -48,55 +63,85 @@ func main() {
 		scale       = flag.String("scale", "tiny", "tiny|small|medium|full")
 		epochs      = flag.Int("epochs", 0, "override training epochs (0 = scale default)")
 		seed        = flag.Int64("seed", 7, "master seed")
-		checkpoint  = flag.String("checkpoint", "", "load model weights from this file instead of training")
-		save        = flag.String("save", "", "write trained model weights to this file")
+		checkpoint  = flag.String("checkpoint", "", "load model from this file instead of training (ckpt v2, or v1 with -config-from-flags)")
+		cfgFlags    = flag.Bool("config-from-flags", false, "allow loading a legacy v1 checkpoint, taking the model config from -dataset/-scale")
+		save        = flag.String("save", "", "write the trained model to this file (ckpt v2)")
 		workers     = flag.Int("workers", 0, "engine scoring goroutines (0 = GOMAXPROCS)")
 		batchSize   = flag.Int("batch-size", 0, "micro-batch flush threshold for single-score requests (0 = default, 1 = off)")
 		maxDelay    = flag.Duration("max-delay", 0, "micro-batch flush deadline (0 = default)")
 		staticCache = flag.Int("static-cache", 0, "static-view cache entries (0 = default, <0 = off)")
 		dynCache    = flag.Int("dyn-cache", 0, "dynamic-state cache entries (0 = default, <0 = off)")
+
+		onlineOn     = flag.Bool("online", false, "enable the online-learning subsystem (/v1/feedback, background fine-tune, hot swap)")
+		onlineEvery  = flag.Duration("online-interval", 0, "online trainer cadence (0 = default)")
+		onlineBatch  = flag.Int("online-batch", 0, "online fine-tune minibatch size (0 = default)")
+		onlineLR     = flag.Float64("online-lr", 0, "online fine-tune learning rate (0 = checkpoint's saved rate on warm start, else 1e-3)")
+		snapshotPath = flag.String("snapshot", "", "with -online: periodically write the fine-tuned model (ckpt v2) to this path")
+		snapshotEvry = flag.Duration("snapshot-every", time.Minute, "snapshot cadence")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataset, *scale, *epochs, *seed, *checkpoint, *save, serve.Config{
-		Workers:         *workers,
-		BatchSize:       *batchSize,
-		MaxDelay:        *maxDelay,
-		StaticCacheSize: *staticCache,
-		DynCacheSize:    *dynCache,
-	}); err != nil {
+	opts := serveOpts{
+		addr: *addr, dataset: *dataset, scale: *scale, epochs: *epochs, seed: *seed,
+		checkpoint: *checkpoint, configFromFlags: *cfgFlags, save: *save,
+		engine: serve.Config{
+			Workers:         *workers,
+			BatchSize:       *batchSize,
+			MaxDelay:        *maxDelay,
+			StaticCacheSize: *staticCache,
+			DynCacheSize:    *dynCache,
+		},
+		online: *onlineOn, onlineInterval: *onlineEvery, onlineBatch: *onlineBatch,
+		onlineLR: *onlineLR, snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvry,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "seqfm-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset, scale string, epochs int, seed int64, checkpoint, save string, ecfg serve.Config) error {
-	p := experiments.ParamsFor(experiments.Scale(scale))
-	p.Seed = seed
-	if epochs > 0 {
-		p.Epochs = epochs
+type serveOpts struct {
+	addr, dataset, scale string
+	epochs               int
+	seed                 int64
+	checkpoint, save     string
+	configFromFlags      bool
+	engine               serve.Config
+	online               bool
+	onlineInterval       time.Duration
+	onlineBatch          int
+	onlineLR             float64
+	snapshotPath         string
+	snapshotEvery        time.Duration
+}
+
+func run(o serveOpts) error {
+	// Reject inconsistent flags before any expensive work (dataset build,
+	// in-process training) is thrown away on them.
+	if o.snapshotPath != "" && !o.online {
+		return fmt.Errorf("-snapshot requires -online")
 	}
-	ds, err := buildDataset(p, dataset)
-	if err != nil {
-		return err
+	p := experiments.ParamsFor(experiments.Scale(o.scale))
+	p.Seed = o.seed
+	if o.epochs > 0 {
+		p.Epochs = o.epochs
 	}
-	model, err := p.SeqFM(ds.Space(), core.Ablation{})
+	ds, err := buildDataset(p, o.dataset)
 	if err != nil {
 		return err
 	}
 
-	if checkpoint != "" {
-		f, err := os.Open(checkpoint)
+	var model *core.Model
+	var snapshot *ckpt.File // non-nil when the checkpoint was ckpt v2
+	if o.checkpoint != "" {
+		model, snapshot, err = loadCheckpoint(o.checkpoint, o.configFromFlags, p, ds)
 		if err != nil {
 			return err
 		}
-		err = model.Load(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("load %s: %w", checkpoint, err)
-		}
-		log.Printf("loaded checkpoint %s", checkpoint)
 	} else {
+		if model, err = p.SeqFM(ds.Space(), core.Ablation{}); err != nil {
+			return err
+		}
 		split := data.NewSplit(ds)
 		cfg := p.TrainConfig()
 		if ds.Task == data.Regression {
@@ -110,26 +155,114 @@ func run(addr, dataset, scale string, epochs int, seed int64, checkpoint, save s
 		}
 		log.Printf("trained in %.1fs (final loss %.4f)", hist.Total.Seconds(), hist.FinalLoss())
 	}
-	if save != "" {
-		f, err := os.Create(save)
-		if err != nil {
-			return err
+	if o.save != "" {
+		if err := ckpt.SaveFile(o.save, model, nil, 0); err != nil {
+			return fmt.Errorf("save %s: %w", o.save, err)
 		}
-		err = model.Save(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("save %s: %w", save, err)
-		}
-		log.Printf("saved checkpoint %s", save)
+		log.Printf("saved checkpoint %s (ckpt v2)", o.save)
 	}
 
-	eng := serve.NewEngine(model, ecfg)
+	eng := serve.NewEngine(model, o.engine)
 	defer eng.Close()
-	srv := newServer(eng, ds)
-	log.Printf("serving %s (%d users, %d objects) on %s", ds.Name, ds.NumUsers, ds.NumObjects, addr)
-	return http.ListenAndServe(addr, srv.routes())
+
+	var learner *online.Learner
+	if o.online {
+		ocfg := online.Config{
+			Train: train.Config{
+				Seed:      o.seed,
+				LR:        o.onlineLR,
+				Workers:   o.engine.Workers,
+				Negatives: p.Negatives,
+			},
+			BatchSize: o.onlineBatch,
+			Interval:  o.onlineInterval,
+		}
+		if snapshot != nil {
+			// Warm-start fine-tuning from the embedded optimizer state and
+			// step counter of the already-decoded checkpoint.
+			learner, err = online.NewLearnerFromSnapshot(model, snapshot, ds, eng, ocfg)
+			if err != nil {
+				return fmt.Errorf("warm-start from %s: %w", o.checkpoint, err)
+			}
+			log.Printf("online trainer warm-started from %s", o.checkpoint)
+		} else {
+			if learner, err = online.NewLearner(model, ds, eng, ocfg); err != nil {
+				return err
+			}
+		}
+		learner.Start()
+		defer learner.Close()
+		lcfg := learner.Config() // resolved, not the raw flags
+		log.Printf("online learning enabled (batch=%d, interval=%s, lr=%g)",
+			lcfg.BatchSize, lcfg.Interval, learner.LR())
+		if o.snapshotPath != "" {
+			go snapshotLoop(learner, o.snapshotPath, o.snapshotEvery)
+		}
+	}
+
+	srv := newServer(eng, ds, model, learner)
+	log.Printf("serving %s (%d users, %d objects) on %s", ds.Name, ds.NumUsers, ds.NumObjects, o.addr)
+	return http.ListenAndServe(o.addr, srv.routes())
+}
+
+// loadCheckpoint opens path and dispatches on the sniffed format: v2 files
+// are self-describing (and must match the dataset's feature space) and
+// return their decoded ckpt.File for optimizer warm-starts; legacy v1 files
+// carry only weights, so the model is built from the flag-derived config —
+// an implicit dependency the operator must acknowledge with
+// -config-from-flags — and the returned file is nil.
+func loadCheckpoint(path string, configFromFlags bool, p experiments.Params, ds *data.Dataset) (*core.Model, *ckpt.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	switch ckpt.DetectVersion(r) {
+	case ckpt.V2:
+		m, file, err := ckpt.Load(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		if m.Config().Space != ds.Space() {
+			return nil, nil, fmt.Errorf("load %s: checkpoint space %+v does not match dataset %s space %+v",
+				path, m.Config().Space, ds.Name, ds.Space())
+		}
+		log.Printf("loaded checkpoint %s (ckpt v2: config embedded)", path)
+		return m, file, nil
+	case ckpt.V1:
+		if !configFromFlags {
+			return nil, nil, fmt.Errorf(
+				"%s is a legacy v1 checkpoint with no embedded config; pass -config-from-flags to build the model from -dataset/-scale (and re-save it as v2 with -save)", path)
+		}
+		m, err := p.SeqFM(ds.Space(), core.Ablation{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := m.Load(r); err != nil {
+			return nil, nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		log.Printf("WARNING: loaded legacy v1 checkpoint %s with config from flags (-dataset %s -scale config); mismatched flags would have been rejected only by shape, not by intent — re-save as v2",
+			path, ds.Name)
+		return m, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("%s is not a seqfm checkpoint", path)
+	}
+}
+
+// snapshotLoop periodically writes the fine-tuned model to disk (atomically:
+// temp file + rename), so a restart can warm-start from recent weights.
+func snapshotLoop(l *online.Learner, path string, every time.Duration) {
+	if every <= 0 {
+		every = time.Minute
+	}
+	for range time.Tick(every) {
+		if err := l.CheckpointFile(path); err != nil {
+			log.Printf("snapshot %s: %v", path, err)
+		} else {
+			log.Printf("snapshot written to %s", path)
+		}
+	}
 }
 
 func trainFor(m train.Model, split *data.Split, cfg train.Config, task data.Task) (*train.History, error) {
@@ -170,21 +303,40 @@ func buildDataset(p experiments.Params, name string) (*data.Dataset, error) {
 
 // server holds the request handlers' shared state.
 type server struct {
-	eng   *serve.Engine
-	ds    *data.Dataset
-	start time.Time
+	eng     *serve.Engine
+	ds      *data.Dataset
+	model   *core.Model
+	learner *online.Learner // nil unless -online
+	start   time.Time
 }
 
-func newServer(eng *serve.Engine, ds *data.Dataset) *server {
-	return &server{eng: eng, ds: ds, start: time.Now()}
+func newServer(eng *serve.Engine, ds *data.Dataset, model *core.Model, learner *online.Learner) *server {
+	return &server{eng: eng, ds: ds, model: model, learner: learner, start: time.Now()}
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/score", s.handleScore)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	return mux
+}
+
+// decodeJSON strictly decodes one JSON value from the request body: unknown
+// fields and trailing garbage are errors, so malformed bodies surface as 400s
+// instead of being half-accepted.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
 }
 
 // jsonInstance is the wire form of feature.Instance. Attr fields are
@@ -239,7 +391,7 @@ func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Instances []jsonInstance `json:"instances"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -260,6 +412,19 @@ func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// liveHistory resolves a user's default history: the online store when the
+// learner runs (dataset log plus every ingested event), else the frozen log.
+func (s *server) liveHistory(user int) []int {
+	if s.learner != nil {
+		return s.learner.History(user)
+	}
+	var hist []int
+	for _, it := range s.ds.Users[user] {
+		hist = append(hist, it.Object)
+	}
+	return hist
+}
+
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		User       int   `json:"user"`
@@ -267,7 +432,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Candidates []int `json:"candidates"`
 		K          int   `json:"k"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -277,9 +442,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	hist := req.Hist
 	if hist == nil {
-		for _, it := range s.ds.Users[req.User] {
-			hist = append(hist, it.Object)
-		}
+		hist = s.liveHistory(req.User)
 	}
 	for _, h := range hist {
 		if h < 0 || h >= s.ds.NumObjects {
@@ -309,7 +472,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		tkr.AttrOf = func(o int) int { return s.ds.ItemAttr[o] }
 	}
 	started := time.Now()
-	items := s.eng.TopK(tkr)
+	items, gen := s.eng.TopKOn(tkr)
 	type jsonItem struct {
 		Object int     `json:"object"`
 		Score  float64 `json:"score"`
@@ -320,8 +483,97 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, map[string]any{
 		"items":      out,
+		"generation": gen,
 		"elapsed_ms": float64(time.Since(started).Microseconds()) / 1000,
 	})
+}
+
+// jsonEvent is the wire form of one feedback interaction.
+type jsonEvent struct {
+	User   int      `json:"user"`
+	Object int      `json:"object"`
+	Label  *float64 `json:"label,omitempty"` // default 1 (implicit feedback)
+}
+
+func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if s.learner == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("online learning disabled; restart with -online"))
+		return
+	}
+	var req struct {
+		User   *int        `json:"user,omitempty"`
+		Object *int        `json:"object,omitempty"`
+		Label  *float64    `json:"label,omitempty"`
+		Events []jsonEvent `json:"events,omitempty"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	events := req.Events
+	if req.User != nil || req.Object != nil {
+		if req.User == nil || req.Object == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("single event needs both user and object"))
+			return
+		}
+		events = append(events, jsonEvent{User: *req.User, Object: *req.Object, Label: req.Label})
+	}
+	if len(events) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no events in body"))
+		return
+	}
+	// Validate the whole batch before ingesting any of it: a mid-batch
+	// rejection must not leave earlier events half-applied (appended to
+	// histories and the training queue) behind a plain 400 — the client
+	// would retry and double-ingest them.
+	for i, ev := range events {
+		if ev.User < 0 || ev.User >= s.ds.NumUsers {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("event %d: user %d outside [0,%d)", i, ev.User, s.ds.NumUsers))
+			return
+		}
+		if ev.Object < 0 || ev.Object >= s.ds.NumObjects {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("event %d: object %d outside [0,%d)", i, ev.Object, s.ds.NumObjects))
+			return
+		}
+	}
+	for i, ev := range events {
+		label := 1.0
+		if ev.Label != nil {
+			label = *ev.Label
+		}
+		if err := s.learner.Ingest(ev.User, ev.Object, label); err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("event %d: %w", i, err))
+			return
+		}
+	}
+	st := s.learner.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]any{"accepted": len(events), "pending": st.Pending})
+}
+
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	cfg := s.model.Config()
+	resp := map[string]any{
+		"generation": st.Generation,
+		"swaps":      st.Swaps,
+		"num_params": s.model.NumParams(),
+		"config": map[string]any{
+			"dim": cfg.Dim, "layers": cfg.Layers, "max_seq_len": cfg.MaxSeqLen,
+			"users": cfg.Space.NumUsers, "objects": cfg.Space.NumObjects,
+		},
+		"checkpoint_format": "seqfm-ckpt-v2",
+	}
+	if s.learner != nil {
+		ls := s.learner.Stats()
+		resp["online"] = map[string]any{
+			"ingested": ls.Ingested, "dropped": ls.Dropped, "pending": ls.Pending,
+			"steps": ls.Steps, "swaps": ls.Swaps, "last_loss": ls.LastLoss,
+			"history_users": ls.HistoryUsers,
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -333,7 +585,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"users":    s.ds.NumUsers,
 		"objects":  s.ds.NumObjects,
 		"uptime_s": time.Since(s.start).Seconds(),
+		"online":   s.learner != nil,
 		"engine": map[string]any{
+			"generation":     st.Generation,
+			"swaps":          st.Swaps,
 			"instances":      st.Instances,
 			"flushes":        st.Flushes,
 			"static_hits":    st.StaticHits,
@@ -347,7 +602,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("write response: %v", err)
 	}

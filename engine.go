@@ -21,8 +21,18 @@ import "seqfm/internal/serve"
 type Engine = serve.Engine
 
 // EngineConfig parameterises NewEngine; the zero value takes every default
-// (GOMAXPROCS workers, bounded caches, 64-instance micro-batches).
+// (GOMAXPROCS workers, bounded LRU caches, 64-instance micro-batches).
 type EngineConfig = serve.Config
+
+// CachePolicy selects the engine caches' eviction discipline.
+type CachePolicy = serve.CachePolicy
+
+// The cache policies: LRU (default — touch-on-hit keeps hot entries resident
+// under skewed top-K traffic) and FIFO (the measured legacy baseline).
+const (
+	CacheLRU  = serve.CacheLRU
+	CacheFIFO = serve.CacheFIFO
+)
 
 // EngineStats is a snapshot of an Engine's traffic and cache counters.
 type EngineStats = serve.Stats
@@ -33,9 +43,10 @@ type TopKRequest = serve.TopKRequest
 // Item is one scored candidate returned by (*Engine).TopK.
 type Item = serve.Item
 
-// NewEngine builds an inference engine over a frozen model. SeqFM models
+// NewEngine builds an inference engine over a model snapshot. SeqFM models
 // get the fully cached scoring path; baseline models (any Scorer) still get
-// tape reuse and parallel fan-out. The model's weights must not change
-// while the engine serves them — after further training, call
-// (*Engine).InvalidateCaches.
+// tape reuse and parallel fan-out. The weights of the served model must stay
+// immutable while a generation serves them — to deploy new weights, publish
+// a clone with (*Engine).Swap (zero-downtime, non-blocking; see the online
+// subsystem), or call (*Engine).InvalidateCaches after an in-place update.
 func NewEngine(m Scorer, cfg EngineConfig) *Engine { return serve.NewEngine(m, cfg) }

@@ -6,16 +6,76 @@ import (
 	"io"
 )
 
-// paramBlob is the gob wire form of one parameter.
-type paramBlob struct {
+// ParamData is the serializable form of one parameter: its name, shape and
+// weight values. It is both the gob wire form of SaveParams/LoadParams (v1
+// checkpoints) and the in-memory currency of the self-describing ckpt v2
+// format (internal/ckpt), which embeds a []ParamData next to the model
+// configuration and optimizer state.
+type ParamData struct {
 	Name       string
 	Rows, Cols int
 	Data       []float64
 }
 
+// ExportParams snapshots the parameter values into self-contained ParamData
+// records. The data slices are copies: the snapshot stays stable while
+// training keeps mutating the parameters.
+func ExportParams(params []*Param) []ParamData {
+	out := make([]ParamData, len(params))
+	for i, p := range params {
+		out[i] = ParamData{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		}
+	}
+	return out
+}
+
+// ImportParams restores exported parameter values into params, matching by
+// name. Every record must correspond to a parameter of the same shape and
+// every parameter must be covered — a snapshot from a differently-configured
+// model is rejected rather than silently partially applied.
+func ImportParams(params []*Param, blobs []ParamData) error {
+	byName := make(map[string]*Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	if len(blobs) != len(params) {
+		return fmt.Errorf("ag: snapshot has %d params, model has %d", len(blobs), len(params))
+	}
+	// Validate everything before copying anything: a mid-list rejection must
+	// not leave a live model with half-swapped weights.
+	seen := make(map[string]bool, len(blobs))
+	for _, blob := range blobs {
+		p, ok := byName[blob.Name]
+		if !ok {
+			return fmt.Errorf("ag: snapshot param %q not in model", blob.Name)
+		}
+		if seen[blob.Name] {
+			return fmt.Errorf("ag: duplicate snapshot param %q", blob.Name)
+		}
+		seen[blob.Name] = true
+		if p.Value.Rows != blob.Rows || p.Value.Cols != blob.Cols {
+			return fmt.Errorf("ag: param %q shape %dx%d in snapshot, %dx%d in model",
+				blob.Name, blob.Rows, blob.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		if len(blob.Data) != len(p.Value.Data) {
+			return fmt.Errorf("ag: param %q has %d values for shape %dx%d",
+				blob.Name, len(blob.Data), blob.Rows, blob.Cols)
+		}
+	}
+	for _, blob := range blobs {
+		copy(byName[blob.Name].Value.Data, blob.Data)
+	}
+	return nil
+}
+
 // SaveParams writes the parameter values (not gradients or optimizer state)
 // to w in a stable, versioned gob stream. Use with LoadParams to checkpoint
-// and restore any model in this repository.
+// and restore any model in this repository. This is the legacy config-blind
+// v1 format; prefer internal/ckpt's self-describing v2 for new checkpoints.
 func SaveParams(w io.Writer, params []*Param) error {
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode("seqfm-params-v1"); err != nil {
@@ -25,7 +85,7 @@ func SaveParams(w io.Writer, params []*Param) error {
 		return fmt.Errorf("ag: save count: %w", err)
 	}
 	for _, p := range params {
-		blob := paramBlob{Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data}
+		blob := ParamData{Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data}
 		if err := enc.Encode(blob); err != nil {
 			return fmt.Errorf("ag: save %s: %w", p.Name, err)
 		}
@@ -34,10 +94,7 @@ func SaveParams(w io.Writer, params []*Param) error {
 }
 
 // LoadParams restores parameter values saved by SaveParams into params,
-// matching by name. Every stored parameter must exist in params with the
-// same shape, and every parameter in params must be present in the stream —
-// a checkpoint from a differently-configured model is rejected rather than
-// silently partially applied.
+// matching by name with the same completeness checks as ImportParams.
 func LoadParams(r io.Reader, params []*Param) error {
 	dec := gob.NewDecoder(r)
 	var header string
@@ -51,32 +108,19 @@ func LoadParams(r io.Reader, params []*Param) error {
 	if err := dec.Decode(&count); err != nil {
 		return fmt.Errorf("ag: load count: %w", err)
 	}
-	byName := make(map[string]*Param, len(params))
-	for _, p := range params {
-		byName[p.Name] = p
-	}
+	// Fail fast on a count mismatch before decoding any blob: each blob's
+	// Data is a gob-allocated slice of stream-chosen length, so a corrupt or
+	// wrong-model checkpoint should be rejected before it can allocate.
 	if count != len(params) {
 		return fmt.Errorf("ag: checkpoint has %d params, model has %d", count, len(params))
 	}
-	seen := make(map[string]bool, count)
+	blobs := make([]ParamData, 0, count)
 	for i := 0; i < count; i++ {
-		var blob paramBlob
+		var blob ParamData
 		if err := dec.Decode(&blob); err != nil {
 			return fmt.Errorf("ag: load param %d: %w", i, err)
 		}
-		p, ok := byName[blob.Name]
-		if !ok {
-			return fmt.Errorf("ag: checkpoint param %q not in model", blob.Name)
-		}
-		if seen[blob.Name] {
-			return fmt.Errorf("ag: duplicate checkpoint param %q", blob.Name)
-		}
-		seen[blob.Name] = true
-		if p.Value.Rows != blob.Rows || p.Value.Cols != blob.Cols {
-			return fmt.Errorf("ag: param %q shape %dx%d in checkpoint, %dx%d in model",
-				blob.Name, blob.Rows, blob.Cols, p.Value.Rows, p.Value.Cols)
-		}
-		copy(p.Value.Data, blob.Data)
+		blobs = append(blobs, blob)
 	}
-	return nil
+	return ImportParams(params, blobs)
 }

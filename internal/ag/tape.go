@@ -75,6 +75,12 @@ func NewTrainingTape(rng *rand.Rand) *Tape {
 // Training reports whether the tape runs in training mode.
 func (t *Tape) Training() bool { return t.training }
 
+// SetRNG replaces the tape's dropout stream. The incremental training engine
+// (train.Stepper) rederives every worker's streams from the step counter
+// before each minibatch, so a restored run draws the same dropout masks as
+// the run that wrote the checkpoint. rng must not be shared with other tapes.
+func (t *Tape) SetRNG(rng *rand.Rand) { t.rng = rng }
+
 // NumNodes returns how many nodes the tape has recorded, a cheap proxy for
 // graph size used by tests and memory diagnostics.
 func (t *Tape) NumNodes() int { return len(t.nodes) }

@@ -1,0 +1,176 @@
+// Package ckpt implements the self-describing checkpoint format v2: a raw
+// magic header followed by one gob-encoded File holding the model
+// configuration, every parameter, and (optionally) the Adam optimizer state
+// plus the incremental-trainer step counter.
+//
+// Unlike the legacy v1 stream (ag.SaveParams — weights only, matched by name
+// against a model the caller must have already built with the right Config),
+// a v2 file reconstructs the model by itself: Load reads the embedded Config,
+// builds a fresh core.Model and imports the weights into it. Embedding the
+// optimizer state is what closes the train→serve loop across restarts — a
+// restored run resumes fine-tuning bit-identically to the run that wrote the
+// snapshot (see train.Stepper's restart-exact determinism contract, pinned by
+// the online package's tests).
+//
+// The magic is raw bytes, not a gob value, so readers can cheaply sniff the
+// version of an arbitrary checkpoint file (DetectVersion) before committing
+// to a decoder.
+package ckpt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/core"
+	"seqfm/internal/optim"
+)
+
+// MagicV2 is the raw byte prefix of every v2 checkpoint.
+const MagicV2 = "seqfm-ckpt-v2\n"
+
+// Version identifies a checkpoint format.
+type Version int
+
+// The checkpoint formats a file can carry.
+const (
+	// VUnknown: not a checkpoint this repository wrote.
+	VUnknown Version = iota
+	// V1 is the legacy config-blind param stream (ag.SaveParams).
+	V1
+	// V2 is this package's self-describing format.
+	V2
+)
+
+// v1Prefix is the gob encoding of the string "seqfm-params-v1", the first
+// value of every v1 stream; DetectVersion matches it byte for byte.
+var v1Prefix = func() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode("seqfm-params-v1"); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}()
+
+// File is the decoded content of a v2 checkpoint.
+type File struct {
+	// Config reconstructs the model; Load feeds it to core.New.
+	Config core.Config
+	// Params holds every model parameter by name.
+	Params []ag.ParamData
+	// Opt is the Adam state for warm-start fine-tuning; nil when the
+	// checkpoint was written without an optimizer (e.g. after offline
+	// training, whose optimizer is internal to the epoch loop).
+	Opt *optim.AdamState
+	// Steps is the incremental trainer's minibatch counter
+	// (train.Stepper.Steps) at save time; 0 when not applicable. Restoring
+	// it aligns the stepper's derived random streams with the saved run.
+	Steps int64
+}
+
+// Save writes m (and, when non-nil, opt's state and the step counter) to w as
+// a v2 checkpoint.
+func Save(w io.Writer, m *core.Model, opt *optim.Adam, steps int64) error {
+	if _, err := io.WriteString(w, MagicV2); err != nil {
+		return fmt.Errorf("ckpt: write magic: %w", err)
+	}
+	f := File{Config: m.Config(), Params: ag.ExportParams(m.Params()), Steps: steps}
+	if opt != nil {
+		st := opt.Export()
+		f.Opt = &st
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("ckpt: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a v2 checkpoint and reconstructs the model it describes: a
+// fresh core.Model built from the embedded Config with the saved weights
+// imported. The returned File carries the optimizer state and step counter
+// for callers that warm-start fine-tuning (see optim.NewAdamFromState and
+// train.Stepper.SetSteps).
+func Load(r io.Reader) (*core.Model, *File, error) {
+	magic := make([]byte, len(MagicV2))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, nil, fmt.Errorf("ckpt: read magic: %w", err)
+	}
+	if string(magic) != MagicV2 {
+		if bytes.HasPrefix(v1Prefix, magic) || bytes.HasPrefix(magic, v1Prefix) {
+			return nil, nil, fmt.Errorf("ckpt: legacy v1 checkpoint (no embedded config); load it with core.Model.Load into a matching model")
+		}
+		return nil, nil, fmt.Errorf("ckpt: bad magic %q", magic)
+	}
+	var f File
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("ckpt: decode: %w", err)
+	}
+	m, err := core.New(f.Config)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ckpt: embedded config: %w", err)
+	}
+	if err := ag.ImportParams(m.Params(), f.Params); err != nil {
+		return nil, nil, fmt.Errorf("ckpt: import params: %w", err)
+	}
+	return m, &f, nil
+}
+
+// DetectVersion sniffs the checkpoint format by its leading bytes without
+// consuming them; r keeps its position.
+func DetectVersion(r *bufio.Reader) Version {
+	n := len(MagicV2)
+	if len(v1Prefix) > n {
+		n = len(v1Prefix)
+	}
+	prefix, _ := r.Peek(n)
+	if bytes.HasPrefix(prefix, []byte(MagicV2)) {
+		return V2
+	}
+	if bytes.HasPrefix(prefix, v1Prefix) {
+		return V1
+	}
+	return VUnknown
+}
+
+// SaveFile atomically writes a v2 checkpoint to path: the bytes land in a
+// temporary file in the same directory (same filesystem, so the rename is
+// atomic), which is renamed over path only after a successful write — a
+// reader (or a crash) never observes a torn snapshot.
+func SaveFile(path string, m *core.Model, opt *optim.Adam, steps int64) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	err = Save(tmp, m, opt, steps)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// LoadFile loads a v2 checkpoint from path.
+func LoadFile(path string) (*core.Model, *File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,252 @@
+package ckpt
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+	"seqfm/internal/optim"
+)
+
+func testModel(t testing.TB) *core.Model {
+	t.Helper()
+	cfg := core.Config{
+		Space:     feature.Space{NumUsers: 7, NumObjects: 19, NumItemAttrs: 3},
+		Dim:       6,
+		Layers:    2,
+		MaxSeqLen: 5,
+		KeepProb:  0.8,
+		Seed:      21,
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// stirredAdam returns an Adam whose moments and step count are non-trivial,
+// so a round trip actually exercises the state.
+func stirredAdam(m *core.Model) *optim.Adam {
+	opt := optim.NewAdam(m.Params(), 3e-3)
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 3; step++ {
+		for _, p := range m.Params() {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = rng.NormFloat64()
+			}
+		}
+		opt.Step()
+	}
+	return opt
+}
+
+func TestRoundTripConfigParamsAndOptimizer(t *testing.T) {
+	m := testModel(t)
+	opt := stirredAdam(m)
+	var buf bytes.Buffer
+	if err := Save(&buf, m, opt, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	got, f, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Config != m.Config() {
+		t.Fatalf("config round trip: %+v != %+v", f.Config, m.Config())
+	}
+	if f.Steps != 42 {
+		t.Fatalf("steps: %d", f.Steps)
+	}
+	wantP, gotP := m.Params(), got.Params()
+	for i := range wantP {
+		for j, v := range wantP[i].Value.Data {
+			if gotP[i].Value.Data[j] != v {
+				t.Fatalf("param %s[%d] drifted in round trip", wantP[i].Name, j)
+			}
+		}
+	}
+	if f.Opt == nil {
+		t.Fatal("optimizer state missing")
+	}
+	want := opt.Export()
+	if f.Opt.Step != want.Step || f.Opt.LR != want.LR {
+		t.Fatalf("adam meta: %+v vs %+v", f.Opt, want)
+	}
+	restored, err := optim.NewAdamFromState(got.Params(), *f.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := restored.Export()
+	for name, mv := range want.M {
+		for i, v := range mv {
+			if back.M[name][i] != v || back.V[name][i] != want.V[name][i] {
+				t.Fatalf("adam moments for %s drifted", name)
+			}
+		}
+	}
+}
+
+func TestRoundTripWithoutOptimizer(t *testing.T) {
+	m := testModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, f, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Opt != nil {
+		t.Fatal("phantom optimizer state")
+	}
+}
+
+func TestSaveFileLoadFileAtomic(t *testing.T) {
+	m := testModel(t)
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := SaveFile(path, m, nil, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with the same content: the rename path must replace cleanly.
+	if err := SaveFile(path, m, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	_, f, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Steps != 8 {
+		t.Fatalf("steps after overwrite: %d", f.Steps)
+	}
+}
+
+// TestTruncatedCheckpointsError feeds the decoder every truncation of a valid
+// checkpoint; each must produce an error, never a panic or a silent success.
+func TestTruncatedCheckpointsError(t *testing.T) {
+	m := testModel(t)
+	opt := stirredAdam(m)
+	var buf bytes.Buffer
+	if err := Save(&buf, m, opt, 3); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	stride := 1
+	if len(raw) > 4096 {
+		stride = len(raw) / 4096
+	}
+	for cut := 0; cut < len(raw); cut += stride {
+		if _, _, err := Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes loaded without error", cut, len(raw))
+		}
+	}
+}
+
+// TestCorruptMagicAndVersion exercises the format gate: foreign bytes, a
+// v1 stream, and a tampered version string must all be rejected with errors.
+func TestCorruptMagicAndVersion(t *testing.T) {
+	m := testModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Tamper with each byte of the magic in turn.
+	for i := 0; i < len(MagicV2); i++ {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x20
+		if _, _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupt magic byte %d accepted", i)
+		}
+	}
+
+	// A hypothetical future version must not decode as v2.
+	future := append([]byte("seqfm-ckpt-v3\n"), raw[len(MagicV2):]...)
+	if _, _, err := Load(bytes.NewReader(future)); err == nil {
+		t.Fatal("v3 magic accepted by the v2 decoder")
+	}
+
+	// A v1 stream is detected and rejected with a pointed error.
+	var v1 bytes.Buffer
+	if err := m.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(bytes.NewReader(v1.Bytes())); err == nil {
+		t.Fatal("v1 stream accepted by the v2 decoder")
+	}
+
+	// Arbitrary junk.
+	if _, _, err := Load(bytes.NewReader([]byte("GIF89a not a checkpoint"))); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+// TestBitFlipsNeverPanic flips bytes throughout the payload: the decoder may
+// reject (the common case) but must never panic.
+func TestBitFlipsNeverPanic(t *testing.T) {
+	m := testModel(t)
+	opt := stirredAdam(m)
+	var buf bytes.Buffer
+	if err := Save(&buf, m, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		bad := append([]byte(nil), raw...)
+		for flips := 0; flips <= trial%3; flips++ {
+			bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			_, _, _ = Load(bytes.NewReader(bad))
+		}()
+	}
+}
+
+func TestDetectVersion(t *testing.T) {
+	m := testModel(t)
+	var v2 bytes.Buffer
+	if err := Save(&v2, m, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := m.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want Version
+	}{
+		{"v2", v2.Bytes(), V2},
+		{"v1", v1.Bytes(), V1},
+		{"junk", []byte("#!/bin/sh"), VUnknown},
+		{"empty", nil, VUnknown},
+	}
+	for _, c := range cases {
+		r := bufio.NewReader(bytes.NewReader(c.data))
+		if got := DetectVersion(r); got != c.want {
+			t.Errorf("%s: DetectVersion=%v, want %v", c.name, got, c.want)
+		}
+		// Sniffing must not consume: a full read afterwards sees every byte.
+		rest := make([]byte, len(c.data))
+		if _, err := io.ReadFull(r, rest); err != nil && len(c.data) > 0 {
+			t.Errorf("%s: post-sniff read: %v", c.name, err)
+		}
+		if !bytes.Equal(rest, c.data) {
+			t.Errorf("%s: DetectVersion consumed bytes", c.name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 
 	"seqfm/internal/ag"
@@ -8,7 +9,9 @@ import (
 
 // Save writes the model's weights to w as a versioned checkpoint. The
 // configuration is not stored; Load requires a model built with the same
-// Config (shape mismatches are rejected).
+// Config (shape mismatches are rejected). This is the legacy v1 format —
+// internal/ckpt's v2 embeds the Config (and optimizer state) so a model can
+// be reconstructed from the file alone.
 func (m *Model) Save(w io.Writer) error {
 	return ag.SaveParams(w, m.Params())
 }
@@ -16,4 +19,22 @@ func (m *Model) Save(w io.Writer) error {
 // Load restores weights saved by Save into m.
 func (m *Model) Load(r io.Reader) error {
 	return ag.LoadParams(r, m.Params())
+}
+
+// Clone returns a deep copy of the model: same configuration, independent
+// parameter storage. The online-learning subsystem fine-tunes a clone in the
+// background and publishes further clones to the serving engine, so the
+// weights an engine snapshot reads are never mutated by training.
+func (m *Model) Clone() *Model {
+	c, err := New(m.cfg)
+	if err != nil {
+		// cfg was validated when m was built; New can only fail on an
+		// invalid config.
+		panic(fmt.Sprintf("core: clone: %v", err))
+	}
+	src, dst := m.Params(), c.Params()
+	for i, p := range src {
+		copy(dst[i].Value.Data, p.Value.Data)
+	}
+	return c
 }

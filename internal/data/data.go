@@ -221,6 +221,24 @@ func NewNegativeSampler(d *Dataset, rng *rand.Rand) *NegativeSampler {
 	return ns
 }
 
+// Reseed replaces the sampler's random stream, keeping the indexed
+// interaction sets. The incremental trainer (train.Stepper) rederives each
+// worker's sampling stream from the step counter before every minibatch so
+// that checkpoint-restored runs draw the same negatives.
+func (ns *NegativeSampler) Reseed(rng *rand.Rand) { ns.rng = rng }
+
+// MarkSeen records that user u has now interacted with object o, so later
+// Sample calls stop proposing it as a negative. The online trainer feeds
+// ingested events through this before fine-tuning on them — without it, a
+// freshly trending object would keep being sampled as its own negative. Not
+// safe concurrently with Sample; the callers serialise on the training lock.
+func (ns *NegativeSampler) MarkSeen(u, o int) {
+	if u < 0 || u >= len(ns.seen) {
+		return
+	}
+	ns.seen[u][o] = true
+}
+
 // Sample returns one object user u has never interacted with. It falls back
 // to a uniform object if the user has seen (nearly) everything.
 func (ns *NegativeSampler) Sample(u int) int {

@@ -1,0 +1,142 @@
+package online
+
+import (
+	"sync"
+
+	"seqfm/internal/data"
+)
+
+// HistoryStore is the live counterpart of data.Dataset's frozen interaction
+// logs: a sharded, lock-striped map from user id to that user's most recent
+// object sequence, bounded per user. Ingest appends to it on the request
+// path, so the stripe count is sized to keep concurrent writers from
+// convoying on one mutex; reads (assembling the dynamic view of a serving
+// request or a training instance) take only the stripe's shared lock.
+type HistoryStore struct {
+	maxLen int
+	shards []histShard
+	mask   uint32
+}
+
+type histShard struct {
+	mu    sync.RWMutex
+	users map[int][]int
+}
+
+// defaultHistoryShards is plenty of stripes for laptop-scale concurrency
+// while staying cheap to allocate; NewHistoryStore rounds requests up to a
+// power of two so the shard index is a mask, not a modulo.
+const defaultHistoryShards = 64
+
+// NewHistoryStore builds a store keeping at most maxLen objects per user
+// across the given number of lock stripes (rounded up to a power of two;
+// <= 0 means the default).
+func NewHistoryStore(shards, maxLen int) *HistoryStore {
+	if shards <= 0 {
+		shards = defaultHistoryShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &HistoryStore{maxLen: maxLen, shards: make([]histShard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].users = make(map[int][]int)
+	}
+	return s
+}
+
+// shard picks the stripe for a user. User ids are dense small ints, so a
+// multiplicative hash spreads consecutive ids across stripes.
+func (s *HistoryStore) shard(user int) *histShard {
+	h := uint32(user) * 2654435761 // Knuth's multiplicative hash
+	return &s.shards[(h>>16)&s.mask]
+}
+
+// Append records objects as user's newest interactions, trimming the history
+// to the configured bound. Oldest entries are discarded first, matching the
+// paper's "most recent n. objects" dynamic-view construction.
+func (s *HistoryStore) Append(user int, objects ...int) {
+	s.append(user, false, objects...)
+}
+
+// AppendSnapshot is Append plus an atomic read of the history as it stood
+// before this append, under one stripe-lock critical section. Ingest builds
+// its training instance from the returned snapshot: with concurrent feedback
+// for the same user, a plain History-then-Append pair could hand two events
+// the same "before" state, silently dropping one from the other's
+// supervision. The returned slice is a copy owned by the caller.
+func (s *HistoryStore) AppendSnapshot(user int, objects ...int) []int {
+	return s.append(user, true, objects...)
+}
+
+func (s *HistoryStore) append(user int, snapshot bool, objects ...int) []int {
+	sh := s.shard(user)
+	sh.mu.Lock()
+	var before []int
+	if snapshot {
+		before = append([]int(nil), sh.users[user]...)
+	}
+	if len(objects) > 0 {
+		h := append(sh.users[user], objects...)
+		if s.maxLen > 0 && len(h) > s.maxLen {
+			// Copy down instead of re-slicing so the backing array cannot
+			// grow without bound across appends.
+			keep := h[len(h)-s.maxLen:]
+			h = h[:copy(h[:s.maxLen], keep)]
+		}
+		sh.users[user] = h
+	}
+	sh.mu.Unlock()
+	return before
+}
+
+// History returns a copy of user's bounded history, oldest first. The copy
+// is owned by the caller: later Appends never mutate it, which is what lets
+// a training instance or an in-flight serving request hold it without
+// locking.
+func (s *HistoryStore) History(user int) []int {
+	sh := s.shard(user)
+	sh.mu.RLock()
+	h := sh.users[user]
+	out := make([]int, len(h))
+	copy(out, h)
+	sh.mu.RUnlock()
+	return out
+}
+
+// Len returns the current length of user's history.
+func (s *HistoryStore) Len(user int) int {
+	sh := s.shard(user)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.users[user])
+}
+
+// Users counts users with a non-empty history.
+func (s *HistoryStore) Users() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.users)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// SeedFromDataset loads every user's interaction log (bounded to the per-user
+// cap) so the live store starts where the offline dataset ends.
+func (s *HistoryStore) SeedFromDataset(ds *data.Dataset) {
+	for u, log := range ds.Users {
+		start := 0
+		if s.maxLen > 0 && len(log) > s.maxLen {
+			start = len(log) - s.maxLen
+		}
+		objs := make([]int, 0, len(log)-start)
+		for _, it := range log[start:] {
+			objs = append(objs, it.Object)
+		}
+		s.Append(u, objs...)
+	}
+}

@@ -1,0 +1,518 @@
+// Package online closes SeqFM's train→serve loop at runtime: the subsystem
+// that turns the offline training engine (internal/train) and the batched
+// inference engine (internal/serve) into one live system that keeps adapting
+// to an interaction stream, the deployment reality the sequence-aware
+// recommender literature insists on — user preferences drift, so a frozen
+// model decays.
+//
+// The pieces and their contracts:
+//
+//   - Ingest appends each interaction to a sharded, lock-striped per-user
+//     HistoryStore (so the dynamic view of subsequent requests reflects the
+//     newest behaviour immediately, before any retraining) and captures the
+//     event as a training instance whose history is the user's state at
+//     ingest time — exactly the next-item supervision the offline split
+//     builds from frozen logs.
+//   - A background incremental trainer drains captured events into
+//     minibatches and fine-tunes a shadow clone of the model through
+//     train.Stepper — the same sharded two-phase-forward engine as offline
+//     training, warm-started from the deployed optimizer state. Serving
+//     never reads the shadow: the weights an engine snapshot sees are
+//     immutable by construction.
+//   - Publishing clones the shadow and hot-swaps it into the serve.Engine
+//     (RCU generation snapshot), so readers never block and in-flight
+//     requests finish on the generation they started with.
+//   - Checkpoint writes the shadow + optimizer state + step counter as a
+//     self-describing ckpt v2 file; restoring it resumes fine-tuning
+//     bit-identically (train.Stepper's restart-exact determinism).
+//
+// Staleness contract: served scores are always computed from a consistent
+// generation (bit-identical to a fresh-tape Score under that generation's
+// weights) but may lag Ingest by up to one publish interval; histories, by
+// contrast, are read live at request time. Determinism contract: for a fixed
+// {Seed, Workers} and the same ingest order, the sequence of published
+// weights is bit-reproducible.
+package online
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqfm/internal/ckpt"
+	"seqfm/internal/core"
+	"seqfm/internal/data"
+	"seqfm/internal/feature"
+	"seqfm/internal/optim"
+	"seqfm/internal/serve"
+	"seqfm/internal/train"
+)
+
+// Defaults for Config's zero fields.
+const (
+	DefaultBatchSize  = 64
+	DefaultMaxPending = 1 << 16
+	DefaultInterval   = 250 * time.Millisecond
+)
+
+// Config parameterises a Learner. The zero value takes every default.
+type Config struct {
+	// Train configures the fine-tuning steps: Seed and Workers fix the
+	// determinism contract, LR/Negatives/GradClip the optimisation.
+	// Train.BatchSize and Train.Epochs are ignored (batching is event-driven
+	// here); BatchSize below is the knob.
+	Train train.Config
+	// BatchSize is the fine-tune minibatch size events are drained into.
+	// 0 means DefaultBatchSize.
+	BatchSize int
+	// MaxPending bounds the buffered event queue; beyond it the oldest
+	// events are dropped (counted in Stats.Dropped). 0 means
+	// DefaultMaxPending.
+	MaxPending int
+	// HistoryLen bounds each user's live history. 0 derives 4× the model's
+	// MaxSeqLen — enough slack that the dynamic view never truncates early
+	// while the store stays O(users · n.).
+	HistoryLen int
+	// Interval is the background trainer's drain cadence. 0 means
+	// DefaultInterval.
+	Interval time.Duration
+	// MinEvents defers background fine-tuning until at least this many
+	// events are pending (a Sync call ignores it). 0 means 1.
+	MinEvents int
+}
+
+func (c Config) withDefaults(model *core.Model) Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = DefaultMaxPending
+	}
+	if c.HistoryLen <= 0 {
+		c.HistoryLen = 4 * model.Config().MaxSeqLen
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.MinEvents <= 0 {
+		c.MinEvents = 1
+	}
+	return c
+}
+
+// Stats is a snapshot of the learner's counters.
+type Stats struct {
+	// Ingested counts accepted events; Dropped counts events evicted from a
+	// full pending queue before training saw them.
+	Ingested, Dropped int64
+	// Pending is the current backlog of untrained events.
+	Pending int
+	// Steps counts applied fine-tune minibatches; Swaps counts published
+	// generations.
+	Steps, Swaps int64
+	// LastLoss is the mean loss of the most recent fine-tune batch.
+	LastLoss float64
+	// Generation is the serving engine's current generation id.
+	Generation uint64
+	// HistoryUsers is the number of users with a live history.
+	HistoryUsers int
+}
+
+// Learner is the online-learning subsystem: one per served model. Its public
+// methods are safe for concurrent use.
+type Learner struct {
+	cfg Config
+	ds  *data.Dataset
+	eng *serve.Engine
+
+	store *HistoryStore
+
+	// mu guards the pending event queue (the ingest path). The queue is a
+	// slice with a head index: drains and drop-oldest advance head instead
+	// of memmoving the buffer, so ingest stays O(1) amortised even when the
+	// queue is saturated; the live region is compacted down only when the
+	// dead prefix outgrows it.
+	mu      sync.Mutex
+	pending []feature.Instance
+	head    int
+
+	// trainMu serialises fine-tuning, publishing and checkpointing (the
+	// trainer path). Never held while scoring.
+	trainMu sync.Mutex
+	model   *core.Model // shadow copy; serving never reads it
+	stepper *train.Stepper
+
+	ingested atomic.Int64
+	dropped  atomic.Int64
+	steps    atomic.Int64
+	swaps    atomic.Int64
+	lastLoss atomic.Uint64 // math.Float64bits
+
+	bg struct {
+		sync.Mutex
+		stop chan struct{}
+		done chan struct{}
+	}
+}
+
+// NewLearner builds a learner that fine-tunes a shadow clone of m on events
+// ingested for ds's feature space and publishes snapshots to eng. m itself
+// is never mutated or served: the learner clones it once at construction and
+// clones the shadow again on every publish. The loss follows ds.Task. The
+// live history store is seeded from ds's interaction logs.
+func NewLearner(m *core.Model, ds *data.Dataset, eng *serve.Engine, cfg Config) (*Learner, error) {
+	return newLearner(m.Clone(), nil, 0, ds, eng, cfg)
+}
+
+// NewLearnerFromCheckpoint restores the shadow model, optimizer state and
+// step counter from a ckpt v2 stream, then continues exactly where the saved
+// run stopped: subsequent fine-tuning is bit-identical to the run that wrote
+// the checkpoint fed the same event batches (fixed {Seed, Workers}). The
+// restored model is also published to eng so serving starts on the saved
+// weights.
+func NewLearnerFromCheckpoint(r io.Reader, ds *data.Dataset, eng *serve.Engine, cfg Config) (*Learner, error) {
+	m, f, err := ckpt.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewLearnerFromSnapshot(m, f, ds, eng, cfg)
+}
+
+// NewLearnerFromSnapshot is NewLearnerFromCheckpoint for an already-decoded
+// checkpoint: m must be the model ckpt.Load returned for f. Callers that
+// load a checkpoint once for serving (cmd/seqfm-serve) use it to warm-start
+// the trainer without re-reading and re-decoding the file. m is cloned for
+// the shadow, so it may keep serving as an immutable generation.
+//
+// The optimizer's moments and step count always come from the snapshot, but
+// a non-zero cfg.Train.LR overrides the saved learning rate — the LR is an
+// operator choice for the new run, not run state, and silently resuming at
+// the old rate would contradict what the caller configured.
+func NewLearnerFromSnapshot(m *core.Model, f *ckpt.File, ds *data.Dataset, eng *serve.Engine, cfg Config) (*Learner, error) {
+	if m.Config().Space != ds.Space() {
+		return nil, fmt.Errorf("online: checkpoint space %+v does not match dataset space %+v",
+			m.Config().Space, ds.Space())
+	}
+	shadow := m.Clone()
+	var opt *optim.Adam
+	if f.Opt != nil {
+		var err error
+		if opt, err = optim.NewAdamFromState(shadow.Params(), *f.Opt); err != nil {
+			return nil, err
+		}
+		if cfg.Train.LR > 0 {
+			opt.SetLR(cfg.Train.LR)
+		}
+	}
+	l, err := newLearner(shadow, opt, f.Steps, ds, eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	l.publish()
+	return l, nil
+}
+
+func newLearner(shadow *core.Model, opt *optim.Adam, steps int64, ds *data.Dataset, eng *serve.Engine, cfg Config) (*Learner, error) {
+	if shadow.Config().Space != ds.Space() {
+		return nil, fmt.Errorf("online: model space %+v does not match dataset space %+v",
+			shadow.Config().Space, ds.Space())
+	}
+	cfg = cfg.withDefaults(shadow)
+	var optIface optim.Optimizer
+	if opt != nil {
+		optIface = opt
+	}
+	stepper, err := train.NewStepper(shadow, ds, ds.Task, optIface, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	stepper.SetSteps(steps)
+	l := &Learner{cfg: cfg, ds: ds, eng: eng, model: shadow, stepper: stepper}
+	l.store = NewHistoryStore(0, cfg.HistoryLen)
+	l.store.SeedFromDataset(ds)
+	return l, nil
+}
+
+// Ingest records one interaction: user interacted with object, with the
+// task's label (1 for implicit feedback, a rating for regression, a click
+// bit for classification). The user's live history is extended immediately;
+// the event joins the pending fine-tune queue with the history as it stood
+// before this interaction — the same next-item supervision offline training
+// uses. Attrs are filled from the dataset's side-information tables.
+func (l *Learner) Ingest(user, object int, label float64) error {
+	if user < 0 || user >= l.ds.NumUsers {
+		return fmt.Errorf("online: user %d outside [0,%d)", user, l.ds.NumUsers)
+	}
+	if object < 0 || object >= l.ds.NumObjects {
+		return fmt.Errorf("online: object %d outside [0,%d)", object, l.ds.NumObjects)
+	}
+	// Snapshot-and-append atomically (one stripe-lock critical section), so
+	// concurrent events for the same user each see exactly the history their
+	// predecessors produced.
+	inst := feature.Instance{
+		User:       user,
+		Target:     object,
+		Hist:       l.store.AppendSnapshot(user, object),
+		Label:      label,
+		UserAttr:   feature.Pad,
+		TargetAttr: feature.Pad,
+	}
+	if l.ds.NumUserAttrs > 0 {
+		inst.UserAttr = l.ds.UserAttr[user]
+	}
+	if l.ds.NumItemAttrs > 0 {
+		inst.TargetAttr = l.ds.ItemAttr[object]
+	}
+
+	l.mu.Lock()
+	l.pending = append(l.pending, inst)
+	if over := len(l.pending) - l.head - l.cfg.MaxPending; over > 0 {
+		l.head += over // drop oldest by advancing the head: O(1), no memmove
+		l.dropped.Add(int64(over))
+	}
+	l.compactLocked()
+	l.mu.Unlock()
+	l.ingested.Add(1)
+	return nil
+}
+
+// compactLocked copies the live queue region down and releases the dead
+// prefix once it outgrows the live part — amortised O(1) per event, and the
+// backing array stays bounded by ~2×MaxPending. l.mu must be held.
+func (l *Learner) compactLocked() {
+	if l.head == 0 {
+		return
+	}
+	if live := len(l.pending) - l.head; l.head >= live {
+		n := copy(l.pending, l.pending[l.head:])
+		// Zero the vacated tail so dropped instances' Hist slices are not
+		// pinned by the backing array.
+		tail := l.pending[n:]
+		for i := range tail {
+			tail[i] = feature.Instance{}
+		}
+		l.pending = l.pending[:n]
+		l.head = 0
+	}
+}
+
+// History returns a copy of the user's live history — the frozen dataset log
+// extended by every ingested event. Serving layers use it to default the
+// dynamic view of a request.
+func (l *Learner) History(user int) []int { return l.store.History(user) }
+
+// Replay applies an already-trained event's side effects — extend the user's
+// live history, mark the object seen for negative sampling — without queueing
+// it for training. After restoring a checkpoint, replay the events the saved
+// run had consumed (they are not checkpoint state; persist them in your own
+// event log) to reconstruct the exact history-store and sampler state, which
+// is what makes subsequent fine-tuning bit-identical to the original run.
+func (l *Learner) Replay(user, object int) error {
+	if user < 0 || user >= l.ds.NumUsers {
+		return fmt.Errorf("online: user %d outside [0,%d)", user, l.ds.NumUsers)
+	}
+	if object < 0 || object >= l.ds.NumObjects {
+		return fmt.Errorf("online: object %d outside [0,%d)", object, l.ds.NumObjects)
+	}
+	l.trainMu.Lock()
+	l.stepper.MarkSeen(user, object)
+	l.trainMu.Unlock()
+	l.store.Append(user, object)
+	return nil
+}
+
+// TopK ranks candidates for user against their live history on the serving
+// engine, filling side attributes from the dataset tables. K <= 0 returns
+// every candidate ranked. Out-of-range ids are rejected with an error, like
+// Ingest — library callers feed untrusted ids here, and an index panic deep
+// in the engine is not an acceptable failure mode for bad input.
+func (l *Learner) TopK(user int, candidates []int, k int) ([]serve.Item, error) {
+	if user < 0 || user >= l.ds.NumUsers {
+		return nil, fmt.Errorf("online: user %d outside [0,%d)", user, l.ds.NumUsers)
+	}
+	for _, c := range candidates {
+		if c < 0 || c >= l.ds.NumObjects {
+			return nil, fmt.Errorf("online: candidate %d outside [0,%d)", c, l.ds.NumObjects)
+		}
+	}
+	base := feature.Instance{User: user, Hist: l.store.History(user), UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	if l.ds.NumUserAttrs > 0 {
+		base.UserAttr = l.ds.UserAttr[user]
+	}
+	req := serve.TopKRequest{Base: base, Candidates: candidates, K: k}
+	if l.ds.NumItemAttrs > 0 {
+		req.AttrOf = func(o int) int { return l.ds.ItemAttr[o] }
+	}
+	return l.eng.TopK(req), nil
+}
+
+// drain detaches up to max pending events (all of them when max <= 0).
+func (l *Learner) drain(max int) []feature.Instance {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.pending) - l.head
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	batch := make([]feature.Instance, n)
+	copy(batch, l.pending[l.head:])
+	l.head += n
+	l.compactLocked()
+	return batch
+}
+
+// Sync drains the backlog as it stood when the call started, fine-tunes the
+// shadow model on it in minibatches of Config.BatchSize, and — if any step
+// ran — publishes the result to the serving engine. Bounding the round to
+// the entry-time backlog keeps Sync terminating (and the publish cadence
+// honest) even when ingest outpaces training throughput: later arrivals wait
+// for the next round instead of starving publish, Checkpoint and Close. It
+// returns the number of events trained on and the mean loss of the last
+// minibatch. Safe to call concurrently with traffic and with the background
+// loop.
+func (l *Learner) Sync() (events int, loss float64) {
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	l.mu.Lock()
+	backlog := len(l.pending) - l.head
+	l.mu.Unlock()
+	for events < backlog {
+		max := l.cfg.BatchSize
+		if rest := backlog - events; rest < max {
+			max = rest
+		}
+		batch := l.drain(max)
+		if len(batch) == 0 {
+			break
+		}
+		// An event becomes "seen" for negative sampling the moment it is
+		// trained on — without this, a freshly trending object keeps being
+		// drawn as its own users' negative, and the trainer fights the very
+		// supervision the stream delivers. Marking here (not at Ingest)
+		// keeps the seen index a pure function of the trained sequence, so
+		// checkpoint restores that Replay the same events stay bit-exact.
+		for _, inst := range batch {
+			l.stepper.MarkSeen(inst.User, inst.Target)
+		}
+		loss = l.stepper.Step(batch)
+		l.lastLoss.Store(math.Float64bits(loss))
+		l.steps.Add(1)
+		events += len(batch)
+	}
+	if events > 0 {
+		l.publish()
+	}
+	return events, loss
+}
+
+// publish clones the shadow and hot-swaps it into the engine. Callers hold
+// trainMu (or are constructing the learner).
+func (l *Learner) publish() {
+	l.eng.Swap(l.model.Clone())
+	l.swaps.Add(1)
+}
+
+// Checkpoint writes the shadow model, optimizer state and step counter as a
+// ckpt v2 stream. Taken under the training lock, so the snapshot is always a
+// consistent post-step state.
+func (l *Learner) Checkpoint(w io.Writer) error {
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	adam, _ := l.stepper.Optimizer().(*optim.Adam)
+	return ckpt.Save(w, l.model, adam, l.stepper.Steps())
+}
+
+// CheckpointFile atomically writes Checkpoint's stream to path (temp file +
+// rename).
+func (l *Learner) CheckpointFile(path string) error {
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	adam, _ := l.stepper.Optimizer().(*optim.Adam)
+	return ckpt.SaveFile(path, l.model, adam, l.stepper.Steps())
+}
+
+// Start launches the background trainer: every Config.Interval it drains the
+// backlog (when at least Config.MinEvents are pending), fine-tunes, and
+// publishes. Start is idempotent while running.
+func (l *Learner) Start() {
+	l.bg.Lock()
+	defer l.bg.Unlock()
+	if l.bg.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	l.bg.stop, l.bg.done = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(l.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				l.mu.Lock()
+				n := len(l.pending) - l.head
+				l.mu.Unlock()
+				if n >= l.cfg.MinEvents {
+					l.Sync()
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the background trainer and runs one final Sync so no accepted
+// event is left untrained. The learner remains usable (Ingest/Sync) after
+// Close.
+func (l *Learner) Close() {
+	l.bg.Lock()
+	stop, done := l.bg.stop, l.bg.done
+	l.bg.stop, l.bg.done = nil, nil
+	l.bg.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	l.Sync()
+}
+
+// Config returns the learner's resolved configuration — every zero field
+// replaced by the default actually in effect.
+func (l *Learner) Config() Config { return l.cfg }
+
+// LR returns the learning rate the fine-tuning optimizer is actually using —
+// on a warm start this is the checkpoint's saved rate unless the config
+// overrode it, so it can differ from Config().Train.LR.
+func (l *Learner) LR() float64 {
+	l.trainMu.Lock()
+	defer l.trainMu.Unlock()
+	if adam, ok := l.stepper.Optimizer().(*optim.Adam); ok {
+		return adam.LR()
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the learner's counters.
+func (l *Learner) Stats() Stats {
+	l.mu.Lock()
+	pending := len(l.pending) - l.head
+	l.mu.Unlock()
+	return Stats{
+		Ingested:     l.ingested.Load(),
+		Dropped:      l.dropped.Load(),
+		Pending:      pending,
+		Steps:        l.steps.Load(),
+		Swaps:        l.swaps.Load(),
+		LastLoss:     math.Float64frombits(l.lastLoss.Load()),
+		Generation:   l.eng.Generation(),
+		HistoryUsers: l.store.Users(),
+	}
+}

@@ -107,6 +107,73 @@ func (a *Adam) Step() {
 	}
 }
 
+// AdamState is the serializable slow state of an Adam optimizer: the step
+// count driving bias correction, the hyperparameters, and both moment
+// estimates keyed by parameter name. Round-tripping it through Export and
+// Restore (or NewAdamFromState) resumes optimisation bit-identically, which
+// is what lets a ckpt-v2 snapshot warm-start incremental fine-tuning as if
+// the original run had never stopped.
+type AdamState struct {
+	Step                  int
+	LR, Beta1, Beta2, Eps float64
+	M, V                  map[string][]float64
+}
+
+// Export snapshots the optimizer's state. The moment slices are copies, so
+// the snapshot stays stable while training continues.
+func (a *Adam) Export() AdamState {
+	st := AdamState{
+		Step: a.t, LR: a.lr, Beta1: a.beta1, Beta2: a.beta2, Eps: a.eps,
+		M: make(map[string][]float64, len(a.params)),
+		V: make(map[string][]float64, len(a.params)),
+	}
+	for i, p := range a.params {
+		st.M[p.Name] = append([]float64(nil), a.m[i].data...)
+		st.V[p.Name] = append([]float64(nil), a.v[i].data...)
+	}
+	return st
+}
+
+// Restore overwrites the optimizer's state from a snapshot. Every parameter
+// must have matching moment vectors in the snapshot; a partial or
+// differently-shaped snapshot is rejected before anything is applied.
+func (a *Adam) Restore(st AdamState) error {
+	if st.LR <= 0 {
+		return fmt.Errorf("optim: restore: Adam learning rate %v", st.LR)
+	}
+	for i, p := range a.params {
+		m, okM := st.M[p.Name]
+		v, okV := st.V[p.Name]
+		if !okM || !okV {
+			return fmt.Errorf("optim: restore: no Adam state for param %q", p.Name)
+		}
+		if len(m) != len(a.m[i].data) || len(v) != len(a.v[i].data) {
+			return fmt.Errorf("optim: restore: param %q has %d/%d moments for %d weights",
+				p.Name, len(m), len(v), len(a.m[i].data))
+		}
+	}
+	a.t = st.Step
+	a.lr, a.beta1, a.beta2, a.eps = st.LR, st.Beta1, st.Beta2, st.Eps
+	for i, p := range a.params {
+		copy(a.m[i].data, st.M[p.Name])
+		copy(a.v[i].data, st.V[p.Name])
+	}
+	return nil
+}
+
+// NewAdamFromState builds an Adam optimizer over params warm-started from a
+// snapshot written by Export.
+func NewAdamFromState(params []*ag.Param, st AdamState) (*Adam, error) {
+	if st.LR <= 0 {
+		return nil, fmt.Errorf("optim: Adam learning rate %v in state", st.LR)
+	}
+	a := NewAdamWithBetas(params, st.LR, st.Beta1, st.Beta2, st.Eps)
+	if err := a.Restore(st); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
 // SGD implements stochastic gradient descent with optional classical
 // momentum and L2 weight decay.
 type SGD struct {

@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+)
+
+// BenchJ is the candidates-per-request of the standard serving benchmark —
+// the paper's evaluation J.
+const BenchJ = 100
+
+// BenchWorkload builds the standard serving-benchmark workload shared by
+// bench_test.go's BenchmarkServe* suite and seqfm-bench -mode serve: a SeqFM
+// at the paper's default configuration {d=64, l=1, n.=20} over a 1000-user ×
+// 2000-object space, one 20-step user context, and BenchJ candidate objects.
+// The two harnesses must measure the same workload for BENCH_serve.json to
+// stay comparable with the go-test benchmark output, so the literals live
+// here.
+func BenchWorkload() (*core.Model, feature.Instance, []int, error) {
+	space := feature.Space{NumUsers: 1000, NumObjects: 2000}
+	m, err := core.New(core.DefaultConfig(space))
+	if err != nil {
+		return nil, feature.Instance{}, nil, err
+	}
+	hist := make([]int, 20)
+	for i := range hist {
+		hist[i] = (i * 37) % 2000
+	}
+	inst := feature.Instance{User: 7, Target: 42, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	candidates := make([]int, BenchJ)
+	for i := range candidates {
+		candidates[i] = (i * 19) % 2000
+	}
+	return m, inst, candidates, nil
+}

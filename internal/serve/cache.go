@@ -2,11 +2,45 @@ package serve
 
 import "sync"
 
+// CachePolicy selects the eviction discipline of the engine's memo caches.
+type CachePolicy int
+
+// The eviction policies. The zero value is LRU — under the skewed candidate
+// popularity of real top-K traffic, FIFO ages out the hottest static rows on
+// schedule no matter how often they hit, while LRU's touch-on-hit keeps them
+// resident (bench_test.go's BenchmarkServeCachePolicy measures the hit-rate
+// gap). FIFO remains available as the measured baseline.
+const (
+	CacheLRU CachePolicy = iota
+	CacheFIFO
+)
+
+// cache is the engine's bounded concurrent memo contract. Implementations
+// must be safe for concurrent use; a typed-nil implementation is the
+// always-missing cache, so callers never branch on "caching disabled".
+type cache[K comparable, V any] interface {
+	get(k K) (V, bool)
+	put(k K, v V)
+	len() int
+}
+
+// newCache builds a cache for the policy holding at most max entries, or the
+// always-missing cache when max <= 0.
+func newCache[K comparable, V any](policy CachePolicy, max int) cache[K, V] {
+	if max <= 0 {
+		return (*fifoCache[K, V])(nil)
+	}
+	if policy == CacheFIFO {
+		return newFifoCache[K, V](max)
+	}
+	return newLruCache[K, V](max)
+}
+
 // fifoCache is a bounded concurrent map with first-in-first-out eviction.
-// FIFO (rather than LRU) keeps Get lock-free of writes — a read takes only
-// the shared lock — which matters when every candidate of every top-K
-// request probes the cache. A nil *fifoCache is a valid, always-missing
-// cache, so callers never branch on "caching disabled".
+// FIFO keeps Get lock-free of writes — a read takes only the shared lock —
+// but evicts strictly by insertion age, which under skewed traffic throws
+// away the hottest entries as readily as the coldest. A nil *fifoCache is a
+// valid, always-missing cache.
 type fifoCache[K comparable, V any] struct {
 	mu    sync.RWMutex
 	max   int
@@ -69,14 +103,107 @@ func (c *fifoCache[K, V]) len() int {
 	return len(c.items)
 }
 
-// clear drops every entry, keeping the configured capacity.
-func (c *fifoCache[K, V]) clear() {
+// lruEntry is one node of the lruCache's intrusive recency list.
+type lruEntry[K comparable, V any] struct {
+	key        K
+	value      V
+	prev, next *lruEntry[K, V]
+}
+
+// lruCache is a bounded concurrent map with least-recently-used eviction: a
+// hash map into an intrusive doubly-linked recency list whose front is the
+// most recently touched entry. Hits promote (touch-on-hit), so sustained
+// popularity keeps an entry resident regardless of its insertion age — the
+// property FIFO lacks under skewed top-K traffic. Reads mutate the recency
+// list, so every operation takes the exclusive lock; the list splice is a
+// handful of pointer writes, which profiles far below the forward-pass work
+// a miss would cost. A nil *lruCache is a valid, always-missing cache.
+type lruCache[K comparable, V any] struct {
+	mu    sync.Mutex
+	max   int
+	items map[K]*lruEntry[K, V]
+	// head/tail are sentinels: head.next is the most recent entry, tail.prev
+	// the eviction candidate.
+	head, tail lruEntry[K, V]
+}
+
+// newLruCache returns a cache holding at most max entries, or nil (the
+// always-missing cache) when max <= 0.
+func newLruCache[K comparable, V any](max int) *lruCache[K, V] {
+	if max <= 0 {
+		return nil
+	}
+	c := &lruCache[K, V]{max: max, items: make(map[K]*lruEntry[K, V], max)}
+	c.head.next = &c.tail
+	c.tail.prev = &c.head
+	return c
+}
+
+// unlink removes e from the recency list.
+func (c *lruCache[K, V]) unlink(e *lruEntry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+// pushFront inserts e as the most recent entry.
+func (c *lruCache[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev = &c.head
+	e.next = c.head.next
+	e.next.prev = e
+	c.head.next = e
+}
+
+// get returns the cached value for k, promoting it to most recently used.
+func (c *lruCache[K, V]) get(k K) (V, bool) {
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	c.mu.Lock()
+	e, ok := c.items[k]
+	if !ok {
+		c.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	v := e.value
+	c.mu.Unlock()
+	return v, true
+}
+
+// put inserts k→v as the most recent entry, evicting the least recently used
+// entry when the cache is full. Re-inserting an existing key replaces its
+// value and promotes it.
+func (c *lruCache[K, V]) put(k K, v V) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.items = make(map[K]V)
-	c.ring = c.ring[:0]
-	c.head = 0
+	if e, ok := c.items[k]; ok {
+		e.value = v
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	if len(c.items) >= c.max {
+		victim := c.tail.prev
+		c.unlink(victim)
+		delete(c.items, victim.key)
+	}
+	e := &lruEntry[K, V]{key: k, value: v}
+	c.items[k] = e
+	c.pushFront(e)
+}
+
+// len returns the number of cached entries.
+func (c *lruCache[K, V]) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
 }

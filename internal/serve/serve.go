@@ -19,10 +19,18 @@
 // memoise values the monolithic pass would recompute, never approximate
 // them.
 //
-// Concurrency model: an Engine is safe for concurrent use. Batches fan out
-// over train.ParallelEach workers, each with its own tape; the caches are
-// guarded internally. The model's weights must be frozen while an Engine
-// serves them — call InvalidateCaches after any parameter update.
+// Concurrency and hot-swap model: an Engine is safe for concurrent use.
+// Batches fan out over train.ParallelEach workers, each with its own tape.
+// The served weights live in an immutable generation snapshot — the model
+// reference plus that generation's private memo caches — published through
+// one atomic pointer (RCU style). Every request loads the pointer once and
+// runs entirely against that snapshot, so Swap is non-blocking and
+// zero-downtime: in-flight requests finish on the generation they started
+// with while new requests see the new weights, and a stale cache entry can
+// never leak across generations because the caches are part of the snapshot.
+// The weights inside a published snapshot must be immutable — the online
+// trainer (internal/online) fine-tunes a private clone and publishes further
+// clones, never the model an engine is serving.
 package serve
 
 import (
@@ -85,6 +93,10 @@ type Config struct {
 	BatchSize int
 	// MaxDelay is the accumulator flush deadline; 0 means DefaultMaxDelay.
 	MaxDelay time.Duration
+	// CachePolicy selects the memo caches' eviction discipline; the zero
+	// value is CacheLRU (see cache.go for the rationale and CacheFIFO for
+	// the measured baseline).
+	CachePolicy CachePolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +124,19 @@ type staticKey struct {
 	user, target, userAttr, targetAttr int
 }
 
+// generation is one immutable serving snapshot: a model reference and the
+// memo caches valid for exactly those weights. Requests resolve the current
+// generation once and never mix state across generations; superseded
+// generations are reclaimed by the garbage collector once their last
+// in-flight request returns.
+type generation struct {
+	id      uint64
+	model   Scorer
+	fast    FastScorer // nil when model is not a FastScorer
+	statics cache[staticKey, *tensor.Matrix]
+	dyns    cache[string, *core.DynState]
+}
+
 // Stats is a snapshot of the engine's served-traffic counters.
 type Stats struct {
 	// Instances is the total number of instances scored.
@@ -123,23 +148,37 @@ type Stats struct {
 	// DynHits/DynMisses count dynamic-state cache probes (one per distinct
 	// history per batch).
 	DynHits, DynMisses int64
-	// StaticEntries/DynEntries are the current cache populations.
+	// StaticEntries/DynEntries are the current generation's cache
+	// populations.
 	StaticEntries, DynEntries int
+	// Generation identifies the currently serving snapshot; it increments
+	// on every Swap (and InvalidateCaches).
+	Generation uint64
+	// Swaps counts published generations since the engine was built — every
+	// Swap and every InvalidateCaches (which republishes the same model
+	// under a fresh snapshot).
+	Swaps int64
 }
 
-// Engine scores instances against a frozen model with pooled tapes, cached
-// partial forwards and data-parallel fan-out. Create one with NewEngine and
-// share it between goroutines; Close releases the accumulator timer.
+// Engine scores instances against an atomically swappable model snapshot
+// with pooled tapes, cached partial forwards and data-parallel fan-out.
+// Create one with NewEngine and share it between goroutines; Swap publishes
+// new weights without blocking readers; Close releases the accumulator
+// timer.
 type Engine struct {
-	model Scorer
-	fast  FastScorer // nil when model is not a FastScorer
-	cfg   Config
+	cfg Config
+
+	cur atomic.Pointer[generation]
+	// swapMu serialises publishers so generation ids are stored in
+	// allocation order — without it two racing Swaps could install the
+	// older model over the newer one. Readers never take it: they only
+	// load cur.
+	swapMu sync.Mutex
+	gens   atomic.Uint64
+	swaps  atomic.Int64
 
 	tapes    sync.Pool
 	tapeHint atomic.Int64 // max NumNodes seen; pre-sizes fresh tapes
-
-	statics *fifoCache[staticKey, *tensor.Matrix]
-	dyns    *fifoCache[string, *core.DynState]
 
 	mu      sync.Mutex
 	pending []pendingScore
@@ -159,20 +198,50 @@ type pendingScore struct {
 	ch   chan float64
 }
 
-// NewEngine builds an engine serving m. If m implements FastScorer (SeqFM
-// does), the cached dynamic/static path is used; otherwise the engine still
-// provides tape reuse and parallel fan-out.
+// NewEngine builds an engine serving m as generation 1. If m implements
+// FastScorer (SeqFM does), the cached dynamic/static path is used; otherwise
+// the engine still provides tape reuse and parallel fan-out.
 func NewEngine(m Scorer, cfg Config) *Engine {
-	e := &Engine{model: m, cfg: cfg.withDefaults()}
-	if f, ok := m.(FastScorer); ok {
-		e.fast = f
-	}
-	e.statics = newFifoCache[staticKey, *tensor.Matrix](e.cfg.StaticCacheSize)
-	e.dyns = newFifoCache[string, *core.DynState](e.cfg.DynCacheSize)
+	e := &Engine{cfg: cfg.withDefaults()}
+	e.cur.Store(e.newGeneration(m))
 	return e
 }
 
+// newGeneration wraps m in a fresh snapshot with empty caches.
+func (e *Engine) newGeneration(m Scorer) *generation {
+	g := &generation{id: e.gens.Add(1), model: m}
+	if f, ok := m.(FastScorer); ok {
+		g.fast = f
+	}
+	g.statics = newCache[staticKey, *tensor.Matrix](e.cfg.CachePolicy, e.cfg.StaticCacheSize)
+	g.dyns = newCache[string, *core.DynState](e.cfg.CachePolicy, e.cfg.DynCacheSize)
+	return g
+}
+
+// Swap atomically publishes m as the serving model and returns the new
+// generation id. Swap never blocks scoring: requests already in flight
+// complete against the snapshot they loaded; requests arriving after the
+// swap see m with fresh caches. Concurrent publishers are serialised so the
+// highest generation id always wins. m's weights must be immutable from here
+// on — publish a clone if training continues (core.Model.Clone).
+func (e *Engine) Swap(m Scorer) uint64 {
+	e.swapMu.Lock()
+	g := e.newGeneration(m)
+	e.cur.Store(g)
+	e.swapMu.Unlock()
+	e.swaps.Add(1)
+	return g.id
+}
+
+// Generation returns the id of the currently serving snapshot.
+func (e *Engine) Generation() uint64 { return e.cur.Load().id }
+
+// Model returns the currently served model. Treat it as read-only: its
+// weights back every in-flight request of the current generation.
+func (e *Engine) Model() Scorer { return e.cur.Load().model }
+
 // getTape takes a pooled tape (pre-sized to the largest pass seen so far).
+// Tapes carry no weight state, so the pool is shared across generations.
 func (e *Engine) getTape() *ag.Tape {
 	if t, ok := e.tapes.Get().(*ag.Tape); ok {
 		return t
@@ -242,8 +311,8 @@ func idOf(hist []int) histID {
 
 // dynStates resolves one DynState per instance, deduplicating equal
 // histories within the batch (first by slice identity, then by content),
-// probing the engine-wide cache, and computing the misses in parallel.
-func (e *Engine) dynStates(insts []feature.Instance) []*core.DynState {
+// probing the generation's cache, and computing the misses in parallel.
+func (e *Engine) dynStates(g *generation, insts []feature.Instance) []*core.DynState {
 	type slot struct {
 		key   string
 		hist  []int
@@ -271,7 +340,7 @@ func (e *Engine) dynStates(insts []feature.Instance) []*core.DynState {
 	}
 	var missing []*slot
 	for _, s := range distinct {
-		if st, ok := e.dyns.get(s.key); ok {
+		if st, ok := g.dyns.get(s.key); ok {
 			s.state = st
 			e.dynHits.Add(1)
 		} else {
@@ -281,10 +350,10 @@ func (e *Engine) dynStates(insts []feature.Instance) []*core.DynState {
 	}
 	e.eachWithTape(len(missing), func(t *ag.Tape, i int) {
 		t.Reset()
-		missing[i].state = e.fast.PrecomputeDynamic(t, missing[i].hist)
+		missing[i].state = g.fast.PrecomputeDynamic(t, missing[i].hist)
 	})
 	for _, s := range missing {
-		e.dyns.put(s.key, s.state)
+		g.dyns.put(s.key, s.state)
 	}
 	out := make([]*core.DynState, len(insts))
 	for i := range insts {
@@ -294,46 +363,53 @@ func (e *Engine) dynStates(insts []feature.Instance) []*core.DynState {
 }
 
 // scoreFastCached runs the candidate-dependent part of one forward pass,
-// consulting and feeding the static-view cache.
-func (e *Engine) scoreFastCached(t *ag.Tape, dyn *core.DynState, inst feature.Instance) float64 {
+// consulting and feeding the generation's static-view cache.
+func (e *Engine) scoreFastCached(g *generation, t *ag.Tape, dyn *core.DynState, inst feature.Instance) float64 {
 	key := staticKey{inst.User, inst.Target, inst.UserAttr, inst.TargetAttr}
-	hS, ok := e.statics.get(key)
+	hS, ok := g.statics.get(key)
 	if ok {
 		e.staticHits.Add(1)
 	} else {
 		e.staticMisses.Add(1)
 	}
-	score, hSout := e.fast.ScoreFast(t, dyn, inst, hS)
+	score, hSout := g.fast.ScoreFast(t, dyn, inst, hS)
 	if !ok && hSout != nil {
-		e.statics.put(key, hSout)
+		g.statics.put(key, hSout)
 	}
 	return score
 }
 
-// ScoreBatch scores every instance and returns the raw outputs of Eq. (19),
-// in order. Results are bit-for-bit identical to calling Score on each
-// instance with a fresh tape. Equal histories within the batch share one
-// dynamic-state computation; across batches the engine's caches amortise
-// repeated users and candidates.
-func (e *Engine) ScoreBatch(insts []feature.Instance) []float64 {
+// scoreBatchOn scores every instance against one generation snapshot.
+func (e *Engine) scoreBatchOn(g *generation, insts []feature.Instance) []float64 {
 	out := make([]float64, len(insts))
 	if len(insts) == 0 {
 		return out
 	}
 	e.instances.Add(int64(len(insts)))
-	if e.fast == nil {
+	if g.fast == nil {
 		e.eachWithTape(len(insts), func(t *ag.Tape, i int) {
 			t.Reset()
-			out[i] = e.model.Score(t, insts[i]).Value.ScalarValue()
+			out[i] = g.model.Score(t, insts[i]).Value.ScalarValue()
 		})
 		return out
 	}
-	dyns := e.dynStates(insts)
+	dyns := e.dynStates(g, insts)
 	e.eachWithTape(len(insts), func(t *ag.Tape, i int) {
 		t.Reset()
-		out[i] = e.scoreFastCached(t, dyns[i], insts[i])
+		out[i] = e.scoreFastCached(g, t, dyns[i], insts[i])
 	})
 	return out
+}
+
+// ScoreBatch scores every instance and returns the raw outputs of Eq. (19),
+// in order. The whole batch runs against one generation snapshot (the one
+// current when the call started), and results are bit-for-bit identical to
+// calling Score on each instance with a fresh tape under that generation's
+// weights. Equal histories within the batch share one dynamic-state
+// computation; across batches the generation's caches amortise repeated
+// users and candidates.
+func (e *Engine) ScoreBatch(insts []feature.Instance) []float64 {
+	return e.scoreBatchOn(e.cur.Load(), insts)
 }
 
 // Item is one scored candidate, as returned by TopK.
@@ -361,6 +437,16 @@ type TopKRequest struct {
 // returns the K best, sorted by descending score (ties broken by ascending
 // object id, so results are deterministic).
 func (e *Engine) TopK(req TopKRequest) []Item {
+	items, _ := e.TopKOn(req)
+	return items
+}
+
+// TopKOn is TopK plus provenance: it reports the generation that served the
+// request, so a caller racing Swap (the hot-swap stress tests, the /v1/model
+// endpoint's freshness probes) can attribute every score to the exact
+// weights that produced it.
+func (e *Engine) TopKOn(req TopKRequest) ([]Item, uint64) {
+	g := e.cur.Load()
 	insts := make([]feature.Instance, len(req.Candidates))
 	for i, o := range req.Candidates {
 		inst := req.Base
@@ -370,7 +456,7 @@ func (e *Engine) TopK(req TopKRequest) []Item {
 		}
 		insts[i] = inst
 	}
-	scores := e.ScoreBatch(insts)
+	scores := e.scoreBatchOn(g, insts)
 	items := make([]Item, len(scores))
 	for i, s := range scores {
 		items[i] = Item{Object: req.Candidates[i], Score: s}
@@ -384,7 +470,7 @@ func (e *Engine) TopK(req TopKRequest) []Item {
 	if req.K > 0 && req.K < len(items) {
 		items = items[:req.K]
 	}
-	return items
+	return items, g.id
 }
 
 // Score scores one instance. Unless accumulation is disabled (BatchSize 1),
@@ -453,6 +539,7 @@ func (e *Engine) runPending(batch []pendingScore) {
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
+	g := e.cur.Load()
 	return Stats{
 		Instances:     e.instances.Load(),
 		Flushes:       e.flushes.Load(),
@@ -460,17 +547,24 @@ func (e *Engine) Stats() Stats {
 		StaticMisses:  e.staticMisses.Load(),
 		DynHits:       e.dynHits.Load(),
 		DynMisses:     e.dynMisses.Load(),
-		StaticEntries: e.statics.len(),
-		DynEntries:    e.dyns.len(),
+		StaticEntries: g.statics.len(),
+		DynEntries:    g.dyns.len(),
+		Generation:    g.id,
+		Swaps:         e.swaps.Load(),
 	}
 }
 
-// InvalidateCaches drops every memoised partial forward. Call it after any
-// update to the served model's parameters; the engine never detects weight
-// changes on its own.
+// InvalidateCaches drops every memoised partial forward by publishing a new
+// generation over the same model. The model is re-read under the publisher
+// lock, so a concurrent Swap's freshly published weights are never reverted.
+// Call it after mutating the served model's weights in place; prefer Swap
+// with a clone, which keeps even in-flight requests consistent.
 func (e *Engine) InvalidateCaches() {
-	e.statics.clear()
-	e.dyns.clear()
+	e.swapMu.Lock()
+	g := e.newGeneration(e.cur.Load().model)
+	e.cur.Store(g)
+	e.swapMu.Unlock()
+	e.swaps.Add(1)
 }
 
 // Close flushes any accumulated Score requests and stops the deadline

@@ -356,29 +356,202 @@ func TestFifoCacheEviction(t *testing.T) {
 	if c.len() != 2 {
 		t.Errorf("len=%d, want 2", c.len())
 	}
-	c.clear()
-	if c.len() != 0 {
-		t.Error("clear left entries")
-	}
-	// Refill after clear to check the ring reset.
-	c.put(5, 50)
-	c.put(6, 60)
-	c.put(7, 70)
-	if _, ok := c.get(5); ok {
-		t.Error("post-clear eviction broken")
+}
+
+func TestNilCachesAreMissing(t *testing.T) {
+	var f *fifoCache[int, int]
+	var l *lruCache[int, int]
+	for _, c := range []cache[int, int]{f, l, newCache[int, int](CacheLRU, -1)} {
+		if _, ok := c.get(1); ok {
+			t.Error("nil cache returned a hit")
+		}
+		c.put(1, 1) // must not panic
+		if c.len() != 0 {
+			t.Error("nil cache has entries")
+		}
 	}
 }
 
-func TestFifoCacheNilIsMissing(t *testing.T) {
-	var c *fifoCache[int, int]
-	if _, ok := c.get(1); ok {
-		t.Error("nil cache returned a hit")
+func TestLruCacheTouchOnHitKeepsHotEntries(t *testing.T) {
+	c := newLruCache[int, int](2)
+	c.put(1, 10)
+	c.put(2, 20)
+	c.get(1)     // touch: 2 becomes the eviction candidate
+	c.put(3, 30) // evicts 2, not 1
+	if _, ok := c.get(1); !ok {
+		t.Error("hot entry evicted despite touch-on-hit")
 	}
-	c.put(1, 1) // must not panic
-	if c.len() != 0 {
-		t.Error("nil cache has entries")
+	if _, ok := c.get(2); ok {
+		t.Error("cold entry survived")
 	}
-	c.clear() // must not panic
+	if v, ok := c.get(3); !ok || v != 30 {
+		t.Error("newest entry lost")
+	}
+	// Re-put promotes and replaces without growing.
+	c.put(1, 11)
+	if v, _ := c.get(1); v != 11 {
+		t.Error("re-put did not replace value")
+	}
+	if c.len() != 2 {
+		t.Errorf("len=%d, want 2", c.len())
+	}
+}
+
+// TestLruBeatsFifoOnSkewedTraffic pins the satellite claim behind the LRU
+// upgrade: under a skewed reference stream with a working set larger than
+// the cache, touch-on-hit retains the hot keys that FIFO ages out.
+func TestLruBeatsFifoOnSkewedTraffic(t *testing.T) {
+	const capacity, universe, rounds = 8, 64, 400
+	hits := func(c cache[int, int]) int {
+		h := 0
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < rounds; i++ {
+			// 4 hot keys touched every round; a marching cold key stream.
+			keys := []int{0, 1, 2, 3, 8 + (i % (universe - 8)), 8 + ((i * 7) % (universe - 8)), rng.Intn(universe)}
+			for _, k := range keys {
+				if _, ok := c.get(k); ok {
+					h++
+				} else {
+					c.put(k, k)
+				}
+			}
+		}
+		return h
+	}
+	lru := hits(newLruCache[int, int](capacity))
+	fifo := hits(newFifoCache[int, int](capacity))
+	if lru <= fifo {
+		t.Errorf("LRU hits %d not above FIFO hits %d on skewed traffic", lru, fifo)
+	}
+}
+
+// perturb nudges the global bias w0 (Params()[0]) so successive generations
+// score every instance differently.
+func perturb(m *core.Model, step int) {
+	m.Params()[0].Value.Data[0] += 0.25 + float64(step)*0.01
+}
+
+func TestSwapPublishesNewWeights(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{})
+	defer e.Close()
+	if e.Generation() != 1 {
+		t.Fatalf("fresh engine at generation %d", e.Generation())
+	}
+	inst := testInstances(1, 10)[0]
+	before := e.Score(inst)
+
+	m2 := m.Clone()
+	perturb(m2, 0)
+	gen := e.Swap(m2)
+	if gen != 2 || e.Generation() != 2 {
+		t.Fatalf("generation after swap: %d/%d", gen, e.Generation())
+	}
+	after := e.Score(inst)
+	if want := refScore(m2, inst); after != want {
+		t.Fatalf("post-swap score %v, want %v", after, want)
+	}
+	if after == before {
+		t.Fatal("swap did not change served weights")
+	}
+	if got := e.Model(); got != Scorer(m2) {
+		t.Fatal("Model() is not the swapped model")
+	}
+	if s := e.Stats(); s.Swaps != 1 || s.Generation != 2 {
+		t.Fatalf("stats after swap: %+v", s)
+	}
+}
+
+// TestSwapDropsCachesPerGeneration: entries cached under one generation must
+// never serve another — the caches live inside the snapshot.
+func TestSwapDropsCachesPerGeneration(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{})
+	defer e.Close()
+	insts := testInstances(8, 11)
+	e.ScoreBatch(insts)
+	if s := e.Stats(); s.StaticEntries == 0 || s.DynEntries == 0 {
+		t.Fatalf("caches empty after a batch: %+v", s)
+	}
+	m2 := m.Clone()
+	perturb(m2, 1)
+	e.Swap(m2)
+	if s := e.Stats(); s.StaticEntries != 0 || s.DynEntries != 0 {
+		t.Fatalf("swap leaked cache entries into the new generation: %+v", s)
+	}
+	got := e.ScoreBatch(insts)
+	for i, inst := range insts {
+		if want := refScore(m2, inst); got[i] != want {
+			t.Fatalf("inst %d served stale generation: %v != %v", i, got[i], want)
+		}
+	}
+}
+
+// TestHotSwapUnderLoadBitIdentical is the serving half of the hot-swap
+// stress contract (the online package adds the trainer): goroutines hammer
+// TopKOn while another goroutine swaps perturbed clones, and every response
+// must be bit-identical to a fresh-tape Score under the generation that
+// served it. Run with -race.
+func TestHotSwapUnderLoadBitIdentical(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{Workers: 2})
+	defer e.Close()
+
+	var models sync.Map // generation id → *core.Model
+	models.Store(e.Generation(), m)
+
+	const swapsTotal = 12
+	stop := make(chan struct{})
+	var swapperDone sync.WaitGroup
+	swapperDone.Add(1)
+	go func() {
+		defer swapperDone.Done()
+		cur := m
+		for i := 1; i <= swapsTotal; i++ {
+			next := cur.Clone()
+			perturb(next, i)
+			// Register before publishing so readers can always resolve the
+			// generation they observe.
+			models.Store(e.Generation()+1, next)
+			e.Swap(next)
+			cur = next
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+
+	base := feature.Instance{User: 2, Hist: []int{3, 1, 4}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	candidates := []int{0, 5, 9, 14, 21, 28}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 40; r++ {
+				items, gen := e.TopKOn(TopKRequest{Base: base, Candidates: candidates})
+				mv, ok := models.Load(gen)
+				if !ok {
+					t.Errorf("response from unregistered generation %d", gen)
+					return
+				}
+				served := mv.(*core.Model)
+				for _, it := range items {
+					inst := base
+					inst.Target = it.Object
+					if want := refScore(served, inst); it.Score != want {
+						t.Errorf("gen %d object %d: served %v, fresh-tape %v", gen, it.Object, it.Score, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	swapperDone.Wait()
 }
 
 func TestHistKeyUnambiguous(t *testing.T) {

@@ -178,6 +178,52 @@ func (w *worker) scoreWithNegatives(t *ag.Tape, m Model, inst feature.Instance) 
 	return w.scores
 }
 
+// stepBatch fans one minibatch out over the workers. Each worker records the
+// loss of its strided share of the instances on its reusable tape and flushes
+// the gradients into its private shard; per-worker loss sums are combined in
+// worker order so the returned batch-mean loss is a deterministic function of
+// the per-worker contributions. The caller merges the shards and steps the
+// optimizer (optim.StepShards). Shared by the epoch loop (run) and the
+// incremental engine (Stepper.Step).
+func stepBatch(workers []*worker, losses []float64, insts []feature.Instance, loss lossFn, tapeHint *atomic.Int64) float64 {
+	nWorkers := len(workers)
+	invBatch := 1 / float64(len(insts))
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		losses[w] = 0
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := workers[w]
+			t := wk.tape
+			for s := w; s < len(insts); s += nWorkers {
+				inst := insts[s]
+				t.Reset()
+				t.Grow(int(tapeHint.Load()))
+				l := t.Scale(invBatch, loss(t, wk, inst))
+				t.Backward(l)
+				t.FlushGradsTo(wk.shard)
+				losses[w] += l.Value.ScalarValue()
+				// Raise the hint monotonically: a plain check-then-store could
+				// let a smaller pass overwrite a larger one and shrink later
+				// Grow calls.
+				for n := int64(t.NumNodes()); ; {
+					cur := tapeHint.Load()
+					if n <= cur || tapeHint.CompareAndSwap(cur, n) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}
+
 // run is the shared minibatch engine: shuffle, split batches, fan instances
 // out to workers (each with a reusable tape and a private gradient shard),
 // merge shards once per batch, step Adam.
@@ -223,6 +269,7 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 	hist := &History{}
 	start := time.Now()
 	losses := make([]float64, cfg.Workers)
+	scratch := make([]feature.Instance, 0, cfg.BatchSize)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
 		shuffleRng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -232,41 +279,11 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 			if end > len(order) {
 				end = len(order)
 			}
-			batch := order[b:end]
-			invBatch := 1 / float64(len(batch))
-
-			var wg sync.WaitGroup
-			for w := 0; w < cfg.Workers; w++ {
-				losses[w] = 0
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					wk := workers[w]
-					t := wk.tape
-					for s := w; s < len(batch); s += cfg.Workers {
-						inst := split.Train[batch[s]]
-						t.Reset()
-						t.Grow(int(tapeHint.Load()))
-						l := t.Scale(invBatch, loss(t, wk, inst))
-						t.Backward(l)
-						t.FlushGradsTo(wk.shard)
-						losses[w] += l.Value.ScalarValue()
-						// Raise the hint monotonically: a plain
-						// check-then-store could let a smaller pass overwrite
-						// a larger one and shrink later Grow calls.
-						for n := int64(t.NumNodes()); ; {
-							cur := tapeHint.Load()
-							if n <= cur || tapeHint.CompareAndSwap(cur, n) {
-								break
-							}
-						}
-					}
-				}(w)
+			scratch = scratch[:0]
+			for _, ix := range order[b:end] {
+				scratch = append(scratch, split.Train[ix])
 			}
-			wg.Wait()
-			for _, l := range losses {
-				epochLoss += l
-			}
+			epochLoss += stepBatch(workers, losses, scratch, loss, &tapeHint)
 			optim.StepShards(opt, shards, cfg.GradClip)
 		}
 		nBatches := (len(order) + cfg.BatchSize - 1) / cfg.BatchSize
@@ -284,12 +301,12 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 	return hist, nil
 }
 
-// Ranking trains m with the BPR loss of Eq. (21): for each positive
-// instance it draws cfg.Negatives corrupted candidates and minimises
+// rankingLoss is the BPR loss of Eq. (21): for each positive instance it
+// draws the worker's configured number of corrupted candidates and minimises
 // −log σ(ŷ⁺ − ŷ⁻) averaged over the triples. All candidates of one instance
 // share the dynamic subgraph when m is a SharedScorer.
-func Ranking(m Model, split *data.Split, cfg Config) (*History, error) {
-	return run(m, split, cfg, func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node {
+func rankingLoss(m Model) lossFn {
+	return func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node {
 		scores := w.scoreWithNegatives(t, m, inst)
 		pos := scores[0]
 		terms := w.terms[:0]
@@ -299,16 +316,14 @@ func Ranking(m Model, split *data.Split, cfg Config) (*History, error) {
 		}
 		w.terms = terms
 		return t.MeanScalars(terms)
-	})
+	}
 }
 
-// Classification trains m with the log loss of Eq. (24) over the observed
-// positives and cfg.Negatives uniformly sampled unobserved negatives per
-// positive. BCE-with-logits keeps the loss finite for confident mistakes.
-// All candidates of one instance share the dynamic subgraph when m is a
-// SharedScorer.
-func Classification(m Model, split *data.Split, cfg Config) (*History, error) {
-	return run(m, split, cfg, func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node {
+// classificationLoss is the log loss of Eq. (24) over the observed positive
+// and uniformly sampled unobserved negatives. BCE-with-logits keeps the loss
+// finite for confident mistakes.
+func classificationLoss(m Model) lossFn {
+	return func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node {
 		scores := w.scoreWithNegatives(t, m, inst)
 		terms := w.terms[:0]
 		// BCE(x, y=1) = softplus(−x)
@@ -319,14 +334,46 @@ func Classification(m Model, split *data.Split, cfg Config) (*History, error) {
 		}
 		w.terms = terms
 		return t.MeanScalars(terms)
-	})
+	}
+}
+
+// regressionLoss is the squared error loss of Eq. (26) against the instance
+// labels (ratings).
+func regressionLoss(m Model) lossFn {
+	return func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node {
+		diff := t.AddConst(m.Score(t, inst), -inst.Label)
+		return t.Square(diff)
+	}
+}
+
+// lossFor maps a dataset task to its loss.
+func lossFor(m Model, task data.Task) (lossFn, error) {
+	switch task {
+	case data.Ranking:
+		return rankingLoss(m), nil
+	case data.Classification:
+		return classificationLoss(m), nil
+	case data.Regression:
+		return regressionLoss(m), nil
+	default:
+		return nil, fmt.Errorf("train: unknown task %v", task)
+	}
+}
+
+// Ranking trains m with the BPR loss of Eq. (21).
+func Ranking(m Model, split *data.Split, cfg Config) (*History, error) {
+	return run(m, split, cfg, rankingLoss(m))
+}
+
+// Classification trains m with the log loss of Eq. (24) over the observed
+// positives and cfg.Negatives uniformly sampled unobserved negatives per
+// positive.
+func Classification(m Model, split *data.Split, cfg Config) (*History, error) {
+	return run(m, split, cfg, classificationLoss(m))
 }
 
 // Regression trains m with the squared error loss of Eq. (26) against the
 // instance labels (ratings).
 func Regression(m Model, split *data.Split, cfg Config) (*History, error) {
-	return run(m, split, cfg, func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node {
-		diff := t.AddConst(m.Score(t, inst), -inst.Label)
-		return t.Square(diff)
-	})
+	return run(m, split, cfg, regressionLoss(m))
 }

@@ -1,0 +1,89 @@
+package seqfm
+
+import (
+	"io"
+
+	"seqfm/internal/ckpt"
+	"seqfm/internal/online"
+	"seqfm/internal/train"
+)
+
+// OnlineLearner is the online-learning subsystem (internal/online): it closes
+// the train→serve loop at runtime. Ingested interactions extend a sharded
+// live history store immediately, a background trainer fine-tunes a shadow
+// clone of the model on the event stream through the sharded training engine,
+// and each round's result is hot-swapped into the serving Engine as a new
+// immutable generation — readers never block, in-flight requests finish on
+// the generation they started with.
+//
+//	eng := seqfm.NewEngine(model, seqfm.EngineConfig{})
+//	learner, _ := seqfm.NewOnlineLearner(model, ds, eng, seqfm.OnlineConfig{})
+//	learner.Start()
+//	defer learner.Close()
+//	learner.Ingest(user, object, 1)        // stream interactions
+//	items, _ := learner.TopK(user, cands, 10) // ranked on the live history
+//
+// See DESIGN.md §7 for the snapshot/swap protocol and the staleness and
+// determinism contracts.
+type OnlineLearner = online.Learner
+
+// OnlineConfig parameterises NewOnlineLearner; the zero value takes every
+// default (64-event minibatches, 250ms background cadence, histories bounded
+// at 4× the model's MaxSeqLen).
+type OnlineConfig = online.Config
+
+// OnlineStats is a snapshot of an OnlineLearner's counters.
+type OnlineStats = online.Stats
+
+// HistoryStore is the sharded, lock-striped live per-user history map behind
+// an OnlineLearner.
+type HistoryStore = online.HistoryStore
+
+// NewOnlineLearner builds a learner that fine-tunes a shadow clone of m on
+// ingested events (with ds's task-appropriate loss) and publishes snapshots
+// to eng. m itself is never mutated.
+func NewOnlineLearner(m *Model, ds *Dataset, eng *Engine, cfg OnlineConfig) (*OnlineLearner, error) {
+	return online.NewLearner(m, ds, eng, cfg)
+}
+
+// NewOnlineLearnerFromCheckpoint restores model, optimizer state and step
+// counter from a ckpt-v2 stream (see (*OnlineLearner).Checkpoint) and
+// resumes fine-tuning bit-identically to the run that wrote it.
+func NewOnlineLearnerFromCheckpoint(r io.Reader, ds *Dataset, eng *Engine, cfg OnlineConfig) (*OnlineLearner, error) {
+	return online.NewLearnerFromCheckpoint(r, ds, eng, cfg)
+}
+
+// NewHistoryStore builds a standalone live history store (shards rounded up
+// to a power of two; <= 0 picks the default) keeping at most maxLen objects
+// per user.
+func NewHistoryStore(shards, maxLen int) *HistoryStore {
+	return online.NewHistoryStore(shards, maxLen)
+}
+
+// Stepper is the incremental face of the training engine: one caller-supplied
+// minibatch per Step, with restart-exact random streams so a run restored
+// from a checkpoint continues bit-identically. OnlineLearner drives one
+// internally; use it directly for custom streaming pipelines.
+type Stepper = train.Stepper
+
+// NewStepper builds an incremental trainer for m with the task-appropriate
+// loss. Pass a nil optimizer for a fresh Adam at cfg.LR.
+func NewStepper(m Scorer, ds *Dataset, task Task, cfg TrainConfig) (*Stepper, error) {
+	return train.NewStepper(m, ds, task, nil, cfg)
+}
+
+// SaveCheckpoint writes m as a self-describing ckpt-v2 stream: magic header,
+// model configuration and every parameter, so LoadCheckpoint reconstructs
+// the model with no prior knowledge of its shape. (*OnlineLearner).Checkpoint
+// additionally embeds the optimizer state and step counter.
+func SaveCheckpoint(w io.Writer, m *Model) error {
+	return ckpt.Save(w, m, nil, 0)
+}
+
+// LoadCheckpoint reads a ckpt-v2 stream and rebuilds the model it describes.
+// Legacy v1 streams (weights only) are rejected; load those with
+// (*Model).Load into a model built with the matching Config.
+func LoadCheckpoint(r io.Reader) (*Model, error) {
+	m, _, err := ckpt.Load(r)
+	return m, err
+}
