@@ -12,6 +12,7 @@ package seqfm_test
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"seqfm/internal/core"
 	"seqfm/internal/data"
 	"seqfm/internal/experiments"
+	"seqfm/internal/index"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
 )
@@ -469,6 +471,116 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// --- retrieval-path benchmarks ------------------------------------------
+//
+// Tiny-N smoke versions of seqfm-bench -mode index (which measures
+// 10k/100k/1M catalogs for BENCH_index.json): CI runs these at -benchtime=1x
+// to catch build-path regressions and to assert the recall floor — a
+// retrieval index that silently loses recall is worse than a slow one.
+
+// benchIndexSetup builds a small random store plus its exact ground truth.
+func benchIndexSetup(b *testing.B, n, d int) (*seqfm.ItemStore, [][]float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	store := index.BuildStore(ids, d, func(id int, dst []float64) {
+		for j := range dst {
+			dst[j] = rng.NormFloat64()
+		}
+	})
+	queries := make([][]float64, 20)
+	for i := range queries {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		queries[i] = q
+	}
+	return store, queries
+}
+
+// BenchmarkIndexHNSWBuild measures graph construction on a 2k-item store.
+func BenchmarkIndexHNSWBuild(b *testing.B) {
+	store, _ := benchIndexSetup(b, 2000, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = index.NewHNSW(store, index.Config{Seed: 1})
+	}
+}
+
+// BenchmarkIndexHNSWSearch measures query latency on a prebuilt graph and
+// asserts the recall floor against the exact flat scan — the smoke-level
+// version of the BENCH_index.json acceptance bar.
+func BenchmarkIndexHNSWSearch(b *testing.B) {
+	store, queries := benchIndexSetup(b, 2000, 32)
+	h := index.NewHNSW(store, index.Config{Seed: 1})
+	flat := index.NewFlat(store)
+	var recall float64
+	for _, q := range queries {
+		exact := flat.Search(q, 100, nil)
+		hits := 0
+		got := map[int]bool{}
+		for _, r := range h.Search(q, 100, nil) {
+			got[r.ID] = true
+		}
+		for _, r := range exact {
+			if got[r.ID] {
+				hits++
+			}
+		}
+		recall += float64(hits) / float64(len(exact))
+	}
+	if recall /= float64(len(queries)); recall < 0.95 {
+		b.Fatalf("recall@100 = %.4f < 0.95 on the smoke workload", recall)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Search(queries[i%len(queries)], 100, nil)
+	}
+}
+
+// BenchmarkIndexFlatSearch is the exact-scan reference on the same store.
+func BenchmarkIndexFlatSearch(b *testing.B) {
+	store, queries := benchIndexSetup(b, 2000, 32)
+	flat := index.NewFlat(store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = flat.Search(queries[i%len(queries)], 100, nil)
+	}
+}
+
+// BenchmarkIndexRecommend measures the end-to-end two-stage pipeline on the
+// standard serving workload's model: ANN retrieve from the whole catalog,
+// exclude seen, exact re-rank top-10.
+func BenchmarkIndexRecommend(b *testing.B) {
+	m, inst, _ := benchServingSetup(b)
+	objects := make([]int, 2000) // serve.BenchWorkload's catalog
+	for i := range objects {
+		objects[i] = i
+	}
+	eng := seqfm.NewEngine(m, seqfm.EngineConfig{
+		Index: &seqfm.IndexConfig{Objects: objects},
+	})
+	defer eng.Close()
+	req := seqfm.RecommendRequest{Base: inst, K: 10}
+	if _, err := eng.Recommend(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Recommend(req); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- training-path benchmarks -------------------------------------------

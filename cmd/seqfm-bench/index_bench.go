@@ -1,0 +1,374 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+	"seqfm/internal/index"
+	"seqfm/internal/serve"
+)
+
+// The fixed retrieval-benchmark workload, at the model's default embedding
+// dimensionality, recall@100 measured against the exact flat scan over the
+// same vectors. Literals live here so successive BENCH_index.json files
+// stay diffable.
+//
+// The synthetic embeddings are a mixture of √n Gaussian clusters (unit-
+// normal centers, σ=0.35 per-dimension spread): trained item-embedding
+// tables cluster by co-consumption, and cluster structure is precisely
+// what graph ANN exploits. Iid-normal vectors at d=64 — the structureless
+// worst case, where similarity concentration drives any graph method
+// toward brute-force cost (recall@100 ≈ 0.85 at efSearch=256 on 100k
+// items, at flat-scan latency) — are deliberately not the headline
+// workload; EXPERIMENTS.md records that cliff. Queries are cluster-coherent
+// (center + noise), the shape RetrievalQuery produces for a user whose
+// recent history shares a taste. The graph runs denser than the package
+// defaults (M=24, efConstruction=200); the efSearch sweep starts at 128
+// because Search clamps the beam up to n=topK=100, so sweeping below the
+// clamp would measure the same run twice.
+const (
+	idxBenchDim     = 64
+	idxBenchM       = 24
+	idxBenchEfCons  = 200
+	idxBenchTopK    = 100
+	idxBenchQueries = 200
+	idxBenchSeed    = 1
+	idxBenchSpread  = 0.35
+)
+
+var (
+	idxBenchSizes     = []int{10_000, 100_000, 1_000_000}
+	idxBenchEfSweep   = []int{128, 256, 512}
+	idxBenchQueries1M = 100 // exact ground truth at 1M costs ~50ms/query
+)
+
+// synthClusters draws the mixture centers for an n-item catalog.
+func synthClusters(n int, rng *rand.Rand) [][]float64 {
+	c := int(math.Sqrt(float64(n)))
+	centers := make([][]float64, c)
+	for i := range centers {
+		v := make([]float64, idxBenchDim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		centers[i] = v
+	}
+	return centers
+}
+
+// synthVec writes one clustered embedding: its cluster's center plus
+// spread-scaled noise. Object id → cluster id%len(centers).
+func synthVec(centers [][]float64, id int, rng *rand.Rand, dst []float64) {
+	c := centers[id%len(centers)]
+	for j := range dst {
+		dst[j] = c[j] + idxBenchSpread*rng.NormFloat64()
+	}
+}
+
+// indexBenchEntry is one measured (catalog size, backend, efSearch) cell.
+type indexBenchEntry struct {
+	Items       int     `json:"items"`
+	Dim         int     `json:"dim"`
+	Backend     string  `json:"backend"`
+	EfSearch    int     `json:"ef_search,omitempty"` // 0 for the flat scan
+	BuildSec    float64 `json:"build_sec"`
+	QPS         float64 `json:"qps"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	RecallAt100 float64 `json:"recall_at_100"`
+}
+
+// indexEndToEnd is the acceptance-criterion scenario: Engine.Recommend
+// (retrieve N from the catalog index + exact re-rank) against the old
+// full-catalog Engine.TopK brute force, on a 100k-object SeqFM.
+type indexEndToEnd struct {
+	Objects          int     `json:"objects"`
+	K                int     `json:"k"`
+	N                int     `json:"n"`
+	IndexBuildSec    float64 `json:"index_build_sec"`
+	RecommendP50Ms   float64 `json:"recommend_p50_ms"`
+	RecommendP99Ms   float64 `json:"recommend_p99_ms"`
+	FlatTopKP50Ms    float64 `json:"flat_topk_p50_ms"`
+	SpeedupP50       float64 `json:"speedup_p50"`
+	RetrievalRecallN float64 `json:"retrieval_recall_at_n"` // engine-sampled recall@N vs exact
+}
+
+// indexBenchReport is the BENCH_index.json schema.
+type indexBenchReport struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Workload    string            `json:"workload"`
+	Retrieval   []indexBenchEntry `json:"retrieval"`
+	EndToEnd    indexEndToEnd     `json:"end_to_end"`
+}
+
+// runIndexBench measures the retrieval subsystem: per catalog size, flat
+// and HNSW build time, query latency percentiles, throughput and recall@100
+// across the efSearch sweep; then the end-to-end Recommend-vs-brute-force
+// scenario. Results land in outPath (default BENCH_index.json).
+func runIndexBench(outPath string) error {
+	report := indexBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workload: fmt.Sprintf(
+			"clustered synthetic embeddings (sqrt(n) Gaussian clusters, spread %.2f) d=%d; hnsw M=%d efConstruction=%d buildWorkers=%d; recall@%d vs flat scan",
+			idxBenchSpread, idxBenchDim, idxBenchM, idxBenchEfCons, runtime.GOMAXPROCS(0), idxBenchTopK),
+	}
+
+	// The end-to-end scenario runs first: it is the acceptance criterion,
+	// and the 1M retrieval build is the long pole — fail fast if the
+	// pipeline itself regressed.
+	e2e, err := benchEndToEnd()
+	if err != nil {
+		return err
+	}
+	report.EndToEnd = e2e
+
+	for _, n := range idxBenchSizes {
+		entries, err := benchCatalogSize(n)
+		if err != nil {
+			return err
+		}
+		report.Retrieval = append(report.Retrieval, entries...)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// benchCatalogSize measures one catalog size: flat baseline plus the HNSW
+// efSearch sweep, all over the same store and query set.
+func benchCatalogSize(n int) ([]indexBenchEntry, error) {
+	fmt.Printf("== %d items ==\n", n)
+	rng := rand.New(rand.NewSource(idxBenchSeed))
+	centers := synthClusters(n, rng)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	store := index.BuildStore(ids, idxBenchDim, func(id int, dst []float64) {
+		synthVec(centers, id, rng, dst)
+	})
+	queries := idxBenchQueries
+	if n >= 1_000_000 {
+		queries = idxBenchQueries1M
+	}
+	qs := make([][]float64, queries)
+	for i := range qs {
+		q := make([]float64, idxBenchDim)
+		synthVec(centers, rng.Intn(n), rng, q)
+		qs[i] = q
+	}
+
+	flat := index.NewFlat(store)
+	truth := make([][]index.Result, len(qs))
+	flatLat := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		start := time.Now()
+		truth[i] = flat.Search(q, idxBenchTopK, nil)
+		flatLat[i] = time.Since(start)
+	}
+	var entries []indexBenchEntry
+	fe := indexBenchEntry{
+		Items: n, Dim: idxBenchDim, Backend: "flat",
+		QPS:         qps(flatLat),
+		P50Us:       pctUs(flatLat, 0.50),
+		P99Us:       pctUs(flatLat, 0.99),
+		RecallAt100: 1,
+	}
+	entries = append(entries, fe)
+	fmt.Printf("flat                  p50=%8.1fµs p99=%8.1fµs qps=%8.0f\n", fe.P50Us, fe.P99Us, fe.QPS)
+
+	buildStart := time.Now()
+	h := index.NewHNSW(store, index.Config{
+		M:              idxBenchM,
+		EfConstruction: idxBenchEfCons,
+		Seed:           idxBenchSeed,
+		BuildWorkers:   -1,
+	})
+	buildSec := time.Since(buildStart).Seconds()
+	fmt.Printf("hnsw build %.1fs\n", buildSec)
+
+	for _, ef := range idxBenchEfSweep {
+		// EfSearch is a query-time knob: rebuild-free sweeps reuse the graph.
+		h.SetEfSearch(ef)
+		lat := make([]time.Duration, len(qs))
+		var recall float64
+		for i, q := range qs {
+			start := time.Now()
+			got := h.Search(q, idxBenchTopK, nil)
+			lat[i] = time.Since(start)
+			recall += overlap(got, truth[i])
+		}
+		recall /= float64(len(qs))
+		e := indexBenchEntry{
+			Items: n, Dim: idxBenchDim, Backend: "hnsw", EfSearch: ef,
+			BuildSec:    buildSec,
+			QPS:         qps(lat),
+			P50Us:       pctUs(lat, 0.50),
+			P99Us:       pctUs(lat, 0.99),
+			RecallAt100: recall,
+		}
+		entries = append(entries, e)
+		fmt.Printf("hnsw efSearch=%-4d    p50=%8.1fµs p99=%8.1fµs qps=%8.0f recall@%d=%.4f\n",
+			ef, e.P50Us, e.P99Us, e.QPS, idxBenchTopK, recall)
+	}
+	return entries, nil
+}
+
+// benchEndToEnd measures the acceptance scenario: a SeqFM over a
+// 100k-object catalog served by an indexed engine. Recommend (ANN retrieve
+// N=1000, exclude seen, exact re-rank, top K=100) against the pre-index
+// serving shape — TopK handed every object as an explicit candidate list.
+func benchEndToEnd() (indexEndToEnd, error) {
+	const (
+		objects     = 100_000
+		users       = 100
+		k           = 100
+		retrieveN   = 1000
+		recRequests = 20
+		topkReqs    = 3
+	)
+	fmt.Printf("== end-to-end: recommend vs flat top-%d at %d objects ==\n", k, objects)
+	space := feature.Space{NumUsers: users, NumObjects: objects}
+	m, err := core.New(core.DefaultConfig(space))
+	if err != nil {
+		return indexEndToEnd{}, err
+	}
+	// A freshly initialised embedding table is iid noise — the adversarial
+	// geometry, not the clustered one training produces. Plant the same
+	// mixture the retrieval bench uses into the object rows of M° (scaled
+	// to the table's init magnitude; cosine retrieval is scale-free), so
+	// the scenario measures the pipeline on trained-like geometry.
+	rng := rand.New(rand.NewSource(idxBenchSeed))
+	centers := synthClusters(objects, rng)
+	for _, p := range m.Params() {
+		if p.Name != "seqfm.embStatic" {
+			continue
+		}
+		d := m.EmbedDim()
+		row := make([]float64, d)
+		for o := 0; o < objects; o++ {
+			synthVec(centers, o, rng, row)
+			for j, x := range row {
+				p.Value.Data[(users+o)*d+j] = 0.01 * x
+			}
+		}
+	}
+	catalog := make([]int, objects)
+	for i := range catalog {
+		catalog[i] = i
+	}
+	buildStart := time.Now()
+	eng := serve.NewEngine(m, serve.Config{
+		Index: &serve.IndexConfig{
+			Objects:           catalog,
+			ANN:               index.Config{M: idxBenchM, EfConstruction: idxBenchEfCons, Seed: idxBenchSeed, BuildWorkers: -1},
+			RecallSampleEvery: 1, // sample every request: the bench wants the recall number
+		},
+	})
+	buildSec := time.Since(buildStart).Seconds()
+	defer eng.Close()
+	fmt.Printf("catalog index built in %.1fs\n", buildSec)
+
+	// Each request models a taste-coherent user: a history drawn from one
+	// cluster (object id ≡ cluster mod len(centers)), the shape whose mean
+	// RetrievalQuery is designed for. Uniform histories would average to
+	// the origin and measure retrieval of nothing.
+	reqHist := func() []int {
+		c := rng.Intn(len(centers))
+		hist := make([]int, 20)
+		for i := range hist {
+			hist[i] = (rng.Intn(objects/len(centers)))*len(centers) + c
+		}
+		return hist
+	}
+
+	recLat := make([]time.Duration, recRequests)
+	for i := range recLat {
+		base := feature.Instance{User: i % users, Hist: reqHist(), UserAttr: feature.Pad, TargetAttr: feature.Pad}
+		start := time.Now()
+		if _, err := eng.Recommend(serve.RecommendRequest{Base: base, K: k, N: retrieveN}); err != nil {
+			return indexEndToEnd{}, err
+		}
+		recLat[i] = time.Since(start)
+	}
+
+	topkLat := make([]time.Duration, topkReqs)
+	for i := range topkLat {
+		base := feature.Instance{User: i % users, Hist: reqHist(), UserAttr: feature.Pad, TargetAttr: feature.Pad}
+		start := time.Now()
+		eng.TopK(serve.TopKRequest{Base: base, Candidates: catalog, K: k})
+		topkLat[i] = time.Since(start)
+	}
+
+	st := eng.Stats()
+	e2e := indexEndToEnd{
+		Objects:        objects,
+		K:              k,
+		N:              retrieveN,
+		IndexBuildSec:  buildSec,
+		RecommendP50Ms: pctUs(recLat, 0.50) / 1e3,
+		RecommendP99Ms: pctUs(recLat, 0.99) / 1e3,
+		FlatTopKP50Ms:  pctUs(topkLat, 0.50) / 1e3,
+	}
+	if e2e.RecommendP50Ms > 0 {
+		e2e.SpeedupP50 = e2e.FlatTopKP50Ms / e2e.RecommendP50Ms
+	}
+	if st.RecallWanted > 0 {
+		e2e.RetrievalRecallN = float64(st.RecallHits) / float64(st.RecallWanted)
+	}
+	fmt.Printf("recommend p50=%.1fms p99=%.1fms | flat top-k p50=%.1fms → %.1fx speedup, retrieval recall@%d=%.4f\n",
+		e2e.RecommendP50Ms, e2e.RecommendP99Ms, e2e.FlatTopKP50Ms, e2e.SpeedupP50, retrieveN, e2e.RetrievalRecallN)
+	return e2e, nil
+}
+
+// overlap returns |got ∩ want| / |want| over result ids.
+func overlap(got, want []index.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	ids := make(map[int]struct{}, len(got))
+	for _, r := range got {
+		ids[r.ID] = struct{}{}
+	}
+	hit := 0
+	for _, r := range want {
+		if _, ok := ids[r.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+func pctUs(lat []time.Duration, q float64) float64 {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return float64(s[int(q*float64(len(s)-1))].Nanoseconds()) / 1e3
+}
+
+func qps(lat []time.Duration) float64 {
+	var total time.Duration
+	for _, l := range lat {
+		total += l
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(len(lat)) / total.Seconds()
+}

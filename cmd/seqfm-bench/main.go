@@ -8,6 +8,7 @@
 //	seqfm-bench -exp all   -scale tiny
 //	seqfm-bench -mode train -out BENCH_train.json
 //	seqfm-bench -mode serve -out BENCH_serve.json
+//	seqfm-bench -mode index -out BENCH_index.json
 //
 // In the default -mode paper, experiments are: table1 (dataset statistics),
 // table2 (ranking), table3 (classification), table4 (regression), table5
@@ -26,6 +27,13 @@
 // cold and warm top-K at J=100, the mixed batch-score path, and the
 // hot-swap-under-load scenario — top-K latency percentiles while a
 // background publisher swaps model generations — writing BENCH_serve.json.
+//
+// -mode index benchmarks the candidate-retrieval subsystem: HNSW build
+// time, query throughput, latency percentiles and recall@100 against the
+// exact flat scan at 10k/100k/1M synthetic items across the efSearch
+// sweep, plus the end-to-end scenario — Engine.Recommend (retrieve 1000
+// from a 100k-object catalog + exact re-rank) against brute-force TopK
+// over every object — writing BENCH_index.json.
 package main
 
 import (
@@ -45,7 +53,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train (training-engine benchmarks)")
+		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index (engine benchmarks)")
 		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|figure3|figure4|all")
 		scale   = flag.String("scale", "small", "scale: tiny|small|medium|full")
 		seed    = flag.Int64("seed", 7, "master random seed")
@@ -55,7 +63,7 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
-	case "train", "serve":
+	case "train", "serve", "index":
 		// The engine benchmarks measure fixed workloads (see
 		// train.BenchWorkload and serve.BenchWorkload) so successive
 		// BENCH_*.json files stay diffable; tell the user if they tried to
@@ -72,10 +80,16 @@ func main() {
 		})
 		outPath := *out
 		bench := runTrainBench
-		if *mode == "serve" {
+		switch *mode {
+		case "serve":
 			bench = runServeBench
 			if !outSet { // redirect only the train-oriented default, never an explicit -out
 				outPath = "BENCH_serve.json"
+			}
+		case "index":
+			bench = runIndexBench
+			if !outSet {
+				outPath = "BENCH_index.json"
 			}
 		}
 		if err := bench(outPath); err != nil {

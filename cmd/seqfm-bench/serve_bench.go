@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"testing"
 	"time"
 
@@ -199,19 +198,13 @@ func runHotSwapBench(m *core.Model, inst feature.Instance, candidates []int) (sw
 	close(stop)
 	<-done
 
-	p := func(lat []time.Duration, q float64) float64 {
-		s := append([]time.Duration(nil), lat...)
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		ix := int(q * float64(len(s)-1))
-		return float64(s[ix].Nanoseconds()) / 1e3
-	}
 	e := swapBenchEntry{
 		Requests:     requests,
 		Swaps:        swaps,
-		SteadyP50Us:  p(steady, 0.50),
-		SteadyP99Us:  p(steady, 0.99),
-		SwappingP50A: p(swapping, 0.50),
-		SwappingP99A: p(swapping, 0.99),
+		SteadyP50Us:  pctUs(steady, 0.50),
+		SteadyP99Us:  pctUs(steady, 0.99),
+		SwappingP50A: pctUs(swapping, 0.50),
+		SwappingP99A: pctUs(swapping, 0.99),
 	}
 	if e.SteadyP50Us > 0 {
 		e.P50Ratio = e.SwappingP50A / e.SteadyP50Us

@@ -7,18 +7,29 @@
 // On startup it materialises a stand-in dataset, then either loads a
 // checkpoint or trains in-process, and serves:
 //
-//	GET  /healthz     — liveness plus engine statistics
-//	POST /v1/score    — {"instances":[{"user":u,"target":o,"hist":[...]}]}
-//	                    → {"scores":[...]}
-//	POST /v1/topk     — {"user":u,"hist":[...],"candidates":[...],"k":10}
-//	                    → {"items":[{"object":o,"score":s}, ...]}
-//	POST /v1/feedback — {"user":u,"object":o,"label":1} or {"events":[...]}
-//	                    → {"accepted":n,"pending":p}   (requires -online)
-//	GET  /v1/model    — serving generation, config, online-trainer counters
+//	GET  /healthz      — liveness plus engine statistics
+//	POST /v1/score     — {"instances":[{"user":u,"target":o,"hist":[...]}]}
+//	                     → {"scores":[...]}
+//	POST /v1/topk      — {"user":u,"hist":[...],"candidates":[...],"k":10}
+//	                     → {"items":[{"object":o,"score":s}, ...]}
+//	POST /v1/recommend — {"user":u,"hist":[...],"k":10,"n":500}
+//	                     → {"items":[...],"generation":g,"retrieved":n}
+//	                     (requires -index: full-catalog ANN retrieval +
+//	                     exact re-rank; already-seen objects are excluded
+//	                     unless "include_seen":true)
+//	POST /v1/feedback  — {"user":u,"object":o,"label":1} or {"events":[...]}
+//	                     → {"accepted":n,"pending":p}   (requires -online)
+//	GET  /v1/model     — serving generation, config, online-trainer and
+//	                     retrieval-index counters
 //
-// In /v1/topk, "hist" defaults to the user's live history (dataset log plus
-// every ingested event) and "candidates" defaults to every object; item
-// attributes are filled from the dataset's side-information tables.
+// In /v1/topk and /v1/recommend, "hist" defaults to the user's live history
+// (dataset log plus every ingested event); /v1/topk's "candidates" defaults
+// to every object; item attributes are filled from the dataset's
+// side-information tables.
+//
+// With -index, the catalog index is warm-built at boot (before the listener
+// opens) and rebuilt inside every hot swap, so /v1/recommend never serves
+// one generation's embeddings against another's weights.
 //
 // Checkpoints: -save writes the self-describing ckpt v2 format (config +
 // weights), which -checkpoint loads with no matching flags needed. Legacy v1
@@ -44,6 +55,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"seqfm/internal/ckpt"
@@ -51,6 +63,7 @@ import (
 	"seqfm/internal/data"
 	"seqfm/internal/experiments"
 	"seqfm/internal/feature"
+	"seqfm/internal/index"
 	"seqfm/internal/online"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
@@ -72,6 +85,14 @@ func main() {
 		staticCache = flag.Int("static-cache", 0, "static-view cache entries (0 = default, <0 = off)")
 		dynCache    = flag.Int("dyn-cache", 0, "dynamic-state cache entries (0 = default, <0 = off)")
 
+		indexOn      = flag.Bool("index", false, "build the full-catalog retrieval index (/v1/recommend)")
+		indexBackend = flag.String("index-backend", "hnsw", "retrieval backend: hnsw|flat")
+		indexM       = flag.Int("index-m", 0, "HNSW links per node per layer (0 = default)")
+		indexEfCons  = flag.Int("index-ef-construction", 0, "HNSW build beam width (0 = default)")
+		indexEfSrch  = flag.Int("index-ef-search", 0, "HNSW query beam width (0 = default)")
+		indexWorkers = flag.Int("index-build-workers", -1, "index build goroutines for the boot warm-build and every hot-swap rebuild (-1 = GOMAXPROCS, 1 = sequential/deterministic)")
+		recallSample = flag.Int("recall-sample", 0, "with -index: every Nth recommend also flat-scans and records observed recall (0 = off)")
+
 		onlineOn     = flag.Bool("online", false, "enable the online-learning subsystem (/v1/feedback, background fine-tune, hot swap)")
 		onlineEvery  = flag.Duration("online-interval", 0, "online trainer cadence (0 = default)")
 		onlineBatch  = flag.Int("online-batch", 0, "online fine-tune minibatch size (0 = default)")
@@ -80,6 +101,23 @@ func main() {
 		snapshotEvry = flag.Duration("snapshot-every", time.Minute, "snapshot cadence")
 	)
 	flag.Parse()
+
+	// Index tuning flags without -index would be silently dropped (the
+	// server would boot index-less and 409 every /v1/recommend); fail
+	// fast instead, like -recall-sample and -snapshot do.
+	if !*indexOn {
+		var stray []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "index-backend", "index-m", "index-ef-construction", "index-ef-search", "index-build-workers":
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			fmt.Fprintf(os.Stderr, "seqfm-serve: %s requires -index\n", strings.Join(stray, ", "))
+			os.Exit(1)
+		}
+	}
 
 	opts := serveOpts{
 		addr: *addr, dataset: *dataset, scale: *scale, epochs: *epochs, seed: *seed,
@@ -91,6 +129,9 @@ func main() {
 			StaticCacheSize: *staticCache,
 			DynCacheSize:    *dynCache,
 		},
+		index: *indexOn, indexBackend: *indexBackend, indexM: *indexM,
+		indexEfConstruction: *indexEfCons, indexEfSearch: *indexEfSrch,
+		indexBuildWorkers: *indexWorkers, recallSample: *recallSample,
 		online: *onlineOn, onlineInterval: *onlineEvery, onlineBatch: *onlineBatch,
 		onlineLR: *onlineLR, snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvry,
 	}
@@ -107,6 +148,13 @@ type serveOpts struct {
 	checkpoint, save     string
 	configFromFlags      bool
 	engine               serve.Config
+	index                bool
+	indexBackend         string
+	indexM               int
+	indexEfConstruction  int
+	indexEfSearch        int
+	indexBuildWorkers    int
+	recallSample         int
 	online               bool
 	onlineInterval       time.Duration
 	onlineBatch          int
@@ -120,6 +168,18 @@ func run(o serveOpts) error {
 	// in-process training) is thrown away on them.
 	if o.snapshotPath != "" && !o.online {
 		return fmt.Errorf("-snapshot requires -online")
+	}
+	var backend index.Backend
+	if o.index {
+		var err error
+		if backend, err = index.ParseBackend(o.indexBackend); err != nil {
+			return err
+		}
+		if o.recallSample > 0 && backend == index.BackendFlat {
+			return fmt.Errorf("-recall-sample is meaningless with -index-backend flat: the flat scan is exact (recall is identically 1)")
+		}
+	} else if o.recallSample > 0 {
+		return fmt.Errorf("-recall-sample requires -index")
 	}
 	p := experiments.ParamsFor(experiments.Scale(o.scale))
 	p.Seed = o.seed
@@ -162,8 +222,29 @@ func run(o serveOpts) error {
 		log.Printf("saved checkpoint %s (ckpt v2)", o.save)
 	}
 
+	if o.index {
+		o.engine.Index = &serve.IndexConfig{
+			Objects: ds.Objects(),
+			Backend: backend,
+			ANN: index.Config{
+				M:              o.indexM,
+				EfConstruction: o.indexEfConstruction,
+				EfSearch:       o.indexEfSearch,
+				Seed:           o.seed,
+				BuildWorkers:   o.indexBuildWorkers,
+			},
+			RecallSampleEvery: o.recallSample,
+		}
+	}
+	// NewEngine warm-builds generation 1's catalog index before the
+	// listener opens: the first /v1/recommend never pays the build.
 	eng := serve.NewEngine(model, o.engine)
 	defer eng.Close()
+	if o.index {
+		st := eng.Stats()
+		log.Printf("catalog index warm-built: backend=%s items=%d build=%.1fms",
+			st.IndexBackend, st.IndexSize, float64(st.IndexBuildNanos)/1e6)
+	}
 
 	var learner *online.Learner
 	if o.online {
@@ -320,6 +401,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/score", s.handleScore)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
 	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	return mux
 }
@@ -425,6 +507,51 @@ func (s *server) liveHistory(user int) []int {
 	return hist
 }
 
+// baseInstance validates a request's user context and builds the base
+// instance /v1/topk and /v1/recommend share: hist nil defaults to the live
+// history, user attributes are filled from the side-information tables.
+func (s *server) baseInstance(user int, hist []int) (feature.Instance, error) {
+	if user < 0 || user >= s.ds.NumUsers {
+		return feature.Instance{}, fmt.Errorf("user %d outside [0,%d)", user, s.ds.NumUsers)
+	}
+	if hist == nil {
+		hist = s.liveHistory(user)
+	}
+	for _, h := range hist {
+		if h < 0 || h >= s.ds.NumObjects {
+			return feature.Instance{}, fmt.Errorf("hist object %d outside [0,%d)", h, s.ds.NumObjects)
+		}
+	}
+	base := feature.Instance{User: user, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	if s.ds.NumUserAttrs > 0 {
+		base.UserAttr = s.ds.UserAttr[user]
+	}
+	return base, nil
+}
+
+// attrOf returns the candidate→TargetAttr mapping for ranking requests, or
+// nil when the dataset carries no item side information.
+func (s *server) attrOf() func(int) int {
+	if s.ds.NumItemAttrs == 0 {
+		return nil
+	}
+	return func(o int) int { return s.ds.ItemAttr[o] }
+}
+
+// jsonItem is the wire form of one ranked candidate.
+type jsonItem struct {
+	Object int     `json:"object"`
+	Score  float64 `json:"score"`
+}
+
+func toJSONItems(items []serve.Item) []jsonItem {
+	out := make([]jsonItem, len(items))
+	for i, it := range items {
+		out[i] = jsonItem{Object: it.Object, Score: it.Score}
+	}
+	return out
+}
+
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		User       int   `json:"user"`
@@ -436,26 +563,14 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.User < 0 || req.User >= s.ds.NumUsers {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("user %d outside [0,%d)", req.User, s.ds.NumUsers))
+	base, err := s.baseInstance(req.User, req.Hist)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
 		return
-	}
-	hist := req.Hist
-	if hist == nil {
-		hist = s.liveHistory(req.User)
-	}
-	for _, h := range hist {
-		if h < 0 || h >= s.ds.NumObjects {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("hist object %d outside [0,%d)", h, s.ds.NumObjects))
-			return
-		}
 	}
 	candidates := req.Candidates
 	if candidates == nil {
-		candidates = make([]int, s.ds.NumObjects)
-		for i := range candidates {
-			candidates[i] = i
-		}
+		candidates = s.ds.Objects()
 	}
 	for _, c := range candidates {
 		if c < 0 || c >= s.ds.NumObjects {
@@ -463,28 +578,68 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	base := feature.Instance{User: req.User, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad}
-	if s.ds.NumUserAttrs > 0 {
-		base.UserAttr = s.ds.UserAttr[req.User]
-	}
-	tkr := serve.TopKRequest{Base: base, Candidates: candidates, K: req.K}
-	if s.ds.NumItemAttrs > 0 {
-		tkr.AttrOf = func(o int) int { return s.ds.ItemAttr[o] }
-	}
 	started := time.Now()
-	items, gen := s.eng.TopKOn(tkr)
-	type jsonItem struct {
-		Object int     `json:"object"`
-		Score  float64 `json:"score"`
-	}
-	out := make([]jsonItem, len(items))
-	for i, it := range items {
-		out[i] = jsonItem{Object: it.Object, Score: it.Score}
-	}
+	items, gen := s.eng.TopKOn(serve.TopKRequest{Base: base, Candidates: candidates, K: req.K, AttrOf: s.attrOf()})
 	writeJSON(w, map[string]any{
-		"items":      out,
+		"items":      toJSONItems(items),
 		"generation": gen,
 		"elapsed_ms": float64(time.Since(started).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User        int   `json:"user"`
+		Hist        []int `json:"hist"`
+		K           int   `json:"k"`
+		N           int   `json:"n"`
+		IncludeSeen bool  `json:"include_seen"`
+		Exclude     []int `json:"exclude"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	base, err := s.baseInstance(req.User, req.Hist)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, o := range req.Exclude {
+		if o < 0 || o >= s.ds.NumObjects {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("exclude object %d outside [0,%d)", o, s.ds.NumObjects))
+			return
+		}
+	}
+	rreq := serve.RecommendRequest{
+		Base: base, K: req.K, N: req.N,
+		IncludeSeen: req.IncludeSeen, Exclude: req.Exclude,
+		AttrOf: s.attrOf(),
+	}
+	if s.learner != nil && !req.IncludeSeen {
+		// The online store bounds the live history (a dynamic-view bound,
+		// not an exclusion bound); long-history users have interactions
+		// older than it. The learner's seen index never forgets, so the
+		// exclusion contract stays identical with and without -online —
+		// consulted as a predicate, never materialised per request.
+		user := req.User
+		rreq.ExcludeFunc = func(o int) bool { return s.learner.Seen(user, o) }
+		rreq.ExcludeHint = s.learner.SeenCount(user)
+	}
+	res, err := s.eng.RecommendOn(rreq)
+	if err != nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("retrieval disabled: %w (restart with -index)", err))
+		return
+	}
+	writeJSON(w, map[string]any{
+		"items":            toJSONItems(res.Items),
+		"generation":       res.Generation,
+		"index_generation": res.IndexGeneration,
+		"retrieved":        res.Retrieved,
+		// The engine's own measurement, net of recall-canary overhead —
+		// consistent with /v1/model's avg_recommend_ms, so latency
+		// monitors don't alarm on sampled requests.
+		"elapsed_ms": float64(res.Elapsed.Microseconds()) / 1000,
 	})
 }
 
@@ -572,6 +727,24 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 			"steps": ls.Steps, "swaps": ls.Swaps, "last_loss": ls.LastLoss,
 			"history_users": ls.HistoryUsers,
 		}
+	}
+	if st.IndexSize > 0 {
+		idx := map[string]any{
+			"backend":        st.IndexBackend,
+			"size":           st.IndexSize,
+			"build_ms":       float64(st.IndexBuildNanos) / 1e6,
+			"recommends":     st.Recommends,
+			"retrieved":      st.Retrieved,
+			"recall_samples": st.RecallSamples,
+		}
+		if st.Recommends > 0 {
+			idx["avg_recommend_ms"] = float64(st.RecommendNanos) / float64(st.Recommends) / 1e6
+			idx["avg_retrieve_ms"] = float64(st.RetrieveNanos) / float64(st.Recommends) / 1e6
+		}
+		if st.RecallWanted > 0 {
+			idx["observed_recall"] = float64(st.RecallHits) / float64(st.RecallWanted)
+		}
+		resp["index"] = idx
 	}
 	writeJSON(w, resp)
 }

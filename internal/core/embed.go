@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"seqfm/internal/feature"
+)
+
+// This file is the model's face toward the candidate-retrieval subsystem
+// (internal/index): read-only accessors over the static embedding table M°
+// of Eq. (5). The retrieval stage of the two-stage serving architecture
+// (DESIGN.md §8) indexes every catalog object's static embedding row and
+// queries it with a vector derived from the user context — a cheap proxy
+// for the full SeqFM score that the exact re-rank stage then corrects.
+// Objects whose embeddings interact strongly inside the attention views
+// have similar rows in M°, so proximity in this space is the natural
+// candidate-generation signal the model itself provides.
+//
+// The accessors copy into caller-provided buffers and never expose the
+// parameter storage: an index must snapshot the embeddings it was built
+// from (the serving engine rebuilds it per published generation), and a
+// shared slice would let stale indexes alias live training weights.
+
+// EmbedDim returns d, the width of one embedding row — the dimensionality
+// of the retrieval space.
+func (m *Model) EmbedDim() int { return m.cfg.Dim }
+
+// NumObjects returns the size of the object catalog the model embeds.
+func (m *Model) NumObjects() int { return m.cfg.Space.NumObjects }
+
+// ObjectEmbedding copies object o's static-view embedding row (the
+// candidate one-hot's row of M°) into dst, which must have length
+// EmbedDim.
+func (m *Model) ObjectEmbedding(o int, dst []float64) {
+	sp := m.cfg.Space
+	if o < 0 || o >= sp.NumObjects {
+		panic(fmt.Sprintf("core: object %d outside [0,%d)", o, sp.NumObjects))
+	}
+	m.staticRow(sp.NumUsers+o, dst)
+}
+
+// staticRow copies row r of the static embedding table into dst.
+func (m *Model) staticRow(r int, dst []float64) {
+	d := m.cfg.Dim
+	if len(dst) != d {
+		panic(fmt.Sprintf("core: embedding dst length %d, want %d", len(dst), d))
+	}
+	copy(dst, m.embS.Table.Value.Data[r*d:(r+1)*d])
+}
+
+// RetrievalQuery writes the candidate-retrieval query vector for one user
+// context into dst (length EmbedDim): the mean static embedding of the
+// most recent MaxSeqLen history objects — the items the catalog index
+// measures cosine similarity against — so retrieval surfaces objects that
+// the model embeds near what the user just interacted with. Cold contexts
+// (empty history) fall back to the user's own static embedding row, which
+// the attention views train against the same object rows. Padding entries
+// (feature.Pad) are skipped like everywhere else.
+func (m *Model) RetrievalQuery(user int, hist []int, dst []float64) {
+	sp := m.cfg.Space
+	d := m.cfg.Dim
+	if len(dst) != d {
+		panic(fmt.Sprintf("core: query dst length %d, want %d", len(dst), d))
+	}
+	if user < 0 || user >= sp.NumUsers {
+		panic(fmt.Sprintf("core: user %d outside [0,%d)", user, sp.NumUsers))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	if start := len(hist) - m.cfg.MaxSeqLen; start > 0 {
+		hist = hist[start:]
+	}
+	n := 0
+	for _, o := range hist {
+		if o == feature.Pad {
+			continue
+		}
+		if o < 0 || o >= sp.NumObjects {
+			panic(fmt.Sprintf("core: history object %d outside [0,%d)", o, sp.NumObjects))
+		}
+		row := m.embS.Table.Value.Data[(sp.NumUsers+o)*d : (sp.NumUsers+o+1)*d]
+		for i, x := range row {
+			dst[i] += x
+		}
+		n++
+	}
+	if n == 0 {
+		m.staticRow(user, dst)
+		return
+	}
+	inv := 1 / float64(n)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

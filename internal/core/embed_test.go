@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seqfm/internal/feature"
+)
+
+func embedTestModel(t *testing.T) *Model {
+	t.Helper()
+	cfg := DefaultConfig(feature.Space{NumUsers: 5, NumObjects: 9})
+	cfg.Dim = 8
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestObjectEmbeddingReadsStaticRow(t *testing.T) {
+	m := embedTestModel(t)
+	d := m.EmbedDim()
+	if d != 8 {
+		t.Fatalf("EmbedDim = %d, want 8", d)
+	}
+	if m.NumObjects() != 9 {
+		t.Fatalf("NumObjects = %d, want 9", m.NumObjects())
+	}
+	dst := make([]float64, d)
+	m.ObjectEmbedding(3, dst)
+	users := m.Config().Space.NumUsers
+	want := m.embS.Table.Value.Data[(users+3)*d : (users+4)*d]
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("ObjectEmbedding(3)[%d] = %v, want table row value %v", i, dst[i], want[i])
+		}
+	}
+	// The copy must not alias parameter storage.
+	dst[0] += 1
+	if m.embS.Table.Value.Data[(users+3)*d] == dst[0] {
+		t.Fatal("ObjectEmbedding aliases the embedding table")
+	}
+}
+
+func TestRetrievalQueryMeansHistoryRows(t *testing.T) {
+	m := embedTestModel(t)
+	d := m.EmbedDim()
+	a, b, q := make([]float64, d), make([]float64, d), make([]float64, d)
+	m.ObjectEmbedding(2, a)
+	m.ObjectEmbedding(7, b)
+	m.RetrievalQuery(1, []int{2, feature.Pad, 7}, q)
+	for i := range q {
+		want := (a[i] + b[i]) / 2
+		if math.Abs(q[i]-want) > 1e-15 {
+			t.Fatalf("query[%d] = %v, want mean %v", i, q[i], want)
+		}
+	}
+}
+
+func TestRetrievalQueryTruncatesToMaxSeqLen(t *testing.T) {
+	m := embedTestModel(t)
+	d := m.EmbedDim()
+	n := m.Config().MaxSeqLen
+	long := make([]int, n+5)
+	for i := range long {
+		long[i] = i % 9
+	}
+	full, tail := make([]float64, d), make([]float64, d)
+	m.RetrievalQuery(0, long, full)
+	m.RetrievalQuery(0, long[len(long)-n:], tail)
+	for i := range full {
+		if full[i] != tail[i] {
+			t.Fatal("query over a long history differs from the query over its last MaxSeqLen items")
+		}
+	}
+}
+
+func TestRetrievalQueryColdUserFallsBackToUserRow(t *testing.T) {
+	m := embedTestModel(t)
+	d := m.EmbedDim()
+	q := make([]float64, d)
+	m.RetrievalQuery(4, nil, q)
+	want := m.embS.Table.Value.Data[4*d : 5*d]
+	for i := range q {
+		if q[i] != want[i] {
+			t.Fatal("cold-user query is not the user's static embedding row")
+		}
+	}
+}

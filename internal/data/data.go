@@ -75,6 +75,19 @@ func (d *Dataset) Space() feature.Space {
 	}
 }
 
+// Objects returns every object id in the catalog — 0 through NumObjects-1
+// in ascending order — as a fresh slice the caller may keep. It is the
+// candidate universe: index builds and full-catalog serving paths iterate
+// it instead of re-deriving the catalog by scanning interaction logs (an
+// object with no interactions yet is still a valid candidate).
+func (d *Dataset) Objects() []int {
+	out := make([]int, d.NumObjects)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
 // NumInstances returns the total interaction count (Table I "#Instance").
 func (d *Dataset) NumInstances() int {
 	n := 0

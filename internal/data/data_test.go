@@ -197,6 +197,23 @@ func TestInstanceWithoutAttrsUsesPad(t *testing.T) {
 	}
 }
 
+func TestObjectsEnumeratesCatalog(t *testing.T) {
+	d := &Dataset{NumUsers: 1, NumObjects: 4, Users: [][]Interaction{{{Object: 2, Rating: 1, Time: 1}}}}
+	got := d.Objects()
+	if len(got) != 4 {
+		t.Fatalf("Objects() len = %d, want NumObjects = 4 (uninteracted objects are still candidates)", len(got))
+	}
+	for i, o := range got {
+		if o != i {
+			t.Fatalf("Objects()[%d] = %d, want %d", i, o, i)
+		}
+	}
+	got[0] = 99
+	if d.Objects()[0] != 0 {
+		t.Fatal("Objects() does not return a fresh slice")
+	}
+}
+
 func TestSortUsersByLength(t *testing.T) {
 	d := tinyDataset()
 	ids := SortUsersByLength(d)

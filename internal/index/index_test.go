@@ -1,0 +1,307 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// randomStore builds n random d-dimensional vectors from a seeded
+// standard normal — the synthetic embedding workload of the recall
+// property test.
+func randomStore(n, d int, seed int64) *Store {
+	rng := rand.New(rand.NewSource(seed))
+	raw := make([][]float64, n)
+	ids := make([]int, n)
+	for i := range raw {
+		ids[i] = i
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		raw[i] = v
+	}
+	return BuildStore(ids, d, func(id int, dst []float64) { copy(dst, raw[id]) })
+}
+
+func randomQuery(d int, rng *rand.Rand) []float64 {
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	return q
+}
+
+// recallAt computes |approx ∩ exact| / |exact| over the result id sets.
+func recallAt(approx, exact []Result) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	got := make(map[int]bool, len(approx))
+	for _, r := range approx {
+		got[r.ID] = true
+	}
+	hit := 0
+	for _, r := range exact {
+		if got[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+func TestFlatMatchesBruteForce(t *testing.T) {
+	s := randomStore(200, 8, 3)
+	flat := NewFlat(s)
+	rng := rand.New(rand.NewSource(4))
+	q := randomQuery(8, rng)
+	got := flat.Search(q, 10, nil)
+	if len(got) != 10 {
+		t.Fatalf("got %d results, want 10", len(got))
+	}
+	// Brute force: normalise q, dot against every row, full sort.
+	nq := normalizeQuery(q, 8)
+	all := make([]Result, s.Len())
+	for i := range all {
+		all[i] = Result{ID: s.ID(i), Score: dot(nq, s.vec(i))}
+	}
+	sortResults(all)
+	if !reflect.DeepEqual(got, all[:10]) {
+		t.Fatalf("flat top-10 disagrees with full sort:\n got %v\nwant %v", got, all[:10])
+	}
+	// Scores must descend.
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("results not sorted at %d: %v", i, got)
+		}
+	}
+}
+
+// TestHNSWRecallProperty pins the satellite requirement: HNSW recall@100
+// against the exact flat baseline stays ≥ 0.95 on seeded random
+// embeddings, across several seeds.
+func TestHNSWRecallProperty(t *testing.T) {
+	const (
+		n, d    = 5000, 32
+		queries = 50
+		topK    = 100
+		floor   = 0.95
+	)
+	for _, seed := range []int64{1, 7, 42} {
+		s := randomStore(n, d, seed)
+		flat := NewFlat(s)
+		hnsw := NewHNSW(s, Config{M: 16, EfConstruction: 200, EfSearch: 128, Seed: seed})
+		rng := rand.New(rand.NewSource(seed + 1000))
+		var sum float64
+		for i := 0; i < queries; i++ {
+			q := randomQuery(d, rng)
+			exact := flat.Search(q, topK, nil)
+			approx := hnsw.Search(q, topK, nil)
+			sum += recallAt(approx, exact)
+		}
+		if mean := sum / queries; mean < floor {
+			t.Fatalf("seed %d: mean recall@%d = %.4f < %.2f", seed, topK, mean, floor)
+		}
+	}
+}
+
+// TestHNSWRecallRisesWithEfSearch pins the recall/latency tradeoff knob:
+// widening the query beam cannot hurt recall on the same graph.
+func TestHNSWRecallRisesWithEfSearch(t *testing.T) {
+	const n, d, topK = 3000, 16, 50
+	s := randomStore(n, d, 11)
+	flat := NewFlat(s)
+	rng := rand.New(rand.NewSource(12))
+	qs := make([][]float64, 30)
+	for i := range qs {
+		qs[i] = randomQuery(d, rng)
+	}
+	mean := func(ef int) float64 {
+		h := NewHNSW(s, Config{M: 8, EfConstruction: 100, EfSearch: ef, Seed: 11})
+		var sum float64
+		for _, q := range qs {
+			sum += recallAt(h.Search(q, topK, nil), flat.Search(q, topK, nil))
+		}
+		return sum / float64(len(qs))
+	}
+	lo, hi := mean(topK), mean(8*topK)
+	if hi < lo-1e-9 {
+		t.Fatalf("recall fell as efSearch grew: ef=%d → %.4f, ef=%d → %.4f", topK, lo, 8*topK, hi)
+	}
+	if hi < 0.99 {
+		t.Fatalf("recall@%d at ef=%d = %.4f, want ≥ 0.99", topK, 8*topK, hi)
+	}
+}
+
+// TestParallelBuildRecall exercises the locked construction path (run
+// under -race in CI): a graph built by concurrent workers must satisfy the
+// same recall floor as a sequential build.
+func TestParallelBuildRecall(t *testing.T) {
+	const n, d, topK = 4000, 16, 100
+	s := randomStore(n, d, 17)
+	flat := NewFlat(s)
+	h := NewHNSW(s, Config{M: 16, EfConstruction: 150, EfSearch: 128, Seed: 17, BuildWorkers: 4})
+	rng := rand.New(rand.NewSource(18))
+	var sum float64
+	const queries = 30
+	for i := 0; i < queries; i++ {
+		q := randomQuery(d, rng)
+		sum += recallAt(h.Search(q, topK, nil), flat.Search(q, topK, nil))
+	}
+	if mean := sum / queries; mean < 0.95 {
+		t.Fatalf("parallel-built graph mean recall@%d = %.4f < 0.95", topK, mean)
+	}
+}
+
+func TestSearchExcludesFilteredIds(t *testing.T) {
+	s := randomStore(1000, 16, 5)
+	rng := rand.New(rand.NewSource(6))
+	q := randomQuery(16, rng)
+	banned := map[int]bool{}
+	for _, r := range NewFlat(s).Search(q, 20, nil) {
+		banned[r.ID] = true // ban the exact top-20 — the hardest filter
+	}
+	exclude := func(id int) bool { return banned[id] }
+	for _, retr := range []Retriever{NewFlat(s), NewHNSW(s, Config{Seed: 5})} {
+		got := retr.Search(q, 20, exclude)
+		if len(got) != 20 {
+			t.Fatalf("%s: got %d results under exclusion, want 20", retr.Backend(), len(got))
+		}
+		for _, r := range got {
+			if banned[r.ID] {
+				t.Fatalf("%s: excluded id %d returned", retr.Backend(), r.ID)
+			}
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	s := randomStore(2000, 16, 9)
+	cfg := Config{M: 12, EfConstruction: 80, EfSearch: 64, Seed: 9}
+	a, b := NewHNSW(s, cfg), NewHNSW(s, cfg)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 20; i++ {
+		q := randomQuery(16, rng)
+		ra, rb := a.Search(q, 25, nil), b.Search(q, 25, nil)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("two identically built graphs disagree on query %d", i)
+		}
+		if !reflect.DeepEqual(ra, a.Search(q, 25, nil)) {
+			t.Fatalf("repeated search on one graph disagrees on query %d", i)
+		}
+	}
+}
+
+func TestSearchNLargerThanCatalog(t *testing.T) {
+	s := randomStore(30, 8, 13)
+	rng := rand.New(rand.NewSource(14))
+	q := randomQuery(8, rng)
+	for _, retr := range []Retriever{NewFlat(s), NewHNSW(s, Config{Seed: 13})} {
+		got := retr.Search(q, 100, nil)
+		if len(got) != 30 {
+			t.Fatalf("%s: got %d results, want the whole 30-item catalog", retr.Backend(), len(got))
+		}
+		// A hostile depth must not translate into an O(n) allocation: the
+		// clamp caps work at the catalog size (this would OOM unclamped).
+		if got := retr.Search(q, 1<<40, nil); len(got) != 30 {
+			t.Fatalf("%s: hostile depth returned %d results", retr.Backend(), len(got))
+		}
+	}
+}
+
+// TestDegenerateMClamped pins the M=1 fix: 1/ln(1) is +Inf, which used to
+// overflow level assignment and panic construction at server boot.
+func TestDegenerateMClamped(t *testing.T) {
+	s := randomStore(50, 8, 19)
+	h := NewHNSW(s, Config{M: 1, Seed: 19})
+	rng := rand.New(rand.NewSource(20))
+	if got := h.Search(randomQuery(8, rng), 5, nil); len(got) != 5 {
+		t.Fatalf("M=1 graph returned %d results, want 5", len(got))
+	}
+}
+
+func TestConcurrentSearchIsSafe(t *testing.T) {
+	s := randomStore(1500, 16, 21)
+	h := NewHNSW(s, Config{Seed: 21})
+	flat := NewFlat(s)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				q := randomQuery(16, rng)
+				if got := h.Search(q, 10, nil); len(got) != 10 {
+					t.Errorf("hnsw returned %d results", len(got))
+					return
+				}
+				if got := flat.Search(q, 10, nil); len(got) != 10 {
+					t.Errorf("flat returned %d results", len(got))
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+}
+
+func TestStoreNormalizesVectors(t *testing.T) {
+	s := BuildStore([]int{5, 9}, 3, func(id int, dst []float64) {
+		if id == 5 {
+			copy(dst, []float64{3, 0, 4})
+		}
+		// id 9 stays the zero vector.
+	})
+	v := s.vec(0)
+	if norm := math.Sqrt(dot(v, v)); math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("stored vector norm %v, want 1", norm)
+	}
+	if z := s.vec(1); dot(z, z) != 0 {
+		t.Fatalf("zero vector was perturbed: %v", z)
+	}
+	if s.ID(0) != 5 || s.ID(1) != 9 {
+		t.Fatalf("ids not preserved: %d, %d", s.ID(0), s.ID(1))
+	}
+}
+
+func TestBuildStoreRejectsDuplicateIds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate catalog ids did not panic")
+		}
+	}()
+	BuildStore([]int{1, 2, 1}, 2, func(int, []float64) {})
+}
+
+func TestParseBackend(t *testing.T) {
+	for name, want := range map[string]Backend{"": BackendHNSW, "hnsw": BackendHNSW, "flat": BackendFlat} {
+		got, err := ParseBackend(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseBackend("annoy"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if BackendHNSW.String() != "hnsw" || BackendFlat.String() != "flat" {
+		t.Fatal("backend names drifted from the wire format")
+	}
+}
+
+func TestEmptyStoreAndZeroN(t *testing.T) {
+	empty := BuildStore(nil, 4, func(int, []float64) {})
+	for _, retr := range []Retriever{NewFlat(empty), NewHNSW(empty, Config{})} {
+		if got := retr.Search([]float64{1, 0, 0, 0}, 10, nil); got != nil {
+			t.Fatalf("%s: empty store returned %v", retr.Backend(), got)
+		}
+	}
+	s := randomStore(10, 4, 2)
+	for _, retr := range []Retriever{NewFlat(s), NewHNSW(s, Config{Seed: 2})} {
+		if got := retr.Search([]float64{1, 0, 0, 0}, 0, nil); got != nil {
+			t.Fatalf("%s: n=0 returned %v", retr.Backend(), got)
+		}
+	}
+}

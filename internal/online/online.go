@@ -130,6 +130,17 @@ type Learner struct {
 
 	store *HistoryStore
 
+	// seenMu guards seen, the serving-side exclusion index: one set per
+	// user, seeded from the dataset logs and extended at *ingest* time.
+	// It is deliberately separate from the trainer's negative-sampling
+	// index (which marks events only when they are trained, under
+	// trainMu, to keep checkpoint resume bit-exact): exclusion must see
+	// an interaction immediately and must never block on — or be lost by
+	// — training, so pending events that age out of the bounded live
+	// history, or are dropped from a full queue, stay excluded.
+	seenMu sync.RWMutex
+	seen   []map[int]bool
+
 	// mu guards the pending event queue (the ingest path). The queue is a
 	// slice with a head index: drains and drop-oldest advance head instead
 	// of memmoving the buffer, so ingest stays O(1) amortised even when the
@@ -233,7 +244,22 @@ func newLearner(shadow *core.Model, opt *optim.Adam, steps int64, ds *data.Datas
 	l := &Learner{cfg: cfg, ds: ds, eng: eng, model: shadow, stepper: stepper}
 	l.store = NewHistoryStore(0, cfg.HistoryLen)
 	l.store.SeedFromDataset(ds)
+	l.seen = make([]map[int]bool, ds.NumUsers)
+	for u, log := range ds.Users {
+		m := make(map[int]bool, len(log))
+		for _, it := range log {
+			m[it.Object] = true
+		}
+		l.seen[u] = m
+	}
 	return l, nil
+}
+
+// markSeen records an interaction in the serving-side exclusion index.
+func (l *Learner) markSeen(user, object int) {
+	l.seenMu.Lock()
+	l.seen[user][object] = true
+	l.seenMu.Unlock()
 }
 
 // Ingest records one interaction: user interacted with object, with the
@@ -266,6 +292,7 @@ func (l *Learner) Ingest(user, object int, label float64) error {
 	if l.ds.NumItemAttrs > 0 {
 		inst.TargetAttr = l.ds.ItemAttr[object]
 	}
+	l.markSeen(user, object)
 
 	l.mu.Lock()
 	l.pending = append(l.pending, inst)
@@ -320,6 +347,7 @@ func (l *Learner) Replay(user, object int) error {
 	l.trainMu.Lock()
 	l.stepper.MarkSeen(user, object)
 	l.trainMu.Unlock()
+	l.markSeen(user, object)
 	l.store.Append(user, object)
 	return nil
 }
@@ -347,6 +375,72 @@ func (l *Learner) TopK(user int, candidates []int, k int) ([]serve.Item, error) 
 		req.AttrOf = func(o int) int { return l.ds.ItemAttr[o] }
 	}
 	return l.eng.TopK(req), nil
+}
+
+// Recommend ranks the K best objects for user from the whole catalog on
+// the serving engine: ANN retrieval over the current generation's index,
+// seen-object exclusion, exact re-rank — all against the user's live
+// history, so a just-ingested event steers the very next recommendation
+// even before the trainer has republished. The engine must have been built
+// with an IndexConfig; because the learner publishes through Swap, every
+// generation it ships rebuilds the index from the fine-tuned weights
+// automatically. k <= 0 returns every retrieved candidate ranked; n <= 0
+// takes the engine default retrieval depth.
+//
+// Exclusion is complete, not history-bounded: the live history store keeps
+// only the last HistoryLen interactions (that bound exists for the dynamic
+// view, not for exclusion semantics), so the request also excludes the
+// learner's seen index — the dataset logs plus every ingested event, which
+// never forgets and never blocks on training — and therefore never
+// recommends an object the user interacted with, however long ago.
+func (l *Learner) Recommend(user, k, n int) ([]serve.Item, error) {
+	if user < 0 || user >= l.ds.NumUsers {
+		return nil, fmt.Errorf("online: user %d outside [0,%d)", user, l.ds.NumUsers)
+	}
+	base := feature.Instance{User: user, Hist: l.store.History(user), UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	if l.ds.NumUserAttrs > 0 {
+		base.UserAttr = l.ds.UserAttr[user]
+	}
+	req := serve.RecommendRequest{
+		Base:        base,
+		K:           k,
+		N:           n,
+		ExcludeFunc: func(o int) bool { return l.Seen(user, o) },
+		ExcludeHint: l.SeenCount(user),
+	}
+	if l.ds.NumItemAttrs > 0 {
+		req.AttrOf = func(o int) int { return l.ds.ItemAttr[o] }
+	}
+	return l.eng.Recommend(req)
+}
+
+// Seen reports whether the user has interacted with the object — dataset
+// logs plus every ingested (and replayed) event, recorded at ingest time.
+// It reads the learner's own index under a read lock, never the training
+// lock: a background fine-tune round (which holds trainMu across training
+// and the publish's index rebuild) cannot stall it. Serving layers use it
+// as a Recommend exclusion predicate, so the user's full interaction set
+// is never materialised per request.
+func (l *Learner) Seen(user, object int) bool {
+	if user < 0 || user >= l.ds.NumUsers {
+		return false
+	}
+	l.seenMu.RLock()
+	s := l.seen[user][object]
+	l.seenMu.RUnlock()
+	return s
+}
+
+// SeenCount returns the size of the user's seen set — the beam-headroom
+// hint serving layers pass alongside the Seen predicate.
+func (l *Learner) SeenCount(user int) int {
+	if user < 0 || user >= l.ds.NumUsers {
+		return 0
+	}
+	l.seenMu.RLock()
+	n := len(l.seen[user])
+	l.seenMu.RUnlock()
+	return n
 }
 
 // drain detaches up to max pending events (all of them when max <= 0).

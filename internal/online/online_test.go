@@ -96,6 +96,135 @@ func TestIngestExtendsHistoryAndQueuesSupervision(t *testing.T) {
 	}
 }
 
+// TestRecommendUsesLiveHistoryAndRebuiltIndex wires the learner to an
+// index-enabled engine: Recommend must exclude just-ingested objects (live
+// history, not the frozen log), and a Sync-published generation must carry
+// a freshly built index of the same generation.
+func TestRecommendUsesLiveHistoryAndRebuiltIndex(t *testing.T) {
+	ds := testDataset(t)
+	m := testModel(t, ds, 1)
+	eng := serve.NewEngine(m.Clone(), serve.Config{
+		Workers: 1,
+		Index:   &serve.IndexConfig{Objects: ds.Objects()},
+	})
+	defer eng.Close()
+	l, err := NewLearner(m, ds, eng, Config{BatchSize: 4, Train: train.Config{LR: 1e-3, Workers: 1, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const novel = 23
+	if err := l.Ingest(2, novel, 1); err != nil {
+		t.Fatal(err)
+	}
+	items, err := l.Recommend(2, 0, ds.NumObjects) // full depth: every unseen object
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, o := range l.History(2) {
+		seen[o] = true
+	}
+	if !seen[novel] {
+		t.Fatal("ingested object missing from live history")
+	}
+	if want := ds.NumObjects - len(seen); len(items) != want {
+		t.Fatalf("got %d items, want %d (catalog minus live-seen)", len(items), want)
+	}
+	for _, it := range items {
+		if seen[it.Object] {
+			t.Fatalf("live-seen object %d was recommended", it.Object)
+		}
+	}
+
+	genBefore := eng.Generation()
+	if n, _ := l.Sync(); n == 0 {
+		t.Fatal("Sync trained nothing")
+	}
+	if eng.Generation() == genBefore {
+		t.Fatal("Sync did not publish a new generation")
+	}
+	res, err := eng.RecommendOn(serve.RecommendRequest{
+		Base: feature.Instance{User: 2, Hist: l.History(2), UserAttr: feature.Pad, TargetAttr: feature.Pad},
+		K:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != eng.Generation() || res.IndexGeneration != res.Generation {
+		t.Fatalf("published generation %d served model gen %d / index gen %d",
+			eng.Generation(), res.Generation, res.IndexGeneration)
+	}
+
+	if _, err := l.Recommend(99, 5, 0); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+}
+
+// TestRecommendExcludesInteractionsOlderThanHistoryBound pins the
+// exclusion contract for long-history users: HistoryLen bounds the
+// dynamic view, not the seen set — an object that aged out of the live
+// history must still never be recommended back.
+func TestRecommendExcludesInteractionsOlderThanHistoryBound(t *testing.T) {
+	ds := testDataset(t)
+	m := testModel(t, ds, 1)
+	eng := serve.NewEngine(m.Clone(), serve.Config{
+		Workers: 1,
+		Index:   &serve.IndexConfig{Objects: ds.Objects()},
+	})
+	defer eng.Close()
+	l, err := NewLearner(m, ds, eng, Config{HistoryLen: 3, Train: train.Config{LR: 1e-3, Workers: 1, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 2's frozen log starts with object 6; HistoryLen 3 keeps only
+	// the last 3 interactions, so 6 is not in the live history.
+	first := ds.Users[2][0].Object
+	live := map[int]bool{}
+	for _, o := range l.History(2) {
+		live[o] = true
+	}
+	if live[first] {
+		t.Fatalf("precondition: object %d should have aged out of the bounded history", first)
+	}
+	items, err := l.Recommend(2, 0, ds.NumObjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Object == first {
+			t.Fatalf("object %d from beyond the history bound was recommended back", first)
+		}
+	}
+	if n := l.SeenCount(2); n != len(ds.Users[2]) {
+		t.Fatalf("SeenCount = %d, want the full %d-interaction log", n, len(ds.Users[2]))
+	}
+	if !l.Seen(2, first) {
+		t.Fatalf("Seen(2, %d) = false for a logged interaction", first)
+	}
+
+	// Pending (untrained) events must be excluded even after they age out
+	// of the 3-entry live history — the seen index records them at ingest,
+	// not at training.
+	burst := []int{7, 12, 17, 22, 9}
+	for _, o := range burst {
+		if err := l.Ingest(2, o, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err = l.Recommend(2, 0, ds.NumObjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		for _, o := range burst {
+			if it.Object == o {
+				t.Fatalf("pending event object %d (aged out of the bounded history, never trained) was recommended back", o)
+			}
+		}
+	}
+}
+
 func TestMaxPendingDropsOldest(t *testing.T) {
 	ds := testDataset(t)
 	m := testModel(t, ds, 1)

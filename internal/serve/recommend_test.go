@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+	"seqfm/internal/index"
+)
+
+// catalog returns the test model's full object universe, the way
+// data.Dataset.Objects() would.
+func catalog(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func indexedEngine(t testing.TB, m *core.Model, backend index.Backend) *Engine {
+	t.Helper()
+	return NewEngine(m, Config{
+		Workers: 2,
+		Index: &IndexConfig{
+			Objects: catalog(m.NumObjects()),
+			Backend: backend,
+			ANN:     index.Config{M: 8, EfConstruction: 64, EfSearch: 64, Seed: 1},
+		},
+	})
+}
+
+// TestRecommendFlatFullDepthMatchesTopK pins the pipeline's correctness
+// anchor: with the exact flat backend, retrieval depth = the whole catalog
+// and seen items included, Recommend must equal brute-force TopK over
+// every object — same items, same exact scores, same order.
+func TestRecommendFlatFullDepthMatchesTopK(t *testing.T) {
+	m := testModel(t)
+	e := indexedEngine(t, m, index.BackendFlat)
+	defer e.Close()
+	base := feature.Instance{User: 3, Hist: []int{1, 4, 9}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	got, err := e.Recommend(RecommendRequest{Base: base, K: 10, N: m.NumObjects(), IncludeSeen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.TopK(TopKRequest{Base: base, Candidates: catalog(m.NumObjects()), K: 10})
+	if len(got) != len(want) {
+		t.Fatalf("Recommend returned %d items, TopK %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: Recommend %+v, TopK %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecommendScoresAreExact pins the re-rank stage: every returned score
+// must be bit-identical to a fresh-tape Score of that (user, object)
+// instance — retrieval narrows the candidate set, never the scoring math.
+func TestRecommendScoresAreExact(t *testing.T) {
+	m := testModel(t)
+	e := indexedEngine(t, m, index.BackendHNSW)
+	defer e.Close()
+	base := feature.Instance{User: 5, Hist: []int{2, 8}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	items, err := e.Recommend(RecommendRequest{Base: base, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 5 {
+		t.Fatalf("got %d items, want 5", len(items))
+	}
+	for _, it := range items {
+		inst := base
+		inst.Target = it.Object
+		if want := refScore(m, inst); it.Score != want {
+			t.Fatalf("object %d: served score %v, fresh-tape Score %v", it.Object, it.Score, want)
+		}
+	}
+}
+
+func TestRecommendExcludesSeenAndListed(t *testing.T) {
+	m := testModel(t)
+	e := indexedEngine(t, m, index.BackendFlat)
+	defer e.Close()
+	hist := []int{0, 1, 2, 3}
+	items, err := e.Recommend(RecommendRequest{
+		Base:    feature.Instance{User: 1, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad},
+		K:       0, // every retrieved candidate, ranked
+		N:       m.NumObjects(),
+		Exclude: []int{4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.NumObjects() - len(hist) - 2; len(items) != want {
+		t.Fatalf("got %d items, want %d (catalog minus seen minus excluded)", len(items), want)
+	}
+	banned := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: true}
+	for _, it := range items {
+		if banned[it.Object] {
+			t.Fatalf("excluded object %d was recommended", it.Object)
+		}
+	}
+}
+
+// TestRecommendHeavyUserNotStarvedByExclusions pins the depth-compensation
+// fix: a heavy user's seen objects are the nearest neighbors of their own
+// history-mean query, and on the graph backend excluded items occupy the
+// search beam — without growing the retrieval depth by the seen count, the
+// beam fills with excluded items and Recommend returns fewer than K from a
+// catalog full of unseen objects.
+func TestRecommendHeavyUserNotStarvedByExclusions(t *testing.T) {
+	cfg := core.DefaultConfig(feature.Space{NumUsers: 4, NumObjects: 400})
+	cfg.Dim = 8
+	cfg.MaxSeqLen = 64
+	cfg.KeepProb = 1
+	cfg.Seed = 3
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a tight cluster: objects 0..49 share one direction, the rest
+	// of the catalog points elsewhere. A history inside the cluster makes
+	// the query the cluster center, so the excluded (seen) members are
+	// exactly the nearest items — the adversarial shape.
+	for _, p := range m.Params() {
+		if p.Name != "seqfm.embStatic" {
+			continue
+		}
+		d := cfg.Dim
+		users := cfg.Space.NumUsers
+		for o := 0; o < 400; o++ {
+			row := p.Value.Data[(users+o)*d : (users+o+1)*d]
+			for j := range row {
+				row[j] = 0.001 * float64(j+1)
+			}
+			if o < 50 {
+				row[0] = 1 + 0.001*float64(o) // cluster direction
+			} else {
+				row[1+o%6] = 1 + 0.001*float64(o)
+			}
+		}
+	}
+	e := NewEngine(m, Config{
+		Workers: 1,
+		Index: &IndexConfig{
+			Objects: catalog(400),
+			ANN:     index.Config{M: 8, EfConstruction: 64, EfSearch: 20, Seed: 3},
+		},
+	})
+	defer e.Close()
+	hist := make([]int, 30) // seen: 30 of the 50 cluster members
+	for i := range hist {
+		hist[i] = i
+	}
+	items, err := e.Recommend(RecommendRequest{
+		Base: feature.Instance{User: 0, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad},
+		K:    10,
+		N:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 10 {
+		t.Fatalf("heavy user got %d items, want 10 — exclusions starved the search beam", len(items))
+	}
+	for _, it := range items {
+		if it.Object < 30 {
+			t.Fatalf("seen object %d recommended", it.Object)
+		}
+	}
+}
+
+func TestRecommendWithoutIndexErrors(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{})
+	defer e.Close()
+	if _, err := e.Recommend(RecommendRequest{Base: feature.Instance{User: 0, UserAttr: feature.Pad, TargetAttr: feature.Pad}, K: 3}); err == nil {
+		t.Fatal("Recommend on an index-less engine did not error")
+	}
+	// A generic Scorer cannot embed even with an index config.
+	ep := NewEngine(plainScorer{m}, Config{Index: &IndexConfig{Objects: catalog(m.NumObjects())}})
+	defer ep.Close()
+	if _, err := ep.Recommend(RecommendRequest{Base: feature.Instance{User: 0, UserAttr: feature.Pad, TargetAttr: feature.Pad}, K: 3}); err == nil {
+		t.Fatal("Recommend on a non-Embedder model did not error")
+	}
+	// An empty catalog must be named as the cause — not blamed on the
+	// model, which does implement Embedder.
+	ee := NewEngine(m, Config{Index: &IndexConfig{}})
+	defer ee.Close()
+	_, err := ee.Recommend(RecommendRequest{Base: feature.Instance{User: 0, UserAttr: feature.Pad, TargetAttr: feature.Pad}, K: 3})
+	if err == nil || !strings.Contains(err.Error(), "Objects is empty") {
+		t.Fatalf("empty-catalog error misdiagnosed: %v", err)
+	}
+}
+
+// TestTopKDeduplicatesCandidates pins the satellite fix: repeated
+// candidate ids must be scored once and returned once.
+func TestTopKDeduplicatesCandidates(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{Workers: 1})
+	defer e.Close()
+	base := feature.Instance{User: 2, Hist: []int{7}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	dup := e.TopK(TopKRequest{Base: base, Candidates: []int{9, 3, 9, 3, 9, 11}})
+	if len(dup) != 3 {
+		t.Fatalf("duplicate candidates produced %d items, want 3 distinct", len(dup))
+	}
+	seen := map[int]bool{}
+	for _, it := range dup {
+		if seen[it.Object] {
+			t.Fatalf("object %d returned twice", it.Object)
+		}
+		seen[it.Object] = true
+	}
+	clean := e.TopK(TopKRequest{Base: base, Candidates: []int{9, 3, 11}})
+	for i := range clean {
+		if dup[i] != clean[i] {
+			t.Fatalf("item %d: deduped request %+v differs from clean request %+v", i, dup[i], clean[i])
+		}
+	}
+	if st := e.Stats(); st.Instances != 6 {
+		t.Fatalf("scored %d instances across both requests, want 6 (3+3)", st.Instances)
+	}
+}
+
+// TestRecommendDuringSwapStormKeepsGenerationsConsistent is the satellite
+// -race test: under a publisher storm, every RecommendOn must report an
+// index generation equal to its model generation (the snapshot carries
+// both), and its scores must be bit-identical to that generation's model.
+func TestRecommendDuringSwapStormKeepsGenerationsConsistent(t *testing.T) {
+	m := testModel(t)
+	e := indexedEngine(t, m, index.BackendHNSW)
+	defer e.Close()
+
+	// Track which model each generation serves, like the hot-swap tests.
+	var mu sync.Mutex
+	models := map[uint64]*core.Model{e.Generation(): m}
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		cur := m
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			next := cur.Clone()
+			next.Params()[0].Value.Data[0] += 1e-6
+			mu.Lock()
+			gen := e.Swap(next)
+			models[gen] = next
+			mu.Unlock()
+			cur = next
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func(user int) {
+			defer readers.Done()
+			base := feature.Instance{User: user, Hist: []int{1, 2}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+			for i := 0; i < 30; i++ {
+				res, err := e.RecommendOn(RecommendRequest{Base: base, K: 4})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Generation != res.IndexGeneration {
+					t.Errorf("mixed generations: model %d, index %d", res.Generation, res.IndexGeneration)
+					return
+				}
+				mu.Lock()
+				gm := models[res.Generation]
+				mu.Unlock()
+				if gm == nil {
+					t.Errorf("served generation %d was never published", res.Generation)
+					return
+				}
+				for _, it := range res.Items {
+					inst := base
+					inst.Target = it.Object
+					if want := refScore(gm, inst); it.Score != want {
+						t.Errorf("gen %d object %d: served %v, want %v", res.Generation, it.Object, it.Score, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	readers.Wait()
+	close(stop)
+	swapper.Wait()
+
+	if st := e.Stats(); st.Recommends == 0 || st.IndexSize != m.NumObjects() {
+		t.Fatalf("retrieval counters look wrong after the storm: %+v", st)
+	}
+}
+
+// TestRecallSamplingCounters pins the production recall canary: with
+// sampling on, counters accumulate and observed recall lands in (0, 1].
+func TestRecallSamplingCounters(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{
+		Workers: 1,
+		Index: &IndexConfig{
+			Objects:           catalog(m.NumObjects()),
+			ANN:               index.Config{M: 8, EfConstruction: 64, EfSearch: 32, Seed: 2},
+			RecallSampleEvery: 2,
+		},
+	})
+	defer e.Close()
+	for i := 0; i < 6; i++ {
+		base := feature.Instance{User: i % 12, Hist: []int{i % 30}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+		if _, err := e.Recommend(RecommendRequest{Base: base, K: 5, N: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.RecallSamples != 3 {
+		t.Fatalf("RecallSamples = %d, want 3 (every 2nd of 6)", st.RecallSamples)
+	}
+	if st.RecallWanted == 0 || st.RecallHits == 0 || st.RecallHits > st.RecallWanted {
+		t.Fatalf("implausible recall counters: hits=%d wanted=%d", st.RecallHits, st.RecallWanted)
+	}
+	if st.Recommends != 6 || st.Retrieved == 0 || st.RecommendNanos == 0 || st.RetrieveNanos == 0 {
+		t.Fatalf("latency counters not accumulating: %+v", st)
+	}
+	if st.IndexBackend != "hnsw" || st.IndexBuildNanos == 0 {
+		t.Fatalf("index provenance missing from stats: %+v", st)
+	}
+}

@@ -97,6 +97,12 @@ type Config struct {
 	// value is CacheLRU (see cache.go for the rationale and CacheFIFO for
 	// the measured baseline).
 	CachePolicy CachePolicy
+	// Index, when non-nil, enables full-catalog retrieval: every published
+	// generation builds an ANN index over the served model's item
+	// embeddings (rebuilt on each Swap, so index and weights are always
+	// the same generation) and Recommend becomes available. See
+	// recommend.go.
+	Index *IndexConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +141,10 @@ type generation struct {
 	fast    FastScorer // nil when model is not a FastScorer
 	statics cache[staticKey, *tensor.Matrix]
 	dyns    cache[string, *core.DynState]
+	// idx is the generation's catalog retrieval index, built from exactly
+	// these weights and stamped with this generation's id; nil when
+	// Config.Index is unset or the model cannot embed.
+	idx *builtIndex
 }
 
 // Stats is a snapshot of the engine's served-traffic counters.
@@ -158,6 +168,27 @@ type Stats struct {
 	// Swap and every InvalidateCaches (which republishes the same model
 	// under a fresh snapshot).
 	Swaps int64
+
+	// Retrieval counters; all zero unless Config.Index is set.
+
+	// Recommends counts full-catalog Recommend requests; Retrieved is the
+	// total number of ANN candidates they fetched for re-ranking.
+	Recommends, Retrieved int64
+	// RecommendNanos/RetrieveNanos are cumulative wall-clock totals for
+	// whole Recommend calls and their retrieval stage alone — divide by
+	// Recommends for averages.
+	RecommendNanos, RetrieveNanos int64
+	// RecallSamples counts sampled recall probes (IndexConfig.
+	// RecallSampleEvery); RecallHits/RecallWanted accumulate the overlap
+	// between ANN and exact retrieval over those samples, so observed
+	// recall = RecallHits/RecallWanted.
+	RecallSamples, RecallHits, RecallWanted int64
+	// IndexSize is the current generation's indexed catalog size (0 when
+	// the generation has no index), IndexBackend its backend name, and
+	// IndexBuildNanos how long that generation's build took.
+	IndexSize       int
+	IndexBackend    string
+	IndexBuildNanos int64
 }
 
 // Engine scores instances against an atomically swappable model snapshot
@@ -191,6 +222,14 @@ type Engine struct {
 	staticMisses atomic.Int64
 	dynHits      atomic.Int64
 	dynMisses    atomic.Int64
+
+	recommends     atomic.Int64
+	retrieved      atomic.Int64
+	recommendNanos atomic.Int64
+	retrieveNanos  atomic.Int64
+	recallSamples  atomic.Int64
+	recallHits     atomic.Int64
+	recallWanted   atomic.Int64
 }
 
 type pendingScore struct {
@@ -215,6 +254,7 @@ func (e *Engine) newGeneration(m Scorer) *generation {
 	}
 	g.statics = newCache[staticKey, *tensor.Matrix](e.cfg.CachePolicy, e.cfg.StaticCacheSize)
 	g.dyns = newCache[string, *core.DynState](e.cfg.CachePolicy, e.cfg.DynCacheSize)
+	g.idx = e.buildIndex(m, g.id)
 	return g
 }
 
@@ -433,9 +473,11 @@ type TopKRequest struct {
 	AttrOf func(object int) int
 }
 
-// TopK scores every candidate against the request's user context and
-// returns the K best, sorted by descending score (ties broken by ascending
-// object id, so results are deterministic).
+// TopK scores every distinct candidate against the request's user context
+// and returns the K best, sorted by descending score (ties broken by
+// ascending object id, so results are deterministic). Repeated candidate
+// ids are scored once and returned once — a duplicate in the request is a
+// caller artifact, not a request for duplicate work.
 func (e *Engine) TopK(req TopKRequest) []Item {
 	items, _ := e.TopKOn(req)
 	return items
@@ -446,9 +488,39 @@ func (e *Engine) TopK(req TopKRequest) []Item {
 // endpoint's freshness probes) can attribute every score to the exact
 // weights that produced it.
 func (e *Engine) TopKOn(req TopKRequest) ([]Item, uint64) {
-	g := e.cur.Load()
-	insts := make([]feature.Instance, len(req.Candidates))
-	for i, o := range req.Candidates {
+	return e.topKOn(e.cur.Load(), req, true)
+}
+
+// topKOn ranks one request entirely against generation g; Recommend's
+// re-rank stage reuses it so retrieval and ranking see the same snapshot.
+// dedup guards against repeated candidate ids in caller-supplied lists;
+// internal callers whose candidates are unique by construction (the index
+// returns each object at most once) skip the per-request map.
+func (e *Engine) topKOn(g *generation, req TopKRequest, dedup bool) ([]Item, uint64) {
+	// Deduplicate repeated candidate ids (first occurrence wins): scoring
+	// a candidate twice wastes a forward pass and would return duplicate
+	// Items for the same object.
+	candidates := req.Candidates
+	if dedup {
+		seen := make(map[int]struct{}, len(candidates))
+		for _, c := range candidates {
+			seen[c] = struct{}{}
+		}
+		if distinct := len(seen); distinct < len(candidates) {
+			clear(seen)
+			uniq := make([]int, 0, distinct)
+			for _, c := range req.Candidates {
+				if _, dup := seen[c]; dup {
+					continue
+				}
+				seen[c] = struct{}{}
+				uniq = append(uniq, c)
+			}
+			candidates = uniq
+		}
+	}
+	insts := make([]feature.Instance, len(candidates))
+	for i, o := range candidates {
 		inst := req.Base
 		inst.Target = o
 		if req.AttrOf != nil {
@@ -459,7 +531,7 @@ func (e *Engine) TopKOn(req TopKRequest) ([]Item, uint64) {
 	scores := e.scoreBatchOn(g, insts)
 	items := make([]Item, len(scores))
 	for i, s := range scores {
-		items[i] = Item{Object: req.Candidates[i], Score: s}
+		items[i] = Item{Object: candidates[i], Score: s}
 	}
 	sort.Slice(items, func(i, j int) bool {
 		if items[i].Score != items[j].Score {
@@ -540,18 +612,31 @@ func (e *Engine) runPending(batch []pendingScore) {
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	g := e.cur.Load()
-	return Stats{
-		Instances:     e.instances.Load(),
-		Flushes:       e.flushes.Load(),
-		StaticHits:    e.staticHits.Load(),
-		StaticMisses:  e.staticMisses.Load(),
-		DynHits:       e.dynHits.Load(),
-		DynMisses:     e.dynMisses.Load(),
-		StaticEntries: g.statics.len(),
-		DynEntries:    g.dyns.len(),
-		Generation:    g.id,
-		Swaps:         e.swaps.Load(),
+	st := Stats{
+		Instances:      e.instances.Load(),
+		Flushes:        e.flushes.Load(),
+		StaticHits:     e.staticHits.Load(),
+		StaticMisses:   e.staticMisses.Load(),
+		DynHits:        e.dynHits.Load(),
+		DynMisses:      e.dynMisses.Load(),
+		StaticEntries:  g.statics.len(),
+		DynEntries:     g.dyns.len(),
+		Generation:     g.id,
+		Swaps:          e.swaps.Load(),
+		Recommends:     e.recommends.Load(),
+		Retrieved:      e.retrieved.Load(),
+		RecommendNanos: e.recommendNanos.Load(),
+		RetrieveNanos:  e.retrieveNanos.Load(),
+		RecallSamples:  e.recallSamples.Load(),
+		RecallHits:     e.recallHits.Load(),
+		RecallWanted:   e.recallWanted.Load(),
 	}
+	if g.idx != nil {
+		st.IndexSize = g.idx.retr.Len()
+		st.IndexBackend = g.idx.retr.Backend().String()
+		st.IndexBuildNanos = g.idx.buildNanos
+	}
+	return st
 }
 
 // InvalidateCaches drops every memoised partial forward by publishing a new

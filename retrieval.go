@@ -1,0 +1,78 @@
+package seqfm
+
+import (
+	"seqfm/internal/index"
+	"seqfm/internal/serve"
+)
+
+// Full-catalog retrieval: the candidate-generation stage of the two-stage
+// serving architecture (DESIGN.md §8). An Engine built with an IndexConfig
+// indexes the model's static item embeddings per published generation and
+// answers Recommend — retrieve N ≫ K approximate candidates, exclude
+// already-seen objects, exact re-rank with the cached scoring path —
+// instead of requiring the caller to enumerate candidates:
+//
+//	eng := seqfm.NewEngine(model, seqfm.EngineConfig{
+//		Index: &seqfm.IndexConfig{Objects: ds.Objects()},
+//	})
+//	defer eng.Close()
+//	items, err := eng.Recommend(seqfm.RecommendRequest{
+//		Base: seqfm.Instance{User: u, Hist: hist},
+//		K:    10,
+//	})
+
+// Retriever is the candidate-generation contract (internal/index): both
+// the HNSW graph and the exact flat scan satisfy it, so retrieval quality
+// is always measurable against the exact baseline over identical vectors.
+type Retriever = index.Retriever
+
+// RetrieverResult is one retrieved candidate: object id plus cosine
+// similarity in the item-embedding space.
+type RetrieverResult = index.Result
+
+// RetrieverConfig parameterises the HNSW graph (M, efConstruction,
+// efSearch, level seed); the flat backend ignores it.
+type RetrieverConfig = index.Config
+
+// IndexBackend selects the retrieval implementation.
+type IndexBackend = index.Backend
+
+// The retrieval backends: HNSW (default) and the exact flat scan.
+const (
+	IndexHNSW = index.BackendHNSW
+	IndexFlat = index.BackendFlat
+)
+
+// IndexConfig enables full-catalog retrieval on an Engine (EngineConfig.
+// Index): the catalog to index, the backend, the ANN parameters, and an
+// optional sampled recall canary.
+type IndexConfig = serve.IndexConfig
+
+// RecommendRequest asks an Engine for the K best objects retrieved from
+// the whole catalog; RecommendResult adds provenance (serving generation,
+// index generation, retrieval depth used).
+type (
+	RecommendRequest = serve.RecommendRequest
+	RecommendResult  = serve.RecommendResult
+)
+
+// Embedder is the retrieval contract a served model must satisfy for
+// catalog indexing; *Model implements it.
+type Embedder = serve.Embedder
+
+// NewRetriever builds a standalone retriever of the given backend over a
+// vector store — useful outside the engine (offline analysis, custom
+// pipelines). Build the store with NewItemStore or index.BuildStore.
+func NewRetriever(b IndexBackend, s *ItemStore, cfg RetrieverConfig) Retriever {
+	return index.New(b, s, cfg)
+}
+
+// ItemStore is an immutable slab of L2-normalised item vectors shared by
+// every backend built over it.
+type ItemStore = index.Store
+
+// NewItemStore snapshots m's static embeddings for the given catalog
+// objects into a fresh store.
+func NewItemStore(m *Model, objects []int) *ItemStore {
+	return index.BuildStore(objects, m.EmbedDim(), m.ObjectEmbedding)
+}

@@ -48,6 +48,57 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicRetrievalEndToEnd exercises the full-catalog retrieval facade:
+// an indexed engine recommending from the whole catalog, and a standalone
+// retriever verified against the exact flat backend.
+func TestPublicRetrievalEndToEnd(t *testing.T) {
+	ds, err := seqfm.GeneratePOI(seqfm.GowallaConfig(0.001, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := seqfm.DefaultConfig(ds.Space())
+	cfg.Dim = 8
+	cfg.MaxSeqLen = 6
+	model, err := seqfm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := seqfm.NewEngine(model, seqfm.EngineConfig{
+		Index: &seqfm.IndexConfig{Objects: ds.Objects()},
+	})
+	defer eng.Close()
+	var hist []int
+	for _, it := range ds.Users[0] {
+		hist = append(hist, it.Object)
+	}
+	items, err := eng.Recommend(seqfm.RecommendRequest{
+		Base: seqfm.Instance{User: 0, Hist: hist, UserAttr: -1, TargetAttr: -1},
+		K:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 5 {
+		t.Fatalf("got %d recommendations, want 5", len(items))
+	}
+	seen := map[int]bool{}
+	for _, o := range hist {
+		seen[o] = true
+	}
+	for _, it := range items {
+		if seen[it.Object] {
+			t.Fatalf("already-seen object %d recommended", it.Object)
+		}
+	}
+
+	store := seqfm.NewItemStore(model, ds.Objects())
+	hnsw := seqfm.NewRetriever(seqfm.IndexHNSW, store, seqfm.RetrieverConfig{})
+	flat := seqfm.NewRetriever(seqfm.IndexFlat, store, seqfm.RetrieverConfig{})
+	if hnsw.Len() != flat.Len() || hnsw.Len() != ds.NumObjects {
+		t.Fatalf("retriever sizes: hnsw %d, flat %d, catalog %d", hnsw.Len(), flat.Len(), ds.NumObjects)
+	}
+}
+
 func TestPublicAPIClassificationAndRegression(t *testing.T) {
 	ctr, err := seqfm.GenerateCTR(seqfm.TaobaoConfig(0.0008, 2))
 	if err != nil {
