@@ -11,6 +11,7 @@
 package seqfm_test
 
 import (
+	"bytes"
 	"io"
 	"math/rand"
 	"testing"
@@ -18,12 +19,15 @@ import (
 
 	"seqfm"
 	"seqfm/internal/ag"
+	"seqfm/internal/ckpt"
 	"seqfm/internal/core"
 	"seqfm/internal/data"
 	"seqfm/internal/experiments"
 	"seqfm/internal/index"
+	"seqfm/internal/online"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
+	"seqfm/internal/wal"
 )
 
 func tinyParams(b *testing.B) experiments.Params {
@@ -688,5 +692,119 @@ func BenchmarkTrainRegressionEngine(b *testing.B) {
 		if _, err := train.Regression(m, split, benchTrainConfig(0, 1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- durability (WAL) benchmarks ----------------------------------------
+
+// benchWALSetup drives the shared WAL-bench stream (online.DriveBenchLog —
+// the same driver seqfm-bench -mode wal measures) into a temp log and
+// returns it with the covering checkpoint, the substrate for the replay
+// bench.
+func benchWALSetup(b *testing.B, events int) (dir string, ckptBytes []byte, ds *seqfm.Dataset) {
+	b.Helper()
+	_, ds, err := online.BenchWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir = b.TempDir()
+	log, err := wal.Open(dir, wal.Options{Policy: wal.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	ckptBytes, err = online.DriveBenchLog(log, events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dir, ckptBytes, ds
+}
+
+// BenchmarkWALAppendGroupCommit measures durable ingest under the default
+// pipelined group commit: concurrent appenders share each fsync cycle.
+func BenchmarkWALAppendGroupCommit(b *testing.B) {
+	log, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	payload := wal.EncodeRecord(wal.Record{Type: wal.RecEvent, User: 1, Object: 2, Label: 1, TS: 1})
+	b.ReportAllocs()
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := log.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWALAppendFsyncEach is the per-event-fsync baseline the group
+// commit is measured against (BENCH_wal.json's acceptance ratio).
+func BenchmarkWALAppendFsyncEach(b *testing.B) {
+	log, err := wal.Open(b.TempDir(), wal.Options{Policy: wal.SyncEach})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	payload := wal.EncodeRecord(wal.Record{Type: wal.RecEvent, User: 1, Object: 2, Label: 1, TS: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALReplay measures snapshot-covered recovery replay (rebuild
+// histories, queues and sampling state; no re-training) and asserts the
+// replay-throughput floor — a recovery path that cannot outrun ingest by a
+// wide margin would turn every restart into an outage.
+func BenchmarkWALReplay(b *testing.B) {
+	const events = 2000
+	dir, ckptBytes, ds := benchWALSetup(b, events)
+	replayOnce := func() *online.ReplayStats {
+		log, err := wal.Open(dir, wal.Options{Policy: wal.SyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		m, f, err := ckpt.Load(bytes.NewReader(ckptBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := serve.NewEngine(m, serve.Config{Workers: 1})
+		defer eng.Close()
+		l, err := online.NewLearnerFromSnapshot(m, f, ds, eng, online.Config{
+			Train:     online.BenchTrainConfig(),
+			BatchSize: 64,
+			Log:       log,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := l.ReplayLog()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return &st
+	}
+	// Floor check on one timed pass before the measured loop.
+	start := time.Now()
+	st := replayOnce()
+	rate := float64(st.Events) / time.Since(start).Seconds()
+	if st.Events != events {
+		b.Fatalf("replayed %d events, want %d", st.Events, events)
+	}
+	if rate < 20_000 {
+		b.Fatalf("replay throughput %.0f events/s below the 20k floor", rate)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = replayOnce()
 	}
 }

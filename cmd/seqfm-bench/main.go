@@ -34,6 +34,11 @@
 // sweep, plus the end-to-end scenario — Engine.Recommend (retrieve 1000
 // from a 100k-object catalog + exact re-rank) against brute-force TopK
 // over every object — writing BENCH_index.json.
+//
+// -mode wal benchmarks the durability subsystem: WAL ingest throughput
+// under each fsync policy (per-event fsync vs group commit vs none — the
+// group-commit economics), recovery-replay throughput with and without a
+// covering snapshot, and follower catch-up speed — writing BENCH_wal.json.
 package main
 
 import (
@@ -53,7 +58,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index (engine benchmarks)")
+		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index | wal (engine benchmarks)")
 		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|figure3|figure4|all")
 		scale   = flag.String("scale", "small", "scale: tiny|small|medium|full")
 		seed    = flag.Int64("seed", 7, "master random seed")
@@ -63,7 +68,7 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
-	case "train", "serve", "index":
+	case "train", "serve", "index", "wal":
 		// The engine benchmarks measure fixed workloads (see
 		// train.BenchWorkload and serve.BenchWorkload) so successive
 		// BENCH_*.json files stay diffable; tell the user if they tried to
@@ -90,6 +95,11 @@ func main() {
 			bench = runIndexBench
 			if !outSet {
 				outPath = "BENCH_index.json"
+			}
+		case "wal":
+			bench = runWALBench
+			if !outSet {
+				outPath = "BENCH_wal.json"
 			}
 		}
 		if err := bench(outPath); err != nil {

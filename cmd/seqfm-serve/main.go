@@ -39,23 +39,47 @@
 // written atomically every -snapshot-every, and a v2 -checkpoint warm-starts
 // the online trainer from the embedded optimizer state.
 //
+// Durability and replication: with -online -wal DIR, every ingested event is
+// appended to a segmented write-ahead log before it is enqueued (group-commit
+// fsync by default; see -wal-sync), and snapshots record their log position.
+// On boot the server recovers: torn log tails are truncated, the latest
+// -snapshot file (when present) is restored, and the log suffix is replayed
+// through the normal ingest path — bit-identical to never having crashed.
+// The same log feeds follower replication: GET /v1/replica/snapshot and
+// /v1/replica/log, and a replica started with -follow <primary-url>
+// bootstraps from the primary's snapshot, tails its log, and serves
+// /v1/score, /v1/topk and /v1/recommend read traffic under the primary's
+// generation numbering (/v1/feedback is 409 on a follower — replicas are
+// read-only). The follower must be started with the same -dataset/-scale/
+// -seed/-workers as its primary: replication is deterministic replay, so the
+// replica's trainer must derive the same random streams.
+//
+// Shutdown is graceful: SIGINT/SIGTERM drains HTTP (http.Server.Shutdown),
+// runs a final fine-tune sync, writes a final -snapshot, and flushes the WAL
+// before exit.
+//
 // Usage:
 //
 //	seqfm-serve -dataset gowalla -scale tiny -addr :8080
 //	seqfm-serve -dataset beauty -scale small -epochs 8 -save beauty.ckpt
 //	seqfm-serve -dataset beauty -scale small -checkpoint beauty.ckpt
 //	seqfm-serve -dataset gowalla -online -snapshot live.ckpt -snapshot-every 30s
+//	seqfm-serve -dataset gowalla -online -wal ./wal -snapshot live.ckpt
+//	seqfm-serve -dataset gowalla -follow http://primary:8080 -addr :8081
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"seqfm/internal/ckpt"
@@ -67,6 +91,7 @@ import (
 	"seqfm/internal/online"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
+	"seqfm/internal/wal"
 )
 
 func main() {
@@ -97,24 +122,57 @@ func main() {
 		onlineEvery  = flag.Duration("online-interval", 0, "online trainer cadence (0 = default)")
 		onlineBatch  = flag.Int("online-batch", 0, "online fine-tune minibatch size (0 = default)")
 		onlineLR     = flag.Float64("online-lr", 0, "online fine-tune learning rate (0 = checkpoint's saved rate on warm start, else 1e-3)")
-		snapshotPath = flag.String("snapshot", "", "with -online: periodically write the fine-tuned model (ckpt v2) to this path")
+		snapshotPath = flag.String("snapshot", "", "with -online: periodically write the fine-tuned model (ckpt v2) to this path; reloaded on boot for WAL recovery")
 		snapshotEvry = flag.Duration("snapshot-every", time.Minute, "snapshot cadence")
+
+		walDir      = flag.String("wal", "", "with -online: durable write-ahead log directory (event durability, replay recovery, replication source)")
+		walSync     = flag.String("wal-sync", "group", "WAL fsync policy: group (batched group commit) | each (fsync per event) | none (page cache only)")
+		walFlushInt = flag.Duration("wal-flush-interval", 0, "WAL OS-flush cadence under -wal-sync none (0 = default 2ms; group commit pipelines eagerly)")
+		walFlushB   = flag.Int("wal-flush-bytes", 0, "WAL inline-flush byte threshold bounding buffer growth (0 = default 256KiB)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = default 64MiB)")
+
+		follow     = flag.String("follow", "", "follower mode: primary base URL to bootstrap from and tail (read replica)")
+		followWait = flag.Duration("follow-wait", 0, "follower long-poll window per log fetch (0 = default 2s)")
+
+		drainBudget = flag.Duration("shutdown-timeout", 15*time.Second, "graceful HTTP drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	// Index tuning flags without -index would be silently dropped (the
-	// server would boot index-less and 409 every /v1/recommend); fail
-	// fast instead, like -recall-sample and -snapshot do.
-	if !*indexOn {
+	// Tuning flags whose primary flag is absent would be silently dropped
+	// (the server would boot without the subsystem and 409 the traffic);
+	// fail fast instead, like -recall-sample and -snapshot do.
+	requireFlag := func(primary string, on bool, names ...string) {
+		if on {
+			return
+		}
 		var stray []string
 		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "index-backend", "index-m", "index-ef-construction", "index-ef-search", "index-build-workers":
-				stray = append(stray, "-"+f.Name)
+			for _, n := range names {
+				if f.Name == n {
+					stray = append(stray, "-"+n)
+				}
 			}
 		})
 		if len(stray) > 0 {
-			fmt.Fprintf(os.Stderr, "seqfm-serve: %s requires -index\n", strings.Join(stray, ", "))
+			fmt.Fprintf(os.Stderr, "seqfm-serve: %s requires %s\n", strings.Join(stray, ", "), primary)
+			os.Exit(1)
+		}
+	}
+	requireFlag("-index", *indexOn, "index-backend", "index-m", "index-ef-construction", "index-ef-search", "index-build-workers")
+	requireFlag("-wal", *walDir != "", "wal-sync", "wal-flush-interval", "wal-flush-bytes", "wal-segment-bytes")
+	requireFlag("-follow", *follow != "", "follow-wait")
+	if *follow != "" {
+		// A follower is a read replica driven entirely by its primary's log:
+		// local training, durability and checkpointing flags contradict it.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "online", "online-interval", "online-batch", "online-lr", "snapshot", "snapshot-every", "wal", "checkpoint", "save", "epochs":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fmt.Fprintf(os.Stderr, "seqfm-serve: %s conflicts with -follow (a follower replicates its primary)\n", strings.Join(conflict, ", "))
 			os.Exit(1)
 		}
 	}
@@ -134,6 +192,9 @@ func main() {
 		indexBuildWorkers: *indexWorkers, recallSample: *recallSample,
 		online: *onlineOn, onlineInterval: *onlineEvery, onlineBatch: *onlineBatch,
 		onlineLR: *onlineLR, snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvry,
+		walDir: *walDir, walSync: *walSync, walFlushInterval: *walFlushInt,
+		walFlushBytes: *walFlushB, walSegmentBytes: *walSegBytes,
+		follow: *follow, followWait: *followWait, drainBudget: *drainBudget,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "seqfm-serve:", err)
@@ -161,13 +222,30 @@ type serveOpts struct {
 	onlineLR             float64
 	snapshotPath         string
 	snapshotEvery        time.Duration
+
+	walDir           string
+	walSync          string
+	walFlushInterval time.Duration
+	walFlushBytes    int
+	walSegmentBytes  int64
+
+	follow     string
+	followWait time.Duration
+
+	drainBudget time.Duration
 }
 
 func run(o serveOpts) error {
+	if o.follow != "" {
+		return runFollower(o)
+	}
 	// Reject inconsistent flags before any expensive work (dataset build,
 	// in-process training) is thrown away on them.
 	if o.snapshotPath != "" && !o.online {
 		return fmt.Errorf("-snapshot requires -online")
+	}
+	if o.walDir != "" && !o.online {
+		return fmt.Errorf("-wal requires -online (the log records the online event stream)")
 	}
 	var backend index.Backend
 	if o.index {
@@ -191,10 +269,46 @@ func run(o serveOpts) error {
 		return err
 	}
 
+	// Open (and recover) the WAL before deciding where the model comes
+	// from: with durability on, the freshest state is the -snapshot file
+	// plus the log suffix beyond it, and that pair wins over -checkpoint
+	// and over re-training.
+	var walLog *wal.Log
+	if o.walDir != "" {
+		policy, err := wal.ParsePolicy(o.walSync)
+		if err != nil {
+			return err
+		}
+		walLog, err = wal.Open(o.walDir, wal.Options{
+			SegmentBytes:  o.walSegmentBytes,
+			Policy:        policy,
+			FlushInterval: o.walFlushInterval,
+			FlushBytes:    o.walFlushBytes,
+		})
+		if err != nil {
+			return err
+		}
+		defer walLog.Close()
+		rec := walLog.Recovered()
+		if walLog.Truncated() {
+			log.Printf("WAL %s: torn tail truncated; recovered through seq %d (segment %d offset %d)",
+				o.walDir, rec.Seq, rec.Segment, rec.Offset)
+		} else {
+			log.Printf("WAL %s: clean; %d records across %d segment(s)", o.walDir, rec.Seq, walLog.Segments())
+		}
+	}
+	checkpointPath := o.checkpoint
+	if walLog != nil && o.snapshotPath != "" {
+		if _, statErr := os.Stat(o.snapshotPath); statErr == nil {
+			checkpointPath = o.snapshotPath
+			log.Printf("recovery: restoring snapshot %s (overrides -checkpoint/-epochs for the base weights)", o.snapshotPath)
+		}
+	}
+
 	var model *core.Model
 	var snapshot *ckpt.File // non-nil when the checkpoint was ckpt v2
-	if o.checkpoint != "" {
-		model, snapshot, err = loadCheckpoint(o.checkpoint, o.configFromFlags, p, ds)
+	if checkpointPath != "" {
+		model, snapshot, err = loadCheckpoint(checkpointPath, o.configFromFlags, p, ds)
 		if err != nil {
 			return err
 		}
@@ -257,33 +371,176 @@ func run(o serveOpts) error {
 			},
 			BatchSize: o.onlineBatch,
 			Interval:  o.onlineInterval,
+			Log:       walLog,
 		}
 		if snapshot != nil {
 			// Warm-start fine-tuning from the embedded optimizer state and
 			// step counter of the already-decoded checkpoint.
 			learner, err = online.NewLearnerFromSnapshot(model, snapshot, ds, eng, ocfg)
 			if err != nil {
-				return fmt.Errorf("warm-start from %s: %w", o.checkpoint, err)
+				return fmt.Errorf("warm-start from %s: %w", checkpointPath, err)
 			}
-			log.Printf("online trainer warm-started from %s", o.checkpoint)
+			log.Printf("online trainer warm-started from %s", checkpointPath)
 		} else {
 			if learner, err = online.NewLearner(model, ds, eng, ocfg); err != nil {
 				return err
 			}
 		}
+		if walLog != nil {
+			// Replay the log (the suffix beyond the snapshot re-trains; the
+			// prefix rebuilds histories and sampling state) before the
+			// trainer or the listener starts: recovery is single-threaded
+			// by contract.
+			start := time.Now()
+			rst, err := learner.ReplayLog()
+			if err != nil {
+				return fmt.Errorf("wal replay: %w", err)
+			}
+			log.Printf("WAL replay: %d records (%d events, %d steps re-trained, %d covered by snapshot, %d drops) in %.1fms → generation %d",
+				rst.Records, rst.Events, rst.Steps, rst.SkippedSteps, rst.Drops,
+				float64(time.Since(start).Microseconds())/1000, eng.Generation())
+		}
 		learner.Start()
 		defer learner.Close()
 		lcfg := learner.Config() // resolved, not the raw flags
-		log.Printf("online learning enabled (batch=%d, interval=%s, lr=%g)",
-			lcfg.BatchSize, lcfg.Interval, learner.LR())
-		if o.snapshotPath != "" {
-			go snapshotLoop(learner, o.snapshotPath, o.snapshotEvery)
-		}
+		log.Printf("online learning enabled (batch=%d, interval=%s, lr=%g, wal=%v)",
+			lcfg.BatchSize, lcfg.Interval, learner.LR(), walLog != nil)
 	}
 
 	srv := newServer(eng, ds, model, learner)
-	log.Printf("serving %s (%d users, %d objects) on %s", ds.Name, ds.NumUsers, ds.NumObjects, o.addr)
-	return http.ListenAndServe(o.addr, srv.routes())
+	srv.walLog = walLog
+	return serveUntilSignal(o, srv, func(ctx context.Context) {
+		if learner == nil {
+			return
+		}
+		if o.snapshotPath != "" {
+			go snapshotLoop(ctx, learner, o.snapshotPath, o.snapshotEvery)
+		}
+	}, func() {
+		// Ordered teardown once HTTP has drained: stop the trainer and
+		// flush its backlog, persist the final state, then seal the log.
+		if learner != nil {
+			learner.Close()
+			if o.snapshotPath != "" {
+				if err := learner.CheckpointFile(o.snapshotPath); err != nil {
+					log.Printf("final snapshot %s: %v", o.snapshotPath, err)
+				} else {
+					log.Printf("final snapshot written to %s", o.snapshotPath)
+				}
+			}
+		}
+		if walLog != nil {
+			if err := walLog.Close(); err != nil {
+				log.Printf("wal close: %v", err)
+			}
+		}
+	})
+}
+
+// runFollower is -follow: bootstrap a read replica from a primary's snapshot
+// endpoint, tail its log, and serve read traffic under the primary's
+// generation numbering.
+func runFollower(o serveOpts) error {
+	var backend index.Backend
+	if o.index {
+		var err error
+		if backend, err = index.ParseBackend(o.indexBackend); err != nil {
+			return err
+		}
+	}
+	p := experiments.ParamsFor(experiments.Scale(o.scale))
+	p.Seed = o.seed
+	ds, err := buildDataset(p, o.dataset)
+	if err != nil {
+		return err
+	}
+	log.Printf("follower: bootstrapping from %s", o.follow)
+	model, file, bootGen, err := online.FetchSnapshot(o.follow, nil)
+	if err != nil {
+		return err
+	}
+	if model.Config().Space != ds.Space() {
+		return fmt.Errorf("primary snapshot space %+v does not match local dataset %s space %+v (start the follower with the primary's -dataset/-scale)",
+			model.Config().Space, ds.Name, ds.Space())
+	}
+	if o.index {
+		o.engine.Index = &serve.IndexConfig{
+			Objects: ds.Objects(),
+			Backend: backend,
+			ANN: index.Config{
+				M:              o.indexM,
+				EfConstruction: o.indexEfConstruction,
+				EfSearch:       o.indexEfSearch,
+				Seed:           o.seed,
+				BuildWorkers:   o.indexBuildWorkers,
+			},
+			RecallSampleEvery: o.recallSample,
+		}
+	}
+	eng := serve.NewEngine(model, o.engine)
+	defer eng.Close()
+	// The replica's stepper must derive the primary's random streams: same
+	// seed, same worker count — replication is deterministic replay.
+	learner, err := online.NewLearnerFromSnapshot(model, file, ds, eng, online.Config{
+		Train: train.Config{
+			Seed:      o.seed,
+			Workers:   o.engine.Workers,
+			Negatives: p.Negatives,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rep := online.NewReplica(learner, &online.HTTPLogSource{Base: o.follow}, bootGen, online.ReplicaConfig{Wait: o.followWait, Logf: log.Printf})
+	start := time.Now()
+	applied, err := rep.CatchUp()
+	if err != nil {
+		return fmt.Errorf("initial catch-up: %w", err)
+	}
+	log.Printf("follower: caught up (%d records in %.1fms) at generation %d",
+		applied, float64(time.Since(start).Microseconds())/1000, eng.Generation())
+	rep.Start()
+
+	srv := newServer(eng, ds, model, learner)
+	srv.replica = rep
+	srv.primary = o.follow
+	return serveUntilSignal(o, srv, nil, func() {
+		rep.Close()
+	})
+}
+
+// serveUntilSignal runs the HTTP server until SIGINT/SIGTERM, then drains
+// in-flight requests (bounded by -shutdown-timeout) and runs the ordered
+// teardown. onServe, when non-nil, starts signal-scoped background loops.
+func serveUntilSignal(o serveOpts, srv *server, onServe func(ctx context.Context), teardown func()) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if onServe != nil {
+		onServe(ctx)
+	}
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.routes()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	role := "primary"
+	if srv.replica != nil {
+		role = "follower of " + srv.primary
+	}
+	log.Printf("serving %s (%d users, %d objects) on %s [%s]", srv.ds.Name, srv.ds.NumUsers, srv.ds.NumObjects, o.addr, role)
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C force-kills
+	log.Printf("shutdown: draining HTTP (budget %s)", o.drainBudget)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainBudget)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("shutdown: drain incomplete: %v", err)
+	}
+	teardown()
+	log.Printf("shutdown complete")
+	return nil
 }
 
 // loadCheckpoint opens path and dispatches on the sniffed format: v2 files
@@ -332,12 +589,20 @@ func loadCheckpoint(path string, configFromFlags bool, p experiments.Params, ds 
 }
 
 // snapshotLoop periodically writes the fine-tuned model to disk (atomically:
-// temp file + rename), so a restart can warm-start from recent weights.
-func snapshotLoop(l *online.Learner, path string, every time.Duration) {
+// temp file + rename), so a restart can warm-start from recent weights. It
+// exits with the signal context; shutdown writes one final snapshot itself.
+func snapshotLoop(ctx context.Context, l *online.Learner, path string, every time.Duration) {
 	if every <= 0 {
 		every = time.Minute
 	}
-	for range time.Tick(every) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
 		if err := l.CheckpointFile(path); err != nil {
 			log.Printf("snapshot %s: %v", path, err)
 		} else {
@@ -387,7 +652,10 @@ type server struct {
 	eng     *serve.Engine
 	ds      *data.Dataset
 	model   *core.Model
-	learner *online.Learner // nil unless -online
+	learner *online.Learner // nil unless -online or -follow
+	walLog  *wal.Log        // nil unless -wal
+	replica *online.Replica // nil unless -follow
+	primary string          // -follow base URL
 	start   time.Time
 }
 
@@ -403,7 +671,28 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
 	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
+	mux.HandleFunc("GET /v1/replica/snapshot", s.handleReplicaSnapshot)
+	mux.HandleFunc("GET /v1/replica/log", s.handleReplicaLog)
 	return mux
+}
+
+// handleReplicaSnapshot and handleReplicaLog are the log-shipping endpoints
+// (primaries with a WAL only — a follower cannot be a replication source,
+// chained replication being a later feature).
+func (s *server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.learner == nil || s.learner.WAL() == nil || s.replica != nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("replication requires a WAL-backed primary (restart with -online -wal)"))
+		return
+	}
+	s.learner.ServeReplicaSnapshot(w, r)
+}
+
+func (s *server) handleReplicaLog(w http.ResponseWriter, r *http.Request) {
+	if s.learner == nil || s.learner.WAL() == nil || s.replica != nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("replication requires a WAL-backed primary (restart with -online -wal)"))
+		return
+	}
+	s.learner.ServeReplicaLog(w, r)
 }
 
 // decodeJSON strictly decodes one JSON value from the request body: unknown
@@ -651,6 +940,10 @@ type jsonEvent struct {
 }
 
 func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if s.replica != nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("this is a read replica of %s; send feedback to the primary", s.primary))
+		return
+	}
 	if s.learner == nil {
 		httpError(w, http.StatusConflict, fmt.Errorf("online learning disabled; restart with -online"))
 		return
@@ -691,15 +984,19 @@ func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// One IngestBatch call: with a WAL the whole batch shares its durability
+	// wait (one group-commit ack for N events) instead of paying one fsync
+	// cycle per event.
+	batch := make([]online.Event, len(events))
 	for i, ev := range events {
-		label := 1.0
+		batch[i] = online.Event{User: ev.User, Object: ev.Object, Label: 1}
 		if ev.Label != nil {
-			label = *ev.Label
+			batch[i].Label = *ev.Label
 		}
-		if err := s.learner.Ingest(ev.User, ev.Object, label); err != nil {
-			httpError(w, http.StatusInternalServerError, fmt.Errorf("event %d: %w", i, err))
-			return
-		}
+	}
+	if err := s.learner.IngestBatch(batch); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
 	}
 	st := s.learner.Stats()
 	w.Header().Set("Content-Type", "application/json")
@@ -727,6 +1024,36 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 			"steps": ls.Steps, "swaps": ls.Swaps, "last_loss": ls.LastLoss,
 			"history_users": ls.HistoryUsers,
 		}
+		if s.walLog != nil {
+			rec := s.walLog.Recovered()
+			resp["durability"] = map[string]any{
+				"log_seq":         ls.LogSeq,
+				"log_durable_seq": ls.LogDurableSeq,
+				"log_segments":    ls.LogSegments,
+				"applied_seq":     ls.AppliedSeq,
+				"snapshot_seq":    ls.SnapshotSeq,
+				"sync_policy":     s.walLog.Policy().String(),
+				"recovered_seq":   rec.Seq,
+				"recovered_torn":  s.walLog.Truncated(),
+			}
+		}
+	}
+	if s.replica != nil {
+		rs := s.replica.Stats()
+		resp["replica"] = map[string]any{
+			"primary":             s.primary,
+			"applied_seq":         rs.AppliedSeq,
+			"primary_durable_seq": rs.PrimaryDurableSeq,
+			"primary_generation":  rs.PrimaryGeneration,
+			"lag_records":         rs.LagRecords,
+			"lag_seconds":         rs.LagSeconds,
+			"caught_up":           rs.CaughtUp,
+			"polls":               rs.Polls,
+			"poll_errors":         rs.PollErrors,
+			"applied_records":     rs.Applied,
+			"failed":              rs.Failed,
+			"last_error":          rs.LastError,
+		}
 	}
 	if st.IndexSize > 0 {
 		idx := map[string]any{
@@ -751,6 +1078,10 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
+	role := "primary"
+	if s.replica != nil {
+		role = "follower"
+	}
 	writeJSON(w, map[string]any{
 		"status":   "ok",
 		"dataset":  s.ds.Name,
@@ -759,6 +1090,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"objects":  s.ds.NumObjects,
 		"uptime_s": time.Since(s.start).Seconds(),
 		"online":   s.learner != nil,
+		"role":     role,
+		"durable":  s.walLog != nil,
 		"engine": map[string]any{
 			"generation":     st.Generation,
 			"swaps":          st.Swaps,

@@ -1,0 +1,108 @@
+package seqfm
+
+import (
+	"net/http"
+
+	"seqfm/internal/ckpt"
+	"seqfm/internal/online"
+	"seqfm/internal/wal"
+)
+
+// This file is the durability-and-replication facade: the write-ahead log
+// (internal/wal), the learner-side replay entry points, and follower
+// replication (internal/online's Replica). The WAL turns the training
+// engine's determinism contract — a Stepper's whole stochastic state is its
+// step counter — into exactly-once crash recovery and log-shipping read
+// replicas: replaying the same records from a snapshot is bit-identical to
+// having never crashed. See DESIGN.md §9.
+//
+//	log, _ := seqfm.OpenWAL("wal", seqfm.WALOptions{})
+//	defer log.Close()
+//	learner, _ := seqfm.NewOnlineLearner(m, ds, eng, seqfm.OnlineConfig{Log: log})
+//	stats, _ := learner.ReplayLog() // recover: snapshot + log suffix
+//	learner.Start()
+
+// WAL is a segmented, CRC32C-framed append-only record log with pipelined
+// group-commit durability and truncate-at-first-bad-frame recovery.
+type WAL = wal.Log
+
+// WALOptions parameterises OpenWAL; the zero value takes every default
+// (64MiB segments, pipelined group commit).
+type WALOptions = wal.Options
+
+// WALPos addresses one record: global sequence number plus physical
+// (segment, offset). Checkpoints embed the position they are consistent
+// with (see CheckpointFile.Log).
+type WALPos = wal.Pos
+
+// WALRecord is one decoded log entry — an ingested event or a step, drop or
+// publish marker. It doubles as the replication wire format.
+type WALRecord = wal.Record
+
+// SyncPolicy selects the WAL fsync discipline.
+type SyncPolicy = wal.SyncPolicy
+
+// The fsync policies: pipelined group commit (default), fsync per record,
+// or OS page cache only.
+const (
+	SyncGroup = wal.SyncGroup
+	SyncEach  = wal.SyncEach
+	SyncNone  = wal.SyncNone
+)
+
+// OpenWAL opens (creating if needed) a log directory and recovers it:
+// headers, frame CRCs and sequence continuity are verified, and a torn or
+// corrupted tail is truncated at the first bad frame — the recovered
+// position is reported by (*WAL).Recovered.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) { return wal.Open(dir, opts) }
+
+// CheckpointFile is the decoded content of a ckpt-v2 stream: model config,
+// parameters, optimizer state, step counter and (for WAL-backed learners)
+// the log position the snapshot is consistent with.
+type CheckpointFile = ckpt.File
+
+// ReplayStats summarises one (*OnlineLearner).ReplayLog recovery pass.
+type ReplayStats = online.ReplayStats
+
+// Replica tails a primary's WAL and applies it to a local learner — the
+// follower half of log-shipping replication. A caught-up replica serves
+// bit-identical scores under the primary's generation ids.
+type Replica = online.Replica
+
+// ReplicaConfig parameterises NewReplica; the zero value takes every
+// default (1024-record batches, 2s long-poll, 1s error backoff).
+type ReplicaConfig = online.ReplicaConfig
+
+// ReplicaStats is a snapshot of a replica's replay-lag counters.
+type ReplicaStats = online.ReplicaStats
+
+// LogSource is where a replica's records come from; HTTPLogSource tails a
+// primary's /v1/replica/log endpoint.
+type LogSource = online.LogSource
+
+// HTTPLogSource fetches log batches from a primary seqfm-serve over HTTP.
+type HTTPLogSource = online.HTTPLogSource
+
+// LogFetch is one log-shipping response batch.
+type LogFetch = online.LogFetch
+
+// NewReplica wires a follower learner (built from the primary's snapshot,
+// without a local WAL) to a log source. bootGen is the primary's generation
+// at snapshot time — FetchPrimarySnapshot's third result.
+func NewReplica(l *OnlineLearner, src LogSource, bootGen uint64, cfg ReplicaConfig) *Replica {
+	return online.NewReplica(l, src, bootGen, cfg)
+}
+
+// FetchPrimarySnapshot bootstraps a follower from a primary's
+// /v1/replica/snapshot endpoint: the reconstructed model, the decoded
+// checkpoint (feed both to NewOnlineLearnerFromSnapshot) and the primary's
+// serving generation.
+func FetchPrimarySnapshot(base string, client *http.Client) (*Model, *CheckpointFile, uint64, error) {
+	return online.FetchSnapshot(base, client)
+}
+
+// NewOnlineLearnerFromSnapshot is NewOnlineLearnerFromCheckpoint for an
+// already-decoded checkpoint — the follower bootstrap path.
+func NewOnlineLearnerFromSnapshot(m *Model, f *CheckpointFile, ds *Dataset, eng *Engine, cfg OnlineConfig) (*OnlineLearner, error) {
+	return online.NewLearnerFromSnapshot(m, f, ds, eng, cfg)
+}

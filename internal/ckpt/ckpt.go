@@ -29,6 +29,7 @@ import (
 	"seqfm/internal/ag"
 	"seqfm/internal/core"
 	"seqfm/internal/optim"
+	"seqfm/internal/wal"
 )
 
 // MagicV2 is the raw byte prefix of every v2 checkpoint.
@@ -71,15 +72,28 @@ type File struct {
 	// (train.Stepper.Steps) at save time; 0 when not applicable. Restoring
 	// it aligns the stepper's derived random streams with the saved run.
 	Steps int64
+	// Log, when non-nil, is the write-ahead-log position this snapshot is
+	// consistent with: every Step/Drop marker at or below Log.Seq is already
+	// reflected in Params/Opt/Steps, so recovery replays those markers
+	// without re-training and resumes training at the first marker beyond.
+	// Encoded with gob, the field is absent from pre-WAL checkpoints and
+	// decodes as nil there — old snapshots simply replay the whole log.
+	Log *wal.Pos
 }
 
 // Save writes m (and, when non-nil, opt's state and the step counter) to w as
 // a v2 checkpoint.
 func Save(w io.Writer, m *core.Model, opt *optim.Adam, steps int64) error {
+	return SaveAt(w, m, opt, steps, nil)
+}
+
+// SaveAt is Save plus the write-ahead-log position the snapshot is
+// consistent with (see File.Log); pos nil writes a position-less checkpoint.
+func SaveAt(w io.Writer, m *core.Model, opt *optim.Adam, steps int64, pos *wal.Pos) error {
 	if _, err := io.WriteString(w, MagicV2); err != nil {
 		return fmt.Errorf("ckpt: write magic: %w", err)
 	}
-	f := File{Config: m.Config(), Params: ag.ExportParams(m.Params()), Steps: steps}
+	f := File{Config: m.Config(), Params: ag.ExportParams(m.Params()), Steps: steps, Log: pos}
 	if opt != nil {
 		st := opt.Export()
 		f.Opt = &st
@@ -142,6 +156,11 @@ func DetectVersion(r *bufio.Reader) Version {
 // atomic), which is renamed over path only after a successful write — a
 // reader (or a crash) never observes a torn snapshot.
 func SaveFile(path string, m *core.Model, opt *optim.Adam, steps int64) error {
+	return SaveFileAt(path, m, opt, steps, nil)
+}
+
+// SaveFileAt is SaveFile with a write-ahead-log position (see SaveAt).
+func SaveFileAt(path string, m *core.Model, opt *optim.Adam, steps int64, pos *wal.Pos) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -150,7 +169,7 @@ func SaveFile(path string, m *core.Model, opt *optim.Adam, steps int64) error {
 	if err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
-	err = Save(tmp, m, opt, steps)
+	err = SaveAt(tmp, m, opt, steps, pos)
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}

@@ -11,6 +11,7 @@ import (
 	"seqfm/internal/core"
 	"seqfm/internal/feature"
 	"seqfm/internal/optim"
+	"seqfm/internal/wal"
 )
 
 func testModel(t testing.TB) *core.Model {
@@ -248,5 +249,38 @@ func TestDetectVersion(t *testing.T) {
 		if !bytes.Equal(rest, c.data) {
 			t.Errorf("%s: DetectVersion consumed bytes", c.name)
 		}
+	}
+}
+
+// TestLogPositionRoundTrip pins the snapshot⇄log-position protocol: a
+// checkpoint written with a WAL position decodes it exactly, and a
+// position-less stream (every pre-WAL checkpoint) decodes to nil.
+func TestLogPositionRoundTrip(t *testing.T) {
+	m := testModel(t)
+	pos := wal.Pos{Seq: 9001, Segment: 3, Offset: 4096}
+	var buf bytes.Buffer
+	if err := SaveAt(&buf, m, nil, 7, &pos); err != nil {
+		t.Fatal(err)
+	}
+	_, f, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Log == nil || *f.Log != pos {
+		t.Fatalf("decoded log position %+v, want %+v", f.Log, pos)
+	}
+	if f.Steps != 7 {
+		t.Fatalf("steps %d", f.Steps)
+	}
+
+	buf.Reset()
+	if err := Save(&buf, m, nil, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, f, err = Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if f.Log != nil {
+		t.Fatalf("position-less checkpoint decoded position %+v", f.Log)
 	}
 }

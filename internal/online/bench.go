@@ -1,0 +1,104 @@
+package online
+
+import (
+	"bytes"
+	"fmt"
+
+	"seqfm/internal/core"
+	"seqfm/internal/data"
+	"seqfm/internal/serve"
+	"seqfm/internal/train"
+	"seqfm/internal/wal"
+)
+
+// BenchUsers/BenchObjects/BenchEventCount fix the standard WAL-bench
+// workload shared by bench_test.go's BenchmarkWAL* suite and seqfm-bench
+// -mode wal. The two harnesses must measure the same workload for
+// BENCH_wal.json to stay comparable with the go-test benchmark output, so
+// the literals live here.
+const (
+	BenchUsers      = 64
+	BenchObjects    = 256
+	BenchEventCount = 4000
+	// BenchSyncEvery is the event cadence of training syncs in the logged
+	// stream — every such boundary writes step markers and a publish marker,
+	// so replay exercises the full record mix.
+	BenchSyncEvery = 500
+)
+
+// BenchWorkload builds the standard WAL-bench substrate: a small SeqFM and a
+// dataset with deterministic per-user logs, cheap enough that replay
+// throughput reflects the log-and-ingest machinery rather than minutes of
+// fine-tuning, while still training through the real sharded engine.
+func BenchWorkload() (*core.Model, *data.Dataset, error) {
+	ds := &data.Dataset{Name: "wal-bench", Task: data.Ranking, NumUsers: BenchUsers, NumObjects: BenchObjects}
+	ds.Users = make([][]data.Interaction, ds.NumUsers)
+	for u := 0; u < ds.NumUsers; u++ {
+		for i := 0; i < 6; i++ {
+			ds.Users[u] = append(ds.Users[u], data.Interaction{
+				Object: (u*7 + i*11) % ds.NumObjects, Rating: 1, Time: int64(i),
+			})
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("online: bench workload: %w", err)
+	}
+	m, err := core.New(core.Config{Space: ds.Space(), Dim: 8, Layers: 1, MaxSeqLen: 8, KeepProb: 0.9, Seed: 17})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ds, nil
+}
+
+// BenchEvents derives the deterministic event stream the bench ingests:
+// n (user, object) pairs spread over the workload's space.
+func BenchEvents(n int) [][2]int {
+	evs := make([][2]int, n)
+	for i := range evs {
+		evs[i] = [2]int{(i*13 + i/7) % BenchUsers, (i*29 + i/3) % BenchObjects}
+	}
+	return evs
+}
+
+// BenchTrainConfig is the fine-tuning configuration of the WAL-bench
+// learner, shared so every harness replays the identical training stream.
+func BenchTrainConfig() train.Config {
+	return train.Config{Seed: 7, Workers: 1, LR: 1e-3, Negatives: 2}
+}
+
+// DriveBenchLog runs the standard WAL-bench stream through a log-backed
+// learner — n events with a training Sync (step + publish markers) every
+// BenchSyncEvery — and returns the final checkpoint stream (which covers
+// every step, for skip-mode replay). The single driver keeps BENCH_wal.json
+// (cmd/seqfm-bench) and the BenchmarkWAL* CI smoke measuring the same
+// workload by construction.
+func DriveBenchLog(log *wal.Log, n int) ([]byte, error) {
+	m, ds, err := BenchWorkload()
+	if err != nil {
+		return nil, err
+	}
+	eng := serve.NewEngine(m.Clone(), serve.Config{Workers: 1})
+	defer eng.Close()
+	l, err := NewLearner(m, ds, eng, Config{
+		Train:     BenchTrainConfig(),
+		BatchSize: 64,
+		Log:       log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ev := range BenchEvents(n) {
+		if err := l.Ingest(ev[0], ev[1], 1); err != nil {
+			return nil, err
+		}
+		if (i+1)%BenchSyncEvery == 0 {
+			l.Sync()
+		}
+	}
+	l.Sync()
+	var buf bytes.Buffer
+	if err := l.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

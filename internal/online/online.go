@@ -49,6 +49,7 @@ import (
 	"seqfm/internal/optim"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
+	"seqfm/internal/wal"
 )
 
 // Defaults for Config's zero fields.
@@ -82,6 +83,15 @@ type Config struct {
 	// MinEvents defers background fine-tuning until at least this many
 	// events are pending (a Sync call ignores it). 0 means 1.
 	MinEvents int
+	// Log, when non-nil, makes the event stream durable: Ingest appends
+	// each interaction to this write-ahead log *before* enqueueing it (and
+	// returns only once the record is durable under the log's sync policy),
+	// and the trainer logs step/drop/publish markers recording exactly which
+	// events each minibatch consumed and which generation each publish
+	// installed. Together with a ckpt-v2 snapshot carrying its log position,
+	// the log makes recovery exactly-once and bit-identical: see ReplayLog.
+	// The learner does not close the log.
+	Log *wal.Log
 }
 
 func (c Config) withDefaults(model *core.Model) Config {
@@ -119,6 +129,31 @@ type Stats struct {
 	Generation uint64
 	// HistoryUsers is the number of users with a live history.
 	HistoryUsers int
+
+	// Durability state; all zero unless the learner was built with a WAL
+	// (Config.Log).
+
+	// LogSeq is the last sequence number appended to the log; LogDurableSeq
+	// the last one fsynced. LogSegments counts live segment files.
+	LogSeq, LogDurableSeq uint64
+	LogSegments           int
+	// AppliedSeq is the log sequence number of the last step marker whose
+	// training effect is in the current shadow weights — the position a
+	// checkpoint taken now would record.
+	AppliedSeq uint64
+	// SnapshotSeq is the AppliedSeq of the last checkpoint written through
+	// this learner; the replay a crash would need covers (SnapshotSeq,
+	// LogDurableSeq].
+	SnapshotSeq uint64
+}
+
+// pendingEvent is one queued training instance plus the WAL sequence number
+// of its event record (0 without a WAL). The queue is FIFO and drops only at
+// the head, so the queued seqs are always a contiguous ascending range —
+// which is why a step marker's "trained through seq X" pins a batch exactly.
+type pendingEvent struct {
+	inst feature.Instance
+	seq  uint64
 }
 
 // Learner is the online-learning subsystem: one per served model. Its public
@@ -145,9 +180,11 @@ type Learner struct {
 	// slice with a head index: drains and drop-oldest advance head instead
 	// of memmoving the buffer, so ingest stays O(1) amortised even when the
 	// queue is saturated; the live region is compacted down only when the
-	// dead prefix outgrows it.
+	// dead prefix outgrows it. With a WAL, mu also serialises the log append
+	// against the history-store append, so log order is exactly ingest order
+	// — the property replay depends on.
 	mu      sync.Mutex
-	pending []feature.Instance
+	pending []pendingEvent
 	head    int
 
 	// trainMu serialises fine-tuning, publishing and checkpointing (the
@@ -155,6 +192,27 @@ type Learner struct {
 	trainMu sync.Mutex
 	model   *core.Model // shadow copy; serving never reads it
 	stepper *train.Stepper
+
+	// walLog, when non-nil, is the durable event log (Config.Log). Replay
+	// (ApplyLogRecord/ReplayLog) bypasses it: replayed records are not
+	// re-appended, and queue-overflow drops are driven by the logged Drop
+	// markers instead of the live MaxPending policy.
+	walLog *wal.Log
+	// snapApplied is the snapshot's log position (ckpt File.Log.Seq): step
+	// markers at or below it replay without re-training. Fixed at
+	// construction.
+	snapApplied uint64
+	// appliedPos is the position of the last step marker whose effect is in
+	// the shadow weights; guarded by trainMu, mirrored in appliedSeq for
+	// lock-free Stats.
+	appliedPos wal.Pos
+	appliedSeq atomic.Uint64
+	snapSeq    atomic.Uint64
+
+	// live flips once the learner has seen live traffic (Ingest/Sync) or
+	// completed a replay; ReplayLog refuses to run after that — replaying
+	// on top of live state would silently double-apply the log.
+	live atomic.Bool
 
 	ingested atomic.Int64
 	dropped  atomic.Int64
@@ -196,7 +254,9 @@ func NewLearnerFromCheckpoint(r io.Reader, ds *data.Dataset, eng *serve.Engine, 
 // checkpoint: m must be the model ckpt.Load returned for f. Callers that
 // load a checkpoint once for serving (cmd/seqfm-serve) use it to warm-start
 // the trainer without re-reading and re-decoding the file. m is cloned for
-// the shadow, so it may keep serving as an immutable generation.
+// the shadow, so it may keep serving as an immutable generation; if the
+// engine is not already serving m, the restored weights are published so
+// serving starts on the saved state.
 //
 // The optimizer's moments and step count always come from the snapshot, but
 // a non-zero cfg.Train.LR overrides the saved learning rate — the LR is an
@@ -222,7 +282,24 @@ func NewLearnerFromSnapshot(m *core.Model, f *ckpt.File, ds *data.Dataset, eng *
 	if err != nil {
 		return nil, err
 	}
-	l.publish()
+	if f.Log != nil {
+		// The snapshot is consistent with the log up to this position: a
+		// subsequent ReplayLog re-trains only the markers beyond it.
+		l.snapApplied = f.Log.Seq
+		l.appliedPos = *f.Log
+		l.appliedSeq.Store(f.Log.Seq)
+	}
+	// Publish the restored weights — unless the engine is already serving
+	// exactly this model (the common flow builds the engine from the loaded
+	// model and then warm-starts the learner with it). Skipping the
+	// redundant publish does more than save an index rebuild: it keeps the
+	// engine's generation counter un-advanced, so recovery and follower
+	// bootstrap can re-align it to the logged/primary numbering even when
+	// that numbering is still small (SwapAs only installs ids that advance
+	// the counter).
+	if eng.Model() != serve.Scorer(m) {
+		l.publish()
+	}
 	return l, nil
 }
 
@@ -241,7 +318,11 @@ func newLearner(shadow *core.Model, opt *optim.Adam, steps int64, ds *data.Datas
 		return nil, err
 	}
 	stepper.SetSteps(steps)
-	l := &Learner{cfg: cfg, ds: ds, eng: eng, model: shadow, stepper: stepper}
+	l := &Learner{cfg: cfg, ds: ds, eng: eng, model: shadow, stepper: stepper, walLog: cfg.Log}
+	// Stats.Steps counts lifetime minibatches on this weight lineage, like
+	// stepper.Steps(): a warm start resumes the saved counter, so the number
+	// survives restarts the same way the weights do.
+	l.steps.Store(steps)
 	l.store = NewHistoryStore(0, cfg.HistoryLen)
 	l.store.SeedFromDataset(ds)
 	l.seen = make([]map[int]bool, ds.NumUsers)
@@ -269,15 +350,114 @@ func (l *Learner) markSeen(user, object int) {
 // before this interaction — the same next-item supervision offline training
 // uses. Attrs are filled from the dataset's side-information tables.
 func (l *Learner) Ingest(user, object int, label float64) error {
+	if err := l.checkEvent(user, object); err != nil {
+		return err
+	}
+	seq, err := l.ingestOne(user, object, label)
+	if err != nil {
+		return err
+	}
+	return l.waitCommitted(seq)
+}
+
+// Event is one interaction for batch ingestion.
+type Event struct {
+	User, Object int
+	Label        float64
+}
+
+// IngestBatch ingests the events in order and waits for durability once, on
+// the last record: under group commit the whole batch stacks into shared
+// fsync cycles instead of paying one cycle per event, so a bulk /v1/feedback
+// body commits at log bandwidth rather than ack-latency × events. The batch
+// is validated up front — a bad event rejects the whole batch before any
+// side effects.
+func (l *Learner) IngestBatch(events []Event) error {
+	for i, ev := range events {
+		if err := l.checkEvent(ev.User, ev.Object); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	var last uint64
+	for _, ev := range events {
+		seq, err := l.ingestOne(ev.User, ev.Object, ev.Label)
+		if err != nil {
+			return err
+		}
+		last = seq
+	}
+	return l.waitCommitted(last)
+}
+
+// checkEvent validates one interaction's ids.
+func (l *Learner) checkEvent(user, object int) error {
 	if user < 0 || user >= l.ds.NumUsers {
 		return fmt.Errorf("online: user %d outside [0,%d)", user, l.ds.NumUsers)
 	}
 	if object < 0 || object >= l.ds.NumObjects {
 		return fmt.Errorf("online: object %d outside [0,%d)", object, l.ds.NumObjects)
 	}
-	// Snapshot-and-append atomically (one stripe-lock critical section), so
-	// concurrent events for the same user each see exactly the history their
-	// predecessors produced.
+	return nil
+}
+
+// ingestOne applies one interaction's side effects and returns its WAL
+// sequence number (0 without a WAL) without waiting for durability.
+func (l *Learner) ingestOne(user, object int, label float64) (uint64, error) {
+	l.live.Store(true)
+	if l.walLog == nil {
+		// Snapshot-and-append atomically (one stripe-lock critical section),
+		// so concurrent events for the same user each see exactly the history
+		// their predecessors produced.
+		inst := l.makeInstance(user, object, label)
+		l.markSeen(user, object)
+		l.mu.Lock()
+		l.enqueueLocked(inst, 0, true)
+		l.mu.Unlock()
+		l.ingested.Add(1)
+		return 0, nil
+	}
+	// Durable path: the WAL append, the history-store append and the queue
+	// insert happen in one critical section, so the log's record order is
+	// exactly the order in which histories grew and the queue filled —
+	// replaying the log single-threaded then reconstructs the identical
+	// state. Only the *buffered* append happens under the lock; the fsync
+	// wait is outside it, so concurrent ingests stack their records into one
+	// group commit instead of serialising on the disk.
+	rec := wal.Record{Type: wal.RecEvent, User: user, Object: object, Label: label, TS: time.Now().UnixMilli()}
+	l.mu.Lock()
+	pos, err := l.walLog.AppendRecord(rec)
+	if err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("online: wal append: %w", err)
+	}
+	inst := l.makeInstance(user, object, label)
+	l.markSeen(user, object)
+	l.enqueueLocked(inst, pos.Seq, true)
+	l.mu.Unlock()
+	l.ingested.Add(1)
+	return pos.Seq, nil
+}
+
+// waitCommitted blocks until seq is durable under the log's policy; a no-op
+// without a WAL and under SyncNone (which promises nothing beyond the page
+// cache — blocking on the OS-flush timer would make the weakest policy the
+// slowest ingest path).
+func (l *Learner) waitCommitted(seq uint64) error {
+	if l.walLog == nil || seq == 0 || l.walLog.Policy() == wal.SyncNone {
+		return nil
+	}
+	if err := l.walLog.WaitDurable(seq); err != nil {
+		// The events are applied in memory but their durability is unknown;
+		// the caller must treat them as unacknowledged (a recovered process
+		// may or may not replay them).
+		return fmt.Errorf("online: wal commit: %w", err)
+	}
+	return nil
+}
+
+// makeInstance builds the training instance for one interaction, extending
+// the user's live history and snapshotting its prior state as supervision.
+func (l *Learner) makeInstance(user, object int, label float64) feature.Instance {
 	inst := feature.Instance{
 		User:       user,
 		Target:     object,
@@ -292,18 +472,36 @@ func (l *Learner) Ingest(user, object int, label float64) error {
 	if l.ds.NumItemAttrs > 0 {
 		inst.TargetAttr = l.ds.ItemAttr[object]
 	}
-	l.markSeen(user, object)
+	return inst
+}
 
-	l.mu.Lock()
-	l.pending = append(l.pending, inst)
+// enqueueLocked appends one event to the pending queue and, when allowDrop,
+// applies the MaxPending overflow policy (logging a Drop marker when the
+// learner is durable). During replay drops are disabled — the logged Drop
+// markers are replayed instead, so recovery reproduces the original run even
+// if MaxPending changed between runs. l.mu must be held.
+func (l *Learner) enqueueLocked(inst feature.Instance, seq uint64, allowDrop bool) {
+	l.pending = append(l.pending, pendingEvent{inst: inst, seq: seq})
+	if !allowDrop {
+		return
+	}
 	if over := len(l.pending) - l.head - l.cfg.MaxPending; over > 0 {
+		from := l.pending[l.head].seq
+		through := l.pending[l.head+over-1].seq
 		l.head += over // drop oldest by advancing the head: O(1), no memmove
 		l.dropped.Add(int64(over))
+		if l.walLog != nil {
+			// The marker names the exact evicted range: a concurrently
+			// in-flight training batch's events are older than From and no
+			// longer queued here, but their Step marker lands after this
+			// record — replay must not evict them on its behalf. Best-effort
+			// append: a lost Drop marker only matters if MaxPending changes
+			// before the next recovery; the sticky log error will surface on
+			// the next event append regardless.
+			_, _ = l.walLog.AppendRecord(wal.Record{Type: wal.RecDrop, From: from, Through: through})
+		}
 	}
 	l.compactLocked()
-	l.mu.Unlock()
-	l.ingested.Add(1)
-	return nil
 }
 
 // compactLocked copies the live queue region down and releases the dead
@@ -319,7 +517,7 @@ func (l *Learner) compactLocked() {
 		// pinned by the backing array.
 		tail := l.pending[n:]
 		for i := range tail {
-			tail[i] = feature.Instance{}
+			tail[i] = pendingEvent{}
 		}
 		l.pending = l.pending[:n]
 		l.head = 0
@@ -444,7 +642,7 @@ func (l *Learner) SeenCount(user int) int {
 }
 
 // drain detaches up to max pending events (all of them when max <= 0).
-func (l *Learner) drain(max int) []feature.Instance {
+func (l *Learner) drain(max int) []pendingEvent {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := len(l.pending) - l.head
@@ -454,11 +652,64 @@ func (l *Learner) drain(max int) []feature.Instance {
 	if max > 0 && n > max {
 		n = max
 	}
-	batch := make([]feature.Instance, n)
+	batch := make([]pendingEvent, n)
 	copy(batch, l.pending[l.head:])
 	l.head += n
 	l.compactLocked()
 	return batch
+}
+
+// drainThrough detaches every pending event whose log sequence number is at
+// or below through — the replay-side counterpart of drain, sized by a Step
+// marker instead of a batch budget.
+func (l *Learner) drainThrough(through uint64) []pendingEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for l.head+n < len(l.pending) && l.pending[l.head+n].seq <= through {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	batch := make([]pendingEvent, n)
+	copy(batch, l.pending[l.head:])
+	l.head += n
+	l.compactLocked()
+	return batch
+}
+
+// removeRange detaches every pending event with sequence number in
+// [from, through] — the replay-side form of a Drop marker. Unlike live
+// drops, the range need not start at the queue head: events drained by a
+// concurrently in-flight training batch were already gone when the live
+// drop happened, but during replay they are still queued (their Step marker
+// comes later in the log), so the evicted span can sit mid-queue.
+func (l *Learner) removeRange(from, through uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	live := l.pending[l.head:]
+	lo := 0
+	for lo < len(live) && live[lo].seq < from {
+		lo++
+	}
+	hi := lo
+	for hi < len(live) && live[hi].seq <= through {
+		hi++
+	}
+	if hi == lo {
+		return 0
+	}
+	n := hi - lo
+	kept := append(live[:lo], live[hi:]...)
+	// Zero the vacated tail so removed instances' Hist slices are not
+	// pinned by the backing array.
+	tail := l.pending[l.head+len(kept):]
+	for i := range tail {
+		tail[i] = pendingEvent{}
+	}
+	l.pending = l.pending[:l.head+len(kept)]
+	return n
 }
 
 // Sync drains the backlog as it stood when the call started, fine-tunes the
@@ -471,6 +722,7 @@ func (l *Learner) drain(max int) []feature.Instance {
 // minibatch. Safe to call concurrently with traffic and with the background
 // loop.
 func (l *Learner) Sync() (events int, loss float64) {
+	l.live.Store(true)
 	l.trainMu.Lock()
 	defer l.trainMu.Unlock()
 	l.mu.Lock()
@@ -485,41 +737,90 @@ func (l *Learner) Sync() (events int, loss float64) {
 		if len(batch) == 0 {
 			break
 		}
-		// An event becomes "seen" for negative sampling the moment it is
-		// trained on — without this, a freshly trending object keeps being
-		// drawn as its own users' negative, and the trainer fights the very
-		// supervision the stream delivers. Marking here (not at Ingest)
-		// keeps the seen index a pure function of the trained sequence, so
-		// checkpoint restores that Replay the same events stay bit-exact.
-		for _, inst := range batch {
-			l.stepper.MarkSeen(inst.User, inst.Target)
-		}
-		loss = l.stepper.Step(batch)
-		l.lastLoss.Store(math.Float64bits(loss))
-		l.steps.Add(1)
+		loss = l.stepBatch(batch)
 		events += len(batch)
 	}
 	if events > 0 {
-		l.publish()
+		gen := l.publish()
+		if l.walLog != nil {
+			// The publish marker is what lets a follower install the same
+			// weights under the same generation id, and a recovery replay
+			// restore the pre-crash generation numbering.
+			_, _ = l.walLog.AppendRecord(wal.Record{Type: wal.RecPublish, Gen: gen})
+		}
 	}
 	return events, loss
 }
 
-// publish clones the shadow and hot-swaps it into the engine. Callers hold
-// trainMu (or are constructing the learner).
-func (l *Learner) publish() {
-	l.eng.Swap(l.model.Clone())
+// stepBatch fine-tunes the shadow on one drained batch and logs its step
+// marker. Callers hold trainMu.
+func (l *Learner) stepBatch(batch []pendingEvent) float64 {
+	// An event becomes "seen" for negative sampling the moment it is
+	// trained on — without this, a freshly trending object keeps being
+	// drawn as its own users' negative, and the trainer fights the very
+	// supervision the stream delivers. Marking here (not at Ingest)
+	// keeps the seen index a pure function of the trained sequence, so
+	// checkpoint restores that Replay the same events stay bit-exact.
+	insts := make([]feature.Instance, len(batch))
+	for i, ev := range batch {
+		l.stepper.MarkSeen(ev.inst.User, ev.inst.Target)
+		insts[i] = ev.inst
+	}
+	loss := l.stepper.Step(insts)
+	l.lastLoss.Store(math.Float64bits(loss))
+	l.steps.Add(1)
+	if l.walLog != nil {
+		// "Trained through this event, in this exact batch": the record that
+		// makes replayed training bit-identical. Appended after the step so
+		// a marker never promises training that did not happen; durability
+		// rides the group commit (Checkpoint forces a Sync before recording
+		// a position that depends on it).
+		if pos, err := l.walLog.AppendRecord(wal.Record{Type: wal.RecStep, Through: batch[len(batch)-1].seq}); err == nil {
+			l.appliedPos = pos
+			l.appliedSeq.Store(pos.Seq)
+		}
+	}
+	return loss
+}
+
+// publish clones the shadow and hot-swaps it into the engine, returning the
+// installed generation. Callers hold trainMu (or are constructing the
+// learner).
+func (l *Learner) publish() uint64 {
+	gen := l.eng.Swap(l.model.Clone())
 	l.swaps.Add(1)
+	return gen
+}
+
+// publishAs installs the shadow under an externally assigned generation id —
+// the follower path, aligning replica generation numbering with the
+// primary's publish markers. Callers hold trainMu.
+func (l *Learner) publishAs(gen uint64) uint64 {
+	id := l.eng.SwapAs(l.model.Clone(), gen)
+	l.swaps.Add(1)
+	return id
 }
 
 // Checkpoint writes the shadow model, optimizer state and step counter as a
 // ckpt v2 stream. Taken under the training lock, so the snapshot is always a
-// consistent post-step state.
+// consistent post-step state. With a WAL, the stream also records the log
+// position the snapshot is consistent with — after first fsyncing the log,
+// so the snapshot never references markers a crash could lose.
 func (l *Learner) Checkpoint(w io.Writer) error {
 	l.trainMu.Lock()
 	defer l.trainMu.Unlock()
 	adam, _ := l.stepper.Optimizer().(*optim.Adam)
-	return ckpt.Save(w, l.model, adam, l.stepper.Steps())
+	pos, err := l.checkpointPosLocked()
+	if err != nil {
+		return err
+	}
+	if err := ckpt.SaveAt(w, l.model, adam, l.stepper.Steps(), pos); err != nil {
+		return err
+	}
+	if pos != nil {
+		l.snapSeq.Store(pos.Seq)
+	}
+	return nil
 }
 
 // CheckpointFile atomically writes Checkpoint's stream to path (temp file +
@@ -528,7 +829,30 @@ func (l *Learner) CheckpointFile(path string) error {
 	l.trainMu.Lock()
 	defer l.trainMu.Unlock()
 	adam, _ := l.stepper.Optimizer().(*optim.Adam)
-	return ckpt.SaveFile(path, l.model, adam, l.stepper.Steps())
+	pos, err := l.checkpointPosLocked()
+	if err != nil {
+		return err
+	}
+	if err := ckpt.SaveFileAt(path, l.model, adam, l.stepper.Steps(), pos); err != nil {
+		return err
+	}
+	if pos != nil {
+		l.snapSeq.Store(pos.Seq)
+	}
+	return nil
+}
+
+// checkpointPosLocked returns the log position the snapshot should record
+// (nil without a WAL), fsyncing the log first. trainMu must be held.
+func (l *Learner) checkpointPosLocked() (*wal.Pos, error) {
+	if l.walLog == nil {
+		return nil, nil
+	}
+	if err := l.walLog.Sync(); err != nil {
+		return nil, fmt.Errorf("online: checkpoint wal sync: %w", err)
+	}
+	pos := l.appliedPos
+	return &pos, nil
 }
 
 // Start launches the background trainer: every Config.Interval it drains the
@@ -599,7 +923,7 @@ func (l *Learner) Stats() Stats {
 	l.mu.Lock()
 	pending := len(l.pending) - l.head
 	l.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Ingested:     l.ingested.Load(),
 		Dropped:      l.dropped.Load(),
 		Pending:      pending,
@@ -609,4 +933,17 @@ func (l *Learner) Stats() Stats {
 		Generation:   l.eng.Generation(),
 		HistoryUsers: l.store.Users(),
 	}
+	if l.walLog != nil {
+		st.LogSeq = l.walLog.Pos().Seq
+		st.LogDurableSeq = l.walLog.DurableSeq()
+		st.LogSegments = l.walLog.Segments()
+		st.AppliedSeq = l.appliedSeq.Load()
+		st.SnapshotSeq = l.snapSeq.Load()
+	}
+	return st
 }
+
+// WAL returns the learner's durable event log, nil when the learner was
+// built without one. The replica endpoints read it; the learner never closes
+// it.
+func (l *Learner) WAL() *wal.Log { return l.walLog }

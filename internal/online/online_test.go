@@ -74,7 +74,7 @@ func TestIngestExtendsHistoryAndQueuesSupervision(t *testing.T) {
 	}
 	// The queued instance must carry the pre-ingest history.
 	l.mu.Lock()
-	inst := l.pending[l.head]
+	inst := l.pending[l.head].inst
 	l.mu.Unlock()
 	if inst.Target != 17 || inst.User != 3 {
 		t.Fatalf("queued instance %+v", inst)
@@ -244,7 +244,7 @@ func TestMaxPendingDropsOldest(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 	l.mu.Lock()
-	oldest := l.pending[l.head].Target
+	oldest := l.pending[l.head].inst.Target
 	l.mu.Unlock()
 	if oldest != 6%ds.NumObjects {
 		t.Fatalf("queue kept the wrong tail: oldest target %d", oldest)
@@ -295,7 +295,7 @@ func TestSyncTrainsAndPublishes(t *testing.T) {
 		_ = l.Ingest(i%ds.NumUsers, (i*5)%ds.NumObjects, 1)
 	}
 	l.trainMu.Lock()
-	l.stepper.Step(l.drain(8))
+	l.stepBatch(l.drain(8))
 	l.trainMu.Unlock()
 	if got := refScore(published, inst); got != snap {
 		t.Fatal("training mutated a published generation's weights")

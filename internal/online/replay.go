@@ -1,0 +1,214 @@
+package online
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"seqfm/internal/feature"
+	"seqfm/internal/wal"
+)
+
+// This file is the deterministic replay engine shared by crash recovery and
+// follower replication. A WAL written by a learner is a complete transcript
+// of its state evolution:
+//
+//	Event   — extend the user's live history, record the interaction in the
+//	          serving-side seen index, enqueue the training instance (with
+//	          the pre-event history as supervision, exactly as Ingest built
+//	          it — replay runs the same code path).
+//	Step    — drain every queued event up to Through and fine-tune on them
+//	          as one minibatch. Because train.Stepper's RNG streams derive
+//	          from {Seed, step counter, worker}, replaying the same batches
+//	          in the same order is bit-identical to the original run. Steps
+//	          already covered by the restored snapshot (marker seq <= the
+//	          snapshot's log position) skip the gradient step but still
+//	          apply the batch's side effects (the trainer's negative-
+//	          sampling seen index), which is what keeps the *next* step's
+//	          sampling stream exact.
+//	Drop    — discard queued events in [From, Through], reproducing the
+//	          original run's queue-overflow evictions even if MaxPending
+//	          has changed (the explicit range keeps a drop that raced an
+//	          in-flight training batch from evicting that batch's events).
+//	Publish — a generation was installed; recovery re-publishes at the end
+//	          (under the logged id, restoring pre-crash generation
+//	          numbering), followers re-publish as they catch up.
+//
+// Replay is single-threaded with respect to the learner: run it before
+// Start and before serving traffic (recovery), or from the replica's one
+// apply loop.
+
+// ReplayStats summarises one ReplayLog pass.
+type ReplayStats struct {
+	// Records is the total log records applied; Events/Steps/SkippedSteps/
+	// Drops/Publishes break them down. SkippedSteps are step markers covered
+	// by the snapshot (side effects applied, gradient step skipped).
+	Records, Events, Steps, SkippedSteps, Drops, Publishes int
+	// Applied is the log seq of the last step marker applied or skipped.
+	Applied uint64
+	// Generation is the serving generation after the final publish (0 when
+	// the replay published nothing).
+	Generation uint64
+}
+
+// ApplyLogRecord applies one WAL record to the learner per the rules above.
+// applied is the snapshot's log position: step markers at or below it do not
+// re-train. Not safe concurrently with Ingest, Sync or the background
+// trainer — replay is a boot/replica-loop activity.
+func (l *Learner) ApplyLogRecord(rec wal.Record, applied uint64) error {
+	switch rec.Type {
+	case wal.RecEvent:
+		if rec.User < 0 || rec.User >= l.ds.NumUsers {
+			return fmt.Errorf("online: replay seq %d: user %d outside [0,%d)", rec.Seq, rec.User, l.ds.NumUsers)
+		}
+		if rec.Object < 0 || rec.Object >= l.ds.NumObjects {
+			return fmt.Errorf("online: replay seq %d: object %d outside [0,%d)", rec.Seq, rec.Object, l.ds.NumObjects)
+		}
+		inst := l.makeInstance(rec.User, rec.Object, rec.Label)
+		l.markSeen(rec.User, rec.Object)
+		l.mu.Lock()
+		l.enqueueLocked(inst, rec.Seq, false) // drops replay via Drop markers
+		l.mu.Unlock()
+		l.ingested.Add(1)
+	case wal.RecStep:
+		batch := l.drainThrough(rec.Through)
+		if len(batch) == 0 {
+			return fmt.Errorf("online: replay seq %d: step marker through %d matches no queued events", rec.Seq, rec.Through)
+		}
+		l.trainMu.Lock()
+		if rec.Seq > applied {
+			// Not covered by the snapshot: re-train, reproducing the
+			// original step bit-for-bit (same batch, same step counter,
+			// hence the same derived RNG streams). The marker already
+			// exists in the log, so it is not re-appended.
+			l.replayStepLocked(batch)
+		} else {
+			// Covered: the gradient step's effect is already in the restored
+			// weights; apply only the sampling side effects, which is what
+			// keeps the next un-covered step's negative-sampling stream
+			// exact.
+			for _, ev := range batch {
+				l.stepper.MarkSeen(ev.inst.User, ev.inst.Target)
+			}
+		}
+		// Seq alone identifies the position; ReplayLog backfills the
+		// physical address when it has one (replica apply loops, fed wire
+		// records, do not).
+		l.appliedPos = wal.Pos{Seq: rec.Seq}
+		l.appliedSeq.Store(rec.Seq)
+		l.trainMu.Unlock()
+	case wal.RecDrop:
+		l.dropped.Add(int64(l.removeRange(rec.From, rec.Through)))
+	case wal.RecPublish:
+		// Publication is the caller's business: recovery publishes once at
+		// the end, a replica publishes per applied batch. Nothing to do on
+		// the learner itself.
+	default:
+		return fmt.Errorf("online: replay seq %d: unknown record type %v", rec.Seq, rec.Type)
+	}
+	return nil
+}
+
+// replayStepLocked re-runs one logged minibatch, mirroring stepBatch minus
+// the marker append. trainMu must be held.
+func (l *Learner) replayStepLocked(batch []pendingEvent) {
+	insts := make([]feature.Instance, len(batch))
+	for i, ev := range batch {
+		l.stepper.MarkSeen(ev.inst.User, ev.inst.Target)
+		insts[i] = ev.inst
+	}
+	loss := l.stepper.Step(insts)
+	l.lastLoss.Store(math.Float64bits(loss))
+	l.steps.Add(1)
+}
+
+// ReplayLog rebuilds the learner's state from its WAL: every record from the
+// start of the log through the durable watermark is applied, with step
+// markers at or below the restored snapshot's position skipping re-training.
+// At the end the shadow is published once — under the last logged publish
+// generation when the final state matches it exactly, under the next id when
+// the log ends with trained-but-unpublished steps — so the serving
+// generation numbering continues where the interrupted run left off.
+//
+// Call it once, after construction and before Start or any traffic. The
+// result is pinned bit-identical to the uninterrupted run by the recovery
+// tests: parameters, optimizer state, sampling streams, served scores and
+// generation ids all match.
+func (l *Learner) ReplayLog() (ReplayStats, error) {
+	if l.walLog == nil {
+		return ReplayStats{}, fmt.Errorf("online: ReplayLog requires a learner built with Config.Log")
+	}
+	if l.live.Swap(true) {
+		// Replaying onto a learner that has already ingested, trained or
+		// replayed would double-apply the log — a silent corruption, so a
+		// loud error instead.
+		return ReplayStats{}, fmt.Errorf("online: ReplayLog must run once, before any live traffic")
+	}
+	rd, err := l.walLog.ReaderAt(1)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	defer rd.Close()
+	var (
+		st           ReplayStats
+		lastPubGen   uint64
+		stepsSincePb int
+	)
+	for {
+		payload, pos, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+		rec, err := wal.DecodeRecord(pos.Seq, payload)
+		if err != nil {
+			return st, err
+		}
+		if err := l.ApplyLogRecord(rec, l.snapApplied); err != nil {
+			return st, err
+		}
+		if rec.Type == wal.RecStep {
+			// Restore the marker's physical address too, so a checkpoint
+			// taken right after recovery records full provenance.
+			l.trainMu.Lock()
+			l.appliedPos = pos
+			l.trainMu.Unlock()
+		}
+		st.Records++
+		switch rec.Type {
+		case wal.RecEvent:
+			st.Events++
+		case wal.RecStep:
+			if rec.Seq > l.snapApplied {
+				st.Steps++
+			} else {
+				st.SkippedSteps++
+			}
+			stepsSincePb++
+		case wal.RecDrop:
+			st.Drops++
+		case wal.RecPublish:
+			st.Publishes++
+			lastPubGen = rec.Gen
+			stepsSincePb = 0
+		}
+	}
+	st.Applied = l.appliedSeq.Load()
+	// One publish restores the serving state: intermediate generations are
+	// history nobody can request anymore, so rebuilding their caches and
+	// indexes would be pure waste.
+	l.trainMu.Lock()
+	switch {
+	case lastPubGen > 0 && stepsSincePb == 0:
+		st.Generation = l.publishAs(lastPubGen)
+	case stepsSincePb > 0:
+		// Trained state beyond the last logged publish (a crash between a
+		// step and its publish marker): publish it under the next id, as the
+		// interrupted run was about to.
+		st.Generation = l.publishAs(lastPubGen + 1)
+	}
+	l.trainMu.Unlock()
+	return st, nil
+}

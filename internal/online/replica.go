@@ -1,0 +1,520 @@
+package online
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqfm/internal/ckpt"
+	"seqfm/internal/core"
+	"seqfm/internal/optim"
+	"seqfm/internal/wal"
+)
+
+// This file is follower replication: log shipping over HTTP on top of the
+// same WAL that drives crash recovery. A primary exposes two endpoints —
+// its latest snapshot and a long-poll window onto its durable log — and a
+// follower bootstraps from the snapshot, then tails the log, applying every
+// record through its own Learner with the deterministic replay rules
+// (replay.go). Because the records pin training batches and publish
+// generations exactly, a caught-up follower serves bit-identical scores
+// under the same generation ids as its primary: replication is replay.
+//
+// The Learner-side handlers (ServeReplicaSnapshot, ServeReplicaLog) are
+// plain http.HandlerFuncs so any server can mount them; HTTPLogSource and
+// FetchSnapshot are their client counterparts; Replica is the apply loop.
+
+// LogFetch is one log-shipping response: a batch of consecutive records
+// starting at the requested sequence number, plus the primary's durable
+// watermark (how far a fully caught-up follower could be) and its wall
+// clock (lag accounting).
+type LogFetch struct {
+	Records    []wal.Record `json:"records"`
+	DurableSeq uint64       `json:"durable_seq"`
+	NowMillis  int64        `json:"now_ms"`
+}
+
+// LogSource is where a replica's records come from: the HTTP client in
+// production, a direct in-process reader in tests and benchmarks.
+type LogSource interface {
+	// FetchLog returns records with sequence numbers >= from, at most max,
+	// waiting up to wait for new data when the log has none past from.
+	FetchLog(from uint64, max int, wait time.Duration) (LogFetch, error)
+}
+
+// Replica-side defaults.
+const (
+	DefaultReplicaBatch   = 1024
+	DefaultReplicaWait    = 2 * time.Second
+	DefaultReplicaBackoff = time.Second
+	// maxReplicaBatch caps a single log response so one poll cannot pin
+	// unbounded memory on either side.
+	maxReplicaBatch = 8192
+	// maxReplicaWait caps the server-side long-poll window.
+	maxReplicaWait = 30 * time.Second
+)
+
+// GenerationHeader carries the primary's serving generation on snapshot
+// responses, so a follower starts its generation numbering where the
+// primary actually is.
+const GenerationHeader = "X-Seqfm-Generation"
+
+// AppliedSeqHeader carries the snapshot's log position (File.Log.Seq) for
+// operators inspecting the bootstrap; the authoritative copy is inside the
+// checkpoint stream.
+const AppliedSeqHeader = "X-Seqfm-Applied-Seq"
+
+// ServeReplicaSnapshot streams the learner's current checkpoint (ckpt v2
+// with the log position) to a bootstrapping follower. 409 when the learner
+// has no WAL — a primary without a log cannot ship one.
+func (l *Learner) ServeReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
+	if l.walLog == nil {
+		http.Error(w, `{"error":"replication requires a WAL-backed primary"}`, http.StatusConflict)
+		return
+	}
+	// Buffer under the training lock, write after releasing it: a slow
+	// follower must not stall fine-tuning for the duration of its download.
+	var buf bytes.Buffer
+	l.trainMu.Lock()
+	adam, _ := l.stepper.Optimizer().(*optim.Adam)
+	pos, err := l.checkpointPosLocked()
+	if err == nil {
+		err = ckpt.SaveAt(&buf, l.model, adam, l.stepper.Steps(), pos)
+	}
+	gen := l.eng.Generation()
+	l.trainMu.Unlock()
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(GenerationHeader, strconv.FormatUint(gen, 10))
+	if pos != nil {
+		w.Header().Set(AppliedSeqHeader, strconv.FormatUint(pos.Seq, 10))
+	}
+	_, _ = buf.WriteTo(w)
+}
+
+// ServeReplicaLog is the long-poll log-shipping endpoint: ?from=<seq> (the
+// first wanted sequence number), ?max=<n> (batch cap), ?wait_ms=<t> (how
+// long to block when nothing past from is durable yet). Only durable
+// records are served — a follower can never apply state its primary could
+// lose in a crash.
+func (l *Learner) ServeReplicaLog(w http.ResponseWriter, r *http.Request) {
+	if l.walLog == nil {
+		http.Error(w, `{"error":"replication requires a WAL-backed primary"}`, http.StatusConflict)
+		return
+	}
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		http.Error(w, `{"error":"from must be a sequence number >= 1"}`, http.StatusBadRequest)
+		return
+	}
+	max := DefaultReplicaBatch
+	if s := q.Get("max"); s != "" {
+		if max, err = strconv.Atoi(s); err != nil || max <= 0 {
+			http.Error(w, `{"error":"max must be a positive integer"}`, http.StatusBadRequest)
+			return
+		}
+	}
+	if max > maxReplicaBatch {
+		max = maxReplicaBatch
+	}
+	var wait time.Duration
+	if s := q.Get("wait_ms"); s != "" {
+		ms, err := strconv.Atoi(s)
+		if err != nil || ms < 0 {
+			http.Error(w, `{"error":"wait_ms must be a non-negative integer"}`, http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxReplicaWait {
+			wait = maxReplicaWait
+		}
+	}
+	if l.walLog.DurableSeq() < from && wait > 0 {
+		l.walLog.WaitAppend(from-1, wait)
+	}
+	fetch := LogFetch{Records: []wal.Record{}, NowMillis: time.Now().UnixMilli()}
+	rd, err := l.walLog.ReaderAt(from)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	defer rd.Close()
+	for len(fetch.Records) < max {
+		rec, err := rd.NextRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+			return
+		}
+		fetch.Records = append(fetch.Records, rec)
+	}
+	fetch.DurableSeq = l.walLog.DurableSeq()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, fetch)
+}
+
+// writeJSON is a tiny helper shared by the replica handlers.
+func writeJSON(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// HTTPLogSource fetches log batches from a primary's /v1/replica/log.
+type HTTPLogSource struct {
+	// Base is the primary's base URL, e.g. "http://primary:8080".
+	Base string
+	// Client defaults to a client whose timeout comfortably exceeds the
+	// long-poll window.
+	Client *http.Client
+}
+
+func (s *HTTPLogSource) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: maxReplicaWait + 15*time.Second}
+}
+
+// FetchLog implements LogSource over HTTP.
+func (s *HTTPLogSource) FetchLog(from uint64, max int, wait time.Duration) (LogFetch, error) {
+	u, err := url.Parse(s.Base)
+	if err != nil {
+		return LogFetch{}, fmt.Errorf("online: replica source: %w", err)
+	}
+	u.Path = "/v1/replica/log"
+	q := url.Values{}
+	q.Set("from", strconv.FormatUint(from, 10))
+	q.Set("max", strconv.Itoa(max))
+	q.Set("wait_ms", strconv.FormatInt(wait.Milliseconds(), 10))
+	u.RawQuery = q.Encode()
+	resp, err := s.client().Get(u.String())
+	if err != nil {
+		return LogFetch{}, fmt.Errorf("online: fetch log: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return LogFetch{}, fmt.Errorf("online: fetch log: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var fetch LogFetch
+	if err := json.NewDecoder(resp.Body).Decode(&fetch); err != nil {
+		return LogFetch{}, fmt.Errorf("online: fetch log: %w", err)
+	}
+	return fetch, nil
+}
+
+// FetchSnapshot bootstraps from a primary: it downloads /v1/replica/snapshot
+// and decodes the ckpt-v2 stream, returning the reconstructed model, the
+// checkpoint file (optimizer state, step counter, log position) and the
+// primary's serving generation at snapshot time.
+func FetchSnapshot(base string, client *http.Client) (*core.Model, *ckpt.File, uint64, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("online: fetch snapshot: %w", err)
+	}
+	u.Path = "/v1/replica/snapshot"
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("online: fetch snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, nil, 0, fmt.Errorf("online: fetch snapshot: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	m, f, err := ckpt.Load(bufio.NewReader(resp.Body))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	gen, _ := strconv.ParseUint(resp.Header.Get(GenerationHeader), 10, 64)
+	return m, f, gen, nil
+}
+
+// ReplicaConfig parameterises a Replica; the zero value takes every default.
+type ReplicaConfig struct {
+	// MaxBatch bounds records per poll. 0 means DefaultReplicaBatch.
+	MaxBatch int
+	// Wait is the long-poll window passed to the source when caught up.
+	// 0 means DefaultReplicaWait.
+	Wait time.Duration
+	// Backoff is the pause after a failed poll. 0 means
+	// DefaultReplicaBackoff.
+	Backoff time.Duration
+	// Logf, when non-nil, receives the tail loop's operational messages
+	// (fetch failures, the fatal apply error that halts the loop).
+	Logf func(format string, args ...any)
+}
+
+func (c ReplicaConfig) withDefaults() ReplicaConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultReplicaBatch
+	}
+	if c.MaxBatch > maxReplicaBatch {
+		c.MaxBatch = maxReplicaBatch
+	}
+	if c.Wait <= 0 {
+		c.Wait = DefaultReplicaWait
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = DefaultReplicaBackoff
+	}
+	return c
+}
+
+// ReplicaStats is a snapshot of a replica's replay-lag counters.
+type ReplicaStats struct {
+	// AppliedSeq is the last log record applied locally; PrimaryDurableSeq
+	// the primary's durable watermark at the last successful poll.
+	AppliedSeq, PrimaryDurableSeq uint64
+	// PrimaryGeneration is the serving generation the replica has converged
+	// to — the snapshot's generation advanced by every applied publish
+	// marker.
+	PrimaryGeneration uint64
+	// LagRecords is PrimaryDurableSeq - AppliedSeq (0 when caught up);
+	// LagSeconds estimates staleness from the newest applied event's ingest
+	// timestamp (primary's clock — subject to skew across hosts).
+	LagRecords int64
+	LagSeconds float64
+	// CaughtUp reports AppliedSeq == PrimaryDurableSeq as of the last poll.
+	CaughtUp bool
+	// Polls/PollErrors count fetches; Applied counts records applied.
+	Polls, PollErrors, Applied int64
+	// Failed reports that the background tail loop halted on a permanent
+	// apply error (retrying a deterministic failure forever would only
+	// hide it); LastError is the most recent fetch or apply error.
+	Failed    bool
+	LastError string
+}
+
+// Replica tails a primary's log and applies it to a local Learner — the
+// follower half of log-shipping replication. Build the learner from the
+// primary's snapshot (FetchSnapshot + NewLearnerFromSnapshot, without a
+// local WAL), then hand both here. The replica owns all apply-side
+// concurrency: do not Ingest into, Sync, or Start the learner while a
+// replica drives it — the follower is a read replica, and its learner's
+// TopK/Recommend/History are the read path.
+type Replica struct {
+	l   *Learner
+	src LogSource
+	cfg ReplicaConfig
+
+	applied        atomic.Uint64
+	primaryDurable atomic.Uint64
+	primaryGen     atomic.Uint64
+	lastEventTS    atomic.Int64 // unix ms of newest applied event
+	polls          atomic.Int64
+	pollErrs       atomic.Int64
+	appliedRecs    atomic.Int64
+	failed         atomic.Bool
+	lastErr        atomic.Value // string
+
+	bg struct {
+		sync.Mutex
+		stop chan struct{}
+		done chan struct{}
+	}
+}
+
+// NewReplica wires a follower learner to a log source. bootGen is the
+// primary's generation at snapshot time (FetchSnapshot's third result): the
+// snapshot weights are republished under it, so the follower's generation
+// numbering is aligned with the primary's from the first response it
+// serves. When the engine already sits at bootGen (a primary that has
+// published little or nothing — the learner construction skips its publish
+// exactly so the counter stays alignable), the weights are already the
+// snapshot's and no republish is needed.
+func NewReplica(l *Learner, src LogSource, bootGen uint64, cfg ReplicaConfig) *Replica {
+	r := &Replica{l: l, src: src, cfg: cfg.withDefaults()}
+	if bootGen > 0 {
+		l.trainMu.Lock()
+		if bootGen > l.eng.Generation() {
+			l.publishAs(bootGen)
+		}
+		l.trainMu.Unlock()
+		r.primaryGen.Store(bootGen)
+	}
+	return r
+}
+
+// applyFetch applies one poll's records in order. Publish markers install
+// the shadow under the primary's generation id at exactly the point in the
+// record stream where the primary published — trailing steps in the same
+// batch stay unpublished locally just as they were on the primary.
+func (r *Replica) applyFetch(fetch LogFetch) error {
+	if fetch.DurableSeq < r.applied.Load() && len(fetch.Records) == 0 {
+		// The primary's log is shorter than what this replica already
+		// applied: its WAL directory was wiped or restored from an older
+		// backup. The histories diverged — silently waiting (while Stats
+		// would report caught-up) would serve stale state forever, so fail
+		// loudly; the operator re-bootstraps the follower from the new
+		// primary's snapshot.
+		return fmt.Errorf("online: primary log regressed (durable seq %d < applied %d): re-bootstrap this replica from the primary's snapshot",
+			fetch.DurableSeq, r.applied.Load())
+	}
+	for _, rec := range fetch.Records {
+		if rec.Seq <= r.applied.Load() {
+			continue // duplicate delivery after a retry
+		}
+		if rec.Type == wal.RecPublish {
+			// Markers at or below the bootstrap generation are already
+			// embodied in the snapshot weights — re-publishing them would
+			// burn generation ids the primary never issued.
+			if rec.Gen > r.primaryGen.Load() {
+				r.l.trainMu.Lock()
+				r.l.publishAs(rec.Gen)
+				r.l.trainMu.Unlock()
+				r.primaryGen.Store(rec.Gen)
+			}
+		} else if err := r.l.ApplyLogRecord(rec, r.l.snapApplied); err != nil {
+			return err
+		}
+		if rec.Type == wal.RecEvent && rec.TS > 0 {
+			r.lastEventTS.Store(rec.TS)
+		}
+		r.applied.Store(rec.Seq)
+		r.appliedRecs.Add(1)
+	}
+	if fetch.DurableSeq > r.primaryDurable.Load() {
+		r.primaryDurable.Store(fetch.DurableSeq)
+	}
+	return nil
+}
+
+// poll fetches and applies one batch; wait bounds the long-poll window.
+// fatal distinguishes a deterministic apply failure (retrying it from the
+// same position can never succeed) from a transient fetch error.
+func (r *Replica) poll(wait time.Duration) (n int, fatal bool, err error) {
+	r.polls.Add(1)
+	fetch, err := r.src.FetchLog(r.applied.Load()+1, r.cfg.MaxBatch, wait)
+	if err != nil {
+		r.pollErrs.Add(1)
+		r.lastErr.Store(err.Error())
+		return 0, false, err
+	}
+	if err := r.applyFetch(fetch); err != nil {
+		r.lastErr.Store(err.Error())
+		return 0, true, err
+	}
+	return len(fetch.Records), false, nil
+}
+
+// logf routes operational messages to the configured sink.
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// CatchUp polls without waiting until the replica has applied everything
+// durable on the primary as of the final poll, returning the number of
+// records applied. Used at bootstrap so a follower opens its listener
+// already converged.
+func (r *Replica) CatchUp() (int, error) {
+	total := 0
+	for {
+		n, _, err := r.poll(0)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		if n == 0 && r.applied.Load() >= r.primaryDurable.Load() {
+			return total, nil
+		}
+	}
+}
+
+// Start launches the background tail loop: long-poll the source, apply,
+// repeat; back off on errors. Idempotent while running.
+func (r *Replica) Start() {
+	r.bg.Lock()
+	defer r.bg.Unlock()
+	if r.bg.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.bg.stop, r.bg.done = stop, done
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, fatal, err := r.poll(r.cfg.Wait)
+			if err == nil {
+				continue
+			}
+			if fatal {
+				// A deterministic apply error repeats identically from the
+				// same position forever — halt instead of masking it as
+				// growing lag. Stats.Failed and /v1/model surface it.
+				r.failed.Store(true)
+				r.logf("replica: halting tail loop on permanent apply error: %v", err)
+				return
+			}
+			r.logf("replica: log fetch failed (will retry in %s): %v", r.cfg.Backoff, err)
+			select {
+			case <-stop:
+				return
+			case <-time.After(r.cfg.Backoff):
+			}
+		}
+	}()
+}
+
+// Close stops the tail loop. The learner keeps serving its last applied
+// state.
+func (r *Replica) Close() {
+	r.bg.Lock()
+	stop, done := r.bg.stop, r.bg.done
+	r.bg.stop, r.bg.done = nil, nil
+	r.bg.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Stats returns a snapshot of the replica's replay-lag counters.
+func (r *Replica) Stats() ReplicaStats {
+	applied := r.applied.Load()
+	durable := r.primaryDurable.Load()
+	st := ReplicaStats{
+		AppliedSeq:        applied,
+		PrimaryDurableSeq: durable,
+		PrimaryGeneration: r.primaryGen.Load(),
+		CaughtUp:          applied >= durable,
+		Polls:             r.polls.Load(),
+		PollErrors:        r.pollErrs.Load(),
+		Applied:           r.appliedRecs.Load(),
+		Failed:            r.failed.Load(),
+	}
+	if e, ok := r.lastErr.Load().(string); ok {
+		st.LastError = e
+	}
+	if durable > applied {
+		st.LagRecords = int64(durable - applied)
+		if ts := r.lastEventTS.Load(); ts > 0 {
+			st.LagSeconds = float64(time.Now().UnixMilli()-ts) / 1000
+		}
+	}
+	return st
+}

@@ -273,6 +273,26 @@ func (e *Engine) Swap(m Scorer) uint64 {
 	return g.id
 }
 
+// SwapAs is Swap under an externally assigned generation id — the
+// replication path: a follower replaying its primary's publish markers
+// installs each clone under the id the primary published it as, so both
+// engines agree on which generation a response came from. id must exceed the
+// current generation to take effect (generation ids stay strictly monotonic,
+// which is what the RCU snapshot invariants and the cache stamps rely on);
+// otherwise the swap falls back to the next sequential id. Returns the id
+// actually installed.
+func (e *Engine) SwapAs(m Scorer, id uint64) uint64 {
+	e.swapMu.Lock()
+	if cur := e.gens.Load(); id > cur+1 {
+		e.gens.Store(id - 1) // newGeneration's Add(1) lands exactly on id
+	}
+	g := e.newGeneration(m)
+	e.cur.Store(g)
+	e.swapMu.Unlock()
+	e.swaps.Add(1)
+	return g.id
+}
+
 // Generation returns the id of the currently serving snapshot.
 func (e *Engine) Generation() uint64 { return e.cur.Load().id }
 

@@ -566,3 +566,35 @@ func TestHistKeyUnambiguous(t *testing.T) {
 		keys[k] = h
 	}
 }
+
+// TestSwapAsAlignsGenerationIds pins the replication-side publish contract:
+// an externally assigned generation id is installed exactly when it advances
+// the counter, ids stay strictly monotonic, and the swapped model serves the
+// same bit-exact scores as any other generation.
+func TestSwapAsAlignsGenerationIds(t *testing.T) {
+	m := testModel(t)
+	eng := NewEngine(m, Config{Workers: 1})
+	defer eng.Close()
+	if g := eng.Generation(); g != 1 {
+		t.Fatalf("boot generation %d", g)
+	}
+	// Jump forward to a primary-assigned id.
+	if got := eng.SwapAs(m.Clone(), 17); got != 17 || eng.Generation() != 17 {
+		t.Fatalf("SwapAs(17) installed %d (engine at %d)", got, eng.Generation())
+	}
+	// The immediate successor lands exactly.
+	if got := eng.SwapAs(m.Clone(), 18); got != 18 {
+		t.Fatalf("SwapAs(18) installed %d", got)
+	}
+	// A stale or duplicate id falls back to the next sequential one.
+	if got := eng.SwapAs(m.Clone(), 5); got != 19 {
+		t.Fatalf("SwapAs(5) installed %d, want sequential 19", got)
+	}
+	if got := eng.Swap(m.Clone()); got != 20 {
+		t.Fatalf("Swap after SwapAs installed %d, want 20", got)
+	}
+	inst := testInstances(1, 99)[0]
+	if got, want := eng.Score(inst), refScore(m, inst); got != want {
+		t.Fatalf("served %v != fresh-tape %v after SwapAs chain", got, want)
+	}
+}

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// RecType discriminates the records the online subsystem logs.
+type RecType uint8
+
+const (
+	// RecEvent is one ingested interaction (user, object, label, ingest
+	// timestamp). The event stream is the system of record.
+	RecEvent RecType = 1
+	// RecStep marks one applied training minibatch: every queued event with
+	// sequence number <= Through was consumed by it, in order. Replaying
+	// steps at these exact boundaries is what makes recovery bit-identical —
+	// the stepper's RNG streams derive from its step counter, so identical
+	// batches yield identical parameters.
+	RecStep RecType = 2
+	// RecDrop marks queue-overflow evictions: every queued event with
+	// sequence number in [From, Through] was discarded untrained. The range
+	// is explicit — not "everything up to Through" — because a drop can be
+	// logged while a drained-but-not-yet-marked training batch is in flight:
+	// that batch's events precede From in the log but were no longer queued
+	// when the drop happened, and its Step marker lands *after* this record.
+	// Replay removes exactly [From, Through] and leaves earlier queued
+	// events for their Step marker. Logged so a replay under a different
+	// MaxPending still reproduces the original run.
+	RecDrop RecType = 3
+	// RecPublish marks a hot-swap: the shadow weights as of the preceding
+	// steps were published as serving generation Gen. Followers publish at
+	// the same marks, which keeps generation numbering aligned across the
+	// fleet.
+	RecPublish RecType = 4
+)
+
+// String names the type as the replication wire format spells it.
+func (t RecType) String() string {
+	switch t {
+	case RecEvent:
+		return "event"
+	case RecStep:
+		return "step"
+	case RecDrop:
+		return "drop"
+	case RecPublish:
+		return "publish"
+	}
+	return fmt.Sprintf("rectype(%d)", int(t))
+}
+
+// Record is the decoded form of one log entry — the union of the four
+// record types, JSON-tagged because it doubles as the follower log-shipping
+// wire format.
+type Record struct {
+	// Seq is assigned by the log on append; 0 on a record not yet appended.
+	Seq  uint64  `json:"seq"`
+	Type RecType `json:"type"`
+
+	// Event fields.
+	User   int     `json:"user,omitempty"`
+	Object int     `json:"object,omitempty"`
+	Label  float64 `json:"label,omitempty"`
+	// TS is the ingest wall-clock time in unix milliseconds — replication
+	// lag accounting only, never an input to training.
+	TS int64 `json:"ts,omitempty"`
+
+	// Through is the event sequence number a Step or Drop consumed through;
+	// From is the first sequence number a Drop evicted.
+	Through uint64 `json:"through,omitempty"`
+	From    uint64 `json:"from,omitempty"`
+	// Gen is the generation id a Publish installed.
+	Gen uint64 `json:"gen,omitempty"`
+}
+
+// EncodeRecord renders the record's payload (type byte + type-specific
+// body); the Seq field is not encoded — the log's framing implies it.
+func EncodeRecord(r Record) []byte {
+	buf := make([]byte, 1, 32)
+	buf[0] = byte(r.Type)
+	switch r.Type {
+	case RecEvent:
+		buf = binary.AppendUvarint(buf, uint64(r.User))
+		buf = binary.AppendUvarint(buf, uint64(r.Object))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Label))
+		buf = binary.AppendUvarint(buf, uint64(r.TS))
+	case RecStep:
+		buf = binary.AppendUvarint(buf, r.Through)
+	case RecDrop:
+		buf = binary.AppendUvarint(buf, r.From)
+		buf = binary.AppendUvarint(buf, r.Through)
+	case RecPublish:
+		buf = binary.AppendUvarint(buf, r.Gen)
+	}
+	return buf
+}
+
+// DecodeRecord parses a payload produced by EncodeRecord, stamping it with
+// the sequence number the log assigned.
+func DecodeRecord(seq uint64, payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("wal: empty record payload at seq %d", seq)
+	}
+	r := Record{Seq: seq, Type: RecType(payload[0])}
+	b := payload[1:]
+	fail := func() (Record, error) {
+		return Record{}, fmt.Errorf("wal: malformed %s record at seq %d", r.Type, seq)
+	}
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, false
+		}
+		b = b[n:]
+		return v, true
+	}
+	switch r.Type {
+	case RecEvent:
+		u, ok := uvarint()
+		if !ok {
+			return fail()
+		}
+		o, ok := uvarint()
+		if !ok {
+			return fail()
+		}
+		if len(b) < 8 {
+			return fail()
+		}
+		label := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		ts, ok := uvarint()
+		if !ok {
+			return fail()
+		}
+		r.User, r.Object, r.Label, r.TS = int(u), int(o), label, int64(ts)
+	case RecStep:
+		v, ok := uvarint()
+		if !ok {
+			return fail()
+		}
+		r.Through = v
+	case RecDrop:
+		from, ok := uvarint()
+		if !ok {
+			return fail()
+		}
+		through, ok := uvarint()
+		if !ok {
+			return fail()
+		}
+		if from == 0 || through < from {
+			return fail()
+		}
+		r.From, r.Through = from, through
+	case RecPublish:
+		v, ok := uvarint()
+		if !ok {
+			return fail()
+		}
+		r.Gen = v
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record type %d at seq %d", payload[0], seq)
+	}
+	if len(b) != 0 {
+		return fail()
+	}
+	return r, nil
+}
+
+// AppendRecord encodes and appends one typed record without waiting for
+// durability (see AppendAsync); callers on an ack path follow up with
+// WaitDurable.
+func (l *Log) AppendRecord(r Record) (Pos, error) {
+	return l.AppendAsync(EncodeRecord(r))
+}
+
+// NextRecord reads and decodes the next committed record; io.EOF at the
+// durable watermark.
+func (r *Reader) NextRecord() (Record, error) {
+	payload, pos, err := r.Next()
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	return DecodeRecord(pos.Seq, payload)
+}

@@ -1,0 +1,603 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps group-commit latency negligible in tests.
+func fastOpts() Options {
+	return Options{FlushInterval: 200 * time.Microsecond}
+}
+
+func mustOpen(t testing.TB, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// readAll drains every committed record payload.
+func readAll(t testing.TB, l *Log) [][]byte {
+	t.Helper()
+	rd, err := l.ReaderAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var out [][]byte
+	for {
+		p, pos, err := rd.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(len(out) + 1); pos.Seq != want {
+			t.Fatalf("seq %d, want %d", pos.Seq, want)
+		}
+		out = append(out, p)
+	}
+}
+
+func TestAppendReadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, fastOpts())
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%03d-%s", i, string(make([]byte, i%17))))
+		pos, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos.Seq != uint64(i+1) {
+			t.Fatalf("seq %d, want %d", pos.Seq, i+1)
+		}
+		want = append(want, p)
+	}
+	if l.DurableSeq() != 100 {
+		t.Fatalf("durable %d after Append returned", l.DurableSeq())
+	}
+	got := readAll(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: %q != %q", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: clean log, nothing truncated, appends continue the sequence.
+	l2 := mustOpen(t, dir, fastOpts())
+	if l2.Truncated() {
+		t.Fatal("clean log reported truncation")
+	}
+	if l2.Recovered().Seq != 100 {
+		t.Fatalf("recovered seq %d", l2.Recovered().Seq)
+	}
+	pos, err := l2.Append([]byte("after-reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Seq != 101 {
+		t.Fatalf("post-reopen seq %d", pos.Seq)
+	}
+	if got := readAll(t, l2); len(got) != 101 {
+		t.Fatalf("read %d records after reopen", len(got))
+	}
+	l2.Close()
+}
+
+func TestRotationAndRecoveryAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts()
+	opts.SegmentBytes = 256 // tiny: force many rotations
+	l := mustOpen(t, dir, opts)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 4 {
+		t.Fatalf("expected multiple segments, got %d", l.Segments())
+	}
+	if got := readAll(t, l); len(got) != n {
+		t.Fatalf("read %d, want %d", len(got), n)
+	}
+	l.Close()
+	l2 := mustOpen(t, dir, opts)
+	if l2.Recovered().Seq != n || l2.Truncated() {
+		t.Fatalf("recovered %+v truncated=%v", l2.Recovered(), l2.Truncated())
+	}
+	if got := readAll(t, l2); len(got) != n {
+		t.Fatalf("read %d after recovery", len(got))
+	}
+	l2.Close()
+}
+
+// writeLog writes n records and returns the payload written for seq i+1.
+func writeLog(t *testing.T, dir string, n int, opts Options) {
+	t.Helper()
+	l := mustOpen(t, dir, opts)
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tailSegment returns the path and size of the highest-numbered segment.
+func tailSegment(t *testing.T, dir string) (string, int64) {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	p := segs[len(segs)-1].path
+	info, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, info.Size()
+}
+
+func TestRecoveryTruncatesMidFrame(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, 50, fastOpts())
+	p, size := tailSegment(t, dir)
+	// Chop the last 5 bytes: the final frame is torn.
+	if err := os.Truncate(p, size-5); err != nil {
+		t.Fatal(err)
+	}
+	l := mustOpen(t, dir, fastOpts())
+	defer l.Close()
+	if !l.Truncated() {
+		t.Fatal("torn tail not reported")
+	}
+	if l.Recovered().Seq != 49 {
+		t.Fatalf("recovered seq %d, want 49", l.Recovered().Seq)
+	}
+	got := readAll(t, l)
+	if len(got) != 49 {
+		t.Fatalf("read %d records", len(got))
+	}
+	// The log stays appendable and seqs continue from the recovered point.
+	pos, err := l.Append([]byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Seq != 50 {
+		t.Fatalf("post-recovery seq %d", pos.Seq)
+	}
+}
+
+func TestRecoveryStopsAtFlippedPayloadByte(t *testing.T) {
+	for _, target := range []string{"payload", "crc"} {
+		t.Run(target, func(t *testing.T) {
+			dir := t.TempDir()
+			writeLog(t, dir, 50, fastOpts())
+			p, size := tailSegment(t, dir)
+			f, err := os.OpenFile(p, os.O_RDWR, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The last record's frame is 8+13 bytes; flip a byte in its
+			// payload or in its CRC field.
+			off := size - 4
+			if target == "crc" {
+				off = size - 13 - 3 // inside the CRC word
+			}
+			buf := make([]byte, 1)
+			if _, err := f.ReadAt(buf, off); err != nil {
+				t.Fatal(err)
+			}
+			buf[0] ^= 0x41
+			if _, err := f.WriteAt(buf, off); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			l := mustOpen(t, dir, fastOpts())
+			defer l.Close()
+			if !l.Truncated() {
+				t.Fatal("corruption not reported")
+			}
+			if l.Recovered().Seq != 49 {
+				t.Fatalf("recovered seq %d, want 49", l.Recovered().Seq)
+			}
+			got := readAll(t, l)
+			if len(got) != 49 {
+				t.Fatalf("read %d records", len(got))
+			}
+			for i, g := range got {
+				if want := fmt.Sprintf("payload-%05d", i); string(g) != want {
+					t.Fatalf("record %d corrupted to %q", i, g)
+				}
+			}
+		})
+	}
+}
+
+func TestRecoveryRejectsDuplicatedTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts()
+	opts.SegmentBytes = 256
+	writeLog(t, dir, 60, opts)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatal("need multiple segments")
+	}
+	// Duplicate the tail segment under the next index: its header (embedded
+	// index, first seq) contradicts the filename, so recovery must stop at
+	// the end of the true tail and discard the impostor.
+	tail := segs[len(segs)-1]
+	data, err := os.ReadFile(tail.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := filepath.Join(dir, segName(tail.index+1))
+	if err := os.WriteFile(dup, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l := mustOpen(t, dir, opts)
+	defer l.Close()
+	if !l.Truncated() {
+		t.Fatal("duplicate segment not reported")
+	}
+	if l.Recovered().Seq != 60 {
+		t.Fatalf("recovered seq %d, want 60", l.Recovered().Seq)
+	}
+	if got := readAll(t, l); len(got) != 60 {
+		t.Fatalf("read %d records", len(got))
+	}
+	if _, err := os.Stat(dup); !os.IsNotExist(err) {
+		t.Fatal("impostor segment not removed")
+	}
+}
+
+// TestRecoveryFuzzTornTails truncates the log at every byte boundary class
+// and at random offsets: recovery must never panic, must keep a strict
+// prefix of the written records intact, and must leave the log appendable.
+func TestRecoveryFuzzTornTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		dir := t.TempDir()
+		opts := fastOpts()
+		opts.SegmentBytes = 512
+		writeLog(t, dir, 80, opts)
+		p, size := tailSegment(t, dir)
+		cut := int64(rng.Intn(int(size)))
+		if err := os.Truncate(p, cut); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("trial %d (cut %d): %v", trial, cut, err)
+		}
+		got := readAll(t, l)
+		if uint64(len(got)) != l.Recovered().Seq {
+			t.Fatalf("trial %d: read %d records but recovered seq %d", trial, len(got), l.Recovered().Seq)
+		}
+		for i, g := range got {
+			if want := fmt.Sprintf("payload-%05d", i); string(g) != want {
+				t.Fatalf("trial %d: record %d corrupted to %q", trial, i, g)
+			}
+		}
+		if _, err := l.Append([]byte("post")); err != nil {
+			t.Fatalf("trial %d: append after recovery: %v", trial, err)
+		}
+		l.Close()
+	}
+}
+
+// TestRecoveryFuzzBitFlips flips one random byte anywhere in the log:
+// recovery must stop at or before the damage, never serve a corrupted
+// payload, and never panic.
+func TestRecoveryFuzzBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		dir := t.TempDir()
+		opts := fastOpts()
+		opts.SegmentBytes = 512
+		writeLog(t, dir, 80, opts)
+		segs, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := segs[rng.Intn(len(segs))]
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := rng.Intn(len(data))
+		data[off] ^= byte(1 + rng.Intn(255))
+		if err := os.WriteFile(s.path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := readAll(t, l)
+		if uint64(len(got)) != l.Recovered().Seq {
+			t.Fatalf("trial %d: read %d vs recovered %d", trial, len(got), l.Recovered().Seq)
+		}
+		for i, g := range got {
+			if want := fmt.Sprintf("payload-%05d", i); string(g) != want {
+				t.Fatalf("trial %d: corrupted record %d served: %q", trial, i, g)
+			}
+		}
+		l.Close()
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, fastOpts())
+	defer l.Close()
+	const goroutines, per = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				pos, err := l.Append([]byte(fmt.Sprintf("g%d-%03d", g, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if l.DurableSeq() < pos.Seq {
+					errs <- fmt.Errorf("append returned before seq %d durable", pos.Seq)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := readAll(t, l); len(got) != goroutines*per {
+		t.Fatalf("read %d records, want %d", len(got), goroutines*per)
+	}
+}
+
+func TestWaitAppendLongPoll(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, fastOpts())
+	defer l.Close()
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Timeout path: nothing beyond seq 1 yet.
+	start := time.Now()
+	if d := l.WaitAppend(1, 20*time.Millisecond); d != 1 {
+		t.Fatalf("WaitAppend returned %d", d)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("WaitAppend returned before the timeout with no data")
+	}
+	// Wake path: a concurrent append releases the waiter.
+	done := make(chan uint64, 1)
+	go func() { done <- l.WaitAppend(1, 5*time.Second) }()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := l.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-done:
+		if d < 2 {
+			t.Fatalf("woke at durable %d", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitAppend never woke")
+	}
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	recs := []Record{
+		{Type: RecEvent, User: 3, Object: 1021, Label: 4.5, TS: 1722300000123},
+		{Type: RecEvent, User: 0, Object: 0, Label: 1},
+		{Type: RecStep, Through: 917},
+		{Type: RecDrop, From: 3, Through: 12},
+		{Type: RecPublish, Gen: 42},
+	}
+	dir := t.TempDir()
+	l := mustOpen(t, dir, fastOpts())
+	defer l.Close()
+	for _, r := range recs {
+		if _, err := l.AppendRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := l.ReaderAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	for i, want := range recs {
+		got, err := rd.NextRecord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Seq = uint64(i + 1)
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := rd.NextRecord(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestDecodeRecordRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                     // unknown type
+		{byte(RecEvent)},         // truncated body
+		{byte(RecStep)},          // missing varint
+		{byte(RecPublish), 0x80}, // unterminated varint
+		append(EncodeRecord(Record{Type: RecStep, Through: 5}), 0xFF), // trailing junk
+	}
+	for i, c := range cases {
+		if _, err := DecodeRecord(1, c); err == nil {
+			t.Fatalf("case %d: garbage %v accepted", i, c)
+		}
+	}
+}
+
+func TestReaderTailsLiveLog(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts()
+	opts.SegmentBytes = 256
+	l := mustOpen(t, dir, opts)
+	defer l.Close()
+	rd, err := l.ReaderAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if _, _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("empty log: %v", err)
+	}
+	total := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 30; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("r%d-%02d", round, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total += 30
+		n := 0
+		for {
+			_, pos, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			if pos.Seq > uint64(total) {
+				t.Fatalf("read seq %d beyond appended %d", pos.Seq, total)
+			}
+		}
+		if got := total - (total - n) - n; got != 0 {
+			t.Fatal("unreachable")
+		}
+	}
+	// After all rounds the reader has consumed everything.
+	if _, _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestSyncEachAndNonePolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncEach, SyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := fastOpts()
+			opts.Policy = policy
+			l := mustOpen(t, dir, opts)
+			for i := 0; i < 20; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("p%02d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if policy == SyncEach && l.DurableSeq() != 20 {
+				t.Fatalf("SyncEach durable %d", l.DurableSeq())
+			}
+			if err := l.Sync(); err != nil { // explicit fsync works under any policy
+				t.Fatal(err)
+			}
+			if got := readAll(t, l); len(got) != 20 {
+				t.Fatalf("read %d", len(got))
+			}
+			l.Close()
+		})
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncGroup, SyncEach, SyncNone} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("always"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestOpenRejectsSecondWriter pins the single-owner lock: a second Open of
+// a live log directory must fail fast instead of interleaving frames, and
+// the lock must evaporate with Close.
+func TestOpenRejectsSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	l1 := mustOpen(t, dir, fastOpts())
+	if _, err := Open(dir, fastOpts()); err == nil {
+		t.Fatal("second writer accepted on a locked directory")
+	}
+	if _, err := l1.Append([]byte("still-mine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, fastOpts())
+	if l2.Recovered().Seq != 1 {
+		t.Fatalf("recovered seq %d", l2.Recovered().Seq)
+	}
+	l2.Close()
+}
+
+// TestSyncNoneAppendNeverWaits pins the policy contract the online ingest
+// path relies on: under SyncNone an append returns at memory speed, never
+// parked on the OS-flush timer.
+func TestSyncNoneAppendNeverWaits(t *testing.T) {
+	opts := Options{Policy: SyncNone, FlushInterval: 200 * time.Millisecond}
+	l := mustOpen(t, t.TempDir(), opts)
+	defer l.Close()
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if _, err := l.Append([]byte("fast")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("100 SyncNone appends took %v — a flush-timer wait leaked into the append path", el)
+	}
+}

