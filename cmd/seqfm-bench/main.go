@@ -39,6 +39,14 @@
 // under each fsync policy (per-event fsync vs group commit vs none — the
 // group-commit economics), recovery-replay throughput with and without a
 // covering snapshot, and follower catch-up speed — writing BENCH_wal.json.
+//
+// -mode traffic drives the assembled serving stack (experiment tier with a
+// seqfm arm and an FM baseline arm, online learner, bounded admission) with
+// the open-loop load generator (internal/traffic): per-endpoint latency
+// percentiles at fixed offered rates, the maximum sustainable rate under
+// the shed/p99 SLO via a geometric-ramp + bisection search, and a 2×
+// overload run verifying explicit 429/503 shedding with a bounded admitted
+// p99 — writing BENCH_traffic.json.
 package main
 
 import (
@@ -58,7 +66,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index | wal (engine benchmarks)")
+		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index | wal | traffic (engine benchmarks)")
 		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|figure3|figure4|all")
 		scale   = flag.String("scale", "small", "scale: tiny|small|medium|full")
 		seed    = flag.Int64("seed", 7, "master random seed")
@@ -68,7 +76,7 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
-	case "train", "serve", "index", "wal":
+	case "train", "serve", "index", "wal", "traffic":
 		// The engine benchmarks measure fixed workloads (see
 		// train.BenchWorkload and serve.BenchWorkload) so successive
 		// BENCH_*.json files stay diffable; tell the user if they tried to
@@ -100,6 +108,11 @@ func main() {
 			bench = runWALBench
 			if !outSet {
 				outPath = "BENCH_wal.json"
+			}
+		case "traffic":
+			bench = runTrafficBench
+			if !outSet {
+				outPath = "BENCH_traffic.json"
 			}
 		}
 		if err := bench(outPath); err != nil {

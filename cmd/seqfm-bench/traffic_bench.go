@@ -1,0 +1,302 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"seqfm/internal/core"
+	"seqfm/internal/experiments"
+	"seqfm/internal/httpapi"
+	"seqfm/internal/online"
+	"seqfm/internal/serve"
+	"seqfm/internal/traffic"
+)
+
+// Traffic-bench knobs. The workload plan is a pure function of these and
+// trafficSeed, so successive BENCH_traffic.json files offer byte-identical
+// request streams; only the measured latencies move.
+const (
+	trafficSeed     = 7
+	trafficRunDur   = 2 * time.Second
+	trafficProbeDur = 1500 * time.Millisecond
+	trafficBaseRate = 50.0 // uncontended reference rate
+)
+
+// trafficFixedRates are the committed fixed-rate points (req/s).
+var trafficFixedRates = []float64{250, 1000, 4000}
+
+// trafficSLO defines "sustainable" for the saturation search: at most 1%
+// shed and a 50ms admitted read p99.
+var trafficSLO = traffic.SLO{MaxShedRate: 0.01, MaxP99: 50 * time.Millisecond}
+
+// trafficKindJSON is one endpoint class's outcome in a run.
+type trafficKindJSON struct {
+	Sent    int64   `json:"sent"`
+	OK      int64   `json:"ok"`
+	Shed    int64   `json:"shed"`
+	Errors  int64   `json:"errors"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	OKP99Ms float64 `json:"ok_p99_ms"`
+}
+
+// trafficRunJSON is one measured run.
+type trafficRunJSON struct {
+	OfferedRPS  float64                    `json:"offered_rps"`
+	AchievedRPS float64                    `json:"achieved_rps"`
+	ElapsedSec  float64                    `json:"elapsed_sec"`
+	MaxLagMs    float64                    `json:"max_lag_ms"`
+	ShedRate    float64                    `json:"shed_rate"`
+	ErrorRate   float64                    `json:"error_rate"`
+	ReadP99Ms   float64                    `json:"read_p99_ms"`
+	PerEndpoint map[string]trafficKindJSON `json:"per_endpoint"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func trafficRunJSONOf(rep *traffic.Report) trafficRunJSON {
+	out := trafficRunJSON{
+		OfferedRPS:  rep.Offered,
+		AchievedRPS: rep.Achieved,
+		ElapsedSec:  rep.Elapsed.Seconds(),
+		MaxLagMs:    ms(rep.MaxLag),
+		ShedRate:    rep.ShedRate(),
+		ErrorRate:   rep.ErrorRate(),
+		ReadP99Ms:   ms(rep.P99()),
+		PerEndpoint: make(map[string]trafficKindJSON, len(rep.PerKind)),
+	}
+	for name, ks := range rep.PerKind {
+		out.PerEndpoint[name] = trafficKindJSON{
+			Sent: ks.Sent, OK: ks.OK, Shed: ks.Shed, Errors: ks.Errors,
+			P50Ms: ms(ks.Latency.P50), P95Ms: ms(ks.Latency.P95),
+			P99Ms: ms(ks.Latency.P99), MaxMs: ms(ks.Latency.Max),
+			OKP99Ms: ms(ks.OKLatency.P99),
+		}
+	}
+	return out
+}
+
+// trafficBenchReport is the BENCH_traffic.json schema.
+type trafficBenchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Dataset     string `json:"dataset"`
+	Stack       string `json:"stack"`
+	Generator   string `json:"generator"`
+	SLO         string `json:"slo"`
+
+	Uncontended trafficRunJSON   `json:"uncontended"`
+	FixedRates  []trafficRunJSON `json:"fixed_rates"`
+
+	Saturation struct {
+		SustainableRPS float64          `json:"sustainable_rps"`
+		Probes         []trafficRunJSON `json:"probes"`
+	} `json:"saturation"`
+
+	Overload struct {
+		trafficRunJSON
+		UncontendedP99Ms float64 `json:"uncontended_p99_ms"`
+		AdmittedP99Ms    float64 `json:"admitted_p99_ms"`
+		P99Ratio         float64 `json:"p99_ratio"`
+	} `json:"overload"`
+
+	Checks struct {
+		// ShedsExplicitly: at 2× the sustainable rate the server answered
+		// overload with 429/503, not errors or a hang.
+		ShedsExplicitly bool `json:"sheds_explicitly"`
+		// NoServerErrors: no run produced a non-shed failure.
+		NoServerErrors bool `json:"no_server_errors"`
+		// AdmittedP99Bounded: admitted read p99 under 2× overload stayed
+		// within 5× the uncontended p99 — admission protects the admitted.
+		AdmittedP99Bounded bool `json:"admitted_p99_bounded"`
+	} `json:"checks"`
+}
+
+// runTrafficBench assembles the full serving stack in-process — tiny-scale
+// Gowalla stand-in, a seqfm arm and an FM baseline arm behind the sticky
+// experiment tier, an online learner on the feedback path, bounded
+// admission on every endpoint — and drives it with the open-loop traffic
+// generator: an uncontended reference run, the committed fixed offered
+// rates, a saturation search under the SLO, and a 2×-saturation overload
+// run that must shed explicitly while keeping the admitted p99 bounded.
+func runTrafficBench(outPath string) error {
+	p := experiments.ParamsFor(experiments.ScaleTiny)
+
+	ds, _, err := p.RankingDatasets()
+	if err != nil {
+		return err
+	}
+	m, err := core.New(core.Config{
+		Space: ds.Space(), Dim: p.Dim, Layers: p.Layers,
+		MaxSeqLen: p.SeqLen, KeepProb: 1, Seed: p.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	eng := serve.NewEngine(m.Clone(), serve.Config{})
+	defer eng.Close()
+
+	bm, err := p.BaselineModel(ds.Space(), "FM")
+	if err != nil {
+		return err
+	}
+	baseEng := serve.NewEngine(bm, serve.Config{})
+	defer baseEng.Close()
+	exp, err := serve.NewExperiments(
+		[]serve.ExperimentArm{
+			{Name: "seqfm", Engine: eng, Weight: 1},
+			{Name: "fm", Engine: baseEng, Weight: 1},
+		},
+		serve.ExperimentsConfig{NumObjects: ds.NumObjects},
+	)
+	if err != nil {
+		return err
+	}
+
+	learner, err := online.NewLearner(m, ds, eng, online.Config{
+		MaxPending: 1 << 14,
+		Interval:   25 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer learner.Close()
+
+	cores := runtime.GOMAXPROCS(0)
+	srv, err := httpapi.New(httpapi.Config{
+		Engine: eng, Dataset: ds, Model: m,
+		Learner:     learner,
+		Experiments: exp,
+		ReadAdmission: &serve.AdmissionConfig{
+			MaxConcurrent: 2 * cores, MaxQueue: 4 * cores, MaxWait: 25 * time.Millisecond,
+		},
+		FeedbackAdmission: &serve.AdmissionConfig{
+			MaxConcurrent: cores, MaxQueue: 4 * cores, MaxWait: 25 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	h := srv.Routes()
+
+	gen := traffic.Config{
+		Seed:     trafficSeed,
+		Duration: trafficRunDur,
+		Users:    ds.NumUsers,
+		Objects:  ds.NumObjects,
+		Diurnal:  0.3,
+	}
+
+	report := trafficBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  cores,
+		Dataset:     fmt.Sprintf("%s users=%d objects=%d", ds.Name, ds.NumUsers, ds.NumObjects),
+		Stack: fmt.Sprintf(
+			"arms=[seqfm d=%d, fm] sticky-hash experiment tier; online learner (interval=25ms); admission read=%d/%d feedback=%d/%d wait=25ms",
+			p.Dim, 2*cores, 4*cores, cores, 4*cores),
+		Generator: fmt.Sprintf(
+			"open-loop seed=%d zipf_s=1.2 diurnal=0.3 mix=score:4/topk:2/recommend:2/feedback:2 run=%s",
+			trafficSeed, trafficRunDur),
+		SLO: fmt.Sprintf("shed<=%.0f%% and admitted read p99<=%s",
+			trafficSLO.MaxShedRate*100, trafficSLO.MaxP99),
+	}
+	noErrors := true
+	observe := func(rep *traffic.Report) trafficRunJSON {
+		if rep.ErrorRate() > 0 {
+			noErrors = false
+		}
+		return trafficRunJSONOf(rep)
+	}
+
+	// Phase 1: uncontended reference — the latency floor the overload run
+	// is judged against.
+	fmt.Printf("traffic: uncontended reference at %.0f req/s\n", trafficBaseRate)
+	uncontended, err := traffic.RunAt(h, gen, trafficBaseRate)
+	if err != nil {
+		return err
+	}
+	report.Uncontended = observe(uncontended)
+	fmt.Printf("  read p99 %.2fms, shed %.2f%%\n",
+		ms(uncontended.P99()), 100*uncontended.ShedRate())
+
+	// Phase 2: the committed fixed offered rates.
+	for _, rate := range trafficFixedRates {
+		fmt.Printf("traffic: fixed rate %.0f req/s\n", rate)
+		rep, err := traffic.RunAt(h, gen, rate)
+		if err != nil {
+			return err
+		}
+		report.FixedRates = append(report.FixedRates, observe(rep))
+		fmt.Printf("  achieved %.0f req/s, read p99 %.2fms, shed %.2f%%\n",
+			rep.Achieved, ms(rep.P99()), 100*rep.ShedRate())
+	}
+
+	// Phase 3: saturation search — geometric ramp then bisection.
+	probeCfg := gen
+	probeCfg.Duration = trafficProbeDur
+	probeCfg.Rate = 2 * trafficBaseRate
+	fmt.Println("traffic: saturation search")
+	sustainable, probes, err := traffic.Saturation(h, probeCfg, trafficSLO, 10)
+	if err != nil {
+		return err
+	}
+	report.Saturation.SustainableRPS = sustainable
+	for _, rep := range probes {
+		report.Saturation.Probes = append(report.Saturation.Probes, observe(rep))
+		fmt.Printf("  probe %.0f req/s: shed %.2f%%, read p99 %.2fms\n",
+			rep.Offered, 100*rep.ShedRate(), ms(rep.P99()))
+	}
+	fmt.Printf("  sustainable: %.0f req/s\n", sustainable)
+	if sustainable <= 0 {
+		return fmt.Errorf("traffic bench: no sustainable rate found (SLO broken even at %.0f req/s)", probeCfg.Rate)
+	}
+
+	// Phase 4: 2× overload — the server must shed explicitly (429/503),
+	// never error, and keep the admitted read p99 within 5× uncontended.
+	overRate := 2 * sustainable
+	fmt.Printf("traffic: overload at %.0f req/s (2x sustainable)\n", overRate)
+	over, err := traffic.RunAt(h, gen, overRate)
+	if err != nil {
+		return err
+	}
+	report.Overload.trafficRunJSON = observe(over)
+	report.Overload.UncontendedP99Ms = ms(uncontended.P99())
+	report.Overload.AdmittedP99Ms = ms(over.P99())
+	if u := ms(uncontended.P99()); u > 0 {
+		report.Overload.P99Ratio = ms(over.P99()) / u
+	}
+	_, _, overShed, _ := over.Totals()
+	report.Checks.ShedsExplicitly = overShed > 0
+	report.Checks.NoServerErrors = noErrors
+	report.Checks.AdmittedP99Bounded = report.Overload.P99Ratio <= 5
+	fmt.Printf("  shed %.2f%% (%d), admitted read p99 %.2fms (%.1fx uncontended)\n",
+		100*over.ShedRate(), overShed, ms(over.P99()), report.Overload.P99Ratio)
+
+	for name, okCheck := range map[string]bool{
+		"sheds_explicitly":     report.Checks.ShedsExplicitly,
+		"no_server_errors":     report.Checks.NoServerErrors,
+		"admitted_p99_bounded": report.Checks.AdmittedP99Bounded,
+	} {
+		if !okCheck {
+			fmt.Fprintf(os.Stderr, "traffic bench: CHECK FAILED: %s\n", name)
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if !report.Checks.ShedsExplicitly || !report.Checks.NoServerErrors || !report.Checks.AdmittedP99Bounded {
+		return fmt.Errorf("traffic bench: acceptance checks failed (see %s)", outPath)
+	}
+	return nil
+}

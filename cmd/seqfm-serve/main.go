@@ -5,22 +5,23 @@
 // the serving path with zero downtime.
 //
 // On startup it materialises a stand-in dataset, then either loads a
-// checkpoint or trains in-process, and serves:
+// checkpoint or trains in-process, and serves (handlers in internal/httpapi):
 //
-//	GET  /healthz      — liveness plus engine statistics
-//	POST /v1/score     — {"instances":[{"user":u,"target":o,"hist":[...]}]}
-//	                     → {"scores":[...]}
-//	POST /v1/topk      — {"user":u,"hist":[...],"candidates":[...],"k":10}
-//	                     → {"items":[{"object":o,"score":s}, ...]}
-//	POST /v1/recommend — {"user":u,"hist":[...],"k":10,"n":500}
-//	                     → {"items":[...],"generation":g,"retrieved":n}
-//	                     (requires -index: full-catalog ANN retrieval +
-//	                     exact re-rank; already-seen objects are excluded
-//	                     unless "include_seen":true)
-//	POST /v1/feedback  — {"user":u,"object":o,"label":1} or {"events":[...]}
-//	                     → {"accepted":n,"pending":p}   (requires -online)
-//	GET  /v1/model     — serving generation, config, online-trainer and
-//	                     retrieval-index counters
+//	GET  /healthz         — liveness plus engine statistics
+//	POST /v1/score        — {"instances":[{"user":u,"target":o,"hist":[...]}]}
+//	                        → {"scores":[...]}
+//	POST /v1/topk         — {"user":u,"hist":[...],"candidates":[...],"k":10}
+//	                        → {"items":[{"object":o,"score":s}, ...]}
+//	POST /v1/recommend    — {"user":u,"hist":[...],"k":10,"n":500}
+//	                        → {"items":[...],"generation":g,"retrieved":n}
+//	                        (requires -index: full-catalog ANN retrieval +
+//	                        exact re-rank; already-seen objects are excluded
+//	                        unless "include_seen":true)
+//	POST /v1/feedback     — {"user":u,"object":o,"label":1} or {"events":[...]}
+//	                        → {"accepted":n,"pending":p}   (requires -online)
+//	GET  /v1/model        — serving generation, config, online-trainer and
+//	                        retrieval-index counters
+//	GET  /v1/experiments  — per-arm online metrics (requires -experiment)
 //
 // In /v1/topk and /v1/recommend, "hist" defaults to the user's live history
 // (dataset log plus every ingested event); /v1/topk's "candidates" defaults
@@ -30,6 +31,19 @@
 // With -index, the catalog index is warm-built at boot (before the listener
 // opens) and rebuilt inside every hot swap, so /v1/recommend never serves
 // one generation's embeddings against another's weights.
+//
+// Experimentation: -experiment <baseline> registers a second model from the
+// baseline zoo (FM, SASRec, DIN, ...) alongside SeqFM in the same process.
+// Requests route to an arm by a sticky hash of the user id; each arm
+// accumulates its own latency percentiles, online HR@K (sampled probes
+// against the live stream) and swap lag, reported at /v1/experiments.
+//
+// Admission control: -max-concurrent bounds in-flight requests per endpoint
+// class (reads and feedback separately), with a bounded wait queue
+// (-admit-queue, -admit-wait). Overload is explicit: a full queue sheds with
+// 429, a wait timeout with 503, both carrying Retry-After. Independently,
+// /v1/feedback surfaces a full training backlog as 503 + Retry-After rather
+// than silently evicting untrained events.
 //
 // Checkpoints: -save writes the self-describing ckpt v2 format (config +
 // weights), which -checkpoint loads with no matching flags needed. Legacy v1
@@ -66,12 +80,12 @@
 //	seqfm-serve -dataset gowalla -online -snapshot live.ckpt -snapshot-every 30s
 //	seqfm-serve -dataset gowalla -online -wal ./wal -snapshot live.ckpt
 //	seqfm-serve -dataset gowalla -follow http://primary:8080 -addr :8081
+//	seqfm-serve -dataset gowalla -online -experiment FM -max-concurrent 64
 package main
 
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -86,7 +100,7 @@ import (
 	"seqfm/internal/core"
 	"seqfm/internal/data"
 	"seqfm/internal/experiments"
-	"seqfm/internal/feature"
+	"seqfm/internal/httpapi"
 	"seqfm/internal/index"
 	"seqfm/internal/online"
 	"seqfm/internal/serve"
@@ -134,6 +148,15 @@ func main() {
 		follow     = flag.String("follow", "", "follower mode: primary base URL to bootstrap from and tail (read replica)")
 		followWait = flag.Duration("follow-wait", 0, "follower long-poll window per log fetch (0 = default 2s)")
 
+		experiment  = flag.String("experiment", "", "register a baseline zoo member (FM, NFM, AFM, Wide&Deep, DeepCross, SASRec, TFM, DIN, xDeepFM, RRN, HOFM) as a second experiment arm")
+		expWeight   = flag.Int("experiment-weight", 1, "baseline arm's traffic weight (seqfm arm has weight 1)")
+		expSalt     = flag.Uint64("experiment-salt", 0, "sticky user→arm hash salt (change it to re-randomise the assignment)")
+		expHRSample = flag.Int("experiment-hr-sample", 0, "probe online HR@K on every Nth feedback event per arm (0 = default, <0 = off)")
+
+		maxConc    = flag.Int("max-concurrent", 0, "admission control: in-flight request bound per endpoint class (0 = off)")
+		admitQueue = flag.Int("admit-queue", 0, "admission wait-queue depth beyond -max-concurrent (0 = default, <0 = no queue)")
+		admitWait  = flag.Duration("admit-wait", 0, "longest a request may wait for admission before a 503 (0 = default)")
+
 		drainBudget = flag.Duration("shutdown-timeout", 15*time.Second, "graceful HTTP drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -161,13 +184,15 @@ func main() {
 	requireFlag("-index", *indexOn, "index-backend", "index-m", "index-ef-construction", "index-ef-search", "index-build-workers")
 	requireFlag("-wal", *walDir != "", "wal-sync", "wal-flush-interval", "wal-flush-bytes", "wal-segment-bytes")
 	requireFlag("-follow", *follow != "", "follow-wait")
+	requireFlag("-experiment", *experiment != "", "experiment-weight", "experiment-salt", "experiment-hr-sample")
+	requireFlag("-max-concurrent", *maxConc > 0, "admit-queue", "admit-wait")
 	if *follow != "" {
 		// A follower is a read replica driven entirely by its primary's log:
 		// local training, durability and checkpointing flags contradict it.
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "online", "online-interval", "online-batch", "online-lr", "snapshot", "snapshot-every", "wal", "checkpoint", "save", "epochs":
+			case "online", "online-interval", "online-batch", "online-lr", "snapshot", "snapshot-every", "wal", "checkpoint", "save", "epochs", "experiment":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
@@ -194,7 +219,11 @@ func main() {
 		onlineLR: *onlineLR, snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvry,
 		walDir: *walDir, walSync: *walSync, walFlushInterval: *walFlushInt,
 		walFlushBytes: *walFlushB, walSegmentBytes: *walSegBytes,
-		follow: *follow, followWait: *followWait, drainBudget: *drainBudget,
+		follow: *follow, followWait: *followWait,
+		experiment: *experiment, experimentWeight: *expWeight,
+		experimentSalt: *expSalt, experimentHRSample: *expHRSample,
+		maxConcurrent: *maxConc, admitQueue: *admitQueue, admitWait: *admitWait,
+		drainBudget: *drainBudget,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "seqfm-serve:", err)
@@ -232,7 +261,65 @@ type serveOpts struct {
 	follow     string
 	followWait time.Duration
 
+	experiment         string
+	experimentWeight   int
+	experimentSalt     uint64
+	experimentHRSample int
+
+	maxConcurrent int
+	admitQueue    int
+	admitWait     time.Duration
+
 	drainBudget time.Duration
+}
+
+// admission translates the flags into the two endpoint-class configs, nil
+// when admission control is off.
+func (o serveOpts) admission() (read, feedback *serve.AdmissionConfig) {
+	if o.maxConcurrent <= 0 {
+		return nil, nil
+	}
+	cfg := serve.AdmissionConfig{
+		MaxConcurrent: o.maxConcurrent,
+		MaxQueue:      o.admitQueue,
+		MaxWait:       o.admitWait,
+	}
+	r, f := cfg, cfg
+	return &r, &f
+}
+
+// buildExperiments registers the baseline arm next to the primary engine.
+// The returned engine (the baseline's) must be closed by the caller.
+func buildExperiments(o serveOpts, p experiments.Params, ds *data.Dataset, eng *serve.Engine) (*serve.Experiments, *serve.Engine, error) {
+	bm, err := p.BaselineModel(ds.Space(), o.experiment)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The baseline arm gets a plain engine: no retrieval index (the tier's
+	// sampled fallback answers /v1/recommend) and no SeqFM fast-path caches,
+	// but the same worker pool shape for a fair latency comparison.
+	baseEng := serve.NewEngine(bm, serve.Config{Workers: o.engine.Workers})
+	var attrOf func(int) int
+	if ds.NumItemAttrs > 0 {
+		attrOf = func(obj int) int { return ds.ItemAttr[obj] }
+	}
+	exp, err := serve.NewExperiments(
+		[]serve.ExperimentArm{
+			{Name: "seqfm", Engine: eng, Weight: 1},
+			{Name: o.experiment, Engine: baseEng, Weight: o.experimentWeight},
+		},
+		serve.ExperimentsConfig{
+			Salt:          o.experimentSalt,
+			HRSampleEvery: o.experimentHRSample,
+			NumObjects:    ds.NumObjects,
+			AttrOf:        attrOf,
+		},
+	)
+	if err != nil {
+		baseEng.Close()
+		return nil, nil, err
+	}
+	return exp, baseEng, nil
 }
 
 func run(o serveOpts) error {
@@ -407,9 +494,34 @@ func run(o serveOpts) error {
 			lcfg.BatchSize, lcfg.Interval, learner.LR(), walLog != nil)
 	}
 
-	srv := newServer(eng, ds, model, learner)
-	srv.walLog = walLog
-	return serveUntilSignal(o, srv, func(ctx context.Context) {
+	var exp *serve.Experiments
+	if o.experiment != "" {
+		var baseEng *serve.Engine
+		exp, baseEng, err = buildExperiments(o, p, ds, eng)
+		if err != nil {
+			return err
+		}
+		defer baseEng.Close()
+		log.Printf("experiment: seqfm vs %s (weight 1:%d, salt %d) at /v1/experiments",
+			o.experiment, o.experimentWeight, o.experimentSalt)
+	}
+
+	readAdm, feedbackAdm := o.admission()
+	if readAdm != nil {
+		log.Printf("admission control: max-concurrent=%d queue=%d wait=%s per endpoint class",
+			o.maxConcurrent, o.admitQueue, o.admitWait)
+	}
+	srv, err := httpapi.New(httpapi.Config{
+		Engine: eng, Dataset: ds, Model: model,
+		Learner: learner, WAL: walLog,
+		Experiments:       exp,
+		ReadAdmission:     readAdm,
+		FeedbackAdmission: feedbackAdm,
+	})
+	if err != nil {
+		return err
+	}
+	return serveUntilSignal(o, srv, ds, func(ctx context.Context) {
 		if learner == nil {
 			return
 		}
@@ -501,10 +613,17 @@ func runFollower(o serveOpts) error {
 		applied, float64(time.Since(start).Microseconds())/1000, eng.Generation())
 	rep.Start()
 
-	srv := newServer(eng, ds, model, learner)
-	srv.replica = rep
-	srv.primary = o.follow
-	return serveUntilSignal(o, srv, nil, func() {
+	readAdm, feedbackAdm := o.admission()
+	srv, err := httpapi.New(httpapi.Config{
+		Engine: eng, Dataset: ds, Model: model,
+		Learner: learner, Replica: rep, Primary: o.follow,
+		ReadAdmission:     readAdm,
+		FeedbackAdmission: feedbackAdm,
+	})
+	if err != nil {
+		return err
+	}
+	return serveUntilSignal(o, srv, ds, nil, func() {
 		rep.Close()
 	})
 }
@@ -512,20 +631,20 @@ func runFollower(o serveOpts) error {
 // serveUntilSignal runs the HTTP server until SIGINT/SIGTERM, then drains
 // in-flight requests (bounded by -shutdown-timeout) and runs the ordered
 // teardown. onServe, when non-nil, starts signal-scoped background loops.
-func serveUntilSignal(o serveOpts, srv *server, onServe func(ctx context.Context), teardown func()) error {
+func serveUntilSignal(o serveOpts, srv *httpapi.Server, ds *data.Dataset, onServe func(ctx context.Context), teardown func()) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if onServe != nil {
 		onServe(ctx)
 	}
-	httpSrv := &http.Server{Addr: o.addr, Handler: srv.routes()}
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Routes()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	role := "primary"
-	if srv.replica != nil {
-		role = "follower of " + srv.primary
+	if o.follow != "" {
+		role = "follower of " + o.follow
 	}
-	log.Printf("serving %s (%d users, %d objects) on %s [%s]", srv.ds.Name, srv.ds.NumUsers, srv.ds.NumObjects, o.addr, role)
+	log.Printf("serving %s (%d users, %d objects) on %s [%s]", ds.Name, ds.NumUsers, ds.NumObjects, o.addr, role)
 	select {
 	case err := <-errCh:
 		return err // listener failed before any signal
@@ -645,479 +764,4 @@ func buildDataset(p experiments.Params, name string) (*data.Dataset, error) {
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", name)
 	}
-}
-
-// server holds the request handlers' shared state.
-type server struct {
-	eng     *serve.Engine
-	ds      *data.Dataset
-	model   *core.Model
-	learner *online.Learner // nil unless -online or -follow
-	walLog  *wal.Log        // nil unless -wal
-	replica *online.Replica // nil unless -follow
-	primary string          // -follow base URL
-	start   time.Time
-}
-
-func newServer(eng *serve.Engine, ds *data.Dataset, model *core.Model, learner *online.Learner) *server {
-	return &server{eng: eng, ds: ds, model: model, learner: learner, start: time.Now()}
-}
-
-func (s *server) routes() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/model", s.handleModel)
-	mux.HandleFunc("POST /v1/score", s.handleScore)
-	mux.HandleFunc("POST /v1/topk", s.handleTopK)
-	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
-	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
-	mux.HandleFunc("GET /v1/replica/snapshot", s.handleReplicaSnapshot)
-	mux.HandleFunc("GET /v1/replica/log", s.handleReplicaLog)
-	return mux
-}
-
-// handleReplicaSnapshot and handleReplicaLog are the log-shipping endpoints
-// (primaries with a WAL only — a follower cannot be a replication source,
-// chained replication being a later feature).
-func (s *server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.learner == nil || s.learner.WAL() == nil || s.replica != nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("replication requires a WAL-backed primary (restart with -online -wal)"))
-		return
-	}
-	s.learner.ServeReplicaSnapshot(w, r)
-}
-
-func (s *server) handleReplicaLog(w http.ResponseWriter, r *http.Request) {
-	if s.learner == nil || s.learner.WAL() == nil || s.replica != nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("replication requires a WAL-backed primary (restart with -online -wal)"))
-		return
-	}
-	s.learner.ServeReplicaLog(w, r)
-}
-
-// decodeJSON strictly decodes one JSON value from the request body: unknown
-// fields and trailing garbage are errors, so malformed bodies surface as 400s
-// instead of being half-accepted.
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return err
-	}
-	if dec.More() {
-		return fmt.Errorf("trailing data after JSON body")
-	}
-	return nil
-}
-
-// jsonInstance is the wire form of feature.Instance. Attr fields are
-// pointers so "absent" is distinguishable from attribute 0; absent attrs
-// fall back to the dataset's side-information tables.
-type jsonInstance struct {
-	User       int   `json:"user"`
-	Target     int   `json:"target"`
-	Hist       []int `json:"hist"`
-	UserAttr   *int  `json:"user_attr,omitempty"`
-	TargetAttr *int  `json:"target_attr,omitempty"`
-}
-
-func (s *server) toInstance(j jsonInstance) (feature.Instance, error) {
-	if j.User < 0 || j.User >= s.ds.NumUsers {
-		return feature.Instance{}, fmt.Errorf("user %d outside [0,%d)", j.User, s.ds.NumUsers)
-	}
-	if j.Target < 0 || j.Target >= s.ds.NumObjects {
-		return feature.Instance{}, fmt.Errorf("target %d outside [0,%d)", j.Target, s.ds.NumObjects)
-	}
-	for _, h := range j.Hist {
-		if h < 0 || h >= s.ds.NumObjects {
-			return feature.Instance{}, fmt.Errorf("hist object %d outside [0,%d)", h, s.ds.NumObjects)
-		}
-	}
-	inst := feature.Instance{
-		User: j.User, Target: j.Target, Hist: j.Hist,
-		UserAttr: feature.Pad, TargetAttr: feature.Pad,
-	}
-	if s.ds.NumUserAttrs > 0 {
-		inst.UserAttr = s.ds.UserAttr[j.User]
-	}
-	if j.UserAttr != nil {
-		if *j.UserAttr < 0 || *j.UserAttr >= s.ds.NumUserAttrs {
-			return feature.Instance{}, fmt.Errorf("user_attr %d outside [0,%d)", *j.UserAttr, s.ds.NumUserAttrs)
-		}
-		inst.UserAttr = *j.UserAttr
-	}
-	if s.ds.NumItemAttrs > 0 {
-		inst.TargetAttr = s.ds.ItemAttr[j.Target]
-	}
-	if j.TargetAttr != nil {
-		if *j.TargetAttr < 0 || *j.TargetAttr >= s.ds.NumItemAttrs {
-			return feature.Instance{}, fmt.Errorf("target_attr %d outside [0,%d)", *j.TargetAttr, s.ds.NumItemAttrs)
-		}
-		inst.TargetAttr = *j.TargetAttr
-	}
-	return inst, nil
-}
-
-func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Instances []jsonInstance `json:"instances"`
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	insts := make([]feature.Instance, len(req.Instances))
-	for i, j := range req.Instances {
-		inst, err := s.toInstance(j)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("instance %d: %w", i, err))
-			return
-		}
-		insts[i] = inst
-	}
-	started := time.Now()
-	scores := s.eng.ScoreBatch(insts)
-	writeJSON(w, map[string]any{
-		"scores":     scores,
-		"elapsed_ms": float64(time.Since(started).Microseconds()) / 1000,
-	})
-}
-
-// liveHistory resolves a user's default history: the online store when the
-// learner runs (dataset log plus every ingested event), else the frozen log.
-func (s *server) liveHistory(user int) []int {
-	if s.learner != nil {
-		return s.learner.History(user)
-	}
-	var hist []int
-	for _, it := range s.ds.Users[user] {
-		hist = append(hist, it.Object)
-	}
-	return hist
-}
-
-// baseInstance validates a request's user context and builds the base
-// instance /v1/topk and /v1/recommend share: hist nil defaults to the live
-// history, user attributes are filled from the side-information tables.
-func (s *server) baseInstance(user int, hist []int) (feature.Instance, error) {
-	if user < 0 || user >= s.ds.NumUsers {
-		return feature.Instance{}, fmt.Errorf("user %d outside [0,%d)", user, s.ds.NumUsers)
-	}
-	if hist == nil {
-		hist = s.liveHistory(user)
-	}
-	for _, h := range hist {
-		if h < 0 || h >= s.ds.NumObjects {
-			return feature.Instance{}, fmt.Errorf("hist object %d outside [0,%d)", h, s.ds.NumObjects)
-		}
-	}
-	base := feature.Instance{User: user, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad}
-	if s.ds.NumUserAttrs > 0 {
-		base.UserAttr = s.ds.UserAttr[user]
-	}
-	return base, nil
-}
-
-// attrOf returns the candidate→TargetAttr mapping for ranking requests, or
-// nil when the dataset carries no item side information.
-func (s *server) attrOf() func(int) int {
-	if s.ds.NumItemAttrs == 0 {
-		return nil
-	}
-	return func(o int) int { return s.ds.ItemAttr[o] }
-}
-
-// jsonItem is the wire form of one ranked candidate.
-type jsonItem struct {
-	Object int     `json:"object"`
-	Score  float64 `json:"score"`
-}
-
-func toJSONItems(items []serve.Item) []jsonItem {
-	out := make([]jsonItem, len(items))
-	for i, it := range items {
-		out[i] = jsonItem{Object: it.Object, Score: it.Score}
-	}
-	return out
-}
-
-func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		User       int   `json:"user"`
-		Hist       []int `json:"hist"`
-		Candidates []int `json:"candidates"`
-		K          int   `json:"k"`
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	base, err := s.baseInstance(req.User, req.Hist)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	candidates := req.Candidates
-	if candidates == nil {
-		candidates = s.ds.Objects()
-	}
-	for _, c := range candidates {
-		if c < 0 || c >= s.ds.NumObjects {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("candidate %d outside [0,%d)", c, s.ds.NumObjects))
-			return
-		}
-	}
-	started := time.Now()
-	items, gen := s.eng.TopKOn(serve.TopKRequest{Base: base, Candidates: candidates, K: req.K, AttrOf: s.attrOf()})
-	writeJSON(w, map[string]any{
-		"items":      toJSONItems(items),
-		"generation": gen,
-		"elapsed_ms": float64(time.Since(started).Microseconds()) / 1000,
-	})
-}
-
-func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		User        int   `json:"user"`
-		Hist        []int `json:"hist"`
-		K           int   `json:"k"`
-		N           int   `json:"n"`
-		IncludeSeen bool  `json:"include_seen"`
-		Exclude     []int `json:"exclude"`
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	base, err := s.baseInstance(req.User, req.Hist)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	for _, o := range req.Exclude {
-		if o < 0 || o >= s.ds.NumObjects {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("exclude object %d outside [0,%d)", o, s.ds.NumObjects))
-			return
-		}
-	}
-	rreq := serve.RecommendRequest{
-		Base: base, K: req.K, N: req.N,
-		IncludeSeen: req.IncludeSeen, Exclude: req.Exclude,
-		AttrOf: s.attrOf(),
-	}
-	if s.learner != nil && !req.IncludeSeen {
-		// The online store bounds the live history (a dynamic-view bound,
-		// not an exclusion bound); long-history users have interactions
-		// older than it. The learner's seen index never forgets, so the
-		// exclusion contract stays identical with and without -online —
-		// consulted as a predicate, never materialised per request.
-		user := req.User
-		rreq.ExcludeFunc = func(o int) bool { return s.learner.Seen(user, o) }
-		rreq.ExcludeHint = s.learner.SeenCount(user)
-	}
-	res, err := s.eng.RecommendOn(rreq)
-	if err != nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("retrieval disabled: %w (restart with -index)", err))
-		return
-	}
-	writeJSON(w, map[string]any{
-		"items":            toJSONItems(res.Items),
-		"generation":       res.Generation,
-		"index_generation": res.IndexGeneration,
-		"retrieved":        res.Retrieved,
-		// The engine's own measurement, net of recall-canary overhead —
-		// consistent with /v1/model's avg_recommend_ms, so latency
-		// monitors don't alarm on sampled requests.
-		"elapsed_ms": float64(res.Elapsed.Microseconds()) / 1000,
-	})
-}
-
-// jsonEvent is the wire form of one feedback interaction.
-type jsonEvent struct {
-	User   int      `json:"user"`
-	Object int      `json:"object"`
-	Label  *float64 `json:"label,omitempty"` // default 1 (implicit feedback)
-}
-
-func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	if s.replica != nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("this is a read replica of %s; send feedback to the primary", s.primary))
-		return
-	}
-	if s.learner == nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("online learning disabled; restart with -online"))
-		return
-	}
-	var req struct {
-		User   *int        `json:"user,omitempty"`
-		Object *int        `json:"object,omitempty"`
-		Label  *float64    `json:"label,omitempty"`
-		Events []jsonEvent `json:"events,omitempty"`
-	}
-	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	events := req.Events
-	if req.User != nil || req.Object != nil {
-		if req.User == nil || req.Object == nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("single event needs both user and object"))
-			return
-		}
-		events = append(events, jsonEvent{User: *req.User, Object: *req.Object, Label: req.Label})
-	}
-	if len(events) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("no events in body"))
-		return
-	}
-	// Validate the whole batch before ingesting any of it: a mid-batch
-	// rejection must not leave earlier events half-applied (appended to
-	// histories and the training queue) behind a plain 400 — the client
-	// would retry and double-ingest them.
-	for i, ev := range events {
-		if ev.User < 0 || ev.User >= s.ds.NumUsers {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("event %d: user %d outside [0,%d)", i, ev.User, s.ds.NumUsers))
-			return
-		}
-		if ev.Object < 0 || ev.Object >= s.ds.NumObjects {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("event %d: object %d outside [0,%d)", i, ev.Object, s.ds.NumObjects))
-			return
-		}
-	}
-	// One IngestBatch call: with a WAL the whole batch shares its durability
-	// wait (one group-commit ack for N events) instead of paying one fsync
-	// cycle per event.
-	batch := make([]online.Event, len(events))
-	for i, ev := range events {
-		batch[i] = online.Event{User: ev.User, Object: ev.Object, Label: 1}
-		if ev.Label != nil {
-			batch[i].Label = *ev.Label
-		}
-	}
-	if err := s.learner.IngestBatch(batch); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	st := s.learner.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, map[string]any{"accepted": len(events), "pending": st.Pending})
-}
-
-func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	cfg := s.model.Config()
-	resp := map[string]any{
-		"generation": st.Generation,
-		"swaps":      st.Swaps,
-		"num_params": s.model.NumParams(),
-		"config": map[string]any{
-			"dim": cfg.Dim, "layers": cfg.Layers, "max_seq_len": cfg.MaxSeqLen,
-			"users": cfg.Space.NumUsers, "objects": cfg.Space.NumObjects,
-		},
-		"checkpoint_format": "seqfm-ckpt-v2",
-	}
-	if s.learner != nil {
-		ls := s.learner.Stats()
-		resp["online"] = map[string]any{
-			"ingested": ls.Ingested, "dropped": ls.Dropped, "pending": ls.Pending,
-			"steps": ls.Steps, "swaps": ls.Swaps, "last_loss": ls.LastLoss,
-			"history_users": ls.HistoryUsers,
-		}
-		if s.walLog != nil {
-			rec := s.walLog.Recovered()
-			resp["durability"] = map[string]any{
-				"log_seq":         ls.LogSeq,
-				"log_durable_seq": ls.LogDurableSeq,
-				"log_segments":    ls.LogSegments,
-				"applied_seq":     ls.AppliedSeq,
-				"snapshot_seq":    ls.SnapshotSeq,
-				"sync_policy":     s.walLog.Policy().String(),
-				"recovered_seq":   rec.Seq,
-				"recovered_torn":  s.walLog.Truncated(),
-			}
-		}
-	}
-	if s.replica != nil {
-		rs := s.replica.Stats()
-		resp["replica"] = map[string]any{
-			"primary":             s.primary,
-			"applied_seq":         rs.AppliedSeq,
-			"primary_durable_seq": rs.PrimaryDurableSeq,
-			"primary_generation":  rs.PrimaryGeneration,
-			"lag_records":         rs.LagRecords,
-			"lag_seconds":         rs.LagSeconds,
-			"caught_up":           rs.CaughtUp,
-			"polls":               rs.Polls,
-			"poll_errors":         rs.PollErrors,
-			"applied_records":     rs.Applied,
-			"failed":              rs.Failed,
-			"last_error":          rs.LastError,
-		}
-	}
-	if st.IndexSize > 0 {
-		idx := map[string]any{
-			"backend":        st.IndexBackend,
-			"size":           st.IndexSize,
-			"build_ms":       float64(st.IndexBuildNanos) / 1e6,
-			"recommends":     st.Recommends,
-			"retrieved":      st.Retrieved,
-			"recall_samples": st.RecallSamples,
-		}
-		if st.Recommends > 0 {
-			idx["avg_recommend_ms"] = float64(st.RecommendNanos) / float64(st.Recommends) / 1e6
-			idx["avg_retrieve_ms"] = float64(st.RetrieveNanos) / float64(st.Recommends) / 1e6
-		}
-		if st.RecallWanted > 0 {
-			idx["observed_recall"] = float64(st.RecallHits) / float64(st.RecallWanted)
-		}
-		resp["index"] = idx
-	}
-	writeJSON(w, resp)
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	role := "primary"
-	if s.replica != nil {
-		role = "follower"
-	}
-	writeJSON(w, map[string]any{
-		"status":   "ok",
-		"dataset":  s.ds.Name,
-		"task":     s.ds.Task.String(),
-		"users":    s.ds.NumUsers,
-		"objects":  s.ds.NumObjects,
-		"uptime_s": time.Since(s.start).Seconds(),
-		"online":   s.learner != nil,
-		"role":     role,
-		"durable":  s.walLog != nil,
-		"engine": map[string]any{
-			"generation":     st.Generation,
-			"swaps":          st.Swaps,
-			"instances":      st.Instances,
-			"flushes":        st.Flushes,
-			"static_hits":    st.StaticHits,
-			"static_misses":  st.StaticMisses,
-			"dyn_hits":       st.DynHits,
-			"dyn_misses":     st.DynMisses,
-			"static_entries": st.StaticEntries,
-			"dyn_entries":    st.DynEntries,
-		},
-	})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	if w.Header().Get("Content-Type") == "" {
-		w.Header().Set("Content-Type", "application/json")
-	}
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("write response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

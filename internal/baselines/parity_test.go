@@ -1,0 +1,126 @@
+// Package baselines_test holds the cross-cutting parity smoke test: every
+// model in the baseline zoo — the five FM-family models plus SASRec, TFM,
+// DIN, xDeepFM, RRN and HOFM — must build from the shared experiment
+// parameters, absorb a training epoch with a finite loss, and score
+// deterministically under a fixed seed. The per-model packages own the deep
+// checks (gradient correctness, loss decrease); this test pins the contract
+// the experimentation tier and the Table II–IV harness rely on: any zoo
+// member can be dropped into an arm or a table row without special-casing.
+package baselines_test
+
+import (
+	"math"
+	"testing"
+
+	"seqfm/internal/baselines/btest"
+	"seqfm/internal/data"
+	"seqfm/internal/experiments"
+	"seqfm/internal/train"
+)
+
+// zooNames is the closed list of baselines the paper compares against
+// (§V-B); the test fails if the zoo drifts without this list being updated,
+// so coverage can never silently shrink.
+var zooNames = []string{
+	"FM", "Wide&Deep", "DeepCross", "NFM", "AFM",
+	"SASRec", "TFM", "DIN", "xDeepFM", "RRN", "HOFM",
+}
+
+func tinySplit(t *testing.T) (*data.Dataset, *data.Split) {
+	t.Helper()
+	cfg := data.GowallaConfig(0.001, 23)
+	cfg.MinLen, cfg.MaxLen = 6, 12
+	d, err := data.GeneratePOI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, data.NewSplit(d)
+}
+
+func TestBaselineZooParity(t *testing.T) {
+	ds, split := tinySplit(t)
+	p := experiments.ParamsFor(experiments.ScaleTiny)
+	zoo := p.AllBaselines(ds.Space())
+
+	if len(zoo) != len(zooNames) {
+		t.Fatalf("zoo has %d models, want %d", len(zoo), len(zooNames))
+	}
+	byName := map[string]train.Model{}
+	for _, nm := range zoo {
+		byName[nm.Name] = nm.Model
+	}
+	for _, want := range zooNames {
+		if byName[want] == nil {
+			t.Fatalf("zoo is missing %s (has %v)", want, names(zoo))
+		}
+	}
+
+	// A second, independently constructed zoo from the same Params: the
+	// determinism reference.
+	twin := map[string]train.Model{}
+	for _, nm := range p.AllBaselines(ds.Space()) {
+		twin[nm.Name] = nm.Model
+	}
+
+	inst := btest.TestInstance(ds.Space())
+	for _, name := range zooNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := byName[name]
+			if len(m.Params()) == 0 {
+				t.Fatal("model has no parameters")
+			}
+			// Deterministic construction: a fresh build from the same seed
+			// scores bit-identically.
+			s1, s2 := btest.Score(m, inst), btest.Score(twin[name], inst)
+			if s1 != s2 {
+				t.Fatalf("same-seed builds disagree: %v vs %v", s1, s2)
+			}
+			if math.IsNaN(s1) || math.IsInf(s1, 0) {
+				t.Fatalf("non-finite score %v", s1)
+			}
+			// One training epoch must run and leave a finite loss — every
+			// zoo member is trainable through the shared ranking engine.
+			hist, err := train.Ranking(m, split, train.Config{
+				Epochs: 1, BatchSize: 32, LR: 3e-3, Negatives: 2, Seed: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss := hist.FinalLoss()
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				t.Fatalf("non-finite loss %v after one epoch", loss)
+			}
+			// And the trained model still scores finitely.
+			if s := btest.Score(m, inst); math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("non-finite post-train score %v", s)
+			}
+		})
+	}
+}
+
+// TestBaselineModelLookup pins the by-name lookup the -experiment flag uses.
+func TestBaselineModelLookup(t *testing.T) {
+	ds, _ := tinySplit(t)
+	p := experiments.ParamsFor(experiments.ScaleTiny)
+	for _, name := range []string{"FM", "fm", "sasrec", "Wide&Deep"} {
+		m, err := p.BaselineModel(ds.Space(), name)
+		if err != nil {
+			t.Fatalf("lookup %q: %v", name, err)
+		}
+		if m == nil {
+			t.Fatalf("lookup %q: nil model", name)
+		}
+	}
+	if _, err := p.BaselineModel(ds.Space(), "nonesuch"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func names(zoo []experiments.NamedModel) []string {
+	out := make([]string, len(zoo))
+	for i, nm := range zoo {
+		out[i] = nm.Name
+	}
+	return out
+}

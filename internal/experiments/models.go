@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"seqfm/internal/baselines/afm"
 	"seqfm/internal/baselines/deepcross"
@@ -103,6 +104,40 @@ func Ablations() []core.Ablation {
 		{NoResidual: true},    // Remove RC
 		{NoLayerNorm: true},   // Remove LN
 	}
+}
+
+// AllBaselines builds the full eleven-member baseline zoo (every non-SeqFM
+// model across Tables II–IV) for space. Serving-side experimentation and the
+// parity gate use it; offline tables use the task-specific lists above.
+func (p Params) AllBaselines(space feature.Space) []NamedModel {
+	ms := p.commonBaselines(space)
+	return append(ms,
+		NamedModel{"SASRec", sasrec.New(sasrec.Config{Space: space, Dim: p.Dim,
+			Blocks: 2, MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 16})},
+		NamedModel{"TFM", tfm.New(tfm.Config{Space: space, Dim: p.Dim, Seed: p.Seed + 17})},
+		NamedModel{"DIN", din.New(din.Config{Space: space, Dim: p.Dim,
+			ActHidden: p.Dim, Hidden: []int{2 * p.Dim, p.Dim},
+			MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 18})},
+		NamedModel{"xDeepFM", xdeepfm.New(xdeepfm.Config{Space: space, Dim: p.Dim,
+			CINMaps: 4, CINDepth: 2, Hidden: []int{2 * p.Dim, p.Dim},
+			MaxSeqLen: p.SeqLen, Dropout: 1 - p.KeepProb, Seed: p.Seed + 19})},
+		NamedModel{"RRN", rrn.New(rrn.Config{Space: space, Dim: p.Dim,
+			Hidden: p.Dim, MaxSeqLen: p.SeqLen, Seed: p.Seed + 20})},
+		NamedModel{"HOFM", hofm.New(hofm.Config{Space: space, Dim: p.Dim,
+			MaxSeqLen: p.SeqLen, Seed: p.Seed + 21})},
+	)
+}
+
+// BaselineModel builds one baseline by its table name (case-insensitive),
+// for running an experiment arm against SeqFM in one serving process.
+func (p Params) BaselineModel(space feature.Space, name string) (train.Model, error) {
+	all := p.AllBaselines(space)
+	for _, m := range all {
+		if strings.EqualFold(m.Name, name) {
+			return m.Model, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown baseline %q; the zoo is %s", name, modelNames(all))
 }
 
 // modelNames formats the zoo for log lines.

@@ -1,0 +1,103 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seqfm/internal/online"
+	"seqfm/internal/serve"
+)
+
+// The fuzz targets attack the JSON decoding surface of the three POST
+// endpoints: whatever the body, the handler must answer — a 4xx for garbage,
+// 2xx for valid requests, 409/503 for disabled or overloaded subsystems —
+// and never panic or 500. (`go test` runs the seed corpus; `go test -fuzz`
+// explores.)
+
+// fuzzHandler builds one shared server per target: engine + learner, no
+// admission (admission sheds load, which would mask decoder behaviour).
+func fuzzHandler(f *testing.F) http.Handler {
+	f.Helper()
+	ds := testDataset(f)
+	m := testModel(f, ds)
+	eng := serve.NewEngine(m.Clone(), serve.Config{Workers: 1})
+	f.Cleanup(eng.Close)
+	l, err := online.NewLearner(m, ds, eng, online.Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(l.Close)
+	s, err := New(Config{Engine: eng, Dataset: ds, Model: m, Learner: l})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return s.Routes()
+}
+
+func fuzzOne(t *testing.T, h http.Handler, path, body string) {
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req) // a panic fails the test — that is the core property
+	if w.Code >= 500 && w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("body %q: code %d — malformed input must never be a server error", body, w.Code)
+	}
+}
+
+func fuzzSeeds(f *testing.F, seeds ...string) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// Shared adversarial corpus: truncations, type confusion, deep nesting,
+	// huge numbers, duplicate keys, trailing garbage, non-UTF8.
+	for _, s := range []string{
+		``, `{`, `}`, `[]`, `null`, `0`, `"x"`, `{}`,
+		`{"user":"1"}`, `{"user":1e300}`, `{"user":-9223372036854775808}`,
+		`{"user":1,"user":2}`, `{"unknown":1}`,
+		`{"hist":{}}`, `{"hist":[[]]}`, `{"hist":[null]}`,
+		`{} {}`, `{}garbage`, "{\"user\":1}\xff\xfe",
+		`{"k":` + strings.Repeat("[", 64) + strings.Repeat("]", 64) + `}`,
+	} {
+		f.Add(s)
+	}
+}
+
+func FuzzHandleScore(f *testing.F) {
+	h := fuzzHandler(f)
+	fuzzSeeds(f,
+		`{"instances":[{"user":1,"target":2,"hist":[3,4]}]}`,
+		`{"instances":[{"user":1,"target":2,"user_attr":0,"target_attr":0}]}`,
+		`{"instances":[{"user":999999,"target":-1}]}`,
+	)
+	f.Fuzz(func(t *testing.T, body string) {
+		fuzzOne(t, h, "/v1/score", body)
+	})
+}
+
+func FuzzHandleRecommend(f *testing.F) {
+	h := fuzzHandler(f)
+	fuzzSeeds(f,
+		`{"user":1,"k":3}`,
+		`{"user":1,"k":3,"n":50,"include_seen":true,"exclude":[1,2]}`,
+		`{"user":1,"hist":[29],"k":1,"exclude":[-1]}`,
+	)
+	f.Fuzz(func(t *testing.T, body string) {
+		fuzzOne(t, h, "/v1/recommend", body)
+	})
+}
+
+func FuzzHandleFeedback(f *testing.F) {
+	h := fuzzHandler(f)
+	fuzzSeeds(f,
+		`{"user":1,"object":7}`,
+		`{"user":1,"object":7,"label":0.5}`,
+		`{"events":[{"user":2,"object":8},{"user":3,"object":9}]}`,
+		`{"events":[{"user":2,"object":99}]}`,
+		`{"object":7}`,
+	)
+	f.Fuzz(func(t *testing.T, body string) {
+		fuzzOne(t, h, "/v1/feedback", body)
+	})
+}

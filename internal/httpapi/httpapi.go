@@ -1,0 +1,189 @@
+// Package httpapi is seqfm-serve's HTTP layer, extracted from the command so
+// the handler stack is a library: the traffic harness (seqfm-bench -mode
+// traffic) drives the exact handlers production serves instead of a
+// reimplementation, fuzz tests can attack the JSON decoding surface without
+// booting a process, and the command shrinks to flag parsing plus subsystem
+// wiring.
+//
+// The layer composes three concerns around the serving engines:
+//
+//   - Routing: the /v1 endpoint set over a serve.Engine (or, with an
+//     Experiments tier, over several engines with sticky user→arm routing
+//     and /v1/experiments reporting).
+//   - Admission control: optional per-class concurrency limits with a
+//     bounded wait queue. Overload is explicit — queue-full sheds with 429,
+//     wait-timeout with 503, both carrying Retry-After — never an unbounded
+//     internal queue.
+//   - Backpressure: /v1/feedback ingests through the online learner's
+//     admission-checked path, so a full training backlog surfaces as 503 +
+//     Retry-After instead of silently evicting untrained events.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"seqfm/internal/core"
+	"seqfm/internal/data"
+	"seqfm/internal/online"
+	"seqfm/internal/serve"
+	"seqfm/internal/wal"
+)
+
+// Config wires a Server. Engine and Dataset are required; everything else is
+// an optional subsystem the corresponding endpoints 409 without.
+type Config struct {
+	// Engine is the primary serving engine (arm 0's when Experiments is set).
+	Engine *serve.Engine
+	// Dataset supplies id bounds, side-information tables and default
+	// candidate sets.
+	Dataset *data.Dataset
+	// Model is the primary SeqFM model, reported by /v1/model.
+	Model *core.Model
+	// Learner enables /v1/feedback and the online sections of /v1/model.
+	Learner *online.Learner
+	// WAL, when the learner is durable, adds the durability section to
+	// /v1/model.
+	WAL *wal.Log
+	// Replica marks the server a read-only follower of Primary.
+	Replica *online.Replica
+	Primary string
+	// Experiments, when set, routes /v1/score, /v1/topk, /v1/recommend and
+	// /v1/feedback attribution through the multi-arm tier and enables
+	// GET /v1/experiments.
+	Experiments *serve.Experiments
+	// ReadAdmission and FeedbackAdmission, when non-nil, bound concurrency
+	// on the read endpoints (/v1/score, /v1/topk, /v1/recommend) and on
+	// /v1/feedback respectively.
+	ReadAdmission     *serve.AdmissionConfig
+	FeedbackAdmission *serve.AdmissionConfig
+}
+
+// Server holds the handlers' shared state. Build with New.
+type Server struct {
+	eng     *serve.Engine
+	ds      *data.Dataset
+	model   *core.Model
+	learner *online.Learner
+	walLog  *wal.Log
+	replica *online.Replica
+	primary string
+	exp     *serve.Experiments
+
+	readLimiter     *serve.Limiter
+	feedbackLimiter *serve.Limiter
+
+	start time.Time
+}
+
+// New validates cfg and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("httpapi: Engine is required")
+	}
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("httpapi: Dataset is required")
+	}
+	s := &Server{
+		eng: cfg.Engine, ds: cfg.Dataset, model: cfg.Model,
+		learner: cfg.Learner, walLog: cfg.WAL,
+		replica: cfg.Replica, primary: cfg.Primary,
+		exp:   cfg.Experiments,
+		start: time.Now(),
+	}
+	if cfg.ReadAdmission != nil {
+		s.readLimiter = serve.NewLimiter(*cfg.ReadAdmission)
+	}
+	if cfg.FeedbackAdmission != nil {
+		s.feedbackLimiter = serve.NewLimiter(*cfg.FeedbackAdmission)
+	}
+	return s, nil
+}
+
+// Routes returns the endpoint mux with admission control applied.
+func (s *Server) Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/score", s.limited(s.readLimiter, s.handleScore))
+	mux.HandleFunc("POST /v1/topk", s.limited(s.readLimiter, s.handleTopK))
+	mux.HandleFunc("POST /v1/recommend", s.limited(s.readLimiter, s.handleRecommend))
+	mux.HandleFunc("POST /v1/feedback", s.limited(s.feedbackLimiter, s.handleFeedback))
+	mux.HandleFunc("GET /v1/replica/snapshot", s.handleReplicaSnapshot)
+	mux.HandleFunc("GET /v1/replica/log", s.handleReplicaLog)
+	return mux
+}
+
+// limited wraps h behind limiter l: a full queue sheds with 429, a wait
+// timeout with 503, both with a Retry-After estimated from the queue state.
+// A nil limiter admits everything.
+func (s *Server) limited(l *serve.Limiter, h http.HandlerFunc) http.HandlerFunc {
+	if l == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := l.Acquire()
+		if err != nil {
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, serve.ErrShed) {
+				code = http.StatusTooManyRequests
+			}
+			retryAfter(w, l.RetryAfter())
+			httpError(w, code, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// retryAfter sets the Retry-After header (whole seconds, minimum 1).
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// AdmissionStats reports the limiters' counters (zero values when admission
+// is off) — the traffic harness reads shed counts here.
+func (s *Server) AdmissionStats() (read, feedback serve.AdmissionStats) {
+	return s.readLimiter.Stats(), s.feedbackLimiter.Stats()
+}
+
+// decodeJSON strictly decodes one JSON value from the request body: unknown
+// fields and trailing garbage are errors, so malformed bodies surface as 400s
+// instead of being half-accepted.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,341 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seqfm/internal/baselines/fm"
+	"seqfm/internal/core"
+	"seqfm/internal/data"
+	"seqfm/internal/online"
+	"seqfm/internal/serve"
+)
+
+// testDataset builds a small ranking dataset with deterministic logs.
+func testDataset(t testing.TB) *data.Dataset {
+	t.Helper()
+	d := &data.Dataset{Name: "httpapi-test", Task: data.Ranking, NumUsers: 12, NumObjects: 30}
+	d.Users = make([][]data.Interaction, d.NumUsers)
+	for u := 0; u < d.NumUsers; u++ {
+		for i := 0; i < 5; i++ {
+			d.Users[u] = append(d.Users[u], data.Interaction{
+				Object: (u*3 + i*5) % d.NumObjects, Rating: 1, Time: int64(i),
+			})
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testModel(t testing.TB, ds *data.Dataset) *core.Model {
+	t.Helper()
+	m, err := core.New(core.Config{Space: ds.Space(), Dim: 6, Layers: 1, MaxSeqLen: 4, KeepProb: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testServer assembles a Server over a fresh engine; mutate cfg via custom.
+func testServer(t testing.TB, custom func(*Config)) *Server {
+	t.Helper()
+	ds := testDataset(t)
+	m := testModel(t, ds)
+	eng := serve.NewEngine(m.Clone(), serve.Config{Workers: 1})
+	t.Cleanup(eng.Close)
+	cfg := Config{Engine: eng, Dataset: ds, Model: m}
+	if custom != nil {
+		custom(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// withLearner adds an online learner (and returns it for assertions).
+func withLearner(t testing.TB, ocfg online.Config) (func(*Config), **online.Learner) {
+	t.Helper()
+	var out *online.Learner
+	return func(cfg *Config) {
+		l, err := online.NewLearner(cfg.Model, cfg.Dataset, cfg.Engine, ocfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Learner = l
+		out = l
+	}, &out
+}
+
+func post(t testing.TB, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(t testing.TB, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeBody(t testing.TB, w *httptest.ResponseRecorder) map[string]any {
+	t.Helper()
+	var v map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("response %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	h := testServer(t, nil).Routes()
+	w := post(t, h, "/v1/score", `{"instances":[{"user":1,"target":2,"hist":[3,4]}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody(t, w)
+	if scores, ok := resp["scores"].([]any); !ok || len(scores) != 1 {
+		t.Fatalf("scores = %v", resp["scores"])
+	}
+	// Malformed: unknown field, bad user, trailing garbage — all 400.
+	for _, body := range []string{
+		`{"instancez":[]}`,
+		`{"instances":[{"user":-1,"target":2}]}`,
+		`{"instances":[{"user":1,"target":99}]}`,
+		`{"instances":[]} trailing`,
+		`not json`,
+	} {
+		if w := post(t, h, "/v1/score", body); w.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: code %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	h := testServer(t, nil).Routes()
+	w := post(t, h, "/v1/topk", `{"user":2,"k":3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody(t, w)
+	if items, ok := resp["items"].([]any); !ok || len(items) != 3 {
+		t.Fatalf("items = %v", resp["items"])
+	}
+	if w := post(t, h, "/v1/topk", `{"user":2,"candidates":[99],"k":1}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad candidate: code %d, want 400", w.Code)
+	}
+}
+
+func TestRecommendWithoutIndexConflicts(t *testing.T) {
+	h := testServer(t, nil).Routes()
+	if w := post(t, h, "/v1/recommend", `{"user":1,"k":3}`); w.Code != http.StatusConflict {
+		t.Fatalf("code %d, want 409 without an index", w.Code)
+	}
+}
+
+func TestFeedbackLifecycle(t *testing.T) {
+	add, learner := withLearner(t, online.Config{})
+	s := testServer(t, add)
+	defer (*learner).Close()
+	h := s.Routes()
+
+	if w := post(t, h, "/v1/feedback", `{"user":1,"object":7}`); w.Code != http.StatusAccepted {
+		t.Fatalf("code %d: %s", w.Code, w.Body.String())
+	}
+	if w := post(t, h, "/v1/feedback", `{"events":[{"user":2,"object":8},{"user":3,"object":9,"label":0.5}]}`); w.Code != http.StatusAccepted {
+		t.Fatalf("batch code %d: %s", w.Code, w.Body.String())
+	}
+	st := (*learner).Stats()
+	if st.Ingested != 3 {
+		t.Fatalf("ingested %d, want 3", st.Ingested)
+	}
+	for _, body := range []string{
+		`{"user":1}`,                          // object missing
+		`{}`,                                  // empty
+		`{"events":[{"user":1,"object":99}]}`, // bad object
+	} {
+		if w := post(t, h, "/v1/feedback", body); w.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: code %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestFeedbackWithoutLearnerConflicts(t *testing.T) {
+	h := testServer(t, nil).Routes()
+	if w := post(t, h, "/v1/feedback", `{"user":1,"object":7}`); w.Code != http.StatusConflict {
+		t.Fatalf("code %d, want 409 without -online", w.Code)
+	}
+}
+
+// TestFeedbackBacklog503 is the overload satellite: a full training backlog
+// surfaces as 503 + Retry-After at the HTTP layer, with no side effects, and
+// the identical batch is accepted once the backlog drains.
+func TestFeedbackBacklog503(t *testing.T) {
+	add, learner := withLearner(t, online.Config{MaxPending: 2})
+	s := testServer(t, add)
+	defer (*learner).Close()
+	h := s.Routes()
+
+	if w := post(t, h, "/v1/feedback", `{"events":[{"user":1,"object":7},{"user":2,"object":8}]}`); w.Code != http.StatusAccepted {
+		t.Fatalf("fill: code %d: %s", w.Code, w.Body.String())
+	}
+	w := post(t, h, "/v1/feedback", `{"user":3,"object":9}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overload: code %d, want 503: %s", w.Code, w.Body.String())
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if st := (*learner).Stats(); st.Ingested != 2 || st.Dropped != 0 {
+		t.Fatalf("stats after rejection = %+v, want 2 ingested / 0 dropped", st)
+	}
+	// Drain the backlog; the same request is now accepted.
+	(*learner).Sync()
+	if w := post(t, h, "/v1/feedback", `{"user":3,"object":9}`); w.Code != http.StatusAccepted {
+		t.Fatalf("after drain: code %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestAdmissionControl pins the read-path overload contract: beyond
+// MaxConcurrent with no queue, requests shed with 429 + Retry-After.
+func TestAdmissionControl(t *testing.T) {
+	s := testServer(t, func(cfg *Config) {
+		cfg.ReadAdmission = &serve.AdmissionConfig{MaxConcurrent: 1, MaxQueue: -1, MaxWait: time.Second}
+	})
+	mux := s.Routes()
+
+	// Hold the single slot with a request parked inside the handler. The
+	// mux wraps handlers at Routes() time, so drive the limiter directly
+	// through a wrapped slow handler.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	slow := s.limited(s.readLimiter, func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := httptest.NewRecorder()
+		slow(w, httptest.NewRequest("GET", "/slow", nil))
+	}()
+	<-entered
+	w := post(t, mux, "/v1/score", `{"instances":[{"user":1,"target":2}]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("code %d, want 429 while the slot is held", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(release)
+	wg.Wait()
+	if w := post(t, mux, "/v1/score", `{"instances":[{"user":1,"target":2}]}`); w.Code != http.StatusOK {
+		t.Fatalf("after release: code %d", w.Code)
+	}
+	read, _ := s.AdmissionStats()
+	if read.ShedQueueFull != 1 {
+		t.Fatalf("ShedQueueFull = %d, want 1", read.ShedQueueFull)
+	}
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	var exp *serve.Experiments
+	s := testServer(t, func(cfg *Config) {
+		base := fm.New(fm.Config{Space: cfg.Dataset.Space(), Dim: 6, MaxSeqLen: 4, Seed: 3})
+		baseEng := serve.NewEngine(base, serve.Config{Workers: 1})
+		t.Cleanup(baseEng.Close)
+		var err error
+		exp, err = serve.NewExperiments([]serve.ExperimentArm{
+			{Name: "seqfm", Engine: cfg.Engine},
+			{Name: "fm", Engine: baseEng},
+		}, serve.ExperimentsConfig{NumObjects: cfg.Dataset.NumObjects})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Experiments = exp
+	})
+	h := s.Routes()
+
+	// Routed endpoints label the serving arm and the tier's stats see them.
+	for user := 0; user < 6; user++ {
+		body := fmt.Sprintf(`{"instances":[{"user":%d,"target":2}]}`, user)
+		w := post(t, h, "/v1/score", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("user %d: code %d: %s", user, w.Code, w.Body.String())
+		}
+		resp := decodeBody(t, w)
+		arm, _ := resp["arm"].(string)
+		if want := exp.ArmName(exp.Assign(user)); arm != want {
+			t.Fatalf("user %d labelled arm %q, assigned %q", user, arm, want)
+		}
+	}
+	// Recommend answers on both arms (seqfm and the index-less baseline).
+	for user := 0; user < 6; user++ {
+		if w := post(t, h, "/v1/recommend", fmt.Sprintf(`{"user":%d,"k":3}`, user)); w.Code != http.StatusOK {
+			t.Fatalf("recommend user %d: code %d: %s", user, w.Code, w.Body.String())
+		}
+	}
+
+	w := get(t, h, "/v1/experiments")
+	if w.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody(t, w)
+	arms, ok := resp["arms"].([]any)
+	if !ok || len(arms) != 2 {
+		t.Fatalf("arms = %v", resp["arms"])
+	}
+	total := int64(0)
+	for _, a := range arms {
+		am := a.(map[string]any)
+		if lat, ok := am["latency"].(map[string]any); ok {
+			if sc, ok := lat["score"].(map[string]any); ok {
+				total += int64(sc["count"].(float64))
+			}
+		}
+	}
+	if total != 6 {
+		t.Fatalf("score observations across arms = %d, want 6", total)
+	}
+}
+
+func TestExperimentsEndpointWithoutTierConflicts(t *testing.T) {
+	h := testServer(t, nil).Routes()
+	if w := get(t, h, "/v1/experiments"); w.Code != http.StatusConflict {
+		t.Fatalf("code %d, want 409 without an experiment", w.Code)
+	}
+}
+
+func TestHealthzAndModel(t *testing.T) {
+	h := testServer(t, nil).Routes()
+	w := get(t, h, "/healthz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz code %d", w.Code)
+	}
+	if resp := decodeBody(t, w); resp["status"] != "ok" {
+		t.Fatalf("healthz = %v", resp)
+	}
+	w = get(t, h, "/v1/model")
+	if w.Code != http.StatusOK {
+		t.Fatalf("model code %d", w.Code)
+	}
+	if resp := decodeBody(t, w); resp["num_params"] == nil {
+		t.Fatalf("model = %v", resp)
+	}
+}

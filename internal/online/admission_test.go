@@ -1,0 +1,75 @@
+package online
+
+import (
+	"errors"
+	"testing"
+
+	"seqfm/internal/serve"
+)
+
+func TestTryIngestBatchRejectsOnBacklog(t *testing.T) {
+	ds := testDataset(t)
+	m := testModel(t, ds, 1)
+	eng := serve.NewEngine(m.Clone(), serve.Config{Workers: 1})
+	defer eng.Close()
+	l, err := NewLearner(m, ds, eng, Config{MaxPending: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Room(); got != 4 {
+		t.Fatalf("Room = %d, want 4", got)
+	}
+
+	batch := []Event{{User: 1, Object: 2, Label: 1}, {User: 1, Object: 3, Label: 1}, {User: 2, Object: 4, Label: 1}}
+	if err := l.TryIngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Room(); got != 1 {
+		t.Fatalf("Room = %d after 3 events, want 1", got)
+	}
+
+	// Two more events do not fit in the one remaining slot.
+	histBefore := len(l.History(5))
+	over := []Event{{User: 5, Object: 6, Label: 1}, {User: 5, Object: 7, Label: 1}}
+	if err := l.TryIngestBatch(over); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("err = %v, want ErrBacklog", err)
+	}
+	// Rejection must be side-effect free: no history growth, no drops, no
+	// ingest count, queue untouched.
+	if got := len(l.History(5)); got != histBefore {
+		t.Fatalf("rejected batch grew user history: %d -> %d", histBefore, got)
+	}
+	st := l.Stats()
+	if st.Ingested != 3 || st.Dropped != 0 || st.Pending != 3 {
+		t.Fatalf("stats = %+v, want 3 ingested, 0 dropped, 3 pending", st)
+	}
+
+	// A batch that exactly fits the remaining slot is admitted.
+	if err := l.TryIngestBatch([]Event{{User: 5, Object: 6, Label: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Room(); got != 0 {
+		t.Fatalf("Room = %d at capacity, want 0", got)
+	}
+	if err := l.TryIngestBatch([]Event{{User: 6, Object: 1, Label: 1}}); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("err at capacity = %v, want ErrBacklog", err)
+	}
+
+	// Training drains the queue; admission reopens.
+	l.Sync()
+	if got := l.Room(); got != 4 {
+		t.Fatalf("Room = %d after drain, want 4", got)
+	}
+	if err := l.TryIngestBatch([]Event{{User: 6, Object: 1, Label: 1}}); err != nil {
+		t.Fatalf("ingest after drain: %v", err)
+	}
+
+	// Validation still rejects bad ids before admission.
+	if err := l.TryIngestBatch([]Event{{User: -1, Object: 1, Label: 1}}); err == nil || errors.Is(err, ErrBacklog) {
+		t.Fatalf("bad user err = %v, want a validation error", err)
+	}
+	// The empty batch is a no-op even at capacity.
+	if err := l.TryIngestBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

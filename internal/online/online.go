@@ -35,6 +35,7 @@
 package online
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -186,6 +187,10 @@ type Learner struct {
 	mu      sync.Mutex
 	pending []pendingEvent
 	head    int
+	// reserved counts queue slots promised to in-flight TryIngestBatch
+	// calls that have passed admission but not yet enqueued, so concurrent
+	// admitted batches cannot jointly oversubscribe MaxPending.
+	reserved int
 
 	// trainMu serialises fine-tuning, publishing and checkpointing (the
 	// trainer path). Never held while scoring.
@@ -378,6 +383,73 @@ func (l *Learner) IngestBatch(events []Event) error {
 			return fmt.Errorf("event %d: %w", i, err)
 		}
 	}
+	var last uint64
+	for _, ev := range events {
+		seq, err := l.ingestOne(ev.User, ev.Object, ev.Label)
+		if err != nil {
+			return err
+		}
+		last = seq
+	}
+	return l.waitCommitted(last)
+}
+
+// ErrBacklog reports that the learner's pending queue cannot absorb a batch
+// without evicting untrained events. It is the admission-control signal: the
+// serving layer maps it to 503 + Retry-After, and because the rejection
+// happens before any side effect (no WAL record, no history growth, no seen
+// mark), the client can retry the identical batch later.
+var ErrBacklog = errors.New("online: pending queue backlog full")
+
+// Room returns how many more events the pending queue can absorb before the
+// drop-oldest overflow policy starts evicting untrained events. Slots
+// promised to in-flight admitted batches count as occupied.
+func (l *Learner) Room() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.roomLocked()
+}
+
+// roomLocked is Room under an already-held l.mu.
+func (l *Learner) roomLocked() int {
+	r := l.cfg.MaxPending - (len(l.pending) - l.head) - l.reserved
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// TryIngestBatch is IngestBatch behind admission control: the whole batch is
+// admitted only if the pending queue has room for every event, and rejected
+// with ErrBacklog otherwise — before any side effect. Admission reserves the
+// batch's slots under l.mu, so concurrent admitted batches cannot jointly
+// oversubscribe MaxPending and trigger the drop-oldest policy that plain
+// IngestBatch tolerates. Reservations are conservative: a batch's events
+// count against room twice (reservation + queue slot) while it is mid-flight,
+// which can shed slightly early under heavy concurrency — the cheap side of
+// the error to be on for an overload valve.
+func (l *Learner) TryIngestBatch(events []Event) error {
+	for i, ev := range events {
+		if err := l.checkEvent(ev.User, ev.Object); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	n := len(events)
+	if n == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	if l.roomLocked() < n {
+		l.mu.Unlock()
+		return ErrBacklog
+	}
+	l.reserved += n
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.reserved -= n
+		l.mu.Unlock()
+	}()
 	var last uint64
 	for _, ev := range events {
 		seq, err := l.ingestOne(ev.User, ev.Object, ev.Label)

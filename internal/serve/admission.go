@@ -1,0 +1,188 @@
+package serve
+
+// Admission control: the overload story of the serving tier. An engine
+// without it has no opinion about load — every request gets a goroutine, and
+// under offered rates beyond capacity the process degrades by queueing
+// (latency grows without bound, memory with it) instead of by shedding. A
+// Limiter makes the degradation explicit and bounded: a fixed number of
+// in-flight slots per endpoint, a bounded wait queue in front of them, and
+// everything beyond that rejected immediately with a typed error the HTTP
+// layer maps to 429/503 + Retry-After. Load-shedding beats queue-collapse:
+// a shed request costs microseconds and tells the client when to come back;
+// an unbounded queue costs the latency SLO of every admitted request behind
+// it, and eventually the process.
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Typed admission failures. ErrShed is the immediate rejection (queue full —
+// the caller should back off: HTTP 429); ErrAdmitTimeout is the deadline
+// rejection (the request waited its full budget and never got a slot — the
+// server is saturated: HTTP 503).
+var (
+	ErrShed         = errors.New("serve: admission queue full")
+	ErrAdmitTimeout = errors.New("serve: admission wait deadline exceeded")
+)
+
+// Defaults for AdmissionConfig's zero fields.
+const (
+	DefaultMaxConcurrent = 64
+	DefaultMaxQueue      = 256
+	DefaultMaxWait       = 50 * time.Millisecond
+)
+
+// AdmissionConfig parameterises a Limiter. The zero value takes every
+// default.
+type AdmissionConfig struct {
+	// MaxConcurrent bounds simultaneously admitted requests. 0 means
+	// DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot; arrivals beyond it are
+	// shed immediately (ErrShed). 0 means DefaultMaxQueue; negative
+	// disables queueing (a full server sheds instantly).
+	MaxQueue int
+	// MaxWait bounds how long a queued request waits before it is shed
+	// (ErrAdmitTimeout). 0 means DefaultMaxWait.
+	MaxWait time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = DefaultMaxWait
+	}
+	return c
+}
+
+// AdmissionStats is a snapshot of a Limiter's counters.
+type AdmissionStats struct {
+	// Admitted counts requests that acquired a slot; InFlight and Queued are
+	// current gauges.
+	Admitted         int64
+	InFlight, Queued int
+	// ShedQueueFull counts immediate rejections (queue at capacity);
+	// ShedTimeout counts requests that waited MaxWait without a slot.
+	ShedQueueFull, ShedTimeout int64
+	// MaxQueued is the queue-depth high-water mark — the direct evidence
+	// that queue growth stayed bounded under overload.
+	MaxQueued int
+	// Limits echo the resolved configuration.
+	MaxConcurrent, MaxQueue int
+	MaxWait                 time.Duration
+}
+
+// Shed returns the total rejected requests.
+func (s AdmissionStats) Shed() int64 { return s.ShedQueueFull + s.ShedTimeout }
+
+// Limiter is one endpoint's admission gate: a slot semaphore with a bounded,
+// deadline-capped wait queue. Safe for concurrent use.
+type Limiter struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+
+	queued    atomic.Int64
+	maxQueued atomic.Int64
+
+	admitted      atomic.Int64
+	shedQueueFull atomic.Int64
+	shedTimeout   atomic.Int64
+}
+
+// NewLimiter builds a limiter; nil-safe call sites can keep a nil *Limiter
+// to mean "admission control off" (Acquire on nil admits everything).
+func NewLimiter(cfg AdmissionConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{cfg: cfg, slots: make(chan struct{}, cfg.MaxConcurrent)}
+}
+
+// Acquire admits the caller or rejects it with ErrShed/ErrAdmitTimeout.
+// On success the returned release func must be called exactly once, after
+// the request's work is done. A nil limiter admits unconditionally.
+func (l *Limiter) Acquire() (release func(), err error) {
+	if l == nil {
+		return func() {}, nil
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return l.release, nil
+	default:
+	}
+	// Slow path: join the bounded queue, or shed.
+	for {
+		q := l.queued.Load()
+		if q >= int64(l.cfg.MaxQueue) {
+			l.shedQueueFull.Add(1)
+			return nil, ErrShed
+		}
+		if l.queued.CompareAndSwap(q, q+1) {
+			if q+1 > l.maxQueued.Load() {
+				l.maxQueued.Store(q + 1) // racy high-water; monitoring-grade
+			}
+			break
+		}
+	}
+	timer := time.NewTimer(l.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		l.queued.Add(-1)
+		l.admitted.Add(1)
+		return l.release, nil
+	case <-timer.C:
+		l.queued.Add(-1)
+		l.shedTimeout.Add(1)
+		return nil, ErrAdmitTimeout
+	}
+}
+
+func (l *Limiter) release() { <-l.slots }
+
+// RetryAfter suggests a client back-off for a rejected request: the time for
+// the current queue to drain through the concurrency slots at the wait
+// budget's pace, floored at one second (the HTTP header's granularity).
+func (l *Limiter) RetryAfter() time.Duration {
+	if l == nil {
+		return time.Second
+	}
+	waves := (l.queued.Load() + int64(l.cfg.MaxConcurrent) - 1) / int64(l.cfg.MaxConcurrent)
+	d := time.Duration(waves+1) * l.cfg.MaxWait
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// Stats returns a snapshot of the limiter's counters; the zero snapshot for
+// a nil limiter.
+func (l *Limiter) Stats() AdmissionStats {
+	if l == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		Admitted:      l.admitted.Load(),
+		InFlight:      len(l.slots),
+		Queued:        int(l.queued.Load()),
+		ShedQueueFull: l.shedQueueFull.Load(),
+		ShedTimeout:   l.shedTimeout.Load(),
+		MaxQueued:     int(l.maxQueued.Load()),
+		MaxConcurrent: l.cfg.MaxConcurrent,
+		MaxQueue:      l.cfg.MaxQueue,
+		MaxWait:       l.cfg.MaxWait,
+	}
+}

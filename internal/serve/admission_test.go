@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsWithinCapacity(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 4, MaxQueue: 4, MaxWait: 100 * time.Millisecond})
+	for i := 0; i < 20; i++ {
+		release, err := l.Acquire()
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		release()
+	}
+	st := l.Stats()
+	if st.Admitted != 20 || st.Shed() != 0 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want 20 admitted, 0 shed, 0 in flight", st)
+	}
+}
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 1, MaxQueue: -1, MaxWait: time.Second})
+	release, err := l.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot held, queue disabled: the next acquire must shed immediately.
+	start := time.Now()
+	if _, err := l.Acquire(); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("immediate shed took %s", d)
+	}
+	release()
+	if st := l.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("ShedQueueFull = %d, want 1", st.ShedQueueFull)
+	}
+}
+
+func TestLimiterTimesOutQueuedRequests(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 8, MaxWait: 20 * time.Millisecond})
+	release, err := l.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := l.Acquire(); !errors.Is(err, ErrAdmitTimeout) {
+		t.Fatalf("err = %v, want ErrAdmitTimeout", err)
+	}
+	st := l.Stats()
+	if st.ShedTimeout != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 1 timeout shed and an empty queue", st)
+	}
+}
+
+func TestLimiterQueueHandsOffSlots(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 2, MaxQueue: 64, MaxWait: 2 * time.Second})
+	const n = 32
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire()
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			done.Add(1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if done.Load() != n {
+		t.Fatalf("completed %d of %d", done.Load(), n)
+	}
+	st := l.Stats()
+	if st.Admitted != n || st.Shed() != 0 {
+		t.Fatalf("stats = %+v, want %d admitted and 0 shed", st, n)
+	}
+	if st.MaxQueued == 0 {
+		t.Fatalf("expected a non-zero queue high-water with %d concurrent arrivals over 2 slots", n)
+	}
+}
+
+func TestLimiterNilAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	release, err := l.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if st := l.Stats(); st.Admitted != 0 {
+		t.Fatalf("nil limiter stats = %+v, want zero value", st)
+	}
+	if l.RetryAfter() <= 0 {
+		t.Fatal("nil limiter RetryAfter must still be positive")
+	}
+}
+
+func TestLimiterRetryAfterBounds(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4, MaxWait: 10 * time.Millisecond})
+	if ra := l.RetryAfter(); ra < time.Second || ra > 30*time.Second {
+		t.Fatalf("RetryAfter = %s, want within [1s, 30s]", ra)
+	}
+}

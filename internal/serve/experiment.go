@@ -1,0 +1,448 @@
+package serve
+
+// Multi-model experimentation: the serving tier that turns one process into
+// an online A/B platform. The offline experiment tables (internal/
+// experiments) compare SeqFM against the baseline zoo on frozen splits; the
+// sequence-aware literature's standing warning is that those offline
+// rankings routinely disagree with online behaviour. This tier measures the
+// online side directly: several models — each behind its own Engine, so
+// per-arm caches, generations and indexes never mix — serve live traffic
+// side by side, every request is routed to an arm by a sticky hash of its
+// user id (a user's whole session sees one model, the assignment unit every
+// A/B methodology assumes), and each arm accumulates its own interleaved
+// online metrics: per-endpoint latency percentiles, online HR@K measured
+// against the stream itself (when feedback for user u arrives, did u's
+// assigned model rank that object into its top K just before the event?),
+// and swap lag (how long freshly published weights sit before a request
+// observes them).
+//
+// The tier is deliberately thin over the engines: it owns routing and
+// measurement, never scoring. Consistency inside a request is therefore the
+// engine's RCU generation guarantee, unchanged — the race stress test pins
+// that a hot-swap storm on one arm can never leak weights or caches into a
+// response served by another arm or another generation.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"seqfm/internal/feature"
+	"seqfm/internal/metrics"
+)
+
+// Endpoint enumerates the served request classes an arm meters separately.
+type Endpoint int
+
+const (
+	EndpointScore Endpoint = iota
+	EndpointTopK
+	EndpointRecommend
+	EndpointFeedback
+	numEndpoints
+)
+
+// EndpointNames are the wire labels, index-aligned with the Endpoint values.
+var EndpointNames = [...]string{"score", "topk", "recommend", "feedback"}
+
+func (e Endpoint) String() string {
+	if e < 0 || int(e) >= len(EndpointNames) {
+		return fmt.Sprintf("endpoint(%d)", int(e))
+	}
+	return EndpointNames[e]
+}
+
+// Defaults for ExperimentsConfig's zero fields.
+const (
+	DefaultHRK           = 10
+	DefaultHRCandidates  = 100
+	DefaultHRSampleEvery = 4
+)
+
+// ExperimentArm declares one model in the experiment: a name for reporting,
+// the engine serving it, and a relative traffic weight.
+type ExperimentArm struct {
+	// Name labels the arm in /v1/experiments and stats.
+	Name string
+	// Engine serves the arm's model. Each arm needs its own engine — arms
+	// must not share caches or generations.
+	Engine *Engine
+	// Weight is the arm's share of the sticky hash space; 0 means 1.
+	Weight int
+}
+
+// ExperimentsConfig parameterises the tier. The zero value takes every
+// default, but NumObjects must be set for online HR probes to run.
+type ExperimentsConfig struct {
+	// Salt perturbs the sticky user→arm hash, so re-running an experiment
+	// with a different salt re-randomises the assignment. The same salt and
+	// arm weights always reproduce the same assignment — restarts keep
+	// users on their arms.
+	Salt uint64
+	// HRK is the K of the online HR@K probe. 0 means DefaultHRK.
+	HRK int
+	// HRCandidates is the probe's candidate-set size: the true next object
+	// plus HRCandidates-1 sampled negatives, the paper's J-candidate
+	// evaluation shape. 0 means DefaultHRCandidates.
+	HRCandidates int
+	// HRSampleEvery probes every Nth feedback event per arm (a probe costs
+	// one top-K request on the arm's engine). 0 means DefaultHRSampleEvery;
+	// negative disables probing.
+	HRSampleEvery int
+	// NumObjects is the catalog size the probe samples negatives from.
+	// Required when probing is enabled.
+	NumObjects int
+	// AttrOf maps a candidate object to its TargetAttr for probe requests
+	// (a data.Dataset's ItemAttr table); nil serves probes without item
+	// side information.
+	AttrOf func(object int) int
+}
+
+func (c ExperimentsConfig) withDefaults() ExperimentsConfig {
+	if c.HRK <= 0 {
+		c.HRK = DefaultHRK
+	}
+	if c.HRCandidates <= 0 {
+		c.HRCandidates = DefaultHRCandidates
+	}
+	if c.HRSampleEvery == 0 {
+		c.HRSampleEvery = DefaultHRSampleEvery
+	}
+	return c
+}
+
+// armState is one arm's runtime: the engine plus its interleaved metrics.
+type armState struct {
+	name   string
+	eng    *Engine
+	weight int
+
+	lat [numEndpoints]metrics.LatencyHist
+
+	feedback atomic.Int64 // feedback events attributed to this arm
+	hrProbes atomic.Int64
+	hrHits   atomic.Int64
+
+	// lastGen is the highest generation a routed request has observed;
+	// advancing it records the swap lag against the engine's publish time.
+	lastGen       atomic.Uint64
+	swapsObserved atomic.Int64
+	swapLagSum    atomic.Int64 // nanos
+	lastSwapLag   atomic.Int64 // nanos
+}
+
+// Experiments routes requests across arms and accumulates per-arm online
+// metrics. Safe for concurrent use.
+type Experiments struct {
+	cfg   ExperimentsConfig
+	arms  []*armState
+	total int // sum of weights
+}
+
+// NewExperiments builds the tier over the given arms. At least one arm is
+// required; names must be unique (they key the reported metrics).
+func NewExperiments(arms []ExperimentArm, cfg ExperimentsConfig) (*Experiments, error) {
+	if len(arms) == 0 {
+		return nil, fmt.Errorf("serve: experiments need at least one arm")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.HRSampleEvery > 0 && cfg.NumObjects < 2 {
+		return nil, fmt.Errorf("serve: experiments with HR probes need NumObjects >= 2 (got %d)", cfg.NumObjects)
+	}
+	x := &Experiments{cfg: cfg}
+	names := make(map[string]bool, len(arms))
+	for i, a := range arms {
+		if a.Engine == nil {
+			return nil, fmt.Errorf("serve: arm %d (%q) has no engine", i, a.Name)
+		}
+		if a.Name == "" {
+			return nil, fmt.Errorf("serve: arm %d has no name", i)
+		}
+		if names[a.Name] {
+			return nil, fmt.Errorf("serve: duplicate arm name %q", a.Name)
+		}
+		names[a.Name] = true
+		w := a.Weight
+		if w <= 0 {
+			w = 1
+		}
+		x.arms = append(x.arms, &armState{name: a.Name, eng: a.Engine, weight: w})
+		x.total += w
+	}
+	return x, nil
+}
+
+// mix64 is the splitmix64 finalizer — the repo's standard bit mixer (the
+// online trainer derives its per-step RNG streams the same way).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Assign returns the arm index user id u is stickily assigned to: a pure
+// function of {user, salt, weights}, so the same user always lands on the
+// same arm, across requests, restarts and processes.
+func (x *Experiments) Assign(user int) int {
+	h := mix64(uint64(int64(user)) ^ x.cfg.Salt)
+	slot := int(h % uint64(x.total))
+	for i, a := range x.arms {
+		if slot < a.weight {
+			return i
+		}
+		slot -= a.weight
+	}
+	return len(x.arms) - 1 // unreachable: slot < total by construction
+}
+
+// NumArms returns the number of registered arms.
+func (x *Experiments) NumArms() int { return len(x.arms) }
+
+// ArmName returns arm i's reporting label.
+func (x *Experiments) ArmName(i int) string { return x.arms[i].name }
+
+// ArmEngine returns arm i's engine — the handle serving layers use for
+// arm-local operations the tier does not wrap (stats, Close).
+func (x *Experiments) ArmEngine(i int) *Engine { return x.arms[i].eng }
+
+// observe records a served request's latency and generation on an arm.
+func (a *armState) observe(ep Endpoint, gen uint64, elapsed time.Duration) {
+	a.lat[ep].Record(elapsed)
+	a.observeGen(gen)
+}
+
+// observeGen folds a request's generation observation into the swap-lag
+// metric.
+func (a *armState) observeGen(gen uint64) {
+	prev := a.lastGen.Load()
+	if gen > prev && a.lastGen.CompareAndSwap(prev, gen) {
+		// First request to observe this generation on this arm: if it is
+		// still the engine's current one, the publish timestamp is
+		// available and the lag is meaningful.
+		if curID, born := a.eng.GenerationInfo(); curID == gen {
+			lag := time.Since(born)
+			if lag > 0 && prev > 0 {
+				a.swapsObserved.Add(1)
+				a.swapLagSum.Add(lag.Nanoseconds())
+				a.lastSwapLag.Store(lag.Nanoseconds())
+			}
+		}
+	}
+}
+
+// ScoreBatch routes a score batch to user's sticky arm and returns the
+// scores, the generation that served them and the arm index. The whole
+// batch runs on one arm — mixing models inside one response would make the
+// scores incomparable.
+func (x *Experiments) ScoreBatch(user int, insts []feature.Instance) ([]float64, uint64, int) {
+	ai := x.Assign(user)
+	a := x.arms[ai]
+	start := time.Now()
+	g := a.eng.cur.Load()
+	scores := a.eng.scoreBatchOn(g, insts)
+	a.observe(EndpointScore, g.id, time.Since(start))
+	return scores, g.id, ai
+}
+
+// TopK routes a candidate-ranking request to the base user's sticky arm.
+func (x *Experiments) TopK(req TopKRequest) ([]Item, uint64, int) {
+	ai := x.Assign(req.Base.User)
+	a := x.arms[ai]
+	start := time.Now()
+	items, gen := a.eng.TopKOn(req)
+	a.observe(EndpointTopK, gen, time.Since(start))
+	return items, gen, ai
+}
+
+// Recommend routes a full-catalog request to the base user's sticky arm.
+// Arms whose engines cannot retrieve (no index, or a baseline model that
+// cannot embed) fall back to ranking a deterministic per-user candidate
+// sample of the same depth, so every arm answers the same traffic — an A/B
+// comparison in which one arm 409s half the mix is no comparison at all.
+func (x *Experiments) Recommend(req RecommendRequest) (RecommendResult, int, error) {
+	ai := x.Assign(req.Base.User)
+	a := x.arms[ai]
+	start := time.Now()
+	res, err := a.eng.RecommendOn(req)
+	if err != nil {
+		if x.cfg.NumObjects < 2 {
+			return RecommendResult{}, ai, err
+		}
+		res = x.recommendFallback(a, req)
+	}
+	a.observe(EndpointRecommend, res.Generation, time.Since(start))
+	return res, ai, nil
+}
+
+// recommendFallback serves a Recommend on an arm without retrieval: rank a
+// sampled candidate set of the requested depth (seeded by {salt, user}, so
+// an arm's fallback catalog slice is stable per user) through the ordinary
+// TopK path, excluding what the request excludes.
+func (x *Experiments) recommendFallback(a *armState, req RecommendRequest) RecommendResult {
+	want := req.resolveN()
+	if want > x.cfg.NumObjects {
+		want = x.cfg.NumObjects
+	}
+	excluded := make(map[int]struct{}, len(req.Base.Hist)+len(req.Exclude))
+	if !req.IncludeSeen {
+		for _, o := range req.Base.Hist {
+			excluded[o] = struct{}{}
+		}
+	}
+	for _, o := range req.Exclude {
+		excluded[o] = struct{}{}
+	}
+	drop := func(o int) bool {
+		if _, ok := excluded[o]; ok {
+			return true
+		}
+		return req.ExcludeFunc != nil && req.ExcludeFunc(o)
+	}
+	candidates := make([]int, 0, want)
+	seen := make(map[int]struct{}, want)
+	stream := mix64(x.cfg.Salt ^ uint64(int64(req.Base.User))*0x9e3779b97f4a7c15)
+	// Bounded draw: at most 8× oversampling before giving up on a full set
+	// (a user who has seen most of the catalog gets fewer candidates, like
+	// the indexed path's capped beam headroom).
+	for tries := 0; len(candidates) < want && tries < 8*want; tries++ {
+		stream = mix64(stream)
+		o := int(stream % uint64(x.cfg.NumObjects))
+		if _, dup := seen[o]; dup || drop(o) {
+			continue
+		}
+		seen[o] = struct{}{}
+		candidates = append(candidates, o)
+	}
+	items, gen := a.eng.TopKOn(TopKRequest{Base: req.Base, Candidates: candidates, K: req.K, AttrOf: req.AttrOf})
+	return RecommendResult{Items: items, Generation: gen, IndexGeneration: gen, Retrieved: len(candidates)}
+}
+
+// ObserveLatency records an externally measured request on an arm — the
+// serving layer uses it for work the tier does not wrap (feedback ingest
+// latency, measured around the learner call).
+func (x *Experiments) ObserveLatency(arm int, ep Endpoint, d time.Duration) {
+	if arm < 0 || arm >= len(x.arms) || ep < 0 || ep >= numEndpoints {
+		return
+	}
+	x.arms[arm].lat[ep].Record(d)
+}
+
+// RecordFeedback attributes one feedback event to user's sticky arm and,
+// on the arm's sampling cadence, runs the online HR@K probe: rank the true
+// next object against sampled negatives on the arm's engine using the
+// user's pre-event context, and count whether it made the top K. base must
+// carry the user's history as it stood before the event — probing with the
+// event already appended would leak the answer into the question.
+// It returns the arm index and, when a probe ran, whether it hit.
+func (x *Experiments) RecordFeedback(base feature.Instance, object int) (arm int, probed, hit bool) {
+	ai := x.Assign(base.User)
+	a := x.arms[ai]
+	n := a.feedback.Add(1)
+	if x.cfg.HRSampleEvery < 0 || x.cfg.NumObjects < 2 || n%int64(x.cfg.HRSampleEvery) != 0 {
+		return ai, false, false
+	}
+	candidates := x.probeCandidates(base.User, object, n)
+	items, gen := a.eng.TopKOn(TopKRequest{
+		Base:       base,
+		Candidates: candidates,
+		K:          x.cfg.HRK,
+		AttrOf:     x.cfg.AttrOf,
+	})
+	for _, it := range items {
+		if it.Object == object {
+			hit = true
+			break
+		}
+	}
+	a.hrProbes.Add(1)
+	if hit {
+		a.hrHits.Add(1)
+	}
+	// The probe's generation observation feeds swap lag like any other
+	// request; its latency does not feed the feedback histogram — that one
+	// measures ingest, which the serving layer records via ObserveLatency.
+	a.observeGen(gen)
+	return ai, true, hit
+}
+
+// probeCandidates builds the probe's candidate set: the true object plus
+// HRCandidates-1 distinct sampled negatives, deterministic per
+// {salt, user, event count}.
+func (x *Experiments) probeCandidates(user, object int, n int64) []int {
+	want := x.cfg.HRCandidates
+	if want > x.cfg.NumObjects {
+		want = x.cfg.NumObjects
+	}
+	candidates := make([]int, 0, want)
+	candidates = append(candidates, object)
+	seen := map[int]struct{}{object: {}}
+	stream := mix64(x.cfg.Salt ^ mix64(uint64(int64(user))) ^ uint64(n))
+	for tries := 0; len(candidates) < want && tries < 16*want; tries++ {
+		stream = mix64(stream)
+		o := int(stream % uint64(x.cfg.NumObjects))
+		if _, dup := seen[o]; dup {
+			continue
+		}
+		seen[o] = struct{}{}
+		candidates = append(candidates, o)
+	}
+	return candidates
+}
+
+// ArmStats is one arm's online metrics snapshot.
+type ArmStats struct {
+	// Name and Weight echo the arm declaration; Share is Weight over the
+	// total — the expected traffic fraction under a uniform user hash.
+	Name   string
+	Weight int
+	Share  float64
+	// Generation and Swaps mirror the arm engine's serving provenance.
+	Generation uint64
+	Swaps      int64
+	// Latency holds one percentile summary per endpoint, keyed by
+	// EndpointNames.
+	Latency map[string]metrics.LatencySnapshot
+	// Feedback counts events attributed to the arm; HRProbes/HRHits the
+	// sampled online probes and their top-K hits; HRAtK the resulting
+	// online hit ratio (0 when no probe ran).
+	Feedback, HRProbes, HRHits int64
+	HRAtK                      float64
+	// SwapsObserved counts generation advances a request has witnessed;
+	// AvgSwapLag/LastSwapLag measure publish→first-observation delay.
+	SwapsObserved           int64
+	AvgSwapLag, LastSwapLag time.Duration
+}
+
+// Stats snapshots every arm's online metrics, in arm order.
+func (x *Experiments) Stats() []ArmStats {
+	out := make([]ArmStats, len(x.arms))
+	for i, a := range x.arms {
+		st := ArmStats{
+			Name:          a.name,
+			Weight:        a.weight,
+			Share:         float64(a.weight) / float64(x.total),
+			Generation:    a.eng.Generation(),
+			Swaps:         a.eng.Stats().Swaps,
+			Latency:       make(map[string]metrics.LatencySnapshot, numEndpoints),
+			Feedback:      a.feedback.Load(),
+			HRProbes:      a.hrProbes.Load(),
+			HRHits:        a.hrHits.Load(),
+			SwapsObserved: a.swapsObserved.Load(),
+			LastSwapLag:   time.Duration(a.lastSwapLag.Load()),
+		}
+		if st.HRProbes > 0 {
+			st.HRAtK = float64(st.HRHits) / float64(st.HRProbes)
+		}
+		if st.SwapsObserved > 0 {
+			st.AvgSwapLag = time.Duration(a.swapLagSum.Load() / st.SwapsObserved)
+		}
+		for ep := Endpoint(0); ep < numEndpoints; ep++ {
+			if snap := a.lat[ep].Snapshot(); snap.Count > 0 {
+				st.Latency[ep.String()] = snap
+			}
+		}
+		out[i] = st
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/baselines/fm"
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+)
+
+// TestExperimentsHotSwapNoMixedGenerations is the experiment tier's
+// coherence gate, meant to run under -race: while a background trainer
+// hot-swaps new seqfm snapshots into arm 0, concurrent requesters across
+// both arms must only ever see responses computed entirely under one
+// generation. Each published model is registered under its generation id
+// BEFORE SwapAs makes it visible, every response records (arm, gen,
+// scores), and the post-hoc check recomputes each score on a fresh tape
+// with exactly that generation's model — a response mixing weights from
+// one generation with cached statics from another would diverge
+// bit-for-bit.
+func TestExperimentsHotSwapNoMixedGenerations(t *testing.T) {
+	space := feature.Space{NumUsers: 32, NumObjects: 64}
+	seq, err := core.New(core.DefaultConfig(space))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fm.New(fm.Config{Space: space, Dim: 8, MaxSeqLen: 10, Seed: 31})
+
+	seqEng := NewEngine(seq, Config{Workers: 2})
+	defer seqEng.Close()
+	baseEng := NewEngine(base, Config{Workers: 2})
+	defer baseEng.Close()
+	x, err := NewExperiments([]ExperimentArm{
+		{Name: "seqfm", Engine: seqEng},
+		{Name: "fm", Engine: baseEng},
+	}, ExperimentsConfig{NumObjects: space.NumObjects})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (arm, generation id) -> the Scorer published under it, registered
+	// before the swap so no reader can observe an unregistered generation.
+	// Generation ids are per-engine counters, so the arm must be part of
+	// the key.
+	type genKey struct {
+		arm int
+		gen uint64
+	}
+	var models sync.Map
+	models.Store(genKey{0, seqEng.Generation()}, Scorer(seq))
+	models.Store(genKey{1, baseEng.Generation()}, Scorer(base))
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		rng := rand.New(rand.NewSource(99))
+		next := seqEng.Generation() + 1
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			clone := seq.Clone()
+			for _, p := range clone.Params() {
+				for j := range p.Value.Data {
+					p.Value.Data[j] += (rng.Float64() - 0.5) * 0.01
+				}
+			}
+			models.Store(genKey{0, next}, Scorer(clone))
+			seqEng.SwapAs(clone, next)
+			next++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	type obs struct {
+		user   int
+		target int
+		arm    int
+		gen    uint64
+		score  float64
+	}
+	const (
+		workers   = 8
+		perWorker = 300
+	)
+	results := make([][]obs, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			out := make([]obs, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				user := rng.Intn(space.NumUsers)
+				target := rng.Intn(space.NumObjects)
+				inst := feature.Instance{
+					User:       user,
+					Target:     target,
+					Hist:       []int{rng.Intn(space.NumObjects), rng.Intn(space.NumObjects)},
+					UserAttr:   feature.Pad,
+					TargetAttr: feature.Pad,
+				}
+				scores, gen, arm := x.ScoreBatch(user, []feature.Instance{inst})
+				if arm != x.Assign(user) {
+					t.Errorf("user %d served by arm %d, assigned %d", user, arm, x.Assign(user))
+					return
+				}
+				out = append(out, obs{user: user, target: target, arm: arm, gen: gen, score: scores[0]})
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+
+	// Post-hoc: every observed score must be bit-identical to a fresh-tape
+	// evaluation under exactly the generation it claims.
+	checked := 0
+	for w, out := range results {
+		rng := rand.New(rand.NewSource(int64(1000 + w)))
+		for _, o := range out {
+			// Re-derive the instance from the worker's deterministic stream.
+			user := rng.Intn(space.NumUsers)
+			target := rng.Intn(space.NumObjects)
+			inst := feature.Instance{
+				User:       user,
+				Target:     target,
+				Hist:       []int{rng.Intn(space.NumObjects), rng.Intn(space.NumObjects)},
+				UserAttr:   feature.Pad,
+				TargetAttr: feature.Pad,
+			}
+			if user != o.user || target != o.target {
+				t.Fatalf("worker %d replay desynced: (%d,%d) vs (%d,%d)", w, user, target, o.user, o.target)
+			}
+			mv, ok := models.Load(genKey{o.arm, o.gen})
+			if !ok {
+				t.Fatalf("response claims unregistered generation %d on arm %d", o.gen, o.arm)
+			}
+			tp := ag.NewTape()
+			ref := mv.(Scorer).Score(tp, inst).Value.ScalarValue()
+			if o.score != ref {
+				t.Fatalf("worker %d user %d gen %d: score %v != generation's model %v — mixed-generation response", w, o.user, o.gen, o.score, ref)
+			}
+			checked++
+		}
+	}
+	if checked != workers*perWorker {
+		t.Fatalf("verified %d responses, want %d", checked, workers*perWorker)
+	}
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/baselines/fm"
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+)
+
+// twoArmTier builds a seqfm + FM-baseline experiment over a small space.
+func twoArmTier(t testing.TB, cfg ExperimentsConfig) (*Experiments, *core.Model, *fm.Model) {
+	t.Helper()
+	space := feature.Space{NumUsers: 50, NumObjects: 200}
+	m, err := core.New(core.DefaultConfig(space))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fm.New(fm.Config{Space: space, Dim: 8, MaxSeqLen: 10, Seed: 21})
+	if cfg.NumObjects == 0 {
+		cfg.NumObjects = space.NumObjects
+	}
+	x, err := NewExperiments([]ExperimentArm{
+		{Name: "seqfm", Engine: NewEngine(m, Config{Workers: 2})},
+		{Name: "fm", Engine: NewEngine(base, Config{Workers: 2})},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, m, base
+}
+
+func TestExperimentsValidation(t *testing.T) {
+	space := feature.Space{NumUsers: 4, NumObjects: 8}
+	m, err := core.New(core.DefaultConfig(space))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(m, Config{})
+	defer eng.Close()
+	cases := []struct {
+		name string
+		arms []ExperimentArm
+		cfg  ExperimentsConfig
+	}{
+		{"no arms", nil, ExperimentsConfig{NumObjects: 8}},
+		{"nil engine", []ExperimentArm{{Name: "a"}}, ExperimentsConfig{NumObjects: 8}},
+		{"unnamed", []ExperimentArm{{Engine: eng}}, ExperimentsConfig{NumObjects: 8}},
+		{"duplicate", []ExperimentArm{{Name: "a", Engine: eng}, {Name: "a", Engine: eng}}, ExperimentsConfig{NumObjects: 8}},
+		{"probes without catalog", []ExperimentArm{{Name: "a", Engine: eng}}, ExperimentsConfig{}},
+	}
+	for _, c := range cases {
+		if _, err := NewExperiments(c.arms, c.cfg); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+func TestExperimentsStickyAssignment(t *testing.T) {
+	x, _, _ := twoArmTier(t, ExperimentsConfig{Salt: 7})
+	counts := make([]int, x.NumArms())
+	for user := 0; user < 1000; user++ {
+		a := x.Assign(user)
+		for i := 0; i < 3; i++ {
+			if got := x.Assign(user); got != a {
+				t.Fatalf("user %d: assignment flapped %d -> %d", user, a, got)
+			}
+		}
+		counts[a]++
+	}
+	// Equal weights: a uniform hash should land within a loose band of 50/50.
+	for i, c := range counts {
+		if c < 350 || c > 650 {
+			t.Fatalf("arm %d got %d of 1000 users — sticky hash badly skewed: %v", i, c, counts)
+		}
+	}
+	// A different salt must reshuffle at least some users.
+	y, err := NewExperiments([]ExperimentArm{
+		{Name: "seqfm", Engine: x.ArmEngine(0)},
+		{Name: "fm", Engine: x.ArmEngine(1)},
+	}, ExperimentsConfig{Salt: 8, NumObjects: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for user := 0; user < 1000; user++ {
+		if x.Assign(user) != y.Assign(user) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the salt moved no users")
+	}
+}
+
+func TestExperimentsWeightedAssignment(t *testing.T) {
+	space := feature.Space{NumUsers: 10, NumObjects: 20}
+	m, err := core.New(core.DefaultConfig(space))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewExperiments([]ExperimentArm{
+		{Name: "a", Engine: NewEngine(m, Config{}), Weight: 9},
+		{Name: "b", Engine: NewEngine(m, Config{}), Weight: 1},
+	}, ExperimentsConfig{NumObjects: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nB := 0
+	for user := 0; user < 10000; user++ {
+		if x.Assign(user) == 1 {
+			nB++
+		}
+	}
+	// Expect ~10%; accept a wide band.
+	if nB < 500 || nB > 1600 {
+		t.Fatalf("minority arm got %d of 10000 users, want ≈1000", nB)
+	}
+	if st := x.Stats(); st[0].Share != 0.9 || st[1].Share != 0.1 {
+		t.Fatalf("shares = %v / %v, want 0.9 / 0.1", st[0].Share, st[1].Share)
+	}
+}
+
+func TestExperimentsRoutingMatchesArmModel(t *testing.T) {
+	x, m, base := twoArmTier(t, ExperimentsConfig{})
+	hist := []int{1, 5, 9}
+	candidates := []int{2, 3, 4, 6}
+	for user := 0; user < 20; user++ {
+		inst := feature.Instance{User: user, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+		items, _, arm := x.TopK(TopKRequest{Base: inst, Candidates: candidates, K: len(candidates)})
+		if arm != x.Assign(user) {
+			t.Fatalf("user %d served by arm %d, assigned %d", user, arm, x.Assign(user))
+		}
+		// Each returned score must match a fresh-tape Score under the arm's
+		// own model — cross-arm routing would produce the other model's
+		// scores.
+		for _, it := range items {
+			want := inst
+			want.Target = it.Object
+			tp := ag.NewTape()
+			var ref float64
+			if arm == 0 {
+				ref = m.Score(tp, want).Value.ScalarValue()
+			} else {
+				ref = base.Score(tp, want).Value.ScalarValue()
+			}
+			if it.Score != ref {
+				t.Fatalf("user %d arm %d object %d: score %v != model's %v", user, arm, it.Object, it.Score, ref)
+			}
+		}
+	}
+}
+
+func TestExperimentsScoreBatchRouting(t *testing.T) {
+	x, _, _ := twoArmTier(t, ExperimentsConfig{})
+	inst := feature.Instance{User: 3, Target: 7, Hist: []int{1, 2}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	scores, gen, arm := x.ScoreBatch(3, []feature.Instance{inst, inst})
+	if len(scores) != 2 || scores[0] != scores[1] {
+		t.Fatalf("scores = %v, want two equal entries", scores)
+	}
+	if arm != x.Assign(3) {
+		t.Fatalf("arm %d, assigned %d", arm, x.Assign(3))
+	}
+	if gen == 0 {
+		t.Fatal("generation not reported")
+	}
+	st := x.Stats()
+	if st[arm].Latency["score"].Count != 1 {
+		t.Fatalf("score latency count = %d, want 1", st[arm].Latency["score"].Count)
+	}
+}
+
+func TestExperimentsRecommendFallback(t *testing.T) {
+	// Neither arm has an index: Recommend must still answer via the sampled
+	// fallback instead of erroring, and exclusions must hold.
+	x, _, _ := twoArmTier(t, ExperimentsConfig{})
+	hist := []int{1, 2, 3}
+	base := feature.Instance{User: 11, Hist: hist, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	res, arm, err := x.Recommend(RecommendRequest{Base: base, K: 5, N: 40, Exclude: []int{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arm != x.Assign(11) {
+		t.Fatalf("arm %d, assigned %d", arm, x.Assign(11))
+	}
+	if len(res.Items) == 0 || len(res.Items) > 5 {
+		t.Fatalf("items = %d, want 1..5", len(res.Items))
+	}
+	banned := map[int]bool{1: true, 2: true, 3: true, 7: true}
+	for _, it := range res.Items {
+		if banned[it.Object] {
+			t.Fatalf("excluded object %d recommended", it.Object)
+		}
+	}
+	// Determinism: the same request yields the same fallback candidates and
+	// therefore the same items.
+	res2, _, err := x.Recommend(RecommendRequest{Base: base, K: 5, N: 40, Exclude: []int{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Items {
+		if res.Items[i] != res2.Items[i] {
+			t.Fatalf("fallback not deterministic: %v vs %v", res.Items, res2.Items)
+		}
+	}
+}
+
+func TestExperimentsHRProbe(t *testing.T) {
+	x, _, _ := twoArmTier(t, ExperimentsConfig{HRSampleEvery: 1, HRK: 200, HRCandidates: 50})
+	// HRK covers the whole candidate set, so every probe must hit.
+	base := feature.Instance{User: 4, Hist: []int{1, 2}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	arm, probed, hit := x.RecordFeedback(base, 9)
+	if !probed || !hit {
+		t.Fatalf("probed=%v hit=%v, want both true with K covering all candidates", probed, hit)
+	}
+	st := x.Stats()[arm]
+	if st.Feedback != 1 || st.HRProbes != 1 || st.HRHits != 1 || st.HRAtK != 1 {
+		t.Fatalf("arm stats = %+v, want 1 feedback, 1 probe, 1 hit, HR 1.0", st)
+	}
+}
+
+func TestExperimentsHRProbeSampling(t *testing.T) {
+	x, _, _ := twoArmTier(t, ExperimentsConfig{HRSampleEvery: 4, HRK: 1, HRCandidates: 10})
+	base := feature.Instance{User: 4, Hist: []int{1}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	probes := 0
+	for i := 0; i < 16; i++ {
+		if _, probed, _ := x.RecordFeedback(base, 9); probed {
+			probes++
+		}
+	}
+	if probes != 4 {
+		t.Fatalf("probes = %d of 16 events at every-4 sampling, want 4", probes)
+	}
+	// Disabled probing never probes.
+	y, _, _ := twoArmTier(t, ExperimentsConfig{HRSampleEvery: -1})
+	for i := 0; i < 8; i++ {
+		if _, probed, _ := y.RecordFeedback(base, 9); probed {
+			t.Fatal("probe ran with sampling disabled")
+		}
+	}
+}
+
+func TestExperimentsSwapLag(t *testing.T) {
+	x, m, _ := twoArmTier(t, ExperimentsConfig{})
+	inst := feature.Instance{User: 0, Hist: []int{1}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	arm := x.Assign(0)
+	// Observe the initial generation, publish, observe again.
+	x.ScoreBatch(0, []feature.Instance{inst})
+	x.ArmEngine(arm).Swap(m.Clone())
+	time.Sleep(time.Millisecond)
+	x.ScoreBatch(0, []feature.Instance{inst})
+	st := x.Stats()[arm]
+	if st.SwapsObserved != 1 {
+		t.Fatalf("SwapsObserved = %d, want 1", st.SwapsObserved)
+	}
+	if st.AvgSwapLag < time.Millisecond || st.LastSwapLag < time.Millisecond {
+		t.Fatalf("swap lag %s / %s, want ≥ the 1ms gap between publish and observation", st.AvgSwapLag, st.LastSwapLag)
+	}
+}

@@ -136,9 +136,13 @@ type staticKey struct {
 // generations are reclaimed by the garbage collector once their last
 // in-flight request returns.
 type generation struct {
-	id      uint64
-	model   Scorer
-	fast    FastScorer // nil when model is not a FastScorer
+	id    uint64
+	model Scorer
+	fast  FastScorer // nil when model is not a FastScorer
+	// born is the publish wall-clock (UnixNano), read by the experiment
+	// tier's swap-lag metric: how long new weights sit published before the
+	// first request observes them.
+	born    int64
 	statics cache[staticKey, *tensor.Matrix]
 	dyns    cache[string, *core.DynState]
 	// idx is the generation's catalog retrieval index, built from exactly
@@ -248,7 +252,7 @@ func NewEngine(m Scorer, cfg Config) *Engine {
 
 // newGeneration wraps m in a fresh snapshot with empty caches.
 func (e *Engine) newGeneration(m Scorer) *generation {
-	g := &generation{id: e.gens.Add(1), model: m}
+	g := &generation{id: e.gens.Add(1), model: m, born: time.Now().UnixNano()}
 	if f, ok := m.(FastScorer); ok {
 		g.fast = f
 	}
@@ -295,6 +299,14 @@ func (e *Engine) SwapAs(m Scorer, id uint64) uint64 {
 
 // Generation returns the id of the currently serving snapshot.
 func (e *Engine) Generation() uint64 { return e.cur.Load().id }
+
+// GenerationInfo returns the current snapshot's id and publish time — the
+// provenance pair the experiment tier's swap-lag metric compares request
+// observations against.
+func (e *Engine) GenerationInfo() (uint64, time.Time) {
+	g := e.cur.Load()
+	return g.id, time.Unix(0, g.born)
+}
 
 // Model returns the currently served model. Treat it as read-only: its
 // weights back every in-flight request of the current generation.

@@ -1,0 +1,466 @@
+// Package traffic is an open-loop load generator for the serving stack: it
+// plans a deterministic request schedule (who asks what, when) and replays
+// it against an http.Handler at wall-clock fidelity, measuring what a fleet
+// of independent clients would see.
+//
+// Open-loop is the load-testing discipline the serving literature insists
+// on: arrivals follow their own clock instead of waiting for responses, so a
+// slow server faces a growing backlog exactly like production — closed-loop
+// generators (issue, wait, repeat) self-throttle and hide saturation behind
+// coordinated omission. Concretely, a request whose scheduled instant has
+// passed is dispatched immediately, late, and its latency still counts.
+//
+// The plan is a pure function of the config: Zipf-distributed user
+// popularity (a few heavy users, a long tail — the shape interaction logs
+// actually have), a diurnal sinusoid modulating the arrival rate around its
+// mean, exponential inter-arrivals (Poisson arrivals, thinned per-instant),
+// and a weighted endpoint mix. Same seed, same plan, byte for byte; the
+// measured latencies are whatever the server does with it.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqfm/internal/metrics"
+)
+
+// Kind enumerates the request classes the generator emits.
+type Kind int
+
+const (
+	KindScore Kind = iota
+	KindTopK
+	KindRecommend
+	KindFeedback
+	numKinds
+)
+
+// KindNames are the report labels, index-aligned with the Kind values.
+var KindNames = [...]string{"score", "topk", "recommend", "feedback"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(KindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return KindNames[k]
+}
+
+// paths maps each kind to its endpoint.
+var paths = [...]string{"/v1/score", "/v1/topk", "/v1/recommend", "/v1/feedback"}
+
+// Mix weights the endpoint classes; zero-valued mixes take DefaultMix.
+// Weights are relative, not fractions.
+type Mix struct {
+	Score, TopK, Recommend, Feedback float64
+}
+
+// DefaultMix approximates a read-heavy recommender workload with a steady
+// feedback stream.
+var DefaultMix = Mix{Score: 4, TopK: 2, Recommend: 2, Feedback: 2}
+
+func (m Mix) total() float64 { return m.Score + m.TopK + m.Recommend + m.Feedback }
+
+// Config parameterises a plan.
+type Config struct {
+	// Seed fixes the whole schedule: arrival times, users, objects, kinds.
+	Seed int64
+	// Rate is the mean offered rate in requests/second.
+	Rate float64
+	// Duration is the span the plan covers.
+	Duration time.Duration
+	// Users and Objects bound the id spaces (the served dataset's).
+	Users, Objects int
+	// ZipfS is the user-popularity exponent (>1; larger = more skew).
+	// 0 means 1.2.
+	ZipfS float64
+	// Diurnal is the amplitude of the sinusoidal rate modulation in [0,1):
+	// the instantaneous rate swings between Rate·(1−Diurnal) and
+	// Rate·(1+Diurnal) over DiurnalPeriod. 0 disables it.
+	Diurnal float64
+	// DiurnalPeriod is the modulation period; 0 means one full cycle over
+	// Duration.
+	DiurnalPeriod time.Duration
+	// Mix weights the endpoint classes; the zero value means DefaultMix.
+	Mix Mix
+	// HistLen bounds the explicit history attached to score instances.
+	// 0 means 4.
+	HistLen int
+	// K is the top-k depth of topk/recommend requests. 0 means 10.
+	K int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Rate <= 0 {
+		return c, fmt.Errorf("traffic: Rate must be positive (got %g)", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return c, fmt.Errorf("traffic: Duration must be positive (got %s)", c.Duration)
+	}
+	if c.Users < 1 || c.Objects < 1 {
+		return c, fmt.Errorf("traffic: Users and Objects must be positive (got %d, %d)", c.Users, c.Objects)
+	}
+	if c.Diurnal < 0 || c.Diurnal >= 1 {
+		return c, fmt.Errorf("traffic: Diurnal must be in [0,1) (got %g)", c.Diurnal)
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.ZipfS <= 1 {
+		return c, fmt.Errorf("traffic: ZipfS must exceed 1 (got %g)", c.ZipfS)
+	}
+	if c.DiurnalPeriod == 0 {
+		c.DiurnalPeriod = c.Duration
+	}
+	if c.Mix == (Mix{}) {
+		c.Mix = DefaultMix
+	}
+	if c.Mix.total() <= 0 {
+		return c, fmt.Errorf("traffic: Mix weights sum to %g, need > 0", c.Mix.total())
+	}
+	if c.HistLen <= 0 {
+		c.HistLen = 4
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	return c, nil
+}
+
+// Request is one planned arrival.
+type Request struct {
+	// At is the scheduled offset from the run's start.
+	At time.Duration
+	// Kind classifies the request; Path and Body are ready to send.
+	Kind Kind
+	Path string
+	Body string
+	// User is the planned subject (for assertions and debugging).
+	User int
+}
+
+// Plan builds the deterministic schedule for cfg. The plan is a pure
+// function of cfg — replaying it against different servers offers the
+// identical workload.
+func Plan(cfg Config) ([]Request, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Users-1))
+
+	var reqs []Request
+	total := cfg.Mix.total()
+	horizon := cfg.Duration.Seconds()
+	period := cfg.DiurnalPeriod.Seconds()
+	t := 0.0
+	for {
+		// Thinned non-homogeneous Poisson process: draw from the peak rate,
+		// accept with probability rate(t)/peak. Exact for a sinusoid.
+		peak := cfg.Rate * (1 + cfg.Diurnal)
+		t += rng.ExpFloat64() / peak
+		if t >= horizon {
+			break
+		}
+		rate := cfg.Rate * (1 + cfg.Diurnal*math.Sin(2*math.Pi*t/period))
+		if rng.Float64()*peak > rate {
+			continue
+		}
+		user := int(zipf.Uint64())
+		k := pickKind(rng.Float64()*total, cfg.Mix)
+		reqs = append(reqs, Request{
+			At:   time.Duration(t * float64(time.Second)),
+			Kind: k,
+			Path: paths[k],
+			Body: buildBody(rng, cfg, k, user),
+			User: user,
+		})
+	}
+	return reqs, nil
+}
+
+// pickKind maps a draw in [0, mix.total()) to its class.
+func pickKind(x float64, m Mix) Kind {
+	if x < m.Score {
+		return KindScore
+	}
+	x -= m.Score
+	if x < m.TopK {
+		return KindTopK
+	}
+	x -= m.TopK
+	if x < m.Recommend {
+		return KindRecommend
+	}
+	return KindFeedback
+}
+
+// buildBody renders one request body. Score requests carry an explicit
+// history (they are stateless); topk/recommend leave hist to the server's
+// live history; feedback posts one interaction.
+func buildBody(rng *rand.Rand, cfg Config, k Kind, user int) string {
+	obj := func() int { return rng.Intn(cfg.Objects) }
+	switch k {
+	case KindScore:
+		n := 1 + rng.Intn(cfg.HistLen)
+		hist := make([]string, n)
+		for i := range hist {
+			hist[i] = fmt.Sprint(obj())
+		}
+		return fmt.Sprintf(`{"instances":[{"user":%d,"target":%d,"hist":[%s]}]}`,
+			user, obj(), strings.Join(hist, ","))
+	case KindTopK:
+		return fmt.Sprintf(`{"user":%d,"k":%d}`, user, cfg.K)
+	case KindRecommend:
+		return fmt.Sprintf(`{"user":%d,"k":%d}`, user, cfg.K)
+	default:
+		return fmt.Sprintf(`{"user":%d,"object":%d}`, user, obj())
+	}
+}
+
+// KindStats aggregates one request class's outcomes over a run.
+type KindStats struct {
+	// Sent counts dispatched requests; OK the 2xx responses; Shed the
+	// explicit 429/503 rejections; Errors everything else (4xx bugs in the
+	// plan, 5xx in the server).
+	Sent, OK, Shed, Errors int64
+	// Latency summarises the measured request latencies over all outcomes —
+	// a shed response's latency is the admission path's, which is the
+	// point of measuring it. OKLatency covers only the 2xx responses: the
+	// latency an admitted client saw, not diluted by fast rejections.
+	Latency, OKLatency metrics.LatencySnapshot
+}
+
+// Report is one run's measured outcome.
+type Report struct {
+	// Offered is the planned mean rate; Achieved the dispatched
+	// requests/second actually realised over the run's wall clock.
+	Offered, Achieved float64
+	// Elapsed is the run's wall-clock span.
+	Elapsed time.Duration
+	// MaxLag is the largest dispatch lateness the open loop accumulated —
+	// how far behind schedule the generator itself fell (generator health,
+	// not server health).
+	MaxLag time.Duration
+	// PerKind holds each class's outcome, keyed by KindNames.
+	PerKind map[string]KindStats
+}
+
+// Totals sums the per-kind counters.
+func (r *Report) Totals() (sent, ok, shed, errs int64) {
+	for _, ks := range r.PerKind {
+		sent += ks.Sent
+		ok += ks.OK
+		shed += ks.Shed
+		errs += ks.Errors
+	}
+	return
+}
+
+// ShedRate returns the shed fraction of dispatched requests.
+func (r *Report) ShedRate() float64 {
+	sent, _, shed, _ := r.Totals()
+	if sent == 0 {
+		return 0
+	}
+	return float64(shed) / float64(sent)
+}
+
+// ErrorRate returns the non-shed failure fraction.
+func (r *Report) ErrorRate() float64 {
+	sent, _, _, errs := r.Totals()
+	if sent == 0 {
+		return 0
+	}
+	return float64(errs) / float64(sent)
+}
+
+// P99 returns the largest per-kind admitted p99 across the read classes
+// (feedback is an ingest path with its own durability cost; SLOs
+// conventionally separate it). Admitted-only, so fast rejections can't mask
+// a slow server — the shed rate is the SLO's separate dimension.
+func (r *Report) P99() time.Duration {
+	var worst time.Duration
+	for _, k := range []Kind{KindScore, KindTopK, KindRecommend} {
+		if ks, ok := r.PerKind[k.String()]; ok && ks.OKLatency.P99 > worst {
+			worst = ks.OKLatency.P99
+		}
+	}
+	return worst
+}
+
+// Run replays plan against h in open loop: every request fires at its
+// scheduled instant (or immediately once late), concurrently with whatever
+// is still in flight. The handler is driven in-process — no sockets — so
+// measured latency is the serving stack's, not the kernel's.
+func Run(h http.Handler, plan []Request) *Report {
+	var (
+		lat    [numKinds]metrics.LatencyHist
+		okLat  [numKinds]metrics.LatencyHist
+		sent   [numKinds]atomic.Int64
+		ok     [numKinds]atomic.Int64
+		shed   [numKinds]atomic.Int64
+		errs   [numKinds]atomic.Int64
+		maxLag atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range plan {
+		rq := &plan[i]
+		if d := rq.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		} else if lag := -d; lag > 0 {
+			for {
+				cur := maxLag.Load()
+				if lag.Nanoseconds() <= cur || maxLag.CompareAndSwap(cur, lag.Nanoseconds()) {
+					break
+				}
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest("POST", rq.Path, strings.NewReader(rq.Body))
+			req.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			t0 := time.Now()
+			h.ServeHTTP(w, req)
+			d := time.Since(t0)
+			lat[rq.Kind].Record(d)
+			sent[rq.Kind].Add(1)
+			switch {
+			case w.Code >= 200 && w.Code < 300:
+				ok[rq.Kind].Add(1)
+				okLat[rq.Kind].Record(d)
+			case w.Code == http.StatusTooManyRequests || w.Code == http.StatusServiceUnavailable:
+				shed[rq.Kind].Add(1)
+			default:
+				errs[rq.Kind].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Elapsed: elapsed,
+		MaxLag:  time.Duration(maxLag.Load()),
+		PerKind: make(map[string]KindStats, numKinds),
+	}
+	var total int64
+	for k := Kind(0); k < numKinds; k++ {
+		n := sent[k].Load()
+		if n == 0 {
+			continue
+		}
+		total += n
+		rep.PerKind[k.String()] = KindStats{
+			Sent:      n,
+			OK:        ok[k].Load(),
+			Shed:      shed[k].Load(),
+			Errors:    errs[k].Load(),
+			Latency:   lat[k].Snapshot(),
+			OKLatency: okLat[k].Snapshot(),
+		}
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.Achieved = float64(total) / s
+	}
+	return rep
+}
+
+// RunAt plans cfg at the given rate and replays it: the one-call form the
+// saturation search and the bench use.
+func RunAt(h http.Handler, cfg Config, rate float64) (*Report, error) {
+	cfg.Rate = rate
+	plan, err := Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := Run(h, plan)
+	rep.Offered = rate
+	return rep, nil
+}
+
+// SLO defines "sustainable" for the saturation search.
+type SLO struct {
+	// MaxShedRate is the tolerated shed fraction (e.g. 0.01).
+	MaxShedRate float64
+	// MaxP99 bounds the worst read-path p99. 0 means unbounded.
+	MaxP99 time.Duration
+}
+
+// Sustained reports whether rep meets the SLO. Plan errors (4xx/5xx) always
+// disqualify.
+func (s SLO) Sustained(rep *Report) bool {
+	if rep.ErrorRate() > 0 {
+		return false
+	}
+	if rep.ShedRate() > s.MaxShedRate {
+		return false
+	}
+	if s.MaxP99 > 0 && rep.P99() > s.MaxP99 {
+		return false
+	}
+	return true
+}
+
+// Saturation searches for the highest sustainable offered rate: geometric
+// ramp (doubling from cfg.Rate) until the SLO breaks, then bisection between
+// the last sustainable and first unsustainable rates. Returns the measured
+// sustainable floor and every probe's report, in probe order.
+func Saturation(h http.Handler, cfg Config, slo SLO, maxProbes int) (float64, []*Report, error) {
+	if maxProbes <= 0 {
+		maxProbes = 10
+	}
+	var reports []*Report
+	probe := func(rate float64) (*Report, error) {
+		rep, err := RunAt(h, cfg, rate)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+		return rep, nil
+	}
+
+	lo, hi := 0.0, 0.0
+	rate := cfg.Rate
+	for len(reports) < maxProbes {
+		rep, err := probe(rate)
+		if err != nil {
+			return 0, reports, err
+		}
+		if slo.Sustained(rep) {
+			lo = rate
+			rate *= 2
+		} else {
+			hi = rate
+			break
+		}
+	}
+	if hi == 0 {
+		// Never broke within the probe budget: lo is a floor, not a point.
+		return lo, reports, nil
+	}
+	for len(reports) < maxProbes && hi-lo > lo/8 {
+		mid := (lo + hi) / 2
+		rep, err := probe(mid)
+		if err != nil {
+			return 0, reports, err
+		}
+		if slo.Sustained(rep) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, reports, nil
+}

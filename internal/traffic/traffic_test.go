@@ -1,0 +1,282 @@
+package traffic
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func planCfg() Config {
+	return Config{
+		Seed:     42,
+		Rate:     500,
+		Duration: 2 * time.Second,
+		Users:    100,
+		Objects:  300,
+		Diurnal:  0.5,
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a, err := Plan(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty plan")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	cfg := planCfg()
+	cfg.Seed = 43
+	c, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical plans")
+		}
+	}
+}
+
+func TestPlanShape(t *testing.T) {
+	plan, err := Plan(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean rate should land near the configured 500/s over 2s.
+	if n := len(plan); n < 700 || n > 1300 {
+		t.Fatalf("plan size %d far from 1000 expected arrivals", n)
+	}
+	var counts [numKinds]int
+	last := time.Duration(-1)
+	for _, r := range plan {
+		if r.At < last {
+			t.Fatalf("plan not time-ordered at %s (prev %s)", r.At, last)
+		}
+		last = r.At
+		if r.At >= 2*time.Second {
+			t.Fatalf("arrival %s past horizon", r.At)
+		}
+		if r.User < 0 || r.User >= 100 {
+			t.Fatalf("user %d out of range", r.User)
+		}
+		if r.Body == "" || r.Path == "" {
+			t.Fatalf("request missing body/path: %+v", r)
+		}
+		counts[r.Kind]++
+	}
+	// Every class of the default mix must appear; score (weight 4/10)
+	// should dominate.
+	for k := Kind(0); k < numKinds; k++ {
+		if counts[k] == 0 {
+			t.Fatalf("no %s requests in plan", k)
+		}
+	}
+	if counts[KindScore] <= counts[KindTopK] {
+		t.Fatalf("mix skew wrong: score=%d topk=%d", counts[KindScore], counts[KindTopK])
+	}
+}
+
+func TestPlanZipfSkew(t *testing.T) {
+	plan, err := Plan(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byUser := map[int]int{}
+	for _, r := range plan {
+		byUser[r.User]++
+	}
+	// Zipf: the hottest user should take a clearly outsized share.
+	max := 0
+	for _, n := range byUser {
+		if n > max {
+			max = n
+		}
+	}
+	if max < len(plan)/10 {
+		t.Fatalf("hottest user has %d/%d requests — no Zipf skew", max, len(plan))
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Config{
+		{Rate: 0, Duration: time.Second, Users: 1, Objects: 1},
+		{Rate: 1, Duration: 0, Users: 1, Objects: 1},
+		{Rate: 1, Duration: time.Second, Users: 0, Objects: 1},
+		{Rate: 1, Duration: time.Second, Users: 1, Objects: 1, Diurnal: 1},
+		{Rate: 1, Duration: time.Second, Users: 1, Objects: 1, ZipfS: 0.5},
+		{Rate: 1, Duration: time.Second, Users: 1, Objects: 1, Mix: Mix{Score: -1, TopK: 1}},
+	}
+	for i, cfg := range bad {
+		if _, err := Plan(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// stubHandler classifies by path so run accounting can be checked exactly.
+type stubHandler struct{}
+
+func (stubHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/score":
+		w.WriteHeader(http.StatusOK)
+	case "/v1/topk":
+		w.WriteHeader(http.StatusTooManyRequests)
+	case "/v1/recommend":
+		w.WriteHeader(http.StatusServiceUnavailable)
+	default:
+		w.WriteHeader(http.StatusBadRequest)
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	cfg := planCfg()
+	cfg.Duration = 500 * time.Millisecond
+	cfg.Rate = 400
+	plan, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(stubHandler{}, plan)
+
+	sent, ok, shed, errs := rep.Totals()
+	if int(sent) != len(plan) {
+		t.Fatalf("sent %d != planned %d", sent, len(plan))
+	}
+	if got := rep.PerKind["score"]; got.OK != got.Sent || got.Shed != 0 || got.Errors != 0 {
+		t.Fatalf("score stats wrong: %+v", got)
+	}
+	if got := rep.PerKind["topk"]; got.Shed != got.Sent {
+		t.Fatalf("429 not counted as shed: %+v", got)
+	}
+	if got := rep.PerKind["recommend"]; got.Shed != got.Sent {
+		t.Fatalf("503 not counted as shed: %+v", got)
+	}
+	if got := rep.PerKind["feedback"]; got.Errors != got.Sent {
+		t.Fatalf("400 not counted as error: %+v", got)
+	}
+	if ok+shed+errs != sent {
+		t.Fatalf("outcomes don't partition sent: %d+%d+%d != %d", ok, shed, errs, sent)
+	}
+	if rep.ShedRate() <= 0 || rep.ErrorRate() <= 0 {
+		t.Fatalf("rates not computed: shed=%g err=%g", rep.ShedRate(), rep.ErrorRate())
+	}
+	if rep.Achieved <= 0 || rep.Elapsed <= 0 {
+		t.Fatalf("rate/elapsed not measured: %+v", rep)
+	}
+	for _, name := range []string{"score", "topk"} {
+		if s := rep.PerKind[name].Latency; s.Count == 0 || s.P99 <= 0 {
+			t.Fatalf("%s latency not recorded: %+v", name, s)
+		}
+	}
+}
+
+// slowAfter sheds everything once the offered rate exceeds its capacity;
+// below capacity it answers instantly. Lets the saturation search be tested
+// without a real server.
+type capacityHandler struct {
+	perSec float64
+	tokens chan struct{}
+}
+
+func newCapacityHandler(perSec float64) *capacityHandler {
+	h := &capacityHandler{perSec: perSec, tokens: make(chan struct{}, 64)}
+	go func() {
+		tick := time.NewTicker(time.Duration(float64(time.Second) / perSec))
+		defer tick.Stop()
+		for range tick.C {
+			select {
+			case h.tokens <- struct{}{}:
+			default:
+			}
+		}
+	}()
+	return h
+}
+
+func (h *capacityHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-h.tokens:
+		w.WriteHeader(http.StatusOK)
+	default:
+		w.WriteHeader(http.StatusTooManyRequests)
+	}
+}
+
+func TestSaturationSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	h := newCapacityHandler(400)
+	cfg := planCfg()
+	cfg.Duration = 400 * time.Millisecond
+	cfg.Rate = 100 // ramp starts well below capacity
+	cfg.Diurnal = 0
+
+	sus, reports, err := Saturation(h, cfg, SLO{MaxShedRate: 0.01}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 2 {
+		t.Fatalf("search made only %d probes", len(reports))
+	}
+	if sus < 50 || sus > 800 {
+		t.Fatalf("sustainable rate %g implausible for a 400/s server", sus)
+	}
+	// The last ramp probe above capacity must actually have shed.
+	broke := false
+	for _, rep := range reports {
+		if rep.ShedRate() > 0.01 {
+			broke = true
+		}
+	}
+	if !broke {
+		t.Fatal("no probe ever breached the SLO — search never found the wall")
+	}
+}
+
+func TestSLOSustained(t *testing.T) {
+	mk := func(sent, shed, errs int64, p99 time.Duration) *Report {
+		r := &Report{PerKind: map[string]KindStats{
+			"score": {Sent: sent, OK: sent - shed - errs, Shed: shed, Errors: errs},
+		}}
+		ks := r.PerKind["score"]
+		ks.OKLatency.P99 = p99
+		r.PerKind["score"] = ks
+		return r
+	}
+	slo := SLO{MaxShedRate: 0.01, MaxP99: 50 * time.Millisecond}
+	if !slo.Sustained(mk(1000, 5, 0, 10*time.Millisecond)) {
+		t.Error("0.5% shed under 1% budget should sustain")
+	}
+	if slo.Sustained(mk(1000, 50, 0, 10*time.Millisecond)) {
+		t.Error("5% shed should not sustain")
+	}
+	if slo.Sustained(mk(1000, 0, 1, 10*time.Millisecond)) {
+		t.Error("errors should never sustain")
+	}
+	if slo.Sustained(mk(1000, 0, 0, 80*time.Millisecond)) {
+		t.Error("p99 over budget should not sustain")
+	}
+}
