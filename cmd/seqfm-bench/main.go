@@ -17,10 +17,12 @@
 // sizes; hours of CPU).
 //
 // -mode train benchmarks one training epoch per task — the legacy
-// per-candidate engine against the candidate-sharing sharded engine at
-// Negatives ∈ {1, 5, 10}, plus classification and regression — and writes
-// the ns/op and allocs/op per task to a JSON file (default BENCH_train.json)
-// so successive PRs leave a comparable perf trajectory.
+// per-candidate engine, the candidate-sharing sharded tape engine and the
+// compiled plan engine at Negatives ∈ {1, 5, 10}, plus classification and
+// regression — and writes the ns/op and allocs/op per task to a JSON file
+// (default BENCH_train.json) so successive PRs leave a comparable perf
+// trajectory. -quick restricts it to the tape-vs-compiled ranking pair at
+// Negatives=5, the CI smoke configuration.
 //
 // -mode serve benchmarks the inference engine on the fixed serving workload
 // (serve.BenchWorkload, identical to bench_test.go's BenchmarkServe* suite):
@@ -72,6 +74,7 @@ func main() {
 		seed    = flag.Int64("seed", 7, "master random seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		out     = flag.String("out", "BENCH_train.json", "output path for -mode train results")
+		quick   = flag.Bool("quick", false, "-mode train: only the tape-vs-compiled ranking pair at neg=5 (CI smoke)")
 	)
 	flag.Parse()
 
@@ -92,7 +95,7 @@ func main() {
 			}
 		})
 		outPath := *out
-		bench := runTrainBench
+		bench := func(p string) error { return runTrainBench(p, *quick) }
 		switch *mode {
 		case "serve":
 			bench = runServeBench
@@ -168,7 +171,7 @@ func main() {
 // trainBenchEntry is one measured configuration of a one-epoch training run.
 type trainBenchEntry struct {
 	Task        string  `json:"task"`
-	Engine      string  `json:"engine"` // "engine" (sharded, candidate-sharing) or "legacy"
+	Engine      string  `json:"engine"` // "legacy", "engine" (sharded tape) or "compiled" (plan)
 	Negatives   int     `json:"negatives"`
 	Workers     int     `json:"workers"`
 	NsPerOp     int64   `json:"ns_per_op"`
@@ -190,9 +193,17 @@ type trainBenchReport struct {
 // BenchmarkTrain* suite (train.BenchWorkload/BenchConfig): one epoch per op,
 // single worker, so the emitted numbers isolate the per-instance algorithmic
 // cost from parallel fan-out and stay comparable to the go-test output.
-func runTrainBench(outPath string) error {
-	cfg := func(negatives int) train.Config {
-		return train.BenchConfig(negatives, 1)
+// quick restricts the job list to the tape-vs-compiled ranking pair at
+// Negatives=5, which is what CI's perf-smoke step measures.
+func runTrainBench(outPath string, quick bool) error {
+	// The JSON engine labels map onto train.Config.Engine: "compiled" is the
+	// plan engine, "engine" (the sharded tape) and "legacy" run on the tape.
+	cfg := func(negatives int, engine string) train.Config {
+		c := train.BenchConfig(negatives, 1)
+		if engine == "compiled" {
+			c.Engine = train.EngineCompiled
+		}
+		return c
 	}
 
 	// Each job gets a freshly initialised model (like bench_test.go's
@@ -207,16 +218,26 @@ func runTrainBench(outPath string) error {
 		fn           trainFn
 	}
 	var jobs []job
-	for _, n := range []int{1, 5, 10} {
+	if quick {
+		jobs = []job{
+			{"ranking", "engine", 5, train.Ranking},
+			{"ranking", "compiled", 5, train.Ranking},
+		}
+	} else {
+		for _, n := range []int{1, 5, 10} {
+			jobs = append(jobs,
+				job{"ranking", "legacy", n, train.LegacyRanking},
+				job{"ranking", "engine", n, train.Ranking},
+				job{"ranking", "compiled", n, train.Ranking},
+			)
+		}
 		jobs = append(jobs,
-			job{"ranking", "legacy", n, train.LegacyRanking},
-			job{"ranking", "engine", n, train.Ranking},
+			job{"classification", "engine", 5, train.Classification},
+			job{"classification", "compiled", 5, train.Classification},
+			job{"regression", "engine", 0, train.Regression},
+			job{"regression", "compiled", 0, train.Regression},
 		)
 	}
-	jobs = append(jobs,
-		job{"classification", "engine", 5, train.Classification},
-		job{"regression", "engine", 0, train.Regression},
-	)
 
 	report := trainBenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -233,7 +254,7 @@ func runTrainBench(outPath string) error {
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := j.fn(m, split, cfg(j.negatives)); err != nil {
+				if _, err := j.fn(m, split, cfg(j.negatives, j.engine)); err != nil {
 					benchErr = err
 					b.Fatal(err)
 				}
@@ -257,7 +278,8 @@ func runTrainBench(outPath string) error {
 			j.task, j.engine, j.negatives, e.SecPerEpoch, e.AllocsPerOp)
 	}
 
-	// Speedup summary: legacy vs engine per negatives count.
+	// Speedup summaries: legacy vs tape engine, and tape vs compiled, per
+	// negatives count.
 	byKey := map[string]trainBenchEntry{}
 	for _, e := range report.Entries {
 		byKey[fmt.Sprintf("%s/%s/%d", e.Task, e.Engine, e.Negatives)] = e
@@ -265,8 +287,12 @@ func runTrainBench(outPath string) error {
 	for _, n := range []int{1, 5, 10} {
 		l, okL := byKey[fmt.Sprintf("ranking/legacy/%d", n)]
 		g, okG := byKey[fmt.Sprintf("ranking/engine/%d", n)]
+		c, okC := byKey[fmt.Sprintf("ranking/compiled/%d", n)]
 		if okL && okG && g.NsPerOp > 0 {
-			fmt.Printf("ranking neg=%-2d speedup: %.2fx\n", n, float64(l.NsPerOp)/float64(g.NsPerOp))
+			fmt.Printf("ranking neg=%-2d engine   speedup over legacy: %.2fx\n", n, float64(l.NsPerOp)/float64(g.NsPerOp))
+		}
+		if okG && okC && c.NsPerOp > 0 {
+			fmt.Printf("ranking neg=%-2d compiled speedup over tape:   %.2fx\n", n, float64(g.NsPerOp)/float64(c.NsPerOp))
 		}
 	}
 

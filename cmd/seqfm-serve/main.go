@@ -68,6 +68,14 @@
 // -seed/-workers as its primary: replication is deterministic replay, so the
 // replica's trainer must derive the same random streams.
 //
+// Engines and observability: -engine forces the scoring engine — "compiled"
+// (the preallocated plan engine, the default for SeqFM) or "tape" (the
+// autodiff reference path); with -online it selects the fine-tuning engine
+// too, so a follower must be started with its primary's -engine. /v1/model
+// reports which engine the serving generation runs on. -pprof ADDR exposes
+// net/http/pprof on a side listener kept off the serving mux (and off its
+// admission control), so profiles stay available under load.
+//
 // Shutdown is graceful: SIGINT/SIGTERM drains HTTP (http.Server.Shutdown),
 // runs a final fine-tune sync, writes a final -snapshot, and flushes the WAL
 // before exit.
@@ -90,6 +98,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on the -pprof side listener's mux
 	"os"
 	"os/signal"
 	"strings"
@@ -123,6 +132,8 @@ func main() {
 		maxDelay    = flag.Duration("max-delay", 0, "micro-batch flush deadline (0 = default)")
 		staticCache = flag.Int("static-cache", 0, "static-view cache entries (0 = default, <0 = off)")
 		dynCache    = flag.Int("dyn-cache", 0, "dynamic-state cache entries (0 = default, <0 = off)")
+		engineSel   = flag.String("engine", "", "scoring/fine-tuning engine: compiled (plan; serving default) | tape (autodiff reference)")
+		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this side listener address, e.g. localhost:6060 (empty = off)")
 
 		indexOn      = flag.Bool("index", false, "build the full-catalog retrieval index (/v1/recommend)")
 		indexBackend = flag.String("index-backend", "hnsw", "retrieval backend: hnsw|flat")
@@ -186,6 +197,12 @@ func main() {
 	requireFlag("-follow", *follow != "", "follow-wait")
 	requireFlag("-experiment", *experiment != "", "experiment-weight", "experiment-salt", "experiment-hr-sample")
 	requireFlag("-max-concurrent", *maxConc > 0, "admit-queue", "admit-wait")
+	switch *engineSel {
+	case "", serve.EngineTape, serve.EngineCompiled:
+	default:
+		fmt.Fprintf(os.Stderr, "seqfm-serve: unknown -engine %q (want tape or compiled)\n", *engineSel)
+		os.Exit(1)
+	}
 	if *follow != "" {
 		// A follower is a read replica driven entirely by its primary's log:
 		// local training, durability and checkpointing flags contradict it.
@@ -211,8 +228,11 @@ func main() {
 			MaxDelay:        *maxDelay,
 			StaticCacheSize: *staticCache,
 			DynCacheSize:    *dynCache,
+			Engine:          *engineSel,
 		},
-		index: *indexOn, indexBackend: *indexBackend, indexM: *indexM,
+		trainEngine: *engineSel,
+		pprof:       *pprofAddr,
+		index:       *indexOn, indexBackend: *indexBackend, indexM: *indexM,
 		indexEfConstruction: *indexEfCons, indexEfSearch: *indexEfSrch,
 		indexBuildWorkers: *indexWorkers, recallSample: *recallSample,
 		online: *onlineOn, onlineInterval: *onlineEvery, onlineBatch: *onlineBatch,
@@ -270,6 +290,8 @@ type serveOpts struct {
 	admitQueue    int
 	admitWait     time.Duration
 
+	trainEngine string
+	pprof       string
 	drainBudget time.Duration
 }
 
@@ -455,6 +477,7 @@ func run(o serveOpts) error {
 				LR:        o.onlineLR,
 				Workers:   o.engine.Workers,
 				Negatives: p.Negatives,
+				Engine:    o.trainEngine,
 			},
 			BatchSize: o.onlineBatch,
 			Interval:  o.onlineInterval,
@@ -598,6 +621,7 @@ func runFollower(o serveOpts) error {
 			Seed:      o.seed,
 			Workers:   o.engine.Workers,
 			Negatives: p.Negatives,
+			Engine:    o.trainEngine,
 		},
 	})
 	if err != nil {
@@ -636,6 +660,17 @@ func serveUntilSignal(o serveOpts, srv *httpapi.Server, ds *data.Dataset, onServ
 	defer stop()
 	if onServe != nil {
 		onServe(ctx)
+	}
+	if o.pprof != "" {
+		// Side listener on the default mux, where the blank net/http/pprof
+		// import registers its handlers — separate from the serving mux so
+		// profiling stays reachable when the API is saturated or shedding.
+		go func() {
+			log.Printf("pprof listening on %s", o.pprof)
+			if err := http.ListenAndServe(o.pprof, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Routes()}
 	errCh := make(chan error, 1)

@@ -433,6 +433,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	resp := map[string]any{
 		"generation":        st.Generation,
+		"engine":            st.Engine,
 		"swaps":             st.Swaps,
 		"checkpoint_format": "seqfm-ckpt-v2",
 	}

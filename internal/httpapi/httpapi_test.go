@@ -335,7 +335,13 @@ func TestHealthzAndModel(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("model code %d", w.Code)
 	}
-	if resp := decodeBody(t, w); resp["num_params"] == nil {
+	resp := decodeBody(t, w)
+	if resp["num_params"] == nil {
 		t.Fatalf("model = %v", resp)
+	}
+	// SeqFM serves on the compiled plan engine by default; /v1/model reports
+	// which engine backs the generation.
+	if resp["engine"] != "compiled" {
+		t.Fatalf("model engine = %v, want compiled", resp["engine"])
 	}
 }

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"seqfm/internal/ag"
+	"seqfm/internal/core"
+	"seqfm/internal/feature"
+)
+
+// TestCompiledGenerationMatchesTape pins the serving engines against each
+// other at the public API: a compiled engine (the default) and a forced-tape
+// engine over the same weights return bit-identical batch scores and top-K
+// lists, and report their engine in Stats.
+func TestCompiledGenerationMatchesTape(t *testing.T) {
+	m := testModel(t)
+	comp := NewEngine(m, Config{Workers: 3})
+	defer comp.Close()
+	tape := NewEngine(m, Config{Workers: 3, Engine: EngineTape})
+	defer tape.Close()
+
+	if st := comp.Stats(); st.Engine != EngineCompiled {
+		t.Fatalf("default engine serves %q, want compiled", st.Engine)
+	}
+	if st := tape.Stats(); st.Engine != EngineTape {
+		t.Fatalf("forced tape engine serves %q", st.Engine)
+	}
+
+	insts := testInstances(64, 3)
+	// Two passes: the second is served from warm dynamic/static caches on
+	// both engines.
+	for pass := 0; pass < 2; pass++ {
+		cs := comp.ScoreBatch(insts)
+		ts := tape.ScoreBatch(insts)
+		for i := range insts {
+			if cs[i] != ts[i] {
+				t.Fatalf("pass %d inst %d: compiled %v != tape %v (not bit-identical)", pass, i, cs[i], ts[i])
+			}
+			if want := refScore(m, insts[i]); cs[i] != want {
+				t.Fatalf("pass %d inst %d: compiled %v != fresh-tape ref %v", pass, i, cs[i], want)
+			}
+		}
+	}
+
+	base := feature.Instance{User: 3, Hist: []int{4, 9, 2}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+	req := TopKRequest{Base: base, Candidates: []int{0, 5, 9, 14, 21, 28}, K: 4}
+	ck := comp.TopK(req)
+	tk := tape.TopK(req)
+	for i := range ck {
+		if ck[i] != tk[i] {
+			t.Fatalf("top-K item %d: compiled %+v != tape %+v", i, ck[i], tk[i])
+		}
+	}
+}
+
+// scorerOnly hides the model's FastScorer/Spec surface: the shape of a
+// baseline model.
+type scorerOnly struct{ m *core.Model }
+
+func (s scorerOnly) Score(t *ag.Tape, inst feature.Instance) *ag.Node {
+	return s.m.Score(t, inst)
+}
+
+// TestCompiledEngineFallsBackForPlainScorers pins the fallback: a model with
+// no compilable spec serves through the tape even when compilation is
+// requested, with identical results.
+func TestCompiledEngineFallsBackForPlainScorers(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(scorerOnly{m}, Config{Workers: 2, Engine: EngineCompiled})
+	defer e.Close()
+	if st := e.Stats(); st.Engine != EngineTape {
+		t.Fatalf("spec-less model reports engine %q, want tape fallback", st.Engine)
+	}
+	insts := testInstances(16, 5)
+	for i, s := range e.ScoreBatch(insts) {
+		if want := refScore(m, insts[i]); s != want {
+			t.Fatalf("inst %d: fallback score %v != ref %v", i, s, want)
+		}
+	}
+}
+
+// TestCompiledTopKDuringSwapStorm is the satellite -race test: under a
+// publisher storm, every TopKOn served by compiled generations must return
+// scores bit-identical to a fresh tape pass over exactly the weights of the
+// generation it reports — RCU swaps must never mix plan buffers across
+// generations.
+func TestCompiledTopKDuringSwapStorm(t *testing.T) {
+	m := testModel(t)
+	e := NewEngine(m, Config{Workers: 2})
+	defer e.Close()
+	if st := e.Stats(); st.Engine != EngineCompiled {
+		t.Fatalf("storm engine serves %q, want compiled", st.Engine)
+	}
+
+	var mu sync.Mutex
+	models := map[uint64]*core.Model{e.Generation(): m}
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		cur := m
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			next := cur.Clone()
+			next.Params()[0].Value.Data[0] += 1e-6
+			mu.Lock()
+			gen := e.Swap(next)
+			models[gen] = next
+			mu.Unlock()
+			cur = next
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func(user int) {
+			defer readers.Done()
+			base := feature.Instance{User: user, Hist: []int{1, 2, 8}, UserAttr: feature.Pad, TargetAttr: feature.Pad}
+			req := TopKRequest{Base: base, Candidates: []int{0, 3, 7, 11, 19, 23, 29}, K: 5}
+			for i := 0; i < 30; i++ {
+				items, gen := e.TopKOn(req)
+				mu.Lock()
+				gm := models[gen]
+				mu.Unlock()
+				if gm == nil {
+					t.Errorf("served generation %d was never published", gen)
+					return
+				}
+				for _, it := range items {
+					inst := base
+					inst.Target = it.Object
+					if want := refScore(gm, inst); it.Score != want {
+						t.Errorf("gen %d object %d: compiled served %v, want %v", gen, it.Object, it.Score, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	readers.Wait()
+	close(stop)
+	swapper.Wait()
+}

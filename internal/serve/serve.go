@@ -44,8 +44,23 @@ import (
 	"seqfm/internal/ag"
 	"seqfm/internal/core"
 	"seqfm/internal/feature"
+	"seqfm/internal/plan"
 	"seqfm/internal/tensor"
 	"seqfm/internal/train"
+)
+
+// Scoring engines a generation can serve with. The compiled engine lowers the
+// model into a preallocated execution plan (internal/plan) at publish time and
+// scores without building tapes; the tape engine interprets the autodiff tape.
+// Both produce bit-identical scores (pinned by internal/plan's parity tests
+// and TestCompiledGenerationMatchesTape), so the choice is purely a
+// performance one.
+const (
+	// EngineTape forces tape interpretation for every model.
+	EngineTape = "tape"
+	// EngineCompiled requests plan compilation; models without a compilable
+	// spec (the baselines) transparently fall back to the tape.
+	EngineCompiled = "compiled"
 )
 
 // Scorer is the minimal model contract the engine serves: one raw score per
@@ -103,6 +118,11 @@ type Config struct {
 	// the same generation) and Recommend becomes available. See
 	// recommend.go.
 	Index *IndexConfig
+	// Engine selects the scoring engine: "" or EngineCompiled compile the
+	// served model into an execution plan when it exposes one (core.Model
+	// does; baselines fall back to the tape), EngineTape forces tape
+	// interpretation. Scores are bit-identical either way.
+	Engine string
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +159,11 @@ type generation struct {
 	id    uint64
 	model Scorer
 	fast  FastScorer // nil when model is not a FastScorer
+	// plan is the generation's compiled execution plan; nil when the engine
+	// is configured for tape scoring or the model has no compilable spec.
+	// Compiled at publish time, so every request against this generation
+	// scores through preallocated plan buffers instead of tape nodes.
+	plan *plan.Plan
 	// born is the publish wall-clock (UnixNano), read by the experiment
 	// tier's swap-lag metric: how long new weights sit published before the
 	// first request observes them.
@@ -168,6 +193,9 @@ type Stats struct {
 	// Generation identifies the currently serving snapshot; it increments
 	// on every Swap (and InvalidateCaches).
 	Generation uint64
+	// Engine is the scoring engine of the current generation: "compiled"
+	// when it serves through an execution plan, "tape" otherwise.
+	Engine string
 	// Swaps counts published generations since the engine was built — every
 	// Swap and every InvalidateCaches (which republishes the same model
 	// under a fresh snapshot).
@@ -255,6 +283,11 @@ func (e *Engine) newGeneration(m Scorer) *generation {
 	g := &generation{id: e.gens.Add(1), model: m, born: time.Now().UnixNano()}
 	if f, ok := m.(FastScorer); ok {
 		g.fast = f
+	}
+	if g.fast != nil && e.cfg.Engine != EngineTape {
+		if pl, err := plan.For(m); err == nil {
+			g.plan = pl
+		}
 	}
 	g.statics = newCache[staticKey, *tensor.Matrix](e.cfg.CachePolicy, e.cfg.StaticCacheSize)
 	g.dyns = newCache[string, *core.DynState](e.cfg.CachePolicy, e.cfg.DynCacheSize)
@@ -355,6 +388,28 @@ func (e *Engine) eachWithTape(n int, f func(t *ag.Tape, i int)) {
 	}
 }
 
+// eachWithExec fans f over n jobs across the engine's workers, handing each
+// worker goroutine one pooled plan execution state — the compiled engine's
+// counterpart of eachWithTape. The pool lives on the generation's plan, so
+// exec buffers never outlive the weights they were compiled against.
+func (e *Engine) eachWithExec(pl *plan.Plan, n int, f func(ex *plan.Exec, i int)) {
+	if n == 0 {
+		return
+	}
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	execs := make([]*plan.Exec, workers)
+	for w := range execs {
+		execs[w] = pl.Get()
+	}
+	train.ParallelEach(n, workers, func(w, i int) { f(execs[w], i) })
+	for _, ex := range execs {
+		pl.Put(ex)
+	}
+}
+
 // histKey encodes a history as a collision-free cache key (a concatenation
 // of varints decodes to exactly one int sequence).
 func histKey(hist []int) string {
@@ -420,10 +475,16 @@ func (e *Engine) dynStates(g *generation, insts []feature.Instance) []*core.DynS
 			e.dynMisses.Add(1)
 		}
 	}
-	e.eachWithTape(len(missing), func(t *ag.Tape, i int) {
-		t.Reset()
-		missing[i].state = g.fast.PrecomputeDynamic(t, missing[i].hist)
-	})
+	if g.plan != nil {
+		e.eachWithExec(g.plan, len(missing), func(ex *plan.Exec, i int) {
+			missing[i].state = ex.PrecomputeDynamic(missing[i].hist)
+		})
+	} else {
+		e.eachWithTape(len(missing), func(t *ag.Tape, i int) {
+			t.Reset()
+			missing[i].state = g.fast.PrecomputeDynamic(t, missing[i].hist)
+		})
+	}
 	for _, s := range missing {
 		g.dyns.put(s.key, s.state)
 	}
@@ -451,6 +512,23 @@ func (e *Engine) scoreFastCached(g *generation, t *ag.Tape, dyn *core.DynState, 
 	return score
 }
 
+// scoreFastCachedExec is scoreFastCached on the compiled engine: same cache
+// discipline, same bit-exact scores, no tape.
+func (e *Engine) scoreFastCachedExec(g *generation, ex *plan.Exec, dyn *core.DynState, inst feature.Instance) float64 {
+	key := staticKey{inst.User, inst.Target, inst.UserAttr, inst.TargetAttr}
+	hS, ok := g.statics.get(key)
+	if ok {
+		e.staticHits.Add(1)
+	} else {
+		e.staticMisses.Add(1)
+	}
+	score, hSout := ex.ScoreFast(dyn, inst, hS)
+	if !ok && hSout != nil {
+		g.statics.put(key, hSout)
+	}
+	return score
+}
+
 // scoreBatchOn scores every instance against one generation snapshot.
 func (e *Engine) scoreBatchOn(g *generation, insts []feature.Instance) []float64 {
 	out := make([]float64, len(insts))
@@ -466,6 +544,12 @@ func (e *Engine) scoreBatchOn(g *generation, insts []feature.Instance) []float64
 		return out
 	}
 	dyns := e.dynStates(g, insts)
+	if g.plan != nil {
+		e.eachWithExec(g.plan, len(insts), func(ex *plan.Exec, i int) {
+			out[i] = e.scoreFastCachedExec(g, ex, dyns[i], insts[i])
+		})
+		return out
+	}
 	e.eachWithTape(len(insts), func(t *ag.Tape, i int) {
 		t.Reset()
 		out[i] = e.scoreFastCached(g, t, dyns[i], insts[i])
@@ -654,6 +738,7 @@ func (e *Engine) Stats() Stats {
 		StaticEntries:  g.statics.len(),
 		DynEntries:     g.dyns.len(),
 		Generation:     g.id,
+		Engine:         EngineTape,
 		Swaps:          e.swaps.Load(),
 		Recommends:     e.recommends.Load(),
 		Retrieved:      e.retrieved.Load(),
@@ -662,6 +747,9 @@ func (e *Engine) Stats() Stats {
 		RecallSamples:  e.recallSamples.Load(),
 		RecallHits:     e.recallHits.Load(),
 		RecallWanted:   e.recallWanted.Load(),
+	}
+	if g.plan != nil {
+		st.Engine = EngineCompiled
 	}
 	if g.idx != nil {
 		st.IndexSize = g.idx.retr.Len()

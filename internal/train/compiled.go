@@ -1,0 +1,96 @@
+package train
+
+import (
+	"fmt"
+
+	"seqfm/internal/data"
+	"seqfm/internal/feature"
+	"seqfm/internal/plan"
+)
+
+// The compiled engine's per-instance steps. Each one drives the worker's
+// plan.Exec — compiled forward over the candidate set, closed-form loss
+// gradient seeds, hand-derived backward straight into the worker's shard —
+// with no tape in the loop. The loss values reproduce the tape engine's
+// arithmetic exactly (same softplus, same association, same invBatch scaling),
+// so a compiled step reports a bit-identical per-instance loss to the tape
+// step it replaces; the gradients agree up to IEEE reassociation (see
+// internal/plan's backward parity tests).
+
+// compiledStepFor maps a dataset task to its compiled step.
+func compiledStepFor(task data.Task) (stepFn, error) {
+	switch task {
+	case data.Ranking:
+		return compiledRankingStep, nil
+	case data.Classification:
+		return compiledClassificationStep, nil
+	case data.Regression:
+		return compiledRegressionStep, nil
+	default:
+		return nil, fmt.Errorf("train: unknown task %v", task)
+	}
+}
+
+// seedScratch sizes the worker's per-score gradient buffer.
+func (w *worker) seedScratch(n int) []float64 {
+	ds := w.dscores[:0]
+	for len(ds) < n {
+		ds = append(ds, 0)
+	}
+	w.dscores = ds
+	return ds
+}
+
+// compiledRankingStep is the BPR loss of Eq. (21):
+// mean_i softplus(neg_i − pos), gradients σ(neg_i − pos) routed to each
+// negative and their negated sum to the positive.
+func compiledRankingStep(wk *worker, inst feature.Instance, invBatch float64) float64 {
+	insts := wk.sampleCandidates(inst)
+	scores := wk.exec.Forward(insts, true)
+	ds := wk.seedScratch(len(scores))
+	invN := 1 / float64(len(scores)-1)
+	gscale := invN * invBatch
+	sum := 0.0
+	ds[0] = 0
+	for i, neg := range scores[1:] {
+		x := neg - scores[0]
+		sum += plan.Softplus(x)
+		g := gscale * plan.Sigmoid(x)
+		ds[1+i] = g
+		ds[0] -= g
+	}
+	wk.exec.Backward(ds, wk.shard)
+	return (sum * invN) * invBatch
+}
+
+// compiledClassificationStep is the log loss of Eq. (24), BCE-with-logits over
+// the positive and the sampled negatives: mean of softplus(−pos) and
+// softplus(neg_i), gradients −σ(−pos) and σ(neg_i).
+func compiledClassificationStep(wk *worker, inst feature.Instance, invBatch float64) float64 {
+	insts := wk.sampleCandidates(inst)
+	scores := wk.exec.Forward(insts, true)
+	ds := wk.seedScratch(len(scores))
+	invN := 1 / float64(len(scores))
+	gscale := invN * invBatch
+	sum := plan.Softplus(-scores[0])
+	ds[0] = -(gscale * plan.Sigmoid(-scores[0]))
+	for i, neg := range scores[1:] {
+		sum += plan.Softplus(neg)
+		ds[1+i] = gscale * plan.Sigmoid(neg)
+	}
+	wk.exec.Backward(ds, wk.shard)
+	return (sum * invN) * invBatch
+}
+
+// compiledRegressionStep is the squared error loss of Eq. (26) against the
+// instance label: (score − label)², gradient 2(score − label). Regression
+// draws no negatives, so the candidate set is the instance alone.
+func compiledRegressionStep(wk *worker, inst feature.Instance, invBatch float64) float64 {
+	wk.insts = append(wk.insts[:0], inst)
+	scores := wk.exec.Forward(wk.insts, true)
+	ds := wk.seedScratch(1)
+	diff := scores[0] + -inst.Label
+	ds[0] = (2 * diff) * invBatch
+	wk.exec.Backward(ds, wk.shard)
+	return (diff * diff) * invBatch
+}

@@ -1,0 +1,196 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"seqfm/internal/data"
+)
+
+// TestCompiledEngineMatchesTapeOneEpoch pins the cross-engine training
+// contract at the public API: with one batch per epoch (no optimizer step
+// between forward values) the compiled engine reports a bit-identical epoch
+// loss to the tape engine — including with dropout active, since the compiled
+// forward draws its masks in the tape's order from the same worker stream —
+// and produces near-identical parameters (gradients agree up to IEEE
+// reassociation).
+func TestCompiledEngineMatchesTapeOneEpoch(t *testing.T) {
+	const tol = 1e-9
+	d := popularityDataset()
+	split := data.NewSplit(d)
+	for name, trainFn := range map[string]func(Model, *data.Split, Config) (*History, error){
+		"ranking":        Ranking,
+		"classification": Classification,
+	} {
+		for _, keepProb := range []float64{1, 0.8} {
+			cfg := Config{Epochs: 1, BatchSize: 64, LR: 0.01, Negatives: 3, Seed: 5, Workers: 2}
+
+			tapeM := seqfmModel(t, d, keepProb)
+			cfg.Engine = EngineTape
+			histTape, err := trainFn(tapeM, split, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compM := seqfmModel(t, d, keepProb)
+			cfg.Engine = EngineCompiled
+			histComp, err := trainFn(compM, split, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if histComp.FinalLoss() != histTape.FinalLoss() {
+				t.Fatalf("%s keep=%v: epoch loss compiled %v != tape %v (must be bit-identical)",
+					name, keepProb, histComp.FinalLoss(), histTape.FinalLoss())
+			}
+			tp, cp := tapeM.Params(), compM.Params()
+			for i := range tp {
+				for j, want := range tp[i].Value.Data {
+					got := cp[i].Value.Data[j]
+					diff := math.Abs(got - want)
+					scale := math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+					if diff/scale > tol {
+						t.Fatalf("%s keep=%v: %s[%d]: compiled %v vs tape %v after one epoch",
+							name, keepProb, tp[i].Name, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledEngineRegressionMatchesTape covers the third task the same way.
+func TestCompiledEngineRegressionMatchesTape(t *testing.T) {
+	const tol = 1e-9
+	d := ratingDataset()
+	split := data.NewSplit(d)
+	cfg := Config{Epochs: 1, BatchSize: 64, LR: 0.01, Seed: 5, Workers: 2}
+
+	tapeM := seqfmModel(t, d, 1)
+	cfg.Engine = EngineTape
+	histTape, err := Regression(tapeM, split, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compM := seqfmModel(t, d, 1)
+	cfg.Engine = EngineCompiled
+	histComp, err := Regression(compM, split, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if histComp.FinalLoss() != histTape.FinalLoss() {
+		t.Fatalf("epoch loss compiled %v != tape %v", histComp.FinalLoss(), histTape.FinalLoss())
+	}
+	tp, cp := tapeM.Params(), compM.Params()
+	for i := range tp {
+		for j, want := range tp[i].Value.Data {
+			got := cp[i].Value.Data[j]
+			diff := math.Abs(got - want)
+			scale := math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+			if diff/scale > tol {
+				t.Fatalf("%s[%d]: compiled %v vs tape %v", tp[i].Name, j, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledEngineDeterministic extends the {Seed, Workers} determinism
+// contract to the compiled engine, with dropout active.
+func TestCompiledEngineDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		cfg := Config{Epochs: 2, BatchSize: 8, LR: 0.01, Negatives: 2,
+			Seed: 13, Workers: workers, Engine: EngineCompiled}
+		assertIdenticalRuns(t, cfg, 0.8)
+	}
+}
+
+// TestCompiledEngineLearns sanity-checks end-to-end optimisation: multiple
+// epochs of compiled ranking training on learnable data decrease the loss.
+func TestCompiledEngineLearns(t *testing.T) {
+	d := popularityDataset()
+	split := data.NewSplit(d)
+	m := seqfmModel(t, d, 1)
+	hist, err := Ranking(m, split, Config{Epochs: 5, BatchSize: 16, LR: 0.02,
+		Negatives: 2, Seed: 3, Engine: EngineCompiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalLoss() >= hist.Epochs[0].Loss {
+		t.Fatalf("compiled loss %.4f -> %.4f did not decrease",
+			hist.Epochs[0].Loss, hist.FinalLoss())
+	}
+}
+
+// TestCompiledEngineRejectsUncompilableModels pins the fallback boundary:
+// models without a structural spec error out rather than silently degrading.
+func TestCompiledEngineRejectsUncompilableModels(t *testing.T) {
+	d := popularityDataset()
+	split := data.NewSplit(d)
+	m := newBiasModel(d.NumObjects)
+	cfg := Config{Epochs: 1, Engine: EngineCompiled}
+	if _, err := Ranking(m, split, cfg); err == nil {
+		t.Fatal("compiled engine accepted a spec-less model")
+	}
+	if _, err := NewStepper(m, d, data.Ranking, nil, cfg); err == nil {
+		t.Fatal("compiled stepper accepted a spec-less model")
+	}
+}
+
+func TestUnknownEngineErrors(t *testing.T) {
+	d := popularityDataset()
+	split := data.NewSplit(d)
+	m := seqfmModel(t, d, 1)
+	if _, err := Ranking(m, split, Config{Epochs: 1, Engine: "jit"}); err == nil {
+		t.Fatal("unknown engine accepted by run")
+	}
+	if _, err := NewStepper(m, d, data.Ranking, nil, Config{Engine: "jit"}); err == nil {
+		t.Fatal("unknown engine accepted by NewStepper")
+	}
+}
+
+// TestCompiledStepperMatchesTape pins the incremental engine: the first Step
+// (identical pre-step parameters, stream seeds derived identically from the
+// step counter) reports a bit-identical batch loss on both engines, and
+// repeated compiled steppers are bit-reproducible.
+func TestCompiledStepperMatchesTape(t *testing.T) {
+	d := popularityDataset()
+	split := data.NewSplit(d)
+	batch := split.Train[:12]
+	cfg := Config{LR: 0.01, Negatives: 2, Seed: 7, Workers: 2}
+
+	mkStepper := func(engine string, keepProb float64) (*Stepper, Model) {
+		m := seqfmModel(t, d, keepProb)
+		c := cfg
+		c.Engine = engine
+		s, err := NewStepper(m, d, data.Ranking, nil, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, m
+	}
+
+	for _, keepProb := range []float64{1, 0.8} {
+		st, _ := mkStepper(EngineTape, keepProb)
+		sc, _ := mkStepper(EngineCompiled, keepProb)
+		lt := st.Step(batch)
+		lc := sc.Step(batch)
+		if lt != lc {
+			t.Fatalf("keep=%v: first-step loss compiled %v != tape %v", keepProb, lc, lt)
+		}
+	}
+
+	// Reproducibility across fresh compiled steppers over several steps.
+	run := func() []float64 {
+		s, _ := mkStepper(EngineCompiled, 0.8)
+		var out []float64
+		for i := 0; i < 3; i++ {
+			out = append(out, s.Step(batch))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: compiled stepper loss %v != %v across identical runs", i, a[i], b[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"seqfm/internal/data"
 	"seqfm/internal/feature"
 	"seqfm/internal/optim"
+	"seqfm/internal/plan"
 )
 
 // Stepper is the incremental face of the sharded training engine: the same
@@ -31,7 +32,7 @@ import (
 type Stepper struct {
 	m        Model
 	cfg      Config
-	loss     lossFn
+	do       stepFn
 	opt      optim.Optimizer
 	workers  []*worker
 	shards   []*ag.GradShard
@@ -51,27 +52,49 @@ func NewStepper(m Model, ds *data.Dataset, task data.Task, opt optim.Optimizer, 
 		return nil, fmt.Errorf("train: NewStepper requires a dataset")
 	}
 	cfg = cfg.withDefaults()
-	loss, err := lossFor(m, task)
-	if err != nil {
-		return nil, err
-	}
 	params := m.Params()
 	if opt == nil {
 		opt = optim.NewAdam(params, cfg.LR)
 	}
-	s := &Stepper{m: m, cfg: cfg, loss: loss, opt: opt}
+	s := &Stepper{m: m, cfg: cfg, opt: opt}
+
+	var pl *plan.Plan
+	switch cfg.Engine {
+	case "", EngineTape:
+		loss, err := lossFor(m, task)
+		if err != nil {
+			return nil, err
+		}
+		s.do = tapeStep(loss, &s.tapeHint)
+	case EngineCompiled:
+		var err error
+		if pl, err = plan.For(m); err != nil {
+			return nil, err
+		}
+		if s.do, err = compiledStepFor(task); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("train: unknown engine %q", cfg.Engine)
+	}
+
 	s.workers = make([]*worker, cfg.Workers)
 	s.shards = make([]*ag.GradShard, cfg.Workers)
 	s.losses = make([]float64, cfg.Workers)
 	for i := range s.workers {
-		// The tape and sampler streams are placeholders: Step rederives both
-		// from the step counter before every minibatch, so worker state never
-		// accumulates stochastic history that a checkpoint could not capture.
+		// The dropout and sampler streams are placeholders: Step rederives
+		// both from the step counter before every minibatch, so worker state
+		// never accumulates stochastic history that a checkpoint could not
+		// capture.
 		s.workers[i] = &worker{
 			ds:        ds,
-			tape:      ag.NewTrainingTape(nil),
 			shard:     ag.NewGradShard(params),
 			negatives: cfg.Negatives,
+		}
+		if pl != nil {
+			s.workers[i].exec = pl.NewExec()
+		} else {
+			s.workers[i].tape = ag.NewTrainingTape(nil)
 		}
 		if task != data.Regression {
 			s.workers[i].sampler = data.NewNegativeSampler(ds, rand.New(rand.NewSource(0)))
@@ -112,12 +135,17 @@ func (s *Stepper) Step(batch []feature.Instance) float64 {
 	}
 	s.step++
 	for i, wk := range s.workers {
-		wk.tape.SetRNG(rand.New(rand.NewSource(streamSeed(s.cfg.Seed, s.step, i, 1))))
+		dropoutRng := rand.New(rand.NewSource(streamSeed(s.cfg.Seed, s.step, i, 1)))
+		if wk.exec != nil {
+			wk.exec.SetRNG(dropoutRng)
+		} else {
+			wk.tape.SetRNG(dropoutRng)
+		}
 		if wk.sampler != nil {
 			wk.sampler.Reseed(rand.New(rand.NewSource(streamSeed(s.cfg.Seed, s.step, i, 0))))
 		}
 	}
-	loss := stepBatch(s.workers, s.losses, batch, s.loss, &s.tapeHint)
+	loss := stepBatch(s.workers, s.losses, batch, s.do)
 	optim.StepShards(s.opt, s.shards, s.cfg.GradClip)
 	return loss
 }

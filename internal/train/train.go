@@ -32,6 +32,21 @@ import (
 	"seqfm/internal/data"
 	"seqfm/internal/feature"
 	"seqfm/internal/optim"
+	"seqfm/internal/plan"
+)
+
+// Training engines. The tape engine records every forward on a reusable
+// autodiff tape and reverse-interprets it; the compiled engine lowers the
+// model once into a preallocated execution plan (internal/plan) with a
+// hand-derived backward pass. Both satisfy the same determinism contract
+// within themselves; their gradients agree up to IEEE reassociation (pinned by
+// internal/plan's parity tests), so loss curves match closely but not bit for
+// bit across engines.
+const (
+	// EngineTape is the default: works for every model, including baselines.
+	EngineTape = "tape"
+	// EngineCompiled requires a model with a compilable spec (core.Model).
+	EngineCompiled = "compiled"
 )
 
 // Model is the scoring interface every model in this repository implements:
@@ -87,6 +102,10 @@ type Config struct {
 	Seed int64
 	// GradClip caps the global gradient norm per batch; 0 disables.
 	GradClip float64
+	// Engine selects the training engine: EngineTape (the default when empty)
+	// or EngineCompiled. The compiled engine only accepts models exposing a
+	// structural spec (core.Model); other models must stay on the tape.
+	Engine string
 	// Logf, when non-nil, receives one line per epoch.
 	Logf func(format string, args ...any)
 }
@@ -139,13 +158,15 @@ func (h *History) FinalLoss() float64 {
 type lossFn func(t *ag.Tape, w *worker, inst feature.Instance) *ag.Node
 
 // worker carries the per-goroutine state of the data-parallel loop: its
-// random streams (the dropout rng lives inside the tape), its reusable tape,
-// its private gradient shard, and scratch slices reused across instances so
-// the steady-state loop performs no per-instance bookkeeping allocations.
+// random streams (the dropout rng lives inside the tape, or in the compiled
+// Exec), its reusable tape or execution-plan state, its private gradient
+// shard, and scratch slices reused across instances so the steady-state loop
+// performs no per-instance bookkeeping allocations.
 type worker struct {
 	sampler *data.NegativeSampler
 	ds      *data.Dataset
 	tape    *ag.Tape
+	exec    *plan.Exec // non-nil on the compiled engine
 	shard   *ag.GradShard
 	// negatives is Config.Negatives resolved once by run — loss closures
 	// must not re-derive defaults per instance.
@@ -153,6 +174,19 @@ type worker struct {
 	insts     []feature.Instance // scratch: positive + sampled negatives
 	scores    []*ag.Node         // scratch: their score nodes
 	terms     []*ag.Node         // scratch: per-candidate loss terms
+	dscores   []float64          // scratch: compiled per-score loss gradients
+}
+
+// sampleCandidates fills w.insts with inst plus w.negatives sampled
+// corruptions of it, positive first. The returned slice is worker scratch,
+// valid until the next call. Sampling draws from the worker's sampler stream
+// in the same order on both engines, keeping their batch contents identical.
+func (w *worker) sampleCandidates(inst feature.Instance) []feature.Instance {
+	w.insts = append(w.insts[:0], inst)
+	for k := 0; k < w.negatives; k++ {
+		w.insts = append(w.insts, w.ds.WithTargetObject(inst, w.sampler.Sample(inst.User)))
+	}
+	return w.insts
 }
 
 // scoreWithNegatives scores inst plus w.negatives sampled corruptions of it,
@@ -160,10 +194,7 @@ type worker struct {
 // supports it. The returned slice is worker scratch, valid until the next
 // call.
 func (w *worker) scoreWithNegatives(t *ag.Tape, m Model, inst feature.Instance) []*ag.Node {
-	w.insts = append(w.insts[:0], inst)
-	for k := 0; k < w.negatives; k++ {
-		w.insts = append(w.insts, w.ds.WithTargetObject(inst, w.sampler.Sample(inst.User)))
-	}
+	w.sampleCandidates(inst)
 	w.scores = w.scores[:0]
 	if ss, ok := m.(SharedScorer); ok {
 		dyn := ss.ForwardDynamic(t, inst.Hist)
@@ -178,14 +209,42 @@ func (w *worker) scoreWithNegatives(t *ag.Tape, m Model, inst feature.Instance) 
 	return w.scores
 }
 
-// stepBatch fans one minibatch out over the workers. Each worker records the
-// loss of its strided share of the instances on its reusable tape and flushes
-// the gradients into its private shard; per-worker loss sums are combined in
+// stepFn processes one training instance on one worker — forward, backward,
+// gradient flush into the worker's shard — and returns its invBatch-scaled
+// loss contribution. One implementation per engine: tapeStep interprets the
+// autodiff tape, the compiled steps (compiled.go) drive a plan.Exec.
+type stepFn func(wk *worker, inst feature.Instance, invBatch float64) float64
+
+// tapeStep is the tape engine's per-instance step: record the loss on the
+// worker's reusable tape, reverse-interpret it, flush into the shard.
+func tapeStep(loss lossFn, tapeHint *atomic.Int64) stepFn {
+	return func(wk *worker, inst feature.Instance, invBatch float64) float64 {
+		t := wk.tape
+		t.Reset()
+		t.Grow(int(tapeHint.Load()))
+		l := t.Scale(invBatch, loss(t, wk, inst))
+		t.Backward(l)
+		t.FlushGradsTo(wk.shard)
+		// Raise the hint monotonically: a plain check-then-store could let a
+		// smaller pass overwrite a larger one and shrink later Grow calls.
+		for n := int64(t.NumNodes()); ; {
+			cur := tapeHint.Load()
+			if n <= cur || tapeHint.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+		return l.Value.ScalarValue()
+	}
+}
+
+// stepBatch fans one minibatch out over the workers. Each worker runs its
+// strided share of the instances through the engine's step and accumulates
+// gradients into its private shard; per-worker loss sums are combined in
 // worker order so the returned batch-mean loss is a deterministic function of
 // the per-worker contributions. The caller merges the shards and steps the
 // optimizer (optim.StepShards). Shared by the epoch loop (run) and the
 // incremental engine (Stepper.Step).
-func stepBatch(workers []*worker, losses []float64, insts []feature.Instance, loss lossFn, tapeHint *atomic.Int64) float64 {
+func stepBatch(workers []*worker, losses []float64, insts []feature.Instance, step stepFn) float64 {
 	nWorkers := len(workers)
 	invBatch := 1 / float64(len(insts))
 	var wg sync.WaitGroup
@@ -195,24 +254,8 @@ func stepBatch(workers []*worker, losses []float64, insts []feature.Instance, lo
 		go func(w int) {
 			defer wg.Done()
 			wk := workers[w]
-			t := wk.tape
 			for s := w; s < len(insts); s += nWorkers {
-				inst := insts[s]
-				t.Reset()
-				t.Grow(int(tapeHint.Load()))
-				l := t.Scale(invBatch, loss(t, wk, inst))
-				t.Backward(l)
-				t.FlushGradsTo(wk.shard)
-				losses[w] += l.Value.ScalarValue()
-				// Raise the hint monotonically: a plain check-then-store could
-				// let a smaller pass overwrite a larger one and shrink later
-				// Grow calls.
-				for n := int64(t.NumNodes()); ; {
-					cur := tapeHint.Load()
-					if n <= cur || tapeHint.CompareAndSwap(cur, n) {
-						break
-					}
-				}
+				losses[w] += step(wk, insts[s], invBatch)
 			}
 		}(w)
 	}
@@ -225,9 +268,9 @@ func stepBatch(workers []*worker, losses []float64, insts []feature.Instance, lo
 }
 
 // run is the shared minibatch engine: shuffle, split batches, fan instances
-// out to workers (each with a reusable tape and a private gradient shard),
-// merge shards once per batch, step Adam.
-func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) {
+// out to workers (each with a reusable tape or compiled Exec and a private
+// gradient shard), merge shards once per batch, step Adam.
+func run(m Model, split *data.Split, cfg Config, task data.Task) (*History, error) {
 	cfg = cfg.withDefaults()
 	if len(split.Train) == 0 {
 		return nil, fmt.Errorf("train: empty training split")
@@ -235,6 +278,31 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 	params := m.Params()
 	opt := optim.NewAdam(params, cfg.LR)
 	shuffleRng := rand.New(rand.NewSource(cfg.Seed))
+
+	// tapeHint tracks the largest pass recorded so far; workers Grow their
+	// tape to it before each pass, so late starters pre-size their arena in
+	// one step instead of via append growth. (Tape engine only.)
+	var tapeHint atomic.Int64
+	var pl *plan.Plan
+	var step stepFn
+	switch cfg.Engine {
+	case "", EngineTape:
+		loss, err := lossFor(m, task)
+		if err != nil {
+			return nil, err
+		}
+		step = tapeStep(loss, &tapeHint)
+	case EngineCompiled:
+		var err error
+		if pl, err = plan.For(m); err != nil {
+			return nil, err
+		}
+		if step, err = compiledStepFor(task); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("train: unknown engine %q", cfg.Engine)
+	}
 
 	workers := make([]*worker, cfg.Workers)
 	shards := make([]*ag.GradShard, cfg.Workers)
@@ -249,9 +317,16 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 		workers[i] = &worker{
 			sampler:   data.NewNegativeSampler(split.Dataset(), samplerRng),
 			ds:        split.Dataset(),
-			tape:      ag.NewTrainingTape(dropoutRng),
 			shard:     ag.NewGradShard(params),
 			negatives: cfg.Negatives,
+		}
+		// The dropout stream feeds whichever engine consumes it, so a
+		// compiled run is seeded exactly like the tape run it replaces.
+		if pl != nil {
+			workers[i].exec = pl.NewExec()
+			workers[i].exec.SetRNG(dropoutRng)
+		} else {
+			workers[i].tape = ag.NewTrainingTape(dropoutRng)
 		}
 		shards[i] = workers[i].shard
 	}
@@ -260,11 +335,6 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 	for i := range order {
 		order[i] = i
 	}
-
-	// tapeHint tracks the largest pass recorded so far; workers Grow their
-	// tape to it before each pass, so late starters pre-size their arena in
-	// one step instead of via append growth.
-	var tapeHint atomic.Int64
 
 	hist := &History{}
 	start := time.Now()
@@ -283,7 +353,7 @@ func run(m Model, split *data.Split, cfg Config, loss lossFn) (*History, error) 
 			for _, ix := range order[b:end] {
 				scratch = append(scratch, split.Train[ix])
 			}
-			epochLoss += stepBatch(workers, losses, scratch, loss, &tapeHint)
+			epochLoss += stepBatch(workers, losses, scratch, step)
 			optim.StepShards(opt, shards, cfg.GradClip)
 		}
 		nBatches := (len(order) + cfg.BatchSize - 1) / cfg.BatchSize
@@ -362,18 +432,18 @@ func lossFor(m Model, task data.Task) (lossFn, error) {
 
 // Ranking trains m with the BPR loss of Eq. (21).
 func Ranking(m Model, split *data.Split, cfg Config) (*History, error) {
-	return run(m, split, cfg, rankingLoss(m))
+	return run(m, split, cfg, data.Ranking)
 }
 
 // Classification trains m with the log loss of Eq. (24) over the observed
 // positives and cfg.Negatives uniformly sampled unobserved negatives per
 // positive.
 func Classification(m Model, split *data.Split, cfg Config) (*History, error) {
-	return run(m, split, cfg, classificationLoss(m))
+	return run(m, split, cfg, data.Classification)
 }
 
 // Regression trains m with the squared error loss of Eq. (26) against the
 // instance labels (ratings).
 func Regression(m Model, split *data.Split, cfg Config) (*History, error) {
-	return run(m, split, cfg, regressionLoss(m))
+	return run(m, split, cfg, data.Regression)
 }

@@ -198,8 +198,18 @@ func EvalRegression(m Scorer, split *Split, cfg EvalConfig) RegressionResult {
 }
 
 // Score runs one inference-mode forward pass and returns the raw scalar
-// output of Eq. (19) for inst.
+// output of Eq. (19) for inst. Models exposing a structural spec (SeqFM
+// itself) are scored through a cached compiled plan with pooled scratch
+// buffers — bit-identical to the tape but allocation-free after the first
+// call; baselines fall back to a pooled inference tape.
 func Score(m Scorer, inst Instance) float64 {
+	if pl := compiledFor(m); pl != nil {
+		e := pl.Get()
+		s := e.Score(inst)
+		pl.Put(e)
+		return s
+	}
 	t := newInferenceTape()
+	defer releaseInferenceTape(t)
 	return m.Score(t, inst).Value.ScalarValue()
 }

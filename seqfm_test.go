@@ -2,9 +2,11 @@ package seqfm_test
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"seqfm"
+	"seqfm/internal/ag"
 )
 
 // TestPublicAPIEndToEnd exercises the exact workflow documented in the
@@ -137,6 +139,49 @@ func TestPublicAPIClassificationAndRegression(t *testing.T) {
 	if rres.MAE < 0 || math.IsNaN(rres.RRSE) {
 		t.Fatalf("regression result %+v", rres)
 	}
+}
+
+// TestScoreFacadeCompiledParity pins the one-off scoring satellite: Score
+// serves SeqFM through a cached compiled plan, bit-identical to a fresh
+// autodiff tape, and stays so across repeated and concurrent calls (the plan
+// cache and exec pool are shared).
+func TestScoreFacadeCompiledParity(t *testing.T) {
+	ds, err := seqfm.GeneratePOI(seqfm.GowallaConfig(0.001, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := seqfm.DefaultConfig(ds.Space())
+	cfg.Dim = 8
+	cfg.MaxSeqLen = 6
+	m, err := seqfm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := seqfm.NewSplit(ds)
+	insts := split.Test
+	if len(insts) > 24 {
+		insts = insts[:24]
+	}
+	want := make([]float64, len(insts))
+	for i, inst := range insts {
+		want[i] = m.Score(ag.NewTape(), inst).Value.ScalarValue()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				for i, inst := range insts {
+					if got := seqfm.Score(m, inst); got != want[i] {
+						t.Errorf("inst %d: facade %v != tape %v (not bit-identical)", i, got, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestPublicAblation(t *testing.T) {

@@ -1,7 +1,66 @@
 package seqfm
 
-import "seqfm/internal/ag"
+import (
+	"sync"
 
-// newInferenceTape builds a dropout-disabled autodiff tape for one-off
-// scoring from the public API.
-func newInferenceTape() *ag.Tape { return ag.NewTape() }
+	"seqfm/internal/ag"
+	"seqfm/internal/plan"
+)
+
+// The one-off Score facade used to build a fresh tape per call, which made
+// casual scoring loops allocation-bound. Two layers fix that:
+//
+//   - inferenceTapes pools dropout-disabled tapes so the tape fallback reuses
+//     node storage across calls;
+//   - planCache memoises plan.Compile per model identity so compilable models
+//     (anything exposing a core.ModelSpec) skip the tape entirely and score
+//     through a pooled plan.Exec, exactly like the serving engine.
+//
+// A cached plan reads the model's parameter matrices by reference, so
+// in-place weight updates (optimizer steps) are picked up without
+// recompiling; a Clone is a new identity and compiles its own plan.
+var inferenceTapes = sync.Pool{New: func() any { return ag.NewTape() }}
+
+// newInferenceTape leases a dropout-disabled autodiff tape for one-off
+// scoring from the public API. Return it with releaseInferenceTape.
+func newInferenceTape() *ag.Tape { return inferenceTapes.Get().(*ag.Tape) }
+
+// releaseInferenceTape resets the tape (keeping its node storage) and returns
+// it to the pool.
+func releaseInferenceTape(t *ag.Tape) {
+	t.Reset()
+	inferenceTapes.Put(t)
+}
+
+// planCacheCap bounds the facade's plan cache. One entry per live model
+// identity is the expected population; hitting the cap at all means the
+// caller churns through models, so the whole cache is dropped rather than
+// tracking recency.
+const planCacheCap = 64
+
+var (
+	planMu sync.Mutex
+	// planCache maps a scorer identity to its compiled plan; a nil value
+	// records that the scorer is known uncompilable (a baseline), so the
+	// facade does not retry compilation on every call.
+	planCache = make(map[Scorer]*plan.Plan)
+)
+
+// compiledFor returns the cached execution plan for m, compiling it on first
+// sight. It returns nil for models without a compilable spec.
+func compiledFor(m Scorer) *plan.Plan {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if pl, ok := planCache[m]; ok {
+		return pl
+	}
+	if len(planCache) >= planCacheCap {
+		planCache = make(map[Scorer]*plan.Plan)
+	}
+	pl, err := plan.For(m)
+	if err != nil {
+		pl = nil
+	}
+	planCache[m] = pl
+	return pl
+}
