@@ -12,6 +12,7 @@ package seqfm_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -810,4 +811,56 @@ func BenchmarkWALReplay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = replayOnce()
 	}
+}
+
+// BenchmarkObsOverhead is the telemetry overhead guard: the warm
+// single-worker top-K path bare (base) versus through the full per-request
+// instrumentation a /v1/topk request pays — trace creation, context
+// plumbing, stage recording, request counter, edge latency histogram
+// (instrumented) — plus the hot recording path alone (record), which must
+// not allocate. seqfm-bench -mode obs measures the same pair and CI holds
+// the p50 ratio under 1.05 and the record path at 0 allocs/op.
+func BenchmarkObsOverhead(b *testing.B) {
+	m, inst, candidates := benchServingSetup(b)
+	eng := seqfm.NewEngine(m, seqfm.EngineConfig{Workers: 1})
+	defer eng.Close()
+	req := seqfm.TopKRequest{Base: inst, Candidates: candidates, K: 10}
+	_ = eng.TopK(req) // warm the caches
+
+	reg := seqfm.NewMetricsRegistry()
+	stageVec := reg.NewHistogramVec("bench_stage_seconds", "bench", "stage")
+	latChild := reg.NewHistogramVec("bench_request_seconds", "bench", "endpoint").With("topk")
+	reqChild := reg.NewCounterVec("bench_requests_total", "bench", "endpoint", "code").With("topk", "200")
+
+	b.Run("base", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = eng.TopKOn(req)
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := seqfm.NewTrace("topk", stageVec)
+			ctx := seqfm.WithTrace(context.Background(), tr)
+			_, _ = eng.TopKOnCtx(ctx, req)
+			reqChild.Add(1)
+			latChild.Record(time.Since(tr.Start))
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		stageChild := stageVec.With("rank")
+		if allocs := testing.AllocsPerRun(1000, func() {
+			stageChild.Record(time.Microsecond)
+			latChild.Record(time.Microsecond)
+			reqChild.Add(1)
+		}); allocs != 0 {
+			b.Fatalf("hot recording path allocates: %.1f allocs/op, want 0", allocs)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stageChild.Record(time.Microsecond)
+			reqChild.Add(1)
+		}
+	})
 }

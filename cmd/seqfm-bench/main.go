@@ -48,7 +48,15 @@
 // percentiles at fixed offered rates, the maximum sustainable rate under
 // the shed/p99 SLO via a geometric-ramp + bisection search, and a 2×
 // overload run verifying explicit 429/503 shedding with a bounded admitted
-// p99 — writing BENCH_traffic.json.
+// p99 — writing BENCH_traffic.json. It also scrapes the server's own
+// /metrics after the uncontended run and cross-checks the series against
+// the harness-observed counts and percentiles.
+//
+// -mode obs is the telemetry overhead guard: the warm single-worker top-K
+// p50 bare versus through the full per-request instrumentation (trace,
+// stage histogram, request counter), plus ns/op and allocs/op of the hot
+// recording path alone — writing BENCH_obs.json. CI fails the build when
+// the p50 ratio exceeds 1.05 or the recording path allocates.
 package main
 
 import (
@@ -68,7 +76,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index | wal | traffic (engine benchmarks)")
+		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index | wal | traffic | obs (engine benchmarks)")
 		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|figure3|figure4|all")
 		scale   = flag.String("scale", "small", "scale: tiny|small|medium|full")
 		seed    = flag.Int64("seed", 7, "master random seed")
@@ -79,7 +87,7 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
-	case "train", "serve", "index", "wal", "traffic":
+	case "train", "serve", "index", "wal", "traffic", "obs":
 		// The engine benchmarks measure fixed workloads (see
 		// train.BenchWorkload and serve.BenchWorkload) so successive
 		// BENCH_*.json files stay diffable; tell the user if they tried to
@@ -116,6 +124,11 @@ func main() {
 			bench = runTrafficBench
 			if !outSet {
 				outPath = "BENCH_traffic.json"
+			}
+		case "obs":
+			bench = runObsBench
+			if !outSet {
+				outPath = "BENCH_obs.json"
 			}
 		}
 		if err := bench(outPath); err != nil {

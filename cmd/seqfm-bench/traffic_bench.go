@@ -3,6 +3,9 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
@@ -10,6 +13,7 @@ import (
 	"seqfm/internal/core"
 	"seqfm/internal/experiments"
 	"seqfm/internal/httpapi"
+	"seqfm/internal/obs"
 	"seqfm/internal/online"
 	"seqfm/internal/serve"
 	"seqfm/internal/traffic"
@@ -105,6 +109,11 @@ type trafficBenchReport struct {
 		P99Ratio         float64 `json:"p99_ratio"`
 	} `json:"overload"`
 
+	// MetricsCrossCheck is the harness-vs-/metrics agreement per endpoint,
+	// scraped right after the uncontended run while the server's counters
+	// hold exactly that run's traffic.
+	MetricsCrossCheck map[string]trafficCrossJSON `json:"metrics_cross_check"`
+
 	Checks struct {
 		// ShedsExplicitly: at 2× the sustainable rate the server answered
 		// overload with 429/503, not errors or a hang.
@@ -114,7 +123,94 @@ type trafficBenchReport struct {
 		// AdmittedP99Bounded: admitted read p99 under 2× overload stayed
 		// within 5× the uncontended p99 — admission protects the admitted.
 		AdmittedP99Bounded bool `json:"admitted_p99_bounded"`
+		// MetricsConsistent: the server's own /metrics series agree with
+		// what the harness observed from outside (counts and percentiles).
+		MetricsConsistent bool `json:"metrics_consistent"`
 	} `json:"checks"`
+}
+
+// trafficCrossJSON is one endpoint's harness-vs-server comparison: what the
+// load generator counted and timed from outside against the server's own
+// seqfm_http_requests_total / seqfm_http_request_seconds series.
+type trafficCrossJSON struct {
+	HarnessSent  int64   `json:"harness_sent"`
+	ServerSent   int64   `json:"server_sent"`
+	HarnessOK    int64   `json:"harness_ok"`
+	ServerOK     int64   `json:"server_ok"`
+	HarnessP50Ms float64 `json:"harness_p50_ms"`
+	ServerP50Ms  float64 `json:"server_p50_ms"`
+	HarnessP99Ms float64 `json:"harness_p99_ms"`
+	ServerP99Ms  float64 `json:"server_p99_ms"`
+	OK           bool    `json:"ok"`
+}
+
+// countsAgree applies the 5% disagreement bar to a pair of counters (they
+// match exactly in practice — every harness request reaches the mux).
+func countsAgree(a, b int64) bool {
+	if a == b {
+		return true
+	}
+	hi := math.Max(float64(a), float64(b))
+	return math.Abs(float64(a-b)) <= 0.05*hi
+}
+
+// pctAgree applies the disagreement bar to a percentile pair. The harness
+// times from outside the mux and the server inside the handler, and both
+// sides bucket at 32 buckets/decade (adjacent bucket ratio ≈ 1.075), so the
+// same request stream can legitimately read one bucket apart: the bar is 5%
+// compounded with one bucket width (≈ 13%), with a 500µs absolute floor for
+// sub-millisecond latencies where scheduling jitter dominates.
+func pctAgree(a, b time.Duration) bool {
+	lo, hi := math.Min(float64(a), float64(b)), math.Max(float64(a), float64(b))
+	if hi-lo <= float64(500*time.Microsecond) {
+		return true
+	}
+	return hi <= lo*1.075*1.05
+}
+
+// crossCheckMetrics scrapes GET /metrics in-process and compares the
+// server's own series against the harness's per-endpoint observations. The
+// server's latency family is success-only, so it is compared against the
+// harness's admitted-only (OKLatency) percentiles.
+func crossCheckMetrics(h http.Handler, rep *traffic.Report) (map[string]trafficCrossJSON, bool, error) {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		return nil, false, fmt.Errorf("GET /metrics: status %d", rec.Code)
+	}
+	samples, err := obs.ParsePrometheus(rec.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make(map[string]trafficCrossJSON, len(rep.PerKind))
+	allOK := true
+	for name, ks := range rep.PerKind {
+		sent, _ := samples.SumValues("seqfm_http_requests_total", "endpoint", name)
+		var okCount float64
+		for _, smp := range samples {
+			if smp.Name == "seqfm_http_requests_total" && smp.Labels["endpoint"] == name &&
+				len(smp.Labels["code"]) == 3 && smp.Labels["code"][0] == '2' {
+				okCount += smp.Value
+			}
+		}
+		p50, _ := samples.Value("seqfm_http_request_seconds", "endpoint", name, "quantile", "0.5")
+		p99, _ := samples.Value("seqfm_http_request_seconds", "endpoint", name, "quantile", "0.99")
+		c := trafficCrossJSON{
+			HarnessSent: ks.Sent, ServerSent: int64(sent),
+			HarnessOK: ks.OK, ServerOK: int64(okCount),
+			HarnessP50Ms: ms(ks.OKLatency.P50), ServerP50Ms: p50 * 1000,
+			HarnessP99Ms: ms(ks.OKLatency.P99), ServerP99Ms: p99 * 1000,
+		}
+		c.OK = countsAgree(c.HarnessSent, c.ServerSent) && countsAgree(c.HarnessOK, c.ServerOK)
+		if ks.OK > 0 {
+			c.OK = c.OK &&
+				pctAgree(ks.OKLatency.P50, time.Duration(p50*float64(time.Second))) &&
+				pctAgree(ks.OKLatency.P99, time.Duration(p99*float64(time.Second)))
+		}
+		allOK = allOK && c.OK
+		out[name] = c
+	}
+	return out, allOK, nil
 }
 
 // runTrafficBench assembles the full serving stack in-process — tiny-scale
@@ -224,6 +320,24 @@ func runTrafficBench(outPath string) error {
 	fmt.Printf("  read p99 %.2fms, shed %.2f%%\n",
 		ms(uncontended.P99()), 100*uncontended.ShedRate())
 
+	// Phase 1b: scrape the server's own /metrics and cross-check it against
+	// the harness's observations while the counters hold exactly the
+	// uncontended run's traffic. The two views measure the same requests
+	// through independent bookkeeping — disagreement means the telemetry
+	// lies, which is worse than no telemetry.
+	fmt.Println("traffic: /metrics cross-check")
+	cross, crossOK, err := crossCheckMetrics(h, uncontended)
+	if err != nil {
+		return err
+	}
+	report.MetricsCrossCheck = cross
+	report.Checks.MetricsConsistent = crossOK
+	for name, c := range cross {
+		fmt.Printf("  %-10s sent %d/%d ok %d/%d p50 %.2f/%.2fms p99 %.2f/%.2fms (harness/server) agree=%v\n",
+			name, c.HarnessSent, c.ServerSent, c.HarnessOK, c.ServerOK,
+			c.HarnessP50Ms, c.ServerP50Ms, c.HarnessP99Ms, c.ServerP99Ms, c.OK)
+	}
+
 	// Phase 2: the committed fixed offered rates.
 	for _, rate := range trafficFixedRates {
 		fmt.Printf("traffic: fixed rate %.0f req/s\n", rate)
@@ -281,6 +395,7 @@ func runTrafficBench(outPath string) error {
 		"sheds_explicitly":     report.Checks.ShedsExplicitly,
 		"no_server_errors":     report.Checks.NoServerErrors,
 		"admitted_p99_bounded": report.Checks.AdmittedP99Bounded,
+		"metrics_consistent":   report.Checks.MetricsConsistent,
 	} {
 		if !okCheck {
 			fmt.Fprintf(os.Stderr, "traffic bench: CHECK FAILED: %s\n", name)
@@ -295,7 +410,8 @@ func runTrafficBench(outPath string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)
-	if !report.Checks.ShedsExplicitly || !report.Checks.NoServerErrors || !report.Checks.AdmittedP99Bounded {
+	if !report.Checks.ShedsExplicitly || !report.Checks.NoServerErrors ||
+		!report.Checks.AdmittedP99Bounded || !report.Checks.MetricsConsistent {
 		return fmt.Errorf("traffic bench: acceptance checks failed (see %s)", outPath)
 	}
 	return nil

@@ -72,9 +72,11 @@
 // (the preallocated plan engine, the default for SeqFM) or "tape" (the
 // autodiff reference path); with -online it selects the fine-tuning engine
 // too, so a follower must be started with its primary's -engine. /v1/model
-// reports which engine the serving generation runs on. -pprof ADDR exposes
-// net/http/pprof on a side listener kept off the serving mux (and off its
-// admission control), so profiles stay available under load.
+// reports which engine the serving generation runs on. GET /metrics serves
+// Prometheus text exposition and GET /v1/debug/slow the slow-request
+// exemplar ring. -pprof ADDR exposes net/http/pprof on a side listener kept
+// off the serving mux (and off its admission control), so profiles stay
+// available under load; /metrics is mirrored onto that listener too.
 //
 // Shutdown is graceful: SIGINT/SIGTERM drains HTTP (http.Server.Shutdown),
 // runs a final fine-tune sync, writes a final -snapshot, and flushes the WAL
@@ -665,6 +667,9 @@ func serveUntilSignal(o serveOpts, srv *httpapi.Server, ds *data.Dataset, onServ
 		// Side listener on the default mux, where the blank net/http/pprof
 		// import registers its handlers — separate from the serving mux so
 		// profiling stays reachable when the API is saturated or shedding.
+		// /metrics is mirrored here for the same reason: a scrape must not
+		// compete with (or be shed by) serving-path admission control.
+		http.Handle("GET /metrics", srv.MetricsHandler())
 		go func() {
 			log.Printf("pprof listening on %s", o.pprof)
 			if err := http.ListenAndServe(o.pprof, nil); err != nil {

@@ -184,10 +184,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var gen uint64
 	if s.exp != nil {
 		var arm int
-		items, gen, arm = s.exp.TopK(treq)
+		items, gen, arm = s.exp.TopKCtx(r.Context(), treq)
 		resp["arm"] = s.exp.ArmName(arm)
 	} else {
-		items, gen = s.eng.TopKOn(treq)
+		items, gen = s.eng.TopKOnCtx(r.Context(), treq)
 	}
 	resp["items"] = toJSONItems(items)
 	resp["generation"] = gen
@@ -238,12 +238,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var res serve.RecommendResult
 	if s.exp != nil {
 		var arm int
-		res, arm, err = s.exp.Recommend(rreq)
+		res, arm, err = s.exp.RecommendCtx(r.Context(), rreq)
 		if err == nil {
 			resp["arm"] = s.exp.ArmName(arm)
 		}
 	} else {
-		res, err = s.eng.RecommendOn(rreq)
+		res, err = s.eng.RecommendOnCtx(r.Context(), rreq)
 	}
 	if err != nil {
 		httpError(w, http.StatusConflict, fmt.Errorf("retrieval disabled: %w (restart with -index)", err))
@@ -340,7 +340,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	started := time.Now()
-	if err := s.learner.TryIngestBatch(batch); err != nil {
+	if err := s.learner.TryIngestBatchCtx(r.Context(), batch); err != nil {
 		if errors.Is(err, online.ErrBacklog) {
 			// The trainer drains the queue on its own cadence; that is the
 			// honest retry horizon.
@@ -523,14 +523,64 @@ func admissionJSON(st serve.AdmissionStats) map[string]any {
 	}
 }
 
+// handleHealthz reports liveness plus structured readiness: each present
+// subsystem contributes one named check, and any failing check degrades the
+// whole endpoint to 503 — a load balancer's health probe pulls the instance
+// (sick WAL, exhausted training backlog, replica far behind) before an
+// operator has to notice.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	role := "primary"
 	if s.replica != nil {
 		role = "follower"
 	}
+	checks := map[string]any{}
+	healthy := true
+	if s.walLog != nil {
+		walErr := s.walLog.Err()
+		ok := walErr == nil
+		healthy = healthy && ok
+		c := map[string]any{"ok": ok}
+		if walErr != nil {
+			c["error"] = walErr.Error()
+		}
+		checks["wal"] = c
+	}
+	if s.learner != nil {
+		ls := s.learner.Stats()
+		room := s.learner.Room()
+		// Backlogged means the admission valve is rejecting every feedback
+		// batch — the instance still answers reads, but it is not a healthy
+		// ingest target.
+		ok := room > 0
+		healthy = healthy && ok
+		checks["learner"] = map[string]any{
+			"ok": ok, "room": room, "pending": ls.Pending,
+			"train_lag_s": ls.TrainLagSeconds,
+		}
+	}
+	if s.replica != nil {
+		rs := s.replica.Stats()
+		ok := !rs.Failed && (rs.CaughtUp || rs.LagSeconds < replicaLagThreshold.Seconds())
+		healthy = healthy && ok
+		c := map[string]any{
+			"ok": ok, "caught_up": rs.CaughtUp,
+			"lag_records": rs.LagRecords, "lag_seconds": rs.LagSeconds,
+		}
+		if rs.LastError != "" {
+			c["last_error"] = rs.LastError
+		}
+		checks["replica"] = c
+	}
+	status := "ok"
+	if !healthy {
+		status = "degraded"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	writeJSON(w, map[string]any{
-		"status":     "ok",
+		"status":     status,
+		"checks":     checks,
 		"dataset":    s.ds.Name,
 		"task":       s.ds.Task.String(),
 		"users":      s.ds.NumUsers,

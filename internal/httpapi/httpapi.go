@@ -30,6 +30,7 @@ import (
 
 	"seqfm/internal/core"
 	"seqfm/internal/data"
+	"seqfm/internal/obs"
 	"seqfm/internal/online"
 	"seqfm/internal/serve"
 	"seqfm/internal/wal"
@@ -62,6 +63,15 @@ type Config struct {
 	// /v1/feedback respectively.
 	ReadAdmission     *serve.AdmissionConfig
 	FeedbackAdmission *serve.AdmissionConfig
+	// Registry, when non-nil, is the telemetry registry /metrics serves;
+	// nil builds a private one. The server always records — a registry is
+	// how callers add their own families alongside the server's.
+	Registry *obs.Registry
+	// SlowRingSize and SlowThreshold tune the /v1/debug/slow exemplar ring;
+	// zero values take obs.DefaultSlowRingSize / obs.DefaultSlowThreshold
+	// (a negative threshold keeps every request, which tests use).
+	SlowRingSize  int
+	SlowThreshold time.Duration
 }
 
 // Server holds the handlers' shared state. Build with New.
@@ -79,6 +89,17 @@ type Server struct {
 	feedbackLimiter *serve.Limiter
 
 	start time.Time
+
+	// Telemetry (built by initObs): the registry behind /metrics, the edge
+	// instruments the trace middleware records into, and the slow-request
+	// exemplar ring behind /v1/debug/slow.
+	reg       *obs.Registry
+	reqVec    *obs.CounterVec   // seqfm_http_requests_total{endpoint,code}
+	latVec    *obs.HistogramVec // seqfm_http_request_seconds{endpoint}
+	stageVec  *obs.HistogramVec // seqfm_stage_seconds{stage}
+	waitVec   *obs.HistogramVec // seqfm_admission_wait_seconds{group}
+	slowCount *obs.Counter
+	slow      *obs.SlowRing
 }
 
 // New validates cfg and builds the server.
@@ -102,6 +123,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FeedbackAdmission != nil {
 		s.feedbackLimiter = serve.NewLimiter(*cfg.FeedbackAdmission)
 	}
+	s.initObs(cfg.Registry, cfg.SlowRingSize, cfg.SlowThreshold)
 	return s, nil
 }
 
@@ -109,12 +131,14 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.MetricsHandler().ServeHTTP)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.HandleFunc("POST /v1/score", s.limited(s.readLimiter, s.handleScore))
-	mux.HandleFunc("POST /v1/topk", s.limited(s.readLimiter, s.handleTopK))
-	mux.HandleFunc("POST /v1/recommend", s.limited(s.readLimiter, s.handleRecommend))
-	mux.HandleFunc("POST /v1/feedback", s.limited(s.feedbackLimiter, s.handleFeedback))
+	mux.HandleFunc("GET /v1/debug/slow", s.handleSlow)
+	mux.HandleFunc("POST /v1/score", s.instrument("score", s.limited(s.readLimiter, "read", s.handleScore)))
+	mux.HandleFunc("POST /v1/topk", s.instrument("topk", s.limited(s.readLimiter, "read", s.handleTopK)))
+	mux.HandleFunc("POST /v1/recommend", s.instrument("recommend", s.limited(s.readLimiter, "read", s.handleRecommend)))
+	mux.HandleFunc("POST /v1/feedback", s.instrument("feedback", s.limited(s.feedbackLimiter, "feedback", s.handleFeedback)))
 	mux.HandleFunc("GET /v1/replica/snapshot", s.handleReplicaSnapshot)
 	mux.HandleFunc("GET /v1/replica/log", s.handleReplicaLog)
 	return mux
@@ -122,13 +146,19 @@ func (s *Server) Routes() *http.ServeMux {
 
 // limited wraps h behind limiter l: a full queue sheds with 429, a wait
 // timeout with 503, both with a Retry-After estimated from the queue state.
-// A nil limiter admits everything.
-func (s *Server) limited(l *serve.Limiter, h http.HandlerFunc) http.HandlerFunc {
+// A nil limiter admits everything. The slot wait lands in the group's
+// admission-wait histogram and on the request trace as "admission_wait".
+func (s *Server) limited(l *serve.Limiter, group string, h http.HandlerFunc) http.HandlerFunc {
 	if l == nil {
 		return h
 	}
+	wait := s.waitVec.With(group)
 	return func(w http.ResponseWriter, r *http.Request) {
+		acquireStart := time.Now()
 		release, err := l.Acquire()
+		waited := time.Since(acquireStart)
+		wait.Record(waited)
+		obs.FromContext(r.Context()).Stage("admission_wait", waited)
 		if err != nil {
 			code := http.StatusServiceUnavailable
 			if errors.Is(err, serve.ErrShed) {

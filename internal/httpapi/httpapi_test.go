@@ -223,7 +223,7 @@ func TestAdmissionControl(t *testing.T) {
 	// through a wrapped slow handler.
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	slow := s.limited(s.readLimiter, func(w http.ResponseWriter, r *http.Request) {
+	slow := s.limited(s.readLimiter, "read", func(w http.ResponseWriter, r *http.Request) {
 		close(entered)
 		<-release
 		w.WriteHeader(http.StatusOK)

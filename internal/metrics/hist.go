@@ -1,158 +1,20 @@
 package metrics
 
-// Serving-side latency accounting. The offline measures in this package
-// score model quality from full prediction vectors; a latency histogram has
-// the opposite constraints — millions of concurrent observations, bounded
-// memory, quantile reads while writers keep recording. LatencyHist trades
-// exactness for that shape: log-spaced buckets with a fixed relative error
-// (~10% per step at the default resolution), lock-free recording, and
-// quantiles interpolated from a snapshot of the bucket counts.
+// Serving-side latency accounting. The log-bucketed histogram that used to
+// live here was promoted to internal/obs when the telemetry registry landed:
+// the experiments tier, the traffic harness and the /metrics exposition all
+// need the same bucket layout (quantiles cross-checked between harness and
+// server only agree when both sides bucket identically), so there is exactly
+// one implementation. These aliases keep the original names working for
+// callers that predate the registry.
 
-import (
-	"math"
-	"sync/atomic"
-	"time"
-)
+import "seqfm/internal/obs"
 
-// histBucketsPerDecade fixes the bucket resolution: 32 buckets per 10× of
-// latency keeps the worst-case quantile error under one bucket step
-// (10^(1/32) ≈ 1.075, i.e. ≲7.5%) while the whole histogram — covering
-// 1µs..~17min — stays under 3KiB of counters.
-const (
-	histBucketsPerDecade = 32
-	histMinNanos         = 1e3 // 1µs floor; everything faster lands in bucket 0
-	histDecades          = 10  // 1µs · 10^10 ≈ 2.8h ceiling
-	histBuckets          = histBucketsPerDecade*histDecades + 1
-)
-
-// LatencyHist is a concurrency-safe log-bucketed duration histogram. The
-// zero value is ready to use; Record never allocates or blocks, so it can
-// sit on a request hot path.
-type LatencyHist struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64 // nanoseconds
-	max     atomic.Int64 // nanoseconds, high-water
-}
-
-// bucketOf maps a duration to its bucket index.
-func bucketOf(d time.Duration) int {
-	ns := float64(d.Nanoseconds())
-	if ns <= histMinNanos {
-		return 0
-	}
-	i := int(math.Log10(ns/histMinNanos)*histBucketsPerDecade) + 1
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	return i
-}
-
-// bucketUpper returns the upper latency bound of bucket i in nanoseconds.
-func bucketUpper(i int) float64 {
-	if i == 0 {
-		return histMinNanos
-	}
-	return histMinNanos * math.Pow(10, float64(i)/histBucketsPerDecade)
-}
-
-// Record adds one observation.
-func (h *LatencyHist) Record(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.buckets[bucketOf(d)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(d.Nanoseconds())
-	for {
-		cur := h.max.Load()
-		if d.Nanoseconds() <= cur || h.max.CompareAndSwap(cur, d.Nanoseconds()) {
-			break
-		}
-	}
-}
-
-// Count returns the number of recorded observations.
-func (h *LatencyHist) Count() int64 { return h.count.Load() }
-
-// Mean returns the mean recorded latency (0 when empty).
-func (h *LatencyHist) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Max returns the largest recorded latency.
-func (h *LatencyHist) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Quantile returns the latency at quantile q ∈ [0,1], interpolated within
-// the containing bucket (upper-bounded by the observed max). Concurrent
-// Records make the read a consistent-enough snapshot, not an exact one —
-// the histogram's contract is monitoring, not accounting.
-func (h *LatencyHist) Quantile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := q * float64(n)
-	seen := 0.0
-	for i := 0; i < histBuckets; i++ {
-		c := float64(h.buckets[i].Load())
-		if c == 0 {
-			continue
-		}
-		if seen+c >= rank {
-			// Interpolate between the bucket's bounds by the rank's position
-			// inside it; bucket 0's lower bound is 0.
-			lower := 0.0
-			if i > 0 {
-				lower = bucketUpper(i - 1)
-			}
-			upper := bucketUpper(i)
-			m := float64(h.max.Load())
-			if i == histBuckets-1 && m > upper {
-				// The overflow bucket has no log-scale upper bound; the
-				// observed max is the honest one.
-				upper = m
-			}
-			if upper > m {
-				upper = m
-			}
-			if upper < lower {
-				upper = lower
-			}
-			frac := (rank - seen) / c
-			return time.Duration(lower + (upper-lower)*frac)
-		}
-		seen += c
-	}
-	return time.Duration(h.max.Load())
-}
-
-// Snapshot returns the conventional serving percentiles in one pass-ish
-// read: p50, p95, p99, plus mean, max and count.
-func (h *LatencyHist) Snapshot() LatencySnapshot {
-	return LatencySnapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
-		Max:   h.Max(),
-	}
-}
+// LatencyHist is a concurrency-safe log-bucketed duration histogram — an
+// alias of obs.Histogram, the repo's single latency-histogram
+// implementation. The zero value is ready to use; Record never allocates or
+// blocks, so it can sit on a request hot path.
+type LatencyHist = obs.Histogram
 
 // LatencySnapshot is a point-in-time percentile summary of a LatencyHist.
-type LatencySnapshot struct {
-	Count               int64
-	Mean, P50, P95, P99 time.Duration
-	Max                 time.Duration
-}
+type LatencySnapshot = obs.Snapshot

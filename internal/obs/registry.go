@@ -1,0 +1,351 @@
+package obs
+
+// The metric registry. A Registry owns an ordered set of metric families;
+// each family has a fixed kind (counter, gauge, summary), a fixed label-name
+// list, and one child per label-value combination. Exposition walks families
+// and children in registration order, so /metrics output is byte-stable for
+// a fixed wiring — the property the golden test pins.
+//
+// Two registration styles coexist:
+//
+//   - Event-driven instruments (Counter, Gauge, Histogram) are recorded at
+//     the moment something happens. Hot paths hold the child pointer —
+//     resolved once via With/Attach at wiring time — and pay only atomics
+//     per record.
+//   - Callback instruments (CounterFunc, GaugeFunc) are read at scrape time
+//     from a closure, usually over a subsystem's existing Stats snapshot.
+//     They cost the serving path nothing and are how the engine, learner,
+//     WAL and admission counters surface without new bookkeeping.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready; Add and Inc are lock-free and never allocate.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n and returns the new value.
+func (c *Counter) Add(n int64) int64 { return c.v.Add(n) }
+
+// Inc increments the counter by one and returns the new value.
+func (c *Counter) Inc() int64 { return c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float-valued instantaneous measurement. The zero value is
+// ready; Set/Value are lock-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Kind is a family's exposition type.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindSummary // histograms expose as quantile summaries
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindSummary:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// Label is one name=value pair on a callback metric.
+type Label struct{ Name, Value string }
+
+// child is one labeled series inside a family; exactly one of the instrument
+// fields is set.
+type child struct {
+	values []string // label values, aligned with the family's label names
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	cf     func() int64
+	gf     func() float64
+}
+
+// family is one named metric with a fixed kind and label schema.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+
+	mu       sync.Mutex
+	order    []string
+	children map[string]*child
+}
+
+const labelSep = "\x1f"
+
+func (f *family) get(values []string) (*child, bool) {
+	key := strings.Join(values, labelSep)
+	ch, ok := f.children[key]
+	return ch, ok
+}
+
+// add inserts ch under values, replacing any previous child with the same
+// label values (re-wiring, e.g. a rebuilt subsystem, wins over staleness).
+func (f *family) add(values []string, ch *child) {
+	key := strings.Join(values, labelSep)
+	if _, exists := f.children[key]; !exists {
+		f.order = append(f.order, key)
+	}
+	ch.values = values
+	f.children[key] = ch
+}
+
+// Registry is an ordered collection of metric families. The zero value is
+// not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// familyFor returns the family, creating it on first use. Re-registering an
+// existing name with a different kind or label schema panics: that is a
+// wiring bug, and silently coercing it would corrupt the exposition.
+func (r *Registry) familyFor(name, help string, kind Kind, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with labels %v (was %v)", name, labels, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with labels %v (was %v)", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, children: make(map[string]*child)}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// labelValues validates a callback metric's labels against the family
+// schema and returns the value list in schema order.
+func labelNamesValues(labels []Label) (names, values []string) {
+	for _, l := range labels {
+		names = append(names, l.Name)
+		values = append(values, l.Value)
+	}
+	return names, values
+}
+
+// NewCounter registers (or finds) an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.familyFor(name, help, KindCounter, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.get(nil); ok && ch.c != nil {
+		return ch.c
+	}
+	c := &Counter{}
+	f.add(nil, &child{c: c})
+	return c
+}
+
+// NewGauge registers (or finds) an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.familyFor(name, help, KindGauge, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.get(nil); ok && ch.g != nil {
+		return ch.g
+	}
+	g := &Gauge{}
+	f.add(nil, &child{g: g})
+	return g
+}
+
+// NewHistogram registers (or finds) an unlabeled histogram, exposed as a
+// summary (p50/p95/p99 + sum + count) in seconds.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	f := r.familyFor(name, help, KindSummary, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.get(nil); ok && ch.h != nil {
+		return ch.h
+	}
+	h := &Histogram{}
+	f.add(nil, &child{h: h})
+	return h
+}
+
+// RegisterHistogram adopts an externally owned histogram (one embedded in a
+// subsystem, recorded there) into the registry under name — zero extra cost
+// on the subsystem's hot path, since the instrument it already records into
+// is the exposed series.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	names, values := labelNamesValues(labels)
+	f := r.familyFor(name, help, KindSummary, names)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.add(values, &child{h: h})
+}
+
+// CounterFunc registers a scrape-time counter read from fn. Registering the
+// same name with distinct label values grows the family one child per call.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	names, values := labelNamesValues(labels)
+	f := r.familyFor(name, help, KindCounter, names)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.add(values, &child{cf: fn})
+}
+
+// GaugeFunc registers a scrape-time gauge read from fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	names, values := labelNamesValues(labels)
+	f := r.familyFor(name, help, KindGauge, names)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.add(values, &child{gf: fn})
+}
+
+// CounterVec is a counter family with a fixed label schema; children are
+// resolved with With.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers (or finds) a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.familyFor(name, help, KindCounter, labelNames)}
+}
+
+// With returns the child counter for the given label values (created on
+// first use). Resolve once at wiring time; the returned pointer is the
+// lock-free hot-path instrument.
+func (v *CounterVec) With(values ...string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if ch, ok := v.f.get(values); ok && ch.c != nil {
+		return ch.c
+	}
+	c := &Counter{}
+	v.f.add(values, &child{c: c})
+	return c
+}
+
+// GaugeVec is a gauge family with a fixed label schema.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.familyFor(name, help, KindGauge, labelNames)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if ch, ok := v.f.get(values); ok && ch.g != nil {
+		return ch.g
+	}
+	g := &Gauge{}
+	v.f.add(values, &child{g: g})
+	return g
+}
+
+// HistogramVec is a histogram family with a fixed label schema.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.familyFor(name, help, KindSummary, labelNames)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if ch, ok := v.f.get(values); ok && ch.h != nil {
+		return ch.h
+	}
+	h := &Histogram{}
+	v.f.add(values, &child{h: h})
+	return h
+}
+
+// Attach adopts an externally owned histogram as the child for the given
+// label values — the labeled-family analogue of RegisterHistogram. The
+// experiments tier uses it to expose each arm's existing per-endpoint
+// histograms without double recording.
+func (v *HistogramVec) Attach(h *Histogram, values ...string) {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	v.f.add(values, &child{h: h})
+}
+
+// Families returns the registered family names in registration order —
+// exposition's iteration order, used by tests asserting coverage.
+func (r *Registry) Families() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.families))
+	for i, f := range r.families {
+		out[i] = f.name
+	}
+	return out
+}
+
+// formatLabels renders a child's labels (plus any extra pairs, e.g. the
+// quantile on summary lines) in the family's schema order, extras last.
+func formatLabels(sb *strings.Builder, names, values []string, extra ...string) {
+	if len(names) == 0 && len(extra) == 0 {
+		return
+	}
+	sb.WriteByte('{')
+	first := true
+	for i, n := range names {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(extra[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extra[i+1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+}

@@ -1,0 +1,195 @@
+package obs
+
+// Per-request tracing. A Trace is created at the edge (httpapi) and carried
+// down through context.Context; each layer that owns a measurable stage —
+// admission wait, ANN retrieve, exact re-rank, WAL append, durability wait —
+// records its duration on the trace. Every stage lands in exactly two
+// places: the stage-labeled histogram family (aggregate attribution: "where
+// do recommend requests spend their time") and the trace's own stage list
+// (per-request attribution, kept only when the request was slow enough to
+// enter the exemplar ring).
+//
+// Every Trace method is nil-receiver safe, so deep layers record
+// unconditionally: a path exercised without a trace (direct engine calls,
+// tests, the online trainer's replay path) costs one nil check.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// StageSpan is one completed stage on a trace.
+type StageSpan struct {
+	Name string        `json:"stage"`
+	Dur  time.Duration `json:"-"`
+	// Millis mirrors Dur for JSON output (/v1/debug/slow).
+	Millis float64 `json:"ms"`
+}
+
+// Trace accumulates one request's stage spans. Safe for concurrent use —
+// the write path fans out across goroutines.
+type Trace struct {
+	// Endpoint is the request class label ("recommend", "feedback", ...).
+	Endpoint string
+	// Start is when the edge opened the trace.
+	Start time.Time
+
+	sink *HistogramVec // stage-labeled histograms, may be nil
+
+	mu     sync.Mutex
+	stages []StageSpan
+}
+
+// NewTrace opens a trace for one request; sink (may be nil) receives every
+// stage duration under its stage label.
+func NewTrace(endpoint string, sink *HistogramVec) *Trace {
+	return &Trace{Endpoint: endpoint, Start: time.Now(), sink: sink}
+}
+
+// Stage records one completed stage.
+func (t *Trace) Stage(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	if t.sink != nil {
+		t.sink.With(name).Record(d)
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, StageSpan{Name: name, Dur: d, Millis: durMillis(d)})
+	t.mu.Unlock()
+}
+
+// StartStage opens a stage and returns its closer: `defer tr.StartStage("x")()`.
+func (t *Trace) StartStage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Stage(name, time.Since(start)) }
+}
+
+// Stages returns a copy of the recorded spans in recording order.
+func (t *Trace) Stages() []StageSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageSpan, len(t.stages))
+	copy(out, t.stages)
+	return out
+}
+
+func durMillis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+type traceKey struct{}
+
+// WithTrace returns ctx carrying tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil — callers record
+// through the (nil-safe) result unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// SlowEntry is one slow-request exemplar: the whole request plus its stage
+// breakdown, as served by /v1/debug/slow.
+type SlowEntry struct {
+	At       time.Time   `json:"at"`
+	Endpoint string      `json:"endpoint"`
+	Status   int         `json:"status"`
+	Millis   float64     `json:"total_ms"`
+	Stages   []StageSpan `json:"stages,omitempty"`
+}
+
+// SlowRing keeps the most recent requests that crossed a latency threshold,
+// in a bounded ring — enough to answer "what did the last slow requests
+// spend their time on" without unbounded memory or sampling infrastructure.
+type SlowRing struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	buf       []SlowEntry
+	next      int
+	full      bool
+}
+
+// Defaults for NewSlowRing's zero arguments.
+const (
+	DefaultSlowRingSize  = 64
+	DefaultSlowThreshold = 50 * time.Millisecond
+)
+
+// NewSlowRing returns a ring of at most size exemplars for requests slower
+// than threshold (0 takes the defaults; a negative threshold keeps every
+// request, which tests use).
+func NewSlowRing(size int, threshold time.Duration) *SlowRing {
+	if size <= 0 {
+		size = DefaultSlowRingSize
+	}
+	if threshold == 0 {
+		threshold = DefaultSlowThreshold
+	}
+	return &SlowRing{threshold: threshold, buf: make([]SlowEntry, size)}
+}
+
+// Threshold returns the ring's admission threshold.
+func (r *SlowRing) Threshold() time.Duration { return r.threshold }
+
+// Observe offers one finished request; it is kept only when total crosses
+// the threshold.
+func (r *SlowRing) Observe(tr *Trace, status int, total time.Duration) {
+	if r == nil || total < r.threshold {
+		return
+	}
+	e := SlowEntry{
+		At:       time.Now(),
+		Status:   status,
+		Millis:   durMillis(total),
+		Endpoint: tr.endpointOr("unknown"),
+		Stages:   tr.Stages(),
+	}
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+func (t *Trace) endpointOr(def string) string {
+	if t == nil || t.Endpoint == "" {
+		return def
+	}
+	return t.Endpoint
+}
+
+// Snapshot returns the ring's entries, newest first.
+func (r *SlowRing) Snapshot() []SlowEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -35,6 +35,7 @@
 package online
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -47,6 +48,7 @@ import (
 	"seqfm/internal/core"
 	"seqfm/internal/data"
 	"seqfm/internal/feature"
+	"seqfm/internal/obs"
 	"seqfm/internal/optim"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
@@ -130,6 +132,15 @@ type Stats struct {
 	Generation uint64
 	// HistoryUsers is the number of users with a live history.
 	HistoryUsers int
+	// BacklogRejects counts whole batches TryIngestBatch refused with
+	// ErrBacklog — the admission valve firing, as opposed to Dropped's
+	// silent evictions.
+	BacklogRejects int64
+	// TrainLagSeconds is how long the oldest untrained event has been
+	// queued — the train-behind-ingest lag in wall-clock terms (0 when the
+	// queue is empty). TrainLagEvents is the same lag in events (== Pending).
+	TrainLagSeconds float64
+	TrainLagEvents  int
 
 	// Durability state; all zero unless the learner was built with a WAL
 	// (Config.Log).
@@ -155,6 +166,9 @@ type Stats struct {
 type pendingEvent struct {
 	inst feature.Instance
 	seq  uint64
+	// at is the enqueue wall-clock (UnixNano); the head event's age is the
+	// train-behind-ingest lag Stats reports.
+	at int64
 }
 
 // Learner is the online-learning subsystem: one per served model. Its public
@@ -224,6 +238,13 @@ type Learner struct {
 	steps    atomic.Int64
 	swaps    atomic.Int64
 	lastLoss atomic.Uint64 // math.Float64bits
+
+	// Telemetry: stepHist times stepper.Step minibatches, publishHist the
+	// clone+Swap of each publish; backlogRejects counts ErrBacklog
+	// admissions refused. Live histograms — register, don't copy.
+	stepHist       obs.Histogram
+	publishHist    obs.Histogram
+	backlogRejects atomic.Int64
 
 	bg struct {
 		sync.Mutex
@@ -358,7 +379,7 @@ func (l *Learner) Ingest(user, object int, label float64) error {
 	if err := l.checkEvent(user, object); err != nil {
 		return err
 	}
-	seq, err := l.ingestOne(user, object, label)
+	seq, _, err := l.ingestOne(user, object, label)
 	if err != nil {
 		return err
 	}
@@ -385,7 +406,7 @@ func (l *Learner) IngestBatch(events []Event) error {
 	}
 	var last uint64
 	for _, ev := range events {
-		seq, err := l.ingestOne(ev.User, ev.Object, ev.Label)
+		seq, _, err := l.ingestOne(ev.User, ev.Object, ev.Label)
 		if err != nil {
 			return err
 		}
@@ -429,6 +450,16 @@ func (l *Learner) roomLocked() int {
 // which can shed slightly early under heavy concurrency — the cheap side of
 // the error to be on for an overload valve.
 func (l *Learner) TryIngestBatch(events []Event) error {
+	return l.TryIngestBatchCtx(context.Background(), events)
+}
+
+// TryIngestBatchCtx is TryIngestBatch with per-stage tracing: when ctx
+// carries an obs.Trace, the batch's summed WAL-append time lands in the
+// "wal_append" stage and the group-commit wait in "durable_wait" — the
+// write path's answer to "is feedback latency the disk or the queue". The
+// context carries only the trace; cancellation is not consulted (the batch
+// is already durable or not by the time it could matter).
+func (l *Learner) TryIngestBatchCtx(ctx context.Context, events []Event) error {
 	for i, ev := range events {
 		if err := l.checkEvent(ev.User, ev.Object); err != nil {
 			return fmt.Errorf("event %d: %w", i, err)
@@ -441,6 +472,7 @@ func (l *Learner) TryIngestBatch(events []Event) error {
 	l.mu.Lock()
 	if l.roomLocked() < n {
 		l.mu.Unlock()
+		l.backlogRejects.Add(1)
 		return ErrBacklog
 	}
 	l.reserved += n
@@ -450,15 +482,26 @@ func (l *Learner) TryIngestBatch(events []Event) error {
 		l.reserved -= n
 		l.mu.Unlock()
 	}()
+	tr := obs.FromContext(ctx)
 	var last uint64
+	var appendTotal time.Duration
 	for _, ev := range events {
-		seq, err := l.ingestOne(ev.User, ev.Object, ev.Label)
+		seq, appendDur, err := l.ingestOne(ev.User, ev.Object, ev.Label)
 		if err != nil {
 			return err
 		}
+		appendTotal += appendDur
 		last = seq
 	}
-	return l.waitCommitted(last)
+	if l.walLog != nil {
+		tr.Stage("wal_append", appendTotal)
+	}
+	waitStart := time.Now()
+	err := l.waitCommitted(last)
+	if l.walLog != nil && l.walLog.Policy() != wal.SyncNone {
+		tr.Stage("durable_wait", time.Since(waitStart))
+	}
+	return err
 }
 
 // checkEvent validates one interaction's ids.
@@ -473,8 +516,9 @@ func (l *Learner) checkEvent(user, object int) error {
 }
 
 // ingestOne applies one interaction's side effects and returns its WAL
-// sequence number (0 without a WAL) without waiting for durability.
-func (l *Learner) ingestOne(user, object int, label float64) (uint64, error) {
+// sequence number (0 without a WAL) plus the buffered-append duration,
+// without waiting for durability.
+func (l *Learner) ingestOne(user, object int, label float64) (uint64, time.Duration, error) {
 	l.live.Store(true)
 	if l.walLog == nil {
 		// Snapshot-and-append atomically (one stripe-lock critical section),
@@ -486,7 +530,7 @@ func (l *Learner) ingestOne(user, object int, label float64) (uint64, error) {
 		l.enqueueLocked(inst, 0, true)
 		l.mu.Unlock()
 		l.ingested.Add(1)
-		return 0, nil
+		return 0, 0, nil
 	}
 	// Durable path: the WAL append, the history-store append and the queue
 	// insert happen in one critical section, so the log's record order is
@@ -497,17 +541,19 @@ func (l *Learner) ingestOne(user, object int, label float64) (uint64, error) {
 	// group commit instead of serialising on the disk.
 	rec := wal.Record{Type: wal.RecEvent, User: user, Object: object, Label: label, TS: time.Now().UnixMilli()}
 	l.mu.Lock()
+	appendStart := time.Now()
 	pos, err := l.walLog.AppendRecord(rec)
+	appendDur := time.Since(appendStart)
 	if err != nil {
 		l.mu.Unlock()
-		return 0, fmt.Errorf("online: wal append: %w", err)
+		return 0, appendDur, fmt.Errorf("online: wal append: %w", err)
 	}
 	inst := l.makeInstance(user, object, label)
 	l.markSeen(user, object)
 	l.enqueueLocked(inst, pos.Seq, true)
 	l.mu.Unlock()
 	l.ingested.Add(1)
-	return pos.Seq, nil
+	return pos.Seq, appendDur, nil
 }
 
 // waitCommitted blocks until seq is durable under the log's policy; a no-op
@@ -553,7 +599,7 @@ func (l *Learner) makeInstance(user, object int, label float64) feature.Instance
 // markers are replayed instead, so recovery reproduces the original run even
 // if MaxPending changed between runs. l.mu must be held.
 func (l *Learner) enqueueLocked(inst feature.Instance, seq uint64, allowDrop bool) {
-	l.pending = append(l.pending, pendingEvent{inst: inst, seq: seq})
+	l.pending = append(l.pending, pendingEvent{inst: inst, seq: seq, at: time.Now().UnixNano()})
 	if !allowDrop {
 		return
 	}
@@ -838,7 +884,9 @@ func (l *Learner) stepBatch(batch []pendingEvent) float64 {
 		l.stepper.MarkSeen(ev.inst.User, ev.inst.Target)
 		insts[i] = ev.inst
 	}
+	stepStart := time.Now()
 	loss := l.stepper.Step(insts)
+	l.stepHist.Record(time.Since(stepStart))
 	l.lastLoss.Store(math.Float64bits(loss))
 	l.steps.Add(1)
 	if l.walLog != nil {
@@ -859,7 +907,9 @@ func (l *Learner) stepBatch(batch []pendingEvent) float64 {
 // installed generation. Callers hold trainMu (or are constructing the
 // learner).
 func (l *Learner) publish() uint64 {
+	start := time.Now()
 	gen := l.eng.Swap(l.model.Clone())
+	l.publishHist.Record(time.Since(start))
 	l.swaps.Add(1)
 	return gen
 }
@@ -868,7 +918,9 @@ func (l *Learner) publish() uint64 {
 // the follower path, aligning replica generation numbering with the
 // primary's publish markers. Callers hold trainMu.
 func (l *Learner) publishAs(gen uint64) uint64 {
+	start := time.Now()
 	id := l.eng.SwapAs(l.model.Clone(), gen)
+	l.publishHist.Record(time.Since(start))
 	l.swaps.Add(1)
 	return id
 }
@@ -994,16 +1046,27 @@ func (l *Learner) LR() float64 {
 func (l *Learner) Stats() Stats {
 	l.mu.Lock()
 	pending := len(l.pending) - l.head
+	var oldestAt int64
+	if pending > 0 {
+		oldestAt = l.pending[l.head].at
+	}
 	l.mu.Unlock()
 	st := Stats{
-		Ingested:     l.ingested.Load(),
-		Dropped:      l.dropped.Load(),
-		Pending:      pending,
-		Steps:        l.steps.Load(),
-		Swaps:        l.swaps.Load(),
-		LastLoss:     math.Float64frombits(l.lastLoss.Load()),
-		Generation:   l.eng.Generation(),
-		HistoryUsers: l.store.Users(),
+		Ingested:       l.ingested.Load(),
+		Dropped:        l.dropped.Load(),
+		Pending:        pending,
+		Steps:          l.steps.Load(),
+		Swaps:          l.swaps.Load(),
+		LastLoss:       math.Float64frombits(l.lastLoss.Load()),
+		Generation:     l.eng.Generation(),
+		HistoryUsers:   l.store.Users(),
+		BacklogRejects: l.backlogRejects.Load(),
+		TrainLagEvents: pending,
+	}
+	if oldestAt > 0 {
+		if lag := time.Since(time.Unix(0, oldestAt)); lag > 0 {
+			st.TrainLagSeconds = lag.Seconds()
+		}
 	}
 	if l.walLog != nil {
 		st.LogSeq = l.walLog.Pos().Seq
@@ -1019,3 +1082,10 @@ func (l *Learner) Stats() Stats {
 // built without one. The replica endpoints read it; the learner never closes
 // it.
 func (l *Learner) WAL() *wal.Log { return l.walLog }
+
+// StepLatency is the live histogram of fine-tune minibatch (stepper.Step)
+// durations; PublishLatency times each publish's clone + engine hot-swap
+// (including the index rebuild when retrieval is configured). Register them,
+// don't copy them.
+func (l *Learner) StepLatency() *obs.Histogram    { return &l.stepHist }
+func (l *Learner) PublishLatency() *obs.Histogram { return &l.publishHist }

@@ -15,6 +15,7 @@ import (
 
 	"seqfm/internal/ckpt"
 	"seqfm/internal/core"
+	"seqfm/internal/obs"
 	"seqfm/internal/optim"
 	"seqfm/internal/wal"
 )
@@ -323,6 +324,7 @@ type Replica struct {
 	appliedRecs    atomic.Int64
 	failed         atomic.Bool
 	lastErr        atomic.Value // string
+	pollHist       obs.Histogram
 
 	bg struct {
 		sync.Mutex
@@ -401,7 +403,9 @@ func (r *Replica) applyFetch(fetch LogFetch) error {
 // same position can never succeed) from a transient fetch error.
 func (r *Replica) poll(wait time.Duration) (n int, fatal bool, err error) {
 	r.polls.Add(1)
+	start := time.Now()
 	fetch, err := r.src.FetchLog(r.applied.Load()+1, r.cfg.MaxBatch, wait)
+	r.pollHist.Record(time.Since(start))
 	if err != nil {
 		r.pollErrs.Add(1)
 		r.lastErr.Store(err.Error())
@@ -492,6 +496,12 @@ func (r *Replica) Close() {
 		<-done
 	}
 }
+
+// PollLatency is the live histogram of FetchLog round-trip times. When the
+// replica is caught up this is dominated by the long-poll window (the
+// follower parks at the primary until new records commit), so read it next
+// to CaughtUp, not as a health bar on its own.
+func (r *Replica) PollLatency() *obs.Histogram { return &r.pollHist }
 
 // Stats returns a snapshot of the replica's replay-lag counters.
 func (r *Replica) Stats() ReplicaStats {

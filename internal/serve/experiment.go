@@ -23,12 +23,13 @@ package serve
 // response served by another arm or another generation.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"seqfm/internal/feature"
-	"seqfm/internal/metrics"
+	"seqfm/internal/obs"
 )
 
 // Endpoint enumerates the served request classes an arm meters separately.
@@ -117,9 +118,14 @@ type armState struct {
 	eng    *Engine
 	weight int
 
-	lat [numEndpoints]metrics.LatencyHist
+	// lat holds one shared-implementation histogram per endpoint (obs is
+	// the repo's single latency-bucketing implementation); the serving
+	// layer attaches them to its registry via ArmLatency, so the series
+	// behind /metrics and the snapshots behind /v1/experiments are the same
+	// instruments, not parallel bookkeeping.
+	lat [numEndpoints]obs.Histogram
 
-	feedback atomic.Int64 // feedback events attributed to this arm
+	feedback obs.Counter // feedback events attributed to this arm
 	hrProbes atomic.Int64
 	hrHits   atomic.Int64
 
@@ -206,6 +212,14 @@ func (x *Experiments) ArmName(i int) string { return x.arms[i].name }
 // arm-local operations the tier does not wrap (stats, Close).
 func (x *Experiments) ArmEngine(i int) *Engine { return x.arms[i].eng }
 
+// ArmLatency returns arm i's live latency histogram for endpoint ep — the
+// instrument the serving layer attaches to its metric registry, so /metrics
+// exposes the very histograms /v1/experiments summarises (one recording,
+// two views).
+func (x *Experiments) ArmLatency(i int, ep Endpoint) *obs.Histogram {
+	return &x.arms[i].lat[ep]
+}
+
 // observe records a served request's latency and generation on an arm.
 func (a *armState) observe(ep Endpoint, gen uint64, elapsed time.Duration) {
 	a.lat[ep].Record(elapsed)
@@ -247,10 +261,16 @@ func (x *Experiments) ScoreBatch(user int, insts []feature.Instance) ([]float64,
 
 // TopK routes a candidate-ranking request to the base user's sticky arm.
 func (x *Experiments) TopK(req TopKRequest) ([]Item, uint64, int) {
+	return x.TopKCtx(context.Background(), req)
+}
+
+// TopKCtx is TopK carrying a request context: a trace on ctx receives the
+// arm engine's ranking stage like a single-engine request's would.
+func (x *Experiments) TopKCtx(ctx context.Context, req TopKRequest) ([]Item, uint64, int) {
 	ai := x.Assign(req.Base.User)
 	a := x.arms[ai]
 	start := time.Now()
-	items, gen := a.eng.TopKOn(req)
+	items, gen := a.eng.TopKOnCtx(ctx, req)
 	a.observe(EndpointTopK, gen, time.Since(start))
 	return items, gen, ai
 }
@@ -261,10 +281,17 @@ func (x *Experiments) TopK(req TopKRequest) ([]Item, uint64, int) {
 // sample of the same depth, so every arm answers the same traffic — an A/B
 // comparison in which one arm 409s half the mix is no comparison at all.
 func (x *Experiments) Recommend(req RecommendRequest) (RecommendResult, int, error) {
+	return x.RecommendCtx(context.Background(), req)
+}
+
+// RecommendCtx is Recommend carrying a request context: a trace on ctx
+// receives the arm engine's retrieve/rerank stages. The fallback path ranks
+// without an index, so it contributes no retrieve stage.
+func (x *Experiments) RecommendCtx(ctx context.Context, req RecommendRequest) (RecommendResult, int, error) {
 	ai := x.Assign(req.Base.User)
 	a := x.arms[ai]
 	start := time.Now()
-	res, err := a.eng.RecommendOn(req)
+	res, err := a.eng.RecommendOnCtx(ctx, req)
 	if err != nil {
 		if x.cfg.NumObjects < 2 {
 			return RecommendResult{}, ai, err
@@ -402,7 +429,7 @@ type ArmStats struct {
 	Swaps      int64
 	// Latency holds one percentile summary per endpoint, keyed by
 	// EndpointNames.
-	Latency map[string]metrics.LatencySnapshot
+	Latency map[string]obs.Snapshot
 	// Feedback counts events attributed to the arm; HRProbes/HRHits the
 	// sampled online probes and their top-K hits; HRAtK the resulting
 	// online hit ratio (0 when no probe ran).
@@ -424,8 +451,8 @@ func (x *Experiments) Stats() []ArmStats {
 			Share:         float64(a.weight) / float64(x.total),
 			Generation:    a.eng.Generation(),
 			Swaps:         a.eng.Stats().Swaps,
-			Latency:       make(map[string]metrics.LatencySnapshot, numEndpoints),
-			Feedback:      a.feedback.Load(),
+			Latency:       make(map[string]obs.Snapshot, numEndpoints),
+			Feedback:      a.feedback.Value(),
 			HRProbes:      a.hrProbes.Load(),
 			HRHits:        a.hrHits.Load(),
 			SwapsObserved: a.swapsObserved.Load(),

@@ -18,11 +18,13 @@ package serve
 // the generation serves.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"seqfm/internal/feature"
 	"seqfm/internal/index"
+	"seqfm/internal/obs"
 )
 
 // Embedder is the retrieval contract a served model must satisfy for the
@@ -192,6 +194,18 @@ func (e *Engine) Recommend(req RecommendRequest) ([]Item, error) {
 // RecommendOn is Recommend plus provenance: the serving generation, the
 // index generation (always equal) and the retrieval depth actually used.
 func (e *Engine) RecommendOn(req RecommendRequest) (RecommendResult, error) {
+	return e.recommendOn(nil, req)
+}
+
+// RecommendOnCtx is RecommendOn with per-stage tracing: when ctx carries an
+// obs.Trace, the ANN search lands in the "retrieve" stage and the exact
+// ScoreFast re-rank in "rerank" — the two-stage split that tells an operator
+// whether a slow recommendation was the index or the model.
+func (e *Engine) RecommendOnCtx(ctx context.Context, req RecommendRequest) (RecommendResult, error) {
+	return e.recommendOn(obs.FromContext(ctx), req)
+}
+
+func (e *Engine) recommendOn(tr *obs.Trace, req RecommendRequest) (RecommendResult, error) {
 	started := time.Now()
 	g := e.cur.Load()
 	if g.idx == nil {
@@ -271,7 +285,9 @@ func (e *Engine) RecommendOn(req RecommendRequest) (RecommendResult, error) {
 	if len(retrieved) > want {
 		retrieved = retrieved[:want]
 	}
-	e.retrieveNanos.Add(time.Since(retrieveStart).Nanoseconds())
+	retrieveDur := time.Since(retrieveStart)
+	tr.Stage("retrieve", retrieveDur)
+	e.retrieveNanos.Add(retrieveDur.Nanoseconds())
 	e.retrieved.Add(int64(len(retrieved)))
 
 	// The sample decision is atomic with the counter advance (Add, then
@@ -298,7 +314,9 @@ func (e *Engine) RecommendOn(req RecommendRequest) (RecommendResult, error) {
 	}
 	// The index returns each object at most once, so the re-rank skips
 	// topKOn's dedup pass.
+	rerankStart := time.Now()
 	items, _ := e.topKOn(g, TopKRequest{Base: req.Base, Candidates: candidates, K: req.K, AttrOf: req.AttrOf}, false)
+	tr.Stage("rerank", time.Since(rerankStart))
 	elapsed := time.Since(started) - time.Duration(sampleNanos)
 	e.recommendNanos.Add(elapsed.Nanoseconds())
 	return RecommendResult{

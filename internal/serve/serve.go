@@ -34,6 +34,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"runtime"
 	"sort"
@@ -44,6 +45,7 @@ import (
 	"seqfm/internal/ag"
 	"seqfm/internal/core"
 	"seqfm/internal/feature"
+	"seqfm/internal/obs"
 	"seqfm/internal/plan"
 	"seqfm/internal/tensor"
 	"seqfm/internal/train"
@@ -262,6 +264,12 @@ type Engine struct {
 	recallSamples  atomic.Int64
 	recallHits     atomic.Int64
 	recallWanted   atomic.Int64
+
+	// swapHist times each generation publish (snapshot construction
+	// including the plan compile and index rebuild, plus the pointer store)
+	// — the cost a publisher pays, never a reader. Live histogram; register
+	// it, don't copy it.
+	swapHist obs.Histogram
 }
 
 type pendingScore struct {
@@ -302,10 +310,12 @@ func (e *Engine) newGeneration(m Scorer) *generation {
 // highest generation id always wins. m's weights must be immutable from here
 // on — publish a clone if training continues (core.Model.Clone).
 func (e *Engine) Swap(m Scorer) uint64 {
+	start := time.Now()
 	e.swapMu.Lock()
 	g := e.newGeneration(m)
 	e.cur.Store(g)
 	e.swapMu.Unlock()
+	e.swapHist.Record(time.Since(start))
 	e.swaps.Add(1)
 	return g.id
 }
@@ -319,6 +329,7 @@ func (e *Engine) Swap(m Scorer) uint64 {
 // otherwise the swap falls back to the next sequential id. Returns the id
 // actually installed.
 func (e *Engine) SwapAs(m Scorer, id uint64) uint64 {
+	start := time.Now()
 	e.swapMu.Lock()
 	if cur := e.gens.Load(); id > cur+1 {
 		e.gens.Store(id - 1) // newGeneration's Add(1) lands exactly on id
@@ -326,6 +337,7 @@ func (e *Engine) SwapAs(m Scorer, id uint64) uint64 {
 	g := e.newGeneration(m)
 	e.cur.Store(g)
 	e.swapMu.Unlock()
+	e.swapHist.Record(time.Since(start))
 	e.swaps.Add(1)
 	return g.id
 }
@@ -606,6 +618,21 @@ func (e *Engine) TopK(req TopKRequest) []Item {
 func (e *Engine) TopKOn(req TopKRequest) ([]Item, uint64) {
 	return e.topKOn(e.cur.Load(), req, true)
 }
+
+// TopKOnCtx is TopKOn with per-request tracing: when ctx carries an
+// obs.Trace, the whole candidate ranking (dynamic-state resolution through
+// sort) lands in the "rank" stage.
+func (e *Engine) TopKOnCtx(ctx context.Context, req TopKRequest) ([]Item, uint64) {
+	tr := obs.FromContext(ctx)
+	start := time.Now()
+	items, gen := e.topKOn(e.cur.Load(), req, true)
+	tr.Stage("rank", time.Since(start))
+	return items, gen
+}
+
+// SwapLatency is the live histogram of generation-publish durations (see
+// Engine.swapHist). Register it, don't copy it.
+func (e *Engine) SwapLatency() *obs.Histogram { return &e.swapHist }
 
 // topKOn ranks one request entirely against generation g; Recommend's
 // re-rank stage reuses it so retrieval and ranking see the same snapshot.

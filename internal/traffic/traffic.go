@@ -29,7 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"seqfm/internal/metrics"
+	"seqfm/internal/obs"
 )
 
 // Kind enumerates the request classes the generator emits.
@@ -236,7 +236,7 @@ type KindStats struct {
 	// a shed response's latency is the admission path's, which is the
 	// point of measuring it. OKLatency covers only the 2xx responses: the
 	// latency an admitted client saw, not diluted by fast rejections.
-	Latency, OKLatency metrics.LatencySnapshot
+	Latency, OKLatency obs.Snapshot
 }
 
 // Report is one run's measured outcome.
@@ -303,8 +303,8 @@ func (r *Report) P99() time.Duration {
 // measured latency is the serving stack's, not the kernel's.
 func Run(h http.Handler, plan []Request) *Report {
 	var (
-		lat    [numKinds]metrics.LatencyHist
-		okLat  [numKinds]metrics.LatencyHist
+		lat    [numKinds]obs.Histogram
+		okLat  [numKinds]obs.Histogram
 		sent   [numKinds]atomic.Int64
 		ok     [numKinds]atomic.Int64
 		shed   [numKinds]atomic.Int64

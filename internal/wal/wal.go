@@ -52,6 +52,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"seqfm/internal/obs"
 )
 
 // Framing constants.
@@ -196,6 +198,16 @@ type Log struct {
 
 	durable atomic.Uint64 // last fsynced (SyncNone: flushed) sequence number
 
+	// Telemetry. fsyncHist times every fsync that advances the durable
+	// watermark; lastCommit is how many records the latest such fsync made
+	// durable at once (the group-commit batch size — the ratio of ingest
+	// throughput to disk fsync rate). Recorded inline with atomics, exposed
+	// through FsyncLatency/Fsyncs/AppendedBytes/LastCommitRecords.
+	fsyncHist     obs.Histogram
+	fsyncs        atomic.Int64
+	appendedBytes atomic.Int64
+	lastCommit    atomic.Int64
+
 	recovered Pos  // end of valid data found by Open
 	truncated bool // Open discarded a bad tail
 
@@ -280,7 +292,9 @@ func (l *Log) groupCycle() {
 	l.pending = 0
 	l.mu.Unlock()
 
+	start := time.Now()
 	serr := f.Sync()
+	elapsed := time.Since(start)
 
 	l.mu.Lock()
 	switch {
@@ -292,6 +306,9 @@ func (l *Log) groupCycle() {
 		// and advances durable, so the error is benign and the watermark
 		// is already correct.
 	case seq > l.durable.Load():
+		l.fsyncHist.Record(elapsed)
+		l.fsyncs.Add(1)
+		l.lastCommit.Store(int64(seq - l.durable.Load()))
 		l.durable.Store(seq)
 		close(l.commitCh)
 		l.commitCh = make(chan struct{})
@@ -581,6 +598,7 @@ func (l *Log) AppendAsync(payload []byte) (Pos, error) {
 	}
 	l.segOffset += frameHeaderSize + int64(len(payload))
 	l.pending += frameHeaderSize + len(payload)
+	l.appendedBytes.Add(frameHeaderSize + int64(len(payload)))
 	switch l.opts.Policy {
 	case SyncEach:
 		if err := l.flushLocked(true); err != nil {
@@ -636,12 +654,18 @@ func (l *Log) flushLocked(sync bool) error {
 		return l.fail(err)
 	}
 	if sync {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return l.fail(err)
 		}
+		l.fsyncHist.Record(time.Since(start))
+		l.fsyncs.Add(1)
 	}
 	l.pending = 0
 	if l.seq > l.durable.Load() {
+		if sync {
+			l.lastCommit.Store(int64(l.seq - l.durable.Load()))
+		}
 		l.durable.Store(l.seq)
 		close(l.commitCh)
 		l.commitCh = make(chan struct{})
@@ -757,6 +781,31 @@ func (l *Log) Recovered() Pos     { return l.recovered }
 func (l *Log) Truncated() bool    { return l.truncated }
 func (l *Log) Dir() string        { return l.dir }
 func (l *Log) Policy() SyncPolicy { return l.opts.Policy }
+
+// Err returns the log's sticky I/O error, if any — the health signal a
+// readiness probe checks: once an append or fsync has failed, every further
+// durability promise is void until the process restarts.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// FsyncLatency is the histogram of watermark-advancing fsync durations. The
+// returned histogram is live (the log keeps recording into it); register it,
+// don't copy it.
+func (l *Log) FsyncLatency() *obs.Histogram { return &l.fsyncHist }
+
+// Fsyncs returns how many fsyncs the log has issued.
+func (l *Log) Fsyncs() int64 { return l.fsyncs.Load() }
+
+// AppendedBytes returns the total framed bytes appended since Open —
+// recovered data is not counted.
+func (l *Log) AppendedBytes() int64 { return l.appendedBytes.Load() }
+
+// LastCommitRecords returns how many records the most recent durable commit
+// covered at once — the live group-commit batch size.
+func (l *Log) LastCommitRecords() int64 { return l.lastCommit.Load() }
 
 // Close flushes and fsyncs outstanding records, stops the flusher and
 // closes the active segment. Further appends fail.

@@ -1,0 +1,77 @@
+package seqfm
+
+// Observability facade over internal/obs: the dependency-free telemetry
+// registry behind GET /metrics, the per-request trace the serving stack
+// threads through context, and the slow-request exemplar ring behind
+// GET /v1/debug/slow. A Server builds and wires all of this on its own —
+// these exports are for embedders that want to add families to the same
+// registry, scrape it programmatically, or trace their own request paths.
+
+import (
+	"context"
+	"io"
+
+	"seqfm/internal/obs"
+)
+
+// MetricsRegistry is an ordered collection of metric families with
+// Prometheus text exposition (format 0.0.4). Counters, gauges and latency
+// histograms register either as live instruments (the hot path records into
+// them) or as scrape-time callbacks over existing stats snapshots.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry. Pass it as
+// ServerConfig.Registry to share one exposition surface between the server's
+// families and your own.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Counter and Gauge are the registry's scalar instruments; LatencyHist (the
+// log-bucketed histogram, also behind LatencySnapshot) is its third kind.
+// The Vec forms are labeled families whose children are resolved once at
+// wiring time (With/Attach) so hot-path recording stays allocation-free.
+type (
+	Counter      = obs.Counter
+	Gauge        = obs.Gauge
+	CounterVec   = obs.CounterVec
+	GaugeVec     = obs.GaugeVec
+	HistogramVec = obs.HistogramVec
+)
+
+// Trace accumulates one request's stage spans (admission wait, retrieve,
+// re-rank, WAL append, durability wait, ...). The serving stack opens one
+// per request and carries it via context; every Trace method is nil-receiver
+// safe, so layers record unconditionally.
+type Trace = obs.Trace
+
+// StageSpan is one completed stage on a Trace.
+type StageSpan = obs.StageSpan
+
+// NewTrace opens a trace for one request; sink (may be nil) receives every
+// stage duration under its stage label.
+func NewTrace(endpoint string, sink *HistogramVec) *Trace { return obs.NewTrace(endpoint, sink) }
+
+// WithTrace returns ctx carrying tr; TraceFromContext returns the carried
+// trace or nil (safe to record through either way).
+func WithTrace(ctx context.Context, tr *Trace) context.Context { return obs.WithTrace(ctx, tr) }
+
+// TraceFromContext returns the trace carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return obs.FromContext(ctx) }
+
+// SlowRing keeps the most recent requests that crossed a latency threshold;
+// SlowEntry is one kept exemplar with its stage breakdown.
+type (
+	SlowRing  = obs.SlowRing
+	SlowEntry = obs.SlowEntry
+)
+
+// MetricSample is one parsed exposition line; MetricSamples is a parsed
+// scrape with label-subset lookup helpers (Value, SumValues).
+type (
+	MetricSample  = obs.Sample
+	MetricSamples = obs.Samples
+)
+
+// ParseMetrics reads Prometheus text exposition back into samples — the
+// scanner the traffic bench uses to cross-check the server's own series
+// against harness-observed counts and percentiles.
+func ParseMetrics(r io.Reader) (MetricSamples, error) { return obs.ParsePrometheus(r) }
