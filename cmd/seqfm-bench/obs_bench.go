@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"seqfm/internal/obs"
+	"seqfm/internal/online"
 	"seqfm/internal/serve"
 )
 
@@ -41,6 +42,60 @@ type obsBenchReport struct {
 	// children, the operations every instrumented request pays per stage.
 	RecordNsPerOp     int64   `json:"record_ns_per_op"`
 	RecordAllocsPerOp float64 `json:"record_allocs_per_op"`
+
+	// SketchRecordNsPerOp and SketchRecordAllocsPerOp price one
+	// ScoreSketch.Record — what every returned top-K item pays for the
+	// drift monitors. The allocation bar is 0, like the other hot paths.
+	SketchRecordNsPerOp     int64   `json:"sketch_record_ns_per_op"`
+	SketchRecordAllocsPerOp float64 `json:"sketch_record_allocs_per_op"`
+
+	// FreshnessP50MS is the measured p50 ingest→servable lag of a learner
+	// syncing every PublishIntervalMS while events stream in — the
+	// end-to-end price of a publish cadence, read from the same
+	// seqfm_freshness_seconds histogram the server exports. CI asserts
+	// FreshnessP50MS < 2× PublishIntervalMS: the pipeline itself must not
+	// add more staleness than the cadence already implies.
+	FreshnessP50MS    float64 `json:"freshness_p50_ms"`
+	PublishIntervalMS float64 `json:"publish_interval_ms"`
+}
+
+// Freshness-bench knobs: events per publish cycle, cycles, and the sync
+// cadence the learner publishes on.
+const (
+	obsBenchFreshCycles     = 8
+	obsBenchFreshPerCycle   = 50
+	obsBenchPublishInterval = 20 * time.Millisecond
+)
+
+// measureFreshness streams events into an in-memory learner that syncs (and
+// publishes) every obsBenchPublishInterval, then reads the p50 of the
+// ingest→servable histogram — the exact series behind
+// seqfm_freshness_seconds{stage="servable"}.
+func measureFreshness() (p50ms float64, err error) {
+	m, ds, err := online.BenchWorkload()
+	if err != nil {
+		return 0, err
+	}
+	eng := serve.NewEngine(m.Clone(), serve.Config{Workers: 1})
+	defer eng.Close()
+	l, err := online.NewLearner(m, ds, eng, online.Config{
+		Train:     online.BenchTrainConfig(),
+		BatchSize: obsBenchFreshPerCycle,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for c := 0; c < obsBenchFreshCycles; c++ {
+		for j := 0; j < obsBenchFreshPerCycle; j++ {
+			u := (c*obsBenchFreshPerCycle + j) % online.BenchUsers
+			if err := l.Ingest(u, (u*7+j)%online.BenchObjects, 1); err != nil {
+				return 0, err
+			}
+		}
+		time.Sleep(obsBenchPublishInterval)
+		l.Sync()
+	}
+	return l.ServableFreshness().Quantile(0.50).Seconds() * 1e3, nil
 }
 
 // runObsBench measures what the PR-8 telemetry costs the serving hot path:
@@ -117,6 +172,22 @@ func runObsBench(outPath string) error {
 		reqChild.Add(1)
 	})
 
+	var sketch obs.ScoreSketch
+	sketchRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sketch.Record(float64(i%64) * 0.125)
+		}
+	})
+	sketchAllocs := testing.AllocsPerRun(1000, func() {
+		sketch.Record(1.5)
+	})
+
+	freshP50, err := measureFreshness()
+	if err != nil {
+		return err
+	}
+
 	report := obsBenchReport{
 		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:        runtime.GOMAXPROCS(0),
@@ -125,6 +196,11 @@ func runObsBench(outPath string) error {
 		InstrumentedP50Ns: int64(instP50 * 1e3),
 		RecordNsPerOp:     res.NsPerOp(),
 		RecordAllocsPerOp: recordAllocs,
+
+		SketchRecordNsPerOp:     sketchRes.NsPerOp(),
+		SketchRecordAllocsPerOp: sketchAllocs,
+		FreshnessP50MS:          freshP50,
+		PublishIntervalMS:       float64(obsBenchPublishInterval) / 1e6,
 	}
 	if report.BaseP50Ns > 0 {
 		report.P50Ratio = float64(report.InstrumentedP50Ns) / float64(report.BaseP50Ns)
@@ -133,6 +209,10 @@ func runObsBench(outPath string) error {
 		baseP50, instP50, report.P50Ratio)
 	fmt.Printf("obs: record path %dns/op, %.1f allocs/op (bar 0)\n",
 		report.RecordNsPerOp, report.RecordAllocsPerOp)
+	fmt.Printf("obs: sketch record %dns/op, %.1f allocs/op (bar 0)\n",
+		report.SketchRecordNsPerOp, report.SketchRecordAllocsPerOp)
+	fmt.Printf("obs: freshness p50 %.1fms at a %.0fms publish interval (bar 2x)\n",
+		report.FreshnessP50MS, report.PublishIntervalMS)
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -113,6 +113,7 @@ import (
 	"seqfm/internal/experiments"
 	"seqfm/internal/httpapi"
 	"seqfm/internal/index"
+	"seqfm/internal/obs"
 	"seqfm/internal/online"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
@@ -165,6 +166,9 @@ func main() {
 		expWeight   = flag.Int("experiment-weight", 1, "baseline arm's traffic weight (seqfm arm has weight 1)")
 		expSalt     = flag.Uint64("experiment-salt", 0, "sticky user→arm hash salt (change it to re-randomise the assignment)")
 		expHRSample = flag.Int("experiment-hr-sample", 0, "probe online HR@K on every Nth feedback event per arm (0 = default, <0 = off)")
+
+		slowThresh = flag.Duration("slow-threshold", 0, "latency above which a request lands in the /v1/debug/slow exemplar ring (0 = default, <0 = keep every request)")
+		alertRules = flag.String("alert-rules", "", "JSON file of declarative alert rules ([{name,metric,labels,op,threshold,sustain_ms,severity},...]); firing critical rules degrade /healthz to 503, reported at /v1/debug/alerts")
 
 		maxConc    = flag.Int("max-concurrent", 0, "admission control: in-flight request bound per endpoint class (0 = off)")
 		admitQueue = flag.Int("admit-queue", 0, "admission wait-queue depth beyond -max-concurrent (0 = default, <0 = no queue)")
@@ -245,6 +249,7 @@ func main() {
 		experiment: *experiment, experimentWeight: *expWeight,
 		experimentSalt: *expSalt, experimentHRSample: *expHRSample,
 		maxConcurrent: *maxConc, admitQueue: *admitQueue, admitWait: *admitWait,
+		slowThreshold: *slowThresh, alertRulesPath: *alertRules,
 		drainBudget: *drainBudget,
 	}
 	if err := run(opts); err != nil {
@@ -292,9 +297,25 @@ type serveOpts struct {
 	admitQueue    int
 	admitWait     time.Duration
 
+	slowThreshold  time.Duration
+	alertRulesPath string
+
 	trainEngine string
 	pprof       string
 	drainBudget time.Duration
+}
+
+// alertRules loads -alert-rules, nil without the flag.
+func (o serveOpts) alertRules() ([]obs.Rule, error) {
+	if o.alertRulesPath == "" {
+		return nil, nil
+	}
+	rules, err := obs.LoadRulesFile(o.alertRulesPath)
+	if err != nil {
+		return nil, fmt.Errorf("-alert-rules: %w", err)
+	}
+	log.Printf("alert rules: %d loaded from %s (evaluated on /healthz and /v1/debug/alerts reads)", len(rules), o.alertRulesPath)
+	return rules, nil
 }
 
 // admission translates the flags into the two endpoint-class configs, nil
@@ -536,12 +557,18 @@ func run(o serveOpts) error {
 		log.Printf("admission control: max-concurrent=%d queue=%d wait=%s per endpoint class",
 			o.maxConcurrent, o.admitQueue, o.admitWait)
 	}
+	rules, err := o.alertRules()
+	if err != nil {
+		return err
+	}
 	srv, err := httpapi.New(httpapi.Config{
 		Engine: eng, Dataset: ds, Model: model,
 		Learner: learner, WAL: walLog,
 		Experiments:       exp,
 		ReadAdmission:     readAdm,
 		FeedbackAdmission: feedbackAdm,
+		SlowThreshold:     o.slowThreshold,
+		Rules:             rules,
 	})
 	if err != nil {
 		return err
@@ -640,11 +667,17 @@ func runFollower(o serveOpts) error {
 	rep.Start()
 
 	readAdm, feedbackAdm := o.admission()
+	rules, err := o.alertRules()
+	if err != nil {
+		return err
+	}
 	srv, err := httpapi.New(httpapi.Config{
 		Engine: eng, Dataset: ds, Model: model,
 		Learner: learner, Replica: rep, Primary: o.follow,
 		ReadAdmission:     readAdm,
 		FeedbackAdmission: feedbackAdm,
+		SlowThreshold:     o.slowThreshold,
+		Rules:             rules,
 	})
 	if err != nil {
 		return err

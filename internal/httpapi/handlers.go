@@ -8,6 +8,7 @@ import (
 
 	"seqfm/internal/feature"
 	"seqfm/internal/metrics"
+	"seqfm/internal/obs"
 	"seqfm/internal/online"
 	"seqfm/internal/serve"
 )
@@ -365,6 +366,87 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"accepted": len(events), "pending": st.Pending, "room": s.learner.Room()})
 }
 
+// evalRules advances the declarative alert evaluator one step and applies
+// its per-arm verdicts: an arm named by any firing rule's "arm" label is
+// marked sick, and an arm whose rules all resolved is cleared. Rules are
+// evaluated on read, so the health-probe/scrape cadence is the sustain
+// clock. Returns nil when no rules are configured.
+func (s *Server) evalRules() []obs.RuleState {
+	if s.rules == nil {
+		return nil
+	}
+	states := s.rules.Evaluate()
+	if s.exp != nil {
+		sick := map[int]bool{}
+		for _, st := range states {
+			arm, ok := s.armIndex[st.Labels["arm"]]
+			if !ok {
+				continue
+			}
+			sick[arm] = sick[arm] || st.Firing
+		}
+		for arm, v := range sick {
+			s.exp.MarkSick(arm, v)
+		}
+	}
+	return states
+}
+
+// handleAlerts reports every configured alert rule's current state: the
+// observed value, whether the comparator holds right now, and whether it
+// has held long enough to fire.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	states := s.evalRules()
+	if states == nil {
+		states = []obs.RuleState{}
+	}
+	firing := []string{}
+	for _, st := range states {
+		if st.Firing {
+			firing = append(firing, st.Name)
+		}
+	}
+	writeJSON(w, map[string]any{
+		"configured": s.rules != nil,
+		"rules":      states,
+		"firing":     firing,
+	})
+}
+
+// handleFreshness reports the event-lineage view: how stale the serving
+// state is relative to ingest, per published generation. Every number
+// derives from primary-clock stamps carried through the WAL, so a follower
+// reports the same per-generation freshness as its primary.
+func (s *Server) handleFreshness(w http.ResponseWriter, r *http.Request) {
+	role := "primary"
+	if s.replica != nil {
+		role = "follower"
+	}
+	resp := map[string]any{
+		"role":       role,
+		"generation": s.eng.Generation(),
+		"drift":      s.eng.ScoreDrift(),
+	}
+	if s.learner != nil {
+		resp["trained_through_ms"] = s.learner.TrainedThroughTS()
+		resp["lineage"] = s.learner.Lineage()
+		resp["freshness"] = map[string]any{
+			"trained":  latencyJSON(s.learner.TrainedFreshness().Snapshot()),
+			"servable": latencyJSON(s.learner.ServableFreshness().Snapshot()),
+		}
+	}
+	if s.replica != nil {
+		rs := s.replica.Stats()
+		resp["replica"] = map[string]any{
+			"lag_records":       rs.LagRecords,
+			"lag_seconds":       rs.LagSeconds,
+			"lag_seconds_known": rs.LagSecondsKnown,
+			"caught_up":         rs.CaughtUp,
+		}
+	}
+	writeJSON(w, resp)
+}
+
 // handleExperiments reports the tier's per-arm online metrics.
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	if s.exp == nil {
@@ -389,6 +471,9 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			"hr_probes":        st.HRProbes,
 			"hr_hits":          st.HRHits,
 			"hr_at_k":          st.HRAtK,
+			"calibration":      st.Calibration,
+			"cal_probes":       st.CalProbes,
+			"sick":             st.Sick,
 			"swaps_observed":   st.SwapsObserved,
 			"avg_swap_lag_ms":  float64(st.AvgSwapLag.Microseconds()) / 1000,
 			"last_swap_lag_ms": float64(st.LastSwapLag.Microseconds()) / 1000,
@@ -483,6 +568,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			"primary_generation":  rs.PrimaryGeneration,
 			"lag_records":         rs.LagRecords,
 			"lag_seconds":         rs.LagSeconds,
+			"lag_seconds_known":   rs.LagSecondsKnown,
 			"caught_up":           rs.CaughtUp,
 			"polls":               rs.Polls,
 			"poll_errors":         rs.PollErrors,
@@ -571,6 +657,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			c["last_error"] = rs.LastError
 		}
 		checks["replica"] = c
+	}
+	if s.rules != nil {
+		// Declarative alerts join readiness: only critical rules that have
+		// held past their sustain window pull the instance — warnings show
+		// in the check body but never flip a load balancer.
+		states := s.evalRules()
+		var firing, critical []string
+		for _, rs := range states {
+			if rs.Firing {
+				firing = append(firing, rs.Name)
+				if rs.Severity == obs.SeverityCritical {
+					critical = append(critical, rs.Name)
+				}
+			}
+		}
+		ok := len(critical) == 0
+		healthy = healthy && ok
+		c := map[string]any{"ok": ok, "rules": len(states)}
+		if len(firing) > 0 {
+			c["firing"] = firing
+		}
+		if len(critical) > 0 {
+			c["critical"] = critical
+		}
+		checks["alerts"] = c
 	}
 	status := "ok"
 	if !healthy {

@@ -67,6 +67,14 @@ type Config struct {
 	// nil builds a private one. The server always records — a registry is
 	// how callers add their own families alongside the server's.
 	Registry *obs.Registry
+	// Rules, when non-empty, are the declarative alert rules the server
+	// evaluates over its own registry: GET /v1/debug/alerts reports every
+	// rule's state, a critical rule that has held past its sustain window
+	// degrades /healthz to 503, and a firing rule carrying an "arm" label
+	// marks that experiment arm sick. Rules are evaluated on read (each
+	// /healthz or /v1/debug/alerts hit), so the sustain clock advances at
+	// the probe cadence — the usual scrape/probe loop drives it.
+	Rules []obs.Rule
 	// SlowRingSize and SlowThreshold tune the /v1/debug/slow exemplar ring;
 	// zero values take obs.DefaultSlowRingSize / obs.DefaultSlowThreshold
 	// (a negative threshold keeps every request, which tests use).
@@ -100,6 +108,12 @@ type Server struct {
 	waitVec   *obs.HistogramVec // seqfm_admission_wait_seconds{group}
 	slowCount *obs.Counter
 	slow      *obs.SlowRing
+
+	// rules is the declarative alert evaluator (nil when no rules are
+	// configured); armIndex maps arm names to tier indices so a firing
+	// per-arm rule can flag its arm sick.
+	rules    *obs.Rules
+	armIndex map[string]int
 }
 
 // New validates cfg and builds the server.
@@ -124,6 +138,19 @@ func New(cfg Config) (*Server, error) {
 		s.feedbackLimiter = serve.NewLimiter(*cfg.FeedbackAdmission)
 	}
 	s.initObs(cfg.Registry, cfg.SlowRingSize, cfg.SlowThreshold)
+	if len(cfg.Rules) > 0 {
+		rules, err := obs.NewRules(s.reg, cfg.Rules)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: alert rules: %w", err)
+		}
+		s.rules = rules
+	}
+	if s.exp != nil {
+		s.armIndex = make(map[string]int, s.exp.NumArms())
+		for i := 0; i < s.exp.NumArms(); i++ {
+			s.armIndex[s.exp.ArmName(i)] = i
+		}
+	}
 	return s, nil
 }
 
@@ -135,6 +162,8 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/debug/slow", s.handleSlow)
+	mux.HandleFunc("GET /v1/debug/freshness", s.handleFreshness)
+	mux.HandleFunc("GET /v1/debug/alerts", s.handleAlerts)
 	mux.HandleFunc("POST /v1/score", s.instrument("score", s.limited(s.readLimiter, "read", s.handleScore)))
 	mux.HandleFunc("POST /v1/topk", s.instrument("topk", s.limited(s.readLimiter, "read", s.handleTopK)))
 	mux.HandleFunc("POST /v1/recommend", s.instrument("recommend", s.limited(s.readLimiter, "read", s.handleRecommend)))

@@ -18,6 +18,7 @@ package httpapi
 //     for a metric nobody is scraping.
 
 import (
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -102,6 +103,35 @@ func (s *Server) registerEngine(reg *obs.Registry) {
 			}
 			return float64(st.RecallHits) / float64(st.RecallWanted)
 		})
+	registerDrift(reg, "seqfm_score_drift",
+		"Served-score drift of the current generation against its predecessor, by delta kind (NaN until both have served).",
+		eng)
+}
+
+// registerDrift exposes one engine's inter-generation score-drift deltas as
+// a gauge family keyed by delta kind. The gauges read the engine's live
+// sketches at scrape time; NaN means no evidence yet (fewer than two
+// generations have served scores), which alert rules treat as unknown — a
+// freshly booted server never looks drifted.
+func registerDrift(reg *obs.Registry, name, help string, eng *serve.Engine, extra ...obs.Label) {
+	for _, k := range []struct {
+		kind string
+		get  func(serve.DriftStats) float64
+	}{
+		{"p50_shift", func(d serve.DriftStats) float64 { return d.Drift.P50Shift }},
+		{"mean_shift", func(d serve.DriftStats) float64 { return d.Drift.MeanShift }},
+		{"tv", func(d serve.DriftStats) float64 { return d.Drift.TV }},
+	} {
+		get := k.get
+		labels := append(append([]obs.Label{}, extra...), obs.Label{Name: "kind", Value: k.kind})
+		reg.GaugeFunc(name, help, func() float64 {
+			d := eng.ScoreDrift()
+			if !d.Known {
+				return math.NaN()
+			}
+			return get(d)
+		}, labels...)
+	}
 }
 
 func (s *Server) registerLearner(reg *obs.Registry) {
@@ -129,6 +159,19 @@ func (s *Server) registerLearner(reg *obs.Registry) {
 	// request stages and trainer stages on one latency surface.
 	s.stageVec.Attach(l.StepLatency(), "train_step")
 	s.stageVec.Attach(l.PublishLatency(), "publish")
+	// Freshness: ingest→trained and ingest→servable deltas, every
+	// observation a difference of two primary-clock stamps carried through
+	// the WAL — a follower replaying the log records the same values, so
+	// the family compares across the replication topology without any
+	// cross-host clock assumptions.
+	freshVec := reg.NewHistogramVec("seqfm_freshness_seconds",
+		"Event freshness: ingest-to-trained and ingest-to-servable lag, from WAL-carried primary-clock stamps.",
+		"stage")
+	freshVec.Attach(l.TrainedFreshness(), "trained")
+	freshVec.Attach(l.ServableFreshness(), "servable")
+	reg.GaugeFunc("seqfm_trained_through_timestamp_ms",
+		"Ingest stamp (unix ms, primary clock) of the newest event folded into the shadow model; 0 before any stamped step.",
+		func() float64 { return float64(l.TrainedThroughTS()) })
 }
 
 func (s *Server) registerWAL(reg *obs.Registry) {
@@ -180,8 +223,15 @@ func (s *Server) registerReplica(reg *obs.Registry) {
 	}
 	reg.GaugeFunc("seqfm_replica_lag_records", "Records the follower is behind its primary's durable watermark.",
 		func() float64 { return float64(r.Stats().LagRecords) })
-	reg.GaugeFunc("seqfm_replica_lag_seconds", "Staleness estimated from the newest applied event's ingest timestamp.",
-		func() float64 { return r.Stats().LagSeconds })
+	reg.GaugeFunc("seqfm_replica_lag_seconds",
+		"Follower staleness: the primary's clock at the last poll minus the newest applied event's primary ingest stamp — both stamps minted on the primary, so host clock skew never enters. NaN until the first stamped record or caught-up poll.",
+		func() float64 {
+			st := r.Stats()
+			if !st.LagSecondsKnown {
+				return math.NaN()
+			}
+			return st.LagSeconds
+		})
 	reg.GaugeFunc("seqfm_replica_caught_up", "1 when the follower has applied everything durable on the primary.",
 		func() float64 {
 			if r.Stats().CaughtUp {
@@ -222,6 +272,27 @@ func (s *Server) registerExperiments(reg *obs.Registry) {
 			func() int64 { return x.Stats()[idx].HRHits }, label)
 		reg.GaugeFunc("seqfm_arm_hr_at_k", "Online HR@K of the arm (0 before the first probe).",
 			func() float64 { return x.Stats()[idx].HRAtK }, label)
+		reg.CounterFunc("seqfm_arm_cal_probes_total", "Calibration probes (full-candidate rankings) run on the arm.",
+			func() int64 { return x.Stats()[idx].CalProbes }, label)
+		reg.GaugeFunc("seqfm_arm_calibration",
+			"Mean percentile rank of the realized object in the arm's probe rankings (1 = always first; NaN before the first probe).",
+			func() float64 {
+				mean, _, ok := x.ArmCalibration(idx)
+				if !ok {
+					return math.NaN()
+				}
+				return mean
+			}, label)
+		reg.GaugeFunc("seqfm_arm_sick", "1 when the arm is flagged sick by a firing per-arm alert rule.",
+			func() float64 {
+				if x.ArmSick(idx) {
+					return 1
+				}
+				return 0
+			}, label)
+		registerDrift(reg, "seqfm_arm_score_drift",
+			"Per-arm served-score drift against the arm's previous generation, by delta kind (NaN until both have served).",
+			x.ArmEngine(i), label)
 	}
 }
 

@@ -1,11 +1,12 @@
 package obs
 
 // Prometheus text exposition (format 0.0.4) and the minimal scanner that
-// reads it back. Histograms are exposed as summaries — three quantile lines
-// plus _sum and _count — rather than 321 cumulative buckets: the scrape
-// stays compact, and because every consumer in this repo (the traffic
-// harness, the experiments tier) buckets with the same Histogram, quantiles
-// computed on either side of the wire agree by construction.
+// reads it back. Histograms expose both views: three summary quantile lines
+// (because every consumer in this repo buckets with the same Histogram,
+// quantiles computed on either side of the wire agree by construction) and
+// native cumulative _bucket series on a coarsened grid (8 bounds per decade
+// instead of the internal 32), so an external Prometheus can aggregate
+// histogram_quantile across instances.
 //
 // All durations are exposed in seconds, per Prometheus convention.
 
@@ -13,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -90,6 +92,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				for _, sq := range summaryQuantiles {
 					writeSample(&sb, f.name, "", f.labels, ch.values,
 						[]string{"quantile", sq.label}, ch.h.Quantile(sq.q).Seconds())
+				}
+				// Native cumulative buckets on the coarsened grid, so an
+				// external Prometheus can histogram_quantile across
+				// instances — something the pre-computed summary quantiles
+				// above can't do.
+				uppers, counts := ch.h.CumulativeBuckets()
+				for i, up := range uppers {
+					le := "+Inf"
+					if !math.IsInf(up, 1) {
+						le = formatFloat(up)
+					}
+					writeSample(&sb, f.name, "_bucket", f.labels, ch.values,
+						[]string{"le", le}, float64(counts[i]))
 				}
 				writeSample(&sb, f.name, "_sum", f.labels, ch.values, nil, ch.h.Sum().Seconds())
 				writeSample(&sb, f.name, "_count", f.labels, ch.values, nil, float64(ch.h.Count()))

@@ -149,6 +149,41 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(h.max.Load())
 }
 
+// bucketCoarsen fixes the exposition grid for cumulative _bucket series:
+// every 4th fine bound — 8 per decade instead of 32 — keeps the series
+// aggregatable across instances by external Prometheus without emitting 321
+// lines per child. Quantiles keep the full fine resolution; only the wire
+// format coarsens.
+const bucketCoarsen = 4
+
+// CumulativeBuckets returns the coarsened cumulative bucket counts and their
+// upper bounds in seconds, Prometheus histogram style: counts[i] is the
+// number of observations ≤ uppers[i], and the final entry is the +Inf bucket
+// (uppers[last] is math.Inf(1), counts[last] the total count). Like Quantile
+// it reads a consistent-enough snapshot under concurrent Records.
+func (h *Histogram) CumulativeBuckets() (uppers []float64, counts []int64) {
+	n := (histBuckets-1)/bucketCoarsen + 1 // coarse bounds, excluding +Inf
+	uppers = make([]float64, 0, n+1)
+	counts = make([]int64, 0, n+1)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if i%bucketCoarsen == 0 {
+			uppers = append(uppers, bucketUpper(i)/1e9)
+			counts = append(counts, cum)
+		}
+	}
+	// +Inf holds the total. Concurrent Records can leave count momentarily
+	// behind the bucket sum; take the larger so the series stays cumulative.
+	total := h.count.Load()
+	if cum > total {
+		total = cum
+	}
+	uppers = append(uppers, math.Inf(1))
+	counts = append(counts, total)
+	return uppers, counts
+}
+
 // Snapshot returns the conventional serving percentiles in one pass-ish
 // read: p50, p95, p99, plus mean, max and count.
 func (h *Histogram) Snapshot() Snapshot {

@@ -178,6 +178,19 @@ newline.`, func() float64 { return 1 }, Label{Name: "path", Value: `a"b\c`})
 		val := (lower + (1e6-lower)*frac) / 1e9
 		return formatFloat(val)
 	}
+	// Cumulative _bucket lines on the coarsened grid, derived from the bucket
+	// math directly: 0 below the 1ms records' bucket, 4 from it on, +Inf last.
+	var bucketLines []string
+	rec := bucketOf(time.Millisecond)
+	for i := 0; i < histBuckets; i += bucketCoarsen {
+		n := "0"
+		if i >= rec {
+			n = "4"
+		}
+		bucketLines = append(bucketLines,
+			`seqfm_op_seconds_bucket{le="`+formatFloat(bucketUpper(i)/1e9)+`"} `+n)
+	}
+	bucketLines = append(bucketLines, `seqfm_op_seconds_bucket{le="+Inf"} 4`)
 	want := strings.Join([]string{
 		"# HELP seqfm_events_total Total events.",
 		"# TYPE seqfm_events_total counter",
@@ -203,6 +216,7 @@ newline.`, func() float64 { return 1 }, Label{Name: "path", Value: `a"b\c`})
 		`seqfm_op_seconds{quantile="0.5"} ` + q(0.5),
 		`seqfm_op_seconds{quantile="0.95"} ` + q(0.95),
 		`seqfm_op_seconds{quantile="0.99"} ` + q(0.99),
+		strings.Join(bucketLines, "\n"),
 		"seqfm_op_seconds_sum 0.004",
 		"seqfm_op_seconds_count 4",
 		"",

@@ -1,0 +1,304 @@
+package obs
+
+// Declarative alert rules over the registry. A Rule names a metric series
+// (with an optional label selector), a comparator, a threshold, and a
+// sustain window; Rules evaluates them on read — there is no background
+// goroutine, so an idle server pays nothing and the evaluation clock is the
+// scrape/health-check cadence, which is exactly when anyone can observe the
+// answer. A rule FIRES once its condition has held continuously for at least
+// the sustain window (0 = fire immediately); unknown values — missing
+// series, NaN gauges — never fire, because "no evidence" must read as
+// unknown, not as an outage. Firing critical rules degrade /healthz to 503;
+// firing rules with an `arm` label mark that experiment arm sick.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Rule severities: critical degrades readiness when firing, warn only
+// reports.
+const (
+	SeverityWarn     = "warn"
+	SeverityCritical = "critical"
+)
+
+// Rule is one declarative alert: fire when `metric{labels} op threshold`
+// holds continuously for sustain_ms.
+type Rule struct {
+	// Name identifies the rule in /v1/debug/alerts and health output.
+	Name string `json:"name"`
+	// Metric selects the series: a family name, optionally suffixed _count
+	// or _sum for histogram families. A histogram family without a suffix
+	// reads a quantile — p50 by default, or the one given by a "quantile"
+	// label ("0.5", "0.95", "0.99", or any q in [0,1]).
+	Metric string `json:"metric"`
+	// Labels narrows the selection to children matching every pair.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Op is one of > >= < <= == !=.
+	Op string `json:"op"`
+	// Threshold is the comparison's right-hand side.
+	Threshold float64 `json:"threshold"`
+	// SustainMS is how long the condition must hold continuously before the
+	// rule fires; 0 fires on first observation.
+	SustainMS int64 `json:"sustain_ms,omitempty"`
+	// Severity is "critical" (default — firing degrades readiness) or
+	// "warn" (reported, never degrades).
+	Severity string `json:"severity,omitempty"`
+}
+
+// validate normalizes defaults and rejects malformed rules at load/wiring
+// time, so evaluation never has to.
+func (r *Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("obs: rule without a name")
+	}
+	if r.Metric == "" {
+		return fmt.Errorf("obs: rule %q: empty metric", r.Name)
+	}
+	switch r.Op {
+	case ">", ">=", "<", "<=", "==", "!=":
+	default:
+		return fmt.Errorf("obs: rule %q: unknown op %q", r.Name, r.Op)
+	}
+	switch r.Severity {
+	case "":
+		r.Severity = SeverityCritical
+	case SeverityWarn, SeverityCritical:
+	default:
+		return fmt.Errorf("obs: rule %q: unknown severity %q", r.Name, r.Severity)
+	}
+	if r.SustainMS < 0 {
+		return fmt.Errorf("obs: rule %q: negative sustain_ms", r.Name)
+	}
+	return nil
+}
+
+func (r Rule) holds(v float64) bool {
+	switch r.Op {
+	case ">":
+		return v > r.Threshold
+	case ">=":
+		return v >= r.Threshold
+	case "<":
+		return v < r.Threshold
+	case "<=":
+		return v <= r.Threshold
+	case "==":
+		return v == r.Threshold
+	case "!=":
+		return v != r.Threshold
+	}
+	return false
+}
+
+// RuleState is one rule's evaluation result.
+type RuleState struct {
+	Rule
+	// Value is the last read of the selected series; Known is false when the
+	// series does not exist (yet) or reads NaN — an unknown rule never fires.
+	Value float64 `json:"value"`
+	Known bool    `json:"known"`
+	// Holding reports the bare condition; Firing that it has held for the
+	// sustain window. SinceMS is when the current holding streak began
+	// (unix ms, 0 when not holding).
+	Holding bool  `json:"holding"`
+	Firing  bool  `json:"firing"`
+	SinceMS int64 `json:"since_ms,omitempty"`
+}
+
+// Rules is an eval-on-read alert evaluator over one registry.
+type Rules struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	rules []Rule
+	since []time.Time // zero = condition not currently holding
+	now   func() time.Time
+}
+
+// NewRules wires rules against reg, rejecting the whole set on the first
+// malformed rule.
+func NewRules(reg *Registry, rules []Rule) (*Rules, error) {
+	rs := &Rules{reg: reg, now: time.Now}
+	for i := range rules {
+		r := rules[i]
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+		rs.rules = append(rs.rules, r)
+	}
+	rs.since = make([]time.Time, len(rs.rules))
+	return rs, nil
+}
+
+// LoadRulesFile reads rules from a JSON file: either a bare array of rules
+// or an object with a "rules" array.
+func LoadRulesFile(path string) ([]Rule, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rules []Rule
+	if err := json.Unmarshal(buf, &rules); err != nil {
+		var wrapped struct {
+			Rules []Rule `json:"rules"`
+		}
+		if err2 := json.Unmarshal(buf, &wrapped); err2 != nil {
+			return nil, fmt.Errorf("obs: %s: %w", path, err)
+		}
+		rules = wrapped.Rules
+	}
+	for i := range rules {
+		if err := rules[i].validate(); err != nil {
+			return nil, fmt.Errorf("obs: %s: %w", path, err)
+		}
+	}
+	return rules, nil
+}
+
+// Evaluate reads every rule's series and advances its sustain clock,
+// returning the full state list in rule order. Callers (healthz, the alerts
+// endpoint, the sick-arm sweep) share one evaluator, so sustain streaks are
+// continuous across them.
+func (rs *Rules) Evaluate() []RuleState {
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	now := rs.now()
+	out := make([]RuleState, len(rs.rules))
+	for i := range rs.rules {
+		r := rs.rules[i]
+		st := RuleState{Rule: r}
+		v, ok := rs.reg.ReadValue(r.Metric, r.Labels)
+		if !ok {
+			v = 0 // never leak NaN into JSON encoders; Known already says "no evidence"
+		}
+		st.Value, st.Known = v, ok
+		if ok && r.holds(v) {
+			st.Holding = true
+			if rs.since[i].IsZero() {
+				rs.since[i] = now
+			}
+			st.SinceMS = rs.since[i].UnixMilli()
+			st.Firing = now.Sub(rs.since[i]) >= time.Duration(r.SustainMS)*time.Millisecond
+		} else {
+			rs.since[i] = time.Time{}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// CriticalFiring returns the names of firing critical rules — the set that
+// degrades /healthz. nil receiver (no rules wired) reports none.
+func (rs *Rules) CriticalFiring() []string {
+	var names []string
+	for _, st := range rs.Evaluate() {
+		if st.Firing && st.Severity == SeverityCritical {
+			names = append(names, st.Name)
+		}
+	}
+	return names
+}
+
+// ReadValue resolves one series to its current value. name is a family name,
+// optionally suffixed _count or _sum when the family is a histogram; labels
+// select the child (subset match over the family's label schema — the first
+// registered child matching every pair wins). Histogram families without a
+// suffix read a quantile: the "quantile" label if present, else p50. The
+// second return is false when nothing matches.
+func (r *Registry) ReadValue(name string, labels map[string]string) (float64, bool) {
+	suffix := ""
+	r.mu.Lock()
+	f, ok := r.byName[name]
+	if !ok {
+		for _, s := range [...]string{"_count", "_sum"} {
+			if base, found := trimSuffix(name, s); found {
+				if bf, bok := r.byName[base]; bok && bf.kind == KindSummary {
+					f, ok, suffix = bf, true, s
+					break
+				}
+			}
+		}
+	}
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+
+	want := make(map[string]string, len(labels))
+	q := 0.5
+	for k, v := range labels {
+		if k == "quantile" && f.kind == KindSummary {
+			if parsed, err := strconv.ParseFloat(v, 64); err == nil {
+				q = parsed
+			}
+			continue
+		}
+		want[k] = v
+	}
+
+	f.mu.Lock()
+	var match *child
+outer:
+	for _, key := range f.order {
+		ch := f.children[key]
+		for k, v := range want {
+			found := false
+			for i, ln := range f.labels {
+				if ln == k {
+					found = ch.values[i] == v
+					break
+				}
+			}
+			if !found {
+				continue outer
+			}
+		}
+		match = ch
+		break
+	}
+	f.mu.Unlock()
+	if match == nil {
+		return 0, false
+	}
+
+	switch {
+	case match.c != nil:
+		return float64(match.c.Value()), true
+	case match.cf != nil:
+		return float64(match.cf()), true
+	case match.g != nil:
+		v := match.g.Value()
+		return v, !isNaN(v)
+	case match.gf != nil:
+		v := match.gf()
+		return v, !isNaN(v)
+	case match.h != nil:
+		switch suffix {
+		case "_count":
+			return float64(match.h.Count()), true
+		case "_sum":
+			return match.h.Sum().Seconds(), true
+		default:
+			return match.h.Quantile(q).Seconds(), true
+		}
+	}
+	return 0, false
+}
+
+func trimSuffix(s, suffix string) (string, bool) {
+	if len(s) > len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+func isNaN(v float64) bool { return v != v }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestReadValue(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "h").Add(7)
+	r.NewGauge("g", "h").Set(2.5)
+	r.NewCounterVec("v_total", "h", "endpoint", "code").With("topk", "200").Add(3)
+	r.NewCounterVec("v_total", "h", "endpoint", "code").With("topk", "429").Add(1)
+	h := r.NewHistogram("lat_seconds", "h")
+	for i := 0; i < 4; i++ {
+		h.Record(time.Millisecond)
+	}
+	r.GaugeFunc("unknown_g", "h", func() float64 { return math.NaN() })
+
+	cases := []struct {
+		name   string
+		labels map[string]string
+		want   float64
+		ok     bool
+	}{
+		{"c_total", nil, 7, true},
+		{"g", nil, 2.5, true},
+		{"v_total", map[string]string{"endpoint": "topk", "code": "200"}, 3, true},
+		{"v_total", map[string]string{"code": "429"}, 1, true}, // subset match
+		{"v_total", map[string]string{"code": "500"}, 0, false},
+		{"lat_seconds_count", nil, 4, true},
+		{"lat_seconds_sum", nil, 0.004, true},
+		{"missing", nil, 0, false},
+		{"missing_count", nil, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := r.ReadValue(c.name, c.labels)
+		if ok != c.ok || (ok && math.Abs(got-c.want) > 1e-12) {
+			t.Errorf("ReadValue(%s, %v) = %v,%v want %v,%v", c.name, c.labels, got, ok, c.want, c.ok)
+		}
+	}
+
+	// Quantile selection on a summary family: default p50, explicit via label.
+	if v, ok := r.ReadValue("lat_seconds", nil); !ok || v <= 0 || v > 0.0011 {
+		t.Fatalf("default quantile read %v,%v", v, ok)
+	}
+	if v, ok := r.ReadValue("lat_seconds", map[string]string{"quantile": "0.99"}); !ok || v <= 0 {
+		t.Fatalf("p99 read %v,%v", v, ok)
+	}
+
+	// NaN gauges read as unknown.
+	if _, ok := r.ReadValue("unknown_g", nil); ok {
+		t.Fatal("NaN gauge read as known")
+	}
+}
+
+func TestRulesSustainWindow(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("depth", "h")
+	g.Set(1)
+	rs, err := NewRules(r, []Rule{
+		{Name: "deep", Metric: "depth", Op: ">", Threshold: 5, SustainMS: 1000},
+		{Name: "warn_deep", Metric: "depth", Op: ">", Threshold: 5, Severity: "warn"},
+		{Name: "ghost", Metric: "nonexistent", Op: ">", Threshold: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1722300000, 0)
+	rs.now = func() time.Time { return now }
+
+	st := rs.Evaluate()
+	if st[0].Holding || st[0].Firing {
+		t.Fatalf("below threshold: %+v", st[0])
+	}
+	if st[2].Known || st[2].Firing {
+		t.Fatalf("unknown series must not fire: %+v", st[2])
+	}
+
+	// Condition starts holding: sustained rule holds but does not fire yet;
+	// the 0-sustain warn rule fires immediately.
+	g.Set(9)
+	st = rs.Evaluate()
+	if !st[0].Holding || st[0].Firing {
+		t.Fatalf("holding, inside sustain: %+v", st[0])
+	}
+	if !st[1].Firing || st[1].Severity != "warn" {
+		t.Fatalf("0-sustain rule: %+v", st[1])
+	}
+	if fired := rs.CriticalFiring(); len(fired) != 0 {
+		t.Fatalf("critical firing %v", fired)
+	}
+
+	// Held past the window → fires.
+	now = now.Add(1500 * time.Millisecond)
+	st = rs.Evaluate()
+	if !st[0].Firing {
+		t.Fatalf("sustained past window: %+v", st[0])
+	}
+	if fired := rs.CriticalFiring(); len(fired) != 1 || fired[0] != "deep" {
+		t.Fatalf("critical firing %v", fired)
+	}
+
+	// A dip resets the streak.
+	g.Set(1)
+	rs.Evaluate()
+	g.Set(9)
+	st = rs.Evaluate()
+	if st[0].Firing {
+		t.Fatalf("streak must reset on dip: %+v", st[0])
+	}
+
+	// nil evaluator (no -alert-rules) reports nothing.
+	var none *Rules
+	if got := none.CriticalFiring(); got != nil {
+		t.Fatalf("nil Rules fired %v", got)
+	}
+}
+
+func TestRulesValidation(t *testing.T) {
+	r := NewRegistry()
+	bad := []Rule{
+		{Name: "", Metric: "m", Op: ">"},
+		{Name: "x", Metric: "", Op: ">"},
+		{Name: "x", Metric: "m", Op: "~"},
+		{Name: "x", Metric: "m", Op: ">", Severity: "fatal"},
+		{Name: "x", Metric: "m", Op: ">", SustainMS: -1},
+	}
+	for i, b := range bad {
+		if _, err := NewRules(r, []Rule{b}); err == nil {
+			t.Errorf("bad rule %d accepted", i)
+		}
+	}
+}
+
+func TestLoadRulesFile(t *testing.T) {
+	dir := t.TempDir()
+	arr := filepath.Join(dir, "arr.json")
+	os.WriteFile(arr, []byte(`[{"name":"a","metric":"m","op":">","threshold":1,"sustain_ms":500}]`), 0o644)
+	rules, err := LoadRulesFile(arr)
+	if err != nil || len(rules) != 1 || rules[0].Severity != "critical" {
+		t.Fatalf("array form: %v %+v", err, rules)
+	}
+
+	obj := filepath.Join(dir, "obj.json")
+	os.WriteFile(obj, []byte(`{"rules":[{"name":"a","metric":"m","op":"<","threshold":2,"severity":"warn"}]}`), 0o644)
+	rules, err = LoadRulesFile(obj)
+	if err != nil || len(rules) != 1 || rules[0].Severity != "warn" {
+		t.Fatalf("object form: %v %+v", err, rules)
+	}
+
+	badOp := filepath.Join(dir, "bad.json")
+	os.WriteFile(badOp, []byte(`[{"name":"a","metric":"m","op":"~","threshold":1}]`), 0o644)
+	if _, err := LoadRulesFile(badOp); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if _, err := LoadRulesFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+// ScoreSketch is the model-quality counterpart of Histogram: a lock-free,
+// allocation-free streaming sketch of *scores* (dimensionless reals, possibly
+// negative) rather than durations. Served scores are raw logits in a few-unit
+// band around zero, so a fixed linear grid over a symmetric clamped range
+// gives uniform absolute resolution where the mass lives — unlike the
+// latency histogram's log buckets, which would waste resolution on sign and
+// magnitude splits scores don't have. The serving engine keeps one sketch
+// per generation; comparing a generation's sketch against its predecessor's
+// is what turns "is the new fine-tune scoring differently?" into three cheap
+// numbers (median shift, mean shift, total-variation distance).
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sketch geometry: 256 buckets over [-32, +32) — 0.25-unit resolution —
+// with values outside the range clamped into the edge buckets. Sums are
+// accumulated in fixed-point micro-units so Record stays a pair of atomic
+// adds (there is no atomic float64 add in the language).
+const (
+	scoreSketchBuckets = 256
+	scoreSketchRange   = 32.0
+	scoreSketchStep    = 2 * scoreSketchRange / scoreSketchBuckets
+	scoreSketchMicros  = 1e6
+)
+
+// ScoreSketch is a concurrency-safe fixed-bucket quantile sketch of scores.
+// The zero value is ready to use; Record never allocates or blocks.
+type ScoreSketch struct {
+	buckets [scoreSketchBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // micro-units
+}
+
+// scoreBucketOf maps a score to its bucket index, clamping out-of-range
+// values (and NaN, which lands in bucket 0) into the edges.
+func scoreBucketOf(v float64) int {
+	i := int(math.Floor((v + scoreSketchRange) / scoreSketchStep))
+	if i < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if i >= scoreSketchBuckets {
+		return scoreSketchBuckets - 1
+	}
+	return i
+}
+
+// Record adds one observation.
+func (s *ScoreSketch) Record(v float64) {
+	s.buckets[scoreBucketOf(v)].Add(1)
+	s.count.Add(1)
+	if !math.IsNaN(v) {
+		c := v
+		if c > scoreSketchRange {
+			c = scoreSketchRange
+		} else if c < -scoreSketchRange {
+			c = -scoreSketchRange
+		}
+		s.sum.Add(int64(c * scoreSketchMicros))
+	}
+}
+
+// Count returns the number of recorded observations.
+func (s *ScoreSketch) Count() int64 { return s.count.Load() }
+
+// Mean returns the mean recorded score (0 when empty; range-clamped like the
+// buckets).
+func (s *ScoreSketch) Mean() float64 {
+	n := s.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.sum.Load()) / scoreSketchMicros / float64(n)
+}
+
+// Quantile returns the score at quantile q ∈ [0,1], interpolated linearly
+// within the containing bucket. Like Histogram.Quantile, concurrent Records
+// make this a consistent-enough snapshot — the contract is monitoring.
+func (s *ScoreSketch) Quantile(q float64) float64 {
+	n := s.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	seen := 0.0
+	for i := 0; i < scoreSketchBuckets; i++ {
+		c := float64(s.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lower := -scoreSketchRange + float64(i)*scoreSketchStep
+			frac := (rank - seen) / c
+			return lower + scoreSketchStep*frac
+		}
+		seen += c
+	}
+	return scoreSketchRange
+}
+
+// Mass returns the normalized per-bucket probability mass — the drift
+// comparison's input. Empty sketches return a zero vector.
+func (s *ScoreSketch) Mass() []float64 {
+	out := make([]float64, scoreSketchBuckets)
+	var total float64
+	for i := range out {
+		c := float64(s.buckets[i].Load())
+		out[i] = c
+		total += c
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// ScoreDrift compares two sketches — conventionally the current generation's
+// against its predecessor's. P50Shift and MeanShift are signed cur−prev
+// deltas; TV is the total-variation distance between the normalized bucket
+// masses, in [0,1]: 0 means identical score distributions, 1 means disjoint.
+// Either sketch being empty yields all-zero drift (no evidence, no alarm).
+type ScoreDrift struct {
+	P50Shift  float64 `json:"p50_shift"`
+	MeanShift float64 `json:"mean_shift"`
+	TV        float64 `json:"tv"`
+}
+
+// DriftFrom computes the drift of s relative to prev.
+func (s *ScoreSketch) DriftFrom(prev *ScoreSketch) ScoreDrift {
+	if prev == nil || s.Count() == 0 || prev.Count() == 0 {
+		return ScoreDrift{}
+	}
+	d := ScoreDrift{
+		P50Shift:  s.Quantile(0.5) - prev.Quantile(0.5),
+		MeanShift: s.Mean() - prev.Mean(),
+	}
+	cur, old := s.Mass(), prev.Mass()
+	var l1 float64
+	for i := range cur {
+		l1 += math.Abs(cur[i] - old[i])
+	}
+	d.TV = l1 / 2
+	return d
+}

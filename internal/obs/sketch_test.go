@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestScoreSketchQuantiles(t *testing.T) {
+	var s ScoreSketch
+	// Uniform over [-5, 5): median ≈ 0, mean ≈ 0, within one bucket step.
+	for i := 0; i < 1000; i++ {
+		s.Record(-5 + 10*float64(i)/1000)
+	}
+	if s.Count() != 1000 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if p50 := s.Quantile(0.5); math.Abs(p50) > scoreSketchStep {
+		t.Fatalf("p50 %.3f, want ~0", p50)
+	}
+	if m := s.Mean(); math.Abs(m) > 0.05 {
+		t.Fatalf("mean %.3f, want ~0", m)
+	}
+	if p99 := s.Quantile(0.99); math.Abs(p99-4.9) > 2*scoreSketchStep {
+		t.Fatalf("p99 %.3f, want ~4.9", p99)
+	}
+}
+
+func TestScoreSketchClampsAndNaN(t *testing.T) {
+	var s ScoreSketch
+	s.Record(1e9)
+	s.Record(-1e9)
+	s.Record(math.NaN())
+	if s.Count() != 3 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if q := s.Quantile(1); q != scoreSketchRange {
+		t.Fatalf("clamped max quantile %.1f", q)
+	}
+	// NaN contributes a count (in the edge bucket) but no sum.
+	if m := s.Mean(); math.IsNaN(m) {
+		t.Fatal("NaN leaked into mean")
+	}
+}
+
+func TestScoreDrift(t *testing.T) {
+	var a, b ScoreSketch
+	for i := 0; i < 1000; i++ {
+		v := -2 + 4*float64(i)/1000
+		a.Record(v)
+		b.Record(v + 3) // same shape, shifted right by 3
+	}
+	d := b.DriftFrom(&a)
+	if math.Abs(d.P50Shift-3) > 2*scoreSketchStep {
+		t.Fatalf("p50 shift %.3f, want ~3", d.P50Shift)
+	}
+	if math.Abs(d.MeanShift-3) > 0.05 {
+		t.Fatalf("mean shift %.3f, want ~3", d.MeanShift)
+	}
+	// [-2,2) vs [1,5): overlap [1,2) holds 1/4 of each mass → TV = 3/4.
+	if math.Abs(d.TV-0.75) > 0.05 {
+		t.Fatalf("TV %.3f, want ~0.75", d.TV)
+	}
+
+	// Identical distributions drift ~0.
+	d = a.DriftFrom(&a)
+	if d.P50Shift != 0 || d.MeanShift != 0 || d.TV != 0 {
+		t.Fatalf("self drift %+v", d)
+	}
+
+	// Empty or missing baselines yield zero drift, not alarms.
+	var empty ScoreSketch
+	if d := b.DriftFrom(&empty); d != (ScoreDrift{}) {
+		t.Fatalf("drift vs empty %+v", d)
+	}
+	if d := b.DriftFrom(nil); d != (ScoreDrift{}) {
+		t.Fatalf("drift vs nil %+v", d)
+	}
+}
+
+func TestScoreSketchConcurrent(t *testing.T) {
+	var s ScoreSketch
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Record(float64(w) - 1.5)
+				_ = s.Quantile(0.5)
+				_ = s.Mean()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Count() != 4000 {
+		t.Fatalf("count %d", s.Count())
+	}
+}

@@ -1,0 +1,199 @@
+package online
+
+import (
+	"testing"
+	"time"
+
+	"seqfm/internal/serve"
+	"seqfm/internal/train"
+	"seqfm/internal/wal"
+)
+
+// skewedSource wraps a LogSource and shifts the primary-clock watermark the
+// fetches carry, simulating a primary whose wall clock runs far ahead of the
+// follower host's. Record stamps are left alone — they were minted on the
+// (simulated) primary clock too, so shifting only NowMillis models exactly
+// what host skew looks like on the wire.
+type skewedSource struct {
+	src    LogSource
+	offset int64 // ms added to NowMillis
+}
+
+func (s skewedSource) FetchLog(from uint64, max int, wait time.Duration) (LogFetch, error) {
+	f, err := s.src.FetchLog(from, max, wait)
+	f.NowMillis += s.offset
+	return f, err
+}
+
+// TestFreshnessSurvivesReplicationAndClockSkew pins the lineage tentpole:
+// every freshness observation is a difference of two primary-clock stamps
+// carried through the WAL, so a follower replaying the log reproduces the
+// primary's freshness histograms and lineage entries exactly — and the
+// replica's lag-seconds estimate uses the primary's clock on both sides of
+// the subtraction, so an hour of host skew shows up as an hour of lag, never
+// as a negative or zero artifact of comparing clocks across machines.
+func TestFreshnessSurvivesReplicationAndClockSkew(t *testing.T) {
+	lP, _, srv := newPrimary(t, 1)
+	ds := lP.ds
+	events := makeRCEvents(ds, 99, 30)
+	driveRun(t, lP, events, 0, 20, map[int]bool{8: true, 20: true}, 0)
+
+	// The primary stamped and observed: every trained event landed once in
+	// the trained-freshness histogram, every publish once in the servable
+	// one, and the lineage ring has one entry per generation.
+	if got := lP.TrainedFreshness().Count(); got != 20 {
+		t.Fatalf("primary trained-freshness observations: %d, want 20", got)
+	}
+	if got := lP.ServableFreshness().Count(); got != 2 {
+		t.Fatalf("primary servable-freshness observations: %d, want 2", got)
+	}
+	lineageP := lP.Lineage()
+	if len(lineageP) != 2 {
+		t.Fatalf("primary lineage entries: %d, want 2", len(lineageP))
+	}
+	for _, e := range lineageP {
+		if !e.FreshnessKnown || e.PublishedAtMS == 0 || e.DataThroughMS == 0 {
+			t.Fatalf("primary lineage entry not fully stamped: %+v", e)
+		}
+	}
+
+	// Follower bootstraps and catches up through a source whose primary
+	// clock reads an hour ahead of this process's.
+	const skewMS = int64(3600 * 1000)
+	m, f, bootGen, err := FetchSnapshot(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engF := serve.NewEngine(m, serve.Config{Workers: 1})
+	defer engF.Close()
+	lF, err := NewLearnerFromSnapshot(m, f, ds, engF, Config{
+		Train: train.Config{Seed: 11, Workers: 1, LR: 0.03, Negatives: 2}, BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplica(lF, skewedSource{src: &HTTPLogSource{Base: srv.URL}, offset: skewMS}, bootGen, ReplicaConfig{})
+	if _, err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower replayed the same stamps, so it reports the same
+	// freshness — bit-identical sums and counts, identical lineage.
+	if gp, gf := lP.TrainedFreshness().Count(), lF.TrainedFreshness().Count(); gp != gf {
+		t.Fatalf("trained-freshness counts diverged: primary %d, follower %d", gp, gf)
+	}
+	if gp, gf := lP.TrainedFreshness().Sum(), lF.TrainedFreshness().Sum(); gp != gf {
+		t.Fatalf("trained-freshness sums diverged: primary %v, follower %v", gp, gf)
+	}
+	if gp, gf := lP.ServableFreshness().Sum(), lF.ServableFreshness().Sum(); gp != gf {
+		t.Fatalf("servable-freshness sums diverged: primary %v, follower %v", gp, gf)
+	}
+	if gp, gf := lP.TrainedThroughTS(), lF.TrainedThroughTS(); gp != gf {
+		t.Fatalf("trained-through stamps diverged: primary %d, follower %d", gp, gf)
+	}
+	lineageF := lF.Lineage()
+	if len(lineageF) != len(lineageP) {
+		t.Fatalf("lineage lengths diverged: primary %d, follower %d", len(lineageP), len(lineageF))
+	}
+	for i := range lineageP {
+		if lineageP[i] != lineageF[i] {
+			t.Fatalf("lineage[%d] diverged: primary %+v, follower %+v", i, lineageP[i], lineageF[i])
+		}
+	}
+
+	// Caught up: lag is known and zero.
+	if st := rep.Stats(); !st.CaughtUp || !st.LagSecondsKnown || st.LagSeconds != 0 {
+		t.Fatalf("caught-up stats %+v", st)
+	}
+
+	// The primary advances; the follower pokes the log with a tiny batch so
+	// it is genuinely behind. Its staleness must be measured on the
+	// primary's (skewed) clock: about an hour, because the newest applied
+	// event's stamp is an hour behind the skewed watermark. A follower
+	// consulting its local clock would report roughly zero here.
+	driveRun(t, lP, events, 20, 30, map[int]bool{30: true}, 0)
+	rep.cfg.MaxBatch = 1
+	if _, _, err := rep.poll(0); err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Stats()
+	if st.CaughtUp || st.LagRecords == 0 {
+		t.Fatalf("expected lag, got %+v", st)
+	}
+	if !st.LagSecondsKnown {
+		t.Fatalf("lag known should be true with stamped records: %+v", st)
+	}
+	if st.LagSeconds < 3500 || st.LagSeconds > 3700 {
+		t.Fatalf("lag %.1fs does not reflect the primary clock (want ~3600s)", st.LagSeconds)
+	}
+}
+
+// TestPreStampReplayFreshnessUnknown pins backward compatibility: a log
+// written before stamps existed (every TS zero) replays cleanly, trains
+// bit-identically — and reports freshness as unknown, never as zero. A
+// pre-upgrade follower or a recovered pre-upgrade log must not pollute the
+// freshness histograms with zero-lag fictions.
+func TestPreStampReplayFreshnessUnknown(t *testing.T) {
+	ds := testDataset(t)
+	eng := serve.NewEngine(testModel(t, ds, 1).Clone(), serve.Config{Workers: 1})
+	defer eng.Close()
+	l, err := NewLearner(testModel(t, ds, 1), ds, eng, Config{
+		Train: train.Config{Seed: 5, Workers: 1, LR: 0.02, Negatives: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the wire records an old primary would have produced: no ingest
+	// stamps on events, no apply stamp on the step, no stamps on the publish.
+	recs := []wal.Record{
+		{Seq: 1, Type: wal.RecEvent, User: 1, Object: 2, Label: 1},
+		{Seq: 2, Type: wal.RecEvent, User: 3, Object: 4, Label: 1},
+		{Seq: 3, Type: wal.RecStep, Through: 2},
+		{Seq: 4, Type: wal.RecPublish, Gen: 2},
+	}
+	for _, rec := range recs {
+		// Round-trip through the wire encoding, like replica apply does:
+		// EncodeRecord must not invent stamps the original writer never had.
+		decoded, err := wal.DecodeRecord(rec.Seq, encodePreStamp(t, rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.ApplyLogRecord(decoded, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Ingested != 2 || st.Steps != 1 {
+		t.Fatalf("pre-stamp replay did not train: %+v", st)
+	}
+	if got := l.TrainedFreshness().Count(); got != 0 {
+		t.Fatalf("unstamped events produced %d trained-freshness observations, want 0", got)
+	}
+	if got := l.ServableFreshness().Count(); got != 0 {
+		t.Fatalf("unstamped publish produced %d servable-freshness observations, want 0", got)
+	}
+	lineage := l.Lineage()
+	if len(lineage) != 1 {
+		t.Fatalf("lineage entries: %d, want 1", len(lineage))
+	}
+	if e := lineage[0]; e.Gen != 2 || e.FreshnessKnown || e.FreshnessSeconds != 0 {
+		t.Fatalf("pre-stamp lineage must be unknown, not zero-fresh: %+v", e)
+	}
+	if got := l.TrainedThroughTS(); got != 0 {
+		t.Fatalf("trained-through stamp %d from unstamped log, want 0", got)
+	}
+}
+
+// encodePreStamp produces the v-prev wire payload for rec: today's encoder
+// with the stamp fields zeroed emits the stamps as zero uvarints, so the old
+// format is reconstructed by hand for Event/Step/Publish records.
+func encodePreStamp(t *testing.T, rec wal.Record) []byte {
+	t.Helper()
+	buf := wal.EncodeRecord(rec)
+	switch rec.Type {
+	case wal.RecStep:
+		return buf[:len(buf)-1] // strip the zero TS uvarint
+	case wal.RecPublish:
+		return buf[:len(buf)-2] // strip the zero TS and EventTS uvarints
+	}
+	return buf
+}

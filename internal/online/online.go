@@ -169,6 +169,11 @@ type pendingEvent struct {
 	// at is the enqueue wall-clock (UnixNano); the head event's age is the
 	// train-behind-ingest lag Stats reports.
 	at int64
+	// ts is the event's origin ingest stamp (unix ms, always the primary's
+	// clock: the WAL record's TS on durable and replayed paths, the local
+	// clock otherwise). 0 = unknown (pre-stamp log records), in which case
+	// the event contributes no freshness observation.
+	ts int64
 }
 
 // Learner is the online-learning subsystem: one per served model. Its public
@@ -245,6 +250,21 @@ type Learner struct {
 	stepHist       obs.Histogram
 	publishHist    obs.Histogram
 	backlogRejects atomic.Int64
+
+	// Freshness lineage. Both histograms observe deltas between two stamps
+	// from the *same* (primary) clock, so a follower replaying stamped
+	// records reports the identical values as its primary — clock skew never
+	// enters the arithmetic. freshTrained is ingest → trained-through (one
+	// observation per trained event); freshServable is ingest → servable
+	// swap (one per publish, anchored at the newest trained event's stamp).
+	// trainedThroughTS is that anchor: the origin stamp of the newest event
+	// the shadow has trained on. lineage is a bounded ring of per-generation
+	// provenance entries behind GET /v1/debug/freshness.
+	freshTrained     obs.Histogram
+	freshServable    obs.Histogram
+	trainedThroughTS atomic.Int64
+	lineageMu        sync.Mutex
+	lineage          []LineageEntry
 
 	bg struct {
 		sync.Mutex
@@ -527,7 +547,7 @@ func (l *Learner) ingestOne(user, object int, label float64) (uint64, time.Durat
 		inst := l.makeInstance(user, object, label)
 		l.markSeen(user, object)
 		l.mu.Lock()
-		l.enqueueLocked(inst, 0, true)
+		l.enqueueLocked(inst, 0, time.Now().UnixMilli(), true)
 		l.mu.Unlock()
 		l.ingested.Add(1)
 		return 0, 0, nil
@@ -550,7 +570,7 @@ func (l *Learner) ingestOne(user, object int, label float64) (uint64, time.Durat
 	}
 	inst := l.makeInstance(user, object, label)
 	l.markSeen(user, object)
-	l.enqueueLocked(inst, pos.Seq, true)
+	l.enqueueLocked(inst, pos.Seq, rec.TS, true)
 	l.mu.Unlock()
 	l.ingested.Add(1)
 	return pos.Seq, appendDur, nil
@@ -598,8 +618,8 @@ func (l *Learner) makeInstance(user, object int, label float64) feature.Instance
 // learner is durable). During replay drops are disabled — the logged Drop
 // markers are replayed instead, so recovery reproduces the original run even
 // if MaxPending changed between runs. l.mu must be held.
-func (l *Learner) enqueueLocked(inst feature.Instance, seq uint64, allowDrop bool) {
-	l.pending = append(l.pending, pendingEvent{inst: inst, seq: seq, at: time.Now().UnixNano()})
+func (l *Learner) enqueueLocked(inst feature.Instance, seq uint64, ts int64, allowDrop bool) {
+	l.pending = append(l.pending, pendingEvent{inst: inst, seq: seq, at: time.Now().UnixNano(), ts: ts})
 	if !allowDrop {
 		return
 	}
@@ -860,11 +880,15 @@ func (l *Learner) Sync() (events int, loss float64) {
 	}
 	if events > 0 {
 		gen := l.publish()
+		pubTS := time.Now().UnixMilli()
+		dataThrough := l.trainedThroughTS.Load()
+		l.notePublished(gen, pubTS, dataThrough)
 		if l.walLog != nil {
 			// The publish marker is what lets a follower install the same
 			// weights under the same generation id, and a recovery replay
-			// restore the pre-crash generation numbering.
-			_, _ = l.walLog.AppendRecord(wal.Record{Type: wal.RecPublish, Gen: gen})
+			// restore the pre-crash generation numbering. Its stamps let a
+			// follower report the identical servable freshness.
+			_, _ = l.walLog.AppendRecord(wal.Record{Type: wal.RecPublish, Gen: gen, TS: pubTS, EventTS: dataThrough})
 		}
 	}
 	return events, loss
@@ -889,18 +913,79 @@ func (l *Learner) stepBatch(batch []pendingEvent) float64 {
 	l.stepHist.Record(time.Since(stepStart))
 	l.lastLoss.Store(math.Float64bits(loss))
 	l.steps.Add(1)
+	stepTS := time.Now().UnixMilli()
 	if l.walLog != nil {
 		// "Trained through this event, in this exact batch": the record that
 		// makes replayed training bit-identical. Appended after the step so
 		// a marker never promises training that did not happen; durability
 		// rides the group commit (Checkpoint forces a Sync before recording
-		// a position that depends on it).
-		if pos, err := l.walLog.AppendRecord(wal.Record{Type: wal.RecStep, Through: batch[len(batch)-1].seq}); err == nil {
+		// a position that depends on it). The TS stamp is lag accounting
+		// only — followers subtract it from each event's ingest stamp, both
+		// primary clocks.
+		if pos, err := l.walLog.AppendRecord(wal.Record{Type: wal.RecStep, Through: batch[len(batch)-1].seq, TS: stepTS}); err == nil {
 			l.appliedPos = pos
 			l.appliedSeq.Store(pos.Seq)
 		}
 	}
+	l.noteTrained(batch, stepTS)
 	return loss
+}
+
+// noteTrained records the ingest→trained freshness of one batch against the
+// step's wall-clock stamp (both stamps from the primary's clock, on primary
+// and follower alike) and advances the trained-through lineage anchor.
+// Events or steps without a stamp — pre-stamp logs — contribute nothing:
+// freshness is unknown there, not zero.
+func (l *Learner) noteTrained(batch []pendingEvent, stepTS int64) {
+	if stepTS == 0 {
+		return
+	}
+	anchor := l.trainedThroughTS.Load()
+	for _, ev := range batch {
+		if ev.ts == 0 {
+			continue
+		}
+		l.freshTrained.Record(time.Duration(stepTS-ev.ts) * time.Millisecond)
+		if ev.ts > anchor {
+			anchor = ev.ts
+		}
+	}
+	for {
+		cur := l.trainedThroughTS.Load()
+		if anchor <= cur || l.trainedThroughTS.CompareAndSwap(cur, anchor) {
+			break
+		}
+	}
+}
+
+// notePublished records one generation's servable freshness (swap stamp
+// minus the trained-through ingest stamp, both primary clocks) and appends
+// its lineage entry. Called at publish time on the primary and at publish-
+// marker apply time on followers and recovery replays; unknown stamps yield
+// a lineage entry with no histogram observation.
+func (l *Learner) notePublished(gen uint64, tsMS, eventTS int64) {
+	e := LineageEntry{Gen: gen, PublishedAtMS: tsMS, DataThroughMS: eventTS}
+	if tsMS > 0 && eventTS > 0 {
+		d := time.Duration(tsMS-eventTS) * time.Millisecond
+		l.freshServable.Record(d)
+		if d < 0 {
+			d = 0
+		}
+		e.FreshnessSeconds = d.Seconds()
+		e.FreshnessKnown = true
+	}
+	l.lineageMu.Lock()
+	if n := len(l.lineage); n > 0 && l.lineage[n-1].Gen == gen {
+		// Re-publish under the same id (snapshot republish) refreshes the
+		// entry instead of duplicating it.
+		l.lineage[n-1] = e
+	} else {
+		l.lineage = append(l.lineage, e)
+		if len(l.lineage) > lineageRingSize {
+			l.lineage = l.lineage[len(l.lineage)-lineageRingSize:]
+		}
+	}
+	l.lineageMu.Unlock()
 }
 
 // publish clones the shadow and hot-swaps it into the engine, returning the
@@ -1089,3 +1174,45 @@ func (l *Learner) WAL() *wal.Log { return l.walLog }
 // don't copy them.
 func (l *Learner) StepLatency() *obs.Histogram    { return &l.stepHist }
 func (l *Learner) PublishLatency() *obs.Histogram { return &l.publishHist }
+
+// lineageRingSize bounds the per-generation lineage ring: enough history to
+// see a regression's onset across recent swaps, small enough to never matter.
+const lineageRingSize = 32
+
+// LineageEntry is one published generation's provenance: when it became
+// servable and how fresh the data baked into it was, all in the primary's
+// clock. It backs the /v1/debug/freshness breakdown on primary and follower.
+type LineageEntry struct {
+	Gen uint64 `json:"gen"`
+	// PublishedAtMS is the primary wall clock at the swap; DataThroughMS the
+	// ingest stamp of the newest event the generation was trained through
+	// (0 = unknown: a pre-stamp log, or a generation published before any
+	// stamped event trained).
+	PublishedAtMS int64 `json:"published_at_ms"`
+	DataThroughMS int64 `json:"data_through_ms,omitempty"`
+	// FreshnessSeconds is their delta when both stamps are known.
+	FreshnessSeconds float64 `json:"freshness_seconds"`
+	FreshnessKnown   bool    `json:"freshness_known"`
+}
+
+// TrainedFreshness is the live histogram of ingest → trained-through deltas
+// (one observation per trained stamped event); ServableFreshness of ingest →
+// servable-swap deltas (one per publish). Both are primary-clock-only deltas,
+// so primary and follower report identical values. Register them, don't copy
+// them.
+func (l *Learner) TrainedFreshness() *obs.Histogram  { return &l.freshTrained }
+func (l *Learner) ServableFreshness() *obs.Histogram { return &l.freshServable }
+
+// TrainedThroughTS returns the origin ingest stamp (unix ms, primary clock)
+// of the newest event the shadow has trained on — 0 when unknown.
+func (l *Learner) TrainedThroughTS() int64 { return l.trainedThroughTS.Load() }
+
+// Lineage returns the recent published generations' provenance, oldest
+// first.
+func (l *Learner) Lineage() []LineageEntry {
+	l.lineageMu.Lock()
+	defer l.lineageMu.Unlock()
+	out := make([]LineageEntry, len(l.lineage))
+	copy(out, l.lineage)
+	return out
+}

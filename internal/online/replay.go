@@ -67,7 +67,7 @@ func (l *Learner) ApplyLogRecord(rec wal.Record, applied uint64) error {
 		inst := l.makeInstance(rec.User, rec.Object, rec.Label)
 		l.markSeen(rec.User, rec.Object)
 		l.mu.Lock()
-		l.enqueueLocked(inst, rec.Seq, false) // drops replay via Drop markers
+		l.enqueueLocked(inst, rec.Seq, rec.TS, false) // drops replay via Drop markers
 		l.mu.Unlock()
 		l.ingested.Add(1)
 	case wal.RecStep:
@@ -97,12 +97,19 @@ func (l *Learner) ApplyLogRecord(rec wal.Record, applied uint64) error {
 		l.appliedPos = wal.Pos{Seq: rec.Seq}
 		l.appliedSeq.Store(rec.Seq)
 		l.trainMu.Unlock()
+		// The marker's stamp and the events' ingest stamps are both primary
+		// clocks, so this observation equals the one the primary recorded
+		// for the same batch — and a pre-stamp log (TS 0) records nothing.
+		l.noteTrained(batch, rec.TS)
 	case wal.RecDrop:
 		l.dropped.Add(int64(l.removeRange(rec.From, rec.Through)))
 	case wal.RecPublish:
 		// Publication is the caller's business: recovery publishes once at
-		// the end, a replica publishes per applied batch. Nothing to do on
-		// the learner itself.
+		// the end, a replica publishes per applied batch. The lineage entry
+		// and servable-freshness observation are the learner's, though — the
+		// stamps travel with the record, so follower and recovered primary
+		// rebuild the same provenance the original run reported.
+		l.notePublished(rec.Gen, rec.TS, rec.EventTS)
 	default:
 		return fmt.Errorf("online: replay seq %d: unknown record type %v", rec.Seq, rec.Type)
 	}

@@ -288,10 +288,14 @@ type ReplicaStats struct {
 	// marker.
 	PrimaryGeneration uint64
 	// LagRecords is PrimaryDurableSeq - AppliedSeq (0 when caught up);
-	// LagSeconds estimates staleness from the newest applied event's ingest
-	// timestamp (primary's clock — subject to skew across hosts).
-	LagRecords int64
-	LagSeconds float64
+	// LagSeconds estimates staleness as (primary clock at last poll) minus
+	// (newest applied event's ingest stamp) — both stamps originate on the
+	// primary, so clock skew between hosts never enters the estimate.
+	// LagSecondsKnown is false when the stamps needed for the estimate are
+	// missing (a pre-stamp log, or no poll yet): unknown, not zero.
+	LagRecords      int64
+	LagSeconds      float64
+	LagSecondsKnown bool
 	// CaughtUp reports AppliedSeq == PrimaryDurableSeq as of the last poll.
 	CaughtUp bool
 	// Polls/PollErrors count fetches; Applied counts records applied.
@@ -318,7 +322,8 @@ type Replica struct {
 	applied        atomic.Uint64
 	primaryDurable atomic.Uint64
 	primaryGen     atomic.Uint64
-	lastEventTS    atomic.Int64 // unix ms of newest applied event
+	lastEventTS    atomic.Int64 // unix ms of newest applied event (primary clock)
+	primaryNow     atomic.Int64 // unix ms of the primary's clock at the last poll
 	polls          atomic.Int64
 	pollErrs       atomic.Int64
 	appliedRecs    atomic.Int64
@@ -376,13 +381,17 @@ func (r *Replica) applyFetch(fetch LogFetch) error {
 		if rec.Type == wal.RecPublish {
 			// Markers at or below the bootstrap generation are already
 			// embodied in the snapshot weights — re-publishing them would
-			// burn generation ids the primary never issued.
+			// burn generation ids the primary never issued. Lineage is noted
+			// either way: the generation is servable here, and the marker's
+			// stamps make the follower's freshness report identical to the
+			// primary's.
 			if rec.Gen > r.primaryGen.Load() {
 				r.l.trainMu.Lock()
 				r.l.publishAs(rec.Gen)
 				r.l.trainMu.Unlock()
 				r.primaryGen.Store(rec.Gen)
 			}
+			r.l.notePublished(rec.Gen, rec.TS, rec.EventTS)
 		} else if err := r.l.ApplyLogRecord(rec, r.l.snapApplied); err != nil {
 			return err
 		}
@@ -394,6 +403,12 @@ func (r *Replica) applyFetch(fetch LogFetch) error {
 	}
 	if fetch.DurableSeq > r.primaryDurable.Load() {
 		r.primaryDurable.Store(fetch.DurableSeq)
+	}
+	if fetch.NowMillis > r.primaryNow.Load() {
+		// The primary's own clock at response time — the minuend every
+		// lag-seconds estimate uses, so local and remote wall clocks are
+		// never mixed.
+		r.primaryNow.Store(fetch.NowMillis)
 	}
 	return nil
 }
@@ -522,9 +537,17 @@ func (r *Replica) Stats() ReplicaStats {
 	}
 	if durable > applied {
 		st.LagRecords = int64(durable - applied)
-		if ts := r.lastEventTS.Load(); ts > 0 {
-			st.LagSeconds = float64(time.Now().UnixMilli()-ts) / 1000
+		ts, pnow := r.lastEventTS.Load(), r.primaryNow.Load()
+		if ts > 0 && pnow > 0 {
+			st.LagSecondsKnown = true
+			if lag := float64(pnow-ts) / 1000; lag > 0 {
+				st.LagSeconds = lag
+			}
 		}
+	} else if r.polls.Load() > 0 {
+		// Caught up as of the last poll: zero lag is a known fact, not a
+		// missing stamp.
+		st.LagSecondsKnown = true
 	}
 	return st
 }

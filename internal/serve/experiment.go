@@ -129,6 +129,20 @@ type armState struct {
 	hrProbes atomic.Int64
 	hrHits   atomic.Int64
 
+	// Online calibration: each HR probe now ranks the full candidate set,
+	// and the realized object's percentile rank (1 = ranked first, 0 =
+	// ranked last) accumulates here. A well-calibrated arm keeps the mean
+	// percentile high; a degrading fine-tune drags it down many probes
+	// before the coarser binary HR@K visibly moves.
+	calProbes atomic.Int64
+	calSum    atomic.Int64 // percentile in micro-units
+
+	// sick is the declarative-alert hook: a firing per-arm rule marks the
+	// arm sick (obs.Rules via the serving layer), and the ROADMAP's bandit
+	// reweighting will read it to shift traffic away. The tier itself only
+	// stores and reports the flag.
+	sick atomic.Bool
+
 	// lastGen is the highest generation a routed request has observed;
 	// advancing it records the swap lag against the engine's publish time.
 	lastGen       atomic.Uint64
@@ -218,6 +232,39 @@ func (x *Experiments) ArmEngine(i int) *Engine { return x.arms[i].eng }
 // two views).
 func (x *Experiments) ArmLatency(i int, ep Endpoint) *obs.Histogram {
 	return &x.arms[i].lat[ep]
+}
+
+// ArmCalibration returns arm i's mean probe percentile (1 = the realized
+// object always ranked first) and the number of probes behind it. ok is
+// false until at least one probe has run — callers exposing this as a gauge
+// should report unknown (NaN), not zero, so a fresh arm never looks sick.
+func (x *Experiments) ArmCalibration(i int) (mean float64, probes int64, ok bool) {
+	a := x.arms[i]
+	probes = a.calProbes.Load()
+	if probes == 0 {
+		return 0, 0, false
+	}
+	return float64(a.calSum.Load()) / 1e6 / float64(probes), probes, true
+}
+
+// MarkSick sets or clears arm i's sick flag. The flag is declarative-alert
+// output: the serving layer evaluates its per-arm rules (calibration floor,
+// drift ceiling, latency budget) and writes the verdict here, where
+// /v1/experiments reports it and future traffic reweighting will read it.
+// The tier itself never flips the flag.
+func (x *Experiments) MarkSick(i int, sick bool) {
+	if i < 0 || i >= len(x.arms) {
+		return
+	}
+	x.arms[i].sick.Store(sick)
+}
+
+// ArmSick reports whether arm i is currently flagged sick.
+func (x *Experiments) ArmSick(i int) bool {
+	if i < 0 || i >= len(x.arms) {
+		return false
+	}
+	return x.arms[i].sick.Load()
 }
 
 // observe records a served request's latency and generation on an arm.
@@ -361,6 +408,12 @@ func (x *Experiments) ObserveLatency(arm int, ep Endpoint, d time.Duration) {
 // user's pre-event context, and count whether it made the top K. base must
 // carry the user's history as it stood before the event — probing with the
 // event already appended would leak the answer into the question.
+//
+// The probe now ranks the whole candidate set (K <= 0) instead of
+// truncating at K: the realized object's exact rank is the arm's online
+// calibration signal — percentile 1 means the model put the thing the user
+// actually did first, percentile 0 means it put it last. The HR@K hit is
+// read off the same ranking (rank < K), so its semantics are unchanged.
 // It returns the arm index and, when a probe ran, whether it hit.
 func (x *Experiments) RecordFeedback(base feature.Instance, object int) (arm int, probed, hit bool) {
 	ai := x.Assign(base.User)
@@ -373,14 +426,21 @@ func (x *Experiments) RecordFeedback(base feature.Instance, object int) (arm int
 	items, gen := a.eng.TopKOn(TopKRequest{
 		Base:       base,
 		Candidates: candidates,
-		K:          x.cfg.HRK,
+		K:          0, // rank everything: rank -> calibration, rank < HRK -> hit
 		AttrOf:     x.cfg.AttrOf,
 	})
-	for _, it := range items {
-		if it.Object == object {
-			hit = true
-			break
+	for rank, it := range items {
+		if it.Object != object {
+			continue
 		}
+		hit = rank < x.cfg.HRK
+		pct := 1.0
+		if len(items) > 1 {
+			pct = 1 - float64(rank)/float64(len(items)-1)
+		}
+		a.calProbes.Add(1)
+		a.calSum.Add(int64(pct * 1e6))
+		break
 	}
 	a.hrProbes.Add(1)
 	if hit {
@@ -435,6 +495,13 @@ type ArmStats struct {
 	// online hit ratio (0 when no probe ran).
 	Feedback, HRProbes, HRHits int64
 	HRAtK                      float64
+	// Calibration is the mean probe percentile of the realized object in
+	// the arm's full candidate ranking (1 = always first), over CalProbes
+	// probes; 0 with CalProbes 0 means no evidence yet, not miscalibration.
+	Calibration float64
+	CalProbes   int64
+	// Sick reports the declarative per-arm alert verdict (see MarkSick).
+	Sick bool
 	// SwapsObserved counts generation advances a request has witnessed;
 	// AvgSwapLag/LastSwapLag measure publish→first-observation delay.
 	SwapsObserved           int64
@@ -457,9 +524,14 @@ func (x *Experiments) Stats() []ArmStats {
 			HRHits:        a.hrHits.Load(),
 			SwapsObserved: a.swapsObserved.Load(),
 			LastSwapLag:   time.Duration(a.lastSwapLag.Load()),
+			CalProbes:     a.calProbes.Load(),
+			Sick:          a.sick.Load(),
 		}
 		if st.HRProbes > 0 {
 			st.HRAtK = float64(st.HRHits) / float64(st.HRProbes)
+		}
+		if st.CalProbes > 0 {
+			st.Calibration = float64(a.calSum.Load()) / 1e6 / float64(st.CalProbes)
 		}
 		if st.SwapsObserved > 0 {
 			st.AvgSwapLag = time.Duration(a.swapLagSum.Load() / st.SwapsObserved)

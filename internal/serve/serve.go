@@ -176,6 +176,12 @@ type generation struct {
 	// these weights and stamped with this generation's id; nil when
 	// Config.Index is unset or the model cannot embed.
 	idx *builtIndex
+	// scores sketches every score this generation returned from top-K
+	// ranking (the served distribution, not the scored-candidate one).
+	// Comparing it against the previous generation's frozen sketch is the
+	// score-drift monitor: a poisoned fine-tune shifts this distribution
+	// before HR@K visibly craters.
+	scores *obs.ScoreSketch
 }
 
 // Stats is a snapshot of the engine's served-traffic counters.
@@ -270,7 +276,26 @@ type Engine struct {
 	// — the cost a publisher pays, never a reader. Live histogram; register
 	// it, don't copy it.
 	swapHist obs.Histogram
+
+	// prevSketches is a small ring of superseded generations' score
+	// sketches, frozen at swap time (in-flight requests of the old
+	// generation may still add a few trailing records — the monitoring
+	// contract tolerates that). ScoreDrift compares the current
+	// generation's sketch against the newest predecessor that served
+	// anything.
+	prevMu       sync.Mutex
+	prevSketches []genSketch
 }
+
+// genSketch is one retired generation's served-score sketch.
+type genSketch struct {
+	gen    uint64
+	scores *obs.ScoreSketch
+}
+
+// sketchRingSize bounds the retired-sketch ring; drift only ever reads the
+// newest non-empty predecessor, the rest is debugging headroom.
+const sketchRingSize = 8
 
 type pendingScore struct {
 	inst feature.Instance
@@ -300,7 +325,22 @@ func (e *Engine) newGeneration(m Scorer) *generation {
 	g.statics = newCache[staticKey, *tensor.Matrix](e.cfg.CachePolicy, e.cfg.StaticCacheSize)
 	g.dyns = newCache[string, *core.DynState](e.cfg.CachePolicy, e.cfg.DynCacheSize)
 	g.idx = e.buildIndex(m, g.id)
+	g.scores = &obs.ScoreSketch{}
 	return g
+}
+
+// retireSketch freezes the outgoing generation's score sketch into the drift
+// ring. Callers hold swapMu.
+func (e *Engine) retireSketch(old *generation) {
+	if old == nil || old.scores == nil {
+		return
+	}
+	e.prevMu.Lock()
+	e.prevSketches = append(e.prevSketches, genSketch{gen: old.id, scores: old.scores})
+	if len(e.prevSketches) > sketchRingSize {
+		e.prevSketches = e.prevSketches[len(e.prevSketches)-sketchRingSize:]
+	}
+	e.prevMu.Unlock()
 }
 
 // Swap atomically publishes m as the serving model and returns the new
@@ -313,6 +353,7 @@ func (e *Engine) Swap(m Scorer) uint64 {
 	start := time.Now()
 	e.swapMu.Lock()
 	g := e.newGeneration(m)
+	e.retireSketch(e.cur.Load())
 	e.cur.Store(g)
 	e.swapMu.Unlock()
 	e.swapHist.Record(time.Since(start))
@@ -335,6 +376,7 @@ func (e *Engine) SwapAs(m Scorer, id uint64) uint64 {
 		e.gens.Store(id - 1) // newGeneration's Add(1) lands exactly on id
 	}
 	g := e.newGeneration(m)
+	e.retireSketch(e.cur.Load())
 	e.cur.Store(g)
 	e.swapMu.Unlock()
 	e.swapHist.Record(time.Since(start))
@@ -685,7 +727,59 @@ func (e *Engine) topKOn(g *generation, req TopKRequest, dedup bool) ([]Item, uin
 	if req.K > 0 && req.K < len(items) {
 		items = items[:req.K]
 	}
+	if g.scores != nil {
+		// Sketch the *served* scores — the K items a caller actually sees —
+		// under this exact generation. A handful of atomic adds per request,
+		// inside the telemetry overhead bar.
+		for i := range items {
+			g.scores.Record(items[i].Score)
+		}
+	}
 	return items, g.id
+}
+
+// DriftStats is one inter-generation score-drift reading: the current
+// generation's served-score sketch compared against the newest retired
+// generation that served anything. Known is false while there is nothing to
+// compare (fewer than two generations with served traffic) — unknown drift
+// must read as no evidence, not as zero drift that a rule could trust.
+type DriftStats struct {
+	CurrentGen   uint64         `json:"current_gen"`
+	PrevGen      uint64         `json:"prev_gen,omitempty"`
+	CurrentCount int64          `json:"current_count"`
+	PrevCount    int64          `json:"prev_count,omitempty"`
+	Drift        obs.ScoreDrift `json:"drift"`
+	Known        bool           `json:"known"`
+}
+
+// ScoreDrift compares the current generation's served-score distribution
+// against its newest predecessor with served traffic. Reads are lock-cheap
+// (one small mutex over the retired ring, atomics over the sketches) and
+// safe under concurrent serving and swapping.
+func (e *Engine) ScoreDrift() DriftStats {
+	g := e.cur.Load()
+	st := DriftStats{CurrentGen: g.id}
+	if g.scores == nil {
+		return st
+	}
+	st.CurrentCount = g.scores.Count()
+	e.prevMu.Lock()
+	var prev genSketch
+	for i := len(e.prevSketches) - 1; i >= 0; i-- {
+		if e.prevSketches[i].gen < g.id && e.prevSketches[i].scores.Count() > 0 {
+			prev = e.prevSketches[i]
+			break
+		}
+	}
+	e.prevMu.Unlock()
+	if prev.scores == nil || st.CurrentCount == 0 {
+		return st
+	}
+	st.PrevGen = prev.gen
+	st.PrevCount = prev.scores.Count()
+	st.Drift = g.scores.DriftFrom(prev.scores)
+	st.Known = true
+	return st
 }
 
 // Score scores one instance. Unless accumulation is disabled (BatchSize 1),

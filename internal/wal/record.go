@@ -64,8 +64,12 @@ type Record struct {
 	User   int     `json:"user,omitempty"`
 	Object int     `json:"object,omitempty"`
 	Label  float64 `json:"label,omitempty"`
-	// TS is the ingest wall-clock time in unix milliseconds — replication
-	// lag accounting only, never an input to training.
+	// TS is a primary wall-clock stamp in unix milliseconds — the ingest
+	// time on an Event, the apply time on a Step, the swap time on a
+	// Publish. Replication lag accounting only, never an input to training;
+	// 0 means unknown (records written before stamps existed). Freshness
+	// deltas are always TS-minus-TS between two primary-origin stamps, so
+	// follower clocks never enter the arithmetic.
 	TS int64 `json:"ts,omitempty"`
 
 	// Through is the event sequence number a Step or Drop consumed through;
@@ -74,6 +78,11 @@ type Record struct {
 	From    uint64 `json:"from,omitempty"`
 	// Gen is the generation id a Publish installed.
 	Gen uint64 `json:"gen,omitempty"`
+	// EventTS is the ingest stamp (unix milliseconds, primary clock) of the
+	// newest event the published generation was trained through — the lineage
+	// anchor freshness deltas subtract from. Like TS it is lag accounting
+	// only, never a training input. 0 means unknown (pre-stamp log).
+	EventTS int64 `json:"event_ts,omitempty"`
 }
 
 // EncodeRecord renders the record's payload (type byte + type-specific
@@ -89,11 +98,18 @@ func EncodeRecord(r Record) []byte {
 		buf = binary.AppendUvarint(buf, uint64(r.TS))
 	case RecStep:
 		buf = binary.AppendUvarint(buf, r.Through)
+		// Lineage stamp (apply wall clock). Appended unconditionally: the
+		// decoder treats it as optional so pre-stamp logs still parse.
+		buf = binary.AppendUvarint(buf, uint64(r.TS))
 	case RecDrop:
 		buf = binary.AppendUvarint(buf, r.From)
 		buf = binary.AppendUvarint(buf, r.Through)
 	case RecPublish:
 		buf = binary.AppendUvarint(buf, r.Gen)
+		// Lineage stamps: swap wall clock, then the ingest stamp of the
+		// newest event the generation was trained through.
+		buf = binary.AppendUvarint(buf, uint64(r.TS))
+		buf = binary.AppendUvarint(buf, uint64(r.EventTS))
 	}
 	return buf
 }
@@ -143,6 +159,15 @@ func DecodeRecord(seq uint64, payload []byte) (Record, error) {
 			return fail()
 		}
 		r.Through = v
+		// Optional trailing lineage stamp — absent on pre-stamp logs, which
+		// decode with TS=0 (freshness unknown, not zero).
+		if len(b) > 0 {
+			ts, ok := uvarint()
+			if !ok {
+				return fail()
+			}
+			r.TS = int64(ts)
+		}
 	case RecDrop:
 		from, ok := uvarint()
 		if !ok {
@@ -162,6 +187,20 @@ func DecodeRecord(seq uint64, payload []byte) (Record, error) {
 			return fail()
 		}
 		r.Gen = v
+		// Optional trailing lineage stamps (swap clock, trained-through
+		// ingest stamp) — absent on pre-stamp logs, decoded as 0 = unknown.
+		if len(b) > 0 {
+			ts, ok := uvarint()
+			if !ok {
+				return fail()
+			}
+			r.TS = int64(ts)
+			ets, ok := uvarint()
+			if !ok {
+				return fail()
+			}
+			r.EventTS = int64(ets)
+		}
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d at seq %d", payload[0], seq)
 	}

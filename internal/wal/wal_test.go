@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand"
@@ -427,8 +428,10 @@ func TestRecordRoundtrip(t *testing.T) {
 		{Type: RecEvent, User: 3, Object: 1021, Label: 4.5, TS: 1722300000123},
 		{Type: RecEvent, User: 0, Object: 0, Label: 1},
 		{Type: RecStep, Through: 917},
+		{Type: RecStep, Through: 918, TS: 1722300000456},
 		{Type: RecDrop, From: 3, Through: 12},
 		{Type: RecPublish, Gen: 42},
+		{Type: RecPublish, Gen: 43, TS: 1722300000789, EventTS: 1722300000123},
 	}
 	dir := t.TempDir()
 	l := mustOpen(t, dir, fastOpts())
@@ -458,6 +461,42 @@ func TestRecordRoundtrip(t *testing.T) {
 	}
 	if _, err := rd.NextRecord(); err != io.EOF {
 		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestDecodeRecordPreStampCompat pins the backward-compatible frame
+// extension: Step and Publish payloads written before lineage stamps existed
+// (no trailing uvarints) must decode cleanly with TS/EventTS = 0 — freshness
+// unknown, not zero — so old logs replay unchanged.
+func TestDecodeRecordPreStampCompat(t *testing.T) {
+	// Hand-encode the v-prev payloads exactly as the old writer did.
+	oldStep := []byte{byte(RecStep)}
+	oldStep = binary.AppendUvarint(oldStep, 917)
+	oldPub := []byte{byte(RecPublish)}
+	oldPub = binary.AppendUvarint(oldPub, 42)
+
+	step, err := DecodeRecord(7, oldStep)
+	if err != nil {
+		t.Fatalf("pre-stamp step rejected: %v", err)
+	}
+	if step.Through != 917 || step.TS != 0 {
+		t.Fatalf("pre-stamp step decoded as %+v", step)
+	}
+	pub, err := DecodeRecord(8, oldPub)
+	if err != nil {
+		t.Fatalf("pre-stamp publish rejected: %v", err)
+	}
+	if pub.Gen != 42 || pub.TS != 0 || pub.EventTS != 0 {
+		t.Fatalf("pre-stamp publish decoded as %+v", pub)
+	}
+
+	// A publish with a swap stamp but no trained-through stamp is malformed:
+	// the stamps travel as a pair.
+	half := []byte{byte(RecPublish)}
+	half = binary.AppendUvarint(half, 42)
+	half = binary.AppendUvarint(half, 1722300000789)
+	if _, err := DecodeRecord(9, half); err == nil {
+		t.Fatal("publish with half a stamp pair accepted")
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"io"
 
 	"seqfm/internal/obs"
+	"seqfm/internal/online"
+	"seqfm/internal/serve"
 )
 
 // MetricsRegistry is an ordered collection of metric families with
@@ -75,3 +77,51 @@ type (
 // scanner the traffic bench uses to cross-check the server's own series
 // against harness-observed counts and percentiles.
 func ParseMetrics(r io.Reader) (MetricSamples, error) { return obs.ParsePrometheus(r) }
+
+// ScoreSketch is a streaming quantile sketch of served scores: fixed linear
+// buckets, atomics-only recording. The engine keeps one per published model
+// generation; ScoreDrift summarises the shift between two generations'
+// sketches (median shift, mean shift, total variation distance) — the signal
+// behind the seqfm_score_drift gauges and drift alert rules.
+type (
+	ScoreSketch = obs.ScoreSketch
+	ScoreDrift  = obs.ScoreDrift
+)
+
+// DriftStats is an engine's current-vs-previous-generation drift report;
+// Known is false until both generations have recorded scores.
+type DriftStats = serve.DriftStats
+
+// ModelLineage is one published generation's provenance entry: when it was
+// published and how fresh its training data was, all derived from
+// primary-clock stamps carried through the WAL (identical on a follower).
+type ModelLineage = online.LineageEntry
+
+// AlertRule is one declarative alert: fire when `metric{labels} op threshold`
+// holds continuously for the sustain window. Pass rules via
+// ServerConfig.Rules — firing critical rules degrade /healthz to 503, and
+// rules carrying an "arm" label mark that experiment arm sick. AlertRuleState
+// is one rule's evaluation result; AlertRules is the eval-on-read evaluator.
+type (
+	AlertRule      = obs.Rule
+	AlertRuleState = obs.RuleState
+	AlertRules     = obs.Rules
+)
+
+// Alert severities: critical degrades readiness while firing, warn only
+// reports.
+const (
+	AlertSeverityWarn     = obs.SeverityWarn
+	AlertSeverityCritical = obs.SeverityCritical
+)
+
+// NewAlertRules wires rules against reg, rejecting the set on the first
+// malformed rule. Servers do this themselves for ServerConfig.Rules; use it
+// directly to evaluate rules over your own registry.
+func NewAlertRules(reg *MetricsRegistry, rules []AlertRule) (*AlertRules, error) {
+	return obs.NewRules(reg, rules)
+}
+
+// LoadAlertRules reads rules from a JSON file (a bare array or an object
+// with a "rules" array) — the format behind seqfm-serve's -alert-rules flag.
+func LoadAlertRules(path string) ([]AlertRule, error) { return obs.LoadRulesFile(path) }
