@@ -1,0 +1,86 @@
+package seqfm
+
+import (
+	"io"
+
+	"seqfm/internal/cluster"
+	"seqfm/internal/online"
+	"seqfm/internal/wal"
+)
+
+// This file is the sharded-deployment facade over internal/cluster: the
+// static consistent-hash shard map, the stateless router tier, follower
+// promotion with epoch fencing, and the WAL compaction loop. Within a shard,
+// correctness is the replication contract plus the writer epoch; across
+// shards, placement is pure hashing over a static map — no consensus
+// anywhere. See DESIGN.md §14.
+//
+//	m, _ := seqfm.LoadShardMap("shards.json")
+//	rt, _ := seqfm.NewRouter(m, seqfm.RouterConfig{MapPath: "shards.json"})
+//	http.ListenAndServe(":8000", rt.Routes())
+
+// Shard is one shard's membership: a primary base URL that accepts writes
+// and zero or more read-follower URLs.
+type Shard = cluster.Shard
+
+// ShardMap is the cluster's static placement: the shard list plus the
+// consistent-hash ring derived from the shard names. Placement depends only
+// on names, so URL changes never move users.
+type ShardMap = cluster.ShardMap
+
+// ParseShardMap decodes, validates and rings a shard-map JSON document.
+func ParseShardMap(r io.Reader) (*ShardMap, error) { return cluster.ParseShardMap(r) }
+
+// LoadShardMap reads a shard map from a JSON file.
+func LoadShardMap(path string) (*ShardMap, error) { return cluster.LoadShardMap(path) }
+
+// Router is the stateless proxy tier: feedback to the owning shard's primary
+// (with epoch fencing and one reload-and-retry on a fence), reads across the
+// shard's followers with primary fallback.
+type Router = cluster.Router
+
+// RouterConfig parameterises NewRouter; the zero value serves the given map
+// with a 10s-timeout client and a private metrics registry.
+type RouterConfig = cluster.RouterConfig
+
+// NewRouter builds a router over a parsed shard map.
+func NewRouter(m *ShardMap, cfg RouterConfig) (*Router, error) { return cluster.NewRouter(m, cfg) }
+
+// Epoch is a shard's writer fencing token: bumped by every promotion,
+// stamped into the new primary's WAL and the write/replication protocols.
+// Anything a deposed primary still emits under an older epoch is rejected by
+// comparison, never merged.
+type Epoch = cluster.Epoch
+
+// Promotion describes one follower→primary takeover for Promote.
+type Promotion = cluster.Promotion
+
+// PromoteResult reports the new writer identity after a promotion.
+type PromoteResult = cluster.PromoteResult
+
+// Promote turns a caught-up follower into its shard's primary: the tail loop
+// stops, a fresh WAL opens at the applied position + 1 under epoch+1 (the
+// epoch record is its first, fsynced, entry), a self-contained state
+// checkpoint makes the new primary recoverable from its own disk, and the
+// trainer starts. The deposed primary needs no cooperation to be fenced.
+func Promote(p Promotion) (PromoteResult, error) { return cluster.Promote(p) }
+
+// CompactionConfig drives StartCompactor's periodic checkpoint-then-compact
+// cycle on a primary.
+type CompactionConfig = cluster.CompactionConfig
+
+// StartCompactor periodically writes a self-contained state checkpoint and
+// discards the WAL segments it covers, bounding the log while keeping
+// recovery and follower bootstrap exact. The returned stop function halts
+// the loop and waits out an in-flight cycle.
+func StartCompactor(l *OnlineLearner, cfg CompactionConfig) (stop func()) {
+	return cluster.StartCompactor(l, cfg)
+}
+
+// CompactStats reports one WAL compaction: whole sealed segments removed and
+// the first sequence number still in the log.
+type CompactStats = wal.CompactStats
+
+// EpochHeader is the HTTP header carrying the writer epoch on feedback
+// requests and responses — the router's fencing channel.
+const EpochHeader = online.EpochHeader

@@ -1,0 +1,520 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"seqfm/internal/ckpt"
+	"seqfm/internal/cluster"
+	"seqfm/internal/data"
+	"seqfm/internal/httpapi"
+	"seqfm/internal/online"
+	"seqfm/internal/serve"
+	"seqfm/internal/wal"
+)
+
+// clusterBenchEvents is the recovery-comparison stream length. At the
+// WAL-bench replay throughput (~7.5k events/s full retrain) the full replay
+// takes seconds while the compacted one replays only the post-cut suffix —
+// the economics the compactor exists for.
+const (
+	clusterBenchEvents = 100_000
+	clusterBenchCut    = 90_000 // state checkpoint + compaction point
+)
+
+// clusterRouterEntry compares read latency through the router tier against
+// hitting the owning shard directly — the price of the extra hop.
+type clusterRouterEntry struct {
+	Requests    int     `json:"requests"`
+	DirectP50Ms float64 `json:"direct_p50_ms"`
+	RouterP50Ms float64 `json:"router_p50_ms"`
+	Ratio       float64 `json:"router_over_direct"`
+}
+
+// clusterFailoverEntry measures a primary kill → follower promotion →
+// router-visible recovery, end to end.
+type clusterFailoverEntry struct {
+	PromoteMs float64 `json:"promote_ms"`
+	// FirstWriteMs is the wall time from killing the primary to the first
+	// feedback write accepted (202) through the router — promotion, map
+	// repoint and the router's fence-and-retry included.
+	FirstWriteMs float64 `json:"failover_first_accepted_write_ms"`
+}
+
+// clusterRecoveryEntry compares recovering the same stream from the full log
+// (replay everything) against the state checkpoint + compacted suffix.
+type clusterRecoveryEntry struct {
+	Events          int     `json:"events"`
+	CutSeq          uint64  `json:"cut_seq"`
+	SegmentsRemoved int     `json:"segments_removed"`
+	FullReplayMs    float64 `json:"full_replay_ms"`
+	CompactedMs     float64 `json:"compacted_recovery_ms"`
+	Speedup         float64 `json:"recovery_speedup"`
+}
+
+// clusterBenchReport is the BENCH_cluster.json schema.
+type clusterBenchReport struct {
+	GeneratedAt string               `json:"generated_at"`
+	GoMaxProcs  int                  `json:"gomaxprocs"`
+	Workload    string               `json:"workload"`
+	Router      clusterRouterEntry   `json:"router"`
+	Failover    clusterFailoverEntry `json:"failover"`
+	Recovery    clusterRecoveryEntry `json:"recovery"`
+}
+
+// newBenchShard builds one read-serving shard (engine + HTTP layer, no
+// online learner) on the standard WAL-bench workload.
+func newBenchShard() (*httptest.Server, func(), error) {
+	m, ds, err := online.BenchWorkload()
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := serve.NewEngine(m, serve.Config{Workers: 1})
+	s, err := httpapi.New(httpapi.Config{Engine: eng, Dataset: ds, Model: m})
+	if err != nil {
+		eng.Close()
+		return nil, nil, err
+	}
+	srv := httptest.NewServer(s.Routes())
+	return srv, func() { srv.Close(); eng.Close() }, nil
+}
+
+func writeShardMapFile(path string, shards []cluster.Shard) error {
+	buf, err := json.Marshal(cluster.ShardMap{Shards: shards})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func p50ms(samples []time.Duration) float64 {
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	return float64(samples[len(samples)/2].Microseconds()) / 1000
+}
+
+// benchRouterOverhead drives identical top-K reads at two shards directly
+// (to whichever shard the map assigns each user) and through the router.
+func benchRouterOverhead(tmp string) (clusterRouterEntry, error) {
+	srvA, closeA, err := newBenchShard()
+	if err != nil {
+		return clusterRouterEntry{}, err
+	}
+	defer closeA()
+	srvB, closeB, err := newBenchShard()
+	if err != nil {
+		return clusterRouterEntry{}, err
+	}
+	defer closeB()
+
+	shards := []cluster.Shard{
+		{Name: "s0", Primary: srvA.URL},
+		{Name: "s1", Primary: srvB.URL},
+	}
+	mapPath := filepath.Join(tmp, "shards.json")
+	if err := writeShardMapFile(mapPath, shards); err != nil {
+		return clusterRouterEntry{}, err
+	}
+	m, err := cluster.LoadShardMap(mapPath)
+	if err != nil {
+		return clusterRouterEntry{}, err
+	}
+	rt, err := cluster.NewRouter(m, cluster.RouterConfig{MapPath: mapPath})
+	if err != nil {
+		return clusterRouterEntry{}, err
+	}
+	srvR := httptest.NewServer(rt.Routes())
+	defer srvR.Close()
+
+	const requests = 400
+	post := func(url string, user int) (time.Duration, error) {
+		body := fmt.Sprintf(`{"user":%d,"k":10}`, user)
+		start := time.Now()
+		resp, err := http.Post(url+"/v1/topk", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("topk %s: status %d", url, resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+	// Warm both paths (connection setup, first-touch caches) off the clock.
+	for u := 0; u < 8; u++ {
+		if _, err := post(srvR.URL, u); err != nil {
+			return clusterRouterEntry{}, err
+		}
+		if _, err := post(shards[m.Lookup(u)].Primary, u); err != nil {
+			return clusterRouterEntry{}, err
+		}
+	}
+	direct := make([]time.Duration, 0, requests)
+	routed := make([]time.Duration, 0, requests)
+	for i := 0; i < requests; i++ {
+		u := i % online.BenchUsers
+		d, err := post(shards[m.Lookup(u)].Primary, u)
+		if err != nil {
+			return clusterRouterEntry{}, err
+		}
+		direct = append(direct, d)
+		r, err := post(srvR.URL, u)
+		if err != nil {
+			return clusterRouterEntry{}, err
+		}
+		routed = append(routed, r)
+	}
+	e := clusterRouterEntry{
+		Requests:    requests,
+		DirectP50Ms: p50ms(direct),
+		RouterP50Ms: p50ms(routed),
+	}
+	e.Ratio = e.RouterP50Ms / e.DirectP50Ms
+	return e, nil
+}
+
+// benchFailover kills a shard's primary mid-stream, promotes its follower
+// through the real /v1/replica/promote endpoint, repoints the map, and
+// measures the wall time until the router accepts a write again.
+func benchFailover(tmp string) (clusterFailoverEntry, error) {
+	mP, ds, err := online.BenchWorkload()
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	logP, err := wal.Open(filepath.Join(tmp, "failover-wal"), wal.Options{Policy: wal.SyncNone})
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	defer logP.Close()
+	engP := serve.NewEngine(mP.Clone(), serve.Config{Workers: 1})
+	defer engP.Close()
+	lP, err := online.NewLearner(mP, ds, engP, online.Config{
+		Train: online.BenchTrainConfig(), BatchSize: 64, Log: logP,
+	})
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	sP, err := httpapi.New(httpapi.Config{Engine: engP, Dataset: ds, Model: mP, Learner: lP, WAL: logP})
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	srvP := httptest.NewServer(sP.Routes())
+	defer srvP.Close()
+	for i, ev := range online.BenchEvents(200) {
+		if err := lP.Ingest(ev[0], ev[1], 1); err != nil {
+			return clusterFailoverEntry{}, err
+		}
+		if (i+1)%100 == 0 {
+			lP.Sync()
+		}
+	}
+	lP.Sync()
+
+	// Follower, armed for promotion through the real endpoint.
+	mF, fF, bootGen, err := online.FetchSnapshot(srvP.URL, nil)
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	engF := serve.NewEngine(mF, serve.Config{Workers: 1})
+	defer engF.Close()
+	lF, err := online.NewLearnerFromSnapshot(mF, fF, ds, engF, online.Config{
+		Train: online.BenchTrainConfig(), BatchSize: 64,
+	})
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	rep := online.NewReplica(lF, &online.HTTPLogSource{Base: srvP.URL}, bootGen, online.ReplicaConfig{})
+	if _, err := rep.CatchUp(); err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	defer rep.Close()
+	promoteDir := filepath.Join(tmp, "failover-wal2")
+	sF, err := httpapi.New(httpapi.Config{
+		Engine: engF, Dataset: ds, Model: mF, Learner: lF, Replica: rep, Primary: srvP.URL,
+		Promote: func() (httpapi.PromoteInfo, error) {
+			res, err := cluster.Promote(cluster.Promotion{
+				Replica: rep, Learner: lF,
+				WALDir:       promoteDir,
+				WALOptions:   wal.Options{Policy: wal.SyncNone},
+				SnapshotPath: filepath.Join(promoteDir, "state.ckpt"),
+			})
+			if err != nil {
+				return httpapi.PromoteInfo{}, err
+			}
+			return httpapi.PromoteInfo{
+				Epoch: uint64(res.Epoch), AppliedSeq: res.AppliedSeq,
+				Generation: res.Generation, WALDir: res.WALDir,
+			}, nil
+		},
+	})
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	srvF := httptest.NewServer(sF.Routes())
+	defer srvF.Close()
+
+	mapPath := filepath.Join(tmp, "failover-shards.json")
+	if err := writeShardMapFile(mapPath, []cluster.Shard{{Name: "s0", Primary: srvP.URL, Followers: []string{srvF.URL}}}); err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	m, err := cluster.LoadShardMap(mapPath)
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	rt, err := cluster.NewRouter(m, cluster.RouterConfig{MapPath: mapPath})
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	srvR := httptest.NewServer(rt.Routes())
+	defer srvR.Close()
+
+	feedback := func() (int, error) {
+		resp, err := http.Post(srvR.URL+"/v1/feedback", "application/json",
+			bytes.NewReader([]byte(`{"user":1,"object":2,"label":1}`)))
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	if code, err := feedback(); err != nil || code != http.StatusAccepted {
+		return clusterFailoverEntry{}, fmt.Errorf("pre-failover write: status %d, err %v", code, err)
+	}
+
+	// Kill, promote, repoint, and clock the first accepted write.
+	t0 := time.Now()
+	srvP.Close()
+	pStart := time.Now()
+	resp, err := http.Post(srvF.URL+"/v1/replica/promote", "application/json", nil)
+	if err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return clusterFailoverEntry{}, fmt.Errorf("promote: status %d", resp.StatusCode)
+	}
+	promoteMs := float64(time.Since(pStart).Microseconds()) / 1000
+	defer func() {
+		// The promoted learner owns a trainer and a log now.
+		lF.Close()
+		if wlog := lF.WAL(); wlog != nil {
+			wlog.Close()
+		}
+	}()
+	if err := writeShardMapFile(mapPath, []cluster.Shard{{Name: "s0", Primary: srvF.URL}}); err != nil {
+		return clusterFailoverEntry{}, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, err := feedback()
+		if err == nil && code == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			return clusterFailoverEntry{}, fmt.Errorf("no accepted write within 10s of failover (last status %d, err %v)", code, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return clusterFailoverEntry{
+		PromoteMs:    promoteMs,
+		FirstWriteMs: float64(time.Since(t0).Microseconds()) / 1000,
+	}, nil
+}
+
+// driveClusterLog ingests the recovery stream into dir, writing the state
+// checkpoint at the cut. Returns the checkpoint's covered sequence.
+func driveClusterLog(dir, statePath string, opts wal.Options) (uint64, error) {
+	log, err := wal.Open(dir, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer log.Close()
+	m, ds, err := online.BenchWorkload()
+	if err != nil {
+		return 0, err
+	}
+	eng := serve.NewEngine(m.Clone(), serve.Config{Workers: 1})
+	defer eng.Close()
+	l, err := online.NewLearner(m, ds, eng, online.Config{
+		Train: online.BenchTrainConfig(), BatchSize: 64, Log: log,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var cut uint64
+	for i, ev := range online.BenchEvents(clusterBenchEvents) {
+		if err := l.Ingest(ev[0], ev[1], 1); err != nil {
+			return 0, err
+		}
+		if (i+1)%online.BenchSyncEvery == 0 {
+			l.Sync()
+		}
+		if i+1 == clusterBenchCut {
+			if err := l.CheckpointStateFile(statePath); err != nil {
+				return 0, err
+			}
+			cut = l.Stats().SnapshotSeq
+		}
+	}
+	l.Sync()
+	return cut, nil
+}
+
+// benchRecovery recovers the identical stream twice: full replay of the
+// whole log from a fresh learner, and state checkpoint + compacted suffix.
+func benchRecovery(tmp string, ds *data.Dataset) (clusterRecoveryEntry, error) {
+	opts := wal.Options{Policy: wal.SyncNone, SegmentBytes: 256 << 10}
+	dir := filepath.Join(tmp, "recovery-wal")
+	statePath := filepath.Join(tmp, "recovery-state.ckpt")
+	cut, err := driveClusterLog(dir, statePath, opts)
+	if err != nil {
+		return clusterRecoveryEntry{}, err
+	}
+
+	e := clusterRecoveryEntry{Events: clusterBenchEvents, CutSeq: cut}
+
+	// Full recovery: no snapshot — replay (and re-train) the entire log.
+	{
+		log, err := wal.Open(dir, opts)
+		if err != nil {
+			return clusterRecoveryEntry{}, err
+		}
+		m, _, err := online.BenchWorkload()
+		if err != nil {
+			log.Close()
+			return clusterRecoveryEntry{}, err
+		}
+		eng := serve.NewEngine(m.Clone(), serve.Config{Workers: 1})
+		l, err := online.NewLearner(m, ds, eng, online.Config{
+			Train: online.BenchTrainConfig(), BatchSize: 64, Log: log,
+		})
+		if err != nil {
+			eng.Close()
+			log.Close()
+			return clusterRecoveryEntry{}, err
+		}
+		start := time.Now()
+		if _, err := l.ReplayLog(); err != nil {
+			eng.Close()
+			log.Close()
+			return clusterRecoveryEntry{}, err
+		}
+		e.FullReplayMs = float64(time.Since(start).Microseconds()) / 1000
+		eng.Close()
+		log.Close()
+	}
+
+	// Compacted recovery: compact through the cut, then recover from the
+	// state checkpoint + surviving suffix — snapshot load included in the
+	// measurement, exactly the boot path a compacted node takes.
+	{
+		log, err := wal.Open(dir, opts)
+		if err != nil {
+			return clusterRecoveryEntry{}, err
+		}
+		st, err := log.Compact(cut)
+		if err != nil {
+			log.Close()
+			return clusterRecoveryEntry{}, err
+		}
+		if st.Removed == 0 {
+			log.Close()
+			return clusterRecoveryEntry{}, fmt.Errorf("compaction removed no segments (cut %d, first %d): the comparison is void", cut, st.FirstSeq)
+		}
+		e.SegmentsRemoved = st.Removed
+		log.Close()
+
+		log, err = wal.Open(dir, opts)
+		if err != nil {
+			return clusterRecoveryEntry{}, err
+		}
+		start := time.Now()
+		m, f, err := ckpt.LoadFile(statePath)
+		if err != nil {
+			log.Close()
+			return clusterRecoveryEntry{}, err
+		}
+		eng := serve.NewEngine(m.Clone(), serve.Config{Workers: 1})
+		l, err := online.NewLearnerFromSnapshot(m, f, ds, eng, online.Config{
+			Train: online.BenchTrainConfig(), BatchSize: 64, Log: log,
+		})
+		if err != nil {
+			eng.Close()
+			log.Close()
+			return clusterRecoveryEntry{}, err
+		}
+		if _, err := l.ReplayLog(); err != nil {
+			eng.Close()
+			log.Close()
+			return clusterRecoveryEntry{}, err
+		}
+		e.CompactedMs = float64(time.Since(start).Microseconds()) / 1000
+		eng.Close()
+		log.Close()
+	}
+	e.Speedup = e.FullReplayMs / e.CompactedMs
+	return e, nil
+}
+
+// runClusterBench is seqfm-bench -mode cluster: router-hop overhead on the
+// read path, failover time-to-first-accepted-write, and compacted vs full
+// recovery — written to BENCH_cluster.json.
+func runClusterBench(outPath string) error {
+	tmp, err := os.MkdirTemp("", "seqfm-cluster-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	_, ds, err := online.BenchWorkload()
+	if err != nil {
+		return err
+	}
+	report := clusterBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workload: fmt.Sprintf("space=%dx%d seqfm d=8; 2 shards; recovery events=%d cut=%d sync-every=%d",
+			online.BenchUsers, online.BenchObjects, clusterBenchEvents, clusterBenchCut, online.BenchSyncEvery),
+	}
+
+	re, err := benchRouterOverhead(tmp)
+	if err != nil {
+		return fmt.Errorf("router overhead: %w", err)
+	}
+	report.Router = re
+	fmt.Printf("router read p50: %.3fms via router vs %.3fms direct (%.2fx, %d requests each)\n",
+		re.RouterP50Ms, re.DirectP50Ms, re.Ratio, re.Requests)
+
+	fe, err := benchFailover(tmp)
+	if err != nil {
+		return fmt.Errorf("failover: %w", err)
+	}
+	report.Failover = fe
+	fmt.Printf("failover: first accepted write %.1fms after primary kill (promotion %.1fms)\n",
+		fe.FirstWriteMs, fe.PromoteMs)
+
+	ce, err := benchRecovery(tmp, ds)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	report.Recovery = ce
+	fmt.Printf("recovery at %d events: full replay %.0fms vs compacted %.0fms (%.1fx, %d segments dropped)\n",
+		ce.Events, ce.FullReplayMs, ce.CompactedMs, ce.Speedup, ce.SegmentsRemoved)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

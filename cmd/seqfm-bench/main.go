@@ -52,6 +52,14 @@
 // /metrics after the uncontended run and cross-checks the series against
 // the harness-observed counts and percentiles.
 //
+// -mode cluster benchmarks the sharded deployment layer: top-K read p50
+// through the consistent-hash router tier versus hitting the owning shard
+// directly (the hop overhead), failover time from killing a shard primary to
+// the first feedback write the router accepts again (promotion via
+// /v1/replica/promote plus map repoint plus fence-and-retry), and recovery
+// of a 100k-event stream from the full log versus the state checkpoint +
+// compacted suffix — writing BENCH_cluster.json.
+//
 // -mode obs is the telemetry overhead guard: the warm single-worker top-K
 // p50 bare versus through the full per-request instrumentation (trace,
 // stage histogram, request counter), plus ns/op and allocs/op of the hot
@@ -76,7 +84,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index | wal | traffic | obs (engine benchmarks)")
+		mode    = flag.String("mode", "paper", "mode: paper (tables/figures) | train | serve | index | wal | traffic | obs | cluster (engine benchmarks)")
 		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|figure3|figure4|all")
 		scale   = flag.String("scale", "small", "scale: tiny|small|medium|full")
 		seed    = flag.Int64("seed", 7, "master random seed")
@@ -87,7 +95,7 @@ func main() {
 	flag.Parse()
 
 	switch *mode {
-	case "train", "serve", "index", "wal", "traffic", "obs":
+	case "train", "serve", "index", "wal", "traffic", "obs", "cluster":
 		// The engine benchmarks measure fixed workloads (see
 		// train.BenchWorkload and serve.BenchWorkload) so successive
 		// BENCH_*.json files stay diffable; tell the user if they tried to
@@ -129,6 +137,11 @@ func main() {
 			bench = runObsBench
 			if !outSet {
 				outPath = "BENCH_obs.json"
+			}
+		case "cluster":
+			bench = runClusterBench
+			if !outSet {
+				outPath = "BENCH_cluster.json"
 			}
 		}
 		if err := bench(outPath); err != nil {

@@ -68,6 +68,18 @@
 // -seed/-workers as its primary: replication is deterministic replay, so the
 // replica's trainer must derive the same random streams.
 //
+// Cluster: -wal-compact periodically writes a self-contained state
+// checkpoint (-state-snapshot) and discards the WAL segments it covers, so
+// the log stays bounded while recovery and follower bootstrap remain exact.
+// A follower started with -promote-wal arms POST /v1/replica/promote: on
+// promotion it stops tailing, opens a fresh WAL at its applied position + 1
+// under a bumped writer epoch, and starts accepting feedback; the deposed
+// primary's writes are fenced by epoch comparison everywhere they could
+// land. -route turns the process into a stateless consistent-hash proxy
+// tier over a -shard-map JSON file: feedback goes to the owning shard's
+// primary, reads spread across its followers with primary fallback, and a
+// 409 fence triggers one map reload + retry.
+//
 // Engines and observability: -engine forces the scoring engine — "compiled"
 // (the preallocated plan engine, the default for SeqFM) or "tape" (the
 // autodiff reference path); with -online it selects the fine-tuning engine
@@ -90,6 +102,9 @@
 //	seqfm-serve -dataset gowalla -online -snapshot live.ckpt -snapshot-every 30s
 //	seqfm-serve -dataset gowalla -online -wal ./wal -snapshot live.ckpt
 //	seqfm-serve -dataset gowalla -follow http://primary:8080 -addr :8081
+//	seqfm-serve -dataset gowalla -online -wal ./wal -state-snapshot state.ckpt -wal-compact 1m
+//	seqfm-serve -dataset gowalla -follow http://primary:8080 -promote-wal ./wal2 -addr :8081
+//	seqfm-serve -route -shard-map shards.json -addr :8000
 //	seqfm-serve -dataset gowalla -online -experiment FM -max-concurrent 64
 package main
 
@@ -103,11 +118,13 @@ import (
 	_ "net/http/pprof" // registers profiling handlers on the -pprof side listener's mux
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"seqfm/internal/ckpt"
+	"seqfm/internal/cluster"
 	"seqfm/internal/core"
 	"seqfm/internal/data"
 	"seqfm/internal/experiments"
@@ -159,8 +176,16 @@ func main() {
 		walFlushB   = flag.Int("wal-flush-bytes", 0, "WAL inline-flush byte threshold bounding buffer growth (0 = default 256KiB)")
 		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = default 64MiB)")
 
-		follow     = flag.String("follow", "", "follower mode: primary base URL to bootstrap from and tail (read replica)")
-		followWait = flag.Duration("follow-wait", 0, "follower long-poll window per log fetch (0 = default 2s)")
+		follow          = flag.String("follow", "", "follower mode: primary base URL to bootstrap from and tail (read replica)")
+		followWait      = flag.Duration("follow-wait", 0, "follower long-poll window per log fetch (0 = default 2s)")
+		promoteWAL      = flag.String("promote-wal", "", "with -follow: arm POST /v1/replica/promote — on promotion the follower opens a fresh WAL in this (empty) directory under a bumped epoch")
+		promoteSnapshot = flag.String("promote-snapshot", "", "with -promote-wal: where the post-promotion state checkpoint is written (default <promote-wal>/state.ckpt)")
+
+		walCompact    = flag.Duration("wal-compact", 0, "with -wal and -state-snapshot: periodically write a self-contained state checkpoint and discard the WAL segments it covers (0 = off)")
+		stateSnapshot = flag.String("state-snapshot", "", "with -wal: self-contained state checkpoint path — written by -wal-compact cycles and preferred at boot for compacted-log recovery")
+
+		route    = flag.Bool("route", false, "router mode: serve a stateless consistent-hash proxy tier over -shard-map instead of a model")
+		shardMap = flag.String("shard-map", "", "with -route: JSON shard map file ({\"shards\":[{\"name\":...,\"primary\":...,\"followers\":[...]}]})")
 
 		experiment  = flag.String("experiment", "", "register a baseline zoo member (FM, NFM, AFM, Wide&Deep, DeepCross, SASRec, TFM, DIN, xDeepFM, RRN, HOFM) as a second experiment arm")
 		expWeight   = flag.Int("experiment-weight", 1, "baseline arm's traffic weight (seqfm arm has weight 1)")
@@ -199,8 +224,24 @@ func main() {
 		}
 	}
 	requireFlag("-index", *indexOn, "index-backend", "index-m", "index-ef-construction", "index-ef-search", "index-build-workers")
-	requireFlag("-wal", *walDir != "", "wal-sync", "wal-flush-interval", "wal-flush-bytes", "wal-segment-bytes")
-	requireFlag("-follow", *follow != "", "follow-wait")
+	requireFlag("-wal", *walDir != "", "wal-sync", "wal-flush-interval", "wal-flush-bytes", "wal-segment-bytes", "wal-compact", "state-snapshot")
+	requireFlag("-follow", *follow != "", "follow-wait", "promote-wal")
+	requireFlag("-promote-wal", *promoteWAL != "", "promote-snapshot")
+	requireFlag("-route", *route, "shard-map")
+	if *route {
+		if *shardMap == "" {
+			fmt.Fprintln(os.Stderr, "seqfm-serve: -route requires -shard-map")
+			os.Exit(1)
+		}
+		if *onlineOn || *follow != "" || *indexOn || *checkpoint != "" || *experiment != "" {
+			fmt.Fprintln(os.Stderr, "seqfm-serve: -route is a stateless proxy tier; model, online, follower and experiment flags conflict with it")
+			os.Exit(1)
+		}
+	}
+	if *walCompact > 0 && *stateSnapshot == "" {
+		fmt.Fprintln(os.Stderr, "seqfm-serve: -wal-compact needs -state-snapshot (the checkpoint that makes discarding log segments safe)")
+		os.Exit(1)
+	}
 	requireFlag("-experiment", *experiment != "", "experiment-weight", "experiment-salt", "experiment-hr-sample")
 	requireFlag("-max-concurrent", *maxConc > 0, "admit-queue", "admit-wait")
 	switch *engineSel {
@@ -245,7 +286,10 @@ func main() {
 		onlineLR: *onlineLR, snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvry,
 		walDir: *walDir, walSync: *walSync, walFlushInterval: *walFlushInt,
 		walFlushBytes: *walFlushB, walSegmentBytes: *walSegBytes,
+		walCompact: *walCompact, stateSnapshot: *stateSnapshot,
 		follow: *follow, followWait: *followWait,
+		promoteWAL: *promoteWAL, promoteSnapshot: *promoteSnapshot,
+		route: *route, shardMap: *shardMap,
 		experiment: *experiment, experimentWeight: *expWeight,
 		experimentSalt: *expSalt, experimentHRSample: *expHRSample,
 		maxConcurrent: *maxConc, admitQueue: *admitQueue, admitWait: *admitWait,
@@ -284,9 +328,16 @@ type serveOpts struct {
 	walFlushInterval time.Duration
 	walFlushBytes    int
 	walSegmentBytes  int64
+	walCompact       time.Duration
+	stateSnapshot    string
 
-	follow     string
-	followWait time.Duration
+	follow          string
+	followWait      time.Duration
+	promoteWAL      string
+	promoteSnapshot string
+
+	route    bool
+	shardMap string
 
 	experiment         string
 	experimentWeight   int
@@ -368,6 +419,9 @@ func buildExperiments(o serveOpts, p experiments.Params, ds *data.Dataset, eng *
 }
 
 func run(o serveOpts) error {
+	if o.route {
+		return runRouter(o)
+	}
 	if o.follow != "" {
 		return runFollower(o)
 	}
@@ -434,6 +488,18 @@ func run(o serveOpts) error {
 		if _, statErr := os.Stat(o.snapshotPath); statErr == nil {
 			checkpointPath = o.snapshotPath
 			log.Printf("recovery: restoring snapshot %s (overrides -checkpoint/-epochs for the base weights)", o.snapshotPath)
+		}
+	}
+	if walLog != nil && o.stateSnapshot != "" {
+		// The state snapshot outranks the plain one: once -wal-compact has
+		// discarded log segments, it is the only artifact that still covers
+		// the compacted prefix.
+		if _, statErr := os.Stat(o.stateSnapshot); statErr == nil {
+			checkpointPath = o.stateSnapshot
+			log.Printf("recovery: restoring state snapshot %s (self-contained through its cut; replay covers only the log suffix)", o.stateSnapshot)
+		} else if walLog.FirstSeq() > 1 {
+			return fmt.Errorf("WAL %s is compacted (first surviving seq %d) but -state-snapshot %s does not exist: the discarded prefix is unrecoverable without it",
+				o.walDir, walLog.FirstSeq(), o.stateSnapshot)
 		}
 	}
 
@@ -539,6 +605,18 @@ func run(o serveOpts) error {
 		log.Printf("online learning enabled (batch=%d, interval=%s, lr=%g, wal=%v)",
 			lcfg.BatchSize, lcfg.Interval, learner.LR(), walLog != nil)
 	}
+	stopCompactor := func() {}
+	if o.walCompact > 0 {
+		if learner == nil || walLog == nil {
+			return fmt.Errorf("-wal-compact requires -online and -wal")
+		}
+		stopCompactor = cluster.StartCompactor(learner, cluster.CompactionConfig{
+			Path:     o.stateSnapshot,
+			Interval: o.walCompact,
+			Logf:     log.Printf,
+		})
+		log.Printf("WAL compactor: state checkpoint to %s every %s, covered segments discarded", o.stateSnapshot, o.walCompact)
+	}
 
 	var exp *serve.Experiments
 	if o.experiment != "" {
@@ -581,8 +659,10 @@ func run(o serveOpts) error {
 			go snapshotLoop(ctx, learner, o.snapshotPath, o.snapshotEvery)
 		}
 	}, func() {
-		// Ordered teardown once HTTP has drained: stop the trainer and
-		// flush its backlog, persist the final state, then seal the log.
+		// Ordered teardown once HTTP has drained: stop the compactor, stop
+		// the trainer and flush its backlog, persist the final state, then
+		// seal the log.
+		stopCompactor()
 		if learner != nil {
 			learner.Close()
 			if o.snapshotPath != "" {
@@ -671,9 +751,36 @@ func runFollower(o serveOpts) error {
 	if err != nil {
 		return err
 	}
+	var promote func() (httpapi.PromoteInfo, error)
+	if o.promoteWAL != "" {
+		snapPath := o.promoteSnapshot
+		if snapPath == "" {
+			snapPath = filepath.Join(o.promoteWAL, "state.ckpt")
+		}
+		promote = func() (httpapi.PromoteInfo, error) {
+			res, err := cluster.Promote(cluster.Promotion{
+				Replica:      rep,
+				Learner:      learner,
+				WALDir:       o.promoteWAL,
+				SnapshotPath: snapPath,
+				Logf:         log.Printf,
+			})
+			if err != nil {
+				return httpapi.PromoteInfo{}, err
+			}
+			return httpapi.PromoteInfo{
+				Epoch:      uint64(res.Epoch),
+				AppliedSeq: res.AppliedSeq,
+				Generation: res.Generation,
+				WALDir:     res.WALDir,
+			}, nil
+		}
+		log.Printf("promotion armed: POST /v1/replica/promote opens a fresh WAL in %s (state checkpoint %s)", o.promoteWAL, snapPath)
+	}
 	srv, err := httpapi.New(httpapi.Config{
 		Engine: eng, Dataset: ds, Model: model,
 		Learner: learner, Replica: rep, Primary: o.follow,
+		Promote:           promote,
 		ReadAdmission:     readAdm,
 		FeedbackAdmission: feedbackAdm,
 		SlowThreshold:     o.slowThreshold,
@@ -683,7 +790,15 @@ func runFollower(o serveOpts) error {
 		return err
 	}
 	return serveUntilSignal(o, srv, ds, nil, func() {
-		rep.Close()
+		rep.Close() // no-op when a promotion already stopped the tail loop
+		if wlog := learner.WAL(); wlog != nil {
+			// Promoted mid-run: the learner now owns a trainer and a log of
+			// its own; tear them down like a primary's.
+			learner.Close()
+			if err := wlog.Close(); err != nil {
+				log.Printf("promoted wal close: %v", err)
+			}
+		}
 	})
 }
 

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"seqfm/internal/cluster"
+)
+
+// runRouter is -route: a stateless consistent-hash proxy tier over the
+// -shard-map file. Feedback goes to the owning shard's primary (with epoch
+// fencing and a retry-once after reloading the map); reads spread over the
+// shard's followers with primary fallback. The router holds no model and no
+// log — restart it freely, run several behind a TCP balancer.
+func runRouter(o serveOpts) error {
+	m, err := cluster.LoadShardMap(o.shardMap)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.NewRouter(m, cluster.RouterConfig{
+		MapPath: o.shardMap,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	for _, sh := range m.Shards {
+		log.Printf("router: shard %s → primary %s (%d follower(s))", sh.Name, sh.Primary, len(sh.Followers))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: o.addr, Handler: rt.Routes()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("routing %d shard(s) on %s [router]", len(m.Shards), o.addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutdown: draining HTTP (budget %s)", o.drainBudget)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainBudget)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("shutdown: drain incomplete: %v", err)
+	}
+	log.Printf("shutdown complete")
+	return nil
+}

@@ -79,6 +79,74 @@ type File struct {
 	// Encoded with gob, the field is absent from pre-WAL checkpoints and
 	// decodes as nil there — old snapshots simply replay the whole log.
 	Log *wal.Pos
+	// Epoch is the writer epoch the snapshot was taken under (see
+	// wal.RecEpoch); 0 on pre-cluster checkpoints, which restore as epoch 1.
+	Epoch uint64
+	// State, when non-nil, makes the snapshot self-contained: it carries
+	// everything replaying the log prefix up to Log.Seq would have rebuilt —
+	// live histories, seen-sets, the untrained pending queue, and the
+	// publish lineage. With State present, recovery replays only the log
+	// suffix beyond Log.Seq, which is what lets wal.Compact discard the
+	// prefix. Decodes as nil from older checkpoints (full replay, as before).
+	State *LiveState
+}
+
+// LiveState is the replay-derived state a self-contained checkpoint embeds;
+// see File.State. Every field is a pure function of the logged event stream
+// up to the checkpoint cut, so restoring it and replaying the suffix stays
+// bit-identical to replaying the whole log.
+type LiveState struct {
+	// Histories is the full live-history store: per user, the bounded
+	// object sequence (dataset seed plus every ingested event).
+	Histories map[int][]int
+	// SeenDelta is the serving-side seen index beyond the dataset seed:
+	// per user, the objects marked seen by ingested events.
+	SeenDelta map[int][]int
+	// SamplerSeenDelta is the trainer's negative-sampling exclusion index
+	// beyond the dataset seed. Tracked separately from SeenDelta because
+	// the sampler learns objects at train time, not ingest time.
+	SamplerSeenDelta map[int][]int
+	// Pending is the untrained event queue at the cut, oldest first.
+	Pending []PendingRec
+	// Generation is the serving generation published as of the cut;
+	// StepsSincePublish counts applied-but-unpublished steps (non-zero only
+	// on a follower — a primary's sync publishes atomically with training).
+	// Together they restore the replay loop's publish-numbering state.
+	Generation        uint64
+	StepsSincePublish int
+	// TrainedThroughMS is the ingest stamp (unix ms, primary clock) of the
+	// newest event trained into the shadow weights; 0 = none yet.
+	TrainedThroughMS int64
+	// Lineage is the recent publish lineage ring, oldest first.
+	Lineage []LineageRec
+	// Ingested/Dropped/Swaps restore the learner's lifetime counters so
+	// operator-facing stats survive compaction of the log that produced
+	// them.
+	Ingested, Dropped, Swaps int64
+}
+
+// PendingRec is one queued-but-untrained event in LiveState.Pending.
+type PendingRec struct {
+	User   int
+	Object int
+	Label  float64
+	// Hist is the history snapshot the event was enqueued with (training
+	// input — part of the determinism contract, so it travels verbatim).
+	Hist []int
+	// Seq is the event's log sequence number; Step markers reference it.
+	Seq uint64
+	// TS is the ingest stamp (unix ms, primary clock).
+	TS int64
+}
+
+// LineageRec mirrors one published-generation lineage entry (the online
+// package's freshness ring) without importing it.
+type LineageRec struct {
+	Gen              uint64
+	PublishedAtMS    int64
+	DataThroughMS    int64
+	FreshnessSeconds float64
+	FreshnessKnown   bool
 }
 
 // Save writes m (and, when non-nil, opt's state and the step counter) to w as
@@ -90,15 +158,24 @@ func Save(w io.Writer, m *core.Model, opt *optim.Adam, steps int64) error {
 // SaveAt is Save plus the write-ahead-log position the snapshot is
 // consistent with (see File.Log); pos nil writes a position-less checkpoint.
 func SaveAt(w io.Writer, m *core.Model, opt *optim.Adam, steps int64, pos *wal.Pos) error {
-	if _, err := io.WriteString(w, MagicV2); err != nil {
-		return fmt.Errorf("ckpt: write magic: %w", err)
-	}
-	f := File{Config: m.Config(), Params: ag.ExportParams(m.Params()), Steps: steps, Log: pos}
+	f := File{Steps: steps, Log: pos}
 	if opt != nil {
 		st := opt.Export()
 		f.Opt = &st
 	}
-	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+	return SaveV2(w, m, &f)
+}
+
+// SaveV2 writes m plus every already-populated field of f (optimizer state,
+// log position, epoch, live state) as a v2 checkpoint. f.Config and f.Params
+// are filled from m; the other fields are the caller's.
+func SaveV2(w io.Writer, m *core.Model, f *File) error {
+	if _, err := io.WriteString(w, MagicV2); err != nil {
+		return fmt.Errorf("ckpt: write magic: %w", err)
+	}
+	f.Config = m.Config()
+	f.Params = ag.ExportParams(m.Params())
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
 		return fmt.Errorf("ckpt: encode: %w", err)
 	}
 	return nil
@@ -161,6 +238,17 @@ func SaveFile(path string, m *core.Model, opt *optim.Adam, steps int64) error {
 
 // SaveFileAt is SaveFile with a write-ahead-log position (see SaveAt).
 func SaveFileAt(path string, m *core.Model, opt *optim.Adam, steps int64, pos *wal.Pos) error {
+	f := File{Steps: steps, Log: pos}
+	if opt != nil {
+		st := opt.Export()
+		f.Opt = &st
+	}
+	return SaveFileV2(path, m, &f)
+}
+
+// SaveFileV2 atomically writes m plus f's populated fields to path (see
+// SaveV2 and SaveFile's temp-file + rename discipline).
+func SaveFileV2(path string, m *core.Model, f *File) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -169,7 +257,10 @@ func SaveFileAt(path string, m *core.Model, opt *optim.Adam, steps int64, pos *w
 	if err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
-	err = SaveAt(tmp, m, opt, steps, pos)
+	err = SaveV2(tmp, m, f)
+	if serr := tmp.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -180,6 +271,20 @@ func SaveFileAt(path string, m *core.Model, opt *optim.Adam, steps int64, pos *w
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("ckpt: %w", err)
+	}
+	// Fsync the directory so the rename itself survives a crash — WAL
+	// compaction deletes log segments on the strength of this file existing,
+	// so its durability must be ordered before theirs ends.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("ckpt: sync dir: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"seqfm/internal/online"
+	"seqfm/internal/wal"
+)
+
+// Epoch is a shard's writer fencing token: monotonically increasing, bumped
+// by every promotion, stamped into the new primary's WAL (wal.RecEpoch) and
+// carried on the replication and write protocols. Any node still writing
+// under an older epoch is deposed; its output is rejected by comparison,
+// never merged.
+type Epoch uint64
+
+// Promotion describes one follower→primary takeover for Promote.
+type Promotion struct {
+	// Replica is the follower's tail loop; Promote stops it first, so no
+	// record from the (possibly still twitching) old primary lands after the
+	// takeover point.
+	Replica *online.Replica
+	// Learner is the follower's learner — after Promote it owns a WAL and
+	// accepts writes.
+	Learner *online.Learner
+	// WALDir is where the new primary's log is created; it must be empty (a
+	// fresh log under the new epoch — the old primary's log stays where it
+	// died, for forensics, not for appending).
+	WALDir string
+	// WALOptions configure the new log (sync policy, segment size, ...).
+	WALOptions wal.Options
+	// SnapshotPath receives the post-promotion state checkpoint. Required:
+	// the events the follower applied live below the new log's first
+	// sequence, so only a self-contained snapshot makes the new primary
+	// recoverable from its own disk.
+	SnapshotPath string
+	// NoStart leaves the background trainer unstarted (tests drive Sync
+	// manually); production wants the zero value.
+	NoStart bool
+	// Logf, when set, receives promotion progress.
+	Logf func(format string, args ...any)
+}
+
+// PromoteResult reports the new writer identity.
+type PromoteResult struct {
+	// Epoch is the new writer epoch (old highest observed + 1).
+	Epoch Epoch
+	// AppliedSeq is the last log record the follower had applied; the new
+	// WAL's first record is AppliedSeq+1 (the epoch record).
+	AppliedSeq uint64
+	// Generation is the serving generation at takeover.
+	Generation uint64
+	// WALDir echoes the new log's directory.
+	WALDir string
+}
+
+// Promote turns a caught-up follower into the shard's primary:
+//
+//  1. Stop the replica tail loop — nothing more is accepted from the old
+//     primary, whatever state it is in.
+//  2. Open a fresh WAL at the follower's applied position + 1, so the global
+//     sequence numbering continues unbroken across the takeover.
+//  3. Attach it under epoch = highest observed + 1 (online.BecomePrimary):
+//     the epoch record is the new log's first entry, fsynced before any
+//     write is accepted, and the learner publishes any applied-but-
+//     unpublished steps exactly as the lost primary was about to.
+//  4. Write a self-contained state checkpoint — the replayed prefix exists
+//     nowhere in the new log, so the snapshot is the new primary's only
+//     path back to it.
+//  5. Start the background trainer (unless NoStart).
+//
+// The deposed primary needs no cooperation: replicas and routers that have
+// seen the new epoch reject its output by comparison (the fencing
+// invariant), and its log ends in records nobody will ever fetch.
+func Promote(p Promotion) (PromoteResult, error) {
+	if p.Learner == nil || p.Replica == nil {
+		return PromoteResult{}, fmt.Errorf("cluster: promotion needs the follower's Learner and Replica")
+	}
+	if p.WALDir == "" || p.SnapshotPath == "" {
+		return PromoteResult{}, fmt.Errorf("cluster: promotion needs WALDir and SnapshotPath")
+	}
+	logf := p.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	p.Replica.Close()
+	applied := p.Replica.Stats().AppliedSeq
+	epoch := p.Learner.Epoch() + 1
+	logf("promote: tail loop stopped at applied seq %d; taking over as epoch %d", applied, epoch)
+	log, err := wal.OpenAt(p.WALDir, applied+1, p.WALOptions)
+	if err != nil {
+		return PromoteResult{}, fmt.Errorf("cluster: promotion wal: %w", err)
+	}
+	if err := p.Learner.BecomePrimary(log, epoch); err != nil {
+		log.Close()
+		return PromoteResult{}, err
+	}
+	if err := p.Learner.CheckpointStateFile(p.SnapshotPath); err != nil {
+		return PromoteResult{}, fmt.Errorf("cluster: promotion snapshot: %w", err)
+	}
+	if !p.NoStart {
+		p.Learner.Start()
+	}
+	logf("promote: epoch %d live, log at %s, snapshot at %s", epoch, p.WALDir, p.SnapshotPath)
+	return PromoteResult{
+		Epoch:      Epoch(epoch),
+		AppliedSeq: applied,
+		Generation: p.Learner.Generation(),
+		WALDir:     p.WALDir,
+	}, nil
+}
+
+// CompactionConfig drives StartCompactor's periodic checkpoint-then-compact
+// loop on a primary.
+type CompactionConfig struct {
+	// Path is the state-checkpoint file each cycle writes (atomically, then
+	// fsyncs) before any log segment is unlinked.
+	Path string
+	// Interval is the cycle cadence; 0 defaults to a minute.
+	Interval time.Duration
+	// Logf, when set, receives one line per cycle that removed segments.
+	Logf func(format string, args ...any)
+}
+
+// StartCompactor runs CheckpointAndCompact on a cadence: each cycle makes
+// the learner's full state durable in one self-contained checkpoint, then
+// discards the WAL segments the checkpoint covers. Returns a stop function
+// that halts the loop and waits for an in-flight cycle to finish.
+func StartCompactor(l *online.Learner, cfg CompactionConfig) (stop func()) {
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+			}
+			st, err := l.CheckpointAndCompact(cfg.Path)
+			if cfg.Logf == nil {
+				continue
+			}
+			switch {
+			case err != nil:
+				cfg.Logf("compactor: %v", err)
+			case st.Removed > 0:
+				cfg.Logf("compactor: removed %d segments; log now starts at seq %d", st.Removed, st.FirstSeq)
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-done
+	}
+}

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqfm/internal/obs"
+	"seqfm/internal/online"
+)
+
+// maxRouteBody bounds a routed request body. The router must read the whole
+// body to peek the routing key (and to be able to resend it on a fence
+// retry), so an unbounded body would be an unbounded buffer.
+const maxRouteBody = 8 << 20
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// MapPath, when set, is the shard-map file Reload re-reads — the fence
+	// recovery path: a 409 from a primary means the map the router holds is
+	// stale, so it re-reads and retries once. Empty disables reloading (the
+	// in-memory map is permanent).
+	MapPath string
+	// Client issues upstream requests; nil builds one with a 10s timeout.
+	Client *http.Client
+	// Registry receives the router's per-shard metrics; nil builds a private
+	// one (still served at /metrics).
+	Registry *obs.Registry
+	// Logf, when set, receives routing diagnostics (fences, failovers,
+	// reloads).
+	Logf func(format string, args ...any)
+}
+
+// Router is the stateless proxy tier: it consistent-hashes each request's
+// user over the shard map, fans writes to the owning shard's primary and
+// reads over that shard's replicas, and carries the writer-epoch fencing
+// protocol on the write path. Routers hold no durable state — everything is
+// derived from the map file — so any number can run behind one address.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+
+	mu     sync.RWMutex
+	m      *ShardMap
+	epochs map[string]uint64 // shard name → highest writer epoch observed
+	rr     map[string]*atomic.Uint64
+
+	reg      *obs.Registry
+	reqVec   *obs.CounterVec   // seqfm_router_requests_total{shard,endpoint}
+	errVec   *obs.CounterVec   // seqfm_router_errors_total{shard,endpoint}
+	fenceVec *obs.CounterVec   // seqfm_router_fences_total{shard}
+	failVec  *obs.CounterVec   // seqfm_router_failovers_total{shard}
+	latVec   *obs.HistogramVec // seqfm_router_seconds{shard}
+}
+
+// NewRouter builds a router over m.
+func NewRouter(m *ShardMap, cfg RouterConfig) (*Router, error) {
+	if m == nil || len(m.ring) == 0 {
+		return nil, fmt.Errorf("cluster: router needs a parsed shard map")
+	}
+	rt := &Router{cfg: cfg, client: cfg.Client, reg: cfg.Registry}
+	if rt.client == nil {
+		rt.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if rt.reg == nil {
+		rt.reg = obs.NewRegistry()
+	}
+	rt.reqVec = rt.reg.NewCounterVec("seqfm_router_requests_total",
+		"Requests routed, by shard and endpoint.", "shard", "endpoint")
+	rt.errVec = rt.reg.NewCounterVec("seqfm_router_errors_total",
+		"Routed requests that failed on every eligible backend.", "shard", "endpoint")
+	rt.fenceVec = rt.reg.NewCounterVec("seqfm_router_fences_total",
+		"Writes rejected by a shard primary's epoch fence (stale map or deposed primary).", "shard")
+	rt.failVec = rt.reg.NewCounterVec("seqfm_router_failovers_total",
+		"Reads that fell past their first-choice backend.", "shard")
+	rt.latVec = rt.reg.NewHistogramVec("seqfm_router_seconds",
+		"Routed request latency by shard, upstream time included.", "shard")
+	rt.install(m)
+	return rt, nil
+}
+
+// install swaps the active map in and resets the per-shard rotation state,
+// keeping epoch observations for shards that survive (the fence token must
+// never regress just because the map was re-read).
+func (rt *Router) install(m *ShardMap) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	old := rt.epochs
+	rt.m = m
+	rt.epochs = make(map[string]uint64, len(m.Shards))
+	rt.rr = make(map[string]*atomic.Uint64, len(m.Shards))
+	for _, s := range m.Shards {
+		rt.epochs[s.Name] = old[s.Name]
+		rt.rr[s.Name] = &atomic.Uint64{}
+	}
+}
+
+// Reload re-reads the shard map from RouterConfig.MapPath. Without a path it
+// is a no-op — the fence retry then reuses the in-memory map, which still
+// helps when only the epoch cache was stale.
+func (rt *Router) Reload() error {
+	if rt.cfg.MapPath == "" {
+		return nil
+	}
+	m, err := LoadShardMap(rt.cfg.MapPath)
+	if err != nil {
+		return err
+	}
+	rt.install(m)
+	rt.logf("router: reloaded shard map from %s (%d shards)", rt.cfg.MapPath, len(m.Shards))
+	return nil
+}
+
+// Map returns the active shard map.
+func (rt *Router) Map() *ShardMap {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.m
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// shardFor resolves the owning shard for a user under the active map.
+func (rt *Router) shardFor(user int) (Shard, int) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	i := rt.m.Lookup(user)
+	return rt.m.Shards[i], i
+}
+
+// epochOf reads the highest writer epoch observed for a shard (0 = none yet).
+func (rt *Router) epochOf(name string) uint64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.epochs[name]
+}
+
+// observeEpoch raises (never lowers) a shard's observed writer epoch.
+func (rt *Router) observeEpoch(name string, e uint64) {
+	if e == 0 {
+		return
+	}
+	rt.mu.Lock()
+	if e > rt.epochs[name] {
+		rt.epochs[name] = e
+	}
+	rt.mu.Unlock()
+}
+
+// Routes returns the router's endpoint mux: the /v1 serving surface routed
+// by user, plus the router's own health, metrics and shard-status endpoints.
+func (rt *Router) Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = rt.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /v1/shards", rt.handleShards)
+	mux.HandleFunc("POST /v1/feedback", rt.handleFeedback)
+	mux.HandleFunc("POST /v1/score", rt.read("/v1/score"))
+	mux.HandleFunc("POST /v1/topk", rt.read("/v1/topk"))
+	mux.HandleFunc("POST /v1/recommend", rt.read("/v1/recommend"))
+	return mux
+}
+
+// routeKey peeks the routing user out of a request body without validating
+// the rest — the owning shard's server is the authority on the full schema
+// (it decodes strictly), so the router forwards the original bytes verbatim.
+type routeKey struct {
+	User   *int `json:"user"`
+	Events []struct {
+		User int `json:"user"`
+	} `json:"events"`
+	Instances []struct {
+		User int `json:"user"`
+	} `json:"instances"`
+}
+
+func peekUser(body []byte) (int, error) {
+	var k routeKey
+	if err := json.Unmarshal(body, &k); err != nil {
+		return 0, fmt.Errorf("malformed JSON body: %w", err)
+	}
+	switch {
+	case k.User != nil:
+		return *k.User, nil
+	case len(k.Events) > 0:
+		return k.Events[0].User, nil
+	case len(k.Instances) > 0:
+		return k.Instances[0].User, nil
+	}
+	return 0, fmt.Errorf("no user in body to route by")
+}
+
+// readBody slurps the (bounded) request body so it can be replayed across
+// retries and failovers.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouteBody))
+}
+
+// send issues one upstream request and, on success, raises the target
+// shard's observed epoch from the response header.
+func (rt *Router) send(shard Shard, method, base, path string, body []byte, epoch uint64) (*http.Response, error) {
+	req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if epoch > 0 {
+		req.Header.Set(online.EpochHeader, strconv.FormatUint(epoch, 10))
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if h := resp.Header.Get(online.EpochHeader); h != "" {
+		if e, perr := strconv.ParseUint(h, 10, 64); perr == nil {
+			rt.observeEpoch(shard.Name, e)
+		}
+	}
+	return resp, nil
+}
+
+// relay copies one upstream response through to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", online.EpochHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleFeedback forwards a write to the owning shard's primary, stamped
+// with the highest writer epoch the router has observed for that shard. A
+// 409 is the fence firing — either the router's map is stale (the shard
+// promoted and the file moved on) or the primary itself is deposed — so the
+// router re-reads the map and retries exactly once against the (possibly
+// new) owner; a second 409 goes back to the client, which is the signal an
+// operator needs to fix the map.
+func (rt *Router) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		routerError(w, http.StatusBadRequest, err)
+		return
+	}
+	user, err := peekUser(body)
+	if err != nil {
+		routerError(w, http.StatusBadRequest, err)
+		return
+	}
+	started := time.Now()
+	shard, _ := rt.shardFor(user)
+	rt.reqVec.With(shard.Name, "feedback").Inc()
+	defer func() { rt.latVec.With(shard.Name).Record(time.Since(started)) }()
+
+	resp, err := rt.send(shard, http.MethodPost, shard.Primary, "/v1/feedback", body, rt.epochOf(shard.Name))
+	if err == nil && resp.StatusCode != http.StatusConflict {
+		relay(w, resp)
+		return
+	}
+	if err == nil {
+		resp.Body.Close()
+		rt.fenceVec.With(shard.Name).Inc()
+		rt.logf("router: shard %s primary %s fenced a write for user %d; re-reading map", shard.Name, shard.Primary, user)
+	} else {
+		rt.logf("router: shard %s primary %s unreachable (%v); re-reading map", shard.Name, shard.Primary, err)
+	}
+	if rerr := rt.Reload(); rerr != nil {
+		rt.logf("router: map reload failed: %v", rerr)
+	}
+	shard, _ = rt.shardFor(user)
+	resp, err = rt.send(shard, http.MethodPost, shard.Primary, "/v1/feedback", body, rt.epochOf(shard.Name))
+	if err != nil {
+		rt.errVec.With(shard.Name, "feedback").Inc()
+		routerError(w, http.StatusBadGateway, fmt.Errorf("shard %s primary unreachable: %w", shard.Name, err))
+		return
+	}
+	if resp.StatusCode == http.StatusConflict {
+		rt.fenceVec.With(shard.Name).Inc()
+		rt.errVec.With(shard.Name, "feedback").Inc()
+	}
+	relay(w, resp)
+}
+
+// read builds the handler for one read endpoint: round-robin over the owning
+// shard's followers, primary as the fallback (and the whole rotation when
+// the shard has no followers). A backend that fails at the transport level
+// or answers 5xx falls through to the next; the first conclusive answer —
+// including 4xx, which retrying elsewhere cannot fix — relays to the client.
+func (rt *Router) read(path string) http.HandlerFunc {
+	endpoint := path[len("/v1/"):]
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			routerError(w, http.StatusBadRequest, err)
+			return
+		}
+		user, err := peekUser(body)
+		if err != nil {
+			routerError(w, http.StatusBadRequest, err)
+			return
+		}
+		started := time.Now()
+		shard, _ := rt.shardFor(user)
+		rt.reqVec.With(shard.Name, endpoint).Inc()
+		defer func() { rt.latVec.With(shard.Name).Record(time.Since(started)) }()
+
+		targets := rt.readTargets(shard)
+		var lastErr error
+		for i, base := range targets {
+			if i > 0 {
+				rt.failVec.With(shard.Name).Inc()
+			}
+			resp, err := rt.send(shard, http.MethodPost, base, path, body, 0)
+			if err != nil {
+				lastErr = err
+				rt.logf("router: shard %s read backend %s failed: %v", shard.Name, base, err)
+				continue
+			}
+			if resp.StatusCode >= 500 {
+				lastErr = fmt.Errorf("%s answered %d", base, resp.StatusCode)
+				resp.Body.Close()
+				continue
+			}
+			relay(w, resp)
+			return
+		}
+		rt.errVec.With(shard.Name, endpoint).Inc()
+		routerError(w, http.StatusBadGateway, fmt.Errorf("shard %s: no backend answered: %v", shard.Name, lastErr))
+	}
+}
+
+// readTargets orders a shard's read backends: followers rotated round-robin,
+// then the primary as the fallback of last resort.
+func (rt *Router) readTargets(shard Shard) []string {
+	rt.mu.RLock()
+	ctr := rt.rr[shard.Name]
+	rt.mu.RUnlock()
+	targets := make([]string, 0, len(shard.Followers)+1)
+	if n := len(shard.Followers); n > 0 {
+		start := int(ctr.Add(1)-1) % n
+		for i := 0; i < n; i++ {
+			targets = append(targets, shard.Followers[(start+i)%n])
+		}
+	}
+	return append(targets, shard.Primary)
+}
+
+// handleShards reports the active map plus the router's per-shard epoch
+// observations — the operator's view of which writer each shard is on.
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	shards := make([]map[string]any, len(rt.m.Shards))
+	for i, s := range rt.m.Shards {
+		shards[i] = map[string]any{
+			"name":      s.Name,
+			"primary":   s.Primary,
+			"followers": s.Followers,
+			"epoch":     rt.epochs[s.Name],
+		}
+	}
+	rt.mu.RUnlock()
+	writeJSON(w, map[string]any{"shards": shards})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	n := len(rt.m.Shards)
+	rt.mu.RUnlock()
+	writeJSON(w, map[string]any{"status": "ok", "role": "router", "shards": n})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func routerError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func writeMap(t testing.TB, path string, m ShardMap) {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardMapValidationAndStability(t *testing.T) {
+	for _, bad := range []string{
+		`{"shards":[]}`,
+		`{"shards":[{"name":"","primary":"http://x"}]}`,
+		`{"shards":[{"name":"a","primary":"http://x"},{"name":"a","primary":"http://y"}]}`,
+		`{"shards":[{"name":"a"}]}`,
+		`{"shards":[{"name":"a","primary":"http://x","typo":1}]}`,
+	} {
+		if _, err := ParseShardMap(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseShardMap accepted %s", bad)
+		}
+	}
+
+	// Placement is a pure function of shard names: two maps parsed
+	// independently (restart), with shards listed in a different order and
+	// different URLs, assign every user identically.
+	m1, err := ParseShardMap(strings.NewReader(
+		`{"shards":[{"name":"a","primary":"http://a1"},{"name":"b","primary":"http://b1"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseShardMap(strings.NewReader(
+		`{"shards":[{"name":"b","primary":"http://b2"},{"name":"a","primary":"http://a2"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for u := 0; u < 1000; u++ {
+		n1 := m1.Shards[m1.Lookup(u)].Name
+		n2 := m2.Shards[m2.Lookup(u)].Name
+		if n1 != n2 {
+			t.Fatalf("user %d assigned to %s and %s across restarts", u, n1, n2)
+		}
+		counts[n1]++
+	}
+	// Both shards carry real load — the ring spreads, it doesn't degenerate.
+	for name, n := range counts {
+		if n < 100 {
+			t.Fatalf("shard %s owns only %d/1000 users; ring badly skewed: %v", name, n, counts)
+		}
+	}
+}
+
+// TestRouterTwoShardIntegration drives the full stack in-process: two
+// WAL-backed primaries behind real httpapi servers, a shard map file, and
+// the router fanning feedback and reads over them. Pins stickiness (every
+// user's events land on exactly their ring-assigned shard), read routing,
+// and that one shard's death leaves the surviving shard's traffic whole.
+func TestRouterTwoShardIntegration(t *testing.T) {
+	ds := testDataset(t)
+	lA, srvA := newShardPrimary(t, ds)
+	lB, srvB := newShardPrimary(t, ds)
+
+	mapPath := filepath.Join(t.TempDir(), "shards.json")
+	writeMap(t, mapPath, ShardMap{Shards: []Shard{
+		{Name: "a", Primary: srvA.URL},
+		{Name: "b", Primary: srvB.URL},
+	}})
+	m, err := LoadShardMap(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(m, RouterConfig{MapPath: mapPath, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv := httptest.NewServer(rt.Routes())
+	defer rsrv.Close()
+
+	post := func(path, body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(rsrv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		dec := json.NewDecoder(resp.Body)
+		var v any
+		if dec.Decode(&v) == nil {
+			b, _ := json.Marshal(v)
+			sb.Write(b)
+		}
+		return resp, sb.String()
+	}
+
+	// Feedback for every user routes to the owning shard: object 20+u%4
+	// appears in that shard's learner history and nowhere else.
+	for u := 0; u < ds.NumUsers; u++ {
+		obj := 20 + u%4
+		owner, other := lA, lB
+		if m.Shards[m.Lookup(u)].Name == "b" {
+			owner, other = lB, lA
+		}
+		ownLen, otherLen := len(owner.History(u)), len(other.History(u))
+		resp, body := post("/v1/feedback", fmt.Sprintf(`{"user":%d,"object":%d}`, u, obj))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("feedback user %d: %d %s", u, resp.StatusCode, body)
+		}
+		hist := owner.History(u)
+		if len(hist) != ownLen+1 || hist[len(hist)-1] != obj {
+			t.Fatalf("user %d event missing from owning shard: %v", u, hist)
+		}
+		if got := len(other.History(u)); got != otherLen {
+			t.Fatalf("user %d event leaked to the non-owning shard", u)
+		}
+	}
+
+	// Reads route and answer.
+	for u := 0; u < ds.NumUsers; u++ {
+		resp, body := post("/v1/topk", fmt.Sprintf(`{"user":%d,"k":3}`, u))
+		if resp.StatusCode != http.StatusOK || !strings.Contains(body, "items") {
+			t.Fatalf("topk user %d: %d %s", u, resp.StatusCode, body)
+		}
+	}
+	if resp, body := post("/v1/score", `{"instances":[{"user":1,"target":2}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("score: %d %s", resp.StatusCode, body)
+	}
+
+	// /v1/shards reports both shards with their observed epochs.
+	resp, body := post("/v1/shards"[:0]+"/v1/feedback", `{"user":0,"object":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("warm feedback: %d %s", resp.StatusCode, body)
+	}
+	sresp, err := http.Get(rsrv.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shardsBody struct {
+		Shards []struct {
+			Name  string `json:"name"`
+			Epoch uint64 `json:"epoch"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&shardsBody); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if len(shardsBody.Shards) != 2 {
+		t.Fatalf("shards report %+v", shardsBody)
+	}
+	for _, s := range shardsBody.Shards {
+		if s.Name == m.Shards[m.Lookup(0)].Name && s.Epoch != 1 {
+			t.Fatalf("shard %s epoch %d after accepted writes, want 1", s.Name, s.Epoch)
+		}
+	}
+
+	// Shard B dies. Traffic owned by shard A is untouched; shard B traffic
+	// fails loudly (502 after the retry), never lands on A.
+	srvB.Close()
+	var aUser, bUser = -1, -1
+	for u := 0; u < ds.NumUsers; u++ {
+		if m.Shards[m.Lookup(u)].Name == "a" {
+			aUser = u
+		} else {
+			bUser = u
+		}
+	}
+	if aUser < 0 || bUser < 0 {
+		t.Skip("degenerate assignment: all users on one shard")
+	}
+	if resp, body := post("/v1/feedback", fmt.Sprintf(`{"user":%d,"object":9}`, aUser)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("surviving shard feedback during peer failure: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := post("/v1/topk", fmt.Sprintf(`{"user":%d,"k":3}`, aUser)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("surviving shard read during peer failure: %d %s", resp.StatusCode, body)
+	}
+	histBefore := len(lA.History(bUser))
+	if resp, _ := post("/v1/feedback", fmt.Sprintf(`{"user":%d,"object":9}`, bUser)); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dead shard feedback answered %d, want 502", resp.StatusCode)
+	}
+	if got := len(lA.History(bUser)); got != histBefore {
+		t.Fatal("dead shard's write landed on the surviving shard")
+	}
+}
+
+// TestRouterFenceRetryAfterPromotion pins the write-path fence recovery: the
+// router holds a stale map pointing at a deposed primary; the 409 fence
+// makes it re-read the map and retry once against the promoted primary, and
+// the client sees only the final 202.
+func TestRouterFenceRetryAfterPromotion(t *testing.T) {
+	var oldHits, newHits atomic.Int64
+	deposed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		oldHits.Add(1)
+		w.Header().Set("X-Seqfm-Epoch", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		fmt.Fprint(w, `{"error":"fenced: a newer primary has taken over"}`)
+	}))
+	defer deposed.Close()
+	promoted := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		newHits.Add(1)
+		w.Header().Set("X-Seqfm-Epoch", "2")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"accepted":1,"epoch":2}`)
+	}))
+	defer promoted.Close()
+
+	mapPath := filepath.Join(t.TempDir(), "shards.json")
+	writeMap(t, mapPath, ShardMap{Shards: []Shard{{Name: "s", Primary: deposed.URL}}})
+	m, err := LoadShardMap(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(m, RouterConfig{MapPath: mapPath, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The operator repoints the map at the promoted primary; the router
+	// still holds the stale version in memory.
+	writeMap(t, mapPath, ShardMap{Shards: []Shard{{Name: "s", Primary: promoted.URL}}})
+
+	rsrv := httptest.NewServer(rt.Routes())
+	defer rsrv.Close()
+	resp, err := http.Post(rsrv.URL+"/v1/feedback", "application/json",
+		strings.NewReader(`{"user":3,"object":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("client saw %d through the fence retry, want 202", resp.StatusCode)
+	}
+	if oldHits.Load() != 1 || newHits.Load() != 1 {
+		t.Fatalf("deposed hit %d times, promoted %d; want exactly 1 each", oldHits.Load(), newHits.Load())
+	}
+	if e := rt.epochOf("s"); e != 2 {
+		t.Fatalf("router epoch cache %d after the retry, want 2", e)
+	}
+	// Subsequent writes carry the new epoch.
+	resp2, err := http.Post(rsrv.URL+"/v1/feedback", "application/json",
+		strings.NewReader(`{"user":3,"object":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted || oldHits.Load() != 1 {
+		t.Fatalf("second write: code %d, deposed hits %d", resp2.StatusCode, oldHits.Load())
+	}
+}
+
+// TestRouterReadFailover pins the read path's rotation-and-fallback order:
+// followers first, the primary only when every follower has failed.
+func TestRouterReadFailover(t *testing.T) {
+	mark := func(name string, code int, hits *atomic.Int64) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"items":[],"served_by":%q}`, name)
+		}))
+	}
+	var pHits, f1Hits, f2Hits atomic.Int64
+	primary := mark("primary", http.StatusOK, &pHits)
+	defer primary.Close()
+	sick := mark("f1", http.StatusInternalServerError, &f1Hits)
+	defer sick.Close()
+	healthy := mark("f2", http.StatusOK, &f2Hits)
+	defer healthy.Close()
+
+	m, err := ParseShardMap(strings.NewReader(fmt.Sprintf(
+		`{"shards":[{"name":"s","primary":%q,"followers":[%q,%q]}]}`,
+		primary.URL, sick.URL, healthy.URL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(m, RouterConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv := httptest.NewServer(rt.Routes())
+	defer rsrv.Close()
+
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(rsrv.URL+"/v1/topk", "application/json",
+			strings.NewReader(`{"user":1,"k":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d: code %d", i, resp.StatusCode)
+		}
+	}
+	if f2Hits.Load() != 6 {
+		t.Fatalf("healthy follower served %d/6 reads", f2Hits.Load())
+	}
+	if pHits.Load() != 0 {
+		t.Fatalf("primary served %d reads while a follower was healthy", pHits.Load())
+	}
+
+	// Both followers down: the primary is the fallback of last resort.
+	sick.Close()
+	healthy.Close()
+	resp, err := http.Post(rsrv.URL+"/v1/topk", "application/json",
+		strings.NewReader(`{"user":1,"k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pHits.Load() == 0 {
+		t.Fatalf("primary fallback: code %d, primary hits %d", resp.StatusCode, pHits.Load())
+	}
+}

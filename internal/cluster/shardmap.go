@@ -1,0 +1,150 @@
+// Package cluster is the sharded deployment layer: a static shard map with a
+// consistent-hash ring (shardmap.go), a stateless HTTP router that fans
+// traffic over it (router.go), and the follower→primary promotion and WAL
+// compaction orchestration (promote.go).
+//
+// The design splits responsibilities so that no distributed consensus is
+// needed anywhere:
+//
+//   - Within a shard, correctness is the online package's replication
+//     contract (replay = recovery = bit-identical), plus a monotonic writer
+//     epoch as the fencing token: a promotion bumps the epoch, and anything a
+//     deposed primary still answers under its older epoch is rejected by
+//     comparison — by replicas tailing it and by routers writing through it —
+//     never merged.
+//   - Across shards, placement is pure hashing over a static JSON map: every
+//     router derives the same user→shard assignment from the same file, so
+//     routers are stateless, restart-stable, and horizontally scalable.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+)
+
+// vnodesPerShard is the number of ring points each shard contributes. 64
+// keeps the assignment spread within a few percent of uniform for small
+// shard counts while the ring stays tiny (a few KB).
+const vnodesPerShard = 64
+
+// Shard is one shard's membership: a primary that accepts writes and zero or
+// more read followers.
+type Shard struct {
+	// Name identifies the shard; ring placement hashes it, so renaming a
+	// shard reassigns its users (URL changes do not).
+	Name string `json:"name"`
+	// Primary is the shard primary's base URL (scheme://host:port).
+	Primary string `json:"primary"`
+	// Followers are read-replica base URLs; reads round-robin over them and
+	// fall back to the primary when none answer.
+	Followers []string `json:"followers,omitempty"`
+}
+
+// ShardMap is the cluster's static placement: the full shard list plus the
+// consistent-hash ring derived from it. Build with ParseShardMap or
+// LoadShardMap — a zero ShardMap has no ring and must not be used.
+type ShardMap struct {
+	Shards []Shard `json:"shards"`
+
+	ring []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// mix64 is the splitmix64 finalizer — a cheap high-quality bit mixer, the
+// same construction the trainer uses for stream seeds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ParseShardMap decodes and validates a shard-map JSON document and builds
+// its ring. Unknown fields are errors — a typo in an operator-written map
+// must not silently drop a shard attribute.
+func ParseShardMap(r io.Reader) (*ShardMap, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m ShardMap
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("cluster: shard map: %w", err)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: shard map has no shards")
+	}
+	seen := make(map[string]bool, len(m.Shards))
+	for i, s := range m.Shards {
+		if s.Name == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no name", i)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Primary == "" {
+			return nil, fmt.Errorf("cluster: shard %q has no primary", s.Name)
+		}
+	}
+	m.buildRing()
+	return &m, nil
+}
+
+// LoadShardMap reads a shard map from a JSON file.
+func LoadShardMap(path string) (*ShardMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	defer f.Close()
+	return ParseShardMap(f)
+}
+
+// buildRing places vnodesPerShard points per shard on the hash ring. A
+// shard's points derive only from its name, so assignments are stable across
+// router restarts, map reorderings, and follower churn — only adding,
+// removing or renaming shards moves users, and then only the ~1/N the ring
+// construction exists to bound.
+func (m *ShardMap) buildRing() {
+	m.ring = make([]ringPoint, 0, len(m.Shards)*vnodesPerShard)
+	for i, s := range m.Shards {
+		h := fnv.New64a()
+		io.WriteString(h, s.Name)
+		base := h.Sum64()
+		for v := 0; v < vnodesPerShard; v++ {
+			m.ring = append(m.ring, ringPoint{
+				hash:  mix64(base + uint64(v)*0x9e3779b97f4a7c15),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(m.ring, func(a, b int) bool {
+		if m.ring[a].hash != m.ring[b].hash {
+			return m.ring[a].hash < m.ring[b].hash
+		}
+		return m.ring[a].shard < m.ring[b].shard
+	})
+}
+
+// Lookup returns the index into Shards of the shard owning user — the first
+// ring point at or after the user's hash, wrapping at the top.
+func (m *ShardMap) Lookup(user int) int {
+	if len(m.ring) == 0 {
+		return 0
+	}
+	h := mix64(uint64(user) + 0x6a09e667f3bcc909)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0
+	}
+	return m.ring[i].shard
+}

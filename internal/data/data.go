@@ -291,6 +291,13 @@ func (ns *NegativeSampler) SampleN(u, n int) []int {
 // Seen reports whether user u has interacted with object o.
 func (ns *NegativeSampler) Seen(u, o int) bool { return ns.seen[u][o] }
 
+// SeenSets exposes the sampler's per-user seen index (indexed by user id).
+// The returned slice and maps are the live index, not a copy — read-only,
+// and only under whatever lock serialises Sample/MarkSeen (the training
+// lock, for the online trainer). Checkpointing uses it to persist the
+// exclusion state a compacted log can no longer rebuild.
+func (ns *NegativeSampler) SeenSets() []map[int]bool { return ns.seen }
+
 // SortUsersByLength orders user ids by descending log length; useful for
 // inspection tooling.
 func SortUsersByLength(d *Dataset) []int {

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 
 	"seqfm/internal/ag"
 	"seqfm/internal/baselines/fm"
+	"seqfm/internal/ckpt"
 	"seqfm/internal/feature"
 	"seqfm/internal/obs"
 	"seqfm/internal/online"
@@ -96,9 +98,19 @@ func TestFreshnessEndToEndAcrossReplication(t *testing.T) {
 		t.Fatalf("lineage entry not stamped: %v", entry)
 	}
 
-	// Follower: bootstrap from the primary's snapshot endpoint, catch up on
-	// its log, and serve the same lineage.
-	mF, fF, bootGen, err := online.FetchSnapshot(srv.URL, nil)
+	// Follower: bootstrap from a *stateless* checkpoint and catch up on the
+	// primary's log over HTTP. The stateless path replays every WAL record,
+	// which is what rebuilds the freshness histograms observation by
+	// observation — the property this test pins. (The HTTP snapshot endpoint
+	// ships a self-contained state checkpoint whose restore carries lineage
+	// and stamps but not histogram observations: the compacted prefix's
+	// events may no longer exist.)
+	var snap bytes.Buffer
+	if err := lP.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	bootGen := eng.Generation()
+	mF, fF, err := ckpt.Load(&snap)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"seqfm/internal/feature"
@@ -269,13 +270,31 @@ type jsonEvent struct {
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	if s.replica != nil {
+	if s.isFollower() {
 		httpError(w, http.StatusConflict, fmt.Errorf("this is a read replica of %s; send feedback to the primary", s.primary))
 		return
 	}
 	if s.learner == nil {
 		httpError(w, http.StatusConflict, fmt.Errorf("online learning disabled; restart with -online"))
 		return
+	}
+	// Epoch fence: a client that has observed a promotion sends the epoch it
+	// believes the shard's writer is at. A server behind that epoch is a
+	// deposed primary still answering on its old address — it must reject,
+	// not ingest, or the cluster forks. (A client running *behind* the server
+	// is fine: the response header below updates it.)
+	if h := r.Header.Get(online.EpochHeader); h != "" {
+		seen, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s header %q", online.EpochHeader, h))
+			return
+		}
+		if own := s.learner.Epoch(); seen > own {
+			w.Header().Set(online.EpochHeader, strconv.FormatUint(own, 10))
+			httpError(w, http.StatusConflict, fmt.Errorf(
+				"fenced: client observed writer epoch %d but this server is at epoch %d — a newer primary has taken over", seen, own))
+			return
+		}
 	}
 	var req struct {
 		User   *int        `json:"user,omitempty"`
@@ -361,9 +380,48 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st := s.learner.Stats()
+	epoch := s.learner.Epoch()
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(online.EpochHeader, strconv.FormatUint(epoch, 10))
 	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, map[string]any{"accepted": len(events), "pending": st.Pending, "room": s.learner.Room()})
+	writeJSON(w, map[string]any{
+		"accepted": len(events), "pending": st.Pending,
+		"room": s.learner.Room(), "epoch": epoch,
+	})
+}
+
+// handlePromote performs the follower→primary transition through the wired
+// callback (see Config.Promote). Idempotence is the caller's lookout — a
+// second call 409s, as does calling it on a primary or an unwired follower.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.replica == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("not a follower; only a follower can be promoted"))
+		return
+	}
+	if s.promote == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("promotion not wired; restart the follower with -promote-wal"))
+		return
+	}
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.promoted.Load() {
+		httpError(w, http.StatusConflict, fmt.Errorf("already promoted"))
+		return
+	}
+	info, err := s.promote()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("promotion failed: %w", err))
+		return
+	}
+	s.promoted.Store(true)
+	w.Header().Set(online.EpochHeader, strconv.FormatUint(info.Epoch, 10))
+	writeJSON(w, map[string]any{
+		"promoted":    true,
+		"epoch":       info.Epoch,
+		"applied_seq": info.AppliedSeq,
+		"generation":  info.Generation,
+		"wal_dir":     info.WALDir,
+	})
 }
 
 // evalRules advances the declarative alert evaluator one step and applies
@@ -419,7 +477,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 // reports the same per-generation freshness as its primary.
 func (s *Server) handleFreshness(w http.ResponseWriter, r *http.Request) {
 	role := "primary"
-	if s.replica != nil {
+	if s.isFollower() {
 		role = "follower"
 	}
 	resp := map[string]any{
@@ -499,7 +557,7 @@ func latencyJSON(s metrics.LatencySnapshot) map[string]any {
 // (primaries with a WAL only — a follower cannot be a replication source,
 // chained replication being a later feature).
 func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.learner == nil || s.learner.WAL() == nil || s.replica != nil {
+	if s.learner == nil || s.learner.WAL() == nil || s.isFollower() {
 		httpError(w, http.StatusConflict, fmt.Errorf("replication requires a WAL-backed primary (restart with -online -wal)"))
 		return
 	}
@@ -507,7 +565,7 @@ func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReplicaLog(w http.ResponseWriter, r *http.Request) {
-	if s.learner == nil || s.learner.WAL() == nil || s.replica != nil {
+	if s.learner == nil || s.learner.WAL() == nil || s.isFollower() {
 		httpError(w, http.StatusConflict, fmt.Errorf("replication requires a WAL-backed primary (restart with -online -wal)"))
 		return
 	}
@@ -538,17 +596,21 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			"history_users": ls.HistoryUsers,
 			"room":          s.learner.Room(),
 		}
-		if s.walLog != nil {
-			rec := s.walLog.Recovered()
+		if wlog := s.wal(); wlog != nil {
+			rec := wlog.Recovered()
 			resp["durability"] = map[string]any{
 				"log_seq":         ls.LogSeq,
 				"log_durable_seq": ls.LogDurableSeq,
 				"log_segments":    ls.LogSegments,
-				"applied_seq":     ls.AppliedSeq,
-				"snapshot_seq":    ls.SnapshotSeq,
-				"sync_policy":     s.walLog.Policy().String(),
-				"recovered_seq":   rec.Seq,
-				"recovered_torn":  s.walLog.Truncated(),
+				// first_seq > 1 means compaction has discarded a log prefix;
+				// everything below it lives only in the state checkpoint.
+				"log_first_seq":  ls.LogFirstSeq,
+				"epoch":          ls.Epoch,
+				"applied_seq":    ls.AppliedSeq,
+				"snapshot_seq":   ls.SnapshotSeq,
+				"sync_policy":    wlog.Policy().String(),
+				"recovered_seq":  rec.Seq,
+				"recovered_torn": wlog.Truncated(),
 			}
 		}
 	}
@@ -617,13 +679,13 @@ func admissionJSON(st serve.AdmissionStats) map[string]any {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	role := "primary"
-	if s.replica != nil {
+	if s.isFollower() {
 		role = "follower"
 	}
 	checks := map[string]any{}
 	healthy := true
-	if s.walLog != nil {
-		walErr := s.walLog.Err()
+	if wlog := s.wal(); wlog != nil {
+		walErr := wlog.Err()
 		ok := walErr == nil
 		healthy = healthy && ok
 		c := map[string]any{"ok": ok}
@@ -645,7 +707,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"train_lag_s": ls.TrainLagSeconds,
 		}
 	}
-	if s.replica != nil {
+	if s.isFollower() {
 		rs := s.replica.Stats()
 		ok := !rs.Failed && (rs.CaughtUp || rs.LagSeconds < replicaLagThreshold.Seconds())
 		healthy = healthy && ok
@@ -699,7 +761,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_s":   time.Since(s.start).Seconds(),
 		"online":     s.learner != nil,
 		"role":       role,
-		"durable":    s.walLog != nil,
+		"durable":    s.wal() != nil,
 		"experiment": s.exp != nil,
 		"engine": map[string]any{
 			"generation":     st.Generation,

@@ -26,6 +26,8 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"seqfm/internal/core"
@@ -54,6 +56,12 @@ type Config struct {
 	// Replica marks the server a read-only follower of Primary.
 	Replica *online.Replica
 	Primary string
+	// Promote, when set on a follower, enables POST /v1/replica/promote: the
+	// callback performs the follower→primary transition (cluster.Promote) and
+	// returns the new writer identity. After a successful call the server
+	// flips role — /v1/feedback starts accepting writes and the replication
+	// endpoints start serving.
+	Promote func() (PromoteInfo, error)
 	// Experiments, when set, routes /v1/score, /v1/topk, /v1/recommend and
 	// /v1/feedback attribution through the multi-arm tier and enables
 	// GET /v1/experiments.
@@ -93,6 +101,12 @@ type Server struct {
 	primary string
 	exp     *serve.Experiments
 
+	// Promotion state: promote is Config.Promote, promoteMu serializes the
+	// transition, promoted flips the reported role once it has happened.
+	promote   func() (PromoteInfo, error)
+	promoteMu sync.Mutex
+	promoted  atomic.Bool
+
 	readLimiter     *serve.Limiter
 	feedbackLimiter *serve.Limiter
 
@@ -128,8 +142,9 @@ func New(cfg Config) (*Server, error) {
 		eng: cfg.Engine, ds: cfg.Dataset, model: cfg.Model,
 		learner: cfg.Learner, walLog: cfg.WAL,
 		replica: cfg.Replica, primary: cfg.Primary,
-		exp:   cfg.Experiments,
-		start: time.Now(),
+		promote: cfg.Promote,
+		exp:     cfg.Experiments,
+		start:   time.Now(),
 	}
 	if cfg.ReadAdmission != nil {
 		s.readLimiter = serve.NewLimiter(*cfg.ReadAdmission)
@@ -170,7 +185,36 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/feedback", s.instrument("feedback", s.limited(s.feedbackLimiter, "feedback", s.handleFeedback)))
 	mux.HandleFunc("GET /v1/replica/snapshot", s.handleReplicaSnapshot)
 	mux.HandleFunc("GET /v1/replica/log", s.handleReplicaLog)
+	mux.HandleFunc("POST /v1/replica/promote", s.handlePromote)
 	return mux
+}
+
+// PromoteInfo is what a successful promotion reports: the new writer's
+// fencing epoch, the log position it resumed from, the serving generation at
+// takeover, and where the fresh WAL lives.
+type PromoteInfo struct {
+	Epoch      uint64 `json:"epoch"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Generation uint64 `json:"generation"`
+	WALDir     string `json:"wal_dir"`
+}
+
+// isFollower reports whether the server still serves in the follower role —
+// configured as a replica and not (yet) promoted.
+func (s *Server) isFollower() bool {
+	return s.replica != nil && !s.promoted.Load()
+}
+
+// wal resolves the learner's current log: the configured one on a born
+// primary, the learner's own after a promotion attached one mid-flight.
+func (s *Server) wal() *wal.Log {
+	if s.walLog != nil {
+		return s.walLog
+	}
+	if s.learner != nil {
+		return s.learner.WAL()
+	}
+	return nil
 }
 
 // limited wraps h behind limiter l: a full queue sheds with 429, a wait

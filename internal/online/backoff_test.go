@@ -1,0 +1,195 @@
+package online
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seqfm/internal/serve"
+	"seqfm/internal/train"
+	"seqfm/internal/wal"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	// The doubling schedule: 1s, 2s, 4s, ..., capped.
+	cur, max := time.Second, 10*time.Second
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second,
+		10 * time.Second, 10 * time.Second}
+	for i, w := range want {
+		cur = nextBackoff(cur, max)
+		if cur != w {
+			t.Fatalf("step %d: backoff %v, want %v", i, cur, w)
+		}
+	}
+
+	// Jitter stays within ±25% and never turns a positive pause into zero
+	// drift territory beyond that band.
+	for i := 0; i < 1000; i++ {
+		d := 800 * time.Millisecond
+		j := jitterBackoff(d)
+		if j < d-d/4 || j > d+d/4 {
+			t.Fatalf("jitter %v outside [%v, %v]", j, d-d/4, d+d/4)
+		}
+	}
+	if got := jitterBackoff(0); got != 0 {
+		t.Fatalf("jitterBackoff(0) = %v", got)
+	}
+}
+
+// TestReplicaResumesTailAfterPrimaryRestart kills the primary mid-tail and
+// restarts it from its own WAL at the same URL. The follower's tail loop
+// must ride out the outage with backoff (errors counted, loop not halted)
+// and converge on the restarted primary without being rebuilt.
+func TestReplicaResumesTailAfterPrimaryRestart(t *testing.T) {
+	ds := testDataset(t)
+	walDir := filepath.Join(t.TempDir(), "wal")
+	cfg := func(log *wal.Log) Config {
+		return Config{
+			Train:     train.Config{Seed: 11, Workers: 1, LR: 0.03, Negatives: 2},
+			BatchSize: 8,
+			Log:       log,
+		}
+	}
+
+	log1, err := wal.Open(walDir, walOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := serve.NewEngine(testModel(t, ds, 0.9).Clone(), serve.Config{Workers: 1})
+	defer eng1.Close()
+	l1, err := NewLearner(testModel(t, ds, 0.9), ds, eng1, cfg(log1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The server survives the "process"; its handler is swapped to simulate
+	// the primary dying and coming back at the same address.
+	var handler atomic.Value // http.HandlerFunc
+	mount := func(l *Learner) {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/replica/snapshot", l.ServeReplicaSnapshot)
+		mux.HandleFunc("GET /v1/replica/log", l.ServeReplicaLog)
+		handler.Store(http.HandlerFunc(mux.ServeHTTP))
+	}
+	mount(l1)
+	down := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "connection refused (primary down)", http.StatusServiceUnavailable)
+	})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.HandlerFunc).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	// Seed and bootstrap a follower, then tail live.
+	for i := 0; i < 10; i++ {
+		if err := l1.Ingest(i%ds.NumUsers, (i*7)%ds.NumObjects, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l1.Sync()
+	m, f, bootGen, err := FetchSnapshot(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engF := serve.NewEngine(m, serve.Config{Workers: 1})
+	defer engF.Close()
+	lF, err := NewLearnerFromSnapshot(m, f, ds, engF, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplica(lF, &HTTPLogSource{Base: srv.URL}, bootGen, ReplicaConfig{
+		Wait:       20 * time.Millisecond,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond,
+	})
+	rep.Start()
+	defer rep.Close()
+
+	waitFor := func(desc string, pred func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if pred() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s; stats %+v", desc, rep.Stats())
+	}
+
+	for i := 0; i < 4; i++ {
+		if err := l1.Ingest(i, (i*3+1)%ds.NumObjects, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l1.Sync()
+	livePos := l1.WAL().Pos().Seq
+	waitFor("pre-outage convergence", func() bool {
+		return rep.Stats().AppliedSeq >= livePos
+	})
+
+	// Kill the primary mid-tail. The follower must keep retrying with
+	// backoff — errors counted, loop alive — not halt.
+	handler.Store(down)
+	log1.Close()
+	errsBefore := rep.Stats().PollErrors
+	waitFor("poll errors during the outage", func() bool {
+		return rep.Stats().PollErrors > errsBefore
+	})
+	if st := rep.Stats(); st.Failed {
+		t.Fatalf("tail loop halted on a transient outage: %+v", st)
+	}
+
+	// Restart: recover a fresh learner from the same WAL, mount it at the
+	// same URL, and keep writing.
+	log2, err := wal.Open(walDir, walOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	eng2 := serve.NewEngine(testModel(t, ds, 0.9).Clone(), serve.Config{Workers: 1})
+	defer eng2.Close()
+	l2, err := NewLearner(testModel(t, ds, 0.9), ds, eng2, cfg(log2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.ReplayLog(); err != nil {
+		t.Fatal(err)
+	}
+	mount(l2)
+	for i := 0; i < 6; i++ {
+		if err := l2.Ingest((i+2)%ds.NumUsers, (i*5+2)%ds.NumObjects, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2.Sync()
+	restartPos := l2.WAL().Pos().Seq
+
+	waitFor("post-restart convergence", func() bool {
+		return rep.Stats().AppliedSeq >= restartPos
+	})
+	st := rep.Stats()
+	if st.Failed {
+		t.Fatalf("tail loop marked failed after recovery: %+v", st)
+	}
+	if st.PollErrors == 0 {
+		t.Fatal("outage left no trace in PollErrors")
+	}
+	if p, f := eng2.Generation(), engF.Generation(); p != f {
+		t.Fatalf("generation diverged after restart: primary %d, follower %d", p, f)
+	}
+	for u := 0; u < ds.NumUsers; u++ {
+		hp, hf := l2.History(u), lF.History(u)
+		if len(hp) != len(hf) {
+			t.Fatalf("user %d history length %d != %d after restart", u, len(hp), len(hf))
+		}
+		for i := range hp {
+			if hp[i] != hf[i] {
+				t.Fatalf("user %d history diverges at %d after restart", u, i)
+			}
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package online
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
+	"seqfm/internal/ckpt"
 	"seqfm/internal/serve"
 	"seqfm/internal/train"
 	"seqfm/internal/wal"
@@ -33,7 +35,7 @@ func (s skewedSource) FetchLog(from uint64, max int, wait time.Duration) (LogFet
 // the subtraction, so an hour of host skew shows up as an hour of lag, never
 // as a negative or zero artifact of comparing clocks across machines.
 func TestFreshnessSurvivesReplicationAndClockSkew(t *testing.T) {
-	lP, _, srv := newPrimary(t, 1)
+	lP, engP, srv := newPrimary(t, 1)
 	ds := lP.ds
 	events := makeRCEvents(ds, 99, 30)
 	driveRun(t, lP, events, 0, 20, map[int]bool{8: true, 20: true}, 0)
@@ -59,8 +61,19 @@ func TestFreshnessSurvivesReplicationAndClockSkew(t *testing.T) {
 
 	// Follower bootstraps and catches up through a source whose primary
 	// clock reads an hour ahead of this process's.
+	// Bootstrap from a *stateless* checkpoint deliberately: this follower
+	// replays the whole log from seq 1, which is what rebuilds the freshness
+	// histograms observation by observation. (The HTTP snapshot endpoint now
+	// ships a self-contained state checkpoint, whose restore inherits the
+	// lineage ring and trained-through stamp but not per-event histogram
+	// observations — the compaction trade: those events may no longer exist.)
 	const skewMS = int64(3600 * 1000)
-	m, f, bootGen, err := FetchSnapshot(srv.URL, nil)
+	var snap bytes.Buffer
+	if err := lP.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	bootGen := engP.Generation()
+	m, f, err := ckpt.Load(&snap)
 	if err != nil {
 		t.Fatal(err)
 	}

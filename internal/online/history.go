@@ -125,6 +125,39 @@ func (s *HistoryStore) Users() int {
 	return n
 }
 
+// Export copies the full store — per user, the bounded history as it stands.
+// The self-contained checkpoint embeds it so recovery from a compacted log
+// (whose prefix no longer holds the events that built these histories) can
+// restore the store verbatim instead of replaying.
+func (s *HistoryStore) Export() map[int][]int {
+	out := make(map[int][]int)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for u, h := range sh.users {
+			out[u] = append([]int(nil), h...)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Import replaces each listed user's history with the given sequence
+// (bounded to the per-user cap) — Export's inverse, used at restore time on
+// a store that has not been dataset-seeded.
+func (s *HistoryStore) Import(users map[int][]int) {
+	for u, h := range users {
+		sh := s.shard(u)
+		sh.mu.Lock()
+		start := 0
+		if s.maxLen > 0 && len(h) > s.maxLen {
+			start = len(h) - s.maxLen
+		}
+		sh.users[u] = append([]int(nil), h[start:]...)
+		sh.mu.Unlock()
+	}
+}
+
 // SeedFromDataset loads every user's interaction log (bounded to the per-user
 // cap) so the live store starts where the offline dataset ends.
 func (s *HistoryStore) SeedFromDataset(ds *data.Dataset) {

@@ -157,6 +157,12 @@ type Stats struct {
 	// this learner; the replay a crash would need covers (SnapshotSeq,
 	// LogDurableSeq].
 	SnapshotSeq uint64
+	// LogFirstSeq is the first sequence number still present in the log — 1
+	// until compaction has discarded a prefix.
+	LogFirstSeq uint64
+	// Epoch is the writer epoch the learner operates under (1 until a
+	// promotion or a restored/replayed epoch record raised it).
+	Epoch uint64
 }
 
 // pendingEvent is one queued training instance plus the WAL sequence number
@@ -216,12 +222,31 @@ type Learner struct {
 	trainMu sync.Mutex
 	model   *core.Model // shadow copy; serving never reads it
 	stepper *train.Stepper
+	// stepsSincePub counts steps applied since the last publish (guarded by
+	// trainMu). Always 0 on a primary after Sync (training and publishing
+	// are atomic there), but a follower applies step markers as they arrive
+	// and publishes only at its primary's publish markers — a promotion or
+	// state checkpoint in that window must know the shadow is ahead of the
+	// serving engine.
+	stepsSincePub int
+	// restoredGen is the published generation a restored self-contained
+	// snapshot recorded; with hasState it seeds ReplayLog's publish
+	// numbering exactly where full replay's loop would have stood at the
+	// cut.
+	restoredGen uint64
+	hasState    bool
 
 	// walLog, when non-nil, is the durable event log (Config.Log). Replay
 	// (ApplyLogRecord/ReplayLog) bypasses it: replayed records are not
 	// re-appended, and queue-overflow drops are driven by the logged Drop
-	// markers instead of the live MaxPending policy.
-	walLog *wal.Log
+	// markers instead of the live MaxPending policy. An atomic pointer
+	// because promotion (BecomePrimary) attaches a log to a running
+	// follower while Stats/handlers read it concurrently.
+	walLog atomic.Pointer[wal.Log]
+	// epoch is the writer epoch the learner has observed (wal.RecEpoch,
+	// snapshot restore, or promotion); 0 reads as 1 — the pre-cluster
+	// implicit epoch.
+	epoch atomic.Uint64
 	// snapApplied is the snapshot's log position (ckpt File.Log.Seq): step
 	// markers at or below it replay without re-training. Fixed at
 	// construction.
@@ -335,6 +360,12 @@ func NewLearnerFromSnapshot(m *core.Model, f *ckpt.File, ds *data.Dataset, eng *
 		l.appliedPos = *f.Log
 		l.appliedSeq.Store(f.Log.Seq)
 	}
+	if f.Epoch > 0 {
+		l.epoch.Store(f.Epoch)
+	}
+	if f.State != nil {
+		l.restoreState(f.State)
+	}
 	// Publish the restored weights — unless the engine is already serving
 	// exactly this model (the common flow builds the engine from the loaded
 	// model and then warm-starts the learner with it). Skipping the
@@ -364,7 +395,10 @@ func newLearner(shadow *core.Model, opt *optim.Adam, steps int64, ds *data.Datas
 		return nil, err
 	}
 	stepper.SetSteps(steps)
-	l := &Learner{cfg: cfg, ds: ds, eng: eng, model: shadow, stepper: stepper, walLog: cfg.Log}
+	l := &Learner{cfg: cfg, ds: ds, eng: eng, model: shadow, stepper: stepper}
+	if cfg.Log != nil {
+		l.walLog.Store(cfg.Log)
+	}
 	// Stats.Steps counts lifetime minibatches on this weight lineage, like
 	// stepper.Steps(): a warm start resumes the saved counter, so the number
 	// survives restarts the same way the weights do.
@@ -380,6 +414,29 @@ func newLearner(shadow *core.Model, opt *optim.Adam, steps int64, ds *data.Datas
 		l.seen[u] = m
 	}
 	return l, nil
+}
+
+// wlog returns the learner's current write-ahead log (nil without one).
+func (l *Learner) wlog() *wal.Log { return l.walLog.Load() }
+
+// Epoch returns the writer epoch the learner operates under — 1 until a
+// newer epoch is observed via snapshot restore, replayed epoch record, or
+// promotion.
+func (l *Learner) Epoch() uint64 {
+	if e := l.epoch.Load(); e > 0 {
+		return e
+	}
+	return 1
+}
+
+// adoptEpoch raises the observed epoch to e; epochs never move backwards.
+func (l *Learner) adoptEpoch(e uint64) {
+	for {
+		cur := l.epoch.Load()
+		if e <= cur || l.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // markSeen records an interaction in the serving-side exclusion index.
@@ -513,12 +570,13 @@ func (l *Learner) TryIngestBatchCtx(ctx context.Context, events []Event) error {
 		appendTotal += appendDur
 		last = seq
 	}
-	if l.walLog != nil {
+	wlog := l.wlog()
+	if wlog != nil {
 		tr.Stage("wal_append", appendTotal)
 	}
 	waitStart := time.Now()
 	err := l.waitCommitted(last)
-	if l.walLog != nil && l.walLog.Policy() != wal.SyncNone {
+	if wlog != nil && wlog.Policy() != wal.SyncNone {
 		tr.Stage("durable_wait", time.Since(waitStart))
 	}
 	return err
@@ -540,7 +598,8 @@ func (l *Learner) checkEvent(user, object int) error {
 // without waiting for durability.
 func (l *Learner) ingestOne(user, object int, label float64) (uint64, time.Duration, error) {
 	l.live.Store(true)
-	if l.walLog == nil {
+	wlog := l.wlog()
+	if wlog == nil {
 		// Snapshot-and-append atomically (one stripe-lock critical section),
 		// so concurrent events for the same user each see exactly the history
 		// their predecessors produced.
@@ -562,7 +621,7 @@ func (l *Learner) ingestOne(user, object int, label float64) (uint64, time.Durat
 	rec := wal.Record{Type: wal.RecEvent, User: user, Object: object, Label: label, TS: time.Now().UnixMilli()}
 	l.mu.Lock()
 	appendStart := time.Now()
-	pos, err := l.walLog.AppendRecord(rec)
+	pos, err := wlog.AppendRecord(rec)
 	appendDur := time.Since(appendStart)
 	if err != nil {
 		l.mu.Unlock()
@@ -581,10 +640,11 @@ func (l *Learner) ingestOne(user, object int, label float64) (uint64, time.Durat
 // cache — blocking on the OS-flush timer would make the weakest policy the
 // slowest ingest path).
 func (l *Learner) waitCommitted(seq uint64) error {
-	if l.walLog == nil || seq == 0 || l.walLog.Policy() == wal.SyncNone {
+	wlog := l.wlog()
+	if wlog == nil || seq == 0 || wlog.Policy() == wal.SyncNone {
 		return nil
 	}
-	if err := l.walLog.WaitDurable(seq); err != nil {
+	if err := wlog.WaitDurable(seq); err != nil {
 		// The events are applied in memory but their durability is unknown;
 		// the caller must treat them as unacknowledged (a recovered process
 		// may or may not replay them).
@@ -628,7 +688,7 @@ func (l *Learner) enqueueLocked(inst feature.Instance, seq uint64, ts int64, all
 		through := l.pending[l.head+over-1].seq
 		l.head += over // drop oldest by advancing the head: O(1), no memmove
 		l.dropped.Add(int64(over))
-		if l.walLog != nil {
+		if wlog := l.wlog(); wlog != nil {
 			// The marker names the exact evicted range: a concurrently
 			// in-flight training batch's events are older than From and no
 			// longer queued here, but their Step marker lands after this
@@ -636,7 +696,7 @@ func (l *Learner) enqueueLocked(inst feature.Instance, seq uint64, ts int64, all
 			// append: a lost Drop marker only matters if MaxPending changes
 			// before the next recovery; the sticky log error will surface on
 			// the next event append regardless.
-			_, _ = l.walLog.AppendRecord(wal.Record{Type: wal.RecDrop, From: from, Through: through})
+			_, _ = wlog.AppendRecord(wal.Record{Type: wal.RecDrop, From: from, Through: through})
 		}
 	}
 	l.compactLocked()
@@ -883,12 +943,12 @@ func (l *Learner) Sync() (events int, loss float64) {
 		pubTS := time.Now().UnixMilli()
 		dataThrough := l.trainedThroughTS.Load()
 		l.notePublished(gen, pubTS, dataThrough)
-		if l.walLog != nil {
+		if wlog := l.wlog(); wlog != nil {
 			// The publish marker is what lets a follower install the same
 			// weights under the same generation id, and a recovery replay
 			// restore the pre-crash generation numbering. Its stamps let a
 			// follower report the identical servable freshness.
-			_, _ = l.walLog.AppendRecord(wal.Record{Type: wal.RecPublish, Gen: gen, TS: pubTS, EventTS: dataThrough})
+			_, _ = wlog.AppendRecord(wal.Record{Type: wal.RecPublish, Gen: gen, TS: pubTS, EventTS: dataThrough})
 		}
 	}
 	return events, loss
@@ -913,8 +973,9 @@ func (l *Learner) stepBatch(batch []pendingEvent) float64 {
 	l.stepHist.Record(time.Since(stepStart))
 	l.lastLoss.Store(math.Float64bits(loss))
 	l.steps.Add(1)
+	l.stepsSincePub++
 	stepTS := time.Now().UnixMilli()
-	if l.walLog != nil {
+	if wlog := l.wlog(); wlog != nil {
 		// "Trained through this event, in this exact batch": the record that
 		// makes replayed training bit-identical. Appended after the step so
 		// a marker never promises training that did not happen; durability
@@ -922,7 +983,7 @@ func (l *Learner) stepBatch(batch []pendingEvent) float64 {
 		// a position that depends on it). The TS stamp is lag accounting
 		// only — followers subtract it from each event's ingest stamp, both
 		// primary clocks.
-		if pos, err := l.walLog.AppendRecord(wal.Record{Type: wal.RecStep, Through: batch[len(batch)-1].seq, TS: stepTS}); err == nil {
+		if pos, err := wlog.AppendRecord(wal.Record{Type: wal.RecStep, Through: batch[len(batch)-1].seq, TS: stepTS}); err == nil {
 			l.appliedPos = pos
 			l.appliedSeq.Store(pos.Seq)
 		}
@@ -996,6 +1057,7 @@ func (l *Learner) publish() uint64 {
 	gen := l.eng.Swap(l.model.Clone())
 	l.publishHist.Record(time.Since(start))
 	l.swaps.Add(1)
+	l.stepsSincePub = 0
 	return gen
 }
 
@@ -1007,6 +1069,7 @@ func (l *Learner) publishAs(gen uint64) uint64 {
 	id := l.eng.SwapAs(l.model.Clone(), gen)
 	l.publishHist.Record(time.Since(start))
 	l.swaps.Add(1)
+	l.stepsSincePub = 0
 	return id
 }
 
@@ -1054,10 +1117,11 @@ func (l *Learner) CheckpointFile(path string) error {
 // checkpointPosLocked returns the log position the snapshot should record
 // (nil without a WAL), fsyncing the log first. trainMu must be held.
 func (l *Learner) checkpointPosLocked() (*wal.Pos, error) {
-	if l.walLog == nil {
+	wlog := l.wlog()
+	if wlog == nil {
 		return nil, nil
 	}
-	if err := l.walLog.Sync(); err != nil {
+	if err := wlog.Sync(); err != nil {
 		return nil, fmt.Errorf("online: checkpoint wal sync: %w", err)
 	}
 	pos := l.appliedPos
@@ -1153,10 +1217,12 @@ func (l *Learner) Stats() Stats {
 			st.TrainLagSeconds = lag.Seconds()
 		}
 	}
-	if l.walLog != nil {
-		st.LogSeq = l.walLog.Pos().Seq
-		st.LogDurableSeq = l.walLog.DurableSeq()
-		st.LogSegments = l.walLog.Segments()
+	st.Epoch = l.Epoch()
+	if wlog := l.wlog(); wlog != nil {
+		st.LogSeq = wlog.Pos().Seq
+		st.LogDurableSeq = wlog.DurableSeq()
+		st.LogSegments = wlog.Segments()
+		st.LogFirstSeq = wlog.FirstSeq()
 		st.AppliedSeq = l.appliedSeq.Load()
 		st.SnapshotSeq = l.snapSeq.Load()
 	}
@@ -1166,7 +1232,10 @@ func (l *Learner) Stats() Stats {
 // WAL returns the learner's durable event log, nil when the learner was
 // built without one. The replica endpoints read it; the learner never closes
 // it.
-func (l *Learner) WAL() *wal.Log { return l.walLog }
+func (l *Learner) WAL() *wal.Log { return l.wlog() }
+
+// Generation reports the serving engine's published generation.
+func (l *Learner) Generation() uint64 { return l.eng.Generation() }
 
 // StepLatency is the live histogram of fine-tune minibatch (stepper.Step)
 // durations; PublishLatency times each publish's clone + engine hot-swap

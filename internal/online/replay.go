@@ -49,6 +49,11 @@ type ReplayStats struct {
 	// Generation is the serving generation after the final publish (0 when
 	// the replay published nothing).
 	Generation uint64
+	// FirstSeq is the first sequence number still present in the log — above
+	// 1 once compaction has discarded a prefix (the discarded records were
+	// covered by the restored state checkpoint, so nothing was replayed from
+	// them).
+	FirstSeq uint64
 }
 
 // ApplyLogRecord applies one WAL record to the learner per the rules above.
@@ -96,6 +101,7 @@ func (l *Learner) ApplyLogRecord(rec wal.Record, applied uint64) error {
 		// records, do not).
 		l.appliedPos = wal.Pos{Seq: rec.Seq}
 		l.appliedSeq.Store(rec.Seq)
+		l.stepsSincePub++
 		l.trainMu.Unlock()
 		// The marker's stamp and the events' ingest stamps are both primary
 		// clocks, so this observation equals the one the primary recorded
@@ -110,6 +116,13 @@ func (l *Learner) ApplyLogRecord(rec wal.Record, applied uint64) error {
 		// stamps travel with the record, so follower and recovered primary
 		// rebuild the same provenance the original run reported.
 		l.notePublished(rec.Gen, rec.TS, rec.EventTS)
+		l.trainMu.Lock()
+		l.stepsSincePub = 0
+		l.trainMu.Unlock()
+	case wal.RecEpoch:
+		// A later writer took over at this point in the stream; remember its
+		// fencing token so stale-epoch traffic is rejected from here on.
+		l.adoptEpoch(rec.Epoch)
 	default:
 		return fmt.Errorf("online: replay seq %d: unknown record type %v", rec.Seq, rec.Type)
 	}
@@ -142,7 +155,8 @@ func (l *Learner) replayStepLocked(batch []pendingEvent) {
 // tests: parameters, optimizer state, sampling streams, served scores and
 // generation ids all match.
 func (l *Learner) ReplayLog() (ReplayStats, error) {
-	if l.walLog == nil {
+	wlog := l.wlog()
+	if wlog == nil {
 		return ReplayStats{}, fmt.Errorf("online: ReplayLog requires a learner built with Config.Log")
 	}
 	if l.live.Swap(true) {
@@ -151,15 +165,29 @@ func (l *Learner) ReplayLog() (ReplayStats, error) {
 		// loud error instead.
 		return ReplayStats{}, fmt.Errorf("online: ReplayLog must run once, before any live traffic")
 	}
-	rd, err := l.walLog.ReaderAt(1)
+	// A self-contained snapshot already holds everything the records through
+	// its cut would rebuild, so replay starts just past it; a plain snapshot
+	// needs the whole log. Either way the log must actually reach back far
+	// enough — a compacted prefix is only legal when the snapshot covers it.
+	start := uint64(1)
+	if l.hasState {
+		start = l.snapApplied + 1
+	}
+	first := wlog.FirstSeq()
+	if first > start {
+		return ReplayStats{}, fmt.Errorf(
+			"online: log starts at seq %d but the snapshot covers only through seq %d: recover from the state checkpoint that drove the compaction",
+			first, start-1)
+	}
+	rd, err := wlog.ReaderAt(start)
 	if err != nil {
 		return ReplayStats{}, err
 	}
 	defer rd.Close()
 	var (
-		st           ReplayStats
-		lastPubGen   uint64
-		stepsSincePb int
+		st           = ReplayStats{FirstSeq: first}
+		lastPubGen   = l.restoredGen
+		stepsSincePb = l.stepsSincePub
 	)
 	for {
 		payload, pos, err := rd.Next()

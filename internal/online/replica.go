@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -16,7 +17,6 @@ import (
 	"seqfm/internal/ckpt"
 	"seqfm/internal/core"
 	"seqfm/internal/obs"
-	"seqfm/internal/optim"
 	"seqfm/internal/wal"
 )
 
@@ -41,6 +41,11 @@ type LogFetch struct {
 	Records    []wal.Record `json:"records"`
 	DurableSeq uint64       `json:"durable_seq"`
 	NowMillis  int64        `json:"now_ms"`
+	// Epoch is the primary's writer epoch. A replica that has observed a
+	// newer epoch (from the promoted primary it re-pointed to) treats an
+	// older value as proof it is tailing a deposed primary and halts rather
+	// than merge a forked history. 0 = unknown (pre-epoch primary).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // LogSource is where a replica's records come from: the HTTP client in
@@ -53,9 +58,10 @@ type LogSource interface {
 
 // Replica-side defaults.
 const (
-	DefaultReplicaBatch   = 1024
-	DefaultReplicaWait    = 2 * time.Second
-	DefaultReplicaBackoff = time.Second
+	DefaultReplicaBatch      = 1024
+	DefaultReplicaWait       = 2 * time.Second
+	DefaultReplicaBackoff    = time.Second
+	DefaultReplicaMaxBackoff = 15 * time.Second
 	// maxReplicaBatch caps a single log response so one poll cannot pin
 	// unbounded memory on either side.
 	maxReplicaBatch = 8192
@@ -73,11 +79,21 @@ const GenerationHeader = "X-Seqfm-Generation"
 // checkpoint stream.
 const AppliedSeqHeader = "X-Seqfm-Applied-Seq"
 
-// ServeReplicaSnapshot streams the learner's current checkpoint (ckpt v2
-// with the log position) to a bootstrapping follower. 409 when the learner
-// has no WAL — a primary without a log cannot ship one.
+// EpochHeader carries the writer epoch: on replica-snapshot responses and
+// write acks it reports the server's epoch; on proxied write requests the
+// router stamps the highest epoch it has observed for the shard, and a
+// server whose own epoch is lower must reject the write (409) — it has been
+// deposed and just does not know it yet.
+const EpochHeader = "X-Seqfm-Epoch"
+
+// ServeReplicaSnapshot streams the learner's current *state* checkpoint
+// (ckpt v2 with the log cut and the live state through it) to a
+// bootstrapping follower. Self-contained bootstrap is what keeps followers
+// working against a compacted primary: the follower restores the state and
+// tails from the cut, never needing the discarded prefix. 409 when the
+// learner has no WAL — a primary without a log cannot ship one.
 func (l *Learner) ServeReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
-	if l.walLog == nil {
+	if l.wlog() == nil {
 		http.Error(w, `{"error":"replication requires a WAL-backed primary"}`, http.StatusConflict)
 		return
 	}
@@ -85,10 +101,9 @@ func (l *Learner) ServeReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
 	// follower must not stall fine-tuning for the duration of its download.
 	var buf bytes.Buffer
 	l.trainMu.Lock()
-	adam, _ := l.stepper.Optimizer().(*optim.Adam)
-	pos, err := l.checkpointPosLocked()
+	f, err := l.stateFileLocked()
 	if err == nil {
-		err = ckpt.SaveAt(&buf, l.model, adam, l.stepper.Steps(), pos)
+		err = ckpt.SaveV2(&buf, l.model, f)
 	}
 	gen := l.eng.Generation()
 	l.trainMu.Unlock()
@@ -98,9 +113,8 @@ func (l *Learner) ServeReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(GenerationHeader, strconv.FormatUint(gen, 10))
-	if pos != nil {
-		w.Header().Set(AppliedSeqHeader, strconv.FormatUint(pos.Seq, 10))
-	}
+	w.Header().Set(AppliedSeqHeader, strconv.FormatUint(f.Log.Seq, 10))
+	w.Header().Set(EpochHeader, strconv.FormatUint(f.Epoch, 10))
 	_, _ = buf.WriteTo(w)
 }
 
@@ -110,7 +124,8 @@ func (l *Learner) ServeReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
 // records are served — a follower can never apply state its primary could
 // lose in a crash.
 func (l *Learner) ServeReplicaLog(w http.ResponseWriter, r *http.Request) {
-	if l.walLog == nil {
+	wlog := l.wlog()
+	if wlog == nil {
 		http.Error(w, `{"error":"replication requires a WAL-backed primary"}`, http.StatusConflict)
 		return
 	}
@@ -142,11 +157,18 @@ func (l *Learner) ServeReplicaLog(w http.ResponseWriter, r *http.Request) {
 			wait = maxReplicaWait
 		}
 	}
-	if l.walLog.DurableSeq() < from && wait > 0 {
-		l.walLog.WaitAppend(from-1, wait)
+	if first := wlog.FirstSeq(); from < first {
+		// The requested records were compacted away — only a snapshot can
+		// cover them now. 409, not 500: the follower's position is valid,
+		// the log just no longer reaches back that far.
+		http.Error(w, fmt.Sprintf(`{"error":"log compacted: records before seq %d are gone; re-bootstrap from the snapshot"}`, first), http.StatusConflict)
+		return
 	}
-	fetch := LogFetch{Records: []wal.Record{}, NowMillis: time.Now().UnixMilli()}
-	rd, err := l.walLog.ReaderAt(from)
+	if wlog.DurableSeq() < from && wait > 0 {
+		wlog.WaitAppend(from-1, wait)
+	}
+	fetch := LogFetch{Records: []wal.Record{}, NowMillis: time.Now().UnixMilli(), Epoch: l.Epoch()}
+	rd, err := wlog.ReaderAt(from)
 	if err != nil {
 		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
 		return
@@ -163,7 +185,7 @@ func (l *Learner) ServeReplicaLog(w http.ResponseWriter, r *http.Request) {
 		}
 		fetch.Records = append(fetch.Records, rec)
 	}
-	fetch.DurableSeq = l.walLog.DurableSeq()
+	fetch.DurableSeq = wlog.DurableSeq()
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, fetch)
 }
@@ -254,9 +276,13 @@ type ReplicaConfig struct {
 	// Wait is the long-poll window passed to the source when caught up.
 	// 0 means DefaultReplicaWait.
 	Wait time.Duration
-	// Backoff is the pause after a failed poll. 0 means
-	// DefaultReplicaBackoff.
+	// Backoff is the pause after the first failed poll; each consecutive
+	// failure doubles it (with ±25% jitter so a follower fleet does not
+	// re-poll a recovering primary in lockstep) up to MaxBackoff, and any
+	// success resets it. 0 means DefaultReplicaBackoff.
 	Backoff time.Duration
+	// MaxBackoff caps the doubling. 0 means DefaultReplicaMaxBackoff.
+	MaxBackoff time.Duration
 	// Logf, when non-nil, receives the tail loop's operational messages
 	// (fetch failures, the fatal apply error that halts the loop).
 	Logf func(format string, args ...any)
@@ -275,7 +301,32 @@ func (c ReplicaConfig) withDefaults() ReplicaConfig {
 	if c.Backoff <= 0 {
 		c.Backoff = DefaultReplicaBackoff
 	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = DefaultReplicaMaxBackoff
+	}
+	if c.MaxBackoff < c.Backoff {
+		c.MaxBackoff = c.Backoff
+	}
 	return c
+}
+
+// nextBackoff doubles cur, capped at max — the retry schedule for transient
+// fetch errors. Pure so the schedule is unit-testable; the caller adds
+// jitter.
+func nextBackoff(cur, max time.Duration) time.Duration {
+	next := cur * 2
+	if next > max {
+		next = max
+	}
+	return next
+}
+
+// jitterBackoff spreads d by ±25%.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
 // ReplicaStats is a snapshot of a replica's replay-lag counters.
@@ -296,6 +347,9 @@ type ReplicaStats struct {
 	LagRecords      int64
 	LagSeconds      float64
 	LagSecondsKnown bool
+	// PrimaryEpoch is the writer epoch of the primary being tailed (0 until
+	// a poll reports one).
+	PrimaryEpoch uint64
 	// CaughtUp reports AppliedSeq == PrimaryDurableSeq as of the last poll.
 	CaughtUp bool
 	// Polls/PollErrors count fetches; Applied counts records applied.
@@ -322,6 +376,7 @@ type Replica struct {
 	applied        atomic.Uint64
 	primaryDurable atomic.Uint64
 	primaryGen     atomic.Uint64
+	primaryEpoch   atomic.Uint64
 	lastEventTS    atomic.Int64 // unix ms of newest applied event (primary clock)
 	primaryNow     atomic.Int64 // unix ms of the primary's clock at the last poll
 	polls          atomic.Int64
@@ -348,6 +403,15 @@ type Replica struct {
 // snapshot's and no republish is needed.
 func NewReplica(l *Learner, src LogSource, bootGen uint64, cfg ReplicaConfig) *Replica {
 	r := &Replica{l: l, src: src, cfg: cfg.withDefaults()}
+	if l.hasState {
+		// A self-contained snapshot already embodies every record through its
+		// cut; tailing starts just past it — which is also the only position
+		// a compacted primary can still serve.
+		r.applied.Store(l.snapApplied)
+	}
+	if e := l.epoch.Load(); e > 0 {
+		r.primaryEpoch.Store(e)
+	}
 	if bootGen > 0 {
 		l.trainMu.Lock()
 		if bootGen > l.eng.Generation() {
@@ -364,6 +428,19 @@ func NewReplica(l *Learner, src LogSource, bootGen uint64, cfg ReplicaConfig) *R
 // record stream where the primary published — trailing steps in the same
 // batch stay unpublished locally just as they were on the primary.
 func (r *Replica) applyFetch(fetch LogFetch) error {
+	if fetch.Epoch != 0 {
+		if seen := r.primaryEpoch.Load(); fetch.Epoch < seen {
+			// The fencing check: this primary's epoch is older than one the
+			// replica has already observed, so it is a deposed primary still
+			// accepting writes on a forked history. Applying its records
+			// would merge the fork; halting loudly is the only safe move.
+			return fmt.Errorf("online: primary reports epoch %d but epoch %d was already observed: tailing a deposed primary; re-point this replica at the promoted one",
+				fetch.Epoch, seen)
+		} else if fetch.Epoch > seen {
+			r.primaryEpoch.Store(fetch.Epoch)
+			r.l.adoptEpoch(fetch.Epoch)
+		}
+	}
 	if fetch.DurableSeq < r.applied.Load() && len(fetch.Records) == 0 {
 		// The primary's log is shorter than what this replica already
 		// applied: its WAL directory was wiped or restored from an older
@@ -471,6 +548,7 @@ func (r *Replica) Start() {
 	r.bg.stop, r.bg.done = stop, done
 	go func() {
 		defer close(done)
+		backoff := r.cfg.Backoff
 		for {
 			select {
 			case <-stop:
@@ -479,6 +557,7 @@ func (r *Replica) Start() {
 			}
 			_, fatal, err := r.poll(r.cfg.Wait)
 			if err == nil {
+				backoff = r.cfg.Backoff // any success resets the schedule
 				continue
 			}
 			if fatal {
@@ -489,12 +568,17 @@ func (r *Replica) Start() {
 				r.logf("replica: halting tail loop on permanent apply error: %v", err)
 				return
 			}
-			r.logf("replica: log fetch failed (will retry in %s): %v", r.cfg.Backoff, err)
+			// Transient (network/primary-restart) error: retry with jittered
+			// exponential backoff so a bounced primary sees a trickle, not a
+			// stampede, while it recovers its log.
+			sleep := jitterBackoff(backoff)
+			r.logf("replica: log fetch failed (will retry in %s): %v", sleep, err)
 			select {
 			case <-stop:
 				return
-			case <-time.After(r.cfg.Backoff):
+			case <-time.After(sleep):
 			}
+			backoff = nextBackoff(backoff, r.cfg.MaxBackoff)
 		}
 	}()
 }
@@ -526,6 +610,7 @@ func (r *Replica) Stats() ReplicaStats {
 		AppliedSeq:        applied,
 		PrimaryDurableSeq: durable,
 		PrimaryGeneration: r.primaryGen.Load(),
+		PrimaryEpoch:      r.primaryEpoch.Load(),
 		CaughtUp:          applied >= durable,
 		Polls:             r.polls.Load(),
 		PollErrors:        r.pollErrs.Load(),

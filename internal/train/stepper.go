@@ -165,6 +165,19 @@ func (s *Stepper) MarkSeen(user, object int) {
 	}
 }
 
+// SamplerSeen exposes one representative negative-sampling seen index (all
+// workers hold identical sets — MarkSeen fans out to every worker), indexed
+// by user id; nil for regression tasks, which sample no negatives. Live
+// references, read-only, valid only under the caller's training lock — the
+// self-contained checkpoint uses it to persist sampler state a compacted
+// log can no longer rebuild.
+func (s *Stepper) SamplerSeen() []map[int]bool {
+	if len(s.workers) == 0 || s.workers[0].sampler == nil {
+		return nil
+	}
+	return s.workers[0].sampler.SeenSets()
+}
+
 // Steps returns how many minibatches the stepper has applied. Persist it next
 // to the optimizer state: restoring both resumes the random streams exactly.
 func (s *Stepper) Steps() int64 { return s.step }

@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func compactOpts() Options {
+	// Tiny segments so a short stream spans many files.
+	return Options{SegmentBytes: 256, FlushInterval: 100 * time.Microsecond}
+}
+
+func appendN(t *testing.T, l *Log, n int) (last uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		pos, err := l.Append([]byte("payload-payload-payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = pos.Seq
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return last
+}
+
+func readSeqs(t *testing.T, l *Log, from uint64) []uint64 {
+	t.Helper()
+	rd, err := l.ReaderAt(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var seqs []uint64
+	for {
+		_, pos, err := rd.Next()
+		if err == io.EOF {
+			return seqs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, pos.Seq)
+	}
+}
+
+func TestCompactRemovesOnlyCoveredSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, compactOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	last := appendN(t, l, 100)
+	if got := l.FirstSeq(); got != 1 {
+		t.Fatalf("FirstSeq %d before compaction", got)
+	}
+
+	// Compacting through 0 removes nothing.
+	st, err := l.Compact(0)
+	if err != nil || st.Removed != 0 || st.FirstSeq != 1 {
+		t.Fatalf("Compact(0) = %+v, %v", st, err)
+	}
+
+	// Compact through the middle: whole sealed segments below the cut go,
+	// every record above the new FirstSeq stays readable, and the suffix is
+	// exactly contiguous from FirstSeq through the end.
+	through := uint64(60)
+	st, err = l.Compact(through)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed == 0 {
+		t.Fatal("no segments removed; SegmentBytes too large for the test stream?")
+	}
+	first := l.FirstSeq()
+	if first > through+1 {
+		t.Fatalf("compaction removed records above the cut: FirstSeq %d > %d", first, through+1)
+	}
+	seqs := readSeqs(t, l, first)
+	if len(seqs) == 0 || seqs[0] != first || seqs[len(seqs)-1] != last {
+		t.Fatalf("suffix [%d..%d], want [%d..%d]", seqs[0], seqs[len(seqs)-1], first, last)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("gap after compaction at %d", seqs[i-1])
+		}
+	}
+	// Reads below FirstSeq must fail loudly, not return silence.
+	if _, err := l.ReaderAt(first - 1); err == nil {
+		t.Fatal("ReaderAt below FirstSeq succeeded")
+	}
+
+	// The active segment never goes, even when fully covered.
+	st, err = l.Compact(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(readSeqs(t, l, l.FirstSeq())); got == 0 {
+		t.Fatal("compacting through the head emptied the log")
+	}
+}
+
+func TestCompactedLogRecoversAndContinues(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, compactOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := appendN(t, l, 80)
+	if _, err := l.Compact(50); err != nil {
+		t.Fatal(err)
+	}
+	first := l.FirstSeq()
+	if first == 1 {
+		t.Fatal("compaction removed nothing")
+	}
+	l.Close()
+
+	// Recovery of a compacted dir: FirstSeq survives, the suffix is intact,
+	// and appends continue the dense numbering.
+	l2, err := Open(dir, compactOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.FirstSeq(); got != first {
+		t.Fatalf("recovered FirstSeq %d, want %d", got, first)
+	}
+	if rec := l2.Recovered(); rec.Seq != last {
+		t.Fatalf("recovered through %d, want %d", rec.Seq, last)
+	}
+	pos, err := l2.Append([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Seq != last+1 {
+		t.Fatalf("append after recovery at %d, want %d", pos.Seq, last+1)
+	}
+}
+
+func TestOpenAtStartsNumberingMidStream(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenAt(dir, 0, compactOpts()); err == nil {
+		t.Fatal("OpenAt(0) accepted")
+	}
+	l, err := OpenAt(dir, 101, compactOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Pos().Seq; got != 100 {
+		t.Fatalf("fresh OpenAt(101) position %d, want 100", got)
+	}
+	pos, err := l.Append([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Seq != 101 {
+		t.Fatalf("first append seq %d, want 101", pos.Seq)
+	}
+	if got := l.FirstSeq(); got != 101 {
+		t.Fatalf("FirstSeq %d, want 101", got)
+	}
+	appendN(t, l, 30)
+	l.Close()
+
+	// A mid-stream log recovers like any other.
+	l2, err := Open(dir, compactOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	seqs := readSeqs(t, l2, 101)
+	if len(seqs) != 31 || seqs[0] != 101 {
+		t.Fatalf("recovered %d records from %d", len(seqs), seqs[0])
+	}
+
+	// OpenAt refuses a non-empty directory — it creates logs, it does not
+	// adopt them.
+	if _, err := OpenAt(dir, 200, compactOpts()); err == nil {
+		t.Fatal("OpenAt over an existing log accepted")
+	}
+}
+
+func TestCompactSurvivesPartialUnlinkCrash(t *testing.T) {
+	// Simulate a crash midway through Compact's oldest-first unlink loop:
+	// every prefix of the removal set must leave a recoverable log whose
+	// suffix still reads back exactly.
+	build := func(t *testing.T) (string, uint64) {
+		dir := t.TempDir()
+		l, err := Open(dir, compactOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := appendN(t, l, 60)
+		l.Close()
+		return dir, last
+	}
+	// Probe how many segments a full compaction would remove.
+	probeDir, _ := build(t)
+	lp, err := Open(probeDir, compactOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := lp.Compact(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp.Close()
+	if st.Removed < 2 {
+		t.Fatalf("probe removed %d segments; need >= 2 for the crash interleavings", st.Removed)
+	}
+
+	for k := 1; k <= st.Removed; k++ {
+		dir, last := build(t)
+		names, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if err := os.Remove(names[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l, err := Open(dir, compactOpts())
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed: %v", k, err)
+		}
+		first := l.FirstSeq()
+		if first == 1 {
+			t.Fatalf("k=%d: FirstSeq did not advance", k)
+		}
+		seqs := readSeqs(t, l, first)
+		if len(seqs) == 0 || seqs[len(seqs)-1] != last {
+			t.Fatalf("k=%d: suffix ends at %d, want %d", k, seqs[len(seqs)-1], last)
+		}
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] != seqs[i-1]+1 {
+				t.Fatalf("k=%d: gap after %d", k, seqs[i-1])
+			}
+		}
+		l.Close()
+	}
+}

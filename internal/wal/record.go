@@ -35,6 +35,13 @@ const (
 	// the same marks, which keeps generation numbering aligned across the
 	// fleet.
 	RecPublish RecType = 4
+	// RecEpoch marks a change of writer: a promoted follower opens its own
+	// log and appends this record first, claiming the (strictly higher)
+	// epoch under which all subsequent records were written. Epoch
+	// comparison is the fencing primitive — a deposed primary still
+	// appending under its old epoch can never have those records accepted
+	// by a replica that has observed a newer one.
+	RecEpoch RecType = 5
 )
 
 // String names the type as the replication wire format spells it.
@@ -48,6 +55,8 @@ func (t RecType) String() string {
 		return "drop"
 	case RecPublish:
 		return "publish"
+	case RecEpoch:
+		return "epoch"
 	}
 	return fmt.Sprintf("rectype(%d)", int(t))
 }
@@ -83,6 +92,8 @@ type Record struct {
 	// anchor freshness deltas subtract from. Like TS it is lag accounting
 	// only, never a training input. 0 means unknown (pre-stamp log).
 	EventTS int64 `json:"event_ts,omitempty"`
+	// Epoch is the writer epoch an Epoch record claims.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // EncodeRecord renders the record's payload (type byte + type-specific
@@ -110,6 +121,8 @@ func EncodeRecord(r Record) []byte {
 		// newest event the generation was trained through.
 		buf = binary.AppendUvarint(buf, uint64(r.TS))
 		buf = binary.AppendUvarint(buf, uint64(r.EventTS))
+	case RecEpoch:
+		buf = binary.AppendUvarint(buf, r.Epoch)
 	}
 	return buf
 }
@@ -201,6 +214,12 @@ func DecodeRecord(seq uint64, payload []byte) (Record, error) {
 			}
 			r.EventTS = int64(ets)
 		}
+	case RecEpoch:
+		v, ok := uvarint()
+		if !ok || v == 0 {
+			return fail()
+		}
+		r.Epoch = v
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d at seq %d", payload[0], seq)
 	}

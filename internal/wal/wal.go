@@ -185,6 +185,7 @@ type Log struct {
 	seq       uint64    // last assigned sequence number
 	segOffset int64     // active segment size including buffered bytes
 	pending   int       // buffered bytes awaiting flush
+	bootSeq   uint64    // first sequence number when creating a fresh log
 	timerOn   bool
 	commitCh  chan struct{} // closed and replaced whenever durable advances
 	closed    bool
@@ -221,12 +222,31 @@ type Log struct {
 // every segment, verifying headers, frame CRCs and sequence continuity, and
 // truncating at the first bad frame — and positions the writer at the end of
 // the valid data. The recovered position is available via Recovered, and
-// Truncated reports whether a damaged tail was discarded.
+// Truncated reports whether a damaged tail was discarded. A compacted log
+// (oldest segments removed below a checkpoint) opens normally; FirstSeq
+// reports where the surviving records start.
 func Open(dir string, opts Options) (*Log, error) {
+	return open(dir, opts, 1, false)
+}
+
+// OpenAt creates a log in an empty directory whose first record will be
+// assigned sequence number firstSeq — the promotion primitive: a follower
+// that has applied its primary's log through seq N continues the global
+// numbering in a log of its own starting at N+1. A directory that already
+// holds segments is rejected (an existing log has its own numbering; use
+// Open for that).
+func OpenAt(dir string, firstSeq uint64, opts Options) (*Log, error) {
+	if firstSeq == 0 {
+		return nil, errors.New("wal: sequence numbers start at 1")
+	}
+	return open(dir, opts, firstSeq, true)
+}
+
+func open(dir string, opts Options, firstSeq uint64, mustBeEmpty bool) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts.withDefaults(), commitCh: make(chan struct{})}
+	l := &Log{dir: dir, opts: opts.withDefaults(), bootSeq: firstSeq, commitCh: make(chan struct{})}
 	// One process owns a log directory at a time: a second concurrent
 	// writer would interleave frames under an independent sequence counter,
 	// and the *next* recovery would silently truncate acknowledged data at
@@ -242,6 +262,17 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %s is locked by another process: %w", dir, err)
 	}
 	l.lockFile = lf
+	if mustBeEmpty {
+		segs, err := listSegments(dir)
+		if err != nil {
+			lf.Close()
+			return nil, err
+		}
+		if len(segs) > 0 {
+			lf.Close()
+			return nil, fmt.Errorf("wal: %s already holds %d segment(s); OpenAt requires an empty directory", dir, len(segs))
+		}
+	}
 	if err := l.recover(); err != nil {
 		lf.Close()
 		return nil, err
@@ -356,7 +387,7 @@ func (l *Log) recover() error {
 		return err
 	}
 	if len(segs) == 0 {
-		return l.createSegment(1, 1)
+		return l.createSegment(1, l.bootSeq)
 	}
 	var (
 		valid    []segment
@@ -407,7 +438,7 @@ func (l *Log) recover() error {
 	}
 	if len(valid) == 0 {
 		// Nothing usable at all (first segment's header was damaged).
-		return l.createSegment(1, 1)
+		return l.createSegment(1, l.bootSeq)
 	}
 	l.segs = valid
 	l.seq = lastSeq
@@ -767,6 +798,62 @@ func (l *Log) Pos() Pos {
 // DurableSeq returns the last durable sequence number.
 func (l *Log) DurableSeq() uint64 { return l.durable.Load() }
 
+// FirstSeq returns the first sequence number still present in the log — 1
+// for a never-compacted log opened with Open, higher once Compact has
+// removed sealed segments (or for a promotion log created with OpenAt).
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].firstSeq
+}
+
+// CompactStats reports what a Compact call removed and where the log now
+// starts.
+type CompactStats struct {
+	Removed  int    // segment files deleted
+	FirstSeq uint64 // first sequence number still in the log
+}
+
+// Compact removes sealed segments whose records all have sequence numbers
+// at or below through — the caller promises a durable checkpoint covers
+// them, so replay will never need them again. The active segment and any
+// segment straddling the boundary survive, so compaction never loses a
+// record above through. Segments are unlinked oldest-first and the
+// directory is fsynced once at the end: a crash at any point leaves a valid
+// log whose prefix is merely shorter (recovery tolerates a first segment
+// starting past seq 1), never a log with a hole.
+func (l *Log) Compact(through uint64) (CompactStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return CompactStats{}, errors.New("wal: log closed")
+	}
+	if l.err != nil {
+		return CompactStats{}, l.err
+	}
+	removed := 0
+	for len(l.segs) > 1 && l.segs[1].firstSeq <= through+1 {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return CompactStats{Removed: removed, FirstSeq: l.segs[0].firstSeq}, fmt.Errorf("wal: compact: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	first := l.segs[0].firstSeq
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return CompactStats{Removed: removed, FirstSeq: first}, err
+		}
+		// Drop hints that point into removed segments.
+		keep := 0
+		for keep < len(l.hints) && l.hints[keep].Seq < first {
+			keep++
+		}
+		l.hints = append([]Pos(nil), l.hints[keep:]...)
+	}
+	return CompactStats{Removed: removed, FirstSeq: first}, nil
+}
+
 // Segments returns how many live segment files the log spans.
 func (l *Log) Segments() int {
 	l.mu.Lock()
@@ -889,6 +976,11 @@ type Reader struct {
 func (l *Log) ReaderAt(from uint64) (*Reader, error) {
 	if from == 0 {
 		return nil, errors.New("wal: sequence numbers start at 1")
+	}
+	if first := l.FirstSeq(); from < first {
+		// The records are gone, not merely unread: starting later silently
+		// would hand the caller a stream with a hole at its head.
+		return nil, fmt.Errorf("wal: seq %d predates the log's first surviving record %d (compacted)", from, first)
 	}
 	return &Reader{l: l, nextSeq: from}, nil
 }
